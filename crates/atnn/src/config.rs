@@ -1,0 +1,149 @@
+//! Model configuration.
+
+/// How the adversarial component is realized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdversarialMode {
+    /// No adversarial component: the model degenerates to a plain
+    /// two-tower network (the paper's TNN-FC / TNN-DCN baselines).
+    None,
+    /// The paper's equations: `L_s = mean((1 − cos(g(X_ip), f_i(X_i)))²)`
+    /// pulls generated vectors toward (detached) encoded vectors. This is
+    /// the default used in every table reproduction.
+    Similarity,
+    /// A literal GAN: an MLP discriminator classifies encoded (real) vs
+    /// generated (fake) vectors; the generator maximizes discriminator
+    /// error. Implements the paper's prose description of the minimax
+    /// game; exercised by the A4 ablation.
+    LearnedDiscriminator,
+}
+
+/// Hyper-parameters of [`crate::Atnn`] (and the TNN baselines, which are
+/// configurations of the same architecture).
+#[derive(Debug, Clone)]
+pub struct AtnnConfig {
+    /// Width of the final item/user vectors (the paper uses 128).
+    pub vec_dim: usize,
+    /// Hidden widths of the deep part of each tower.
+    pub deep_dims: Vec<usize>,
+    /// Number of DCN cross layers (0 disables crossing even when
+    /// `use_cross` is true).
+    pub cross_depth: usize,
+    /// Whether towers include the cross network (TNN-DCN/ATNN) or are
+    /// fully connected only (TNN-FC).
+    pub use_cross: bool,
+    /// Adversarial component mode.
+    pub adversarial: AdversarialMode,
+    /// Whether the generator shares the item-profile embedding tables with
+    /// the item encoder (the paper's multi-task shared-embedding strategy).
+    pub shared_embeddings: bool,
+    /// λ — weight of the similarity loss in the generator step (the paper
+    /// sets 0.1).
+    pub lambda: f32,
+    /// Hidden widths of the learned discriminator (only used in
+    /// [`AdversarialMode::LearnedDiscriminator`]).
+    pub disc_dims: Vec<usize>,
+    /// Cap on per-field embedding width (see [`embed_dim_for`]).
+    pub max_embed_dim: usize,
+    /// Dropout rate on tower hidden layers.
+    pub dropout: f32,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Gradient-clipping threshold (global L2 norm per group).
+    pub grad_clip: f32,
+    /// Weight initialization / dropout seed.
+    pub seed: u64,
+}
+
+impl AtnnConfig {
+    /// The paper's reported widths (DCN 512/256/128-ish stacks, 128-d
+    /// vectors). Heavy on CPU; used for documentation fidelity and the
+    /// full-scale repro binaries when you have minutes to spend.
+    pub fn paper() -> Self {
+        AtnnConfig {
+            vec_dim: 128,
+            deep_dims: vec![512, 256, 128],
+            cross_depth: 3,
+            use_cross: true,
+            adversarial: AdversarialMode::Similarity,
+            shared_embeddings: true,
+            lambda: 0.1,
+            disc_dims: vec![64, 32],
+            max_embed_dim: 16,
+            dropout: 0.0,
+            learning_rate: 1e-3,
+            grad_clip: 5.0,
+            seed: 1,
+        }
+    }
+
+    /// Widths divided ~8x for fast CPU training. Every qualitative claim
+    /// reproduced in `EXPERIMENTS.md` holds at this scale; width is
+    /// orthogonal to the claims (DESIGN.md §2.5).
+    pub fn scaled() -> Self {
+        AtnnConfig {
+            vec_dim: 16,
+            deep_dims: vec![64, 32],
+            cross_depth: 2,
+            disc_dims: vec![32, 16],
+            max_embed_dim: 8,
+            learning_rate: 2e-3,
+            ..Self::paper()
+        }
+    }
+
+    /// TNN-DCN baseline: the same two towers, no adversarial component.
+    pub fn tnn_dcn() -> Self {
+        AtnnConfig { adversarial: AdversarialMode::None, ..Self::scaled() }
+    }
+
+    /// TNN-FC baseline: fully connected towers, no cross network, no
+    /// adversarial component.
+    pub fn tnn_fc() -> Self {
+        AtnnConfig { use_cross: false, ..Self::tnn_dcn() }
+    }
+
+    /// Replaces the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Embedding width for a categorical field: `ceil(1.7 · vocab^0.25)`
+/// clamped to `[4, max]` — reproduces the spirit of the paper's hand-picked
+/// 16/8/16/6/16 widths without hand-picking per field.
+pub fn embed_dim_for(vocab: usize, max: usize) -> usize {
+    let dim = (1.7 * (vocab as f64).powf(0.25)).ceil() as usize;
+    dim.clamp(4, max.max(4))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_consistent() {
+        let paper = AtnnConfig::paper();
+        assert_eq!(paper.vec_dim, 128);
+        assert_eq!(paper.deep_dims, vec![512, 256, 128]);
+        assert_eq!(paper.lambda, 0.1);
+        assert!(paper.use_cross && paper.shared_embeddings);
+        assert_eq!(paper.adversarial, AdversarialMode::Similarity);
+
+        let scaled = AtnnConfig::scaled();
+        assert!(scaled.vec_dim < paper.vec_dim);
+        assert_eq!(scaled.adversarial, AdversarialMode::Similarity);
+
+        assert_eq!(AtnnConfig::tnn_dcn().adversarial, AdversarialMode::None);
+        assert!(AtnnConfig::tnn_dcn().use_cross);
+        assert!(!AtnnConfig::tnn_fc().use_cross);
+    }
+
+    #[test]
+    fn embed_dims_grow_with_vocab_and_clamp() {
+        assert_eq!(embed_dim_for(2, 16), 4, "floor at 4");
+        assert!(embed_dim_for(100, 16) > embed_dim_for(10, 16));
+        assert_eq!(embed_dim_for(1_000_000, 16), 16, "ceiling at max");
+        assert!(embed_dim_for(400, 8) <= 8);
+    }
+}

@@ -1,0 +1,330 @@
+//! Preference-based user grouping — the paper's §VI future-work item:
+//! *"We can further group users by their preferences before making new
+//! arrivals predictions. Different groups have diverse preferences for
+//! different types of items."*
+//!
+//! Users are clustered in the learned user-vector space with k-means
+//! (k-means++ seeding, Lloyd iterations); the serving index then stores
+//! one mean vector **per cluster** plus cluster weights, and scores an
+//! item as the weighted mean of its per-cluster scores. With `k = 1` this
+//! degenerates exactly to [`crate::PopularityIndex`]; larger `k`
+//! approximates the O(N_users) pairwise popularity increasingly well while
+//! staying O(k) per item.
+
+use atnn_data::tmall::TmallDataset;
+use atnn_tensor::{dot, Matrix, Rng64};
+
+use crate::model::Atnn;
+
+/// K-means over row vectors.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    /// `[k, dim]` centroid matrix.
+    pub centroids: Matrix,
+    /// Number of points assigned to each centroid.
+    pub sizes: Vec<usize>,
+    /// Final within-cluster sum of squared distances.
+    pub inertia: f64,
+}
+
+impl KMeans {
+    /// Clusters the rows of `points` into `k` groups.
+    ///
+    /// # Panics
+    /// Panics when `k == 0` or `k > points.rows()`.
+    pub fn fit(points: &Matrix, k: usize, max_iters: usize, rng: &mut Rng64) -> Self {
+        let n = points.rows();
+        assert!(k > 0 && k <= n, "k must be in 1..=n");
+
+        // k-means++ seeding: spread the initial centroids out.
+        let mut centroids = Matrix::zeros(k, points.cols());
+        let first = rng.index(n);
+        centroids.row_mut(0).copy_from_slice(points.row(first));
+        let mut d2 = vec![0.0f32; n];
+        for c in 1..k {
+            let mut total = 0.0f64;
+            for (i, d) in d2.iter_mut().enumerate() {
+                *d = (0..c)
+                    .map(|j| sq_dist(points.row(i), centroids.row(j)))
+                    .fold(f32::INFINITY, f32::min);
+                total += *d as f64;
+            }
+            let chosen = if total <= 0.0 {
+                rng.index(n)
+            } else {
+                // Sample proportional to squared distance.
+                let mut target = rng.uniform() as f64 * total;
+                let mut pick = n - 1;
+                for (i, &d) in d2.iter().enumerate() {
+                    target -= d as f64;
+                    if target <= 0.0 {
+                        pick = i;
+                        break;
+                    }
+                }
+                pick
+            };
+            centroids.row_mut(c).copy_from_slice(points.row(chosen));
+        }
+
+        // Lloyd iterations.
+        let mut assignment = vec![0usize; n];
+        let mut sizes = vec![0usize; k];
+        let mut inertia = f64::INFINITY;
+        for _ in 0..max_iters {
+            let mut changed = false;
+            let mut new_inertia = 0.0f64;
+            for (i, a) in assignment.iter_mut().enumerate() {
+                let (best, dist) = (0..k)
+                    .map(|j| (j, sq_dist(points.row(i), centroids.row(j))))
+                    .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distance"))
+                    .expect("k > 0");
+                if best != *a {
+                    *a = best;
+                    changed = true;
+                }
+                new_inertia += dist as f64;
+            }
+            inertia = new_inertia;
+
+            let mut sums = Matrix::zeros(k, points.cols());
+            sizes.iter_mut().for_each(|s| *s = 0);
+            for (i, &a) in assignment.iter().enumerate() {
+                sizes[a] += 1;
+                for (s, &v) in sums.row_mut(a).iter_mut().zip(points.row(i)) {
+                    *s += v;
+                }
+            }
+            for (j, &size) in sizes.iter().enumerate() {
+                if size > 0 {
+                    let inv = 1.0 / size as f32;
+                    for (c, &s) in centroids.row_mut(j).iter_mut().zip(sums.row(j)) {
+                        *c = s * inv;
+                    }
+                }
+                // Empty clusters keep their previous centroid.
+            }
+            if !changed {
+                break;
+            }
+        }
+        KMeans { centroids, sizes, inertia }
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.rows()
+    }
+}
+
+#[inline]
+fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum()
+}
+
+/// A popularity index with one mean user vector *per preference cluster*.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupedPopularityIndex {
+    /// `[k, vec_dim]` cluster mean vectors.
+    centroids: Matrix,
+    /// Cluster weights (fraction of the user group in each cluster).
+    weights: Vec<f32>,
+    bias: f32,
+}
+
+impl GroupedPopularityIndex {
+    /// Builds the index: encodes the user group, clusters the vectors into
+    /// `k` preference groups, stores centroids and weights.
+    pub fn build(
+        model: &Atnn,
+        data: &TmallDataset,
+        user_group: &[u32],
+        k: usize,
+        rng: &mut Rng64,
+    ) -> Self {
+        assert!(!user_group.is_empty(), "GroupedPopularityIndex: empty user group");
+        let vectors = collect_user_vectors(model, data, user_group);
+        let km = KMeans::fit(&vectors, k.min(user_group.len()), 50, rng);
+        let total: f32 = km.sizes.iter().sum::<usize>() as f32;
+        let weights = km.sizes.iter().map(|&s| s as f32 / total).collect();
+        GroupedPopularityIndex { centroids: km.centroids, weights, bias: model.bias_value() }
+    }
+
+    /// O(k) popularity score: the cluster-weighted mean of
+    /// `σ(⟨v_item, c_j⟩ + b)`.
+    pub fn score_vector(&self, item_vec: &[f32]) -> f32 {
+        self.weights
+            .iter()
+            .enumerate()
+            .map(|(j, &w)| w * sigmoid(dot(item_vec, self.centroids.row(j)) + self.bias))
+            .sum()
+    }
+
+    /// Scores new arrivals end to end through the generator.
+    pub fn score_new_arrivals(&self, model: &Atnn, data: &TmallDataset, items: &[u32]) -> Vec<f32> {
+        let mut scores = Vec::with_capacity(items.len());
+        for chunk in items.chunks(512) {
+            let profile = data.encode_item_profiles(chunk);
+            let vecs = model.item_vectors_generated(&profile);
+            scores.extend((0..vecs.rows()).map(|i| self.score_vector(vecs.row(i))));
+        }
+        scores
+    }
+
+    /// Per-cluster scores of one item — the "diverse preferences for
+    /// different types of items" view (e.g. for segment-targeted launches).
+    pub fn per_cluster_scores(&self, item_vec: &[f32]) -> Vec<f32> {
+        (0..self.centroids.rows())
+            .map(|j| sigmoid(dot(item_vec, self.centroids.row(j)) + self.bias))
+            .collect()
+    }
+
+    /// Number of preference clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.rows()
+    }
+
+    /// Cluster weights.
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+}
+
+fn collect_user_vectors(model: &Atnn, data: &TmallDataset, users: &[u32]) -> Matrix {
+    let mut blocks: Vec<Matrix> = Vec::new();
+    for chunk in users.chunks(512) {
+        blocks.push(model.user_vectors(&data.encode_users(chunk)));
+    }
+    let mut out = blocks.remove(0);
+    for b in blocks {
+        out = out.concat_rows(&b).expect("same vec_dim");
+    }
+    out
+}
+
+fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AtnnConfig;
+    use crate::popularity::{pairwise_popularity, PopularityIndex};
+    use crate::trainer::{CtrTrainer, TrainOptions};
+    use atnn_data::tmall::TmallConfig;
+
+    #[test]
+    fn kmeans_recovers_separated_blobs() {
+        let mut rng = Rng64::seed_from_u64(1);
+        // Three blobs at (0,0), (10,0), (0,10).
+        let centers = [(0.0f32, 0.0f32), (10.0, 0.0), (0.0, 10.0)];
+        let mut points = Matrix::zeros(150, 2);
+        for i in 0..150 {
+            let (cx, cy) = centers[i % 3];
+            points.set(i, 0, cx + rng.normal_with(0.0, 0.5));
+            points.set(i, 1, cy + rng.normal_with(0.0, 0.5));
+        }
+        let km = KMeans::fit(&points, 3, 100, &mut rng);
+        assert_eq!(km.k(), 3);
+        assert_eq!(km.sizes.iter().sum::<usize>(), 150);
+        // Every true center has a centroid within 1.0.
+        for (cx, cy) in centers {
+            let best = (0..3)
+                .map(|j| sq_dist(km.centroids.row(j), &[cx, cy]))
+                .fold(f32::INFINITY, f32::min);
+            assert!(best < 1.0, "no centroid near ({cx},{cy}): {best}");
+        }
+        assert!(km.inertia < 150.0, "tight clusters: inertia {}", km.inertia);
+    }
+
+    #[test]
+    fn kmeans_inertia_decreases_with_k() {
+        let mut rng = Rng64::seed_from_u64(2);
+        let points = Matrix::from_fn(80, 3, |_, _| rng.normal());
+        let i1 = KMeans::fit(&points, 1, 50, &mut rng).inertia;
+        let i4 = KMeans::fit(&points, 4, 50, &mut rng).inertia;
+        let i16 = KMeans::fit(&points, 16, 50, &mut rng).inertia;
+        assert!(i4 < i1);
+        assert!(i16 < i4);
+    }
+
+    #[test]
+    fn k_equals_one_matches_plain_index() {
+        let (model, data) = trained();
+        let group: Vec<u32> = (0..100).collect();
+        let mut rng = Rng64::seed_from_u64(3);
+        let grouped = GroupedPopularityIndex::build(&model, &data, &group, 1, &mut rng);
+        let plain = PopularityIndex::build(&model, &data, &group);
+        let items: Vec<u32> = (0..40).collect();
+        let a = grouped.score_new_arrivals(&model, &data, &items);
+        let b = plain.score_new_arrivals(&model, &data, &items);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-5, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn more_clusters_approximate_pairwise_better() {
+        // The future-work claim, quantified: mean absolute error against
+        // the O(N_users) pairwise popularity shrinks as k grows.
+        let (model, data) = trained();
+        let group: Vec<u32> = (0..data.num_users() as u32).collect();
+        let items: Vec<u32> = (0..100).collect();
+        let reference = pairwise_popularity(&model, &data, &items, &group);
+        let mut rng = Rng64::seed_from_u64(4);
+        let err_of = |k: usize, rng: &mut Rng64| {
+            let idx = GroupedPopularityIndex::build(&model, &data, &group, k, rng);
+            let scores = idx.score_new_arrivals(&model, &data, &items);
+            scores
+                .iter()
+                .zip(&reference)
+                .map(|(&a, &b)| (a - b).abs() as f64)
+                .sum::<f64>()
+                / items.len() as f64
+        };
+        let e1 = err_of(1, &mut rng);
+        let e8 = err_of(8, &mut rng);
+        let e32 = err_of(32, &mut rng);
+        assert!(e8 < e1, "k=8 ({e8:.5}) must beat k=1 ({e1:.5})");
+        assert!(e32 < e1, "k=32 ({e32:.5}) must beat k=1 ({e1:.5})");
+        assert!(e32 < 0.02, "k=32 should be near-exact: {e32:.5}");
+    }
+
+    #[test]
+    fn per_cluster_scores_expose_segment_structure() {
+        let (model, data) = trained();
+        let group: Vec<u32> = (0..150).collect();
+        let mut rng = Rng64::seed_from_u64(5);
+        let idx = GroupedPopularityIndex::build(&model, &data, &group, 4, &mut rng);
+        assert_eq!(idx.k(), 4);
+        assert!((idx.weights().iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        let vec = model
+            .item_vectors_generated(&data.encode_item_profiles(&[0]))
+            .row(0)
+            .to_vec();
+        let per = idx.per_cluster_scores(&vec);
+        assert_eq!(per.len(), 4);
+        // The weighted mean of per-cluster scores is the blended score.
+        let blended: f32 = per.iter().zip(idx.weights()).map(|(&s, &w)| s * w).sum();
+        assert!((blended - idx.score_vector(&vec)).abs() < 1e-6);
+    }
+
+    fn trained() -> (Atnn, TmallDataset) {
+        let data = TmallDataset::generate(TmallConfig {
+            num_users: 200,
+            num_items: 300,
+            num_interactions: 3_000,
+            ..TmallConfig::tiny()
+        });
+        let mut model = Atnn::new(AtnnConfig::scaled(), &data);
+        CtrTrainer::new(TrainOptions { epochs: 2, ..Default::default() })
+            .train(&mut model, &data, None);
+        (model, data)
+    }
+}

@@ -1,0 +1,709 @@
+//! The ATNN model: towers, generator, adversarial component, and the
+//! alternating optimization of the paper's Algorithm 1.
+
+use atnn_autograd::{Graph, ParamId, ParamStore, Var};
+use atnn_data::schema::FeatureBlock;
+use atnn_data::tmall::TmallDataset;
+use atnn_nn::{clip_grad_norm, Activation, Adam, Mlp, Optimizer};
+use atnn_tensor::{Matrix, Rng64};
+
+use crate::config::{AdversarialMode, AtnnConfig};
+use crate::features::FeatureEncoder;
+use crate::towers::Tower;
+
+/// Losses observed in one [`Atnn::train_step`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StepLosses {
+    /// `L_i` — CTR loss of the full-feature (encoder) path.
+    pub loss_i: f32,
+    /// `L_g` — CTR loss of the generated (profile-only) path.
+    pub loss_g: f32,
+    /// `L_s` — similarity/adversarial loss between generated and encoded
+    /// item vectors.
+    pub loss_s: f32,
+    /// Discriminator loss (learned-discriminator mode only).
+    pub loss_disc: f32,
+}
+
+/// The Adversarial Two-Tower Neural Network (paper Fig. 4).
+///
+/// Also implements the paper's TNN-FC and TNN-DCN baselines: with
+/// [`AdversarialMode::None`] only the encoder path exists, and
+/// `use_cross` toggles DCN vs fully connected towers.
+#[derive(Debug)]
+pub struct Atnn {
+    config: AtnnConfig,
+    store: ParamStore,
+    profile_encoder: FeatureEncoder,
+    generator_encoder: FeatureEncoder,
+    stats_encoder: FeatureEncoder,
+    user_encoder: FeatureEncoder,
+    item_tower: Tower,
+    generator_tower: Tower,
+    user_tower: Tower,
+    bias: ParamId,
+    discriminator: Option<Mlp>,
+    d_group: Vec<ParamId>,
+    g_group: Vec<ParamId>,
+    disc_group: Vec<ParamId>,
+    opt_d: Adam,
+    opt_g: Adam,
+    opt_disc: Option<Adam>,
+    dropout_rng: Rng64,
+}
+
+impl Atnn {
+    /// Builds the model against a [`TmallDataset`]'s schemas; numeric
+    /// normalizers are fit on the dataset's feature population (features
+    /// only — no labels are touched).
+    pub fn new(config: AtnnConfig, data: &TmallDataset) -> Self {
+        let all_items: Vec<u32> = (0..data.num_items() as u32).collect();
+        let all_users: Vec<u32> = (0..data.num_users() as u32).collect();
+        let profile_block = data.encode_item_profiles(&all_items);
+        let stats_block = data.encode_item_stats(&all_items);
+        let user_block = data.encode_users(&all_users);
+        Self::from_blocks(config, &profile_block, &stats_block, &user_block)
+    }
+
+    /// Builds the model from representative feature blocks (used directly
+    /// by the multi-task variant and by tests).
+    pub fn from_blocks(
+        config: AtnnConfig,
+        profile_block: &FeatureBlock,
+        stats_block: &FeatureBlock,
+        user_block: &FeatureBlock,
+    ) -> Self {
+        let mut store = ParamStore::new();
+        let mut rng = Rng64::seed_from_u64(config.seed);
+        let mut weight_rng = rng.fork(1);
+        let dropout_rng = rng.fork(2);
+
+        let profile_schema = TmallDataset::item_profile_schema();
+        let stats_schema = TmallDataset::item_stats_schema();
+        let user_schema = TmallDataset::user_schema();
+        // The schemas above are only used when the caller passed blocks
+        // from the Tmall simulator; validate and fall back to structural
+        // inference otherwise.
+        let infer = |block: &FeatureBlock,
+                     candidate: &atnn_data::schema::FeatureSchema|
+         -> atnn_data::schema::FeatureSchema {
+            if block.validate(candidate).is_ok() {
+                candidate.clone()
+            } else {
+                // Structural schema: vocab = max id + 1 per column.
+                let mut fields = Vec::new();
+                for (i, col) in block.categorical.iter().enumerate() {
+                    let vocab = col.iter().copied().max().unwrap_or(0) as usize + 1;
+                    fields.push(atnn_data::schema::FieldSpec::categorical(
+                        &format!("cat{i}"),
+                        vocab.max(2),
+                    ));
+                }
+                for j in 0..block.numeric.cols() {
+                    fields.push(atnn_data::schema::FieldSpec::numeric(&format!("num{j}")));
+                }
+                atnn_data::schema::FeatureSchema::new(fields)
+            }
+        };
+        let profile_schema = infer(profile_block, &profile_schema);
+        let stats_schema = infer(stats_block, &stats_schema);
+        let user_schema = infer(user_block, &user_schema);
+
+        let profile_encoder = FeatureEncoder::new(
+            &mut store,
+            &mut weight_rng,
+            "item.profile",
+            &profile_schema,
+            config.max_embed_dim,
+            Some(&profile_block.numeric),
+        );
+        // The paper's shared-embedding strategy: the generator either
+        // reuses the encoder's tables (clone of the handle) or gets its own.
+        let generator_encoder = if config.shared_embeddings {
+            profile_encoder.clone()
+        } else {
+            FeatureEncoder::new(
+                &mut store,
+                &mut weight_rng,
+                "gen.profile",
+                &profile_schema,
+                config.max_embed_dim,
+                Some(&profile_block.numeric),
+            )
+        };
+        let stats_encoder = FeatureEncoder::new(
+            &mut store,
+            &mut weight_rng,
+            "item.stats",
+            &stats_schema,
+            config.max_embed_dim,
+            Some(&stats_block.numeric),
+        );
+        let user_encoder = FeatureEncoder::new(
+            &mut store,
+            &mut weight_rng,
+            "user",
+            &user_schema,
+            config.max_embed_dim,
+            Some(&user_block.numeric),
+        );
+
+        let item_tower = Tower::new(
+            &mut store,
+            &mut weight_rng,
+            "item.tower",
+            profile_encoder.out_dim() + stats_encoder.out_dim(),
+            &config.deep_dims,
+            config.cross_depth,
+            config.use_cross,
+            config.vec_dim,
+        );
+        let generator_tower = Tower::new(
+            &mut store,
+            &mut weight_rng,
+            "gen.tower",
+            generator_encoder.out_dim(),
+            &config.deep_dims,
+            config.cross_depth,
+            config.use_cross,
+            config.vec_dim,
+        );
+        let user_tower = Tower::new(
+            &mut store,
+            &mut weight_rng,
+            "user.tower",
+            user_encoder.out_dim(),
+            &config.deep_dims,
+            config.cross_depth,
+            config.use_cross,
+            config.vec_dim,
+        );
+        let bias = store.add("score.bias", Matrix::zeros(1, 1));
+
+        let discriminator = matches!(config.adversarial, AdversarialMode::LearnedDiscriminator)
+            .then(|| {
+                let mut dims = vec![config.vec_dim];
+                dims.extend_from_slice(&config.disc_dims);
+                dims.push(1);
+                Mlp::new(&mut store, &mut weight_rng, "disc", &dims, Activation::Relu)
+            });
+
+        // Parameter groups for the alternating optimization. The shared
+        // embedding tables live in the D group and — when shared — also in
+        // the G group, so both phases refine them (the paper's stated
+        // motivation for sharing).
+        let mut d_group = Vec::new();
+        d_group.extend(profile_encoder.embedding_params());
+        d_group.extend(user_encoder.embedding_params());
+        d_group.extend(item_tower.params());
+        d_group.extend(user_tower.params());
+        d_group.push(bias);
+
+        let mut g_group = Vec::new();
+        g_group.extend(generator_encoder.embedding_params());
+        g_group.extend(generator_tower.params());
+
+        let disc_group: Vec<ParamId> =
+            discriminator.as_ref().map(Mlp::params).unwrap_or_default();
+
+        let opt_d = Adam::new(d_group.clone(), config.learning_rate);
+        let opt_g = Adam::new(g_group.clone(), config.learning_rate);
+        let opt_disc = discriminator
+            .as_ref()
+            .map(|_| Adam::new(disc_group.clone(), config.learning_rate));
+
+        Atnn {
+            config,
+            store,
+            profile_encoder,
+            generator_encoder,
+            stats_encoder,
+            user_encoder,
+            item_tower,
+            generator_tower,
+            user_tower,
+            bias,
+            discriminator,
+            d_group,
+            g_group,
+            disc_group,
+            opt_d,
+            opt_g,
+            opt_disc,
+            dropout_rng,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Forward passes
+    // ------------------------------------------------------------------
+
+    /// Item vector from complete features (profile + statistics): `f_i(X_i)`.
+    pub fn item_vec_full(
+        &self,
+        g: &mut Graph,
+        profile: &FeatureBlock,
+        stats: &FeatureBlock,
+    ) -> Var {
+        let p = self.profile_encoder.encode(g, &self.store, profile);
+        let s = self.stats_encoder.encode(g, &self.store, stats);
+        let x = g.concat_cols(p, s);
+        self.item_tower.forward(g, &self.store, x)
+    }
+
+    /// Generated item vector from profile only: `g(X_ip)`.
+    pub fn item_vec_generated(&self, g: &mut Graph, profile: &FeatureBlock) -> Var {
+        let x = self.generator_encoder.encode(g, &self.store, profile);
+        self.generator_tower.forward(g, &self.store, x)
+    }
+
+    /// User vector `f_u(X_u)`.
+    pub fn user_vec(&self, g: &mut Graph, users: &FeatureBlock) -> Var {
+        let x = self.user_encoder.encode(g, &self.store, users);
+        self.user_tower.forward(g, &self.store, x)
+    }
+
+    /// Pairwise CTR logits `H(v_i, v_u) = ⟨v_i, v_u⟩ + b` (`[batch, 1]`).
+    pub fn score_logits(&self, g: &mut Graph, item_vecs: Var, user_vecs: Var) -> Var {
+        let dots = g.rowwise_dot(item_vecs, user_vecs);
+        let b = g.param(&self.store, self.bias);
+        g.add_row_broadcast(dots, b)
+    }
+
+    // ------------------------------------------------------------------
+    // Training (Algorithm 1)
+    // ------------------------------------------------------------------
+
+    /// One alternating step over a mini-batch of `(item, user, label)`
+    /// rows. `profile`/`stats`/`users` are row-aligned; `labels` is
+    /// `[batch, 1]` of 0/1.
+    pub fn train_step(
+        &mut self,
+        profile: &FeatureBlock,
+        stats: &FeatureBlock,
+        users: &FeatureBlock,
+        labels: &Matrix,
+    ) -> StepLosses {
+        let mut losses = StepLosses::default();
+
+        // ---- D step: minimize L_i over the encoder path. -------------
+        self.store.zero_grads(&self.d_group);
+        let mut g = Graph::new();
+        let iv = self.item_vec_full(&mut g, profile, stats);
+        let iv = self.apply_dropout(&mut g, iv);
+        let uv = self.user_vec(&mut g, users);
+        let uv = self.apply_dropout(&mut g, uv);
+        let logits = self.score_logits(&mut g, iv, uv);
+        let loss_i = g.bce_with_logits_loss(logits, labels);
+        losses.loss_i = g.value(loss_i).get(0, 0);
+        g.backward(loss_i, &mut self.store);
+        clip_grad_norm(&mut self.store, &self.d_group, self.config.grad_clip);
+        self.opt_d.step(&mut self.store);
+
+        if matches!(self.config.adversarial, AdversarialMode::None) {
+            return losses;
+        }
+
+        // ---- Discriminator step (learned mode only). ------------------
+        if let Some(disc) = &self.discriminator {
+            self.store.zero_grads(&self.disc_group);
+            let mut g = Graph::new();
+            let real = self.item_vec_full(&mut g, profile, stats);
+            let real = g.detach(real);
+            let fake = self.item_vec_generated(&mut g, profile);
+            let fake = g.detach(fake);
+            let real_logits = disc.forward(&mut g, &self.store, real);
+            let fake_logits = disc.forward(&mut g, &self.store, fake);
+            let n = labels.rows();
+            let ones = Matrix::full(n, 1, 1.0);
+            let zeros = Matrix::zeros(n, 1);
+            let l_real = g.bce_with_logits_loss(real_logits, &ones);
+            let l_fake = g.bce_with_logits_loss(fake_logits, &zeros);
+            let l_disc = g.add(l_real, l_fake);
+            losses.loss_disc = g.value(l_disc).get(0, 0);
+            g.backward(l_disc, &mut self.store);
+            clip_grad_norm(&mut self.store, &self.disc_group, self.config.grad_clip);
+            self.opt_disc.as_mut().expect("disc optimizer").step(&mut self.store);
+        }
+
+        // ---- G step: minimize L_g + λ·L_s over the generator path. ----
+        self.store.zero_grads(&self.g_group);
+        let mut g = Graph::new();
+        let gen_v = self.item_vec_generated(&mut g, profile);
+        let gen_v = self.apply_dropout(&mut g, gen_v);
+        // The user vector and the similarity target are frozen in this
+        // phase: only the generator chases them.
+        let uv = self.user_vec(&mut g, users);
+        let uv = g.detach(uv);
+        let logits = self.score_logits(&mut g, gen_v, uv);
+        let loss_g = g.bce_with_logits_loss(logits, labels);
+        losses.loss_g = g.value(loss_g).get(0, 0);
+
+        let loss_s = match self.config.adversarial {
+            AdversarialMode::Similarity => {
+                let target = self.item_vec_full(&mut g, profile, stats);
+                let target = g.detach(target);
+                let cos = g.rowwise_cosine(gen_v, target);
+                let ones = g.input(Matrix::full(labels.rows(), 1, 1.0));
+                let diff = g.sub(ones, cos);
+                let sq = g.mul(diff, diff);
+                g.mean(sq)
+            }
+            AdversarialMode::LearnedDiscriminator => {
+                // Non-saturating generator objective: fool D into "real".
+                let disc = self.discriminator.as_ref().expect("discriminator");
+                let fake_logits = disc.forward(&mut g, &self.store, gen_v);
+                let ones = Matrix::full(labels.rows(), 1, 1.0);
+                g.bce_with_logits_loss(fake_logits, &ones)
+            }
+            AdversarialMode::None => unreachable!("handled above"),
+        };
+        losses.loss_s = g.value(loss_s).get(0, 0);
+        let weighted = g.mul_scalar(loss_s, self.config.lambda);
+        let total = g.add(loss_g, weighted);
+        g.backward(total, &mut self.store);
+        clip_grad_norm(&mut self.store, &self.g_group, self.config.grad_clip);
+        self.opt_g.step(&mut self.store);
+
+        losses
+    }
+
+    fn apply_dropout(&mut self, g: &mut Graph, x: Var) -> Var {
+        if self.config.dropout > 0.0 {
+            atnn_nn::dropout(g, &mut self.dropout_rng, x, self.config.dropout, true)
+        } else {
+            x
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Inference
+    // ------------------------------------------------------------------
+
+    /// CTR probabilities via the full-feature encoder path.
+    pub fn predict_ctr_full(
+        &self,
+        profile: &FeatureBlock,
+        stats: &FeatureBlock,
+        users: &FeatureBlock,
+    ) -> Vec<f32> {
+        let mut g = Graph::new();
+        let iv = self.item_vec_full(&mut g, profile, stats);
+        let uv = self.user_vec(&mut g, users);
+        let logits = self.score_logits(&mut g, iv, uv);
+        let probs = g.sigmoid(logits);
+        g.value(probs).as_slice().to_vec()
+    }
+
+    /// CTR probabilities via the generated (profile-only) path — the
+    /// cold-start scorer.
+    pub fn predict_ctr_generated(&self, profile: &FeatureBlock, users: &FeatureBlock) -> Vec<f32> {
+        let mut g = Graph::new();
+        let iv = self.item_vec_generated(&mut g, profile);
+        let uv = self.user_vec(&mut g, users);
+        let logits = self.score_logits(&mut g, iv, uv);
+        let probs = g.sigmoid(logits);
+        g.value(probs).as_slice().to_vec()
+    }
+
+    /// Materialized generated item vectors (rows).
+    pub fn item_vectors_generated(&self, profile: &FeatureBlock) -> Matrix {
+        let mut g = Graph::new();
+        let v = self.item_vec_generated(&mut g, profile);
+        g.value(v).clone()
+    }
+
+    /// Materialized full-feature item vectors (rows).
+    pub fn item_vectors_full(&self, profile: &FeatureBlock, stats: &FeatureBlock) -> Matrix {
+        let mut g = Graph::new();
+        let v = self.item_vec_full(&mut g, profile, stats);
+        g.value(v).clone()
+    }
+
+    /// Materialized user vectors (rows).
+    pub fn user_vectors(&self, users: &FeatureBlock) -> Matrix {
+        let mut g = Graph::new();
+        let v = self.user_vec(&mut g, users);
+        g.value(v).clone()
+    }
+
+    /// A stats block of `n` identical imputed rows (the cold-start
+    /// work-around baselines must resort to).
+    pub fn imputed_stats_block(n: usize, means: &[f32]) -> FeatureBlock {
+        FeatureBlock {
+            categorical: vec![],
+            numeric: Matrix::from_fn(n, means.len(), |_, j| means[j]),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection / persistence
+    // ------------------------------------------------------------------
+
+    /// The model configuration.
+    pub fn config(&self) -> &AtnnConfig {
+        &self.config
+    }
+
+    /// The scoring bias value.
+    pub fn bias_value(&self) -> f32 {
+        self.store.value(self.bias).get(0, 0)
+    }
+
+    /// Immutable view of the parameter store (checkpointing).
+    pub fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    /// Mutable view of the parameter store (checkpoint loading).
+    pub fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    /// Total trainable scalar count.
+    pub fn num_parameters(&self) -> usize {
+        self.store.num_scalars()
+    }
+
+    /// A human-readable component summary (à la `model.summary()`):
+    /// per-group parameter counts and the architecture switches in effect.
+    pub fn describe(&self) -> String {
+        let scalars_of = |ids: &[atnn_autograd::ParamId]| -> usize {
+            ids.iter().map(|&id| self.store.value(id).len()).sum()
+        };
+        let mut out = String::new();
+        out.push_str("ATNN model summary\n");
+        out.push_str(&format!(
+            "  towers        : {} ({} cross layers), vec_dim {}\n",
+            if self.config.use_cross { "Deep & Cross" } else { "fully connected" },
+            self.config.cross_depth,
+            self.config.vec_dim
+        ));
+        out.push_str(&format!(
+            "  adversarial   : {:?} (lambda {}), shared embeddings: {}\n",
+            self.config.adversarial, self.config.lambda, self.config.shared_embeddings
+        ));
+        out.push_str(&format!(
+            "  D group       : {} params / {} scalars (item+user towers, encoders, bias)\n",
+            self.d_group.len(),
+            scalars_of(&self.d_group)
+        ));
+        out.push_str(&format!(
+            "  G group       : {} params / {} scalars (generator{})\n",
+            self.g_group.len(),
+            scalars_of(&self.g_group),
+            if self.config.shared_embeddings { " incl. shared tables" } else { "" }
+        ));
+        if !self.disc_group.is_empty() {
+            out.push_str(&format!(
+                "  discriminator : {} params / {} scalars\n",
+                self.disc_group.len(),
+                scalars_of(&self.disc_group)
+            ));
+        }
+        out.push_str(&format!("  total         : {} scalars\n", self.num_parameters()));
+        out
+    }
+
+    /// Serializes all weights.
+    pub fn save(&self) -> bytes::Bytes {
+        atnn_nn::save_store(&self.store)
+    }
+
+    /// Restores weights saved from an identically configured model.
+    pub fn load(&mut self, blob: bytes::Bytes) -> Result<(), atnn_nn::NnError> {
+        atnn_nn::load_store(&mut self.store, blob)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atnn_data::tmall::TmallConfig;
+
+    fn tiny_data() -> TmallDataset {
+        TmallDataset::generate(TmallConfig {
+            num_users: 60,
+            num_items: 120,
+            num_interactions: 600,
+            ..TmallConfig::tiny()
+        })
+    }
+
+    fn batch(
+        data: &TmallDataset,
+        rows: std::ops::Range<usize>,
+    ) -> (FeatureBlock, FeatureBlock, FeatureBlock, Matrix) {
+        let inter = &data.interactions[rows];
+        let items: Vec<u32> = inter.iter().map(|i| i.item).collect();
+        let users: Vec<u32> = inter.iter().map(|i| i.user).collect();
+        let labels = Matrix::from_fn(inter.len(), 1, |i, _| inter[i].clicked as u8 as f32);
+        (
+            data.encode_item_profiles(&items),
+            data.encode_item_stats(&items),
+            data.encode_users(&users),
+            labels,
+        )
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let data = tiny_data();
+        let model = Atnn::new(AtnnConfig::scaled(), &data);
+        let (profile, stats, users, _) = batch(&data, 0..10);
+        let mut g = Graph::new();
+        let iv = model.item_vec_full(&mut g, &profile, &stats);
+        let gv = model.item_vec_generated(&mut g, &profile);
+        let uv = model.user_vec(&mut g, &users);
+        assert_eq!(g.value(iv).shape(), (10, 16));
+        assert_eq!(g.value(gv).shape(), (10, 16));
+        assert_eq!(g.value(uv).shape(), (10, 16));
+        let logits = model.score_logits(&mut g, iv, uv);
+        assert_eq!(g.value(logits).shape(), (10, 1));
+    }
+
+    #[test]
+    fn train_step_reduces_all_losses() {
+        let data = tiny_data();
+        let mut model = Atnn::new(AtnnConfig::scaled(), &data);
+        let (profile, stats, users, labels) = batch(&data, 0..64);
+        let first = model.train_step(&profile, &stats, &users, &labels);
+        let mut last = first;
+        for _ in 0..60 {
+            last = model.train_step(&profile, &stats, &users, &labels);
+        }
+        assert!(last.loss_i < first.loss_i, "{:?} -> {:?}", first, last);
+        assert!(last.loss_g < first.loss_g);
+        assert!(last.loss_s < first.loss_s, "generated vectors should approach encoded ones");
+    }
+
+    #[test]
+    fn similarity_mode_aligns_generated_and_encoded_vectors() {
+        let data = tiny_data();
+        let mut model = Atnn::new(AtnnConfig { lambda: 1.0, ..AtnnConfig::scaled() }, &data);
+        let (profile, stats, users, labels) = batch(&data, 0..64);
+        let cos_mean = |model: &Atnn| {
+            let gen = model.item_vectors_generated(&profile);
+            let full = model.item_vectors_full(&profile, &stats);
+            (0..gen.rows())
+                .map(|i| atnn_tensor::cosine(gen.row(i), full.row(i)))
+                .sum::<f32>()
+                / gen.rows() as f32
+        };
+        let before = cos_mean(&model);
+        for _ in 0..80 {
+            model.train_step(&profile, &stats, &users, &labels);
+        }
+        let after = cos_mean(&model);
+        assert!(after > before + 0.2, "alignment {before} -> {after}");
+        assert!(after > 0.7, "final alignment {after}");
+    }
+
+    #[test]
+    fn tnn_mode_skips_generator_phase() {
+        let data = tiny_data();
+        // Unshared embeddings: otherwise the D step legitimately moves the
+        // generator output through the shared profile tables.
+        let cfg = AtnnConfig { shared_embeddings: false, ..AtnnConfig::tnn_dcn() };
+        let mut model = Atnn::new(cfg, &data);
+        let (profile, stats, users, labels) = batch(&data, 0..32);
+        let gen_before = model.item_vectors_generated(&profile);
+        let losses = model.train_step(&profile, &stats, &users, &labels);
+        assert_eq!(losses.loss_g, 0.0);
+        assert_eq!(losses.loss_s, 0.0);
+        let gen_after = model.item_vectors_generated(&profile);
+        assert_eq!(gen_before, gen_after, "generator untouched in TNN mode");
+    }
+
+    #[test]
+    fn learned_discriminator_mode_trains() {
+        let data = tiny_data();
+        let cfg = AtnnConfig {
+            adversarial: AdversarialMode::LearnedDiscriminator,
+            ..AtnnConfig::scaled()
+        };
+        let mut model = Atnn::new(cfg, &data);
+        let (profile, stats, users, labels) = batch(&data, 0..32);
+        let mut last = StepLosses::default();
+        for _ in 0..10 {
+            last = model.train_step(&profile, &stats, &users, &labels);
+        }
+        assert!(last.loss_disc > 0.0 && last.loss_disc.is_finite());
+        assert!(last.loss_s.is_finite());
+    }
+
+    #[test]
+    fn shared_embeddings_flag_controls_table_identity() {
+        let data = tiny_data();
+        let shared = Atnn::new(AtnnConfig::scaled(), &data);
+        assert_eq!(
+            shared.profile_encoder.embedding_params(),
+            shared.generator_encoder.embedding_params()
+        );
+        let unshared =
+            Atnn::new(AtnnConfig { shared_embeddings: false, ..AtnnConfig::scaled() }, &data);
+        assert_ne!(
+            unshared.profile_encoder.embedding_params(),
+            unshared.generator_encoder.embedding_params()
+        );
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_predictions() {
+        let data = tiny_data();
+        let mut model = Atnn::new(AtnnConfig::scaled(), &data);
+        let (profile, stats, users, labels) = batch(&data, 0..32);
+        for _ in 0..5 {
+            model.train_step(&profile, &stats, &users, &labels);
+        }
+        let expected = model.predict_ctr_generated(&profile, &users);
+        let blob = model.save();
+        let mut fresh = Atnn::new(AtnnConfig::scaled(), &data);
+        assert_ne!(fresh.predict_ctr_generated(&profile, &users), expected);
+        fresh.load(blob).unwrap();
+        assert_eq!(fresh.predict_ctr_generated(&profile, &users), expected);
+    }
+
+    #[test]
+    fn predictions_are_probabilities() {
+        let data = tiny_data();
+        let model = Atnn::new(AtnnConfig::scaled(), &data);
+        let (profile, stats, users, _) = batch(&data, 0..40);
+        for p in model
+            .predict_ctr_full(&profile, &stats, &users)
+            .into_iter()
+            .chain(model.predict_ctr_generated(&profile, &users))
+        {
+            assert!((0.0..=1.0).contains(&p), "p={p}");
+        }
+    }
+
+    #[test]
+    fn describe_reports_groups_and_totals() {
+        let data = tiny_data();
+        let model = Atnn::new(AtnnConfig::scaled(), &data);
+        let s = model.describe();
+        assert!(s.contains("Deep & Cross"));
+        assert!(s.contains("shared embeddings: true"));
+        assert!(s.contains(&format!("total         : {} scalars", model.num_parameters())));
+        // With sharing, G-group scalars are a subset of the total, and the
+        // D+G breakdown overlaps on the shared tables (sum >= total).
+        let disc_model = Atnn::new(
+            AtnnConfig {
+                adversarial: AdversarialMode::LearnedDiscriminator,
+                ..AtnnConfig::scaled()
+            },
+            &data,
+        );
+        assert!(disc_model.describe().contains("discriminator"));
+    }
+
+    #[test]
+    fn imputed_stats_block_repeats_means() {
+        let block = Atnn::imputed_stats_block(3, &[1.0, 2.0]);
+        assert_eq!(block.numeric.shape(), (3, 2));
+        for i in 0..3 {
+            assert_eq!(block.numeric.row(i), &[1.0, 2.0]);
+        }
+    }
+}

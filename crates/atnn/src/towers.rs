@@ -1,0 +1,164 @@
+//! One tower of the two-tower architecture: Deep & Cross over an encoded
+//! input, projected to the shared vector space.
+//!
+//! Per the paper, "Deep & Cross Network (DCN) is utilized in all generators
+//! and encoders": the tower runs a cross stack and a deep MLP in parallel
+//! over the same input, concatenates the two, and projects to `vec_dim`.
+//! With `use_cross = false` the tower is the fully connected variant used
+//! by the TNN-FC baseline.
+
+use atnn_autograd::{Graph, ParamId, ParamStore, Var};
+use atnn_nn::{Activation, CrossNet, Linear, Mlp};
+use atnn_tensor::{Init, Rng64};
+
+/// A DCN (or FC) tower `input -> vec_dim`.
+#[derive(Debug, Clone)]
+pub struct Tower {
+    cross: Option<CrossNet>,
+    deep: Mlp,
+    project: Linear,
+    in_dim: usize,
+    vec_dim: usize,
+}
+
+impl Tower {
+    /// Builds a tower over inputs of width `in_dim`.
+    ///
+    /// `deep_dims` are the hidden widths of the deep half; the projection
+    /// layer maps `[cross_out | deep_out]` (or just `deep_out`) to
+    /// `vec_dim`.
+    // The argument list mirrors the AtnnConfig fields one-to-one; a
+    // builder here would just restate the config struct.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut Rng64,
+        name: &str,
+        in_dim: usize,
+        deep_dims: &[usize],
+        cross_depth: usize,
+        use_cross: bool,
+        vec_dim: usize,
+    ) -> Self {
+        let cross = (use_cross && cross_depth > 0)
+            .then(|| CrossNet::new(store, rng, &format!("{name}.cross"), in_dim, cross_depth));
+        let mut mlp_dims = vec![in_dim];
+        mlp_dims.extend_from_slice(deep_dims);
+        let deep = Mlp::new(store, rng, &format!("{name}.deep"), &mlp_dims, Activation::Relu);
+        let combined = deep.out_dim() + cross.as_ref().map_or(0, |_| in_dim);
+        let project = Linear::new(
+            store,
+            rng,
+            &format!("{name}.project"),
+            combined,
+            vec_dim,
+            Init::XavierUniform,
+            true,
+        );
+        Tower { cross, deep, project, in_dim, vec_dim }
+    }
+
+    /// Forward pass: `[batch, in_dim] -> [batch, vec_dim]`.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: Var) -> Var {
+        debug_assert_eq!(g.value(x).cols(), self.in_dim, "Tower input width");
+        let deep_out = self.deep.forward(g, store, x);
+        let combined = match &self.cross {
+            Some(cross) => {
+                let cross_out = cross.forward(g, store, x);
+                g.concat_cols(cross_out, deep_out)
+            }
+            None => deep_out,
+        };
+        self.project.forward(g, store, combined)
+    }
+
+    /// All parameter handles of the tower.
+    pub fn params(&self) -> Vec<ParamId> {
+        let mut ids = Vec::new();
+        if let Some(c) = &self.cross {
+            ids.extend(c.params());
+        }
+        ids.extend(self.deep.params());
+        ids.extend(self.project.params());
+        ids
+    }
+
+    /// Output vector width.
+    pub fn vec_dim(&self) -> usize {
+        self.vec_dim
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Whether the cross stack is present.
+    pub fn has_cross(&self) -> bool {
+        self.cross.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atnn_tensor::Matrix;
+
+    fn build(use_cross: bool, cross_depth: usize) -> (ParamStore, Tower) {
+        let mut store = ParamStore::new();
+        let mut rng = Rng64::seed_from_u64(0);
+        let tower =
+            Tower::new(&mut store, &mut rng, "t", 10, &[16, 8], cross_depth, use_cross, 4);
+        (store, tower)
+    }
+
+    #[test]
+    fn output_shape_is_vec_dim() {
+        for (use_cross, depth) in [(true, 2), (false, 2), (true, 0)] {
+            let (store, tower) = build(use_cross, depth);
+            let mut g = Graph::new();
+            let x = g.input(Matrix::from_fn(5, 10, |i, j| ((i + j) % 3) as f32 * 0.1));
+            let v = tower.forward(&mut g, &store, x);
+            assert_eq!(g.value(v).shape(), (5, 4));
+            assert_eq!(tower.vec_dim(), 4);
+            assert_eq!(tower.in_dim(), 10);
+        }
+    }
+
+    #[test]
+    fn cross_flag_controls_structure_and_params() {
+        let (_, dcn) = build(true, 2);
+        let (_, fc) = build(false, 2);
+        assert!(dcn.has_cross());
+        assert!(!fc.has_cross());
+        assert!(dcn.params().len() > fc.params().len());
+        let (_, zero_depth) = build(true, 0);
+        assert!(!zero_depth.has_cross(), "depth 0 disables crossing");
+    }
+
+    #[test]
+    fn tower_is_trainable_end_to_end() {
+        // Regress the tower onto a linear function of its input — a task a
+        // DCN tower must fit almost exactly.
+        let (mut store, tower) = build(true, 2);
+        let mut rng = Rng64::seed_from_u64(9);
+        let x = Matrix::from_fn(16, 10, |_, _| rng.normal_with(0.0, 0.5));
+        let y = Matrix::from_fn(16, 4, |i, j| 0.5 * x.get(i, j));
+        let params = tower.params();
+        let mut last = f32::INFINITY;
+        for _ in 0..150 {
+            store.zero_grads(&params);
+            let mut g = Graph::new();
+            let xv = g.input(x.clone());
+            let v = tower.forward(&mut g, &store, xv);
+            let loss = g.mse_loss(v, &y);
+            last = g.value(loss).get(0, 0);
+            g.backward(loss, &mut store);
+            for &p in &params {
+                let grad = store.grad(p).clone();
+                store.value_mut(p).add_assign_scaled(&grad, -0.05).unwrap();
+            }
+        }
+        assert!(last < 0.05, "tower failed to fit: {last}");
+    }
+}

@@ -1,0 +1,383 @@
+//! Training loop and evaluation for the CTR task (paper §IV-A).
+
+use atnn_data::dataset::BatchIter;
+use atnn_data::schema::FeatureBlock;
+use atnn_data::tmall::TmallDataset;
+use atnn_tensor::{Matrix, Rng64};
+
+use crate::model::{Atnn, StepLosses};
+
+/// Options for [`CtrTrainer`].
+#[derive(Debug, Clone)]
+pub struct TrainOptions {
+    /// Passes over the training interactions.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Shuffle seed.
+    pub seed: u64,
+    /// Print one line per epoch to stderr.
+    pub verbose: bool,
+    /// Keep only this fraction of *negative* training rows (standard CTR
+    /// imbalance handling; positives always survive). `None` trains on
+    /// everything. Ranking metrics (AUC) are unaffected by the induced
+    /// base-rate shift; calibrated probabilities need
+    /// [`atnn_data::dataset::recalibrate_probability`].
+    pub negative_keep_rate: Option<f32>,
+}
+
+impl Default for TrainOptions {
+    fn default() -> Self {
+        TrainOptions {
+            epochs: 2,
+            batch_size: 256,
+            seed: 97,
+            verbose: false,
+            negative_keep_rate: None,
+        }
+    }
+}
+
+/// Mean losses of one epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochStats {
+    /// 0-based epoch index.
+    pub epoch: usize,
+    /// Mean `L_i` over batches.
+    pub loss_i: f32,
+    /// Mean `L_g` over batches.
+    pub loss_g: f32,
+    /// Mean `L_s` over batches.
+    pub loss_s: f32,
+    /// Validation AUC of the generated (cold-start) path, when a
+    /// validation set was supplied.
+    pub val_auc: Option<f64>,
+}
+
+/// Per-epoch training record.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// One entry per epoch (possibly fewer than requested when early
+    /// stopping fires).
+    pub epochs: Vec<EpochStats>,
+    /// Epoch whose weights the model ended up with (differs from the last
+    /// epoch when early stopping restored a better checkpoint).
+    pub best_epoch: usize,
+}
+
+/// Drives [`Atnn::train_step`] over a [`TmallDataset`] interaction log.
+#[derive(Debug, Clone)]
+pub struct CtrTrainer {
+    opts: TrainOptions,
+}
+
+impl CtrTrainer {
+    /// Creates a trainer.
+    pub fn new(opts: TrainOptions) -> Self {
+        CtrTrainer { opts }
+    }
+
+    /// Trains on `rows` (indices into `data.interactions`; `None` = all).
+    pub fn train(&self, model: &mut Atnn, data: &TmallDataset, rows: Option<&[u32]>) -> TrainReport {
+        self.run(model, data, rows, None, 0)
+    }
+
+    /// Trains with early stopping: after each epoch the cold-start
+    /// (generated-path) AUC on `val_rows` is measured; when it fails to
+    /// improve for `patience` consecutive epochs, training stops and the
+    /// weights of the best epoch are restored.
+    pub fn train_with_validation(
+        &self,
+        model: &mut Atnn,
+        data: &TmallDataset,
+        train_rows: &[u32],
+        val_rows: &[u32],
+        patience: usize,
+    ) -> TrainReport {
+        assert!(!val_rows.is_empty(), "CtrTrainer: empty validation set");
+        self.run(model, data, Some(train_rows), Some(val_rows), patience)
+    }
+
+    fn run(
+        &self,
+        model: &mut Atnn,
+        data: &TmallDataset,
+        rows: Option<&[u32]>,
+        val_rows: Option<&[u32]>,
+        patience: usize,
+    ) -> TrainReport {
+        let all: Vec<u32>;
+        let rows = match rows {
+            Some(r) => r,
+            None => {
+                all = (0..data.interactions.len() as u32).collect();
+                &all
+            }
+        };
+        assert!(!rows.is_empty(), "CtrTrainer: empty training set");
+        let rows: Vec<u32> = match self.opts.negative_keep_rate {
+            Some(keep) => {
+                let labels: Vec<bool> =
+                    rows.iter().map(|&r| data.interactions[r as usize].clicked).collect();
+                let mut rng = Rng64::seed_from_u64(self.opts.seed ^ 0x0DD5);
+                atnn_data::dataset::downsample_negatives(&labels, keep, &mut rng)
+                    .into_iter()
+                    .map(|i| rows[i as usize])
+                    .collect()
+            }
+            None => rows.to_vec(),
+        };
+        assert!(!rows.is_empty(), "CtrTrainer: downsampling removed every row");
+        let mut iter = BatchIter::new(
+            rows.clone(),
+            self.opts.batch_size,
+            Rng64::seed_from_u64(self.opts.seed),
+        );
+        let mut report = TrainReport { epochs: Vec::with_capacity(self.opts.epochs), best_epoch: 0 };
+        let mut best_auc = f64::NEG_INFINITY;
+        let mut best_weights: Option<bytes::Bytes> = None;
+        let mut since_best = 0usize;
+        for epoch in 0..self.opts.epochs {
+            let mut acc = StepLosses::default();
+            let mut batches = 0usize;
+            while let Some(batch) = iter.next_batch() {
+                let (profile, stats, users, labels) = gather_batch(data, batch);
+                let losses = model.train_step(&profile, &stats, &users, &labels);
+                acc.loss_i += losses.loss_i;
+                acc.loss_g += losses.loss_g;
+                acc.loss_s += losses.loss_s;
+                batches += 1;
+            }
+            iter.next_epoch();
+            let n = batches.max(1) as f32;
+            let val_auc = val_rows
+                .map(|rows| evaluate_auc_generated(model, data, rows).unwrap_or(0.5));
+            let stats = EpochStats {
+                epoch,
+                loss_i: acc.loss_i / n,
+                loss_g: acc.loss_g / n,
+                loss_s: acc.loss_s / n,
+                val_auc,
+            };
+            if self.opts.verbose {
+                eprintln!(
+                    "epoch {epoch}: L_i={:.4} L_g={:.4} L_s={:.4}{}",
+                    stats.loss_i,
+                    stats.loss_g,
+                    stats.loss_s,
+                    val_auc.map(|a| format!(" val_auc={a:.4}")).unwrap_or_default()
+                );
+            }
+            report.epochs.push(stats);
+
+            if let Some(auc) = val_auc {
+                if auc > best_auc {
+                    best_auc = auc;
+                    report.best_epoch = epoch;
+                    best_weights = Some(model.save());
+                    since_best = 0;
+                } else {
+                    since_best += 1;
+                    if since_best > patience {
+                        break;
+                    }
+                }
+            } else {
+                report.best_epoch = epoch;
+            }
+        }
+        if let Some(blob) = best_weights {
+            model.load(blob).expect("restore best checkpoint");
+        }
+        report
+    }
+}
+
+/// Materializes the feature blocks and labels of a batch of interaction
+/// rows.
+pub fn gather_batch(
+    data: &TmallDataset,
+    rows: &[u32],
+) -> (FeatureBlock, FeatureBlock, FeatureBlock, Matrix) {
+    let items: Vec<u32> = rows.iter().map(|&r| data.interactions[r as usize].item).collect();
+    let users: Vec<u32> = rows.iter().map(|&r| data.interactions[r as usize].user).collect();
+    let labels = Matrix::from_fn(rows.len(), 1, |i, _| {
+        data.interactions[rows[i] as usize].clicked as u8 as f32
+    });
+    (data.encode_item_profiles(&items), data.encode_item_stats(&items), data.encode_users(&users), labels)
+}
+
+const EVAL_BATCH: usize = 512;
+
+/// AUC of the full-feature encoder path over interaction `rows` (the
+/// paper's "AUC for complete item features" column).
+pub fn evaluate_auc_full(model: &Atnn, data: &TmallDataset, rows: &[u32]) -> Option<f64> {
+    evaluate_auc_with(data, rows, |profile, stats, users| {
+        model.predict_ctr_full(profile, stats, users)
+    })
+}
+
+/// AUC of the generated (profile-only) path — ATNN's cold-start column.
+pub fn evaluate_auc_generated(model: &Atnn, data: &TmallDataset, rows: &[u32]) -> Option<f64> {
+    evaluate_auc_with(data, rows, |profile, _stats, users| {
+        model.predict_ctr_generated(profile, users)
+    })
+}
+
+/// AUC of the encoder path with statistics *imputed* by `means` — how a
+/// statistics-hungry model degrades on cold items (the baselines'
+/// "profile only" column).
+pub fn evaluate_auc_imputed(
+    model: &Atnn,
+    data: &TmallDataset,
+    rows: &[u32],
+    means: &[f32],
+) -> Option<f64> {
+    evaluate_auc_with(data, rows, |profile, _stats, users| {
+        let imputed = Atnn::imputed_stats_block(profile.len(), means);
+        model.predict_ctr_full(profile, &imputed, users)
+    })
+}
+
+fn evaluate_auc_with(
+    data: &TmallDataset,
+    rows: &[u32],
+    mut predict: impl FnMut(&FeatureBlock, &FeatureBlock, &FeatureBlock) -> Vec<f32>,
+) -> Option<f64> {
+    let mut scores = Vec::with_capacity(rows.len());
+    let mut labels = Vec::with_capacity(rows.len());
+    for chunk in rows.chunks(EVAL_BATCH) {
+        let (profile, stats, users, y) = gather_batch(data, chunk);
+        scores.extend(predict(&profile, &stats, &users));
+        labels.extend(y.as_slice().iter().map(|&v| v > 0.5));
+    }
+    atnn_metrics::auc(&scores, &labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AtnnConfig;
+    use atnn_data::dataset::Split;
+    use atnn_data::tmall::TmallConfig;
+
+    fn data() -> TmallDataset {
+        TmallDataset::generate(TmallConfig {
+            num_users: 150,
+            num_items: 300,
+            num_interactions: 4_000,
+            ..TmallConfig::tiny()
+        })
+    }
+
+    #[test]
+    fn training_improves_full_path_auc_on_held_out_items() {
+        let data = data();
+        // Cold-start split: hold out item ids >= 240 entirely.
+        let item_keys: Vec<u32> = data.interactions.iter().map(|i| i.item).collect();
+        let split = Split::by_group(&item_keys, |item| item >= 240);
+        let mut model = Atnn::new(AtnnConfig::scaled(), &data);
+        let before = evaluate_auc_full(&model, &data, &split.test).unwrap();
+        let report = CtrTrainer::new(TrainOptions { epochs: 2, ..Default::default() })
+            .train(&mut model, &data, Some(&split.train));
+        let after = evaluate_auc_full(&model, &data, &split.test).unwrap();
+        assert!(after > before.max(0.55), "AUC {before} -> {after}");
+        // Losses decline across epochs.
+        assert!(report.epochs[1].loss_i <= report.epochs[0].loss_i + 0.01);
+    }
+
+    #[test]
+    fn generated_path_beats_untrained_after_training() {
+        let data = data();
+        let item_keys: Vec<u32> = data.interactions.iter().map(|i| i.item).collect();
+        let split = Split::by_group(&item_keys, |item| item >= 240);
+        let mut model = Atnn::new(AtnnConfig::scaled(), &data);
+        CtrTrainer::new(TrainOptions { epochs: 2, ..Default::default() })
+            .train(&mut model, &data, Some(&split.train));
+        let gen_auc = evaluate_auc_generated(&model, &data, &split.test).unwrap();
+        assert!(gen_auc > 0.55, "cold-start AUC {gen_auc}");
+    }
+
+    #[test]
+    fn gather_batch_aligns_rows() {
+        let data = data();
+        let (profile, stats, users, labels) = gather_batch(&data, &[0, 5, 9]);
+        assert_eq!(profile.len(), 3);
+        assert_eq!(stats.len(), 3);
+        assert_eq!(users.len(), 3);
+        assert_eq!(labels.shape(), (3, 1));
+        let i5 = &data.interactions[5];
+        assert_eq!(labels.get(1, 0), i5.clicked as u8 as f32);
+    }
+
+    #[test]
+    fn negative_downsampling_still_learns() {
+        let data = data();
+        let item_keys: Vec<u32> = data.interactions.iter().map(|i| i.item).collect();
+        let split = Split::by_group(&item_keys, |item| item >= 240);
+        let mut model = Atnn::new(AtnnConfig::scaled(), &data);
+        let opts = TrainOptions {
+            epochs: 3,
+            negative_keep_rate: Some(0.4),
+            ..Default::default()
+        };
+        CtrTrainer::new(opts).train(&mut model, &data, Some(&split.train));
+        let auc = evaluate_auc_full(&model, &data, &split.test).unwrap();
+        assert!(auc > 0.62, "downsampled training must still rank: {auc:.4}");
+    }
+
+    #[test]
+    fn early_stopping_restores_best_weights() {
+        let data = data();
+        let item_keys: Vec<u32> = data.interactions.iter().map(|i| i.item).collect();
+        let split = Split::by_group(&item_keys, |item| item >= 240);
+        // Split off a validation slice of the *training* interactions so
+        // the test items stay untouched.
+        let (val, train) = split.train.split_at(split.train.len() / 5);
+        let mut model = Atnn::new(AtnnConfig::scaled(), &data);
+        let report = CtrTrainer::new(TrainOptions { epochs: 4, ..Default::default() })
+            .train_with_validation(&mut model, &data, train, val, 1);
+        assert!(!report.epochs.is_empty());
+        assert!(report.best_epoch < report.epochs.len());
+        for e in &report.epochs {
+            assert!(e.val_auc.is_some());
+        }
+        // The restored model scores exactly the best epoch's AUC.
+        let restored_auc = evaluate_auc_generated(&model, &data, val).unwrap();
+        let best_recorded = report.epochs[report.best_epoch].val_auc.unwrap();
+        assert!(
+            (restored_auc - best_recorded).abs() < 1e-9,
+            "restored {restored_auc} vs best {best_recorded}"
+        );
+        // And it is the max over all epochs.
+        for e in &report.epochs {
+            assert!(e.val_auc.unwrap() <= best_recorded + 1e-9);
+        }
+    }
+
+    #[test]
+    fn early_stopping_halts_before_epoch_budget() {
+        let data = data();
+        let item_keys: Vec<u32> = data.interactions.iter().map(|i| i.item).collect();
+        let split = Split::by_group(&item_keys, |item| item >= 240);
+        let (val, train) = split.train.split_at(split.train.len() / 5);
+        let mut model = Atnn::new(AtnnConfig::scaled(), &data);
+        // Patience 0: stop at the first non-improving epoch. With a large
+        // epoch budget this must terminate well before exhausting it.
+        let report = CtrTrainer::new(TrainOptions { epochs: 50, ..Default::default() })
+            .train_with_validation(&mut model, &data, train, val, 0);
+        assert!(
+            report.epochs.len() < 50,
+            "expected an early stop, ran all {} epochs",
+            report.epochs.len()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty training set")]
+    fn rejects_empty_training_set() {
+        let data = data();
+        let mut model = Atnn::new(AtnnConfig::scaled(), &data);
+        let _ = CtrTrainer::new(TrainOptions::default()).train(&mut model, &data, Some(&[]));
+    }
+}

@@ -1,0 +1,125 @@
+//! Finite-difference gradient checking.
+//!
+//! Every differentiable op in this crate is validated against central
+//! differences (see `tests/grad_check.rs`); these helpers are public so
+//! downstream crates (layers, models) can check their own compositions.
+
+use atnn_tensor::Matrix;
+
+use crate::{Graph, ParamId, ParamStore};
+
+/// Central-difference gradient of `loss_fn` with respect to `param`.
+///
+/// `loss_fn` must be a pure function of the store (it is invoked many
+/// times with perturbed parameter values).
+pub fn numeric_gradient(
+    store: &mut ParamStore,
+    param: ParamId,
+    eps: f32,
+    mut loss_fn: impl FnMut(&ParamStore) -> f32,
+) -> Matrix {
+    let (rows, cols) = store.value(param).shape();
+    let mut grad = Matrix::zeros(rows, cols);
+    for i in 0..rows * cols {
+        let original = store.value(param).as_slice()[i];
+        store.value_mut(param).as_mut_slice()[i] = original + eps;
+        let up = loss_fn(store);
+        store.value_mut(param).as_mut_slice()[i] = original - eps;
+        let down = loss_fn(store);
+        store.value_mut(param).as_mut_slice()[i] = original;
+        grad.as_mut_slice()[i] = (up - down) / (2.0 * eps);
+    }
+    grad
+}
+
+/// Checks the analytic gradients of `build` against central differences for
+/// every parameter in `params`.
+///
+/// `build` constructs the forward graph and returns the scalar loss node.
+/// Returns `Err` with a human-readable description of the worst mismatch
+/// when any element differs by more than `tol` (relative to magnitude).
+pub fn check_gradients(
+    store: &mut ParamStore,
+    params: &[ParamId],
+    tol: f32,
+    mut build: impl FnMut(&mut Graph, &ParamStore) -> crate::Var,
+) -> Result<(), String> {
+    // Analytic pass.
+    store.zero_all_grads();
+    let mut graph = Graph::new();
+    let loss = build(&mut graph, store);
+    graph.backward(loss, store);
+    let analytic: Vec<Matrix> = params.iter().map(|&p| store.grad(p).clone()).collect();
+
+    for (k, &param) in params.iter().enumerate() {
+        let numeric = numeric_gradient(store, param, 1e-2, |s| {
+            let mut g = Graph::new();
+            let l = build(&mut g, s);
+            g.value(l).get(0, 0)
+        });
+        for i in 0..numeric.len() {
+            let a = analytic[k].as_slice()[i];
+            let n = numeric.as_slice()[i];
+            let denom = 1.0f32.max(a.abs()).max(n.abs());
+            if (a - n).abs() / denom > tol {
+                return Err(format!(
+                    "param '{}' element {i}: analytic {a} vs numeric {n}",
+                    store.name(param)
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atnn_tensor::{Init, Rng64};
+
+    #[test]
+    fn numeric_gradient_of_quadratic() {
+        // loss = sum(x^2) -> grad = 2x
+        let mut store = ParamStore::new();
+        let p = store.add("x", Matrix::row_vector(&[1.0, -2.0, 0.5]));
+        let g = numeric_gradient(&mut store, p, 1e-3, |s| {
+            s.value(p).as_slice().iter().map(|&v| v * v).sum()
+        });
+        for (got, want) in g.as_slice().iter().zip([2.0, -4.0, 1.0]) {
+            assert!((got - want).abs() < 1e-2, "{got} vs {want}");
+        }
+        // The store must be restored to its original values afterwards.
+        assert_eq!(store.value(p).as_slice(), &[1.0, -2.0, 0.5]);
+    }
+
+    #[test]
+    fn check_gradients_accepts_correct_graph() {
+        let mut rng = Rng64::seed_from_u64(10);
+        let mut store = ParamStore::new();
+        let w = store.add("w", Init::Normal(0.5).sample(3, 2, &mut rng));
+        let x = Init::Normal(1.0).sample(4, 3, &mut rng);
+        let y = Init::Normal(1.0).sample(4, 2, &mut rng);
+        check_gradients(&mut store, &[w], 1e-2, |g, s| {
+            let xv = g.input(x.clone());
+            let wv = g.param(s, w);
+            let pred = g.matmul(xv, wv);
+            g.mse_loss(pred, &y)
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn check_gradients_rejects_wrong_graph() {
+        // Cheat: scale the loss in the analytic pass only, via a counter.
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::row_vector(&[1.0]));
+        let mut calls = 0u32;
+        let result = check_gradients(&mut store, &[w], 1e-3, move |g, s| {
+            calls += 1;
+            let wv = g.param(s, w);
+            let scaled = g.mul_scalar(wv, if calls == 1 { 3.0 } else { 1.0 });
+            g.sum(scaled)
+        });
+        assert!(result.is_err());
+    }
+}

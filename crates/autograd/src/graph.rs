@@ -1,0 +1,744 @@
+//! The tape: eager-forward, reverse-backward computation graph.
+
+use atnn_tensor::Matrix;
+
+use crate::{ParamId, ParamStore};
+
+/// Handle to a node on the tape. Only valid for the [`Graph`] that issued it
+/// and only until [`Graph::clear`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(usize);
+
+#[derive(Debug)]
+enum Op {
+    /// Leaf with no gradient (mini-batch features, labels, constants).
+    Input,
+    /// Leaf backed by a parameter slot; gradients flow into the store.
+    Param(ParamId),
+    /// Sparse row lookup into a parameter (embedding tables).
+    Gather { param: ParamId, indices: Vec<u32> },
+    MatMul(Var, Var),
+    Add(Var, Var),
+    Sub(Var, Var),
+    Mul(Var, Var),
+    AddRowBroadcast(Var, Var),
+    MulRowBroadcast(Var, Var),
+    ScaleRows(Var, Var),
+    RowwiseDot(Var, Var),
+    RowwiseCosine(Var, Var),
+    ConcatCols(Var, Var),
+    Sigmoid(Var),
+    Tanh(Var),
+    Relu(Var),
+    LeakyRelu(Var, f32),
+    Rsqrt(Var, f32),
+    MulScalar(Var, f32),
+    // The offset is not needed for the backward pass but kept for Debug.
+    AddScalar(Var, #[allow(dead_code)] f32),
+    MulMask(Var, Matrix),
+    Mean(Var),
+    Sum(Var),
+    MseLoss { pred: Var, target: Matrix },
+    BceWithLogits { logits: Var, targets: Matrix },
+    // The parent is deliberately not visited in backward; kept for Debug.
+    Detach(#[allow(dead_code)] Var),
+}
+
+#[derive(Debug)]
+struct Node {
+    op: Op,
+    value: Matrix,
+}
+
+/// A computation tape. Build one per mini-batch (or call [`Graph::clear`]
+/// to reuse the allocation), run ops eagerly, then call
+/// [`Graph::backward`] on a scalar loss.
+#[derive(Debug, Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+/// Numerically stable logistic function.
+#[inline]
+pub(crate) fn sigmoid(z: f32) -> f32 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+impl Graph {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops all nodes but keeps the allocation, ready for the next batch.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+    }
+
+    /// Number of nodes currently on the tape.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The forward value of a node.
+    pub fn value(&self, var: Var) -> &Matrix {
+        &self.nodes[var.0].value
+    }
+
+    fn push(&mut self, op: Op, value: Matrix) -> Var {
+        self.nodes.push(Node { op, value });
+        Var(self.nodes.len() - 1)
+    }
+
+    fn val(&self, var: Var) -> &Matrix {
+        &self.nodes[var.0].value
+    }
+
+    // ------------------------------------------------------------------
+    // Leaves
+    // ------------------------------------------------------------------
+
+    /// Adds a gradient-free leaf (features, labels, constants).
+    pub fn input(&mut self, value: Matrix) -> Var {
+        self.push(Op::Input, value)
+    }
+
+    /// Adds a parameter leaf; its value is copied from the store and
+    /// gradients are routed back to the slot on `backward`.
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
+        self.push(Op::Param(id), store.value(id).clone())
+    }
+
+    /// Embedding lookup: returns the rows of `store[id]` at `indices`
+    /// (shape `indices.len() x dim`) without copying the full table.
+    ///
+    /// # Panics
+    /// Panics when any index is out of range for the table.
+    pub fn gather(&mut self, store: &ParamStore, id: ParamId, indices: &[u32]) -> Var {
+        let table = store.value(id);
+        let value = table
+            .select_rows(indices)
+            .unwrap_or_else(|e| panic!("gather from '{}': {e}", store.name(id)));
+        self.push(Op::Gather { param: id, indices: indices.to_vec() }, value)
+    }
+
+    // ------------------------------------------------------------------
+    // Binary ops
+    // ------------------------------------------------------------------
+
+    /// Matrix product `a @ b`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.val(a).matmul(self.val(b)).unwrap_or_else(|e| panic!("matmul: {e}"));
+        self.push(Op::MatMul(a, b), value)
+    }
+
+    /// Elementwise `a + b` (same shapes).
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let value = self.val(a).add(self.val(b)).unwrap_or_else(|e| panic!("add: {e}"));
+        self.push(Op::Add(a, b), value)
+    }
+
+    /// Elementwise `a - b` (same shapes).
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let value = self.val(a).sub(self.val(b)).unwrap_or_else(|e| panic!("sub: {e}"));
+        self.push(Op::Sub(a, b), value)
+    }
+
+    /// Elementwise `a * b` (same shapes).
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.val(a).hadamard(self.val(b)).unwrap_or_else(|e| panic!("mul: {e}"));
+        self.push(Op::Mul(a, b), value)
+    }
+
+    /// Adds a `1 x cols` bias row to every row of `x`.
+    pub fn add_row_broadcast(&mut self, x: Var, bias: Var) -> Var {
+        let value = self
+            .val(x)
+            .add_row_broadcast(self.val(bias))
+            .unwrap_or_else(|e| panic!("add_row_broadcast: {e}"));
+        self.push(Op::AddRowBroadcast(x, bias), value)
+    }
+
+    /// Multiplies every row of `x` elementwise by a `1 x cols` row vector
+    /// (e.g. a layer-norm gain).
+    pub fn mul_row_broadcast(&mut self, x: Var, scale: Var) -> Var {
+        let (xv, sv) = (self.val(x), self.val(scale));
+        assert_eq!(sv.rows(), 1, "mul_row_broadcast: scale must be 1 x cols");
+        assert_eq!(sv.cols(), xv.cols(), "mul_row_broadcast: width mismatch");
+        let mut value = xv.clone();
+        let s = sv.row(0).to_vec();
+        for i in 0..value.rows() {
+            for (v, &m) in value.row_mut(i).iter_mut().zip(&s) {
+                *v *= m;
+            }
+        }
+        self.push(Op::MulRowBroadcast(x, scale), value)
+    }
+
+    /// Scales row `i` of `x` by `s[i][0]` (`s` is `rows x 1`). This is the
+    /// `x0 * (x_l w)` term of a DCN cross layer.
+    pub fn scale_rows(&mut self, x: Var, s: Var) -> Var {
+        let value =
+            self.val(x).scale_rows(self.val(s)).unwrap_or_else(|e| panic!("scale_rows: {e}"));
+        self.push(Op::ScaleRows(x, s), value)
+    }
+
+    /// Row-wise dot product -> `rows x 1`. The two-tower scoring function
+    /// `H(v_item, v_user)` before the sigmoid.
+    pub fn rowwise_dot(&mut self, a: Var, b: Var) -> Var {
+        let value =
+            self.val(a).rowwise_dot(self.val(b)).unwrap_or_else(|e| panic!("rowwise_dot: {e}"));
+        self.push(Op::RowwiseDot(a, b), value)
+    }
+
+    /// Row-wise cosine similarity -> `rows x 1`. The similarity `S(·,·)` of
+    /// the paper's adversarial loss `L_s = mean((1 - s)^2)`.
+    pub fn rowwise_cosine(&mut self, a: Var, b: Var) -> Var {
+        let (av, bv) = (self.val(a), self.val(b));
+        assert_eq!(av.shape(), bv.shape(), "rowwise_cosine: shape mismatch");
+        let mut value = Matrix::zeros(av.rows(), 1);
+        for i in 0..av.rows() {
+            value.set(i, 0, atnn_tensor::cosine(av.row(i), bv.row(i)));
+        }
+        self.push(Op::RowwiseCosine(a, b), value)
+    }
+
+    /// Horizontal concatenation `[a | b]` (same row counts).
+    pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let value =
+            self.val(a).concat_cols(self.val(b)).unwrap_or_else(|e| panic!("concat_cols: {e}"));
+        self.push(Op::ConcatCols(a, b), value)
+    }
+
+    /// Concatenates many vars left-to-right.
+    pub fn concat_all(&mut self, vars: &[Var]) -> Var {
+        assert!(!vars.is_empty(), "concat_all: empty input");
+        let mut acc = vars[0];
+        for &v in &vars[1..] {
+            acc = self.concat_cols(acc, v);
+        }
+        acc
+    }
+
+    // ------------------------------------------------------------------
+    // Unary ops
+    // ------------------------------------------------------------------
+
+    /// Elementwise logistic function.
+    pub fn sigmoid(&mut self, x: Var) -> Var {
+        let value = self.val(x).map(sigmoid);
+        self.push(Op::Sigmoid(x), value)
+    }
+
+    /// Elementwise hyperbolic tangent.
+    pub fn tanh(&mut self, x: Var) -> Var {
+        let value = self.val(x).map(f32::tanh);
+        self.push(Op::Tanh(x), value)
+    }
+
+    /// Elementwise rectifier `max(x, 0)`.
+    pub fn relu(&mut self, x: Var) -> Var {
+        let value = self.val(x).map(|v| v.max(0.0));
+        self.push(Op::Relu(x), value)
+    }
+
+    /// Elementwise leaky rectifier (`alpha * x` for negative inputs).
+    pub fn leaky_relu(&mut self, x: Var, alpha: f32) -> Var {
+        let value = self.val(x).map(|v| if v > 0.0 { v } else { alpha * v });
+        self.push(Op::LeakyRelu(x, alpha), value)
+    }
+
+    /// Elementwise `1 / sqrt(x + eps)` (inputs must keep `x + eps > 0`,
+    /// which holds for the variance terms this op exists for).
+    pub fn rsqrt(&mut self, x: Var, eps: f32) -> Var {
+        let value = self.val(x).map(|v| 1.0 / (v + eps).sqrt());
+        self.push(Op::Rsqrt(x, eps), value)
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn mul_scalar(&mut self, x: Var, c: f32) -> Var {
+        let value = self.val(x).scale(c);
+        self.push(Op::MulScalar(x, c), value)
+    }
+
+    /// Adds a scalar to every element.
+    pub fn add_scalar(&mut self, x: Var, c: f32) -> Var {
+        let value = self.val(x).map(|v| v + c);
+        self.push(Op::AddScalar(x, c), value)
+    }
+
+    /// Elementwise multiply by a fixed (gradient-free) mask. With an
+    /// inverted-dropout mask (`0` or `1/keep_prob`) this is dropout.
+    pub fn mul_mask(&mut self, x: Var, mask: &Matrix) -> Var {
+        let value =
+            self.val(x).hadamard(mask).unwrap_or_else(|e| panic!("mul_mask: {e}"));
+        self.push(Op::MulMask(x, mask.clone()), value)
+    }
+
+    /// Mean of all elements -> `1 x 1`.
+    pub fn mean(&mut self, x: Var) -> Var {
+        let value = Matrix::full(1, 1, self.val(x).mean());
+        self.push(Op::Mean(x), value)
+    }
+
+    /// Sum of all elements -> `1 x 1`.
+    pub fn sum(&mut self, x: Var) -> Var {
+        let value = Matrix::full(1, 1, self.val(x).sum());
+        self.push(Op::Sum(x), value)
+    }
+
+    /// Identity in the forward pass; blocks gradients in the backward pass.
+    ///
+    /// Used in the generator step of Algorithm 1: the similarity target
+    /// `f_i(X_i)` is detached so the generator chases the encoder, not the
+    /// other way around.
+    pub fn detach(&mut self, x: Var) -> Var {
+        let value = self.val(x).clone();
+        self.push(Op::Detach(x), value)
+    }
+
+    // ------------------------------------------------------------------
+    // Losses
+    // ------------------------------------------------------------------
+
+    /// Mean squared error `mean((pred - target)^2)` -> `1 x 1`.
+    pub fn mse_loss(&mut self, pred: Var, target: &Matrix) -> Var {
+        let p = self.val(pred);
+        assert_eq!(p.shape(), target.shape(), "mse_loss: shape mismatch");
+        let n = p.len().max(1) as f32;
+        let loss = p
+            .as_slice()
+            .iter()
+            .zip(target.as_slice())
+            .map(|(&a, &b)| (a - b) * (a - b))
+            .sum::<f32>()
+            / n;
+        self.push(Op::MseLoss { pred, target: target.clone() }, Matrix::full(1, 1, loss))
+    }
+
+    /// Numerically stable sigmoid cross-entropy from *logits* -> `1 x 1`.
+    ///
+    /// This is the paper's `L_i` / `L_g` CTR loss:
+    /// `-(1/N) Σ [ y log ŷ + (1-y) log(1-ŷ) ]` with `ŷ = σ(logit)`.
+    pub fn bce_with_logits_loss(&mut self, logits: Var, targets: &Matrix) -> Var {
+        let z = self.val(logits);
+        assert_eq!(z.shape(), targets.shape(), "bce_with_logits_loss: shape mismatch");
+        let n = z.len().max(1) as f32;
+        // max(z,0) - y*z + ln(1 + exp(-|z|)) is the standard stable form.
+        let loss = z
+            .as_slice()
+            .iter()
+            .zip(targets.as_slice())
+            .map(|(&z, &y)| z.max(0.0) - y * z + (1.0 + (-z.abs()).exp()).ln())
+            .sum::<f32>()
+            / n;
+        self.push(
+            Op::BceWithLogits { logits, targets: targets.clone() },
+            Matrix::full(1, 1, loss),
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Backward
+    // ------------------------------------------------------------------
+
+    /// Reverse-mode sweep from the scalar `loss` node. Gradients of
+    /// parameter leaves are **accumulated** into `store` (call
+    /// [`ParamStore::zero_grads`] between steps).
+    ///
+    /// # Panics
+    /// Panics when `loss` is not `1 x 1`.
+    pub fn backward(&mut self, loss: Var, store: &mut ParamStore) {
+        assert_eq!(self.val(loss).shape(), (1, 1), "backward: loss must be a scalar node");
+        let mut grads: Vec<Option<Matrix>> = (0..self.nodes.len()).map(|_| None).collect();
+        grads[loss.0] = Some(Matrix::full(1, 1, 1.0));
+
+        for id in (0..=loss.0).rev() {
+            let Some(g) = grads[id].take() else { continue };
+            // Split-borrow: the node being processed vs. earlier nodes.
+            let (before, at) = self.nodes.split_at_mut(id);
+            let node = &at[0];
+            let val_of = |v: Var| -> &Matrix { &before[v.0].value };
+            match &node.op {
+                Op::Input => {}
+                Op::Param(pid) => {
+                    store
+                        .grad_mut(*pid)
+                        .add_assign_scaled(&g, 1.0)
+                        .expect("param grad shape");
+                }
+                Op::Gather { param, indices } => {
+                    let table = store.grad_mut(*param);
+                    for (r, &idx) in indices.iter().enumerate() {
+                        let row = table.row_mut(idx as usize);
+                        for (t, &d) in row.iter_mut().zip(g.row(r)) {
+                            *t += d;
+                        }
+                    }
+                }
+                Op::MatMul(a, b) => {
+                    let da = g.matmul_nt(val_of(*b)).expect("matmul da");
+                    let db = val_of(*a).matmul_tn(&g).expect("matmul db");
+                    accumulate(&mut grads, *a, da);
+                    accumulate(&mut grads, *b, db);
+                }
+                Op::Add(a, b) => {
+                    accumulate(&mut grads, *a, g.clone());
+                    accumulate(&mut grads, *b, g);
+                }
+                Op::Sub(a, b) => {
+                    accumulate(&mut grads, *a, g.clone());
+                    accumulate(&mut grads, *b, g.scale(-1.0));
+                }
+                Op::Mul(a, b) => {
+                    let da = g.hadamard(val_of(*b)).expect("mul da");
+                    let db = g.hadamard(val_of(*a)).expect("mul db");
+                    accumulate(&mut grads, *a, da);
+                    accumulate(&mut grads, *b, db);
+                }
+                Op::AddRowBroadcast(x, bias) => {
+                    accumulate(&mut grads, *bias, g.sum_rows());
+                    accumulate(&mut grads, *x, g);
+                }
+                Op::MulRowBroadcast(x, scale) => {
+                    let sv = val_of(*scale);
+                    // dx = g ⊙ (scale broadcast); dscale = column sums of g ⊙ x.
+                    let mut dx = g.clone();
+                    let srow = sv.row(0).to_vec();
+                    for i in 0..dx.rows() {
+                        for (v, &m) in dx.row_mut(i).iter_mut().zip(&srow) {
+                            *v *= m;
+                        }
+                    }
+                    let ds = g.hadamard(val_of(*x)).expect("mul_row_broadcast ds").sum_rows();
+                    accumulate(&mut grads, *x, dx);
+                    accumulate(&mut grads, *scale, ds);
+                }
+                Op::ScaleRows(x, s) => {
+                    let dx = g.scale_rows(val_of(*s)).expect("scale_rows dx");
+                    let ds = g.hadamard(val_of(*x)).expect("scale_rows ds").sum_cols();
+                    accumulate(&mut grads, *x, dx);
+                    accumulate(&mut grads, *s, ds);
+                }
+                Op::RowwiseDot(a, b) => {
+                    let da = val_of(*b).scale_rows(&g).expect("rowwise_dot da");
+                    let db = val_of(*a).scale_rows(&g).expect("rowwise_dot db");
+                    accumulate(&mut grads, *a, da);
+                    accumulate(&mut grads, *b, db);
+                }
+                Op::RowwiseCosine(a, b) => {
+                    let (av, bv) = (val_of(*a), val_of(*b));
+                    let cos = &node.value;
+                    let mut da = Matrix::zeros(av.rows(), av.cols());
+                    let mut db = Matrix::zeros(av.rows(), av.cols());
+                    for i in 0..av.rows() {
+                        let (ar, br) = (av.row(i), bv.row(i));
+                        let na = atnn_tensor::dot(ar, ar).sqrt();
+                        let nb = atnn_tensor::dot(br, br).sqrt();
+                        if na < 1e-12 || nb < 1e-12 {
+                            continue; // cosine defined as 0; treat as flat
+                        }
+                        let gi = g.get(i, 0);
+                        let c = cos.get(i, 0);
+                        let dar = da.row_mut(i);
+                        for ((d, &aj), &bj) in dar.iter_mut().zip(ar).zip(br) {
+                            *d = gi * (bj / (na * nb) - c * aj / (na * na));
+                        }
+                        let dbr = db.row_mut(i);
+                        for ((d, &aj), &bj) in dbr.iter_mut().zip(ar).zip(br) {
+                            *d = gi * (aj / (na * nb) - c * bj / (nb * nb));
+                        }
+                    }
+                    accumulate(&mut grads, *a, da);
+                    accumulate(&mut grads, *b, db);
+                }
+                Op::ConcatCols(a, b) => {
+                    let ca = val_of(*a).cols();
+                    let da = g.slice_cols(0, ca).expect("concat da");
+                    let db = g.slice_cols(ca, g.cols()).expect("concat db");
+                    accumulate(&mut grads, *a, da);
+                    accumulate(&mut grads, *b, db);
+                }
+                Op::Sigmoid(x) => {
+                    let y = &node.value;
+                    let mut dx = g;
+                    for (d, &yv) in dx.as_mut_slice().iter_mut().zip(y.as_slice()) {
+                        *d *= yv * (1.0 - yv);
+                    }
+                    accumulate(&mut grads, *x, dx);
+                }
+                Op::Tanh(x) => {
+                    let y = &node.value;
+                    let mut dx = g;
+                    for (d, &yv) in dx.as_mut_slice().iter_mut().zip(y.as_slice()) {
+                        *d *= 1.0 - yv * yv;
+                    }
+                    accumulate(&mut grads, *x, dx);
+                }
+                Op::Relu(x) => {
+                    let xv = val_of(*x);
+                    let mut dx = g;
+                    for (d, &v) in dx.as_mut_slice().iter_mut().zip(xv.as_slice()) {
+                        if v <= 0.0 {
+                            *d = 0.0;
+                        }
+                    }
+                    accumulate(&mut grads, *x, dx);
+                }
+                Op::LeakyRelu(x, alpha) => {
+                    let xv = val_of(*x);
+                    let mut dx = g;
+                    for (d, &v) in dx.as_mut_slice().iter_mut().zip(xv.as_slice()) {
+                        if v <= 0.0 {
+                            *d *= alpha;
+                        }
+                    }
+                    accumulate(&mut grads, *x, dx);
+                }
+                Op::Rsqrt(x, eps) => {
+                    // d/dx (x+eps)^(-1/2) = -1/2 (x+eps)^(-3/2) = -y³/2.
+                    let y = &node.value;
+                    let _ = eps;
+                    let mut dx = g;
+                    for (d, &yv) in dx.as_mut_slice().iter_mut().zip(y.as_slice()) {
+                        *d *= -0.5 * yv * yv * yv;
+                    }
+                    accumulate(&mut grads, *x, dx);
+                }
+                Op::MulScalar(x, c) => accumulate(&mut grads, *x, g.scale(*c)),
+                Op::AddScalar(x, _) => accumulate(&mut grads, *x, g),
+                Op::MulMask(x, mask) => {
+                    let dx = g.hadamard(mask).expect("mul_mask dx");
+                    accumulate(&mut grads, *x, dx);
+                }
+                Op::Mean(x) => {
+                    let xv = val_of(*x);
+                    let scale = g.get(0, 0) / xv.len().max(1) as f32;
+                    accumulate(&mut grads, *x, Matrix::full(xv.rows(), xv.cols(), scale));
+                }
+                Op::Sum(x) => {
+                    let xv = val_of(*x);
+                    accumulate(&mut grads, *x, Matrix::full(xv.rows(), xv.cols(), g.get(0, 0)));
+                }
+                Op::MseLoss { pred, target } => {
+                    let p = val_of(*pred);
+                    let scale = 2.0 * g.get(0, 0) / p.len().max(1) as f32;
+                    let mut dp = p.sub(target).expect("mse dp");
+                    dp.scale_assign(scale);
+                    accumulate(&mut grads, *pred, dp);
+                }
+                Op::BceWithLogits { logits, targets } => {
+                    let z = val_of(*logits);
+                    let scale = g.get(0, 0) / z.len().max(1) as f32;
+                    let mut dz = Matrix::zeros(z.rows(), z.cols());
+                    for ((d, &zv), &y) in
+                        dz.as_mut_slice().iter_mut().zip(z.as_slice()).zip(targets.as_slice())
+                    {
+                        *d = scale * (sigmoid(zv) - y);
+                    }
+                    accumulate(&mut grads, *logits, dz);
+                }
+                Op::Detach(_) => {}
+            }
+        }
+    }
+}
+
+fn accumulate(grads: &mut [Option<Matrix>], var: Var, delta: Matrix) {
+    match &mut grads[var.0] {
+        Some(existing) => existing
+            .add_assign_scaled(&delta, 1.0)
+            .expect("gradient accumulation shape mismatch"),
+        slot @ None => *slot = Some(delta),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atnn_tensor::{Init, Rng64};
+
+    fn store_with(shapes: &[(usize, usize)], seed: u64) -> (ParamStore, Vec<ParamId>) {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let ids = shapes
+            .iter()
+            .enumerate()
+            .map(|(i, &(r, c))| store.add(format!("p{i}"), Init::Normal(0.5).sample(r, c, &mut rng)))
+            .collect();
+        (store, ids)
+    }
+
+    #[test]
+    fn forward_values_match_manual() {
+        let mut g = Graph::new();
+        let x = g.input(Matrix::from_rows(&[&[1.0, -2.0]]).unwrap());
+        let r = g.relu(x);
+        assert_eq!(g.value(r).as_slice(), &[1.0, 0.0]);
+        let s = g.sigmoid(x);
+        assert!((g.value(s).get(0, 0) - sigmoid(1.0)).abs() < 1e-6);
+        let m = g.mean(x);
+        assert_eq!(g.value(m).get(0, 0), -0.5);
+    }
+
+    #[test]
+    fn linear_regression_converges() {
+        // y = 2x1 - 3x2 + 1 learned by gradient descent: end-to-end sanity of
+        // matmul/add_row_broadcast/mse backward.
+        let mut rng = Rng64::seed_from_u64(1);
+        let (mut store, ids) = store_with(&[(2, 1), (1, 1)], 2);
+        let (w, b) = (ids[0], ids[1]);
+        let xs = Init::Normal(1.0).sample(64, 2, &mut rng);
+        let ys = Matrix::from_fn(64, 1, |i, _| 2.0 * xs.get(i, 0) - 3.0 * xs.get(i, 1) + 1.0);
+        let mut last = f32::INFINITY;
+        for _ in 0..300 {
+            store.zero_all_grads();
+            let mut g = Graph::new();
+            let x = g.input(xs.clone());
+            let wv = g.param(&store, w);
+            let bv = g.param(&store, b);
+            let xw = g.matmul(x, wv);
+            let pred = g.add_row_broadcast(xw, bv);
+            let loss = g.mse_loss(pred, &ys);
+            last = g.value(loss).get(0, 0);
+            g.backward(loss, &mut store);
+            for &id in &[w, b] {
+                let grad = store.grad(id).clone();
+                store.value_mut(id).add_assign_scaled(&grad, -0.1).unwrap();
+            }
+        }
+        assert!(last < 1e-4, "final loss {last}");
+        assert!((store.value(w).get(0, 0) - 2.0).abs() < 0.01);
+        assert!((store.value(w).get(1, 0) + 3.0).abs() < 0.01);
+        assert!((store.value(b).get(0, 0) - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn gather_routes_sparse_gradients() {
+        let mut store = ParamStore::new();
+        let table = store.add("emb", Matrix::from_fn(4, 2, |i, j| (i * 2 + j) as f32));
+        let mut g = Graph::new();
+        let e = g.gather(&store, table, &[1, 3, 1]);
+        assert_eq!(g.value(e).row(0), &[2.0, 3.0]);
+        assert_eq!(g.value(e).row(1), &[6.0, 7.0]);
+        let s = g.sum(e);
+        g.backward(s, &mut store);
+        // Row 1 referenced twice -> grad 2; row 3 once -> 1; rows 0,2 -> 0.
+        assert_eq!(store.grad(table).row(0), &[0.0, 0.0]);
+        assert_eq!(store.grad(table).row(1), &[2.0, 2.0]);
+        assert_eq!(store.grad(table).row(2), &[0.0, 0.0]);
+        assert_eq!(store.grad(table).row(3), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn detach_blocks_gradients() {
+        let (mut store, ids) = store_with(&[(1, 3)], 3);
+        let p = ids[0];
+        let mut g = Graph::new();
+        let v = g.param(&store, p);
+        let d = g.detach(v);
+        let s = g.sum(d);
+        g.backward(s, &mut store);
+        assert_eq!(store.grad(p).as_slice(), &[0.0, 0.0, 0.0]);
+        // And without detach the same graph does produce gradients.
+        let mut g = Graph::new();
+        let v = g.param(&store, p);
+        let s = g.sum(v);
+        g.backward(s, &mut store);
+        assert_eq!(store.grad(p).as_slice(), &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn grads_accumulate_across_backward_calls() {
+        let (mut store, ids) = store_with(&[(1, 1)], 4);
+        let p = ids[0];
+        for _ in 0..3 {
+            let mut g = Graph::new();
+            let v = g.param(&store, p);
+            let s = g.sum(v);
+            g.backward(s, &mut store);
+        }
+        assert_eq!(store.grad(p).get(0, 0), 3.0);
+    }
+
+    #[test]
+    fn diamond_graph_accumulates_both_paths() {
+        // f(x) = sum(x*x + x) -> df/dx = 2x + 1
+        let mut store = ParamStore::new();
+        let p = store.add("x", Matrix::row_vector(&[3.0]));
+        let mut g = Graph::new();
+        let x = g.param(&store, p);
+        let sq = g.mul(x, x);
+        let both = g.add(sq, x);
+        let s = g.sum(both);
+        g.backward(s, &mut store);
+        assert_eq!(store.grad(p).get(0, 0), 7.0);
+    }
+
+    #[test]
+    fn bce_matches_manual_formula() {
+        let mut g = Graph::new();
+        let logits = g.input(Matrix::row_vector(&[0.3, -1.2, 2.0]));
+        let targets = Matrix::row_vector(&[1.0, 0.0, 1.0]);
+        let loss = g.bce_with_logits_loss(logits, &targets);
+        let manual: f32 = [(0.3f32, 1.0f32), (-1.2, 0.0), (2.0, 1.0)]
+            .iter()
+            .map(|&(z, y)| {
+                let p = sigmoid(z);
+                -(y * p.ln() + (1.0 - y) * (1.0 - p).ln())
+            })
+            .sum::<f32>()
+            / 3.0;
+        assert!((g.value(loss).get(0, 0) - manual).abs() < 1e-5);
+    }
+
+    #[test]
+    fn bce_is_stable_for_extreme_logits() {
+        let mut g = Graph::new();
+        let logits = g.input(Matrix::row_vector(&[80.0, -80.0]));
+        let targets = Matrix::row_vector(&[1.0, 0.0]);
+        let loss = g.bce_with_logits_loss(logits, &targets);
+        let v = g.value(loss).get(0, 0);
+        assert!(v.is_finite() && (0.0..1e-3).contains(&v), "loss={v}");
+    }
+
+    #[test]
+    fn clear_reuses_allocation() {
+        let mut g = Graph::new();
+        g.input(Matrix::zeros(1, 1));
+        assert_eq!(g.len(), 1);
+        g.clear();
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "loss must be a scalar")]
+    fn backward_rejects_non_scalar_loss() {
+        let mut store = ParamStore::new();
+        let mut g = Graph::new();
+        let x = g.input(Matrix::zeros(2, 2));
+        g.backward(x, &mut store);
+    }
+
+    #[test]
+    fn rowwise_cosine_forward_values() {
+        let mut g = Graph::new();
+        let a = g.input(Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[0.0, 0.0]]).unwrap());
+        let b = g.input(Matrix::from_rows(&[&[2.0, 0.0], &[-1.0, -1.0], &[1.0, 1.0]]).unwrap());
+        let c = g.rowwise_cosine(a, b);
+        let v = g.value(c);
+        assert!((v.get(0, 0) - 1.0).abs() < 1e-6);
+        assert!((v.get(1, 0) + 1.0).abs() < 1e-6);
+        assert_eq!(v.get(2, 0), 0.0);
+    }
+}

@@ -1,0 +1,49 @@
+//! Tape-based reverse-mode automatic differentiation over [`atnn_tensor`].
+//!
+//! This crate is the second substrate of the ATNN reproduction: it plays the
+//! role TensorFlow's graph/gradient machinery plays in the paper's original
+//! implementation.
+//!
+//! # Model
+//! - Trainable state lives in a [`ParamStore`]: each parameter is a named
+//!   slot holding a value matrix and a gradient matrix.
+//! - A [`Graph`] is a *tape*: operations execute eagerly and append a node
+//!   recording the op, its parents and its value. [`Graph::backward`] walks
+//!   the tape in reverse, accumulating gradients into the nodes and finally
+//!   into the store.
+//! - Embedding lookups use [`Graph::gather`], which copies only the rows a
+//!   batch touches and scatters gradients back by row — the standard
+//!   large-vocabulary optimization (the paper's embedding tables map
+//!   "large-scale sparse features to low-rank vectors").
+//!
+//! # Shape errors
+//! Graph ops assert shapes and panic with a descriptive message: a shape
+//! mismatch inside a fixed architecture is a programming bug, not a
+//! recoverable condition. Fallible, `Result`-returning shape checks live one
+//! level down in `atnn-tensor` for callers that need them.
+//!
+//! # Example
+//! ```
+//! use atnn_autograd::{Graph, ParamStore};
+//! use atnn_tensor::{Init, Matrix, Rng64};
+//!
+//! let mut store = ParamStore::new();
+//! let mut rng = Rng64::seed_from_u64(0);
+//! let w = store.add("w", Init::XavierUniform.sample(3, 1, &mut rng));
+//!
+//! let mut g = Graph::new();
+//! let x = g.input(Matrix::from_rows(&[&[1.0, 2.0, 3.0]]).unwrap());
+//! let wv = g.param(&store, w);
+//! let y = g.matmul(x, wv);
+//! let loss = g.mse_loss(y, &Matrix::from_rows(&[&[5.0]]).unwrap());
+//! g.backward(loss, &mut store);
+//! assert_eq!(store.grad(w).shape(), (3, 1));
+//! ```
+
+mod check;
+mod graph;
+mod store;
+
+pub use check::{check_gradients, numeric_gradient};
+pub use graph::{Graph, Var};
+pub use store::{ParamId, ParamStore};

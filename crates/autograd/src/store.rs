@@ -1,0 +1,165 @@
+//! Parameter storage: named slots of (value, gradient) matrices.
+
+use atnn_tensor::Matrix;
+
+/// Opaque handle to one parameter slot in a [`ParamStore`].
+///
+/// Handles are plain indices; they are only meaningful for the store that
+/// issued them. Layers hold `ParamId`s rather than matrices so that
+/// *parameter sharing* (the paper's shared-embedding strategy) is literal:
+/// two layers holding the same `ParamId` read and update the same weights.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ParamId(pub(crate) usize);
+
+impl ParamId {
+    /// The raw slot index (stable for the lifetime of the store).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Slot {
+    name: String,
+    value: Matrix,
+    grad: Matrix,
+}
+
+/// Container for all trainable parameters of one or more models.
+///
+/// The alternating optimization of the paper's Algorithm 1 (a
+/// discriminator-side step and a generator-side step, each touching a
+/// different subset of parameters) is expressed by optimizers operating on
+/// explicit `&[ParamId]` *parameter groups* over a shared store.
+#[derive(Debug, Clone, Default)]
+pub struct ParamStore {
+    slots: Vec<Slot>,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter, returning its handle. Gradient starts at zero.
+    pub fn add(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
+        let grad = Matrix::zeros(value.rows(), value.cols());
+        self.slots.push(Slot { name: name.into(), value, grad });
+        ParamId(self.slots.len() - 1)
+    }
+
+    /// Number of registered parameters.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Total number of scalar weights across all slots.
+    pub fn num_scalars(&self) -> usize {
+        self.slots.iter().map(|s| s.value.len()).sum()
+    }
+
+    /// The parameter's registered name.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.slots[id.0].name
+    }
+
+    /// Immutable view of a parameter's value.
+    pub fn value(&self, id: ParamId) -> &Matrix {
+        &self.slots[id.0].value
+    }
+
+    /// Mutable view of a parameter's value (used by optimizers and loaders).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.slots[id.0].value
+    }
+
+    /// Immutable view of a parameter's accumulated gradient.
+    pub fn grad(&self, id: ParamId) -> &Matrix {
+        &self.slots[id.0].grad
+    }
+
+    /// Mutable view of a parameter's gradient (used by `Graph::backward`).
+    pub fn grad_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.slots[id.0].grad
+    }
+
+    /// Zeroes the gradients of the given parameter group.
+    pub fn zero_grads(&mut self, ids: &[ParamId]) {
+        for &id in ids {
+            self.slots[id.0].grad.fill_zero();
+        }
+    }
+
+    /// Zeroes every gradient in the store.
+    pub fn zero_all_grads(&mut self) {
+        for slot in &mut self.slots {
+            slot.grad.fill_zero();
+        }
+    }
+
+    /// All handles, in registration order.
+    pub fn all_ids(&self) -> Vec<ParamId> {
+        (0..self.slots.len()).map(ParamId).collect()
+    }
+
+    /// Global L2 norm of the gradients of a parameter group (for clipping).
+    pub fn grad_norm(&self, ids: &[ParamId]) -> f32 {
+        ids.iter()
+            .map(|&id| {
+                let g = &self.slots[id.0].grad;
+                g.as_slice().iter().map(|&v| v * v).sum::<f32>()
+            })
+            .sum::<f32>()
+            .sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atnn_tensor::Matrix;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut store = ParamStore::new();
+        let a = store.add("w1", Matrix::full(2, 3, 1.0));
+        let b = store.add("b1", Matrix::zeros(1, 3));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.num_scalars(), 9);
+        assert_eq!(store.name(a), "w1");
+        assert_eq!(store.value(b).shape(), (1, 3));
+        assert_eq!(store.grad(a).shape(), (2, 3));
+        assert_eq!(store.all_ids(), vec![a, b]);
+    }
+
+    #[test]
+    fn zero_grads_is_group_scoped() {
+        let mut store = ParamStore::new();
+        let a = store.add("a", Matrix::zeros(1, 1));
+        let b = store.add("b", Matrix::zeros(1, 1));
+        store.grad_mut(a).set(0, 0, 5.0);
+        store.grad_mut(b).set(0, 0, 7.0);
+        store.zero_grads(&[a]);
+        assert_eq!(store.grad(a).get(0, 0), 0.0);
+        assert_eq!(store.grad(b).get(0, 0), 7.0);
+        store.zero_all_grads();
+        assert_eq!(store.grad(b).get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn grad_norm_is_global_l2() {
+        let mut store = ParamStore::new();
+        let a = store.add("a", Matrix::zeros(1, 2));
+        let b = store.add("b", Matrix::zeros(1, 1));
+        store.grad_mut(a).as_mut_slice().copy_from_slice(&[3.0, 0.0]);
+        store.grad_mut(b).set(0, 0, 4.0);
+        assert!((store.grad_norm(&[a, b]) - 5.0).abs() < 1e-6);
+        assert!((store.grad_norm(&[a]) - 3.0).abs() < 1e-6);
+    }
+}

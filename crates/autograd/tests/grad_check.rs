@@ -1,0 +1,326 @@
+//! Finite-difference validation of every differentiable op, plus
+//! proptest-driven checks over random shapes and values.
+
+use atnn_autograd::{check_gradients, Graph, ParamStore, Var};
+use atnn_tensor::{Init, Matrix, Rng64};
+use proptest::prelude::*;
+
+/// Builds a store with `n` parameter matrices of the given shape.
+fn setup(shapes: &[(usize, usize)], seed: u64) -> (ParamStore, Vec<atnn_autograd::ParamId>) {
+    let mut rng = Rng64::seed_from_u64(seed);
+    let mut store = ParamStore::new();
+    let ids = shapes
+        .iter()
+        .enumerate()
+        .map(|(i, &(r, c))| {
+            store.add(format!("p{i}"), Init::Normal(0.6).sample(r, c, &mut rng))
+        })
+        .collect();
+    (store, ids)
+}
+
+/// Shorthand: check one two-parameter op composed with `sum` as the loss.
+fn check_binary(
+    shapes: [(usize, usize); 2],
+    seed: u64,
+    op: impl Fn(&mut Graph, Var, Var) -> Var,
+) {
+    let (mut store, ids) = setup(&shapes, seed);
+    let (a, b) = (ids[0], ids[1]);
+    check_gradients(&mut store, &[a, b], 2e-2, |g, s| {
+        let av = g.param(s, a);
+        let bv = g.param(s, b);
+        let out = op(g, av, bv);
+        // Weight the output elements asymmetrically so symmetric-op bugs
+        // (swapped operands) can't cancel out.
+        let w = Matrix::from_fn(g.value(out).rows(), g.value(out).cols(), |i, j| {
+            0.5 + (i * 3 + j) as f32 * 0.25
+        });
+        let wv = g.input(w);
+        let weighted = g.mul(out, wv);
+        g.sum(weighted)
+    })
+    .unwrap();
+}
+
+fn check_unary(shape: (usize, usize), seed: u64, op: impl Fn(&mut Graph, Var) -> Var) {
+    let (mut store, ids) = setup(&[shape], seed);
+    let x = ids[0];
+    check_gradients(&mut store, &[x], 2e-2, |g, s| {
+        let xv = g.param(s, x);
+        let out = op(g, xv);
+        let w = Matrix::from_fn(g.value(out).rows(), g.value(out).cols(), |i, j| {
+            0.5 + (i * 3 + j) as f32 * 0.25
+        });
+        let wv = g.input(w);
+        let weighted = g.mul(out, wv);
+        g.sum(weighted)
+    })
+    .unwrap();
+}
+
+#[test]
+fn grad_matmul() {
+    check_binary([(3, 4), (4, 2)], 1, |g, a, b| g.matmul(a, b));
+}
+
+#[test]
+fn grad_add_sub_mul() {
+    check_binary([(3, 3), (3, 3)], 2, |g, a, b| g.add(a, b));
+    check_binary([(3, 3), (3, 3)], 3, |g, a, b| g.sub(a, b));
+    check_binary([(3, 3), (3, 3)], 4, |g, a, b| g.mul(a, b));
+}
+
+#[test]
+fn grad_add_row_broadcast() {
+    check_binary([(4, 3), (1, 3)], 5, |g, a, b| g.add_row_broadcast(a, b));
+}
+
+#[test]
+fn grad_scale_rows() {
+    check_binary([(4, 3), (4, 1)], 6, |g, a, b| g.scale_rows(a, b));
+}
+
+#[test]
+fn grad_mul_row_broadcast() {
+    check_binary([(4, 3), (1, 3)], 24, |g, a, b| g.mul_row_broadcast(a, b));
+}
+
+#[test]
+fn grad_rsqrt() {
+    // Shift inputs positive so x + eps stays well away from 0.
+    let (mut store, ids) = setup(&[(3, 4)], 25);
+    let x = ids[0];
+    store.value_mut(x).map_inplace(|v| v.abs() + 0.5);
+    check_gradients(&mut store, &[x], 2e-2, |g, s| {
+        let xv = g.param(s, x);
+        let r = g.rsqrt(xv, 1e-3);
+        g.sum(r)
+    })
+    .unwrap();
+}
+
+#[test]
+fn grad_layer_norm_composition() {
+    // Row-wise layer normalization assembled from primitives, checked end
+    // to end: y = gamma ⊙ (x - mu) * rsqrt(var + eps) + beta.
+    let (mut store, ids) = setup(&[(3, 4), (1, 4), (1, 4)], 26);
+    let (x, gamma, beta) = (ids[0], ids[1], ids[2]);
+    let d = 4.0f32;
+    check_gradients(&mut store, &[x, gamma, beta], 3e-2, |g, s| {
+        let xv = g.param(s, x);
+        let ones_col = g.input(Matrix::full(4, 1, 1.0 / d));
+        let mu = g.matmul(xv, ones_col); // [3,1] row means
+        let ones_row = g.input(Matrix::full(3, 4, 1.0));
+        let mu_b = g.scale_rows(ones_row, mu);
+        let xc = g.sub(xv, mu_b);
+        let sq = g.mul(xc, xc);
+        let var = g.matmul(sq, ones_col);
+        let inv = g.rsqrt(var, 1e-2);
+        let normed = g.scale_rows(xc, inv);
+        let gv = g.param(s, gamma);
+        let bv = g.param(s, beta);
+        let scaled = g.mul_row_broadcast(normed, gv);
+        let out = g.add_row_broadcast(scaled, bv);
+        let target = Matrix::from_fn(3, 4, |i, j| ((i + j) % 3) as f32 * 0.4 - 0.3);
+        g.mse_loss(out, &target)
+    })
+    .unwrap();
+}
+
+#[test]
+fn grad_rowwise_dot() {
+    check_binary([(4, 3), (4, 3)], 7, |g, a, b| g.rowwise_dot(a, b));
+}
+
+#[test]
+fn grad_rowwise_cosine() {
+    check_binary([(4, 3), (4, 3)], 8, |g, a, b| g.rowwise_cosine(a, b));
+}
+
+#[test]
+fn grad_concat_cols() {
+    check_binary([(3, 2), (3, 4)], 9, |g, a, b| g.concat_cols(a, b));
+}
+
+#[test]
+fn grad_sigmoid_tanh() {
+    check_unary((3, 4), 10, |g, x| g.sigmoid(x));
+    check_unary((3, 4), 11, |g, x| g.tanh(x));
+}
+
+#[test]
+fn grad_relu_family() {
+    // Shift values away from 0 where relu is non-differentiable.
+    let (mut store, ids) = setup(&[(3, 4)], 12);
+    let x = ids[0];
+    store.value_mut(x).map_inplace(|v| if v.abs() < 0.2 { v + 0.5 } else { v });
+    check_gradients(&mut store, &[x], 2e-2, |g, s| {
+        let xv = g.param(s, x);
+        let r = g.relu(xv);
+        g.sum(r)
+    })
+    .unwrap();
+    let (mut store, ids) = setup(&[(3, 4)], 13);
+    let x = ids[0];
+    store.value_mut(x).map_inplace(|v| if v.abs() < 0.2 { v + 0.5 } else { v });
+    check_gradients(&mut store, &[x], 2e-2, |g, s| {
+        let xv = g.param(s, x);
+        let r = g.leaky_relu(xv, 0.1);
+        g.sum(r)
+    })
+    .unwrap();
+}
+
+#[test]
+fn grad_scalar_ops_and_mask() {
+    check_unary((2, 3), 14, |g, x| g.mul_scalar(x, -1.7));
+    check_unary((2, 3), 15, |g, x| g.add_scalar(x, 2.5));
+    let mask = Matrix::from_fn(2, 3, |i, j| if (i + j) % 2 == 0 { 2.0 } else { 0.0 });
+    check_unary((2, 3), 16, move |g, x| g.mul_mask(x, &mask));
+}
+
+#[test]
+fn grad_mean_and_sum() {
+    check_unary((3, 5), 17, |g, x| g.mean(x));
+    check_unary((3, 5), 18, |g, x| g.sum(x));
+}
+
+#[test]
+fn grad_mse_loss() {
+    let target = Matrix::from_fn(4, 2, |i, j| (i as f32 - j as f32) * 0.3);
+    let (mut store, ids) = setup(&[(4, 2)], 19);
+    let p = ids[0];
+    check_gradients(&mut store, &[p], 2e-2, |g, s| {
+        let pv = g.param(s, p);
+        g.mse_loss(pv, &target)
+    })
+    .unwrap();
+}
+
+#[test]
+fn grad_bce_with_logits() {
+    let targets = Matrix::from_fn(5, 1, |i, _| (i % 2) as f32);
+    let (mut store, ids) = setup(&[(5, 1)], 20);
+    let p = ids[0];
+    check_gradients(&mut store, &[p], 2e-2, |g, s| {
+        let pv = g.param(s, p);
+        g.bce_with_logits_loss(pv, &targets)
+    })
+    .unwrap();
+}
+
+#[test]
+fn grad_gather() {
+    let (mut store, ids) = setup(&[(6, 3)], 21);
+    let table = ids[0];
+    let indices = vec![0u32, 2, 2, 5, 1];
+    check_gradients(&mut store, &[table], 2e-2, |g, s| {
+        let e = g.gather(s, table, &indices);
+        let w = Matrix::from_fn(indices.len(), 3, |i, j| 0.3 + (i + 2 * j) as f32 * 0.2);
+        let wv = g.input(w);
+        let weighted = g.mul(e, wv);
+        g.sum(weighted)
+    })
+    .unwrap();
+}
+
+#[test]
+fn grad_deep_composition_mlp_like() {
+    // A two-layer tanh MLP with a BCE head: composition of many ops.
+    let (mut store, ids) = setup(&[(5, 4), (1, 4), (4, 1), (1, 1)], 22);
+    let (w1, b1, w2, b2) = (ids[0], ids[1], ids[2], ids[3]);
+    let x = Init::Normal(1.0).sample(6, 5, &mut Rng64::seed_from_u64(99));
+    let y = Matrix::from_fn(6, 1, |i, _| (i % 2) as f32);
+    check_gradients(&mut store, &[w1, b1, w2, b2], 3e-2, |g, s| {
+        let xv = g.input(x.clone());
+        let w1v = g.param(s, w1);
+        let b1v = g.param(s, b1);
+        let h = g.matmul(xv, w1v);
+        let h = g.add_row_broadcast(h, b1v);
+        let h = g.tanh(h);
+        let w2v = g.param(s, w2);
+        let b2v = g.param(s, b2);
+        let z = g.matmul(h, w2v);
+        let z = g.add_row_broadcast(z, b2v);
+        g.bce_with_logits_loss(z, &y)
+    })
+    .unwrap();
+}
+
+#[test]
+fn grad_cross_layer_composition() {
+    // One DCN cross layer: x1 = x0 * (x0 w) + b + x0, checked end-to-end.
+    let (mut store, ids) = setup(&[(4, 1), (1, 4)], 23);
+    let (w, b) = (ids[0], ids[1]);
+    let x0 = Init::Normal(0.8).sample(5, 4, &mut Rng64::seed_from_u64(7));
+    let target = Init::Normal(0.8).sample(5, 4, &mut Rng64::seed_from_u64(8));
+    check_gradients(&mut store, &[w, b], 2e-2, |g, s| {
+        let x0v = g.input(x0.clone());
+        let wv = g.param(s, w);
+        let bv = g.param(s, b);
+        let xw = g.matmul(x0v, wv);
+        let crossed = g.scale_rows(x0v, xw);
+        let with_bias = g.add_row_broadcast(crossed, bv);
+        let x1 = g.add(with_bias, x0v);
+        g.mse_loss(x1, &target)
+    })
+    .unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn grad_matmul_random_shapes(m in 1usize..5, k in 1usize..5, n in 1usize..5, seed in 0u64..500) {
+        let (mut store, ids) = setup(&[(m, k), (k, n)], seed);
+        let (a, b) = (ids[0], ids[1]);
+        check_gradients(&mut store, &[a, b], 3e-2, |g, s| {
+            let av = g.param(s, a);
+            let bv = g.param(s, b);
+            let out = g.matmul(av, bv);
+            g.mean(out)
+        }).unwrap();
+    }
+
+    #[test]
+    fn grad_tower_dot_score_random(seed in 0u64..500, batch in 1usize..6, dim in 1usize..6) {
+        // The ATNN scoring head: sigmoid-CE over a row-wise dot of two
+        // projected towers.
+        let (mut store, ids) = setup(&[(3, dim), (4, dim)], seed);
+        let (wi, wu) = (ids[0], ids[1]);
+        let xi = Init::Normal(1.0).sample(batch, 3, &mut Rng64::seed_from_u64(seed ^ 1));
+        let xu = Init::Normal(1.0).sample(batch, 4, &mut Rng64::seed_from_u64(seed ^ 2));
+        let y = Matrix::from_fn(batch, 1, |i, _| (i % 2) as f32);
+        check_gradients(&mut store, &[wi, wu], 3e-2, |g, s| {
+            let xiv = g.input(xi.clone());
+            let xuv = g.input(xu.clone());
+            let wiv = g.param(s, wi);
+            let wuv = g.param(s, wu);
+            let vi = g.matmul(xiv, wiv);
+            let vu = g.matmul(xuv, wuv);
+            let logits = g.rowwise_dot(vi, vu);
+            g.bce_with_logits_loss(logits, &y)
+        }).unwrap();
+    }
+
+    #[test]
+    fn grad_similarity_loss_random(seed in 0u64..500, batch in 1usize..5, dim in 2usize..6) {
+        // The paper's adversarial similarity loss L_s = mean((1 - cos)^2).
+        let (mut store, ids) = setup(&[(3, dim)], seed);
+        let w = ids[0];
+        let xp = Init::Normal(1.0).sample(batch, 3, &mut Rng64::seed_from_u64(seed ^ 3));
+        let target_vec = Init::Normal(1.0).sample(batch, dim, &mut Rng64::seed_from_u64(seed ^ 4));
+        check_gradients(&mut store, &[w], 3e-2, |g, s| {
+            let xpv = g.input(xp.clone());
+            let wv = g.param(s, w);
+            let gen = g.matmul(xpv, wv);
+            let tgt = g.input(target_vec.clone());
+            let cos = g.rowwise_cosine(gen, tgt);
+            let ones = g.input(Matrix::full(batch, 1, 1.0));
+            let diff = g.sub(ones, cos);
+            let sq = g.mul(diff, diff);
+            g.mean(sq)
+        }).unwrap();
+    }
+}

@@ -1,0 +1,128 @@
+//! Random-graph gradient fuzzer: builds arbitrary DAGs of differentiable
+//! ops over a pool of parameters and checks every analytic gradient
+//! against central finite differences. Catches interaction bugs (shared
+//! subexpressions, repeated parents, mixed shapes) that per-op tests
+//! cannot.
+
+use atnn_autograd::{check_gradients, Graph, ParamStore, Var};
+use atnn_tensor::{Init, Rng64};
+use proptest::prelude::*;
+
+/// One step of graph construction, drawn at random.
+#[derive(Debug, Clone)]
+enum Step {
+    Add(usize, usize),
+    Sub(usize, usize),
+    Mul(usize, usize),
+    Tanh(usize),
+    Sigmoid(usize),
+    LeakyRelu(usize),
+    MulScalar(usize, i8),
+    RowwiseDot(usize, usize),
+    ScaleByDot(usize, usize, usize),
+    // NOTE: `Detach` is deliberately absent: its whole point is to make the
+    // analytic gradient differ from the true derivative (the forward value
+    // still depends on the parent, so finite differences see the blocked
+    // path). The first fuzzer run included it and correctly flagged the
+    // discrepancy. Detach semantics are covered by a dedicated unit test.
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Step::Add(a, b)),
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Step::Sub(a, b)),
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Step::Mul(a, b)),
+        any::<usize>().prop_map(Step::Tanh),
+        any::<usize>().prop_map(Step::Sigmoid),
+        any::<usize>().prop_map(Step::LeakyRelu),
+        (any::<usize>(), -3i8..4).prop_map(|(a, c)| Step::MulScalar(a, c)),
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Step::RowwiseDot(a, b)),
+        (any::<usize>(), any::<usize>(), any::<usize>())
+            .prop_map(|(x, a, b)| Step::ScaleByDot(x, a, b)),
+    ]
+}
+
+/// Executes the step plan deterministically: every produced node is
+/// `[ROWS, COLS]`, so any index choice is valid modulo the pool length.
+fn build(
+    g: &mut Graph,
+    store: &ParamStore,
+    params: &[atnn_autograd::ParamId],
+    steps: &[Step],
+) -> Var {
+    const ROWS: usize = 3;
+    let mut pool: Vec<Var> = params.iter().map(|&p| g.param(store, p)).collect();
+    for step in steps {
+        let n = pool.len();
+        let pick = |i: usize| pool[i % n];
+        let v = match step {
+            Step::Add(a, b) => {
+                let (x, y) = (pick(*a), pick(*b));
+                g.add(x, y)
+            }
+            Step::Sub(a, b) => {
+                let (x, y) = (pick(*a), pick(*b));
+                g.sub(x, y)
+            }
+            Step::Mul(a, b) => {
+                let (x, y) = (pick(*a), pick(*b));
+                g.mul(x, y)
+            }
+            Step::Tanh(a) => {
+                let x = pick(*a);
+                g.tanh(x)
+            }
+            Step::Sigmoid(a) => {
+                let x = pick(*a);
+                g.sigmoid(x)
+            }
+            Step::LeakyRelu(a) => {
+                let x = pick(*a);
+                g.leaky_relu(x, 0.2)
+            }
+            Step::MulScalar(a, c) => {
+                let x = pick(*a);
+                g.mul_scalar(x, *c as f32 * 0.4 + 0.1)
+            }
+            Step::RowwiseDot(a, b) => {
+                // [ROWS,1] scaled back over a same-shaped one to stay
+                // rectangular in the pool.
+                let (x, y) = (pick(*a), pick(*b));
+                let dots = g.rowwise_dot(x, y);
+                g.scale_rows(x, dots)
+            }
+            Step::ScaleByDot(x, a, b) => {
+                let (xv, av, bv) = (pick(*x), pick(*a), pick(*b));
+                let dots = g.rowwise_dot(av, bv);
+                g.scale_rows(xv, dots)
+            }
+        };
+        pool.push(v);
+        let _ = ROWS;
+    }
+    let last = *pool.last().expect("non-empty pool");
+    // Reduce with tanh first so fuzz-built magnitudes can't overflow the
+    // finite-difference window.
+    let squashed = g.tanh(last);
+    g.mean(squashed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_graphs_have_correct_gradients(
+        steps in proptest::collection::vec(step_strategy(), 1..12),
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let params: Vec<_> = (0..3)
+            .map(|i| store.add(format!("p{i}"), Init::Normal(0.4).sample(3, 4, &mut rng)))
+            .collect();
+        let result = check_gradients(&mut store, &params, 4e-2, |g, s| {
+            build(g, s, &params, &steps)
+        });
+        prop_assert!(result.is_ok(), "steps {steps:?}: {result:?}");
+    }
+}

@@ -1,0 +1,150 @@
+//! Quantile binning: re-encode `f32` features as dense `u8` bin ids.
+
+use atnn_tensor::Matrix;
+
+/// A binned feature matrix: one byte per value, row-major.
+#[derive(Debug, Clone)]
+pub struct BinnedMatrix {
+    data: Vec<u8>,
+    rows: usize,
+    cols: usize,
+}
+
+impl BinnedMatrix {
+    /// One row of bin ids.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[u8] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of feature columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+}
+
+/// Per-feature quantile bin boundaries fit on training data.
+///
+/// Feature `f` maps value `v` to the number of boundaries `< v` — i.e.
+/// boundary list `[t0, t1, …]` produces bins `(-inf, t0], (t0, t1], …`.
+/// Unseen test values fall into the nearest edge bin automatically.
+#[derive(Debug, Clone)]
+pub struct BinMapper {
+    /// `boundaries[f]` = sorted upper-exclusive thresholds for feature `f`.
+    boundaries: Vec<Vec<f32>>,
+}
+
+impl BinMapper {
+    /// Fits quantile boundaries with at most `max_bins` bins per feature.
+    ///
+    /// # Panics
+    /// Panics when `max_bins < 2` or `max_bins > 256` (bin ids are `u8`).
+    pub fn fit(x: &Matrix, max_bins: usize) -> Self {
+        assert!((2..=256).contains(&max_bins), "max_bins must be in 2..=256");
+        let mut boundaries = Vec::with_capacity(x.cols());
+        let mut column = Vec::with_capacity(x.rows());
+        for f in 0..x.cols() {
+            column.clear();
+            column.extend((0..x.rows()).map(|i| x.get(i, f)));
+            column.sort_by(|a, b| a.partial_cmp(b).expect("NaN feature value"));
+            let mut bounds = Vec::with_capacity(max_bins - 1);
+            for b in 1..max_bins {
+                let q = b * column.len() / max_bins;
+                let t = column[q.min(column.len() - 1)];
+                if bounds.last().is_none_or(|&last| t > last) {
+                    bounds.push(t);
+                }
+            }
+            boundaries.push(bounds);
+        }
+        BinMapper { boundaries }
+    }
+
+    /// Bins a matrix with the fitted boundaries.
+    ///
+    /// # Panics
+    /// Panics when the width differs from the fitted data.
+    pub fn transform(&self, x: &Matrix) -> BinnedMatrix {
+        assert_eq!(x.cols(), self.boundaries.len(), "BinMapper width mismatch");
+        let mut data = Vec::with_capacity(x.rows() * x.cols());
+        for i in 0..x.rows() {
+            for (f, bounds) in self.boundaries.iter().enumerate() {
+                data.push(bin_of(x.get(i, f), bounds));
+            }
+        }
+        BinnedMatrix { data, rows: x.rows(), cols: x.cols() }
+    }
+
+    /// Number of features.
+    pub fn num_features(&self) -> usize {
+        self.boundaries.len()
+    }
+}
+
+#[inline]
+fn bin_of(v: f32, bounds: &[f32]) -> u8 {
+    // partition_point = count of boundaries < v (strictly), so a value
+    // equal to a boundary lands in the bin *below* it: bins are (t0, t1].
+    bounds.partition_point(|&t| t < v) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_data_fills_all_bins() {
+        let x = Matrix::from_fn(100, 1, |i, _| i as f32);
+        let mapper = BinMapper::fit(&x, 4);
+        let binned = mapper.transform(&x);
+        let mut seen = [false; 4];
+        for i in 0..100 {
+            seen[binned.row(i)[0] as usize] = true;
+        }
+        assert_eq!(seen, [true; 4]);
+        // Binning is monotone in the raw value.
+        for i in 1..100 {
+            assert!(binned.row(i)[0] >= binned.row(i - 1)[0]);
+        }
+    }
+
+    #[test]
+    fn constant_feature_collapses_to_one_bin() {
+        let x = Matrix::full(50, 1, 3.3);
+        let mapper = BinMapper::fit(&x, 16);
+        let binned = mapper.transform(&x);
+        for i in 0..50 {
+            assert_eq!(binned.row(i)[0], binned.row(0)[0]);
+        }
+    }
+
+    #[test]
+    fn out_of_range_test_values_clamp_to_edge_bins() {
+        let train = Matrix::from_fn(10, 1, |i, _| i as f32); // 0..9
+        let mapper = BinMapper::fit(&train, 4);
+        let test = Matrix::from_rows(&[&[-100.0], &[100.0]]).unwrap();
+        let binned = mapper.transform(&test);
+        assert_eq!(binned.row(0)[0], 0);
+        assert_eq!(binned.row(1)[0] as usize, 3);
+    }
+
+    #[test]
+    fn binned_matrix_shape() {
+        let x = Matrix::zeros(7, 3);
+        let mapper = BinMapper::fit(&x, 8);
+        let b = mapper.transform(&x);
+        assert_eq!((b.rows(), b.cols()), (7, 3));
+        assert_eq!(mapper.num_features(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_bins")]
+    fn rejects_too_many_bins() {
+        let _ = BinMapper::fit(&Matrix::zeros(2, 1), 300);
+    }
+}

@@ -1,0 +1,26 @@
+//! Baseline learners the ATNN paper compares against (or cites).
+//!
+//! - [`Gbdt`] — a from-scratch histogram gradient-boosted decision tree
+//!   (Friedman 2001, reference \[33\]): the paper's strongest non-neural
+//!   baseline in Table I. Supports logistic and squared-error objectives,
+//!   quantile binning, row/column subsampling and depth-wise growth with
+//!   XGBoost-style gain.
+//! - [`LogisticRegression`] — the classical CTR model (reference \[11\]),
+//!   trained by mini-batch SGD.
+//! - [`Ftrl`] — FTRL-Proximal (McMahan et al. 2013, reference \[12\]):
+//!   per-coordinate adaptive logistic regression with L1-induced sparsity.
+//! - [`FactorizationMachine`] — second-order FM (Rendle 2010, reference
+//!   \[14\]) with the O(nk) pairwise-interaction trick.
+//!
+//! All models consume a dense *tabular* encoding ([`tabular::flatten`])
+//! where categorical ids appear as ordinal columns — the standard way to
+//! feed mixed features to trees without one-hot blow-up.
+
+mod fm;
+pub mod gbdt;
+mod linear;
+pub mod tabular;
+
+pub use fm::{FactorizationMachine, FmConfig};
+pub use gbdt::{Gbdt, GbdtConfig, Objective};
+pub use linear::{Ftrl, FtrlConfig, LogisticRegression, LrConfig};

@@ -1,0 +1,65 @@
+//! Dense tabular encoding for the non-neural baselines.
+
+use atnn_tensor::Matrix;
+
+/// Flattens a categorical-columns + numeric-matrix pair into one dense
+/// matrix: categorical ids become leading ordinal `f32` columns, numerics
+/// follow unchanged.
+///
+/// Trees split ordinal encodings natively; linear models see them as
+/// coarse ordinal signals (their usual handicap on categorical data, which
+/// the paper's Table I also reflects).
+pub fn flatten(categorical: &[Vec<u32>], numeric: &Matrix) -> Matrix {
+    let n = numeric.rows();
+    for col in categorical {
+        assert_eq!(col.len(), n, "flatten: categorical column length mismatch");
+    }
+    let d = categorical.len() + numeric.cols();
+    Matrix::from_fn(n, d, |i, j| {
+        if j < categorical.len() {
+            categorical[j][i] as f32
+        } else {
+            numeric.get(i, j - categorical.len())
+        }
+    })
+}
+
+/// Horizontally concatenates two dense matrices (e.g. profile ++ stats).
+pub fn hstack(a: &Matrix, b: &Matrix) -> Matrix {
+    a.concat_cols(b).expect("hstack: row count mismatch")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatten_orders_cats_then_numerics() {
+        let cats = vec![vec![1u32, 2], vec![7, 8]];
+        let nums = Matrix::from_rows(&[&[0.5, 0.6], &[0.7, 0.8]]).unwrap();
+        let m = flatten(&cats, &nums);
+        assert_eq!(m.shape(), (2, 4));
+        assert_eq!(m.row(0), &[1.0, 7.0, 0.5, 0.6]);
+        assert_eq!(m.row(1), &[2.0, 8.0, 0.7, 0.8]);
+    }
+
+    #[test]
+    fn flatten_with_no_categoricals() {
+        let nums = Matrix::from_rows(&[&[1.0]]).unwrap();
+        assert_eq!(flatten(&[], &nums), nums);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn flatten_validates_lengths() {
+        let nums = Matrix::zeros(2, 1);
+        let _ = flatten(&[vec![1u32]], &nums);
+    }
+
+    #[test]
+    fn hstack_concats() {
+        let a = Matrix::from_rows(&[&[1.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[2.0, 3.0]]).unwrap();
+        assert_eq!(hstack(&a, &b).row(0), &[1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,27 @@
+//! Figure 2 — the standard concat-DNN baseline: training-step and
+//! inference throughput of the architecture the two-tower design replaces.
+
+use atnn_core::{gather_batch, AtnnConfig, ConcatDnn};
+use atnn_data::tmall::{TmallConfig, TmallDataset};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_concat_dnn(c: &mut Criterion) {
+    let data = TmallDataset::generate(TmallConfig::tiny());
+    let mut model = ConcatDnn::new(&AtnnConfig::scaled(), &data);
+    let rows: Vec<u32> = (0..256).collect();
+    let (profile, stats, users, labels) = gather_batch(&data, &rows);
+
+    let mut group = c.benchmark_group("fig2_concat_dnn");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(rows.len() as u64));
+    group.bench_function("train_step_256", |b| {
+        b.iter(|| model.train_step(&profile, &stats, &users, &labels))
+    });
+    group.bench_function("predict_256", |b| {
+        b.iter(|| model.predict(&profile, &stats, &users))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_concat_dnn);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Figure 3 — the two-tower network: forward-pass cost of each tower and
+//! the pairwise scoring head, plus the key structural payoff the paper
+//! highlights: item vectors are materializable *independently* of users.
+
+use atnn_autograd::Graph;
+use atnn_core::{gather_batch, Atnn, AtnnConfig};
+use atnn_data::tmall::{TmallConfig, TmallDataset};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_two_tower(c: &mut Criterion) {
+    let data = TmallDataset::generate(TmallConfig::tiny());
+    let model = Atnn::new(AtnnConfig::tnn_dcn(), &data);
+    let rows: Vec<u32> = (0..256).collect();
+    let (profile, stats, users, _) = gather_batch(&data, &rows);
+
+    let mut group = c.benchmark_group("fig3_two_tower");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(rows.len() as u64));
+    group.bench_function("item_tower_256", |b| {
+        b.iter(|| model.item_vectors_full(&profile, &stats))
+    });
+    group.bench_function("user_tower_256", |b| b.iter(|| model.user_vectors(&users)));
+    group.bench_function("full_pairwise_ctr_256", |b| {
+        b.iter(|| model.predict_ctr_full(&profile, &stats, &users))
+    });
+    group.bench_function("score_head_only_256", |b| {
+        // Towers precomputed; only the dot-product head runs per pair.
+        let mut g = Graph::new();
+        let iv = model.item_vec_full(&mut g, &profile, &stats);
+        let uv = model.user_vec(&mut g, &users);
+        let item_vecs = g.value(iv).clone();
+        let user_vecs = g.value(uv).clone();
+        b.iter(|| {
+            let mut g = Graph::new();
+            let i = g.input(item_vecs.clone());
+            let u = g.input(user_vecs.clone());
+            let logits = model.score_logits(&mut g, i, u);
+            std::hint::black_box(g.value(logits).sum())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_two_tower);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Figure 4 / Algorithm 1 — ATNN's alternating training step: cost of the
+//! full D+G step versus a plain TNN step, in both adversarial modes.
+
+use atnn_core::{gather_batch, AdversarialMode, Atnn, AtnnConfig};
+use atnn_data::tmall::{TmallConfig, TmallDataset};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_train_step(c: &mut Criterion) {
+    let data = TmallDataset::generate(TmallConfig::tiny());
+    let rows: Vec<u32> = (0..256).collect();
+    let (profile, stats, users, labels) = gather_batch(&data, &rows);
+
+    let mut group = c.benchmark_group("fig4_train_step_256");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(rows.len() as u64));
+
+    let variants = [
+        ("tnn_dcn_d_only", AtnnConfig::tnn_dcn()),
+        ("atnn_similarity", AtnnConfig::scaled()),
+        (
+            "atnn_learned_disc",
+            AtnnConfig {
+                adversarial: AdversarialMode::LearnedDiscriminator,
+                ..AtnnConfig::scaled()
+            },
+        ),
+    ];
+    for (name, cfg) in variants {
+        let mut model = Atnn::new(cfg, &data);
+        group.bench_function(name, |b| {
+            b.iter(|| model.train_step(&profile, &stats, &users, &labels))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_train_step);
+criterion_main!(benches);

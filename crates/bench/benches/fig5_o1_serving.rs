@@ -1,0 +1,82 @@
+//! Figure 5 — the O(1) popularity-serving claim.
+//!
+//! Scoring one batch of new arrivals with the stored mean user vector
+//! must be (near-)constant in the user-group size, while the naive
+//! pairwise path grows linearly with it. Criterion output shows exactly
+//! that: the `pairwise/N` series scales with N, `mean_vector/N` does not.
+
+use atnn_core::{
+    pairwise_popularity, Atnn, AtnnConfig, CtrTrainer, GroupedPopularityIndex, PopularityIndex,
+    TrainOptions,
+};
+use atnn_data::tmall::{TmallConfig, TmallDataset};
+use atnn_tensor::Rng64;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+struct Setup {
+    data: TmallDataset,
+    model: Atnn,
+    items: Vec<u32>,
+}
+
+fn setup() -> Setup {
+    let data = TmallDataset::generate(TmallConfig {
+        num_users: 3_200,
+        num_items: 1_000,
+        num_interactions: 10_000,
+        ..TmallConfig::tiny()
+    });
+    let mut model = Atnn::new(AtnnConfig::scaled(), &data);
+    CtrTrainer::new(TrainOptions { epochs: 1, ..Default::default() })
+        .train(&mut model, &data, None);
+    let items: Vec<u32> = (0..200).collect();
+    Setup { data, model, items }
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let s = setup();
+    let mut group = c.benchmark_group("fig5_popularity_scoring_200_items");
+    group.sample_size(10);
+    for &n_users in &[200usize, 800, 3_200] {
+        let user_group: Vec<u32> = (0..n_users as u32).collect();
+        // O(N_users) reference: the Cartesian scoring the paper replaces.
+        group.bench_with_input(
+            BenchmarkId::new("pairwise", n_users),
+            &n_users,
+            |b, _| {
+                b.iter(|| pairwise_popularity(&s.model, &s.data, &s.items, &user_group))
+            },
+        );
+        // O(1) path: the index is built once at "training time"; serving
+        // touches only the stored mean vector.
+        let index = PopularityIndex::build(&s.model, &s.data, &user_group);
+        group.bench_with_input(
+            BenchmarkId::new("mean_vector", n_users),
+            &n_users,
+            |b, _| b.iter(|| index.score_new_arrivals(&s.model, &s.data, &s.items)),
+        );
+    }
+    group.finish();
+
+    // The index build itself (amortized into training in production).
+    let user_group: Vec<u32> = (0..3_200u32).collect();
+    c.bench_function("fig5_index_build_3200_users", |b| {
+        b.iter(|| PopularityIndex::build(&s.model, &s.data, &user_group))
+    });
+
+    // The §VI refinement: O(k) grouped scoring sits between O(1) and
+    // O(N_users) — still flat in the user count.
+    let mut rng = Rng64::seed_from_u64(1);
+    let mut group = c.benchmark_group("fig5_grouped_scoring_200_items");
+    group.sample_size(10);
+    for &k in &[4usize, 16, 64] {
+        let idx = GroupedPopularityIndex::build(&s.model, &s.data, &user_group, k, &mut rng);
+        group.bench_with_input(BenchmarkId::new("clusters", k), &k, |b, _| {
+            b.iter(|| idx.score_new_arrivals(&s.model, &s.data, &s.items))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serving);
+criterion_main!(benches);

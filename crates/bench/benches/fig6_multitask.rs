@@ -1,0 +1,28 @@
+//! Figure 6 / Algorithm 2 — the multi-task extended ATNN: cost of one
+//! alternating step and of cold-start inference for new restaurants.
+
+use atnn_core::{AtnnConfig, MultiTaskAtnn, MultiTaskTrainOptions};
+use atnn_data::eleme::{ElemeConfig, ElemeDataset};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_multitask(c: &mut Criterion) {
+    let data = ElemeDataset::generate(ElemeConfig::tiny());
+    let train: Vec<u32> = (0..500).collect();
+    let mut model = MultiTaskAtnn::new(AtnnConfig::scaled(), &data, &train);
+    let opts = MultiTaskTrainOptions::default();
+    let batch: Vec<u32> = (0..128).collect();
+
+    let mut group = c.benchmark_group("fig6_multitask");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(batch.len() as u64));
+    group.bench_function("train_step_128", |b| {
+        b.iter(|| model.train_step(&data, &batch, &opts))
+    });
+    group.bench_function("predict_cold_128", |b| {
+        b.iter(|| model.predict_cold(&data, &batch))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_multitask);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Micro-benchmarks of the hot kernels under everything else: matmul
+//! variants, embedding gather, and GBDT binning.
+
+use atnn_autograd::{Graph, ParamStore};
+use atnn_baselines::gbdt::binning::BinMapper;
+use atnn_tensor::{Init, Matrix, Rng64};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for &n in &[32usize, 64, 128, 256] {
+        let mut rng = Rng64::seed_from_u64(1);
+        let a = Init::Normal(1.0).sample(n, n, &mut rng);
+        let b = Init::Normal(1.0).sample(n, n, &mut rng);
+        group.throughput(Throughput::Elements((n * n * n) as u64));
+        group.bench_with_input(BenchmarkId::new("nn", n), &n, |bench, _| {
+            bench.iter(|| a.matmul(&b).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("tn", n), &n, |bench, _| {
+            bench.iter(|| a.matmul_tn(&b).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("nt", n), &n, |bench, _| {
+            bench.iter(|| a.matmul_nt(&b).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_matmul_blocked(c: &mut Criterion) {
+    // The paper-width regime: 512-wide towers. Blocked tiling vs the
+    // streaming kernel.
+    let mut rng = Rng64::seed_from_u64(5);
+    let a = Init::Normal(1.0).sample(256, 1024, &mut rng);
+    let b = Init::Normal(1.0).sample(1024, 1024, &mut rng);
+    let mut group = c.benchmark_group("matmul_1024_beyond_l2");
+    group.sample_size(20);
+    group.bench_function("blocked_k64", |bench| bench.iter(|| a.matmul_blocked(&b, 64)));
+    group.bench_function("unblocked", |bench| bench.iter(|| a.matmul_blocked(&b, 1024)));
+    group.finish();
+}
+
+fn bench_gather(c: &mut Criterion) {
+    let mut rng = Rng64::seed_from_u64(2);
+    let mut store = ParamStore::new();
+    let table = store.add("emb", Init::Normal(0.05).sample(10_000, 16, &mut rng));
+    let ids: Vec<u32> = (0..256).map(|_| rng.index(10_000) as u32).collect();
+    c.bench_function("gather_256_of_10k", |b| {
+        b.iter(|| {
+            let mut g = Graph::new();
+            let v = g.gather(&store, table, &ids);
+            std::hint::black_box(g.value(v).sum())
+        })
+    });
+}
+
+fn bench_binning(c: &mut Criterion) {
+    let mut rng = Rng64::seed_from_u64(3);
+    let x = Matrix::from_fn(5_000, 50, |_, _| rng.normal());
+    let mapper = BinMapper::fit(&x, 64);
+    c.bench_function("bin_transform_5000x50", |b| b.iter(|| mapper.transform(&x)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matmul, bench_matmul_blocked, bench_gather, bench_binning
+}
+criterion_main!(benches);

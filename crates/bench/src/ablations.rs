@@ -1,0 +1,245 @@
+//! Ablation studies over the design choices DESIGN.md calls out (A1-A5).
+
+use atnn_core::{
+    evaluate_auc_generated, pairwise_popularity, AdversarialMode, AtnnConfig,
+    GroupedPopularityIndex, PopularityIndex,
+};
+use atnn_tensor::Rng64;
+
+use crate::pipeline::{train_atnn, ColdStartSetup};
+use crate::Scale;
+
+/// A labelled cold-start AUC measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Variant label (e.g. `"lambda=0.1"`).
+    pub label: String,
+    /// Cold-start (generated-path) AUC on held-out items.
+    pub value: f64,
+}
+
+fn cold_auc(setup: &ColdStartSetup, config: AtnnConfig, scale: Scale) -> f64 {
+    let model = train_atnn(setup, config, scale);
+    evaluate_auc_generated(&model, &setup.data, &setup.split.test).expect("AUC defined")
+}
+
+/// A1 — shared embeddings on/off.
+pub fn shared_embeddings(scale: Scale) -> Vec<Measurement> {
+    let setup = ColdStartSetup::generate(scale);
+    [true, false]
+        .into_iter()
+        .map(|shared| Measurement {
+            label: format!("shared_embeddings={shared}"),
+            value: cold_auc(
+                &setup,
+                AtnnConfig { shared_embeddings: shared, ..AtnnConfig::scaled() },
+                scale,
+            ),
+        })
+        .collect()
+}
+
+/// A2 — λ sweep for the similarity loss.
+pub fn lambda_sweep(scale: Scale) -> Vec<Measurement> {
+    let setup = ColdStartSetup::generate(scale);
+    [0.0f32, 0.01, 0.1, 1.0, 10.0]
+        .into_iter()
+        .map(|lambda| Measurement {
+            label: format!("lambda={lambda}"),
+            value: cold_auc(&setup, AtnnConfig { lambda, ..AtnnConfig::scaled() }, scale),
+        })
+        .collect()
+}
+
+/// A3 — cross-network depth sweep (depth 0 = no crossing).
+pub fn cross_depth(scale: Scale) -> Vec<Measurement> {
+    let setup = ColdStartSetup::generate(scale);
+    (0usize..=3)
+        .map(|depth| Measurement {
+            label: format!("cross_depth={depth}"),
+            value: cold_auc(
+                &setup,
+                AtnnConfig { cross_depth: depth, use_cross: depth > 0, ..AtnnConfig::scaled() },
+                scale,
+            ),
+        })
+        .collect()
+}
+
+/// A4 — adversarial mode comparison.
+pub fn adversarial_mode(scale: Scale) -> Vec<Measurement> {
+    let setup = ColdStartSetup::generate(scale);
+    [
+        ("similarity", AdversarialMode::Similarity),
+        ("learned-discriminator", AdversarialMode::LearnedDiscriminator),
+    ]
+    .into_iter()
+    .map(|(name, mode)| Measurement {
+        label: format!("adv={name}"),
+        value: cold_auc(&setup, AtnnConfig { adversarial: mode, ..AtnnConfig::scaled() }, scale),
+    })
+    .collect()
+}
+
+/// A5 — ranking fidelity of the O(1) mean-user-vector scorer against the
+/// O(N_users) pairwise reference. Returns `(spearman, ndcg@10%)`.
+pub fn mean_vector_fidelity(scale: Scale) -> (f64, f64) {
+    let setup = ColdStartSetup::generate(scale);
+    let model = train_atnn(&setup, AtnnConfig::scaled(), scale);
+    let group: Vec<u32> = (0..(setup.data.num_users() / 2) as u32).collect();
+    let index = PopularityIndex::build(&model, &setup.data, &group);
+    let fast = index.score_new_arrivals(&model, &setup.data, &setup.new_arrivals);
+    let slow = pairwise_popularity(&model, &setup.data, &setup.new_arrivals, &group);
+    let rho = atnn_metrics::spearman(&fast, &slow).expect("spearman defined");
+    let gains: Vec<f64> = slow.iter().map(|&v| v as f64).collect();
+    let k = (setup.new_arrivals.len() / 10).max(1);
+    let ndcg = atnn_metrics::ndcg_at(&fast, &gains, k).expect("ndcg defined");
+    (rho, ndcg)
+}
+
+/// A6 — preference-based user grouping (paper §VI future work): mean
+/// absolute deviation of the O(k) grouped scorer from the O(N_users)
+/// pairwise popularity, as the number of preference clusters grows.
+pub fn user_grouping(scale: Scale) -> Vec<Measurement> {
+    let setup = ColdStartSetup::generate(scale);
+    let model = train_atnn(&setup, AtnnConfig::scaled(), scale);
+    let group: Vec<u32> = (0..(setup.data.num_users() / 2) as u32).collect();
+    let reference = pairwise_popularity(&model, &setup.data, &setup.new_arrivals, &group);
+    let mut rng = Rng64::seed_from_u64(606);
+    [1usize, 4, 16, 64]
+        .into_iter()
+        .map(|k| {
+            let idx = GroupedPopularityIndex::build(&model, &setup.data, &group, k, &mut rng);
+            let scores = idx.score_new_arrivals(&model, &setup.data, &setup.new_arrivals);
+            let mad = scores
+                .iter()
+                .zip(&reference)
+                .map(|(&a, &b)| (a - b).abs() as f64)
+                .sum::<f64>()
+                / reference.len() as f64;
+            Measurement { label: format!("k={k} (MAD vs pairwise)"), value: mad }
+        })
+        .collect()
+}
+
+/// A7 — hashed ID embeddings (memorization vs generalization). The
+/// paper's input sample includes raw `userID`/`itemID`; this ablation
+/// measures what they buy: AUC on held-out *warm pairs* (unseen
+/// interactions of seen items — where per-id memorization can help) vs
+/// cold-start AUC on unseen items (where it cannot).
+pub fn id_embeddings(scale: Scale) -> Vec<Measurement> {
+    use atnn_core::{evaluate_auc_full, Atnn, CtrTrainer, TrainOptions};
+    use atnn_data::tmall::TmallDataset;
+
+    let mut out = Vec::with_capacity(4);
+    for with_ids in [false, true] {
+        let mut cfg = crate::pipeline::tmall_config(scale);
+        cfg.include_ids = with_ids;
+        let data = TmallDataset::generate(cfg);
+        let n_items = data.num_items() as u32;
+        let threshold = n_items - n_items / 5;
+        let item_keys: Vec<u32> = data.interactions.iter().map(|i| i.item).collect();
+        let split =
+            atnn_data::dataset::Split::by_group(&item_keys, |item| item >= threshold);
+        // Carve a warm-pair validation slice out of the warm interactions.
+        let holdout = split.train.len() / 10;
+        let (warm_eval, train) = split.train.split_at(holdout);
+
+        let mut model = Atnn::new(AtnnConfig::scaled(), &data);
+        CtrTrainer::new(TrainOptions {
+            epochs: crate::pipeline::epochs(scale),
+            ..Default::default()
+        })
+        .train(&mut model, &data, Some(train));
+
+        let tag = if with_ids { "on" } else { "off" };
+        out.push(Measurement {
+            label: format!("ids={tag} warm-pairs"),
+            value: evaluate_auc_full(&model, &data, warm_eval).expect("AUC defined"),
+        });
+        out.push(Measurement {
+            label: format!("ids={tag} cold"),
+            value: evaluate_auc_generated(&model, &data, &split.test).expect("AUC defined"),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Each ablation is exercised end to end at tiny scale; directional
+    // claims that are robust even at tiny scale are asserted, the rest are
+    // recorded by the repro binary.
+
+    #[test]
+    fn lambda_zero_is_worst_or_near_worst() {
+        let m = lambda_sweep(Scale::Tiny);
+        assert_eq!(m.len(), 5);
+        let at_zero = m[0].value;
+        let best = m.iter().skip(1).map(|x| x.value).fold(f64::MIN, f64::max);
+        assert!(
+            best >= at_zero - 0.01,
+            "some positive lambda should match or beat lambda=0: {m:?}"
+        );
+    }
+
+    #[test]
+    fn cross_depth_zero_is_beaten_by_some_positive_depth() {
+        let m = cross_depth(Scale::Tiny);
+        assert_eq!(m.len(), 4);
+        let at_zero = m[0].value;
+        let best_crossed = m.iter().skip(1).map(|x| x.value).fold(f64::MIN, f64::max);
+        assert!(best_crossed > at_zero - 0.01, "crossing should not hurt: {m:?}");
+    }
+
+    #[test]
+    fn both_adversarial_modes_produce_sane_auc() {
+        for m in adversarial_mode(Scale::Tiny) {
+            assert!((0.5..1.0).contains(&m.value), "{m:?}");
+        }
+    }
+
+    #[test]
+    fn shared_embeddings_runs_both_variants() {
+        let m = shared_embeddings(Scale::Tiny);
+        assert_eq!(m.len(), 2);
+        for x in &m {
+            assert!(x.value > 0.5, "{x:?}");
+        }
+    }
+
+    #[test]
+    fn id_embeddings_run_and_cold_auc_is_unharmed() {
+        let m = id_embeddings(Scale::Tiny);
+        assert_eq!(m.len(), 4);
+        let get = |label: &str| m.iter().find(|x| x.label == label).unwrap().value;
+        // Cold-start scoring goes through the generator, which never sees
+        // ids: enabling them must not collapse it.
+        assert!(
+            (get("ids=on cold") - get("ids=off cold")).abs() < 0.08,
+            "{m:?}"
+        );
+        for x in &m {
+            assert!(x.value > 0.5, "{x:?}");
+        }
+    }
+
+    #[test]
+    fn grouping_error_shrinks_with_k() {
+        let m = user_grouping(Scale::Tiny);
+        assert_eq!(m.len(), 4);
+        assert!(
+            m[3].value < m[0].value,
+            "k=64 must track pairwise better than k=1: {m:?}"
+        );
+    }
+
+    #[test]
+    fn mean_vector_is_faithful_to_pairwise() {
+        let (rho, ndcg) = mean_vector_fidelity(Scale::Tiny);
+        assert!(rho > 0.9, "spearman {rho}");
+        assert!(ndcg > 0.9, "ndcg {ndcg}");
+    }
+}

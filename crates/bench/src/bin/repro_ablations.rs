@@ -1,0 +1,62 @@
+//! Runs the A1-A5 ablations of DESIGN.md.
+//!
+//! Usage: `cargo run -p atnn-bench --release --bin repro_ablations
+//!         [--scale tiny|small|paper] [--ablation <name>]`
+//! where `<name>` is one of `shared-embeddings`, `lambda`, `cross-depth`,
+//! `adv-mode`, `mean-vector-fidelity`, `user-grouping`, `id-embeddings`,
+//! or `all` (default).
+
+use atnn_bench::{ablations, fmt, Scale};
+
+fn print_measurements(title: &str, value_header: &str, ms: &[ablations::Measurement]) {
+    println!("\n{title}");
+    let rows: Vec<Vec<String>> =
+        ms.iter().map(|m| vec![m.label.clone(), fmt::f4(m.value)]).collect();
+    print!("{}", fmt::render_table(&["Variant", value_header], &rows));
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let args: Vec<String> = std::env::args().collect();
+    let which = args
+        .iter()
+        .position(|a| a == "--ablation")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("all")
+        .to_string();
+
+    eprintln!("running ablations ({which}) at {scale:?} scale...");
+    if which == "all" || which == "shared-embeddings" {
+        print_measurements("A1 — shared embeddings", "Cold-start AUC", &ablations::shared_embeddings(scale));
+    }
+    if which == "all" || which == "lambda" {
+        print_measurements("A2 — lambda sweep", "Cold-start AUC", &ablations::lambda_sweep(scale));
+    }
+    if which == "all" || which == "cross-depth" {
+        print_measurements("A3 — cross depth", "Cold-start AUC", &ablations::cross_depth(scale));
+    }
+    if which == "all" || which == "adv-mode" {
+        print_measurements("A4 — adversarial mode", "Cold-start AUC", &ablations::adversarial_mode(scale));
+    }
+    if which == "all" || which == "mean-vector-fidelity" {
+        let (rho, ndcg) = ablations::mean_vector_fidelity(scale);
+        println!("\nA5 — mean-user-vector fidelity vs pairwise ranking");
+        println!("  Spearman rho : {rho:.4}");
+        println!("  NDCG@10%     : {ndcg:.4}");
+    }
+    if which == "all" || which == "user-grouping" {
+        let ms = ablations::user_grouping(scale);
+        println!("\nA6 — preference-based user grouping (paper §VI future work)");
+        let rows: Vec<Vec<String>> =
+            ms.iter().map(|m| vec![m.label.clone(), format!("{:.5}", m.value)]).collect();
+        print!("{}", fmt::render_table(&["Variant", "Score deviation"], &rows));
+    }
+    if which == "all" || which == "id-embeddings" {
+        print_measurements(
+            "A7 — hashed userID/itemID embeddings (warm-pair memorization vs cold start)",
+            "AUC",
+            &ablations::id_embeddings(scale),
+        );
+    }
+}

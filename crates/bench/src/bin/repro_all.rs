@@ -1,0 +1,32 @@
+//! Regenerates every paper table in sequence (the `EXPERIMENTS.md` run).
+//!
+//! Usage: `cargo run -p atnn-bench --release --bin repro_all [--scale tiny|small|paper]`
+
+use atnn_bench::{table1, table2, table3, table4, table5, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let started = std::time::Instant::now();
+
+    eprintln!("[1/5] Table I...");
+    println!("Table I — item generation ability (scale: {scale:?})\n");
+    print!("{}", table1::render(&table1::run(scale)));
+
+    eprintln!("[2/5] Table II...");
+    println!("\nTable II — commercial value validation (scale: {scale:?})\n");
+    print!("{}", table2::render(&table2::run(scale)));
+
+    eprintln!("[3/5] Table III...");
+    println!("\nTable III — online A/B, time to 5 sales (scale: {scale:?})\n");
+    print!("{}", table3::render(&table3::run(scale)));
+
+    eprintln!("[4/5] Table IV...");
+    println!("\nTable IV — food delivery offline MAE (scale: {scale:?})\n");
+    print!("{}", table4::render(&table4::run(scale)));
+
+    eprintln!("[5/5] Table V...");
+    println!("\nTable V — food delivery online A/B (scale: {scale:?})\n");
+    print!("{}", table5::render(&table5::run(scale)));
+
+    println!("\ntotal wall time: {:.1}s", started.elapsed().as_secs_f64());
+}

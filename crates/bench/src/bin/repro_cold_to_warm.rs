@@ -1,0 +1,20 @@
+//! Extension experiment: the cold-to-warm serving transition — when do
+//! accumulated launch statistics let the encoder path overtake the
+//! generator? (See `atnn_bench::cold_to_warm`.)
+//!
+//! Usage: `cargo run -p atnn-bench --release --bin repro_cold_to_warm
+//!         [--scale tiny|small|paper]`
+
+use atnn_bench::{cold_to_warm, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("running the cold-to-warm transition at {scale:?} scale...");
+    let t = cold_to_warm::run(scale);
+    println!("Cold-to-warm transition (held-out new arrivals, scale {scale:?})\n");
+    print!("{}", cold_to_warm::render(&t));
+    match t.crossover_day() {
+        Some(d) => println!("\nencoder path overtakes the generator after {d} day(s) of telemetry"),
+        None => println!("\nthe generator stays ahead for the whole 30-day window"),
+    }
+}

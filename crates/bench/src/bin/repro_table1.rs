@@ -1,0 +1,18 @@
+//! Regenerates paper Table I (item generation ability / cold-start AUC).
+//!
+//! Usage: `cargo run -p atnn-bench --release --bin repro_table1
+//!         [--scale tiny|small|paper] [--with-concat]`
+//!
+//! `--with-concat` adds the Fig-2 concat-DNN baseline as a fifth row.
+
+use atnn_bench::{table1, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let with_concat = std::env::args().any(|a| a == "--with-concat");
+    eprintln!("running Table I at {scale:?} scale...");
+    let t = if with_concat { table1::run_with_concat(scale) } else { table1::run(scale) };
+    println!("Table I — Results of offline experiments on item generation ability of ATNN");
+    println!("(scale: {scale:?})\n");
+    print!("{}", table1::render(&t));
+}

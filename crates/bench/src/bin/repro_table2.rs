@@ -1,0 +1,15 @@
+//! Regenerates paper Table II (commercial-value validation: quintile lift
+//! over IPV / AtF / GMV at 7/14/30 days).
+//!
+//! Usage: `cargo run -p atnn-bench --release --bin repro_table2 [--scale tiny|small|paper]`
+
+use atnn_bench::{table2, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("running Table II at {scale:?} scale...");
+    let t = table2::run(scale);
+    println!("Table II — Offline commercial value validation of new-arrival popularity prediction");
+    println!("(scale: {scale:?})\n");
+    print!("{}", table2::render(&t));
+}

@@ -1,0 +1,15 @@
+//! Regenerates paper Table III (online A/B: ATNN vs human experts, average
+//! days to first five sales).
+//!
+//! Usage: `cargo run -p atnn-bench --release --bin repro_table3 [--scale tiny|small|paper]`
+
+use atnn_bench::{table3, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("running Table III at {scale:?} scale...");
+    let t = table3::run(scale);
+    println!("Table III — Online A/B test (simulated market)");
+    println!("(scale: {scale:?})\n");
+    print!("{}", table3::render(&t));
+}

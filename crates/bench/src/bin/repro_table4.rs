@@ -1,0 +1,15 @@
+//! Regenerates paper Table IV (food-delivery offline MAE: TNN-DCN vs
+//! multi-task ATNN).
+//!
+//! Usage: `cargo run -p atnn-bench --release --bin repro_table4 [--scale tiny|small|paper]`
+
+use atnn_bench::{table4, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("running Table IV at {scale:?} scale...");
+    let t = table4::run(scale);
+    println!("Table IV — Offline experiments for food delivery (MAE, lower is better)");
+    println!("(scale: {scale:?})\n");
+    print!("{}", table4::render(&t));
+}

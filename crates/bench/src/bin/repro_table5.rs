@@ -1,0 +1,15 @@
+//! Regenerates paper Table V (food-delivery online A/B: realized VpPV/GMV
+//! of recruited restaurants).
+//!
+//! Usage: `cargo run -p atnn-bench --release --bin repro_table5 [--scale tiny|small|paper]`
+
+use atnn_bench::{table5, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("running Table V at {scale:?} scale...");
+    let t = table5::run(scale);
+    println!("Table V — Online experiments for food delivery (simulated A/B)");
+    println!("(scale: {scale:?})\n");
+    print!("{}", table5::render(&t));
+}

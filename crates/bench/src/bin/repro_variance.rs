@@ -1,0 +1,27 @@
+//! Seed-variance study over Table I: per-cell mean ± std across
+//! independent dataset draws and model initializations.
+//!
+//! Usage: `cargo run -p atnn-bench --release --bin repro_variance
+//!         [--scale tiny|small|paper] [--seeds N]`
+
+use atnn_bench::{variance, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let args: Vec<String> = std::env::args().collect();
+    let seeds = args
+        .iter()
+        .position(|a| a == "--seeds")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5usize);
+
+    eprintln!("running Table I over {seeds} seeds at {scale:?} scale...");
+    let v = variance::run(scale, seeds);
+    println!("Table I across {seeds} seeds (mean ± sample std), scale {scale:?}\n");
+    print!("{}", variance::render(&v));
+    println!(
+        "\nATNN best cold-start model in every draw: {}",
+        v.atnn_always_best_cold()
+    );
+}

@@ -1,0 +1,81 @@
+//! Minimal fixed-width table printing for the repro binaries.
+
+/// Renders `headers` + `rows` as an aligned text table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width mismatch");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let line = |out: &mut String, cells: &[String]| {
+        for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{cell:>w$}", w = w));
+        }
+        out.push('\n');
+    };
+    line(&mut out, &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        line(&mut out, row);
+    }
+    out
+}
+
+/// Formats a float with 4 decimals.
+pub fn f4(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a signed percentage with 2 decimals (e.g. `-4.31%`).
+pub fn pct(v: f64) -> String {
+    format!("{:+.2}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned() {
+        let t = render_table(
+            &["Model", "AUC"],
+            &[
+                vec!["GBDT".into(), "0.6149".into()],
+                vec!["ATNN".into(), "0.7121".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("Model") && lines[0].contains("AUC"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[2].trim_start().starts_with("GBDT"));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f4(0.71209), "0.7121");
+        assert_eq!(f2(10.466), "10.47");
+        assert_eq!(pct(-0.0431), "-4.31%");
+        assert_eq!(pct(0.0716), "+7.16%");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let _ = render_table(&["a", "b"], &[vec!["x".into()]]);
+    }
+}

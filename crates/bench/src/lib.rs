@@ -1,0 +1,55 @@
+//! Reproduction harness: one module per paper table, plus ablations.
+//!
+//! Each `tableN::run(scale)` regenerates the corresponding table of the
+//! paper on the simulated substrate and returns a structured result; the
+//! `repro_tableN` binaries print them in the paper's layout. Criterion
+//! benches under `benches/` cover the figures (architecture throughput and
+//! the Fig. 5 O(1)-serving claim).
+//!
+//! Absolute numbers differ from the paper (simulated data, scaled widths);
+//! `EXPERIMENTS.md` records which *qualitative* relations must hold and
+//! what was measured.
+
+pub mod ablations;
+pub mod cold_to_warm;
+pub mod fmt;
+pub mod pipeline;
+pub mod variance;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+
+/// Experiment scale preset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Sub-second; used by the harness's own tests.
+    Tiny,
+    /// Seconds; default for interactive runs.
+    Small,
+    /// The recorded full-scale run (minutes, release mode).
+    Paper,
+}
+
+impl Scale {
+    /// Parses `tiny|small|paper` (used by every binary's `--scale` flag).
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "tiny" => Some(Scale::Tiny),
+            "small" => Some(Scale::Small),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+
+    /// Reads `--scale <value>` from argv, defaulting to [`Scale::Small`].
+    pub fn from_args() -> Scale {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--scale")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| Scale::parse(v))
+            .unwrap_or(Scale::Small)
+    }
+}

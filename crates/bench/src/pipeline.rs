@@ -1,0 +1,189 @@
+//! Shared experiment plumbing: datasets, cold-start splits, and model
+//! training pipelines reused by every table.
+
+use atnn_baselines::{tabular, Gbdt, GbdtConfig, Objective};
+use atnn_core::{Atnn, AtnnConfig, CtrTrainer, TrainOptions};
+use atnn_data::dataset::Split;
+use atnn_data::eleme::{ElemeConfig, ElemeDataset};
+use atnn_data::tmall::{TmallConfig, TmallDataset};
+use atnn_tensor::Matrix;
+
+use crate::Scale;
+
+/// Tmall dataset config for a scale.
+pub fn tmall_config(scale: Scale) -> TmallConfig {
+    match scale {
+        Scale::Tiny => TmallConfig::tiny(),
+        Scale::Small => TmallConfig::small(),
+        Scale::Paper => TmallConfig::paper_scale(),
+    }
+}
+
+/// Ele.me dataset config for a scale. Tiny is enlarged relative to the
+/// unit-test preset: the A/B arms select top-15% subsets, which need a
+/// few hundred pool members for stable means.
+pub fn eleme_config(scale: Scale) -> ElemeConfig {
+    match scale {
+        Scale::Tiny => ElemeConfig { num_restaurants: 1_600, ..ElemeConfig::tiny() },
+        Scale::Small => ElemeConfig::small(),
+        Scale::Paper => ElemeConfig::paper_scale(),
+    }
+}
+
+/// Training epochs per scale. Tiny runs see few batches per epoch, so
+/// they need more passes to reach the qualitative regime.
+pub fn epochs(scale: Scale) -> usize {
+    match scale {
+        Scale::Tiny => 8,
+        Scale::Small => 3,
+        Scale::Paper => 3,
+    }
+}
+
+/// A cold-start experiment context: the dataset, which items are "new
+/// arrivals" (held out of training entirely), and the interaction split
+/// induced by that item split (80/20 by item, as in the paper).
+pub struct ColdStartSetup {
+    /// The simulated Tmall log.
+    pub data: TmallDataset,
+    /// Item ids never seen in training.
+    pub new_arrivals: Vec<u32>,
+    /// Interaction-row split (train = warm items, test = new arrivals).
+    pub split: Split,
+}
+
+impl ColdStartSetup {
+    /// Generates the dataset and holds out 20% of items as new arrivals.
+    pub fn generate(scale: Scale) -> Self {
+        Self::generate_seeded(scale, 0)
+    }
+
+    /// Like [`Self::generate`] but with a re-seeded dataset draw
+    /// (`seed_offset = 0` reproduces the default).
+    pub fn generate_seeded(scale: Scale, seed_offset: u64) -> Self {
+        let base = tmall_config(scale);
+        let seed = base.seed.wrapping_add(seed_offset.wrapping_mul(0x9E37_79B9));
+        let data = TmallDataset::generate(base.with_seed(seed));
+        let n_items = data.num_items() as u32;
+        let threshold = n_items - n_items / 5;
+        let new_arrivals: Vec<u32> = (threshold..n_items).collect();
+        let item_keys: Vec<u32> = data.interactions.iter().map(|i| i.item).collect();
+        let split = Split::by_group(&item_keys, |item| item >= threshold);
+        ColdStartSetup { data, new_arrivals, split }
+    }
+
+    /// Item ids available during training (warm items).
+    pub fn warm_items(&self) -> Vec<u32> {
+        let first_cold = self.new_arrivals.first().copied().unwrap_or(0);
+        (0..first_cold).collect()
+    }
+}
+
+/// Trains an [`Atnn`] (or TNN variant, per `config`) on the warm split.
+pub fn train_atnn(setup: &ColdStartSetup, config: AtnnConfig, scale: Scale) -> Atnn {
+    let mut model = Atnn::new(config, &setup.data);
+    let opts = TrainOptions { epochs: epochs(scale), ..Default::default() };
+    CtrTrainer::new(opts).train(&mut model, &setup.data, Some(&setup.split.train));
+    model
+}
+
+/// Dense tabular design matrix for the GBDT baseline over interaction
+/// rows: `[item profile cats+nums | item stats | user cats+nums]`.
+/// `stats_override` replaces every row's statistics (cold-start
+/// imputation).
+pub fn gbdt_features(
+    data: &TmallDataset,
+    rows: &[u32],
+    stats_override: Option<&[f32]>,
+) -> (Matrix, Vec<f32>) {
+    let items: Vec<u32> = rows.iter().map(|&r| data.interactions[r as usize].item).collect();
+    let users: Vec<u32> = rows.iter().map(|&r| data.interactions[r as usize].user).collect();
+    let profile = data.encode_item_profiles(&items);
+    let stats = data.encode_item_stats(&items);
+    let user = data.encode_users(&users);
+
+    let stats_numeric = match stats_override {
+        Some(means) => Matrix::from_fn(rows.len(), means.len(), |_, j| means[j]),
+        None => stats.numeric,
+    };
+    let x = tabular::hstack(
+        &tabular::hstack(&tabular::flatten(&profile.categorical, &profile.numeric), &stats_numeric),
+        &tabular::flatten(&user.categorical, &user.numeric),
+    );
+    let y: Vec<f32> = rows
+        .iter()
+        .map(|&r| data.interactions[r as usize].clicked as u8 as f32)
+        .collect();
+    (x, y)
+}
+
+/// Trains the GBDT baseline on the warm split.
+pub fn train_gbdt(setup: &ColdStartSetup, scale: Scale) -> Gbdt {
+    let (x, y) = gbdt_features(&setup.data, &setup.split.train, None);
+    let num_trees = match scale {
+        Scale::Tiny => 20,
+        Scale::Small => 60,
+        Scale::Paper => 80,
+    };
+    let cfg = GbdtConfig { num_trees, objective: Objective::Logistic, ..GbdtConfig::default() };
+    Gbdt::fit(cfg, &x, &y)
+}
+
+/// AUC of a GBDT over interaction rows (optionally with imputed stats).
+pub fn gbdt_auc(
+    model: &Gbdt,
+    data: &TmallDataset,
+    rows: &[u32],
+    stats_override: Option<&[f32]>,
+) -> f64 {
+    let (x, y) = gbdt_features(data, rows, stats_override);
+    let scores = model.predict(&x);
+    let labels: Vec<bool> = y.iter().map(|&v| v > 0.5).collect();
+    atnn_metrics::auc(&scores, &labels).expect("AUC defined")
+}
+
+/// An 80/20 restaurant split for the food-delivery experiments.
+pub fn eleme_setup(scale: Scale) -> (ElemeDataset, Split) {
+    let data = ElemeDataset::generate(eleme_config(scale));
+    let mut rng = atnn_tensor::Rng64::seed_from_u64(1213);
+    let split = Split::random(data.num_restaurants(), 0.2, &mut rng);
+    (data, split)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_split_isolates_new_arrivals() {
+        let setup = ColdStartSetup::generate(Scale::Tiny);
+        let first_cold = setup.new_arrivals[0];
+        for &r in &setup.split.train {
+            assert!(setup.data.interactions[r as usize].item < first_cold);
+        }
+        for &r in &setup.split.test {
+            assert!(setup.data.interactions[r as usize].item >= first_cold);
+        }
+        assert_eq!(
+            setup.new_arrivals.len(),
+            setup.data.num_items() / 5,
+            "20% of items are held out"
+        );
+        assert_eq!(setup.warm_items().len() + setup.new_arrivals.len(), setup.data.num_items());
+    }
+
+    #[test]
+    fn gbdt_features_have_expected_width() {
+        let setup = ColdStartSetup::generate(Scale::Tiny);
+        let rows: Vec<u32> = (0..50).collect();
+        let (x, y) = gbdt_features(&setup.data, &rows, None);
+        // 38 profile + 46 stats + 19 user = 103 columns.
+        assert_eq!(x.shape(), (50, 103));
+        assert_eq!(y.len(), 50);
+        // With override, the stats columns are constant.
+        let means = vec![0.5f32; 46];
+        let (xi, _) = gbdt_features(&setup.data, &rows, Some(&means));
+        assert_eq!(xi.get(0, 38), 0.5);
+        assert_eq!(xi.get(49, 83), 0.5);
+    }
+}

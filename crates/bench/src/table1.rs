@@ -1,0 +1,254 @@
+//! Table I — offline item-generation-ability experiment.
+//!
+//! Four models (GBDT, TNN-FC, TNN-DCN, ATNN) are trained on warm items and
+//! evaluated on *held-out new arrivals* twice: with complete item features
+//! (statistics available — the ideal, non-cold-start ceiling) and with
+//! item profiles only (cold start). Baselines impute missing statistics
+//! with training means; ATNN scores cold items through its generator.
+
+use atnn_core::{
+    evaluate_auc_full, evaluate_auc_generated, evaluate_auc_imputed, gather_batch, Atnn,
+    AtnnConfig, ConcatDnn,
+};
+
+use crate::pipeline::{epochs, gbdt_auc, train_atnn, train_gbdt, ColdStartSetup};
+use crate::Scale;
+
+/// One model's row of Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Model name.
+    pub model: String,
+    /// AUC with only item profiles (cold-start scenario).
+    pub auc_profile_only: f64,
+    /// AUC with complete item features (ideal baseline).
+    pub auc_complete: f64,
+}
+
+impl Row {
+    /// Performance degradation due to missing item statistics
+    /// (paper's third column): `(profile_only − complete) / complete`.
+    pub fn degradation(&self) -> f64 {
+        (self.auc_profile_only - self.auc_complete) / self.auc_complete
+    }
+}
+
+/// The four-model result.
+#[derive(Debug, Clone)]
+pub struct Table1 {
+    /// Rows in the paper's order: GBDT, TNN-FC, TNN-DCN, ATNN.
+    pub rows: Vec<Row>,
+}
+
+impl Table1 {
+    /// Row lookup by model name.
+    pub fn row(&self, model: &str) -> &Row {
+        self.rows.iter().find(|r| r.model == model).expect("model present")
+    }
+}
+
+/// Runs the experiment at the given scale (fixed default seed).
+pub fn run(scale: Scale) -> Table1 {
+    run_seeded(scale, 0)
+}
+
+/// Runs the experiment with both the dataset draw and every model's
+/// initialization re-seeded — the unit of the seed-variance study
+/// (`repro_variance`). `seed_offset = 0` reproduces [`run`].
+pub fn run_seeded(scale: Scale, seed_offset: u64) -> Table1 {
+    let setup = ColdStartSetup::generate_seeded(scale, seed_offset);
+    let means = setup.data.mean_item_stats(&setup.warm_items());
+    let test = &setup.split.test;
+    let mut rows = Vec::with_capacity(4);
+
+    // GBDT: complete features at test time vs mean-imputed statistics.
+    let gbdt = train_gbdt(&setup, scale);
+    rows.push(Row {
+        model: "GBDT".into(),
+        auc_profile_only: gbdt_auc(&gbdt, &setup.data, test, Some(&means)),
+        auc_complete: gbdt_auc(&gbdt, &setup.data, test, None),
+    });
+
+    // TNN-FC and TNN-DCN: encoder path, imputed statistics when cold.
+    for (name, config) in [("TNN-FC", AtnnConfig::tnn_fc()), ("TNN-DCN", AtnnConfig::tnn_dcn())] {
+        let model = train_atnn(&setup, config.with_seed(1 + seed_offset), scale);
+        rows.push(Row {
+            model: name.into(),
+            auc_profile_only: evaluate_auc_imputed(&model, &setup.data, test, &means)
+                .expect("AUC defined"),
+            auc_complete: evaluate_auc_full(&model, &setup.data, test).expect("AUC defined"),
+        });
+    }
+
+    // ATNN: generator path when cold; encoder path when complete.
+    let atnn = train_atnn(&setup, AtnnConfig::scaled().with_seed(1 + seed_offset), scale);
+    rows.push(Row {
+        model: "ATNN".into(),
+        auc_profile_only: evaluate_auc_generated(&atnn, &setup.data, test).expect("AUC defined"),
+        auc_complete: evaluate_auc_full(&atnn, &setup.data, test).expect("AUC defined"),
+    });
+
+    Table1 { rows }
+}
+
+/// [`run`] plus a fifth row for the Fig-2 concat-DNN baseline (scored
+/// cold with mean-imputed statistics — it has no generator and, by
+/// design, no extractable item vector).
+pub fn run_with_concat(scale: Scale) -> Table1 {
+    let mut t = run_seeded(scale, 0);
+    let setup = ColdStartSetup::generate(scale);
+    let means = setup.data.mean_item_stats(&setup.warm_items());
+    let mut model = ConcatDnn::new(&AtnnConfig::scaled(), &setup.data);
+    let mut iter = atnn_data::dataset::BatchIter::new(
+        setup.split.train.clone(),
+        256,
+        atnn_tensor::Rng64::seed_from_u64(97),
+    );
+    for _ in 0..epochs(scale) {
+        while let Some(batch) = iter.next_batch() {
+            let (profile, stats, users, labels) = gather_batch(&setup.data, batch);
+            model.train_step(&profile, &stats, &users, &labels);
+        }
+        iter.next_epoch();
+    }
+    let auc_with = |impute: Option<&[f32]>| -> f64 {
+        let mut scores = Vec::new();
+        let mut labels_all = Vec::new();
+        for chunk in setup.split.test.chunks(512) {
+            let (profile, stats, users, y) = gather_batch(&setup.data, chunk);
+            let stats = match impute {
+                Some(means) => Atnn::imputed_stats_block(profile.len(), means),
+                None => stats,
+            };
+            scores.extend(model.predict(&profile, &stats, &users));
+            labels_all.extend(y.as_slice().iter().map(|&v| v > 0.5));
+        }
+        atnn_metrics::auc(&scores, &labels_all).expect("AUC defined")
+    };
+    t.rows.insert(
+        0,
+        Row {
+            model: "ConcatDNN".into(),
+            auc_profile_only: auc_with(Some(&means)),
+            auc_complete: auc_with(None),
+        },
+    );
+    t
+}
+
+/// Renders the paper's layout.
+pub fn render(t: &Table1) -> String {
+    crate::fmt::render_table(
+        &["Model", "AUC profile-only", "AUC complete", "Degradation"],
+        &t.rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.model.clone(),
+                    crate::fmt::f4(r.auc_profile_only),
+                    crate::fmt::f4(r.auc_complete),
+                    crate::fmt::pct(r.degradation()),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The full Table-I shape at tiny scale. This is the headline claim of
+    /// the paper, asserted end to end:
+    /// 1. ATNN is the best cold-start model;
+    /// 2. ATNN's degradation is (near) zero and the smallest in magnitude;
+    /// 3. TNN-DCN beats TNN-FC given complete features (DCN helps);
+    /// 4. every baseline degrades when statistics go missing.
+    #[test]
+    fn table1_shape_holds_at_tiny_scale() {
+        let t = run(Scale::Tiny);
+        assert_eq!(t.rows.len(), 4);
+
+        let atnn = t.row("ATNN");
+        let dcn = t.row("TNN-DCN");
+        let fc = t.row("TNN-FC");
+        let gbdt = t.row("GBDT");
+
+        // (1) best cold-start model.
+        for other in [dcn, fc, gbdt] {
+            assert!(
+                atnn.auc_profile_only > other.auc_profile_only,
+                "ATNN cold {:.4} must beat {} cold {:.4}",
+                atnn.auc_profile_only,
+                other.model,
+                other.auc_profile_only
+            );
+        }
+        // (2) near-zero, smallest-magnitude degradation. The bound is a
+        // little looser at tiny scale (one seed, 160 cold items); the
+        // paper-scale run recorded in EXPERIMENTS.md lands well inside it.
+        assert!(
+            atnn.degradation().abs() < 0.045,
+            "ATNN degradation should be ~0: {:.4}",
+            atnn.degradation()
+        );
+        for other in [dcn, gbdt] {
+            assert!(
+                atnn.degradation().abs() < other.degradation().abs(),
+                "ATNN |degr| {:.4} must be below {} |degr| {:.4}",
+                atnn.degradation().abs(),
+                other.model,
+                other.degradation().abs()
+            );
+        }
+        // (3) DCN is at least competitive with FC. NOTE (documented in
+        // EXPERIMENTS.md): the paper reports a dramatic TNN-FC deficit
+        // (0.6048 vs 0.7169); on this substrate equal-capacity FC towers
+        // are within noise of DCN towers — consistent with the DCN paper's
+        // own sub-1% gains — so only parity is asserted, and the DCN
+        // contribution is measured by the cross-depth ablation (A3).
+        assert!(
+            dcn.auc_complete > fc.auc_complete - 0.02,
+            "TNN-DCN {:.4} vs TNN-FC {:.4}",
+            dcn.auc_complete,
+            fc.auc_complete
+        );
+        // (4) statistics matter: baselines degrade.
+        for baseline in [dcn, gbdt] {
+            assert!(
+                baseline.degradation() < -0.005,
+                "{} should degrade without stats: {:.4}",
+                baseline.model,
+                baseline.degradation()
+            );
+        }
+        // Sanity: all AUCs are meaningfully above chance.
+        for row in &t.rows {
+            assert!(row.auc_complete > 0.55, "{}: {:.4}", row.model, row.auc_complete);
+        }
+    }
+
+    #[test]
+    fn concat_dnn_row_is_sane_and_degrades() {
+        let t = run_with_concat(Scale::Tiny);
+        assert_eq!(t.rows.len(), 5);
+        let concat = t.row("ConcatDNN");
+        assert!(concat.auc_complete > 0.6, "trains to signal: {:.4}", concat.auc_complete);
+        assert!(
+            concat.degradation() < -0.01,
+            "no generator => must degrade cold: {:.4}",
+            concat.degradation()
+        );
+        // ATNN still wins cold against the concat baseline.
+        assert!(t.row("ATNN").auc_profile_only > concat.auc_profile_only);
+    }
+
+    #[test]
+    fn render_contains_all_models() {
+        let t = Table1 {
+            rows: vec![Row { model: "GBDT".into(), auc_profile_only: 0.61, auc_complete: 0.66 }],
+        };
+        let s = render(&t);
+        assert!(s.contains("GBDT") && s.contains("-7.58%"));
+    }
+}

@@ -1,0 +1,101 @@
+//! Table III — online A/B test: ATNN selection vs human experts.
+//!
+//! Both arms pick the most promising new arrivals from the same pool; the
+//! market simulator realizes transactions; the paper's statistic is the
+//! average time to the first five successful transactions (lower wins).
+
+use atnn_core::{AtnnConfig, PopularityIndex};
+use atnn_data::market::{run_arm, ArmResult, ExpertPolicy, MarketConfig};
+
+use crate::pipeline::{train_atnn, ColdStartSetup};
+use crate::Scale;
+
+/// The A/B outcome.
+#[derive(Debug, Clone)]
+pub struct Table3 {
+    /// Expert arm.
+    pub expert: ArmResult,
+    /// ATNN arm.
+    pub atnn: ArmResult,
+}
+
+impl Table3 {
+    /// Relative improvement of ATNN over the experts (positive = ATNN
+    /// reaches five sales faster), matching the paper's third column.
+    pub fn improvement(&self) -> f64 {
+        (self.expert.avg_days_to_k_sales - self.atnn.avg_days_to_k_sales)
+            / self.expert.avg_days_to_k_sales
+    }
+}
+
+/// Runs the A/B test at the given scale.
+pub fn run(scale: Scale) -> Table3 {
+    let setup = ColdStartSetup::generate(scale);
+    let model = train_atnn(&setup, AtnnConfig::scaled(), scale);
+    let group: Vec<u32> = (0..(setup.data.num_users() / 2) as u32).collect();
+    let index = PopularityIndex::build(&model, &setup.data, &group);
+
+    let pool = &setup.new_arrivals;
+    let atnn_scores = index.score_new_arrivals(&model, &setup.data, pool);
+    let expert_scores = ExpertPolicy::default().score(&setup.data, pool);
+
+    // The paper selects 300k of tens of millions (~1-3%); at simulator
+    // scale we select the top 10% so each arm has enough items for a
+    // stable average.
+    let top_k = (pool.len() / 10).max(10).min(pool.len());
+    let market = MarketConfig::default();
+    Table3 {
+        expert: run_arm(&setup.data, pool, &expert_scores, top_k, 5, &market),
+        atnn: run_arm(&setup.data, pool, &atnn_scores, top_k, 5, &market),
+    }
+}
+
+/// Renders the paper's layout.
+pub fn render(t: &Table3) -> String {
+    crate::fmt::render_table(
+        &["Arm", "Avg days to 5 sales", "Hit rate"],
+        &[
+            vec![
+                "Expert selection".into(),
+                format!("{:.2} days", t.expert.avg_days_to_k_sales),
+                crate::fmt::f2(t.expert.hit_rate),
+            ],
+            vec![
+                "ATNN selection".into(),
+                format!("{:.2} days", t.atnn.avg_days_to_k_sales),
+                crate::fmt::f2(t.atnn.hit_rate),
+            ],
+            vec!["Improvement".into(), crate::fmt::pct(t.improvement()), String::new()],
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Table-III claim: ATNN beats the experts on time-to-5-sales.
+    /// (The paper reports +7.16%; any clearly positive margin counts.)
+    #[test]
+    fn atnn_beats_experts_at_tiny_scale() {
+        let t = run(Scale::Tiny);
+        assert!(
+            t.atnn.avg_days_to_k_sales < t.expert.avg_days_to_k_sales,
+            "ATNN {:.2} vs expert {:.2}",
+            t.atnn.avg_days_to_k_sales,
+            t.expert.avg_days_to_k_sales
+        );
+        assert!(t.improvement() > 0.0);
+        assert!(t.atnn.hit_rate >= t.expert.hit_rate * 0.9, "hit rates comparable or better");
+        // Both arms selected the same number of items from the same pool.
+        assert_eq!(t.atnn.selected.len(), t.expert.selected.len());
+    }
+
+    #[test]
+    fn render_mentions_both_arms() {
+        let t = run(Scale::Tiny);
+        let s = render(&t);
+        assert!(s.contains("Expert selection") && s.contains("ATNN selection"));
+        assert!(s.contains("Improvement"));
+    }
+}

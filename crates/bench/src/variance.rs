@@ -1,0 +1,149 @@
+//! Seed-variance study over the Table-I experiment.
+//!
+//! A single-seed table can overstate (or bury) a model difference; this
+//! module reruns Table I across independent dataset draws + model
+//! initializations and reports per-cell mean ± sample standard deviation.
+//! `repro_variance` prints it; `EXPERIMENTS.md` cites it when deciding
+//! which paper claims survive noise.
+
+use crate::table1::{self, Table1};
+use crate::Scale;
+
+/// Mean ± std of one Table-I cell across seeds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellStats {
+    /// Mean over seeds.
+    pub mean: f64,
+    /// Sample standard deviation (0 for a single seed).
+    pub std: f64,
+}
+
+impl CellStats {
+    fn from_samples(xs: &[f64]) -> Self {
+        let n = xs.len().max(1) as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = if xs.len() > 1 {
+            xs.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0)
+        } else {
+            0.0
+        };
+        CellStats { mean, std: var.sqrt() }
+    }
+}
+
+/// Aggregated Table-I statistics.
+#[derive(Debug, Clone)]
+pub struct VarianceReport {
+    /// Model names in the paper's order.
+    pub models: Vec<String>,
+    /// Per-model cold-start AUC statistics.
+    pub profile_only: Vec<CellStats>,
+    /// Per-model complete-feature AUC statistics.
+    pub complete: Vec<CellStats>,
+    /// Per-model degradation statistics.
+    pub degradation: Vec<CellStats>,
+    /// Individual runs (for downstream analysis).
+    pub runs: Vec<Table1>,
+}
+
+impl VarianceReport {
+    /// Whether "ATNN has the best cold-start AUC" held in *every* run.
+    pub fn atnn_always_best_cold(&self) -> bool {
+        self.runs.iter().all(|t| {
+            let atnn = t.row("ATNN").auc_profile_only;
+            t.rows.iter().all(|r| r.model == "ATNN" || r.auc_profile_only < atnn)
+        })
+    }
+}
+
+/// Runs Table I for `num_seeds` independent seeds and aggregates.
+pub fn run(scale: Scale, num_seeds: usize) -> VarianceReport {
+    assert!(num_seeds > 0, "need at least one seed");
+    let runs: Vec<Table1> =
+        (0..num_seeds as u64).map(|s| table1::run_seeded(scale, s)).collect();
+    let models: Vec<String> = runs[0].rows.iter().map(|r| r.model.clone()).collect();
+    let collect = |f: &dyn Fn(&table1::Row) -> f64| -> Vec<CellStats> {
+        models
+            .iter()
+            .map(|m| {
+                let samples: Vec<f64> = runs.iter().map(|t| f(t.row(m))).collect();
+                CellStats::from_samples(&samples)
+            })
+            .collect()
+    };
+    VarianceReport {
+        profile_only: collect(&|r| r.auc_profile_only),
+        complete: collect(&|r| r.auc_complete),
+        degradation: collect(&|r| r.degradation()),
+        models,
+        runs,
+    }
+}
+
+/// Renders mean ± std per cell.
+pub fn render(v: &VarianceReport) -> String {
+    let fmt_cell = |c: &CellStats| format!("{:.4} ± {:.4}", c.mean, c.std);
+    let fmt_pct = |c: &CellStats| format!("{:+.2}% ± {:.2}%", c.mean * 100.0, c.std * 100.0);
+    let rows: Vec<Vec<String>> = v
+        .models
+        .iter()
+        .enumerate()
+        .map(|(i, m)| {
+            vec![
+                m.clone(),
+                fmt_cell(&v.profile_only[i]),
+                fmt_cell(&v.complete[i]),
+                fmt_pct(&v.degradation[i]),
+            ]
+        })
+        .collect();
+    crate::fmt::render_table(
+        &["Model", "AUC profile-only", "AUC complete", "Degradation"],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_stats_math() {
+        let c = CellStats::from_samples(&[1.0, 2.0, 3.0]);
+        assert!((c.mean - 2.0).abs() < 1e-12);
+        assert!((c.std - 1.0).abs() < 1e-12);
+        let single = CellStats::from_samples(&[5.0]);
+        assert_eq!(single.std, 0.0);
+    }
+
+    #[test]
+    fn headline_claims_survive_three_seeds_at_tiny_scale() {
+        let v = run(Scale::Tiny, 3);
+        assert_eq!(v.runs.len(), 3);
+        // Seeds genuinely differ.
+        let aucs: Vec<f64> = v.runs.iter().map(|t| t.row("ATNN").auc_profile_only).collect();
+        assert!(aucs.windows(2).any(|w| w[0] != w[1]), "seeds must vary: {aucs:?}");
+        // ATNN is the best cold model in every single draw.
+        assert!(v.atnn_always_best_cold(), "{:?}", v.profile_only);
+        // And its mean degradation magnitude is clearly the smallest.
+        let atnn_idx = v.models.iter().position(|m| m == "ATNN").unwrap();
+        for (i, m) in v.models.iter().enumerate() {
+            if i != atnn_idx && m != "TNN-FC" {
+                assert!(
+                    v.degradation[atnn_idx].mean.abs() < v.degradation[i].mean.abs(),
+                    "ATNN vs {m}: {:?} vs {:?}",
+                    v.degradation[atnn_idx],
+                    v.degradation[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn render_shows_plus_minus() {
+        let v = run(Scale::Tiny, 1);
+        let s = render(&v);
+        assert!(s.contains("±"));
+        assert!(s.contains("ATNN"));
+    }
+}

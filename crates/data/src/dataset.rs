@@ -1,0 +1,244 @@
+//! Train/test splits and mini-batch iteration over interaction logs.
+
+use atnn_tensor::Rng64;
+
+/// An 80/20-style split of indices, by *entity* (e.g. by item, so held-out
+/// items are genuinely cold) or by row.
+#[derive(Debug, Clone)]
+pub struct Split {
+    /// Training-set indices.
+    pub train: Vec<u32>,
+    /// Test-set indices.
+    pub test: Vec<u32>,
+}
+
+impl Split {
+    /// Randomly splits `0..n` with the given test fraction.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 < test_fraction < 1.0`.
+    pub fn random(n: usize, test_fraction: f64, rng: &mut Rng64) -> Self {
+        assert!(
+            test_fraction > 0.0 && test_fraction < 1.0,
+            "test_fraction must be in (0, 1)"
+        );
+        let mut idx: Vec<u32> = (0..n as u32).collect();
+        rng.shuffle(&mut idx);
+        let n_test = ((n as f64) * test_fraction).round() as usize;
+        let n_test = n_test.clamp(1, n.saturating_sub(1));
+        let test = idx.split_off(n - n_test);
+        Split { train: idx, test }
+    }
+
+    /// Splits rows by a per-row group key: any group whose key is in the
+    /// held-out set goes entirely to test. This is how cold-start item
+    /// splits are made — no test item ever appears in training.
+    pub fn by_group(keys: &[u32], held_out: impl Fn(u32) -> bool) -> Self {
+        let mut train = Vec::new();
+        let mut test = Vec::new();
+        for (i, &k) in keys.iter().enumerate() {
+            if held_out(k) {
+                test.push(i as u32);
+            } else {
+                train.push(i as u32);
+            }
+        }
+        Split { train, test }
+    }
+}
+
+/// Keeps every positive row and a `keep_rate` fraction of negative rows —
+/// the standard trick for imbalanced CTR logs. Returns the surviving row
+/// indices in their original order.
+///
+/// Predictions from a model trained on the downsampled log are biased;
+/// correct them with [`recalibrate_probability`].
+pub fn downsample_negatives(labels: &[bool], keep_rate: f32, rng: &mut Rng64) -> Vec<u32> {
+    assert!(
+        (0.0..=1.0).contains(&keep_rate),
+        "keep_rate must be a probability"
+    );
+    labels
+        .iter()
+        .enumerate()
+        .filter(|&(_, &positive)| positive || rng.bernoulli(keep_rate))
+        .map(|(i, _)| i as u32)
+        .collect()
+}
+
+/// Undoes the base-rate shift introduced by negative downsampling at rate
+/// `keep_rate`: `p' = p / (p + (1 − p) / keep_rate)`.
+pub fn recalibrate_probability(p: f32, keep_rate: f32) -> f32 {
+    assert!(keep_rate > 0.0 && keep_rate <= 1.0, "keep_rate must be in (0, 1]");
+    let p = p.clamp(0.0, 1.0);
+    p / (p + (1.0 - p) / keep_rate)
+}
+
+/// Yields shuffled mini-batches of indices, reshuffling every epoch.
+#[derive(Debug)]
+pub struct BatchIter {
+    indices: Vec<u32>,
+    batch_size: usize,
+    cursor: usize,
+    rng: Rng64,
+    drop_last: bool,
+}
+
+impl BatchIter {
+    /// Creates an iterator over `indices` with the given batch size.
+    ///
+    /// # Panics
+    /// Panics when `batch_size == 0`.
+    pub fn new(indices: Vec<u32>, batch_size: usize, rng: Rng64) -> Self {
+        assert!(batch_size > 0, "batch_size must be positive");
+        let mut it = BatchIter { indices, batch_size, cursor: 0, rng, drop_last: false };
+        it.rng.shuffle(&mut it.indices);
+        it
+    }
+
+    /// Drops a trailing partial batch (steadier loss scales in training).
+    pub fn with_drop_last(mut self, drop: bool) -> Self {
+        self.drop_last = drop;
+        self
+    }
+
+    /// Next mini-batch within the current epoch, or `None` at epoch end.
+    pub fn next_batch(&mut self) -> Option<&[u32]> {
+        if self.cursor >= self.indices.len() {
+            return None;
+        }
+        let end = (self.cursor + self.batch_size).min(self.indices.len());
+        if self.drop_last && end - self.cursor < self.batch_size {
+            return None;
+        }
+        let batch = &self.indices[self.cursor..end];
+        self.cursor = end;
+        Some(batch)
+    }
+
+    /// Starts a new epoch: reshuffles and resets the cursor.
+    pub fn next_epoch(&mut self) {
+        self.cursor = 0;
+        self.rng.shuffle(&mut self.indices);
+    }
+
+    /// Number of batches per full epoch.
+    pub fn batches_per_epoch(&self) -> usize {
+        if self.drop_last {
+            self.indices.len() / self.batch_size
+        } else {
+            self.indices.len().div_ceil(self.batch_size)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_split_partitions() {
+        let mut rng = Rng64::seed_from_u64(0);
+        let s = Split::random(100, 0.2, &mut rng);
+        assert_eq!(s.train.len(), 80);
+        assert_eq!(s.test.len(), 20);
+        let mut all: Vec<u32> = s.train.iter().chain(&s.test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn random_split_never_empties_either_side() {
+        let mut rng = Rng64::seed_from_u64(1);
+        let s = Split::random(2, 0.01, &mut rng);
+        assert_eq!(s.train.len(), 1);
+        assert_eq!(s.test.len(), 1);
+    }
+
+    #[test]
+    fn group_split_keeps_groups_whole() {
+        // Rows tagged by item id; items >= 3 are held out.
+        let keys = [0u32, 1, 3, 3, 2, 4, 1];
+        let s = Split::by_group(&keys, |k| k >= 3);
+        assert_eq!(s.train, vec![0, 1, 4, 6]);
+        assert_eq!(s.test, vec![2, 3, 5]);
+    }
+
+    #[test]
+    fn downsampling_keeps_all_positives() {
+        let mut rng = Rng64::seed_from_u64(9);
+        let labels: Vec<bool> = (0..2_000).map(|i| i % 10 == 0).collect();
+        let kept = downsample_negatives(&labels, 0.25, &mut rng);
+        let positives_kept = kept.iter().filter(|&&i| labels[i as usize]).count();
+        assert_eq!(positives_kept, 200, "every positive survives");
+        let negatives_kept = kept.len() - positives_kept;
+        let expected = (1_800.0 * 0.25) as i64;
+        assert!(
+            (negatives_kept as i64 - expected).abs() < 120,
+            "negatives near the rate: {negatives_kept} vs {expected}"
+        );
+        // Indices stay sorted (original order).
+        assert!(kept.windows(2).all(|w| w[0] < w[1]));
+        // Degenerate rates.
+        assert_eq!(
+            downsample_negatives(&labels, 1.0, &mut rng).len(),
+            labels.len()
+        );
+        let only_pos = downsample_negatives(&labels, 0.0, &mut rng);
+        assert!(only_pos.iter().all(|&i| labels[i as usize]));
+    }
+
+    #[test]
+    fn recalibration_inverts_the_base_rate_shift() {
+        // A population with true rate r, downsampled at w, has observed
+        // rate r' = r / (r + (1-r)w). Recalibrating r' must return r.
+        for &(r, w) in &[(0.05f32, 0.1f32), (0.3, 0.25), (0.5, 0.5)] {
+            let observed = r / (r + (1.0 - r) * w);
+            let back = recalibrate_probability(observed, w);
+            assert!((back - r).abs() < 1e-6, "r={r} w={w}: got {back}");
+        }
+        assert_eq!(recalibrate_probability(0.0, 0.5), 0.0);
+        assert_eq!(recalibrate_probability(1.0, 0.5), 1.0);
+        // keep_rate = 1 is the identity.
+        assert!((recalibrate_probability(0.37, 1.0) - 0.37).abs() < 1e-6);
+    }
+
+    #[test]
+    fn batches_cover_every_index_once_per_epoch() {
+        let rng = Rng64::seed_from_u64(2);
+        let mut it = BatchIter::new((0..10).collect(), 3, rng);
+        assert_eq!(it.batches_per_epoch(), 4);
+        let mut seen = Vec::new();
+        while let Some(b) = it.next_batch() {
+            seen.extend_from_slice(b);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+        assert!(it.next_batch().is_none(), "epoch exhausted");
+        it.next_epoch();
+        assert!(it.next_batch().is_some());
+    }
+
+    #[test]
+    fn drop_last_discards_partial() {
+        let rng = Rng64::seed_from_u64(3);
+        let mut it = BatchIter::new((0..10).collect(), 3, rng).with_drop_last(true);
+        assert_eq!(it.batches_per_epoch(), 3);
+        let mut count = 0;
+        while let Some(b) = it.next_batch() {
+            assert_eq!(b.len(), 3);
+            count += 1;
+        }
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn epochs_reshuffle() {
+        let rng = Rng64::seed_from_u64(4);
+        let mut it = BatchIter::new((0..64).collect(), 64, rng);
+        let first: Vec<u32> = it.next_batch().unwrap().to_vec();
+        it.next_epoch();
+        let second: Vec<u32> = it.next_batch().unwrap().to_vec();
+        assert_ne!(first, second, "orders should differ across epochs");
+    }
+}

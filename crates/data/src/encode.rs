@@ -1,0 +1,205 @@
+//! Encoding utilities: string vocabularies, hash buckets and numeric
+//! normalization.
+
+use std::collections::HashMap;
+
+use atnn_tensor::Matrix;
+
+/// A growable string-to-id vocabulary with a reserved out-of-vocabulary
+/// slot at id `0`.
+///
+/// `fit`-time strings get stable ids `1..`; unseen strings map to `0` at
+/// lookup time. This is how production feature pipelines keep embedding
+/// tables bounded while new sellers/brands keep arriving.
+#[derive(Debug, Clone, Default)]
+pub struct Vocab {
+    map: HashMap<String, u32>,
+    frozen: bool,
+}
+
+impl Vocab {
+    /// Creates an empty, unfrozen vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the id for `token`, inserting it when unfrozen. A frozen
+    /// vocabulary maps unknown tokens to the OOV id `0`.
+    pub fn encode(&mut self, token: &str) -> u32 {
+        if let Some(&id) = self.map.get(token) {
+            return id;
+        }
+        if self.frozen {
+            return 0;
+        }
+        let id = self.map.len() as u32 + 1;
+        self.map.insert(token.to_string(), id);
+        id
+    }
+
+    /// Lookup without insertion; unknown tokens map to `0`.
+    pub fn get(&self, token: &str) -> u32 {
+        self.map.get(token).copied().unwrap_or(0)
+    }
+
+    /// Freezes the vocabulary: subsequent unknown tokens become OOV.
+    pub fn freeze(&mut self) {
+        self.frozen = true;
+    }
+
+    /// Number of ids issued, including the OOV slot (i.e. valid embedding
+    /// vocab size).
+    pub fn len(&self) -> usize {
+        self.map.len() + 1
+    }
+
+    /// True when only the OOV slot exists.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Deterministic hash-bucket encoder (FNV-1a), for id spaces too large to
+/// enumerate (e.g. raw user ids). Returns a bucket in `[0, buckets)`.
+pub fn hash_bucket(token: &str, buckets: usize) -> u32 {
+    assert!(buckets > 0, "hash_bucket needs at least one bucket");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in token.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    (h % buckets as u64) as u32
+}
+
+/// Per-column z-score normalization fit on a training matrix and applied
+/// to any other matrix with the same width.
+///
+/// Columns with (near-)zero variance are passed through centered only —
+/// dividing by ~0 would explode them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Normalizer {
+    mean: Vec<f32>,
+    std: Vec<f32>,
+}
+
+impl Normalizer {
+    /// Fits means and standard deviations per column.
+    ///
+    /// # Panics
+    /// Panics on an empty matrix.
+    pub fn fit(data: &Matrix) -> Self {
+        assert!(data.rows() > 0, "Normalizer::fit on empty matrix");
+        let n = data.rows() as f32;
+        let mut mean = vec![0.0f32; data.cols()];
+        for i in 0..data.rows() {
+            for (m, &v) in mean.iter_mut().zip(data.row(i)) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0f32; data.cols()];
+        for i in 0..data.rows() {
+            for ((s, &v), &m) in var.iter_mut().zip(data.row(i)).zip(&mean) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        let std = var.into_iter().map(|s| (s / n).sqrt()).collect();
+        Normalizer { mean, std }
+    }
+
+    /// Applies `(x - mean) / std` column-wise.
+    ///
+    /// # Panics
+    /// Panics when the width differs from the fitted data.
+    pub fn transform(&self, data: &Matrix) -> Matrix {
+        assert_eq!(data.cols(), self.mean.len(), "Normalizer width mismatch");
+        let mut out = data.clone();
+        for i in 0..out.rows() {
+            for ((v, &m), &s) in out.row_mut(i).iter_mut().zip(&self.mean).zip(&self.std) {
+                *v = if s > 1e-6 { (*v - m) / s } else { *v - m };
+            }
+        }
+        out
+    }
+
+    /// The fitted per-column means.
+    pub fn mean(&self) -> &[f32] {
+        &self.mean
+    }
+
+    /// The fitted per-column standard deviations.
+    pub fn std(&self) -> &[f32] {
+        &self.std
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vocab_assigns_stable_ids_and_oov() {
+        let mut v = Vocab::new();
+        assert!(v.is_empty());
+        let a = v.encode("nike");
+        let b = v.encode("adidas");
+        assert_eq!(v.encode("nike"), a);
+        assert_ne!(a, b);
+        assert!(a > 0 && b > 0, "OOV id 0 is reserved");
+        assert_eq!(v.len(), 3);
+        v.freeze();
+        assert_eq!(v.encode("puma"), 0);
+        assert_eq!(v.get("nike"), a);
+        assert_eq!(v.get("unknown"), 0);
+        assert_eq!(v.len(), 3, "freeze stops growth");
+    }
+
+    #[test]
+    fn hash_bucket_is_deterministic_and_in_range() {
+        for buckets in [1usize, 7, 1024] {
+            for token in ["user_1", "user_2", ""] {
+                let b = hash_bucket(token, buckets);
+                assert_eq!(b, hash_bucket(token, buckets));
+                assert!((b as usize) < buckets);
+            }
+        }
+        assert_ne!(hash_bucket("a", 1 << 20), hash_bucket("b", 1 << 20));
+    }
+
+    #[test]
+    fn normalizer_zero_means_unit_std() {
+        let data = Matrix::from_rows(&[&[1.0, 10.0], &[3.0, 10.0], &[5.0, 10.0]]).unwrap();
+        let norm = Normalizer::fit(&data);
+        let t = norm.transform(&data);
+        // Column 0: mean 3, std sqrt(8/3).
+        let col0: Vec<f32> = (0..3).map(|i| t.get(i, 0)).collect();
+        let mean0 = col0.iter().sum::<f32>() / 3.0;
+        let var0 = col0.iter().map(|v| v * v).sum::<f32>() / 3.0 - mean0 * mean0;
+        assert!(mean0.abs() < 1e-6);
+        assert!((var0 - 1.0).abs() < 1e-5);
+        // Constant column passes through centered, not exploded.
+        for i in 0..3 {
+            assert_eq!(t.get(i, 1), 0.0);
+        }
+    }
+
+    #[test]
+    fn normalizer_applies_train_stats_to_test() {
+        let train = Matrix::from_rows(&[&[0.0], &[2.0]]).unwrap();
+        let norm = Normalizer::fit(&train);
+        let test = Matrix::from_rows(&[&[4.0]]).unwrap();
+        // mean 1, std 1 -> (4-1)/1 = 3
+        assert_eq!(norm.transform(&test).get(0, 0), 3.0);
+        assert_eq!(norm.mean(), &[1.0]);
+        assert_eq!(norm.std(), &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn normalizer_rejects_wrong_width() {
+        let norm = Normalizer::fit(&Matrix::zeros(2, 2));
+        let _ = norm.transform(&Matrix::zeros(1, 3));
+    }
+}

@@ -1,0 +1,194 @@
+//! Persistence of data artifacts: interaction logs and encoded feature
+//! blocks.
+//!
+//! A production feature pipeline materializes its outputs once and feeds
+//! many training jobs from the same snapshot; these codecs provide that
+//! for the simulators — generate once, `encode_*`, persist, and every
+//! downstream experiment reads identical bytes. The format is
+//! little-endian and length-checked throughout (magic, counts, then
+//! payload), like the model checkpoints in `atnn-nn`.
+
+use atnn_tensor::{decode_matrix, encode_matrix};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::schema::FeatureBlock;
+use crate::tmall::Interaction;
+
+const LOG_MAGIC: &[u8; 4] = b"ATLG";
+const BLOCK_MAGIC: &[u8; 4] = b"ATFB";
+
+/// Errors from artifact (de)serialization.
+#[derive(Debug, PartialEq, Eq)]
+pub enum IoError {
+    /// The buffer is not a valid artifact of the expected kind.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Corrupt(msg) => write!(f, "corrupt artifact: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+/// Serializes an interaction log.
+pub fn encode_interactions(log: &[Interaction]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(8 + log.len() * 9);
+    buf.put_slice(LOG_MAGIC);
+    buf.put_u64_le(log.len() as u64);
+    for i in log {
+        buf.put_u32_le(i.user);
+        buf.put_u32_le(i.item);
+        buf.put_u8(i.clicked as u8);
+    }
+    buf.freeze()
+}
+
+/// Deserializes an interaction log.
+pub fn decode_interactions(mut buf: Bytes) -> Result<Vec<Interaction>, IoError> {
+    if buf.remaining() < 12 {
+        return Err(IoError::Corrupt("log header truncated"));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != LOG_MAGIC {
+        return Err(IoError::Corrupt("bad log magic"));
+    }
+    let n = buf.get_u64_le() as usize;
+    if buf.remaining() < n * 9 {
+        return Err(IoError::Corrupt("log payload truncated"));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let user = buf.get_u32_le();
+        let item = buf.get_u32_le();
+        let clicked = match buf.get_u8() {
+            0 => false,
+            1 => true,
+            _ => return Err(IoError::Corrupt("label byte out of range")),
+        };
+        out.push(Interaction { user, item, clicked });
+    }
+    Ok(out)
+}
+
+/// Serializes an encoded feature block.
+pub fn encode_feature_block(block: &FeatureBlock) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_slice(BLOCK_MAGIC);
+    buf.put_u32_le(block.categorical.len() as u32);
+    for col in &block.categorical {
+        buf.put_u64_le(col.len() as u64);
+        for &id in col {
+            buf.put_u32_le(id);
+        }
+    }
+    encode_matrix(&block.numeric, &mut buf);
+    buf.freeze()
+}
+
+/// Deserializes an encoded feature block.
+pub fn decode_feature_block(mut buf: Bytes) -> Result<FeatureBlock, IoError> {
+    if buf.remaining() < 8 {
+        return Err(IoError::Corrupt("block header truncated"));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != BLOCK_MAGIC {
+        return Err(IoError::Corrupt("bad block magic"));
+    }
+    let n_cols = buf.get_u32_le() as usize;
+    let mut categorical = Vec::with_capacity(n_cols);
+    for _ in 0..n_cols {
+        if buf.remaining() < 8 {
+            return Err(IoError::Corrupt("column header truncated"));
+        }
+        let len = buf.get_u64_le() as usize;
+        if buf.remaining() < len * 4 {
+            return Err(IoError::Corrupt("column payload truncated"));
+        }
+        categorical.push((0..len).map(|_| buf.get_u32_le()).collect());
+    }
+    let numeric = decode_matrix(&mut buf).map_err(|_| IoError::Corrupt("numeric matrix"))?;
+    let block = FeatureBlock { categorical, numeric };
+    // Internal consistency: all columns must match the numeric row count.
+    if block.categorical.iter().any(|c| c.len() != block.numeric.rows()) {
+        return Err(IoError::Corrupt("column/row count mismatch"));
+    }
+    Ok(block)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tmall::{TmallConfig, TmallDataset};
+
+    #[test]
+    fn interaction_log_roundtrips() {
+        let data = TmallDataset::generate(TmallConfig {
+            num_users: 50,
+            num_items: 80,
+            num_interactions: 500,
+            ..TmallConfig::tiny()
+        });
+        let blob = encode_interactions(&data.interactions);
+        let back = decode_interactions(blob).unwrap();
+        assert_eq!(back, data.interactions);
+    }
+
+    #[test]
+    fn empty_log_roundtrips() {
+        assert_eq!(decode_interactions(encode_interactions(&[])).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn feature_block_roundtrips() {
+        let data = TmallDataset::generate(TmallConfig {
+            num_users: 30,
+            num_items: 60,
+            num_interactions: 100,
+            ..TmallConfig::tiny()
+        });
+        let ids: Vec<u32> = (0..60).collect();
+        for block in [
+            data.encode_item_profiles(&ids),
+            data.encode_item_stats(&ids),
+            data.encode_users(&(0..30).collect::<Vec<_>>()),
+        ] {
+            let back = decode_feature_block(encode_feature_block(&block)).unwrap();
+            assert_eq!(back, block);
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let data = TmallDataset::generate(TmallConfig {
+            num_users: 20,
+            num_items: 20,
+            num_interactions: 50,
+            ..TmallConfig::tiny()
+        });
+        let log = encode_interactions(&data.interactions);
+        for cut in [0usize, 3, 11, log.len() - 1] {
+            assert!(decode_interactions(log.slice(0..cut)).is_err(), "cut={cut}");
+        }
+        let block = encode_feature_block(&data.encode_users(&[0, 1]));
+        for cut in [0usize, 5, block.len() - 1] {
+            assert!(decode_feature_block(block.slice(0..cut)).is_err(), "cut={cut}");
+        }
+        // Wrong magic for each kind.
+        assert!(decode_interactions(block.clone()).is_err());
+        assert!(decode_feature_block(log.clone()).is_err());
+        // Bad label byte.
+        let mut bad = BytesMut::from(&log[..]);
+        let last = bad.len() - 1;
+        bad[last] = 7;
+        assert_eq!(
+            decode_interactions(bad.freeze()).unwrap_err(),
+            IoError::Corrupt("label byte out of range")
+        );
+    }
+}

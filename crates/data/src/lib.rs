@@ -1,0 +1,34 @@
+//! Data platform for the ATNN reproduction.
+//!
+//! The paper evaluates on proprietary Alibaba data: a Tmall log with 23.1M
+//! items / 4M users / 40M interactions (19 user-profile, 38 item-profile
+//! and 46 item-statistics raw features) and an Ele.me set of 1.2M new
+//! restaurants. Neither is available, so this crate implements **generative
+//! simulators** that preserve the causal structure those experiments rely
+//! on (see `DESIGN.md` §2 for the substitution argument):
+//!
+//! - [`tmall`] — users and items carry latent preference/quality vectors;
+//!   observable *profiles* are noisy functions of the latents, *statistics*
+//!   are aggregates of simulated historical traffic (hence nearly noiseless
+//!   functions of an item's true appeal), and clicks follow
+//!   `P(click|u,i) = σ(α·⟨z_u, z_i⟩ + β·q_i + γ)`.
+//! - [`market`] — a day-by-day exposure→click→favorite→purchase funnel that
+//!   realizes IPV / AtF / GMV telemetry and time-to-k-sales for A/B tests
+//!   (Tables II, III, V), plus the noisy *expert policy* control arm.
+//! - [`eleme`] — location-grouped users and restaurants with continuous
+//!   VpPV / GMV labels for the multi-task extension (Tables IV, V).
+//!
+//! Supporting machinery: [`schema`] (typed feature schemas), [`encode`]
+//! (vocabularies and normalization), [`dataset`] (splits and mini-batching).
+
+pub mod dataset;
+pub mod encode;
+pub mod eleme;
+pub mod io;
+pub mod market;
+pub mod schema;
+pub mod tmall;
+
+pub use dataset::{BatchIter, Split};
+pub use encode::{hash_bucket, Normalizer, Vocab};
+pub use schema::{FeatureBlock, FeatureSchema, FieldSpec};

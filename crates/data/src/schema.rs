@@ -1,0 +1,271 @@
+//! Typed feature schemas and encoded feature blocks.
+
+use atnn_tensor::Matrix;
+
+/// One raw feature field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FieldSpec {
+    /// A categorical id in `[0, vocab)`; consumed through an embedding.
+    Categorical {
+        /// Field name (stable; checkpoints and encoders key on it).
+        name: String,
+        /// Number of distinct values, including an out-of-vocabulary slot.
+        vocab: usize,
+    },
+    /// A real-valued feature, consumed directly (normalized upstream).
+    Numeric {
+        /// Field name.
+        name: String,
+    },
+}
+
+impl FieldSpec {
+    /// Convenience constructor for a categorical field.
+    pub fn categorical(name: &str, vocab: usize) -> Self {
+        FieldSpec::Categorical { name: name.to_string(), vocab }
+    }
+
+    /// Convenience constructor for a numeric field.
+    pub fn numeric(name: &str) -> Self {
+        FieldSpec::Numeric { name: name.to_string() }
+    }
+
+    /// The field's name.
+    pub fn name(&self) -> &str {
+        match self {
+            FieldSpec::Categorical { name, .. } | FieldSpec::Numeric { name } => name,
+        }
+    }
+}
+
+/// An ordered list of fields describing one entity (user, item profile,
+/// item statistics, restaurant, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeatureSchema {
+    fields: Vec<FieldSpec>,
+}
+
+impl FeatureSchema {
+    /// Builds a schema from fields; names must be unique.
+    ///
+    /// # Panics
+    /// Panics on duplicate field names (schemas are static declarations;
+    /// a duplicate is a programming error).
+    pub fn new(fields: Vec<FieldSpec>) -> Self {
+        for (i, f) in fields.iter().enumerate() {
+            for g in &fields[..i] {
+                assert_ne!(f.name(), g.name(), "duplicate field name '{}'", f.name());
+            }
+        }
+        FeatureSchema { fields }
+    }
+
+    /// All fields in declaration order.
+    pub fn fields(&self) -> &[FieldSpec] {
+        &self.fields
+    }
+
+    /// The categorical fields, in order, as `(name, vocab)`.
+    pub fn categorical_fields(&self) -> Vec<(&str, usize)> {
+        self.fields
+            .iter()
+            .filter_map(|f| match f {
+                FieldSpec::Categorical { name, vocab } => Some((name.as_str(), *vocab)),
+                FieldSpec::Numeric { .. } => None,
+            })
+            .collect()
+    }
+
+    /// Number of categorical fields.
+    pub fn num_categorical(&self) -> usize {
+        self.categorical_fields().len()
+    }
+
+    /// Number of numeric fields.
+    pub fn num_numeric(&self) -> usize {
+        self.fields.len() - self.num_categorical()
+    }
+
+    /// Total raw feature count (the paper counts 19 / 38 / 46 this way).
+    pub fn num_raw(&self) -> usize {
+        self.fields.len()
+    }
+}
+
+/// A batch of entities encoded against a [`FeatureSchema`]: one id column
+/// per categorical field plus a dense numeric matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureBlock {
+    /// `categorical[f][i]` = id of entity `i` in categorical field `f`.
+    pub categorical: Vec<Vec<u32>>,
+    /// `numeric` is `[n, num_numeric]`.
+    pub numeric: Matrix,
+}
+
+impl FeatureBlock {
+    /// Number of entities in the block.
+    pub fn len(&self) -> usize {
+        self.numeric.rows()
+    }
+
+    /// True when the block holds no entities.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Validates the block against its schema: column counts, row counts
+    /// and id ranges.
+    pub fn validate(&self, schema: &FeatureSchema) -> Result<(), String> {
+        let cats = schema.categorical_fields();
+        if self.categorical.len() != cats.len() {
+            return Err(format!(
+                "expected {} categorical columns, got {}",
+                cats.len(),
+                self.categorical.len()
+            ));
+        }
+        if self.numeric.cols() != schema.num_numeric() {
+            return Err(format!(
+                "expected {} numeric columns, got {}",
+                schema.num_numeric(),
+                self.numeric.cols()
+            ));
+        }
+        let n = self.numeric.rows();
+        for (col, (name, vocab)) in self.categorical.iter().zip(&cats) {
+            if col.len() != n {
+                return Err(format!("field '{name}': {} ids for {n} rows", col.len()));
+            }
+            if let Some(&bad) = col.iter().find(|&&id| id as usize >= *vocab) {
+                return Err(format!("field '{name}': id {bad} >= vocab {vocab}"));
+            }
+        }
+        // Non-finite numerics silently poison every downstream gradient;
+        // reject them at the boundary.
+        if let Some(pos) = self.numeric.as_slice().iter().position(|v| !v.is_finite()) {
+            let (row, col) = (pos / self.numeric.cols().max(1), pos % self.numeric.cols().max(1));
+            return Err(format!("non-finite numeric value at row {row}, column {col}"));
+        }
+        Ok(())
+    }
+
+    /// Extracts the sub-block of entities at `rows`.
+    pub fn select(&self, rows: &[u32]) -> FeatureBlock {
+        FeatureBlock {
+            categorical: self
+                .categorical
+                .iter()
+                .map(|col| rows.iter().map(|&r| col[r as usize]).collect())
+                .collect(),
+            numeric: self.numeric.select_rows(rows).expect("select rows in range"),
+        }
+    }
+
+    /// Concatenates the numeric parts and categorical columns of two blocks
+    /// describing the *same* entities (e.g. item profile ++ item stats).
+    pub fn zip(&self, other: &FeatureBlock) -> FeatureBlock {
+        assert_eq!(self.len(), other.len(), "zip: row count mismatch");
+        let mut categorical = self.categorical.clone();
+        categorical.extend(other.categorical.iter().cloned());
+        FeatureBlock {
+            categorical,
+            numeric: self.numeric.concat_cols(&other.numeric).expect("zip numeric"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> FeatureSchema {
+        FeatureSchema::new(vec![
+            FieldSpec::categorical("cat", 4),
+            FieldSpec::numeric("x"),
+            FieldSpec::categorical("brand", 2),
+            FieldSpec::numeric("y"),
+        ])
+    }
+
+    #[test]
+    fn counts_and_accessors() {
+        let s = schema();
+        assert_eq!(s.num_raw(), 4);
+        assert_eq!(s.num_categorical(), 2);
+        assert_eq!(s.num_numeric(), 2);
+        assert_eq!(s.categorical_fields(), vec![("cat", 4), ("brand", 2)]);
+        assert_eq!(s.fields()[1].name(), "x");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_names_rejected() {
+        FeatureSchema::new(vec![FieldSpec::numeric("x"), FieldSpec::numeric("x")]);
+    }
+
+    #[test]
+    fn validate_catches_errors() {
+        let s = schema();
+        let good = FeatureBlock {
+            categorical: vec![vec![0, 3], vec![1, 0]],
+            numeric: Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap(),
+        };
+        assert!(good.validate(&s).is_ok());
+
+        let mut wrong_vocab = good.clone();
+        wrong_vocab.categorical[0][1] = 4;
+        assert!(wrong_vocab.validate(&s).unwrap_err().contains("vocab"));
+
+        let mut wrong_rows = good.clone();
+        wrong_rows.categorical[1].pop();
+        assert!(wrong_rows.validate(&s).unwrap_err().contains("rows"));
+
+        let wrong_cols = FeatureBlock {
+            categorical: vec![vec![0, 0]],
+            numeric: good.numeric.clone(),
+        };
+        assert!(wrong_cols.validate(&s).unwrap_err().contains("categorical columns"));
+
+        let wrong_numeric = FeatureBlock {
+            categorical: good.categorical.clone(),
+            numeric: Matrix::zeros(2, 3),
+        };
+        assert!(wrong_numeric.validate(&s).unwrap_err().contains("numeric"));
+
+        let mut poisoned = good.clone();
+        poisoned.numeric.set(1, 0, f32::NAN);
+        let err = poisoned.validate(&s).unwrap_err();
+        assert!(err.contains("non-finite") && err.contains("row 1"), "{err}");
+        let mut infinite = good.clone();
+        infinite.numeric.set(0, 1, f32::INFINITY);
+        assert!(infinite.validate(&s).unwrap_err().contains("non-finite"));
+    }
+
+    #[test]
+    fn select_reorders_entities() {
+        let b = FeatureBlock {
+            categorical: vec![vec![0, 1, 2]],
+            numeric: Matrix::from_fn(3, 1, |i, _| i as f32),
+        };
+        let s = b.select(&[2, 0]);
+        assert_eq!(s.categorical[0], vec![2, 0]);
+        assert_eq!(s.numeric.as_slice(), &[2.0, 0.0]);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn zip_concatenates_fields() {
+        let a = FeatureBlock {
+            categorical: vec![vec![1, 2]],
+            numeric: Matrix::from_fn(2, 2, |i, j| (i + j) as f32),
+        };
+        let b = FeatureBlock {
+            categorical: vec![],
+            numeric: Matrix::from_fn(2, 3, |i, j| (10 + i + j) as f32),
+        };
+        let z = a.zip(&b);
+        assert_eq!(z.categorical.len(), 1);
+        assert_eq!(z.numeric.shape(), (2, 5));
+        assert_eq!(z.numeric.row(0)[2..], [10.0, 11.0, 12.0]);
+    }
+}

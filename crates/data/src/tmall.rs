@@ -1,0 +1,769 @@
+//! The Tmall e-commerce simulator.
+//!
+//! Substitutes the paper's proprietary Tmall log (23.1M items, 4M users,
+//! 40M interactions) with a generative model that preserves the causal
+//! structure the paper's Table I depends on:
+//!
+//! 1. Every user has a latent preference vector `z_u`; every item a latent
+//!    attribute vector `z_i` and a scalar quality `q_i`.
+//! 2. The click probability is
+//!    `P(click|u,i) = σ(α·⟨z_u,z_i⟩/√k + β·q_i + γ)`.
+//! 3. **Item statistics** (the paper's 46 features: PV/UV/clicks/cart/
+//!    favorite/purchase counts and rates over 1–30-day horizons) are
+//!    aggregates of simulated historical traffic — so the empirical CTR
+//!    columns reveal `q_i` almost noiselessly. Models with access to
+//!    statistics are therefore strong, exactly as in the paper.
+//! 4. **Item profiles** (the paper's 38 features: category/brand/seller/…
+//!    plus numeric attributes) are *noisy, partially-informative* functions
+//!    of `(z_i, q_i)`. A model that only sees profiles must dig the latent
+//!    signal out of the noise — that is the cold-start gap ATNN's generator
+//!    closes.
+//!
+//! Feature counts match the paper exactly: 19 user / 38 item-profile /
+//! 46 item-statistics raw features.
+
+use atnn_tensor::{Matrix, Rng64};
+
+use crate::schema::{FeatureBlock, FeatureSchema, FieldSpec};
+
+/// One logged exposure with its click label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interaction {
+    /// User index.
+    pub user: u32,
+    /// Item index.
+    pub item: u32,
+    /// Whether the user clicked.
+    pub clicked: bool,
+}
+
+/// Simulator configuration. All fields are public dials; presets below.
+#[derive(Debug, Clone)]
+pub struct TmallConfig {
+    /// Number of users.
+    pub num_users: usize,
+    /// Number of items.
+    pub num_items: usize,
+    /// Number of logged user-item exposures.
+    pub num_interactions: usize,
+    /// Latent dimensionality `k` of preference/attribute vectors.
+    pub latent_dim: usize,
+    /// Std of the Gaussian noise on numeric profile features.
+    pub profile_noise: f32,
+    /// Probability a categorical profile field is replaced by a random id.
+    pub profile_flip_prob: f32,
+    /// Relative noise of the historical-traffic statistics.
+    pub stats_noise: f32,
+    /// α — weight of user-item affinity in the click model.
+    pub affinity_weight: f32,
+    /// β — weight of item appeal in the click model.
+    pub quality_weight: f32,
+    /// Strength of the multiplicative `z₀·z₁` term inside item appeal —
+    /// a bounded-degree feature cross (the structure DCN exists to
+    /// capture; paper §III-C motivates DCN with exactly such crosses).
+    pub interaction_strength: f32,
+    /// γ — global bias (controls the base click rate).
+    pub bias: f32,
+    /// Append hashed `userID` / `itemID` columns to the encoded blocks
+    /// (the paper's input sample includes both raw ids). The item-id
+    /// column rides on the *statistics* block so it reaches only the
+    /// encoder — the generator stays profile-only by construction.
+    pub include_ids: bool,
+    /// Hash-bucket count for the id columns.
+    pub id_hash_buckets: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl TmallConfig {
+    /// Minutes-long full-scale run for the release-mode repro binaries
+    /// (scaled from the paper's 23.1M/4M/40M; see DESIGN.md §2.1).
+    pub fn paper_scale() -> Self {
+        TmallConfig { num_users: 4_000, num_items: 20_000, num_interactions: 400_000, ..Self::tiny() }
+    }
+
+    /// Seconds-long run for examples and release benches.
+    pub fn small() -> Self {
+        TmallConfig { num_users: 1_500, num_items: 4_000, num_interactions: 60_000, ..Self::tiny() }
+    }
+
+    /// Sub-second run for unit/integration tests (debug builds).
+    pub fn tiny() -> Self {
+        TmallConfig {
+            num_users: 300,
+            num_items: 800,
+            num_interactions: 8_000,
+            latent_dim: 8,
+            profile_noise: 0.6,
+            profile_flip_prob: 0.10,
+            stats_noise: 0.05,
+            affinity_weight: 1.2,
+            quality_weight: 1.5,
+            interaction_strength: 0.8,
+            bias: -1.1,
+            include_ids: false,
+            id_hash_buckets: 2_048,
+            seed: 7,
+        }
+    }
+
+    /// Enables the hashed id columns (see [`Self::include_ids`]).
+    pub fn with_ids(mut self) -> Self {
+        self.include_ids = true;
+        self
+    }
+
+    /// Replaces the seed (for repeated-draw experiments).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[derive(Debug, Clone)]
+struct UserRecord {
+    z: Vec<f32>,
+    cats: [u32; USER_CAT_FIELDS],
+    nums: Vec<f32>,
+}
+
+#[derive(Debug, Clone)]
+struct ItemRecord {
+    z: Vec<f32>,
+    quality: f32,
+    price: f32,
+    /// Expected population CTR (ground-truth popularity).
+    popularity: f32,
+    /// Mean daily historical exposure rate.
+    traffic: f32,
+    cats: [u32; ITEM_CAT_FIELDS],
+    nums: Vec<f32>,
+    stats: Vec<f32>,
+}
+
+const USER_CAT_FIELDS: usize = 5;
+const USER_NUM_FIELDS: usize = 14; // 5 + 14 = 19 raw user features
+const ITEM_CAT_FIELDS: usize = 6;
+const ITEM_NUM_FIELDS: usize = 32; // 6 + 32 = 38 raw item-profile features
+const STATS_FIELDS: usize = 46; // raw item-statistics features
+
+const USER_CAT_VOCABS: [(&str, usize); USER_CAT_FIELDS] = [
+    ("gender", 3),
+    ("age_band", 8),
+    ("occupation", 12),
+    ("location", 32),
+    ("pref_category", 16),
+];
+
+const ITEM_CAT_VOCABS: [(&str, usize); ITEM_CAT_FIELDS] = [
+    ("category", 24),
+    ("sub_category", 96),
+    ("brand", 200),
+    ("seller", 400),
+    ("price_band", 10),
+    ("origin", 20),
+];
+
+/// The generated dataset: users, items (with profiles and statistics) and
+/// the interaction log.
+#[derive(Debug, Clone)]
+pub struct TmallDataset {
+    cfg: TmallConfig,
+    users: Vec<UserRecord>,
+    items: Vec<ItemRecord>,
+    /// The logged exposures with click labels.
+    pub interactions: Vec<Interaction>,
+}
+
+fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Buckets `sigmoid`-squashed value `v` into `[0, n)`.
+fn bucket(v: f32, n: usize) -> u32 {
+    ((sigmoid(v) * n as f32) as usize).min(n - 1) as u32
+}
+
+impl TmallDataset {
+    /// Runs the generative model. Deterministic in `cfg.seed`.
+    pub fn generate(cfg: TmallConfig) -> Self {
+        assert!(cfg.num_users > 0 && cfg.num_items > 0, "need users and items");
+        assert!(cfg.latent_dim > 0, "latent_dim must be positive");
+        let mut root = Rng64::seed_from_u64(cfg.seed);
+        let mut rng_proj = root.fork(1);
+        let mut rng_users = root.fork(2);
+        let mut rng_items = root.fork(3);
+        let mut rng_log = root.fork(4);
+        let k = cfg.latent_dim;
+
+        // Fixed random projections from latents to observable numerics.
+        let w_user = Matrix::from_fn(k, USER_NUM_FIELDS, |_, _| rng_proj.normal_with(0.0, 1.0));
+        let w_item =
+            Matrix::from_fn(k + 1, ITEM_NUM_FIELDS, |_, _| rng_proj.normal_with(0.0, 1.0));
+
+        let users: Vec<UserRecord> =
+            (0..cfg.num_users).map(|_| Self::gen_user(&cfg, &w_user, &mut rng_users)).collect();
+        let items: Vec<ItemRecord> =
+            (0..cfg.num_items).map(|_| Self::gen_item(&cfg, &w_item, &mut rng_items)).collect();
+
+        let mut dataset = TmallDataset { cfg, users, items, interactions: Vec::new() };
+        dataset.log_interactions(&mut rng_log);
+        dataset
+    }
+
+    fn gen_user(cfg: &TmallConfig, w_user: &Matrix, rng: &mut Rng64) -> UserRecord {
+        let z: Vec<f32> = (0..cfg.latent_dim).map(|_| rng.normal()).collect();
+        // Categorical fields are quantized views of the latents with light
+        // corruption (user profiles are cleaner than item profiles).
+        let raw = [
+            bucket(z[0], 3),
+            bucket(z[1 % z.len()], 8),
+            bucket(z[2 % z.len()], 12),
+            bucket(0.8 * z[3 % z.len()], 32),
+            bucket(0.6 * z[0] + 0.6 * z[4 % z.len()], 16),
+        ];
+        let mut cats = [0u32; USER_CAT_FIELDS];
+        for (c, (raw_id, (_, vocab))) in
+            cats.iter_mut().zip(raw.iter().zip(USER_CAT_VOCABS.iter()))
+        {
+            *c = if rng.bernoulli(0.05) { rng.index(*vocab) as u32 } else { *raw_id };
+        }
+        let mut nums = vec![0.0f32; USER_NUM_FIELDS];
+        for (j, n) in nums.iter_mut().enumerate() {
+            let proj: f32 = z.iter().enumerate().map(|(d, &zv)| zv * w_user.get(d, j)).sum();
+            *n = proj / (cfg.latent_dim as f32).sqrt() + rng.normal_with(0.0, 0.3);
+        }
+        UserRecord { z, cats, nums }
+    }
+
+    fn gen_item(cfg: &TmallConfig, w_item: &Matrix, rng: &mut Rng64) -> ItemRecord {
+        let k = cfg.latent_dim;
+        let z: Vec<f32> = (0..k).map(|_| rng.normal()).collect();
+        let quality = rng.normal();
+        let price = (rng.normal_with(3.0, 0.8)).exp();
+
+        // Ground-truth population CTR: E_u σ(α·⟨z_u,z_i⟩/√k + β·appeal + γ)
+        // with z_u ~ N(0, I), where appeal = q + c·z₀·z₁ includes a
+        // bounded-degree feature cross. The probit approximation
+        // E σ(m + s·N(0,1)) ≈ σ(m / sqrt(1 + π s²/8)) is accurate enough
+        // for a ranking ground truth.
+        let z_norm = z.iter().map(|v| v * v).sum::<f32>().sqrt();
+        let appeal = Self::appeal(cfg, quality, &z);
+        let m = cfg.quality_weight * appeal + cfg.bias;
+        let s = cfg.affinity_weight * z_norm / (k as f32).sqrt();
+        let popularity = sigmoid(m / (1.0 + std::f32::consts::PI * s * s / 8.0).sqrt());
+
+        // Historical exposure rate: partly merchandising (quality leaks into
+        // placement), partly random seller effort.
+        let traffic = (0.5 * quality + rng.normal_with(2.5, 0.7)).exp();
+
+        let raw = [
+            bucket(z[0], 24),
+            bucket(0.7 * z[0] + 0.7 * z[1 % k], 96),
+            bucket(0.7 * z[2 % k] + 0.7 * quality, 200),
+            bucket(0.7 * z[3 % k] + 0.3 * quality, 400),
+            ((price.ln().clamp(0.0, 6.0) / 6.0 * 10.0) as usize).min(9) as u32,
+            bucket(z[4 % k], 20),
+        ];
+        let mut cats = [0u32; ITEM_CAT_FIELDS];
+        for (c, (raw_id, (_, vocab))) in
+            cats.iter_mut().zip(raw.iter().zip(ITEM_CAT_VOCABS.iter()))
+        {
+            *c = if rng.bernoulli(cfg.profile_flip_prob) {
+                rng.index(*vocab) as u32
+            } else {
+                *raw_id
+            };
+        }
+
+        // Numeric profile: noisy projection of [z; q]. Quality enters
+        // damped so no single observable column reveals it cleanly — the
+        // cold-start signal must be assembled across many noisy features.
+        let mut latent = z.clone();
+        latent.push(0.6 * quality);
+        let mut nums = vec![0.0f32; ITEM_NUM_FIELDS];
+        for (j, n) in nums.iter_mut().enumerate() {
+            let proj: f32 =
+                latent.iter().enumerate().map(|(d, &v)| v * w_item.get(d, j)).sum();
+            *n = proj / ((k + 1) as f32).sqrt() + rng.normal_with(0.0, cfg.profile_noise);
+        }
+
+        let stats = Self::gen_stats(cfg, popularity, traffic, price, rng);
+        ItemRecord { z, quality, price, popularity, traffic, cats, nums, stats }
+    }
+
+    /// Simulates the 46 historical-traffic statistics over the horizons
+    /// {1, 3, 7, 14, 30} days. Counts are stored `ln(1 + x)`.
+    fn gen_stats(
+        cfg: &TmallConfig,
+        popularity: f32,
+        traffic: f32,
+        price: f32,
+        rng: &mut Rng64,
+    ) -> Vec<f32> {
+        const HORIZONS: [f32; 5] = [1.0, 3.0, 7.0, 14.0, 30.0];
+        let mut stats = Vec::with_capacity(STATS_FIELDS);
+        let jitter = |rng: &mut Rng64, v: f32| v * (1.0 + cfg.stats_noise * rng.normal());
+        let mut pv30 = 0.0f32;
+        let mut clicks30 = 0.0f32;
+        let mut purchases30 = 0.0f32;
+        // 5 horizons x 7 funnel stages = 35 count features.
+        for h in HORIZONS {
+            let rate = jitter(rng, traffic * h).max(0.0);
+            let pv = rng.poisson(rate) as f32;
+            let uv = (pv * (0.55 + 0.2 * rng.uniform())).round();
+            let clicks = rng.poisson((pv * popularity).max(0.0)) as f32;
+            let cart = rng.poisson((clicks * 0.25).max(0.0)) as f32;
+            let fav = rng.poisson((clicks * 0.15).max(0.0)) as f32;
+            let purchase = rng.poisson((clicks * 0.10).max(0.0)) as f32;
+            let gmv = purchase * price;
+            for v in [pv, uv, clicks, cart, fav, purchase, gmv] {
+                stats.push((1.0 + v.max(0.0)).ln());
+            }
+            if h == 30.0 {
+                pv30 = pv;
+                clicks30 = clicks;
+                purchases30 = purchase;
+            }
+        }
+        // 6 rate features (the high-value columns: empirical CTR etc.).
+        let safe = |a: f32, b: f32| if b > 0.0 { a / b } else { 0.0 };
+        stats.push(safe(clicks30, pv30)); // empirical CTR (reveals q)
+        stats.push(safe(purchases30, clicks30.max(1.0)));
+        stats.push(safe(purchases30, pv30));
+        stats.push((1.0 + traffic).ln());
+        stats.push(price.ln());
+        stats.push(safe(clicks30, 30.0));
+        // 5 context aggregates (seller/category-level PV proxies).
+        for scale in [0.9f32, 1.1, 0.8, 1.2, 1.0] {
+            let v = rng.poisson((traffic * 30.0 * scale).max(0.0)) as f32;
+            stats.push((1.0 + v).ln());
+        }
+        debug_assert_eq!(stats.len(), STATS_FIELDS);
+        stats
+    }
+
+    /// Item appeal: intrinsic quality plus a bounded-degree feature cross.
+    /// Profiles observe the latents only individually (noisy linear
+    /// projections), so predicting appeal from profiles requires
+    /// *composing* features — the workload DCN's cross layers exist for
+    /// (paper §III-C).
+    fn appeal(cfg: &TmallConfig, quality: f32, z: &[f32]) -> f32 {
+        quality + cfg.interaction_strength * z[0] * z[1 % z.len()]
+    }
+
+    fn log_interactions(&mut self, rng: &mut Rng64) {
+        let n_items = self.items.len();
+        self.interactions.reserve(self.cfg.num_interactions);
+        for _ in 0..self.cfg.num_interactions {
+            let user = rng.index(self.users.len()) as u32;
+            // Exposure is traffic-biased 70% of the time (tournament pick),
+            // mimicking the platform's placement policy.
+            let item = if rng.bernoulli(0.7) {
+                let a = rng.index(n_items);
+                let b = rng.index(n_items);
+                if self.items[a].traffic >= self.items[b].traffic { a } else { b }
+            } else {
+                rng.index(n_items)
+            } as u32;
+            let p = self.true_ctr(user, item);
+            self.interactions.push(Interaction { user, item, clicked: rng.bernoulli(p) });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Schemas (match the paper's raw feature counts).
+    // ------------------------------------------------------------------
+
+    /// The 19-field user-profile schema.
+    pub fn user_schema() -> FeatureSchema {
+        let mut fields: Vec<FieldSpec> = USER_CAT_VOCABS
+            .iter()
+            .map(|&(name, vocab)| FieldSpec::categorical(name, vocab))
+            .collect();
+        fields.extend((0..USER_NUM_FIELDS).map(|i| FieldSpec::numeric(&format!("u_num{i}"))));
+        FeatureSchema::new(fields)
+    }
+
+    /// The 38-field item-profile schema.
+    pub fn item_profile_schema() -> FeatureSchema {
+        let mut fields: Vec<FieldSpec> = ITEM_CAT_VOCABS
+            .iter()
+            .map(|&(name, vocab)| FieldSpec::categorical(name, vocab))
+            .collect();
+        fields.extend((0..ITEM_NUM_FIELDS).map(|i| FieldSpec::numeric(&format!("i_num{i}"))));
+        FeatureSchema::new(fields)
+    }
+
+    /// The 46-field item-statistics schema (all numeric).
+    pub fn item_stats_schema() -> FeatureSchema {
+        FeatureSchema::new(
+            (0..STATS_FIELDS).map(|i| FieldSpec::numeric(&format!("s_num{i}"))).collect(),
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The configuration this dataset was generated with.
+    pub fn config(&self) -> &TmallConfig {
+        &self.cfg
+    }
+
+    /// Number of users.
+    pub fn num_users(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Number of items.
+    pub fn num_items(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Ground-truth population CTR of an item (its true popularity).
+    pub fn true_popularity(&self, item: u32) -> f32 {
+        self.items[item as usize].popularity
+    }
+
+    /// Ground-truth click probability for a specific pair.
+    pub fn true_ctr(&self, user: u32, item: u32) -> f32 {
+        let u = &self.users[user as usize];
+        let it = &self.items[item as usize];
+        let k = self.cfg.latent_dim as f32;
+        let affinity: f32 = u.z.iter().zip(&it.z).map(|(&a, &b)| a * b).sum::<f32>() / k.sqrt();
+        sigmoid(
+            self.cfg.affinity_weight * affinity
+                + self.cfg.quality_weight * Self::appeal(&self.cfg, it.quality, &it.z)
+                + self.cfg.bias,
+        )
+    }
+
+    /// An item's sale price (used for GMV accounting in the market sim).
+    pub fn item_price(&self, item: u32) -> f32 {
+        self.items[item as usize].price
+    }
+
+    /// An item's mean daily historical exposure rate.
+    pub fn item_traffic(&self, item: u32) -> f32 {
+        self.items[item as usize].traffic
+    }
+
+    // ------------------------------------------------------------------
+    // Encoding
+    // ------------------------------------------------------------------
+
+    /// Fibonacci-hashes an entity id into `[0, id_hash_buckets)`.
+    fn id_bucket(&self, id: u32) -> u32 {
+        ((id as u64).wrapping_mul(2_654_435_761) % self.cfg.id_hash_buckets as u64) as u32
+    }
+
+    /// Encodes users into a [`FeatureBlock`] against [`Self::user_schema`]
+    /// (plus a trailing hashed `userID` column when `include_ids` is set).
+    pub fn encode_users(&self, ids: &[u32]) -> FeatureBlock {
+        let mut categorical: Vec<Vec<u32>> = (0..USER_CAT_FIELDS)
+            .map(|f| ids.iter().map(|&u| self.users[u as usize].cats[f]).collect())
+            .collect();
+        if self.cfg.include_ids {
+            categorical.push(ids.iter().map(|&u| self.id_bucket(u)).collect());
+        }
+        let numeric = Matrix::from_fn(ids.len(), USER_NUM_FIELDS, |i, j| {
+            self.users[ids[i] as usize].nums[j]
+        });
+        FeatureBlock { categorical, numeric }
+    }
+
+    /// Encodes item profiles against [`Self::item_profile_schema`].
+    pub fn encode_item_profiles(&self, ids: &[u32]) -> FeatureBlock {
+        let categorical = (0..ITEM_CAT_FIELDS)
+            .map(|f| ids.iter().map(|&i| self.items[i as usize].cats[f]).collect())
+            .collect();
+        let numeric = Matrix::from_fn(ids.len(), ITEM_NUM_FIELDS, |i, j| {
+            self.items[ids[i] as usize].nums[j]
+        });
+        FeatureBlock { categorical, numeric }
+    }
+
+    /// Encodes item statistics against [`Self::item_stats_schema`].
+    ///
+    /// With `include_ids` the hashed `itemID` rides along as a categorical
+    /// column here (not on the profile block) so that only the encoder —
+    /// never the generator — can memorize per-item identity.
+    pub fn encode_item_stats(&self, ids: &[u32]) -> FeatureBlock {
+        let categorical = if self.cfg.include_ids {
+            vec![ids.iter().map(|&i| self.id_bucket(i)).collect()]
+        } else {
+            vec![]
+        };
+        let numeric = Matrix::from_fn(ids.len(), STATS_FIELDS, |i, j| {
+            self.items[ids[i] as usize].stats[j]
+        });
+        FeatureBlock { categorical, numeric }
+    }
+
+    /// Builds the 46-feature statistics vector of an item from *live
+    /// launch telemetry* (the first `days_observed` days of a
+    /// [`crate::market::MarketOutcome`]) instead of from simulated
+    /// history.
+    ///
+    /// This is the paper's §IV-D deployment loop: the real-time data
+    /// engine accumulates PV/clicks/favorites/purchases for a new arrival
+    /// day by day, and once statistics exist the encoder path can take
+    /// over from the generator. Funnel stages the market simulator does
+    /// not model (UV, add-to-cart) are filled with their expected ratios;
+    /// context aggregates use the observed exposure rate. Horizons longer
+    /// than `days_observed` saturate at the data seen so far — exactly
+    /// what a production feature store would serve mid-window.
+    pub fn stats_from_telemetry(
+        &self,
+        item: u32,
+        days: &[crate::market::DailyFunnel],
+        days_observed: usize,
+    ) -> Vec<f32> {
+        const HORIZONS: [usize; 5] = [1, 3, 7, 14, 30];
+        let d = days_observed.min(days.len());
+        let price = self.items[item as usize].price;
+        let cum = |upto: usize, f: &dyn Fn(&crate::market::DailyFunnel) -> f32| -> f32 {
+            days[..upto.min(d)].iter().map(f).sum()
+        };
+        let mut stats = Vec::with_capacity(STATS_FIELDS);
+        let mut pv30 = 0.0f32;
+        let mut clicks30 = 0.0f32;
+        let mut purchases30 = 0.0f32;
+        for h in HORIZONS {
+            let pv = cum(h, &|f| f.pv as f32);
+            let uv = pv * 0.65; // expected UV/PV ratio of the history model
+            let clicks = cum(h, &|f| f.clicks as f32);
+            let cart = clicks * 0.25; // expected cart rate
+            let fav = cum(h, &|f| f.favorites as f32);
+            let purchase = cum(h, &|f| f.purchases as f32);
+            let gmv = cum(h, &|f| f.gmv as f32);
+            for v in [pv, uv, clicks, cart, fav, purchase, gmv] {
+                stats.push((1.0 + v.max(0.0)).ln());
+            }
+            if h == 30 {
+                pv30 = pv;
+                clicks30 = clicks;
+                purchases30 = purchase;
+            }
+        }
+        let safe = |a: f32, b: f32| if b > 0.0 { a / b } else { 0.0 };
+        let traffic = if d > 0 { pv30 / d as f32 } else { 0.0 };
+        stats.push(safe(clicks30, pv30));
+        stats.push(safe(purchases30, clicks30.max(1.0)));
+        stats.push(safe(purchases30, pv30));
+        stats.push((1.0 + traffic).ln());
+        stats.push(price.ln());
+        stats.push(safe(clicks30, 30.0));
+        for scale in [0.9f32, 1.1, 0.8, 1.2, 1.0] {
+            stats.push((1.0 + traffic * 30.0 * scale).ln());
+        }
+        debug_assert_eq!(stats.len(), STATS_FIELDS);
+        stats
+    }
+
+    /// Encodes a batch of items' statistics from per-item telemetry
+    /// vectors produced by [`Self::stats_from_telemetry`].
+    pub fn stats_block_from_rows(rows: Vec<Vec<f32>>) -> FeatureBlock {
+        let n = rows.len();
+        let numeric = Matrix::from_fn(n, STATS_FIELDS, |i, j| rows[i][j]);
+        FeatureBlock { categorical: vec![], numeric }
+    }
+
+    /// Column means of the statistics over `ids` — the imputation vector
+    /// used when scoring cold items with a statistics-hungry model.
+    pub fn mean_item_stats(&self, ids: &[u32]) -> Vec<f32> {
+        let mut mean = vec![0.0f32; STATS_FIELDS];
+        for &i in ids {
+            for (m, &v) in mean.iter_mut().zip(&self.items[i as usize].stats) {
+                *m += v;
+            }
+        }
+        let n = ids.len().max(1) as f32;
+        mean.iter_mut().for_each(|m| *m /= n);
+        mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> TmallDataset {
+        TmallDataset::generate(TmallConfig::tiny())
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = tiny();
+        let b = tiny();
+        assert_eq!(a.interactions, b.interactions);
+        assert_eq!(a.encode_item_stats(&[0, 1]), b.encode_item_stats(&[0, 1]));
+        let c = TmallDataset::generate(TmallConfig::tiny().with_seed(999));
+        assert_ne!(a.interactions, c.interactions);
+    }
+
+    #[test]
+    fn feature_counts_match_the_paper() {
+        assert_eq!(TmallDataset::user_schema().num_raw(), 19);
+        assert_eq!(TmallDataset::item_profile_schema().num_raw(), 38);
+        assert_eq!(TmallDataset::item_stats_schema().num_raw(), 46);
+    }
+
+    #[test]
+    fn encoded_blocks_validate_against_schemas() {
+        let d = tiny();
+        let users: Vec<u32> = (0..d.num_users() as u32).collect();
+        let items: Vec<u32> = (0..d.num_items() as u32).collect();
+        d.encode_users(&users).validate(&TmallDataset::user_schema()).unwrap();
+        d.encode_item_profiles(&items)
+            .validate(&TmallDataset::item_profile_schema())
+            .unwrap();
+        d.encode_item_stats(&items).validate(&TmallDataset::item_stats_schema()).unwrap();
+    }
+
+    #[test]
+    fn click_rate_is_sane() {
+        let d = tiny();
+        let rate = d.interactions.iter().filter(|i| i.clicked).count() as f32
+            / d.interactions.len() as f32;
+        assert!((0.05..0.6).contains(&rate), "click rate {rate}");
+    }
+
+    #[test]
+    fn probabilities_are_valid() {
+        let d = tiny();
+        for item in 0..d.num_items() as u32 {
+            let p = d.true_popularity(item);
+            assert!((0.0..=1.0).contains(&p));
+        }
+        for &Interaction { user, item, .. } in d.interactions.iter().take(200) {
+            let p = d.true_ctr(user, item);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn statistics_reveal_popularity() {
+        // The empirical-CTR statistic (index 35) must rank items nearly as
+        // well as the ground truth itself.
+        let d = tiny();
+        let items: Vec<u32> = (0..d.num_items() as u32).collect();
+        let stats = d.encode_item_stats(&items);
+        let ctr_col: Vec<f32> = (0..items.len()).map(|i| stats.numeric.get(i, 35)).collect();
+        let pop: Vec<f32> = items.iter().map(|&i| d.true_popularity(i)).collect();
+        let rho = atnn_metrics::spearman(&ctr_col, &pop).unwrap();
+        assert!(rho > 0.6, "stats must leak popularity strongly: rho={rho}");
+    }
+
+    #[test]
+    fn profiles_carry_recoverable_but_noisy_signal() {
+        // Some numeric profile column must correlate with quality (signal
+        // exists), but none may reveal it as strongly as the statistics do.
+        let d = tiny();
+        let items: Vec<u32> = (0..d.num_items() as u32).collect();
+        let profiles = d.encode_item_profiles(&items);
+        let quality: Vec<f32> = items.iter().map(|&i| d.items[i as usize].quality).collect();
+        let mut best = 0.0f64;
+        for j in 0..profiles.numeric.cols() {
+            let col: Vec<f32> = (0..items.len()).map(|i| profiles.numeric.get(i, j)).collect();
+            if let Some(r) = atnn_metrics::spearman(&col, &quality) {
+                best = best.max(r.abs());
+            }
+        }
+        assert!(best > 0.08, "profiles must carry some signal: best |rho|={best}");
+        assert!(best < 0.6, "profiles must stay noisy: best |rho|={best}");
+    }
+
+    #[test]
+    fn exposure_is_traffic_biased() {
+        let d = tiny();
+        let mut counts = vec![0usize; d.num_items()];
+        for i in &d.interactions {
+            counts[i.item as usize] += 1;
+        }
+        // Split items at median traffic; the upper half must absorb more
+        // exposures than the lower half.
+        let mut by_traffic: Vec<usize> = (0..d.num_items()).collect();
+        by_traffic.sort_by(|&a, &b| d.items[a].traffic.partial_cmp(&d.items[b].traffic).unwrap());
+        let half = d.num_items() / 2;
+        let low: usize = by_traffic[..half].iter().map(|&i| counts[i]).sum();
+        let high: usize = by_traffic[half..].iter().map(|&i| counts[i]).sum();
+        assert!(high > low * 2, "exposure bias too weak: low={low} high={high}");
+    }
+
+    #[test]
+    fn id_columns_are_appended_only_when_enabled() {
+        let plain = tiny();
+        let with_ids = TmallDataset::generate(TmallConfig::tiny().with_ids());
+        let users = [0u32, 1, 2];
+        let items = [5u32, 6, 7];
+
+        assert_eq!(plain.encode_users(&users).categorical.len(), 5);
+        assert_eq!(plain.encode_item_stats(&items).categorical.len(), 0);
+
+        let u = with_ids.encode_users(&users);
+        let s = with_ids.encode_item_stats(&items);
+        assert_eq!(u.categorical.len(), 6, "trailing userID column");
+        assert_eq!(s.categorical.len(), 1, "itemID column on the stats block");
+        // Buckets are deterministic, in range, and distinct for these ids.
+        let buckets = &s.categorical[0];
+        assert!(buckets.iter().all(|&b| (b as usize) < 2_048));
+        assert_eq!(buckets, &with_ids.encode_item_stats(&items).categorical[0]);
+        assert!(buckets[0] != buckets[1] || buckets[1] != buckets[2]);
+        // The generator-visible profile block carries no id column.
+        assert_eq!(
+            with_ids.encode_item_profiles(&items).categorical.len(),
+            ITEM_CAT_FIELDS,
+            "profiles must stay id-free"
+        );
+    }
+
+    #[test]
+    fn telemetry_stats_match_layout_and_converge() {
+        use crate::market::{simulate_launch, MarketConfig};
+        let d = tiny();
+        let items: Vec<u32> = (0..30).collect();
+        let outcomes = simulate_launch(&d, &items, &MarketConfig::default());
+        // Width matches the schema; all values finite; zero days = cold.
+        for (i, o) in items.iter().zip(&outcomes) {
+            let s0 = d.stats_from_telemetry(*i, &o.days, 0);
+            let s30 = d.stats_from_telemetry(*i, &o.days, 30);
+            assert_eq!(s0.len(), 46);
+            assert_eq!(s30.len(), 46);
+            assert!(s30.iter().all(|v| v.is_finite()));
+            // With zero observed days every count feature is ln(1) = 0.
+            assert!(s0[..35].iter().all(|&v| v == 0.0));
+        }
+        // The 30-day empirical CTR column tracks true popularity.
+        let ctr: Vec<f32> = items
+            .iter()
+            .zip(&outcomes)
+            .map(|(&i, o)| d.stats_from_telemetry(i, &o.days, 30)[35])
+            .collect();
+        let pop: Vec<f32> = items.iter().map(|&i| d.true_popularity(i)).collect();
+        assert!(atnn_metrics::spearman(&ctr, &pop).unwrap() > 0.6);
+        // Block assembly.
+        let rows: Vec<Vec<f32>> = items
+            .iter()
+            .zip(&outcomes)
+            .map(|(&i, o)| d.stats_from_telemetry(i, &o.days, 7))
+            .collect();
+        let block = TmallDataset::stats_block_from_rows(rows);
+        assert!(block.validate(&TmallDataset::item_stats_schema()).is_ok());
+    }
+
+    #[test]
+    fn mean_stats_imputation_has_right_width() {
+        let d = tiny();
+        let ids: Vec<u32> = (0..50).collect();
+        let mean = d.mean_item_stats(&ids);
+        assert_eq!(mean.len(), 46);
+        assert!(mean.iter().all(|v| v.is_finite()));
+    }
+}

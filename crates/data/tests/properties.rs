@@ -1,0 +1,161 @@
+//! Property-based tests over the simulators and data utilities: the
+//! invariants must hold for *any* small configuration, not just the
+//! presets.
+
+use atnn_data::dataset::{BatchIter, Split};
+use atnn_data::eleme::{ElemeConfig, ElemeDataset};
+use atnn_data::io::{decode_feature_block, decode_interactions, encode_feature_block, encode_interactions};
+use atnn_data::tmall::{TmallConfig, TmallDataset};
+use atnn_tensor::Rng64;
+use proptest::prelude::*;
+
+fn small_config() -> impl Strategy<Value = TmallConfig> {
+    (
+        20usize..80,     // users
+        30usize..120,    // items
+        200usize..1_000, // interactions
+        2usize..10,      // latent dim
+        0.1f32..1.5,     // profile noise
+        0.0f32..0.3,     // flip prob
+        any::<u64>(),    // seed
+    )
+        .prop_map(|(u, i, n, k, noise, flip, seed)| TmallConfig {
+            num_users: u,
+            num_items: i,
+            num_interactions: n,
+            latent_dim: k,
+            profile_noise: noise,
+            profile_flip_prob: flip,
+            seed,
+            ..TmallConfig::tiny()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn simulator_invariants_hold_for_any_config(cfg in small_config()) {
+        let data = TmallDataset::generate(cfg.clone());
+        prop_assert_eq!(data.num_users(), cfg.num_users);
+        prop_assert_eq!(data.num_items(), cfg.num_items);
+        prop_assert_eq!(data.interactions.len(), cfg.num_interactions);
+
+        // Every interaction references valid entities.
+        for i in &data.interactions {
+            prop_assert!((i.user as usize) < cfg.num_users);
+            prop_assert!((i.item as usize) < cfg.num_items);
+        }
+        // Probabilities are valid for sampled pairs and all items.
+        for item in 0..cfg.num_items as u32 {
+            let p = data.true_popularity(item);
+            prop_assert!((0.0..=1.0).contains(&p));
+            prop_assert!(data.item_price(item) > 0.0);
+            prop_assert!(data.item_traffic(item) > 0.0);
+        }
+        // Encoded blocks validate against their schemas.
+        let items: Vec<u32> = (0..cfg.num_items as u32).collect();
+        let users: Vec<u32> = (0..cfg.num_users as u32).collect();
+        prop_assert!(data
+            .encode_item_profiles(&items)
+            .validate(&TmallDataset::item_profile_schema())
+            .is_ok());
+        prop_assert!(data
+            .encode_item_stats(&items)
+            .validate(&TmallDataset::item_stats_schema())
+            .is_ok());
+        prop_assert!(data.encode_users(&users).validate(&TmallDataset::user_schema()).is_ok());
+        // All encoded numerics are finite.
+        prop_assert!(data
+            .encode_item_stats(&items)
+            .numeric
+            .as_slice()
+            .iter()
+            .all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic(cfg in small_config()) {
+        let a = TmallDataset::generate(cfg.clone());
+        let b = TmallDataset::generate(cfg);
+        prop_assert_eq!(a.interactions, b.interactions);
+    }
+
+    #[test]
+    fn artifact_roundtrips_for_any_dataset(cfg in small_config()) {
+        let data = TmallDataset::generate(cfg);
+        let log = encode_interactions(&data.interactions);
+        prop_assert_eq!(decode_interactions(log).unwrap(), data.interactions.clone());
+        let ids: Vec<u32> = (0..data.num_items().min(40) as u32).collect();
+        let block = data.encode_item_profiles(&ids);
+        prop_assert_eq!(decode_feature_block(encode_feature_block(&block)).unwrap(), block);
+    }
+
+    #[test]
+    fn eleme_invariants_hold_for_any_config(
+        restaurants in 20usize..150,
+        groups in 1usize..32,
+        k in 2usize..8,
+        noise in 0.2f32..1.2,
+        seed in any::<u64>(),
+    ) {
+        let cfg = ElemeConfig {
+            num_restaurants: restaurants,
+            num_groups: groups,
+            latent_dim: k,
+            profile_noise: noise,
+            seed,
+            ..ElemeConfig::tiny()
+        };
+        let data = ElemeDataset::generate(cfg);
+        prop_assert_eq!(data.num_restaurants(), restaurants);
+        prop_assert_eq!(data.num_groups(), groups);
+        let ids: Vec<u32> = (0..restaurants as u32).collect();
+        for &r in &ids {
+            prop_assert!(data.vppv(r) >= 0.0 && data.vppv(r).is_finite());
+            prop_assert!(data.gmv(r) >= 0.0 && data.gmv(r).is_finite());
+            prop_assert!((data.group_of(r) as usize) < groups);
+        }
+        prop_assert!(data
+            .encode_restaurant_profiles(&ids)
+            .validate(&ElemeDataset::restaurant_profile_schema())
+            .is_ok());
+        prop_assert!(data
+            .encode_groups_of(&ids)
+            .validate(&ElemeDataset::group_schema())
+            .is_ok());
+        // Determinism.
+        let again = ElemeDataset::generate(ElemeConfig {
+            num_restaurants: restaurants,
+            num_groups: groups,
+            latent_dim: k,
+            profile_noise: noise,
+            seed,
+            ..ElemeConfig::tiny()
+        });
+        prop_assert_eq!(again.vppv(0), data.vppv(0));
+    }
+
+    #[test]
+    fn split_partitions_for_any_fraction(n in 2usize..400, frac in 0.05f64..0.95, seed in any::<u64>()) {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let s = Split::random(n, frac, &mut rng);
+        prop_assert_eq!(s.train.len() + s.test.len(), n);
+        prop_assert!(!s.train.is_empty() && !s.test.is_empty());
+        let mut all: Vec<u32> = s.train.iter().chain(&s.test).copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batch_iter_covers_all_indices(n in 1usize..300, batch in 1usize..64, seed in any::<u64>()) {
+        let mut it = BatchIter::new((0..n as u32).collect(), batch, Rng64::seed_from_u64(seed));
+        let mut seen = Vec::new();
+        while let Some(b) = it.next_batch() {
+            prop_assert!(b.len() <= batch);
+            seen.extend_from_slice(b);
+        }
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..n as u32).collect::<Vec<_>>());
+    }
+}

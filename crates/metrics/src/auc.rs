@@ -1,0 +1,136 @@
+//! Area Under the ROC Curve.
+
+/// Tie-aware AUC via the rank-sum (Mann–Whitney U) formulation.
+///
+/// `scores[i]` is any monotone score (probability, logit, …); `labels[i]`
+/// is the binary outcome. Returns `None` when either class is absent
+/// (AUC is undefined) or the inputs are mismatched/empty.
+///
+/// Ties in score contribute 0.5, matching the trapezoidal ROC convention.
+///
+/// # Examples
+/// ```
+/// let auc = atnn_metrics::auc(&[0.1, 0.4, 0.8], &[false, false, true]).unwrap();
+/// assert_eq!(auc, 1.0);
+/// ```
+pub fn auc(scores: &[f32], labels: &[bool]) -> Option<f64> {
+    if scores.len() != labels.len() || scores.is_empty() {
+        return None;
+    }
+    let positives = labels.iter().filter(|&&l| l).count();
+    let negatives = labels.len() - positives;
+    if positives == 0 || negatives == 0 {
+        return None;
+    }
+
+    // Sort indices by score; assign average ranks to tied groups.
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("NaN score"));
+
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        // 1-based average rank of the tied block [i, j].
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            if labels[idx] {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+
+    let p = positives as f64;
+    let n = negatives as f64;
+    let u = rank_sum_pos - p * (p + 1.0) / 2.0;
+    Some(u / (p * n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_is_one() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [false, false, true, true];
+        assert_eq!(auc(&scores, &labels), Some(1.0));
+    }
+
+    #[test]
+    fn inverted_ranking_is_zero() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [false, false, true, true];
+        assert_eq!(auc(&scores, &labels), Some(0.0));
+    }
+
+    #[test]
+    fn all_tied_is_half() {
+        let scores = [0.5; 6];
+        let labels = [true, false, true, false, true, false];
+        assert_eq!(auc(&scores, &labels), Some(0.5));
+    }
+
+    #[test]
+    fn hand_computed_case() {
+        // scores: pos {0.8, 0.4}, neg {0.6, 0.2}
+        // pairs: (0.8,0.6)+1 (0.8,0.2)+1 (0.4,0.6)+0 (0.4,0.2)+1 => 3/4
+        let scores = [0.8, 0.4, 0.6, 0.2];
+        let labels = [true, true, false, false];
+        assert_eq!(auc(&scores, &labels), Some(0.75));
+    }
+
+    #[test]
+    fn tie_across_classes_counts_half() {
+        // pos {0.5}, neg {0.5, 0.1}: pairs = tie(0.5) + win(0.1) = 0.5 + 1 => 0.75
+        let scores = [0.5, 0.5, 0.1];
+        let labels = [true, false, false];
+        assert_eq!(auc(&scores, &labels), Some(0.75));
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        assert_eq!(auc(&[], &[]), None);
+        assert_eq!(auc(&[0.5], &[true]), None); // one class only
+        assert_eq!(auc(&[0.5, 0.6], &[true, true]), None);
+        assert_eq!(auc(&[0.5], &[true, false]), None); // length mismatch
+    }
+
+    #[test]
+    fn large_input_matches_naive_pair_count() {
+        // Cross-check the rank-sum formulation against O(n^2) counting.
+        let mut scores = Vec::new();
+        let mut labels = Vec::new();
+        let mut state = 12345u64;
+        for i in 0..300 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            scores.push(((state >> 33) % 100) as f32 / 100.0); // many ties
+            labels.push(i % 3 == 0);
+        }
+        let mut wins = 0.0f64;
+        let mut total = 0.0f64;
+        for i in 0..scores.len() {
+            if !labels[i] {
+                continue;
+            }
+            for j in 0..scores.len() {
+                if labels[j] {
+                    continue;
+                }
+                total += 1.0;
+                if scores[i] > scores[j] {
+                    wins += 1.0;
+                } else if scores[i] == scores[j] {
+                    wins += 0.5;
+                }
+            }
+        }
+        let naive = wins / total;
+        let fast = auc(&scores, &labels).unwrap();
+        assert!((naive - fast).abs() < 1e-12, "{naive} vs {fast}");
+    }
+}

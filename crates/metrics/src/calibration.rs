@@ -1,0 +1,83 @@
+//! Probability calibration diagnostics.
+
+/// Equal-width calibration bins over predicted probabilities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationReport {
+    /// Per-bin `(mean predicted, observed positive rate, count)`.
+    pub bins: Vec<(f64, f64, usize)>,
+    /// Expected Calibration Error: count-weighted mean |pred - observed|.
+    pub ece: f64,
+}
+
+impl CalibrationReport {
+    /// Bins `(prob, label)` pairs into `n_bins` equal-width probability
+    /// buckets. Returns `None` for empty/mismatched inputs or `n_bins == 0`.
+    pub fn compute(prob: &[f32], labels: &[bool], n_bins: usize) -> Option<Self> {
+        if prob.len() != labels.len() || prob.is_empty() || n_bins == 0 {
+            return None;
+        }
+        let mut sum_pred = vec![0.0f64; n_bins];
+        let mut sum_pos = vec![0.0f64; n_bins];
+        let mut count = vec![0usize; n_bins];
+        for (&p, &y) in prob.iter().zip(labels) {
+            let b = ((p as f64 * n_bins as f64) as usize).min(n_bins - 1);
+            sum_pred[b] += p as f64;
+            sum_pos[b] += y as u8 as f64;
+            count[b] += 1;
+        }
+        let mut bins = Vec::with_capacity(n_bins);
+        let mut ece = 0.0;
+        for b in 0..n_bins {
+            if count[b] == 0 {
+                bins.push((0.0, 0.0, 0));
+                continue;
+            }
+            let mp = sum_pred[b] / count[b] as f64;
+            let op = sum_pos[b] / count[b] as f64;
+            ece += (mp - op).abs() * count[b] as f64 / prob.len() as f64;
+            bins.push((mp, op, count[b]));
+        }
+        Some(CalibrationReport { bins, ece })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_calibrated_predictions_have_zero_ece() {
+        // 10 samples at p=0.3 with 3 positives; 10 at p=0.7 with 7.
+        let mut prob = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..10 {
+            prob.push(0.3);
+            labels.push(i < 3);
+            prob.push(0.7);
+            labels.push(i < 7);
+        }
+        let r = CalibrationReport::compute(&prob, &labels, 10).unwrap();
+        assert!(r.ece < 1e-7, "ece={}", r.ece);
+    }
+
+    #[test]
+    fn overconfident_predictions_have_high_ece() {
+        let prob = vec![0.99f32; 100];
+        let labels: Vec<bool> = (0..100).map(|i| i < 50).collect();
+        let r = CalibrationReport::compute(&prob, &labels, 10).unwrap();
+        assert!((r.ece - 0.49).abs() < 0.01, "ece={}", r.ece);
+    }
+
+    #[test]
+    fn bin_edges_clamp_p_equal_one() {
+        let r = CalibrationReport::compute(&[1.0], &[true], 4).unwrap();
+        assert_eq!(r.bins[3].2, 1);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(CalibrationReport::compute(&[], &[], 5).is_none());
+        assert!(CalibrationReport::compute(&[0.5], &[true], 0).is_none());
+        assert!(CalibrationReport::compute(&[0.5], &[], 5).is_none());
+    }
+}

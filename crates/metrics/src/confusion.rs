@@ -1,0 +1,100 @@
+//! Thresholded binary-classification counts.
+
+/// Confusion counts of probability predictions at a decision threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BinaryConfusion {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl BinaryConfusion {
+    /// Counts outcomes of `prob >= threshold` against `labels`. Returns
+    /// `None` for empty or mismatched inputs.
+    pub fn at_threshold(prob: &[f32], labels: &[bool], threshold: f32) -> Option<Self> {
+        if prob.len() != labels.len() || prob.is_empty() {
+            return None;
+        }
+        let mut c = BinaryConfusion { tp: 0, fp: 0, tn: 0, fn_: 0 };
+        for (&p, &y) in prob.iter().zip(labels) {
+            match (p >= threshold, y) {
+                (true, true) => c.tp += 1,
+                (true, false) => c.fp += 1,
+                (false, false) => c.tn += 1,
+                (false, true) => c.fn_ += 1,
+            }
+        }
+        Some(c)
+    }
+
+    /// Precision `tp / (tp + fp)`; `None` when nothing was predicted positive.
+    pub fn precision(&self) -> Option<f64> {
+        let denom = self.tp + self.fp;
+        (denom > 0).then(|| self.tp as f64 / denom as f64)
+    }
+
+    /// Recall `tp / (tp + fn)`; `None` when there are no positives.
+    pub fn recall(&self) -> Option<f64> {
+        let denom = self.tp + self.fn_;
+        (denom > 0).then(|| self.tp as f64 / denom as f64)
+    }
+
+    /// F1 score; `None` when precision or recall is undefined or both zero.
+    pub fn f1(&self) -> Option<f64> {
+        let p = self.precision()?;
+        let r = self.recall()?;
+        if p + r == 0.0 {
+            None
+        } else {
+            Some(2.0 * p * r / (p + r))
+        }
+    }
+
+    /// Accuracy over all samples.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.tp + self.fp + self.tn + self.fn_;
+        (self.tp + self.tn) as f64 / total.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_are_correct() {
+        let prob = [0.9, 0.8, 0.3, 0.1];
+        let labels = [true, false, true, false];
+        let c = BinaryConfusion::at_threshold(&prob, &labels, 0.5).unwrap();
+        assert_eq!(c, BinaryConfusion { tp: 1, fp: 1, tn: 1, fn_: 1 });
+        assert_eq!(c.precision(), Some(0.5));
+        assert_eq!(c.recall(), Some(0.5));
+        assert_eq!(c.f1(), Some(0.5));
+        assert_eq!(c.accuracy(), 0.5);
+    }
+
+    #[test]
+    fn undefined_ratios_are_none() {
+        let c = BinaryConfusion { tp: 0, fp: 0, tn: 5, fn_: 0 };
+        assert_eq!(c.precision(), None);
+        assert_eq!(c.recall(), None);
+        assert_eq!(c.f1(), None);
+        assert_eq!(c.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn threshold_boundary_is_inclusive() {
+        let c = BinaryConfusion::at_threshold(&[0.5], &[true], 0.5).unwrap();
+        assert_eq!(c.tp, 1);
+    }
+
+    #[test]
+    fn empty_is_none() {
+        assert!(BinaryConfusion::at_threshold(&[], &[], 0.5).is_none());
+    }
+}

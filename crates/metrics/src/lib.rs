@@ -1,0 +1,32 @@
+//! Evaluation metrics for the ATNN reproduction.
+//!
+//! Covers everything the paper's evaluation sections report:
+//! - [`auc`] — Area Under the ROC Curve (Table I),
+//! - [`mae`] / [`rmse`] / [`log_loss`] — regression/classification losses
+//!   (Table IV trains MSE and reports MAE),
+//! - [`quantile_lift`] — mean business outcome per predicted-score group
+//!   (Table II's quintile × IPV/AtF/GMV grid),
+//! - [`spearman`] / [`kendall_tau`] / [`ndcg_at`] — ranking agreement, used
+//!   by the mean-user-vector fidelity ablation (DESIGN.md A5),
+//! - [`CalibrationReport`] and [`BinaryConfusion`] — diagnostic extras.
+//!
+//! All functions are pure and deterministic; this crate deliberately has
+//! zero runtime dependencies.
+
+mod auc;
+mod calibration;
+mod gauc;
+mod confusion;
+mod lift;
+mod loss;
+mod rank;
+mod topk;
+
+pub use auc::auc;
+pub use calibration::CalibrationReport;
+pub use gauc::gauc;
+pub use confusion::BinaryConfusion;
+pub use lift::{quantile_lift, LiftTable};
+pub use loss::{log_loss, mae, mse, rmse};
+pub use rank::{kendall_tau, ndcg_at, spearman};
+pub use topk::{average_precision, precision_at_k, recall_at_k};

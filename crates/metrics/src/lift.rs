@@ -1,0 +1,156 @@
+//! Quantile lift tables: the shape of the paper's Table II.
+//!
+//! Items are ranked by a predicted score, split into `k` equal groups (top
+//! group first), and the mean of one or more observed outcome columns is
+//! reported per group. A well-ordered model produces monotonically
+//! decreasing outcome means from the top group down.
+
+/// Result of [`quantile_lift`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LiftTable {
+    /// Per-group means, `groups[g][m]` = mean of metric `m` in group `g`
+    /// (group 0 = highest scores).
+    pub groups: Vec<Vec<f64>>,
+    /// Overall means per metric (the paper's "Average" row).
+    pub overall: Vec<f64>,
+    /// Number of items in each group.
+    pub group_sizes: Vec<usize>,
+}
+
+impl LiftTable {
+    /// True when metric `m` decreases (weakly, within `slack` relative
+    /// tolerance) from each group to the next.
+    pub fn is_monotone(&self, metric: usize, slack: f64) -> bool {
+        self.groups
+            .windows(2)
+            .all(|w| w[1][metric] <= w[0][metric] * (1.0 + slack))
+    }
+
+    /// Ratio of the top group's mean to the bottom group's mean for
+    /// metric `m` (`f64::INFINITY` if the bottom mean is zero).
+    pub fn top_bottom_ratio(&self, metric: usize) -> f64 {
+        let top = self.groups.first().map_or(0.0, |g| g[metric]);
+        let bottom = self.groups.last().map_or(0.0, |g| g[metric]);
+        if bottom == 0.0 {
+            f64::INFINITY
+        } else {
+            top / bottom
+        }
+    }
+}
+
+/// Splits items into `k` groups by descending `scores` and reports the mean
+/// of every outcome column per group.
+///
+/// `outcomes[i]` holds the observed metric values for item `i` (e.g.
+/// `[ipv_7d, atf_7d, gmv_7d, …]`); all rows must have equal length.
+/// Returns `None` when inputs are empty/mismatched or `k == 0` or
+/// `k > items`.
+pub fn quantile_lift(scores: &[f32], outcomes: &[Vec<f64>], k: usize) -> Option<LiftTable> {
+    if scores.is_empty() || scores.len() != outcomes.len() || k == 0 || k > scores.len() {
+        return None;
+    }
+    let width = outcomes[0].len();
+    if outcomes.iter().any(|row| row.len() != width) {
+        return None;
+    }
+
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    // Descending by score; index tiebreak keeps the split deterministic.
+    order.sort_by(|&a, &b| {
+        scores[b].partial_cmp(&scores[a]).expect("NaN score").then(a.cmp(&b))
+    });
+
+    let n = scores.len();
+    let mut groups = Vec::with_capacity(k);
+    let mut group_sizes = Vec::with_capacity(k);
+    for g in 0..k {
+        // Even split with remainder spread over the first groups.
+        let start = g * n / k;
+        let end = (g + 1) * n / k;
+        let members = &order[start..end];
+        let mut means = vec![0.0f64; width];
+        for &idx in members {
+            for (m, &v) in means.iter_mut().zip(&outcomes[idx]) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= members.len().max(1) as f64;
+        }
+        groups.push(means);
+        group_sizes.push(members.len());
+    }
+
+    let mut overall = vec![0.0f64; width];
+    for row in outcomes {
+        for (o, &v) in overall.iter_mut().zip(row) {
+            *o += v;
+        }
+    }
+    for o in &mut overall {
+        *o /= n as f64;
+    }
+
+    Some(LiftTable { groups, overall, group_sizes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_ordered_scores_give_monotone_lift() {
+        // Item i has score i and outcome i: top quintile must have the
+        // highest mean.
+        let n = 100;
+        let scores: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let outcomes: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();
+        let t = quantile_lift(&scores, &outcomes, 5).unwrap();
+        assert_eq!(t.group_sizes, vec![20; 5]);
+        assert_eq!(t.groups[0][0], (80..100).sum::<usize>() as f64 / 20.0);
+        assert_eq!(t.groups[4][0], (0..20).sum::<usize>() as f64 / 20.0);
+        assert!(t.is_monotone(0, 0.0));
+        assert!((t.overall[0] - 49.5).abs() < 1e-9);
+        assert!(t.top_bottom_ratio(0) > 9.0);
+    }
+
+    #[test]
+    fn uneven_split_spreads_remainder() {
+        let scores = [5.0, 4.0, 3.0, 2.0, 1.0];
+        let outcomes: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64]).collect();
+        let t = quantile_lift(&scores, &outcomes, 2).unwrap();
+        assert_eq!(t.group_sizes, vec![2, 3]);
+    }
+
+    #[test]
+    fn multiple_metrics_are_independent() {
+        let scores = [2.0, 1.0];
+        let outcomes = vec![vec![10.0, 0.0], vec![0.0, 10.0]];
+        let t = quantile_lift(&scores, &outcomes, 2).unwrap();
+        assert_eq!(t.groups[0], vec![10.0, 0.0]);
+        assert_eq!(t.groups[1], vec![0.0, 10.0]);
+        assert!(t.is_monotone(0, 0.0));
+        assert!(!t.is_monotone(1, 0.0));
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        assert!(quantile_lift(&[], &[], 5).is_none());
+        assert!(quantile_lift(&[1.0], &[vec![1.0]], 0).is_none());
+        assert!(quantile_lift(&[1.0], &[vec![1.0]], 2).is_none());
+        assert!(quantile_lift(&[1.0, 2.0], &[vec![1.0]], 1).is_none());
+        assert!(quantile_lift(&[1.0, 2.0], &[vec![1.0], vec![1.0, 2.0]], 1).is_none());
+    }
+
+    #[test]
+    fn monotone_slack_tolerates_small_inversions() {
+        let t = LiftTable {
+            groups: vec![vec![100.0], vec![101.0], vec![50.0]],
+            overall: vec![0.0],
+            group_sizes: vec![1, 1, 1],
+        };
+        assert!(!t.is_monotone(0, 0.0));
+        assert!(t.is_monotone(0, 0.02));
+    }
+}

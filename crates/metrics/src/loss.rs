@@ -1,0 +1,84 @@
+//! Pointwise loss metrics.
+
+/// Mean absolute error. Returns `None` on empty or mismatched inputs.
+///
+/// The food-delivery evaluation (paper Table IV) reports MAE of VpPV and
+/// GMV predictions.
+pub fn mae(pred: &[f32], truth: &[f32]) -> Option<f64> {
+    paired(pred, truth, |p, t| (p - t).abs() as f64)
+}
+
+/// Mean squared error. Returns `None` on empty or mismatched inputs.
+pub fn mse(pred: &[f32], truth: &[f32]) -> Option<f64> {
+    paired(pred, truth, |p, t| {
+        let d = (p - t) as f64;
+        d * d
+    })
+}
+
+/// Root mean squared error. Returns `None` on empty or mismatched inputs.
+pub fn rmse(pred: &[f32], truth: &[f32]) -> Option<f64> {
+    mse(pred, truth).map(f64::sqrt)
+}
+
+/// Binary cross-entropy of probability predictions against labels, with
+/// probabilities clamped to `[eps, 1-eps]` (`eps = 1e-7`) for robustness.
+/// Returns `None` on empty or mismatched inputs.
+pub fn log_loss(prob: &[f32], labels: &[bool]) -> Option<f64> {
+    if prob.len() != labels.len() || prob.is_empty() {
+        return None;
+    }
+    const EPS: f64 = 1e-7;
+    let total: f64 = prob
+        .iter()
+        .zip(labels)
+        .map(|(&p, &y)| {
+            let p = (p as f64).clamp(EPS, 1.0 - EPS);
+            if y {
+                -p.ln()
+            } else {
+                -(1.0 - p).ln()
+            }
+        })
+        .sum();
+    Some(total / prob.len() as f64)
+}
+
+fn paired(pred: &[f32], truth: &[f32], f: impl Fn(f32, f32) -> f64) -> Option<f64> {
+    if pred.len() != truth.len() || pred.is_empty() {
+        return None;
+    }
+    Some(pred.iter().zip(truth).map(|(&p, &t)| f(p, t)).sum::<f64>() / pred.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mae_hand_computed() {
+        assert_eq!(mae(&[1.0, 2.0, 3.0], &[2.0, 2.0, 1.0]), Some(1.0));
+        assert_eq!(mae(&[], &[]), None);
+        assert_eq!(mae(&[1.0], &[1.0, 2.0]), None);
+    }
+
+    #[test]
+    fn mse_and_rmse() {
+        assert_eq!(mse(&[0.0, 0.0], &[3.0, 4.0]), Some(12.5));
+        assert!((rmse(&[0.0, 0.0], &[3.0, 4.0]).unwrap() - 12.5f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_loss_perfect_and_uninformed() {
+        let perfect = log_loss(&[1.0, 0.0], &[true, false]).unwrap();
+        assert!(perfect < 1e-5);
+        let coin = log_loss(&[0.5, 0.5], &[true, false]).unwrap();
+        assert!((coin - std::f64::consts::LN_2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_loss_is_finite_at_extremes() {
+        let v = log_loss(&[0.0, 1.0], &[true, false]).unwrap();
+        assert!(v.is_finite() && v > 10.0);
+    }
+}

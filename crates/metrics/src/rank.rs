@@ -1,0 +1,164 @@
+//! Rank-agreement metrics.
+
+/// Spearman rank correlation between two score vectors (average ranks for
+/// ties, Pearson over ranks). Returns `None` for mismatched/too-short
+/// inputs or when either vector is constant.
+pub fn spearman(a: &[f32], b: &[f32]) -> Option<f64> {
+    if a.len() != b.len() || a.len() < 2 {
+        return None;
+    }
+    let ra = average_ranks(a);
+    let rb = average_ranks(b);
+    pearson(&ra, &rb)
+}
+
+/// Kendall's tau-a: concordant minus discordant pairs over all pairs.
+/// O(n²); intended for evaluation-sized inputs. Returns `None` for
+/// mismatched/too-short inputs.
+pub fn kendall_tau(a: &[f32], b: &[f32]) -> Option<f64> {
+    if a.len() != b.len() || a.len() < 2 {
+        return None;
+    }
+    let n = a.len();
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    for i in 0..n {
+        for j in i + 1..n {
+            let da = a[i] - a[j];
+            let db = b[i] - b[j];
+            let s = (da * db).signum();
+            if s > 0.0 {
+                concordant += 1;
+            } else if s < 0.0 {
+                discordant += 1;
+            }
+        }
+    }
+    let pairs = (n * (n - 1) / 2) as f64;
+    Some((concordant - discordant) as f64 / pairs)
+}
+
+/// Normalized Discounted Cumulative Gain at `k`: how well `scores` order
+/// items by their true `gains`. Returns `None` for degenerate inputs or
+/// when all gains are zero.
+pub fn ndcg_at(scores: &[f32], gains: &[f64], k: usize) -> Option<f64> {
+    if scores.len() != gains.len() || scores.is_empty() || k == 0 {
+        return None;
+    }
+    let k = k.min(scores.len());
+    let dcg_of = |order: &[usize]| -> f64 {
+        order
+            .iter()
+            .take(k)
+            .enumerate()
+            .map(|(pos, &idx)| gains[idx] / ((pos + 2) as f64).log2())
+            .sum()
+    };
+    let mut by_score: Vec<usize> = (0..scores.len()).collect();
+    by_score.sort_by(|&x, &y| scores[y].partial_cmp(&scores[x]).expect("NaN score"));
+    let mut ideal: Vec<usize> = (0..gains.len()).collect();
+    ideal.sort_by(|&x, &y| gains[y].partial_cmp(&gains[x]).expect("NaN gain"));
+    let idcg = dcg_of(&ideal);
+    if idcg == 0.0 {
+        return None;
+    }
+    Some(dcg_of(&by_score) / idcg)
+}
+
+/// 1-based average ranks (ties share their mean rank).
+fn average_ranks(xs: &[f32]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..xs.len()).collect();
+    order.sort_by(|&i, &j| xs[i].partial_cmp(&xs[j]).expect("NaN value"));
+    let mut ranks = vec![0.0f64; xs.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && xs[order[j + 1]] == xs[order[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+fn pearson(a: &[f64], b: &[f64]) -> Option<f64> {
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va == 0.0 || vb == 0.0 {
+        return None;
+    }
+    Some(cov / (va * vb).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spearman_of_identical_order_is_one() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 20.0, 30.0, 40.0];
+        assert!((spearman(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+        let rev = [40.0, 30.0, 20.0, 10.0];
+        assert!((spearman(&a, &rev).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let a = [1.0, 1.0, 2.0];
+        let b = [3.0, 3.0, 5.0];
+        assert!((spearman(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_rejects_constant_input() {
+        assert!(spearman(&[1.0, 1.0], &[1.0, 2.0]).is_none());
+        assert!(spearman(&[1.0], &[1.0]).is_none());
+    }
+
+    #[test]
+    fn kendall_hand_computed() {
+        // a: 1 2 3; b: 1 3 2 -> pairs: (1,2)C (1,3)C (2,3)D -> (2-1)/3
+        let tau = kendall_tau(&[1.0, 2.0, 3.0], &[1.0, 3.0, 2.0]).unwrap();
+        assert!((tau - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(kendall_tau(&[1.0, 2.0], &[1.0, 2.0]), Some(1.0));
+        assert_eq!(kendall_tau(&[1.0, 2.0], &[2.0, 1.0]), Some(-1.0));
+    }
+
+    #[test]
+    fn ndcg_perfect_ordering_is_one() {
+        let gains = [3.0, 2.0, 1.0, 0.0];
+        let scores = [0.9, 0.7, 0.4, 0.1];
+        assert!((ndcg_at(&scores, &gains, 4).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_hand_computed_swap() {
+        // True gains [2, 1], scores invert the order:
+        // DCG = 1/log2(2) + 2/log2(3); IDCG = 2/log2(2) + 1/log2(3)
+        let got = ndcg_at(&[0.1, 0.9], &[2.0, 1.0], 2).unwrap();
+        let dcg = 1.0 / 1.0 + 2.0 / 3.0f64.log2();
+        let idcg = 2.0 / 1.0 + 1.0 / 3.0f64.log2();
+        assert!((got - dcg / idcg).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_degenerate_inputs() {
+        assert!(ndcg_at(&[], &[], 5).is_none());
+        assert!(ndcg_at(&[0.5], &[0.0], 1).is_none(), "all-zero gains");
+        assert!(ndcg_at(&[0.5], &[1.0], 0).is_none());
+    }
+}

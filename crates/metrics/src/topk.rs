@@ -1,0 +1,127 @@
+//! Top-k retrieval metrics: precision@k, recall@k and average precision.
+//!
+//! Used to evaluate the new-arrival *selection* task directly (Tables III
+//! and V pick a top slice of a pool): how many of the items a policy
+//! selects are genuinely in the relevant set?
+
+fn top_k_indices(scores: &[f32], k: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[b].partial_cmp(&scores[a]).expect("NaN score").then(a.cmp(&b))
+    });
+    order.truncate(k);
+    order
+}
+
+/// Fraction of the top-`k` scored items that are relevant. Returns `None`
+/// on empty/mismatched input or `k == 0`.
+pub fn precision_at_k(scores: &[f32], relevant: &[bool], k: usize) -> Option<f64> {
+    if scores.len() != relevant.len() || scores.is_empty() || k == 0 {
+        return None;
+    }
+    let k = k.min(scores.len());
+    let hits = top_k_indices(scores, k).into_iter().filter(|&i| relevant[i]).count();
+    Some(hits as f64 / k as f64)
+}
+
+/// Fraction of all relevant items captured in the top-`k`. Returns `None`
+/// on degenerate input or when nothing is relevant.
+pub fn recall_at_k(scores: &[f32], relevant: &[bool], k: usize) -> Option<f64> {
+    if scores.len() != relevant.len() || scores.is_empty() || k == 0 {
+        return None;
+    }
+    let total = relevant.iter().filter(|&&r| r).count();
+    if total == 0 {
+        return None;
+    }
+    let k = k.min(scores.len());
+    let hits = top_k_indices(scores, k).into_iter().filter(|&i| relevant[i]).count();
+    Some(hits as f64 / total as f64)
+}
+
+/// Average precision: the mean of precision@rank over the ranks of the
+/// relevant items (AP = 1 iff all relevant items are ranked first).
+/// Returns `None` on degenerate input or when nothing is relevant.
+pub fn average_precision(scores: &[f32], relevant: &[bool]) -> Option<f64> {
+    if scores.len() != relevant.len() || scores.is_empty() {
+        return None;
+    }
+    let total = relevant.iter().filter(|&&r| r).count();
+    if total == 0 {
+        return None;
+    }
+    let order = top_k_indices(scores, scores.len());
+    let mut hits = 0usize;
+    let mut ap = 0.0f64;
+    for (rank, &idx) in order.iter().enumerate() {
+        if relevant[idx] {
+            hits += 1;
+            ap += hits as f64 / (rank + 1) as f64;
+        }
+    }
+    Some(ap / total as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_scores_one_everywhere() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let relevant = [true, true, false, false];
+        assert_eq!(precision_at_k(&scores, &relevant, 2), Some(1.0));
+        assert_eq!(recall_at_k(&scores, &relevant, 2), Some(1.0));
+        assert_eq!(average_precision(&scores, &relevant), Some(1.0));
+    }
+
+    #[test]
+    fn hand_computed_mixed_ranking() {
+        // Ranked order: idx1 (rel), idx0 (not), idx3 (rel), idx2 (not).
+        let scores = [0.7, 0.9, 0.1, 0.5];
+        let relevant = [false, true, false, true];
+        assert_eq!(precision_at_k(&scores, &relevant, 1), Some(1.0));
+        assert_eq!(precision_at_k(&scores, &relevant, 2), Some(0.5));
+        assert_eq!(precision_at_k(&scores, &relevant, 3), Some(2.0 / 3.0));
+        assert_eq!(recall_at_k(&scores, &relevant, 1), Some(0.5));
+        assert_eq!(recall_at_k(&scores, &relevant, 3), Some(1.0));
+        // AP = (1/1 + 2/3) / 2
+        let ap = average_precision(&scores, &relevant).unwrap();
+        assert!((ap - (1.0 + 2.0 / 3.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worst_ranking_has_low_ap() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let relevant = [false, false, true, true];
+        // AP = (1/3 + 2/4) / 2
+        let ap = average_precision(&scores, &relevant).unwrap();
+        assert!((ap - (1.0 / 3.0 + 0.5) / 2.0).abs() < 1e-12);
+        assert_eq!(precision_at_k(&scores, &relevant, 2), Some(0.0));
+    }
+
+    #[test]
+    fn k_larger_than_n_clamps() {
+        let scores = [0.9, 0.1];
+        let relevant = [true, false];
+        assert_eq!(precision_at_k(&scores, &relevant, 10), Some(0.5));
+        assert_eq!(recall_at_k(&scores, &relevant, 10), Some(1.0));
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        assert_eq!(precision_at_k(&[], &[], 1), None);
+        assert_eq!(precision_at_k(&[0.5], &[true], 0), None);
+        assert_eq!(recall_at_k(&[0.5], &[false], 1), None, "no relevant items");
+        assert_eq!(average_precision(&[0.5], &[false]), None);
+        assert_eq!(precision_at_k(&[0.5], &[true, false], 1), None, "length mismatch");
+    }
+
+    #[test]
+    fn ties_break_deterministically_by_index() {
+        let scores = [0.5, 0.5, 0.5];
+        let relevant = [true, false, false];
+        // Index tiebreak: idx 0 first.
+        assert_eq!(precision_at_k(&scores, &relevant, 1), Some(1.0));
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for metric invariants.
+
+use atnn_metrics::{auc, kendall_tau, log_loss, mae, ndcg_at, quantile_lift, rmse, spearman};
+use proptest::prelude::*;
+
+fn scores_and_labels() -> impl Strategy<Value = (Vec<f32>, Vec<bool>)> {
+    proptest::collection::vec((0.0f32..1.0, any::<bool>()), 4..80).prop_map(|pairs| {
+        pairs.into_iter().unzip()
+    })
+}
+
+proptest! {
+    #[test]
+    fn auc_is_in_unit_interval((scores, labels) in scores_and_labels()) {
+        if let Some(a) = auc(&scores, &labels) {
+            prop_assert!((0.0..=1.0).contains(&a));
+        }
+    }
+
+    #[test]
+    fn auc_is_invariant_to_monotone_transform((scores, labels) in scores_and_labels()) {
+        let a1 = auc(&scores, &labels);
+        // Strictly increasing transform preserves order and ties.
+        let transformed: Vec<f32> = scores.iter().map(|&s| (3.0 * s).exp() + 1.0).collect();
+        let a2 = auc(&transformed, &labels);
+        match (a1, a2) {
+            (Some(x), Some(y)) => prop_assert!((x - y).abs() < 1e-9),
+            (None, None) => {}
+            _ => prop_assert!(false, "definedness must agree"),
+        }
+    }
+
+    #[test]
+    fn auc_flips_under_negation((scores, labels) in scores_and_labels()) {
+        if let Some(a) = auc(&scores, &labels) {
+            let neg: Vec<f32> = scores.iter().map(|&s| -s).collect();
+            let b = auc(&neg, &labels).unwrap();
+            prop_assert!((a + b - 1.0).abs() < 1e-9, "auc(s) + auc(-s) == 1");
+        }
+    }
+
+    #[test]
+    fn auc_label_swap_complements((scores, labels) in scores_and_labels()) {
+        if let Some(a) = auc(&scores, &labels) {
+            let flipped: Vec<bool> = labels.iter().map(|&l| !l).collect();
+            let b = auc(&scores, &flipped).unwrap();
+            prop_assert!((a + b - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn mae_and_rmse_are_nonnegative_and_zero_iff_equal(xs in proptest::collection::vec(-50.0f32..50.0, 1..40)) {
+        prop_assert_eq!(mae(&xs, &xs), Some(0.0));
+        prop_assert_eq!(rmse(&xs, &xs), Some(0.0));
+        let shifted: Vec<f32> = xs.iter().map(|&x| x + 1.0).collect();
+        prop_assert!((mae(&xs, &shifted).unwrap() - 1.0).abs() < 1e-5);
+        prop_assert!(rmse(&xs, &shifted).unwrap() >= mae(&xs, &shifted).unwrap() - 1e-9,
+            "RMSE dominates MAE");
+    }
+
+    #[test]
+    fn log_loss_is_minimized_by_true_probabilities((_, labels) in scores_and_labels()) {
+        let truth: Vec<f32> = labels.iter().map(|&y| if y { 0.9 } else { 0.1 }).collect();
+        let wrong: Vec<f32> = labels.iter().map(|&y| if y { 0.1 } else { 0.9 }).collect();
+        prop_assert!(log_loss(&truth, &labels).unwrap() < log_loss(&wrong, &labels).unwrap());
+    }
+
+    #[test]
+    fn spearman_is_symmetric_and_bounded(pairs in proptest::collection::vec((-10.0f32..10.0, -10.0f32..10.0), 3..40)) {
+        let (a, b): (Vec<f32>, Vec<f32>) = pairs.into_iter().unzip();
+        if let Some(s) = spearman(&a, &b) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&s));
+            prop_assert!((s - spearman(&b, &a).unwrap()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn kendall_matches_spearman_sign_for_clean_orders(n in 3usize..20, flip in any::<bool>()) {
+        let a: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let b: Vec<f32> = if flip {
+            (0..n).map(|i| -(i as f32)).collect()
+        } else {
+            a.clone()
+        };
+        let tau = kendall_tau(&a, &b).unwrap();
+        let rho = spearman(&a, &b).unwrap();
+        prop_assert_eq!(tau, if flip { -1.0 } else { 1.0 });
+        prop_assert!((rho - tau).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ndcg_is_bounded_and_one_for_ideal(gains in proptest::collection::vec(0.0f64..10.0, 2..30)) {
+        prop_assume!(gains.iter().any(|&g| g > 0.0));
+        let ideal_scores: Vec<f32> = gains.iter().map(|&g| g as f32).collect();
+        let n = ideal_scores.len();
+        let v = ndcg_at(&ideal_scores, &gains, n).unwrap();
+        prop_assert!((v - 1.0).abs() < 1e-9, "scoring by gain is ideal: {v}");
+        // Any other scoring is bounded by 1.
+        let reversed: Vec<f32> = ideal_scores.iter().map(|&s| -s).collect();
+        let w = ndcg_at(&reversed, &gains, n).unwrap();
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&w));
+    }
+
+    #[test]
+    fn lift_groups_partition_items(n in 5usize..60, k in 1usize..6) {
+        prop_assume!(k <= n);
+        let scores: Vec<f32> = (0..n).map(|i| (i * 7 % 13) as f32).collect();
+        let outcomes: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();
+        let t = quantile_lift(&scores, &outcomes, k).unwrap();
+        prop_assert_eq!(t.group_sizes.iter().sum::<usize>(), n);
+        prop_assert_eq!(t.groups.len(), k);
+        // Weighted group means recombine to the overall mean.
+        let recombined: f64 = t.groups.iter().zip(&t.group_sizes)
+            .map(|(g, &s)| g[0] * s as f64)
+            .sum::<f64>() / n as f64;
+        prop_assert!((recombined - t.overall[0]).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,52 @@
+//! Activation functions as a small closed enum.
+
+use atnn_autograd::{Graph, Var};
+
+/// Elementwise nonlinearities usable between layers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Activation {
+    /// Identity (no nonlinearity) — used for output layers producing logits.
+    Identity,
+    /// Rectified linear unit.
+    Relu,
+    /// Leaky ReLU with the given negative slope.
+    LeakyRelu(f32),
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+}
+
+impl Activation {
+    /// Applies the activation on the tape.
+    pub fn apply(self, g: &mut Graph, x: Var) -> Var {
+        match self {
+            Activation::Identity => x,
+            Activation::Relu => g.relu(x),
+            Activation::LeakyRelu(alpha) => g.leaky_relu(x, alpha),
+            Activation::Tanh => g.tanh(x),
+            Activation::Sigmoid => g.sigmoid(x),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atnn_tensor::Matrix;
+
+    #[test]
+    fn all_variants_produce_expected_values() {
+        let mut g = Graph::new();
+        let x = g.input(Matrix::row_vector(&[-2.0, 0.0, 3.0]));
+        assert_eq!(Activation::Identity.apply(&mut g, x), x);
+        let r = Activation::Relu.apply(&mut g, x);
+        assert_eq!(g.value(r).as_slice(), &[0.0, 0.0, 3.0]);
+        let l = Activation::LeakyRelu(0.5).apply(&mut g, x);
+        assert_eq!(g.value(l).as_slice(), &[-1.0, 0.0, 3.0]);
+        let t = Activation::Tanh.apply(&mut g, x);
+        assert!((g.value(t).get(0, 2) - 3.0f32.tanh()).abs() < 1e-6);
+        let s = Activation::Sigmoid.apply(&mut g, x);
+        assert!((g.value(s).get(0, 1) - 0.5).abs() < 1e-6);
+    }
+}

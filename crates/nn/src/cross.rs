@@ -1,0 +1,139 @@
+//! Deep & Cross Network cross layers (Wang et al., ADKDD 2017 — reference
+//! [2] of the ATNN paper).
+//!
+//! Each cross layer computes `x_{l+1} = x_0 ⊙ (x_l w_l) + b_l + x_l`, which
+//! constructs explicit bounded-degree feature crosses: after `L` layers the
+//! output contains polynomial interactions of the input up to degree
+//! `L + 1`, at `O(dim)` extra parameters per layer. The ATNN paper uses
+//! this in *all* generators and encoders so that "plenty of high level
+//! features, e.g., item PV, seller PV and category PV" are crossed
+//! automatically instead of by manual feature engineering.
+
+use atnn_autograd::{Graph, ParamId, ParamStore, Var};
+use atnn_tensor::{Init, Rng64};
+
+/// A stack of DCN cross layers over a fixed input width.
+#[derive(Debug, Clone)]
+pub struct CrossNet {
+    ws: Vec<ParamId>,
+    bs: Vec<ParamId>,
+    dim: usize,
+}
+
+impl CrossNet {
+    /// Registers `depth` cross layers of width `dim`.
+    ///
+    /// `depth == 0` is allowed and makes [`CrossNet::forward`] the identity
+    /// — that degenerate configuration is what the cross-depth ablation
+    /// (DESIGN.md A3) exercises.
+    pub fn new(store: &mut ParamStore, rng: &mut Rng64, name: &str, dim: usize, depth: usize) -> Self {
+        let mut ws = Vec::with_capacity(depth);
+        let mut bs = Vec::with_capacity(depth);
+        for l in 0..depth {
+            // Small-normal init keeps the polynomial terms tame at depth.
+            ws.push(store.add(format!("{name}.cross{l}.w"), Init::Normal(0.1).sample(dim, 1, rng)));
+            bs.push(store.add(format!("{name}.cross{l}.b"), Init::Zeros.sample(1, dim, rng)));
+        }
+        CrossNet { ws, bs, dim }
+    }
+
+    /// Applies every cross layer; input and output are `[batch, dim]`.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, x0: Var) -> Var {
+        let mut xl = x0;
+        for (w, b) in self.ws.iter().zip(&self.bs) {
+            let wv = g.param(store, *w);
+            let bv = g.param(store, *b);
+            let xlw = g.matmul(xl, wv); // [batch, 1]
+            let crossed = g.scale_rows(x0, xlw); // x0 ⊙ (x_l w)
+            let with_bias = g.add_row_broadcast(crossed, bv);
+            xl = g.add(with_bias, xl);
+        }
+        xl
+    }
+
+    /// Parameter handles of all layers.
+    pub fn params(&self) -> Vec<ParamId> {
+        self.ws.iter().chain(&self.bs).copied().collect()
+    }
+
+    /// Number of cross layers.
+    pub fn depth(&self) -> usize {
+        self.ws.len()
+    }
+
+    /// Feature width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atnn_autograd::check_gradients;
+    use atnn_tensor::Matrix;
+
+    #[test]
+    fn depth_zero_is_identity() {
+        let mut store = ParamStore::new();
+        let mut rng = Rng64::seed_from_u64(0);
+        let net = CrossNet::new(&mut store, &mut rng, "c", 3, 0);
+        assert_eq!(net.depth(), 0);
+        assert!(net.params().is_empty());
+        let mut g = Graph::new();
+        let x = g.input(Matrix::from_rows(&[&[1.0, 2.0, 3.0]]).unwrap());
+        let y = net.forward(&mut g, &store, x);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn single_layer_matches_manual_formula() {
+        let mut store = ParamStore::new();
+        let mut rng = Rng64::seed_from_u64(1);
+        let net = CrossNet::new(&mut store, &mut rng, "c", 2, 1);
+        store.value_mut(net.ws[0]).as_mut_slice().copy_from_slice(&[0.5, -1.0]);
+        store.value_mut(net.bs[0]).as_mut_slice().copy_from_slice(&[0.1, 0.2]);
+        let mut g = Graph::new();
+        let x = g.input(Matrix::from_rows(&[&[2.0, 3.0]]).unwrap());
+        let y = net.forward(&mut g, &store, x);
+        // x w = 2*0.5 + 3*(-1) = -2; x0*(xw) = [-4, -6]; + b + x0 = [-1.9, -2.8]
+        let got = g.value(y);
+        assert!((got.get(0, 0) + 1.9).abs() < 1e-6);
+        assert!((got.get(0, 1) + 2.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn deep_stack_produces_high_degree_crosses() {
+        // With b = 0 and w = e1, the first output coordinate after L layers
+        // is x1 * (1 + x1)^L — verify the polynomial degree escalates.
+        let mut store = ParamStore::new();
+        let mut rng = Rng64::seed_from_u64(2);
+        let net = CrossNet::new(&mut store, &mut rng, "c", 2, 3);
+        for l in 0..3 {
+            store.value_mut(net.ws[l]).as_mut_slice().copy_from_slice(&[1.0, 0.0]);
+            store.value_mut(net.bs[l]).as_mut_slice().copy_from_slice(&[0.0, 0.0]);
+        }
+        let mut g = Graph::new();
+        let x = g.input(Matrix::from_rows(&[&[0.5, 1.0]]).unwrap());
+        let y = net.forward(&mut g, &store, x);
+        // Manual recurrence: x_{l+1}[0] = x0[0]*xl[0] + xl[0] (since w=e1)
+        // and xl[0] evolves 0.5 -> 0.75 -> 1.125 -> 1.6875.
+        assert!((g.value(y).get(0, 0) - 1.6875).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradients_check_out() {
+        let mut store = ParamStore::new();
+        let mut rng = Rng64::seed_from_u64(3);
+        let net = CrossNet::new(&mut store, &mut rng, "c", 4, 2);
+        let x = Init::Normal(0.5).sample(3, 4, &mut rng);
+        let target = Init::Normal(0.5).sample(3, 4, &mut rng);
+        let params = net.params();
+        check_gradients(&mut store, &params, 2e-2, |g, s| {
+            let xv = g.input(x.clone());
+            let y = net.forward(g, s, xv);
+            g.mse_loss(y, &target)
+        })
+        .unwrap();
+    }
+}

@@ -1,0 +1,229 @@
+//! Embedding tables for sparse categorical features.
+
+use atnn_autograd::{Graph, ParamId, ParamStore, Var};
+use atnn_tensor::{Init, Rng64};
+
+/// A `vocab x dim` lookup table mapping categorical ids to dense vectors.
+///
+/// The ATNN paper maps, e.g., user id / occupation / category preference /
+/// item category / sub-category to 16 / 8 / 16 / 6 / 16-dimensional vectors;
+/// one `Embedding` instance implements one such field. The paper's
+/// *shared-embedding* strategy — the generator and the item encoder sharing
+/// their profile embedding layers — is expressed by cloning the `Embedding`
+/// (it is a handle; both clones address the same [`ParamId`]).
+#[derive(Debug, Clone)]
+pub struct Embedding {
+    table: ParamId,
+    vocab: usize,
+    dim: usize,
+}
+
+impl Embedding {
+    /// Registers a new table initialized with small normal noise.
+    pub fn new(store: &mut ParamStore, rng: &mut Rng64, name: &str, vocab: usize, dim: usize) -> Self {
+        assert!(vocab > 0 && dim > 0, "embedding needs positive vocab and dim");
+        let table = store.add(format!("{name}.table"), Init::Normal(0.05).sample(vocab, dim, rng));
+        Embedding { table, vocab, dim }
+    }
+
+    /// Looks up a batch of ids -> `[batch, dim]`.
+    ///
+    /// # Panics
+    /// Panics when any id is `>= vocab` (ids must be pre-encoded by the
+    /// data layer, which owns out-of-vocabulary handling).
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, ids: &[u32]) -> Var {
+        g.gather(store, self.table, ids)
+    }
+
+    /// The underlying table parameter.
+    pub fn param(&self) -> ParamId {
+        self.table
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Embedding width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+/// Mean-pooled multi-valued embedding (an "embedding bag", as in
+/// DLRM-style models — paper reference \[16\]).
+///
+/// Each sample carries a variable-length *bag* of ids for one field (e.g.
+/// a user's set of preferred categories); the output row is the mean of
+/// the bag's embedding vectors (zero for an empty bag).
+#[derive(Debug, Clone)]
+pub struct EmbeddingBag {
+    inner: Embedding,
+}
+
+impl EmbeddingBag {
+    /// Registers a new `vocab x dim` table.
+    pub fn new(store: &mut ParamStore, rng: &mut Rng64, name: &str, vocab: usize, dim: usize) -> Self {
+        EmbeddingBag { inner: Embedding::new(store, rng, name, vocab, dim) }
+    }
+
+    /// Mean-pools each bag -> `[bags.len(), dim]`.
+    ///
+    /// Implemented as one sparse gather of all ids followed by a pooling
+    /// matmul, so gradients flow back through the standard gather scatter.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, bags: &[Vec<u32>]) -> Var {
+        let flat: Vec<u32> = bags.iter().flatten().copied().collect();
+        if flat.is_empty() {
+            // All bags empty: a zero block of the right shape.
+            return g.input(atnn_tensor::Matrix::zeros(bags.len(), self.inner.dim()));
+        }
+        let gathered = self.inner.forward(g, store, &flat);
+        // Pooling matrix: row b holds 1/|bag_b| over its id positions.
+        let mut pool = atnn_tensor::Matrix::zeros(bags.len(), flat.len());
+        let mut cursor = 0usize;
+        for (b, bag) in bags.iter().enumerate() {
+            if bag.is_empty() {
+                continue;
+            }
+            let w = 1.0 / bag.len() as f32;
+            for j in cursor..cursor + bag.len() {
+                pool.set(b, j, w);
+            }
+            cursor += bag.len();
+        }
+        let pool = g.input(pool);
+        g.matmul(pool, gathered)
+    }
+
+    /// The underlying table parameter (shareable like [`Embedding`]).
+    pub fn param(&self) -> ParamId {
+        self.inner.param()
+    }
+
+    /// Embedding width.
+    pub fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.inner.vocab()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atnn_autograd::Graph;
+    use atnn_tensor::Matrix;
+
+    #[test]
+    fn lookup_returns_rows() {
+        let mut store = ParamStore::new();
+        let mut rng = Rng64::seed_from_u64(0);
+        let emb = Embedding::new(&mut store, &mut rng, "cat", 10, 4);
+        assert_eq!(emb.vocab(), 10);
+        assert_eq!(emb.dim(), 4);
+        let mut g = Graph::new();
+        let out = emb.forward(&mut g, &store, &[3, 3, 9]);
+        assert_eq!(g.value(out).shape(), (3, 4));
+        assert_eq!(g.value(out).row(0), g.value(out).row(1));
+        assert_eq!(g.value(out).row(0), store.value(emb.param()).row(3));
+    }
+
+    #[test]
+    fn shared_clone_addresses_same_table() {
+        let mut store = ParamStore::new();
+        let mut rng = Rng64::seed_from_u64(1);
+        let emb = Embedding::new(&mut store, &mut rng, "shared", 5, 2);
+        let clone = emb.clone();
+        assert_eq!(emb.param(), clone.param());
+        // Training through the clone updates the original's table.
+        let mut g = Graph::new();
+        let e = clone.forward(&mut g, &store, &[2]);
+        let s = g.sum(e);
+        g.backward(s, &mut store);
+        assert_eq!(store.grad(emb.param()).row(2), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn trains_to_separate_classes() {
+        // Two ids, opposite labels, logistic head directly on the embedding:
+        // the table must move the two rows apart.
+        let mut store = ParamStore::new();
+        let mut rng = Rng64::seed_from_u64(2);
+        let emb = Embedding::new(&mut store, &mut rng, "e", 2, 1);
+        let ids = [0u32, 1, 0, 1];
+        let y = Matrix::col_vector(&[0.0, 1.0, 0.0, 1.0]);
+        for _ in 0..200 {
+            store.zero_all_grads();
+            let mut g = Graph::new();
+            let logits = emb.forward(&mut g, &store, &ids);
+            let loss = g.bce_with_logits_loss(logits, &y);
+            g.backward(loss, &mut store);
+            let grad = store.grad(emb.param()).clone();
+            store.value_mut(emb.param()).add_assign_scaled(&grad, -1.0).unwrap();
+        }
+        let table = store.value(emb.param());
+        assert!(table.get(0, 0) < -1.0, "id 0 should be strongly negative");
+        assert!(table.get(1, 0) > 1.0, "id 1 should be strongly positive");
+    }
+
+    #[test]
+    fn bag_mean_pools_and_handles_empty_bags() {
+        let mut store = ParamStore::new();
+        let mut rng = Rng64::seed_from_u64(7);
+        let bag = EmbeddingBag::new(&mut store, &mut rng, "bag", 5, 3);
+        let table = store.value(bag.param()).clone();
+        let bags = vec![vec![0u32, 2], vec![], vec![4]];
+        let mut g = Graph::new();
+        let out = bag.forward(&mut g, &store, &bags);
+        assert_eq!(g.value(out).shape(), (3, 3));
+        for j in 0..3 {
+            let expected = (table.get(0, j) + table.get(2, j)) / 2.0;
+            assert!((g.value(out).get(0, j) - expected).abs() < 1e-6);
+            assert_eq!(g.value(out).get(1, j), 0.0, "empty bag is zero");
+            assert_eq!(g.value(out).get(2, j), table.get(4, j));
+        }
+    }
+
+    #[test]
+    fn bag_gradients_scatter_with_bag_weights() {
+        let mut store = ParamStore::new();
+        let mut rng = Rng64::seed_from_u64(8);
+        let bag = EmbeddingBag::new(&mut store, &mut rng, "bag", 4, 2);
+        let bags = vec![vec![1u32, 3], vec![1]];
+        let mut g = Graph::new();
+        let out = bag.forward(&mut g, &store, &bags);
+        let s = g.sum(out);
+        g.backward(s, &mut store);
+        let grad = store.grad(bag.param());
+        // Row 1: 1/2 from bag 0 + 1 from bag 1; row 3: 1/2; rows 0,2: 0.
+        assert!((grad.get(1, 0) - 1.5).abs() < 1e-6);
+        assert!((grad.get(3, 0) - 0.5).abs() < 1e-6);
+        assert_eq!(grad.get(0, 0), 0.0);
+        assert_eq!(grad.get(2, 0), 0.0);
+    }
+
+    #[test]
+    fn all_empty_bags_yield_zero_block() {
+        let mut store = ParamStore::new();
+        let mut rng = Rng64::seed_from_u64(9);
+        let bag = EmbeddingBag::new(&mut store, &mut rng, "bag", 3, 4);
+        let mut g = Graph::new();
+        let out = bag.forward(&mut g, &store, &[vec![], vec![]]);
+        assert_eq!(g.value(out).shape(), (2, 4));
+        assert!(g.value(out).as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "gather")]
+    fn out_of_vocab_panics() {
+        let mut store = ParamStore::new();
+        let mut rng = Rng64::seed_from_u64(3);
+        let emb = Embedding::new(&mut store, &mut rng, "e", 3, 2);
+        let mut g = Graph::new();
+        let _ = emb.forward(&mut g, &store, &[3]);
+    }
+}

@@ -1,0 +1,108 @@
+//! Fully connected (dense) layer.
+
+use atnn_autograd::{Graph, ParamId, ParamStore, Var};
+use atnn_tensor::{Init, Rng64};
+
+/// Affine map `y = x W + b`, with weights stored `[in_dim, out_dim]`.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    w: ParamId,
+    b: Option<ParamId>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Registers a new layer's parameters in `store`.
+    ///
+    /// `name` prefixes the parameter names (`{name}.w`, `{name}.b`), which
+    /// is what checkpoints key on.
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut Rng64,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        init: Init,
+        bias: bool,
+    ) -> Self {
+        let w = store.add(format!("{name}.w"), init.sample(in_dim, out_dim, rng));
+        let b = bias.then(|| store.add(format!("{name}.b"), Init::Zeros.sample(1, out_dim, rng)));
+        Linear { w, b, in_dim, out_dim }
+    }
+
+    /// Forward pass: `x` is `[batch, in_dim]`, output `[batch, out_dim]`.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: Var) -> Var {
+        let w = g.param(store, self.w);
+        let xw = g.matmul(x, w);
+        match self.b {
+            Some(b) => {
+                let bv = g.param(store, b);
+                g.add_row_broadcast(xw, bv)
+            }
+            None => xw,
+        }
+    }
+
+    /// Parameter handles of this layer.
+    pub fn params(&self) -> Vec<ParamId> {
+        let mut ids = vec![self.w];
+        ids.extend(self.b);
+        ids
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atnn_tensor::Matrix;
+
+    #[test]
+    fn forward_matches_manual_affine() {
+        let mut store = ParamStore::new();
+        let mut rng = Rng64::seed_from_u64(0);
+        let layer = Linear::new(&mut store, &mut rng, "l", 2, 2, Init::Zeros, true);
+        store.value_mut(layer.w).as_mut_slice().copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        store.value_mut(layer.b.unwrap()).as_mut_slice().copy_from_slice(&[0.5, -0.5]);
+        let mut g = Graph::new();
+        let x = g.input(Matrix::from_rows(&[&[1.0, 1.0]]).unwrap());
+        let y = layer.forward(&mut g, &store, x);
+        // [1,1] @ [[1,2],[3,4]] + [0.5,-0.5] = [4.5, 5.5]
+        assert_eq!(g.value(y).as_slice(), &[4.5, 5.5]);
+    }
+
+    #[test]
+    fn bias_is_optional() {
+        let mut store = ParamStore::new();
+        let mut rng = Rng64::seed_from_u64(1);
+        let layer = Linear::new(&mut store, &mut rng, "l", 3, 4, Init::XavierUniform, false);
+        assert_eq!(layer.params().len(), 1);
+        assert_eq!(store.len(), 1);
+        let mut g = Graph::new();
+        let x = g.input(Matrix::zeros(2, 3));
+        let y = layer.forward(&mut g, &store, x);
+        assert_eq!(g.value(y).shape(), (2, 4));
+        assert_eq!(g.value(y).as_slice(), &[0.0; 8]);
+    }
+
+    #[test]
+    fn names_are_prefixed() {
+        let mut store = ParamStore::new();
+        let mut rng = Rng64::seed_from_u64(2);
+        let layer = Linear::new(&mut store, &mut rng, "tower.fc1", 2, 2, Init::Zeros, true);
+        assert_eq!(store.name(layer.w), "tower.fc1.w");
+        assert_eq!(store.name(layer.b.unwrap()), "tower.fc1.b");
+        assert_eq!(layer.in_dim(), 2);
+        assert_eq!(layer.out_dim(), 2);
+    }
+}

@@ -1,0 +1,185 @@
+//! Multi-layer perceptron: a stack of [`Linear`] layers with a shared
+//! hidden activation.
+
+use atnn_autograd::{Graph, ParamId, ParamStore, Var};
+use atnn_tensor::{Init, Rng64};
+
+use crate::{Activation, Linear};
+
+/// A feed-forward stack. Hidden layers use `activation`; the final layer is
+/// linear (produces logits / embeddings) unless an output activation is set
+/// via [`Mlp::with_output_activation`].
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    activation: Activation,
+    output_activation: Activation,
+}
+
+impl Mlp {
+    /// Builds an MLP with widths `dims = [in, h1, ..., out]`.
+    ///
+    /// Initialization follows the activation: He for (leaky-)ReLU, Xavier
+    /// otherwise.
+    ///
+    /// # Panics
+    /// Panics when `dims` has fewer than two entries.
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut Rng64,
+        name: &str,
+        dims: &[usize],
+        activation: Activation,
+    ) -> Self {
+        assert!(dims.len() >= 2, "Mlp needs at least [in, out] dims");
+        let init = match activation {
+            Activation::Relu | Activation::LeakyRelu(_) => Init::HeNormal,
+            _ => Init::XavierUniform,
+        };
+        let layers = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| {
+                Linear::new(store, rng, &format!("{name}.fc{i}"), w[0], w[1], init, true)
+            })
+            .collect();
+        Mlp { layers, activation, output_activation: Activation::Identity }
+    }
+
+    /// Sets an activation applied after the final layer.
+    pub fn with_output_activation(mut self, act: Activation) -> Self {
+        self.output_activation = act;
+        self
+    }
+
+    /// Forward pass over the whole stack.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: Var) -> Var {
+        let mut h = x;
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(g, store, h);
+            h = if i < last {
+                self.activation.apply(g, h)
+            } else {
+                self.output_activation.apply(g, h)
+            };
+        }
+        h
+    }
+
+    /// All parameter handles, layer by layer.
+    pub fn params(&self) -> Vec<ParamId> {
+        self.layers.iter().flat_map(Linear::params).collect()
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.layers[self.layers.len() - 1].out_dim()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atnn_autograd::ParamStore;
+    use atnn_tensor::Matrix;
+
+    /// Local mini test-harness: gradient-descend a closure-built loss.
+    fn train_until(
+        store: &mut ParamStore,
+        params: &[ParamId],
+        lr: f32,
+        max_steps: usize,
+        target_loss: f32,
+        mut build: impl FnMut(&mut Graph, &ParamStore) -> Var,
+    ) -> f32 {
+        let mut loss_val = f32::INFINITY;
+        for _ in 0..max_steps {
+            store.zero_grads(params);
+            let mut g = Graph::new();
+            let loss = build(&mut g, store);
+            loss_val = g.value(loss).get(0, 0);
+            if loss_val < target_loss {
+                break;
+            }
+            g.backward(loss, store);
+            for &p in params {
+                let grad = store.grad(p).clone();
+                store.value_mut(p).add_assign_scaled(&grad, -lr).unwrap();
+            }
+        }
+        loss_val
+    }
+
+    #[test]
+    fn shapes_flow_through() {
+        let mut store = ParamStore::new();
+        let mut rng = Rng64::seed_from_u64(0);
+        let mlp = Mlp::new(&mut store, &mut rng, "m", &[6, 10, 4, 2], Activation::Relu);
+        assert_eq!(mlp.in_dim(), 6);
+        assert_eq!(mlp.out_dim(), 2);
+        assert_eq!(mlp.params().len(), 6); // 3 layers x (w, b)
+        let mut g = Graph::new();
+        let x = g.input(Matrix::zeros(5, 6));
+        let y = mlp.forward(&mut g, &store, x);
+        assert_eq!(g.value(y).shape(), (5, 2));
+    }
+
+    #[test]
+    fn learns_xor() {
+        // XOR is not linearly separable: passing requires the hidden layer
+        // and its gradients to actually work.
+        let mut store = ParamStore::new();
+        let mut rng = Rng64::seed_from_u64(42);
+        let mlp = Mlp::new(&mut store, &mut rng, "xor", &[2, 8, 1], Activation::Tanh);
+        let x = Matrix::from_rows(&[
+            &[0.0, 0.0],
+            &[0.0, 1.0],
+            &[1.0, 0.0],
+            &[1.0, 1.0],
+        ])
+        .unwrap();
+        let y = Matrix::col_vector(&[0.0, 1.0, 1.0, 0.0]);
+        let params = mlp.params();
+        let loss = train_until(&mut store, &params, 0.5, 3000, 0.05, |g, s| {
+            let xv = g.input(x.clone());
+            let logits = mlp.forward(g, s, xv);
+            g.bce_with_logits_loss(logits, &y)
+        });
+        assert!(loss < 0.05, "XOR loss stayed at {loss}");
+        // Check the decision boundary.
+        let mut g = Graph::new();
+        let xv = g.input(x.clone());
+        let logits = mlp.forward(&mut g, &store, xv);
+        let preds = g.value(logits);
+        for (i, want) in [0.0f32, 1.0, 1.0, 0.0].iter().enumerate() {
+            let p = if preds.get(i, 0) > 0.0 { 1.0 } else { 0.0 };
+            assert_eq!(p, *want, "sample {i}");
+        }
+    }
+
+    #[test]
+    fn output_activation_is_applied() {
+        let mut store = ParamStore::new();
+        let mut rng = Rng64::seed_from_u64(3);
+        let mlp = Mlp::new(&mut store, &mut rng, "m", &[2, 3], Activation::Relu)
+            .with_output_activation(Activation::Sigmoid);
+        let mut g = Graph::new();
+        let x = g.input(Matrix::from_rows(&[&[10.0, -10.0]]).unwrap());
+        let y = mlp.forward(&mut g, &store, x);
+        assert!(g.value(y).as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least")]
+    fn rejects_single_dim() {
+        let mut store = ParamStore::new();
+        let mut rng = Rng64::seed_from_u64(4);
+        let _ = Mlp::new(&mut store, &mut rng, "bad", &[3], Activation::Relu);
+    }
+}

@@ -1,0 +1,123 @@
+//! Layer normalization (Ba et al., 2016).
+
+use atnn_autograd::{Graph, ParamId, ParamStore, Var};
+use atnn_tensor::{Init, Matrix, Rng64};
+
+/// Row-wise layer normalization with learnable gain and bias:
+/// `y = γ ⊙ (x − μ_row) / sqrt(σ²_row + ε) + β`.
+///
+/// Deep towers over heterogeneous feature blocks (embeddings next to
+/// z-scored numerics) benefit from re-normalizing hidden activations;
+/// exposed as an opt-in on [`crate::Mlp`]-style stacks.
+#[derive(Debug, Clone)]
+pub struct LayerNorm {
+    gamma: ParamId,
+    beta: ParamId,
+    dim: usize,
+    eps: f32,
+}
+
+impl LayerNorm {
+    /// Registers γ (ones) and β (zeros) for inputs of width `dim`.
+    pub fn new(store: &mut ParamStore, rng: &mut Rng64, name: &str, dim: usize) -> Self {
+        assert!(dim > 0, "LayerNorm needs a positive width");
+        let gamma = store.add(format!("{name}.gamma"), Init::Constant(1.0).sample(1, dim, rng));
+        let beta = store.add(format!("{name}.beta"), Init::Zeros.sample(1, dim, rng));
+        LayerNorm { gamma, beta, dim, eps: 1e-5 }
+    }
+
+    /// Normalizes each row of `x` (`[batch, dim]`).
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: Var) -> Var {
+        let (rows, cols) = g.value(x).shape();
+        assert_eq!(cols, self.dim, "LayerNorm width mismatch");
+        let inv_d = g.input(Matrix::full(cols, 1, 1.0 / cols as f32));
+        let mu = g.matmul(x, inv_d); // [rows, 1] row means
+        let ones = g.input(Matrix::full(rows, cols, 1.0));
+        let mu_b = g.scale_rows(ones, mu);
+        let centered = g.sub(x, mu_b);
+        let sq = g.mul(centered, centered);
+        let var = g.matmul(sq, inv_d); // biased row variance
+        let inv_std = g.rsqrt(var, self.eps);
+        let normed = g.scale_rows(centered, inv_std);
+        let gamma = g.param(store, self.gamma);
+        let beta = g.param(store, self.beta);
+        let scaled = g.mul_row_broadcast(normed, gamma);
+        g.add_row_broadcast(scaled, beta)
+    }
+
+    /// Parameter handles (γ, β).
+    pub fn params(&self) -> Vec<ParamId> {
+        vec![self.gamma, self.beta]
+    }
+
+    /// Normalized width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atnn_autograd::check_gradients;
+
+    fn setup(dim: usize) -> (ParamStore, LayerNorm) {
+        let mut store = ParamStore::new();
+        let mut rng = Rng64::seed_from_u64(0);
+        let ln = LayerNorm::new(&mut store, &mut rng, "ln", dim);
+        (store, ln)
+    }
+
+    #[test]
+    fn output_rows_have_zero_mean_unit_variance_at_init() {
+        let (store, ln) = setup(6);
+        let mut g = Graph::new();
+        let x = g.input(Matrix::from_fn(4, 6, |i, j| (i * 6 + j) as f32 * 0.7 - 3.0));
+        let y = ln.forward(&mut g, &store, x);
+        for i in 0..4 {
+            let row = g.value(y).row(i);
+            let mean: f32 = row.iter().sum::<f32>() / 6.0;
+            let var: f32 = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / 6.0;
+            assert!(mean.abs() < 1e-5, "row {i} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "row {i} var {var}");
+        }
+    }
+
+    #[test]
+    fn is_invariant_to_input_shift_and_scale() {
+        let (store, ln) = setup(5);
+        let base = Matrix::from_fn(3, 5, |i, j| ((i * 5 + j) % 7) as f32 * 0.3);
+        let transformed = base.map(|v| v * 4.0 + 10.0);
+        let mut g = Graph::new();
+        let a = g.input(base);
+        let b = g.input(transformed);
+        let ya = ln.forward(&mut g, &store, a);
+        let yb = ln.forward(&mut g, &store, b);
+        for (x, y) in g.value(ya).as_slice().iter().zip(g.value(yb).as_slice()) {
+            assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn gamma_beta_are_trainable_and_check_out() {
+        let (mut store, ln) = setup(4);
+        let x = Matrix::from_fn(3, 4, |i, j| (i as f32 - j as f32) * 0.6);
+        let target = Matrix::from_fn(3, 4, |i, j| ((i + j) % 2) as f32);
+        let params = ln.params();
+        check_gradients(&mut store, &params, 2e-2, |g, s| {
+            let xv = g.input(x.clone());
+            let y = ln.forward(g, s, xv);
+            g.mse_loss(y, &target)
+        })
+        .unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn rejects_wrong_width() {
+        let (store, ln) = setup(4);
+        let mut g = Graph::new();
+        let x = g.input(Matrix::zeros(2, 5));
+        let _ = ln.forward(&mut g, &store, x);
+    }
+}

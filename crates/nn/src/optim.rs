@@ -1,0 +1,618 @@
+//! First-order optimizers over [`ParamStore`] parameter groups.
+//!
+//! Each optimizer owns the handles of the parameters it updates. The
+//! paper's Algorithm 1 alternates between two optimizers over *disjoint*
+//! groups of one shared store: a "D step" updating the towers/encoders and
+//! a "G step" updating the generator (and the shared embeddings).
+
+use atnn_autograd::{ParamId, ParamStore};
+use atnn_tensor::{decode_matrix, encode_matrix, Matrix};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// A first-order optimizer bound to a parameter group.
+pub trait Optimizer {
+    /// Applies one update from the accumulated gradients. Does **not** zero
+    /// gradients; callers zero the group before the next backward pass.
+    fn step(&mut self, store: &mut ParamStore);
+
+    /// The parameter group this optimizer updates.
+    fn params(&self) -> &[ParamId];
+
+    /// Overrides the learning rate (for schedules).
+    fn set_lr(&mut self, lr: f32);
+
+    /// Serializes the optimizer's *internal state* (moments/accumulators/
+    /// step counters — not the weights, which live in the store). Together
+    /// with [`crate::save_store`] this makes long trainings resumable
+    /// bit-identically.
+    fn state_blob(&self) -> Bytes;
+
+    /// Restores state saved by [`Optimizer::state_blob`] from an optimizer
+    /// constructed over the same parameter group.
+    ///
+    /// # Errors
+    /// Returns a description when the blob does not match this optimizer's
+    /// kind or group shape.
+    fn load_state(&mut self, blob: Bytes) -> Result<(), String>;
+}
+
+/// Shared helpers for the per-optimizer state codecs: a tagged header and
+/// a list of matrices.
+fn encode_state(tag: u8, scalars: &[f64], matrices: &[&[Matrix]]) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_slice(b"ATOP");
+    buf.put_u8(tag);
+    buf.put_u32_le(scalars.len() as u32);
+    for &s in scalars {
+        buf.put_f64_le(s);
+    }
+    let total: usize = matrices.iter().map(|ms| ms.len()).sum();
+    buf.put_u32_le(total as u32);
+    for ms in matrices {
+        for m in *ms {
+            encode_matrix(m, &mut buf);
+        }
+    }
+    buf.freeze()
+}
+
+fn decode_state(
+    mut buf: Bytes,
+    expect_tag: u8,
+) -> Result<(Vec<f64>, Vec<Matrix>), String> {
+    if buf.remaining() < 5 {
+        return Err("optimizer state truncated".into());
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != b"ATOP" {
+        return Err("bad optimizer-state magic".into());
+    }
+    let tag = buf.get_u8();
+    if tag != expect_tag {
+        return Err(format!("optimizer kind mismatch: blob tag {tag}, expected {expect_tag}"));
+    }
+    if buf.remaining() < 4 {
+        return Err("scalar count truncated".into());
+    }
+    let n_scalars = buf.get_u32_le() as usize;
+    if buf.remaining() < n_scalars * 8 + 4 {
+        return Err("scalars truncated".into());
+    }
+    let scalars = (0..n_scalars).map(|_| buf.get_f64_le()).collect();
+    let n_mats = buf.get_u32_le() as usize;
+    let mut matrices = Vec::with_capacity(n_mats);
+    for _ in 0..n_mats {
+        matrices.push(decode_matrix(&mut buf).map_err(|e| e.to_string())?);
+    }
+    Ok((scalars, matrices))
+}
+
+fn check_shapes(got: &[Matrix], want: &[Matrix]) -> Result<(), String> {
+    if got.len() != want.len() {
+        return Err(format!("state has {} buffers, optimizer expects {}", got.len(), want.len()));
+    }
+    for (g, w) in got.iter().zip(want) {
+        if g.shape() != w.shape() {
+            return Err(format!("state buffer {:?} vs expected {:?}", g.shape(), w.shape()));
+        }
+    }
+    Ok(())
+}
+
+/// Rescales the gradients of `params` so their global L2 norm is at most
+/// `max_norm`. Returns the pre-clipping norm.
+pub fn clip_grad_norm(store: &mut ParamStore, params: &[ParamId], max_norm: f32) -> f32 {
+    let norm = store.grad_norm(params);
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for &p in params {
+            store.grad_mut(p).scale_assign(scale);
+        }
+    }
+    norm
+}
+
+/// Stochastic gradient descent, optionally with classical momentum and
+/// decoupled weight decay.
+#[derive(Debug)]
+pub struct Sgd {
+    params: Vec<ParamId>,
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Matrix>,
+}
+
+impl Sgd {
+    /// Plain SGD.
+    pub fn new(params: Vec<ParamId>, lr: f32) -> Self {
+        Sgd { params, lr, momentum: 0.0, weight_decay: 0.0, velocity: Vec::new() }
+    }
+
+    /// Adds classical momentum.
+    pub fn with_momentum(mut self, momentum: f32) -> Self {
+        self.momentum = momentum;
+        self
+    }
+
+    /// Adds decoupled L2 weight decay.
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, store: &mut ParamStore) {
+        if self.momentum > 0.0 && self.velocity.is_empty() {
+            self.velocity = self
+                .params
+                .iter()
+                .map(|&p| {
+                    let (r, c) = store.value(p).shape();
+                    Matrix::zeros(r, c)
+                })
+                .collect();
+        }
+        for (i, &p) in self.params.iter().enumerate() {
+            if self.weight_decay > 0.0 {
+                let decay = store.value(p).scale(self.weight_decay);
+                store.grad_mut(p).add_assign_scaled(&decay, 1.0).expect("wd shape");
+            }
+            if self.momentum > 0.0 {
+                let v = &mut self.velocity[i];
+                v.scale_assign(self.momentum);
+                v.add_assign_scaled(store.grad(p), 1.0).expect("velocity shape");
+                let vc = v.clone();
+                store.value_mut(p).add_assign_scaled(&vc, -self.lr).expect("sgd shape");
+            } else {
+                let grad = store.grad(p).clone();
+                store.value_mut(p).add_assign_scaled(&grad, -self.lr).expect("sgd shape");
+            }
+        }
+    }
+
+    fn params(&self) -> &[ParamId] {
+        &self.params
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    fn state_blob(&self) -> Bytes {
+        encode_state(1, &[], &[&self.velocity])
+    }
+
+    fn load_state(&mut self, blob: Bytes) -> Result<(), String> {
+        let (_, matrices) = decode_state(blob, 1)?;
+        if !self.velocity.is_empty() {
+            check_shapes(&matrices, &self.velocity)?;
+        }
+        self.velocity = matrices;
+        Ok(())
+    }
+}
+
+/// Adam (Kingma & Ba, 2015) with bias correction.
+#[derive(Debug)]
+pub struct Adam {
+    params: Vec<ParamId>,
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: u64,
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
+}
+
+impl Adam {
+    /// Adam with the standard `(0.9, 0.999, 1e-8)` hyper-parameters.
+    pub fn new(params: Vec<ParamId>, lr: f32) -> Self {
+        Adam {
+            params,
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Overrides the beta coefficients.
+    pub fn with_betas(mut self, beta1: f32, beta2: f32) -> Self {
+        self.beta1 = beta1;
+        self.beta2 = beta2;
+        self
+    }
+
+    /// Adds decoupled (AdamW-style) weight decay.
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, store: &mut ParamStore) {
+        if self.m.is_empty() {
+            let zero_like = |store: &ParamStore, p: ParamId| {
+                let (r, c) = store.value(p).shape();
+                Matrix::zeros(r, c)
+            };
+            self.m = self.params.iter().map(|&p| zero_like(store, p)).collect();
+            self.v = self.params.iter().map(|&p| zero_like(store, p)).collect();
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, &p) in self.params.iter().enumerate() {
+            let g = store.grad(p).clone();
+            let m = &mut self.m[i];
+            m.scale_assign(self.beta1);
+            m.add_assign_scaled(&g, 1.0 - self.beta1).expect("adam m shape");
+            let v = &mut self.v[i];
+            v.scale_assign(self.beta2);
+            for (vv, &gv) in v.as_mut_slice().iter_mut().zip(g.as_slice()) {
+                *vv += (1.0 - self.beta2) * gv * gv;
+            }
+            let (mslice, vslice) = (self.m[i].as_slice(), self.v[i].as_slice());
+            let value = store.value_mut(p);
+            for ((w, &mv), &vv) in value.as_mut_slice().iter_mut().zip(mslice).zip(vslice) {
+                let m_hat = mv / bc1;
+                let v_hat = vv / bc2;
+                let mut update = m_hat / (v_hat.sqrt() + self.eps);
+                if self.weight_decay > 0.0 {
+                    update += self.weight_decay * *w;
+                }
+                *w -= self.lr * update;
+            }
+        }
+    }
+
+    fn params(&self) -> &[ParamId] {
+        &self.params
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    fn state_blob(&self) -> Bytes {
+        encode_state(2, &[self.t as f64], &[&self.m, &self.v])
+    }
+
+    fn load_state(&mut self, blob: Bytes) -> Result<(), String> {
+        let (scalars, matrices) = decode_state(blob, 2)?;
+        let t = *scalars.first().ok_or("missing Adam step counter")? as u64;
+        if matrices.len() % 2 != 0 {
+            return Err("Adam state must hold an (m, v) pair per parameter".into());
+        }
+        let (m, v) = matrices.split_at(matrices.len() / 2);
+        if !self.m.is_empty() {
+            check_shapes(m, &self.m)?;
+            check_shapes(v, &self.v)?;
+        }
+        self.m = m.to_vec();
+        self.v = v.to_vec();
+        self.t = t;
+        Ok(())
+    }
+}
+
+/// AdaGrad (Duchi et al., 2011): per-coordinate rates that decay with the
+/// accumulated squared gradient. Well suited to the sparse embedding
+/// gradients produced by `Graph::gather`.
+#[derive(Debug)]
+pub struct AdaGrad {
+    params: Vec<ParamId>,
+    lr: f32,
+    eps: f32,
+    accum: Vec<Matrix>,
+}
+
+impl AdaGrad {
+    /// AdaGrad with accumulator epsilon `1e-10`.
+    pub fn new(params: Vec<ParamId>, lr: f32) -> Self {
+        AdaGrad { params, lr, eps: 1e-10, accum: Vec::new() }
+    }
+}
+
+impl Optimizer for AdaGrad {
+    fn step(&mut self, store: &mut ParamStore) {
+        if self.accum.is_empty() {
+            self.accum = self
+                .params
+                .iter()
+                .map(|&p| {
+                    let (r, c) = store.value(p).shape();
+                    Matrix::zeros(r, c)
+                })
+                .collect();
+        }
+        for (i, &p) in self.params.iter().enumerate() {
+            let g = store.grad(p).clone();
+            let acc = &mut self.accum[i];
+            for (a, &gv) in acc.as_mut_slice().iter_mut().zip(g.as_slice()) {
+                *a += gv * gv;
+            }
+            let accs = self.accum[i].as_slice();
+            let value = store.value_mut(p);
+            for ((w, &gv), &a) in value.as_mut_slice().iter_mut().zip(g.as_slice()).zip(accs) {
+                *w -= self.lr * gv / (a.sqrt() + self.eps);
+            }
+        }
+    }
+
+    fn params(&self) -> &[ParamId] {
+        &self.params
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    fn state_blob(&self) -> Bytes {
+        encode_state(3, &[], &[&self.accum])
+    }
+
+    fn load_state(&mut self, blob: Bytes) -> Result<(), String> {
+        let (_, matrices) = decode_state(blob, 3)?;
+        if !self.accum.is_empty() {
+            check_shapes(&matrices, &self.accum)?;
+        }
+        self.accum = matrices;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atnn_autograd::Graph;
+
+    /// Minimizes `f(w) = (w - 3)^2` and returns the final w.
+    fn run_quadratic(opt: &mut dyn Optimizer, store: &mut ParamStore, p: ParamId, steps: usize) -> f32 {
+        let target = Matrix::full(1, 1, 3.0);
+        for _ in 0..steps {
+            store.zero_grads(opt.params());
+            let mut g = Graph::new();
+            let w = g.param(store, p);
+            let loss = g.mse_loss(w, &target);
+            g.backward(loss, store);
+            opt.step(store);
+        }
+        store.value(p).get(0, 0)
+    }
+
+    #[test]
+    fn sgd_minimizes_quadratic() {
+        let mut store = ParamStore::new();
+        let p = store.add("w", Matrix::full(1, 1, -5.0));
+        let mut opt = Sgd::new(vec![p], 0.1);
+        let w = run_quadratic(&mut opt, &mut store, p, 100);
+        assert!((w - 3.0).abs() < 1e-3, "w={w}");
+    }
+
+    #[test]
+    fn momentum_accelerates_sgd() {
+        let run = |momentum: f32| {
+            let mut store = ParamStore::new();
+            let p = store.add("w", Matrix::full(1, 1, -5.0));
+            let mut opt = Sgd::new(vec![p], 0.02).with_momentum(momentum);
+            let w = run_quadratic(&mut opt, &mut store, p, 30);
+            (w - 3.0).abs()
+        };
+        assert!(run(0.9) < run(0.0), "momentum should converge faster");
+    }
+
+    #[test]
+    fn adam_minimizes_quadratic() {
+        let mut store = ParamStore::new();
+        let p = store.add("w", Matrix::full(1, 1, -5.0));
+        let mut opt = Adam::new(vec![p], 0.3);
+        let w = run_quadratic(&mut opt, &mut store, p, 200);
+        assert!((w - 3.0).abs() < 1e-2, "w={w}");
+    }
+
+    #[test]
+    fn adagrad_minimizes_quadratic() {
+        let mut store = ParamStore::new();
+        let p = store.add("w", Matrix::full(1, 1, -5.0));
+        let mut opt = AdaGrad::new(vec![p], 2.0);
+        let w = run_quadratic(&mut opt, &mut store, p, 300);
+        assert!((w - 3.0).abs() < 1e-2, "w={w}");
+    }
+
+    #[test]
+    fn adam_first_step_matches_closed_form() {
+        // With bias correction, Adam's first update is exactly
+        // -lr * g / (|g| + eps) regardless of gradient magnitude.
+        for &grad in &[0.001f32, 1.0, 250.0] {
+            let mut store = ParamStore::new();
+            let p = store.add("w", Matrix::full(1, 1, 0.0));
+            store.grad_mut(p).set(0, 0, grad);
+            let mut opt = Adam::new(vec![p], 0.1);
+            opt.step(&mut store);
+            let w = store.value(p).get(0, 0);
+            let expected = -0.1 * grad / (grad.abs() + 1e-8);
+            assert!((w - expected).abs() < 1e-5, "grad={grad}: {w} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn adagrad_step_matches_closed_form() {
+        // First step: -lr * g / (sqrt(g^2) + eps) = -lr * sign(g).
+        // Second identical gradient: accumulator doubles -> / sqrt(2).
+        let mut store = ParamStore::new();
+        let p = store.add("w", Matrix::full(1, 1, 0.0));
+        let mut opt = AdaGrad::new(vec![p], 0.5);
+        store.grad_mut(p).set(0, 0, 2.0);
+        opt.step(&mut store);
+        let after_one = store.value(p).get(0, 0);
+        assert!((after_one + 0.5).abs() < 1e-4, "{after_one}");
+        store.zero_grads(&[p]);
+        store.grad_mut(p).set(0, 0, 2.0);
+        opt.step(&mut store);
+        let second_delta = store.value(p).get(0, 0) - after_one;
+        assert!(
+            (second_delta + 0.5 / 2.0f32.sqrt()).abs() < 1e-4,
+            "per-coordinate rate must decay: {second_delta}"
+        );
+    }
+
+    #[test]
+    fn momentum_first_two_steps_match_closed_form() {
+        // v1 = g, w -= lr*v1; v2 = mu*v1 + g, w -= lr*v2.
+        let mut store = ParamStore::new();
+        let p = store.add("w", Matrix::full(1, 1, 0.0));
+        let mut opt = Sgd::new(vec![p], 0.1).with_momentum(0.9);
+        store.grad_mut(p).set(0, 0, 1.0);
+        opt.step(&mut store);
+        assert!((store.value(p).get(0, 0) + 0.1).abs() < 1e-6);
+        store.zero_grads(&[p]);
+        store.grad_mut(p).set(0, 0, 1.0);
+        opt.step(&mut store);
+        // total = -0.1 - 0.1*(0.9 + 1.0) = -0.29
+        assert!((store.value(p).get(0, 0) + 0.29).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let mut store = ParamStore::new();
+        let p = store.add("w", Matrix::full(1, 1, 10.0));
+        let mut opt = Sgd::new(vec![p], 0.1).with_weight_decay(0.5);
+        // Zero task gradient: only decay acts.
+        for _ in 0..10 {
+            store.zero_grads(opt.params());
+            opt.step(&mut store);
+        }
+        let w = store.value(p).get(0, 0);
+        assert!(w > 0.0 && w < 10.0 * 0.96f32.powi(10) + 1e-3, "w={w}");
+    }
+
+    #[test]
+    fn step_only_touches_its_group() {
+        let mut store = ParamStore::new();
+        let a = store.add("a", Matrix::full(1, 1, 1.0));
+        let b = store.add("b", Matrix::full(1, 1, 1.0));
+        store.grad_mut(a).set(0, 0, 1.0);
+        store.grad_mut(b).set(0, 0, 1.0);
+        let mut opt = Sgd::new(vec![a], 0.5);
+        opt.step(&mut store);
+        assert_eq!(store.value(a).get(0, 0), 0.5);
+        assert_eq!(store.value(b).get(0, 0), 1.0, "outside group must be untouched");
+    }
+
+    #[test]
+    fn clip_grad_norm_rescales() {
+        let mut store = ParamStore::new();
+        let p = store.add("w", Matrix::zeros(1, 2));
+        store.grad_mut(p).as_mut_slice().copy_from_slice(&[3.0, 4.0]);
+        let before = clip_grad_norm(&mut store, &[p], 1.0);
+        assert!((before - 5.0).abs() < 1e-6);
+        assert!((store.grad_norm(&[p]) - 1.0).abs() < 1e-5);
+        // Within bound: untouched.
+        let before = clip_grad_norm(&mut store, &[p], 10.0);
+        assert!((before - 1.0).abs() < 1e-5);
+        assert!((store.grad_norm(&[p]) - 1.0).abs() < 1e-5);
+    }
+
+    /// Checkpoint-resume must be bit-identical to uninterrupted training
+    /// for every optimizer (the whole point of persisting moment state).
+    #[test]
+    fn resume_from_state_is_bit_identical() {
+        use crate::{load_store, save_store};
+
+        let build = |kind: u8| -> (ParamStore, Box<dyn Optimizer>) {
+            let mut store = ParamStore::new();
+            let p = store.add("w", Matrix::from_fn(2, 3, |i, j| (i + j) as f32 * 0.3 - 0.5));
+            let opt: Box<dyn Optimizer> = match kind {
+                0 => Box::new(Sgd::new(vec![p], 0.05).with_momentum(0.9)),
+                1 => Box::new(Adam::new(vec![p], 0.05)),
+                _ => Box::new(AdaGrad::new(vec![p], 0.2)),
+            };
+            (store, opt)
+        };
+        // A deterministic pseudo-gradient stream.
+        let grad_at = |t: usize| {
+            Matrix::from_fn(2, 3, |i, j| ((t * 7 + i * 3 + j) % 5) as f32 * 0.2 - 0.4)
+        };
+        for kind in 0..3u8 {
+            // Continuous: 10 steps straight through.
+            let (mut store_a, mut opt_a) = build(kind);
+            let p = store_a.all_ids()[0];
+            for t in 0..10 {
+                store_a.zero_grads(&[p]);
+                *store_a.grad_mut(p) = grad_at(t);
+                opt_a.step(&mut store_a);
+            }
+            // Interrupted: 4 steps, checkpoint, fresh process, 6 more.
+            let (mut store_b, mut opt_b) = build(kind);
+            let q = store_b.all_ids()[0];
+            for t in 0..4 {
+                store_b.zero_grads(&[q]);
+                *store_b.grad_mut(q) = grad_at(t);
+                opt_b.step(&mut store_b);
+            }
+            let weights = save_store(&store_b);
+            let state = opt_b.state_blob();
+            let (mut store_c, mut opt_c) = build(kind);
+            let r = store_c.all_ids()[0];
+            load_store(&mut store_c, weights).unwrap();
+            opt_c.load_state(state).unwrap();
+            for t in 4..10 {
+                store_c.zero_grads(&[r]);
+                *store_c.grad_mut(r) = grad_at(t);
+                opt_c.step(&mut store_c);
+            }
+            assert_eq!(
+                store_a.value(p),
+                store_c.value(r),
+                "kind {kind}: resume must be bit-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn state_blob_rejects_kind_and_shape_mismatch() {
+        let mut store = ParamStore::new();
+        let p = store.add("w", Matrix::zeros(2, 2));
+        let mut sgd = Sgd::new(vec![p], 0.1).with_momentum(0.9);
+        store.grad_mut(p).set(0, 0, 1.0);
+        sgd.step(&mut store); // materialize velocity
+        let sgd_state = sgd.state_blob();
+
+        let mut adam = Adam::new(vec![p], 0.1);
+        assert!(adam.load_state(sgd_state.clone()).unwrap_err().contains("kind mismatch"));
+
+        // Same kind, wrong shape.
+        let mut other_store = ParamStore::new();
+        let q = other_store.add("w", Matrix::zeros(3, 3));
+        let mut other_sgd = Sgd::new(vec![q], 0.1).with_momentum(0.9);
+        other_store.grad_mut(q).set(0, 0, 1.0);
+        other_sgd.step(&mut other_store);
+        assert!(other_sgd.load_state(sgd_state).unwrap_err().contains("state buffer"));
+
+        // Garbage.
+        let mut fresh = Sgd::new(vec![p], 0.1);
+        assert!(fresh.load_state(bytes::Bytes::from_static(b"junk")).is_err());
+    }
+
+    #[test]
+    fn set_lr_changes_step_size() {
+        let mut store = ParamStore::new();
+        let p = store.add("w", Matrix::full(1, 1, 0.0));
+        store.grad_mut(p).set(0, 0, 1.0);
+        let mut opt = Sgd::new(vec![p], 1.0);
+        opt.set_lr(0.25);
+        opt.step(&mut store);
+        assert_eq!(store.value(p).get(0, 0), -0.25);
+    }
+}

@@ -1,0 +1,89 @@
+//! Learning-rate schedules.
+
+/// Maps a 0-based step counter to a learning rate. Feed the result to
+/// [`crate::Optimizer::set_lr`] before each step.
+pub trait LrSchedule {
+    /// Learning rate to use at `step`.
+    fn lr(&self, step: u64) -> f32;
+}
+
+/// A fixed learning rate.
+#[derive(Debug, Clone, Copy)]
+pub struct ConstantLr(pub f32);
+
+impl LrSchedule for ConstantLr {
+    fn lr(&self, _step: u64) -> f32 {
+        self.0
+    }
+}
+
+/// Multiplies the rate by `gamma` every `period` steps.
+#[derive(Debug, Clone, Copy)]
+pub struct StepDecay {
+    /// Initial rate.
+    pub base: f32,
+    /// Steps between decays (must be > 0).
+    pub period: u64,
+    /// Multiplicative decay factor.
+    pub gamma: f32,
+}
+
+impl LrSchedule for StepDecay {
+    fn lr(&self, step: u64) -> f32 {
+        assert!(self.period > 0, "StepDecay period must be positive");
+        self.base * self.gamma.powi((step / self.period) as i32)
+    }
+}
+
+/// Smooth exponential decay `base * gamma^step` with an optional floor.
+#[derive(Debug, Clone, Copy)]
+pub struct ExponentialDecay {
+    /// Initial rate.
+    pub base: f32,
+    /// Per-step decay factor (e.g. `0.999`).
+    pub gamma: f32,
+    /// Minimum rate.
+    pub floor: f32,
+}
+
+impl LrSchedule for ExponentialDecay {
+    fn lr(&self, step: u64) -> f32 {
+        (self.base * self.gamma.powi(step as i32)).max(self.floor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = ConstantLr(0.1);
+        assert_eq!(s.lr(0), 0.1);
+        assert_eq!(s.lr(1_000_000), 0.1);
+    }
+
+    #[test]
+    fn step_decay_halves_on_schedule() {
+        let s = StepDecay { base: 1.0, period: 10, gamma: 0.5 };
+        assert_eq!(s.lr(0), 1.0);
+        assert_eq!(s.lr(9), 1.0);
+        assert_eq!(s.lr(10), 0.5);
+        assert_eq!(s.lr(25), 0.25);
+    }
+
+    #[test]
+    fn exponential_decay_respects_floor() {
+        let s = ExponentialDecay { base: 1.0, gamma: 0.5, floor: 0.1 };
+        assert_eq!(s.lr(0), 1.0);
+        assert_eq!(s.lr(1), 0.5);
+        assert_eq!(s.lr(10), 0.1, "clamped at floor");
+    }
+
+    #[test]
+    #[should_panic(expected = "period")]
+    fn step_decay_rejects_zero_period() {
+        let s = StepDecay { base: 1.0, period: 0, gamma: 0.5 };
+        let _ = s.lr(1);
+    }
+}

@@ -1,0 +1,200 @@
+//! Checkpointing: save/load a whole [`ParamStore`] as a binary blob.
+//!
+//! Layout: magic `b"ATNN"`, `u32` version, `u64` slot count, then per slot a
+//! length-prefixed UTF-8 name followed by an `atnn-tensor` matrix record.
+//! Loading is *strict*: names, order and shapes must match the store being
+//! loaded into, which catches architecture drift between save and restore.
+
+use std::fmt;
+
+use atnn_autograd::ParamStore;
+use atnn_tensor::{decode_matrix, encode_matrix, TensorError};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: &[u8; 4] = b"ATNN";
+const VERSION: u32 = 1;
+
+/// Errors from checkpoint (de)serialization.
+#[derive(Debug)]
+pub enum NnError {
+    /// The buffer is not a valid checkpoint.
+    Corrupt(&'static str),
+    /// The checkpoint does not describe the same architecture as the store.
+    Mismatch(String),
+    /// A matrix record failed to decode.
+    Tensor(TensorError),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Corrupt(msg) => write!(f, "corrupt checkpoint: {msg}"),
+            NnError::Mismatch(msg) => write!(f, "checkpoint/store mismatch: {msg}"),
+            NnError::Tensor(e) => write!(f, "checkpoint tensor error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+/// Serializes every parameter of `store` (values only; gradients are
+/// transient state and are not persisted).
+pub fn save_store(store: &ParamStore) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u64_le(store.len() as u64);
+    for id in store.all_ids() {
+        let name = store.name(id).as_bytes();
+        buf.put_u32_le(name.len() as u32);
+        buf.put_slice(name);
+        encode_matrix(store.value(id), &mut buf);
+    }
+    buf.freeze()
+}
+
+/// Restores parameter values into an existing store built by the same
+/// model-construction code.
+///
+/// # Errors
+/// Fails when the buffer is corrupt or when the slot names/shapes do not
+/// match the store exactly.
+pub fn load_store(store: &mut ParamStore, mut buf: Bytes) -> Result<(), NnError> {
+    if buf.remaining() < 16 {
+        return Err(NnError::Corrupt("header truncated"));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(NnError::Corrupt("bad magic"));
+    }
+    if buf.get_u32_le() != VERSION {
+        return Err(NnError::Corrupt("unsupported version"));
+    }
+    let count = buf.get_u64_le() as usize;
+    if count != store.len() {
+        return Err(NnError::Mismatch(format!(
+            "checkpoint has {count} params, store has {}",
+            store.len()
+        )));
+    }
+    for id in store.all_ids() {
+        if buf.remaining() < 4 {
+            return Err(NnError::Corrupt("name length truncated"));
+        }
+        let name_len = buf.get_u32_le() as usize;
+        if buf.remaining() < name_len {
+            return Err(NnError::Corrupt("name truncated"));
+        }
+        let mut name = vec![0u8; name_len];
+        buf.copy_to_slice(&mut name);
+        let name = String::from_utf8(name).map_err(|_| NnError::Corrupt("name not UTF-8"))?;
+        if name != store.name(id) {
+            return Err(NnError::Mismatch(format!(
+                "slot {}: checkpoint '{name}' vs store '{}'",
+                id.index(),
+                store.name(id)
+            )));
+        }
+        let m = decode_matrix(&mut buf)?;
+        if m.shape() != store.value(id).shape() {
+            return Err(NnError::Mismatch(format!(
+                "slot '{name}': checkpoint {:?} vs store {:?}",
+                m.shape(),
+                store.value(id).shape()
+            )));
+        }
+        *store.value_mut(id) = m;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Activation, Mlp};
+    use atnn_tensor::{Init, Matrix, Rng64};
+
+    fn build_store(seed: u64) -> (ParamStore, Mlp) {
+        let mut store = ParamStore::new();
+        let mut rng = Rng64::seed_from_u64(seed);
+        let mlp = Mlp::new(&mut store, &mut rng, "net", &[3, 5, 2], Activation::Relu);
+        (store, mlp)
+    }
+
+    #[test]
+    fn roundtrip_restores_values() {
+        let (store_a, mlp) = build_store(1);
+        let blob = save_store(&store_a);
+        // Same architecture, different random init.
+        let (mut store_b, _) = build_store(2);
+        assert_ne!(
+            store_a.value(mlp.params()[0]).as_slice(),
+            store_b.value(mlp.params()[0]).as_slice()
+        );
+        load_store(&mut store_b, blob).unwrap();
+        for id in store_a.all_ids() {
+            assert_eq!(store_a.value(id), store_b.value(id));
+        }
+    }
+
+    #[test]
+    fn mismatched_architecture_is_rejected() {
+        let (store_a, _) = build_store(1);
+        let blob = save_store(&store_a);
+        // A different architecture with the same number of slots but
+        // different shapes.
+        let mut store_c = ParamStore::new();
+        let mut rng = Rng64::seed_from_u64(3);
+        let _ = Mlp::new(&mut store_c, &mut rng, "net", &[4, 6, 2], Activation::Relu);
+        assert!(matches!(load_store(&mut store_c, blob.clone()), Err(NnError::Mismatch(_))));
+        // Different slot count.
+        let mut store_d = ParamStore::new();
+        store_d.add("only", Matrix::zeros(1, 1));
+        assert!(matches!(load_store(&mut store_d, blob), Err(NnError::Mismatch(_))));
+    }
+
+    #[test]
+    fn renamed_param_is_rejected() {
+        let mut store_a = ParamStore::new();
+        store_a.add("alpha", Matrix::full(1, 1, 7.0));
+        let blob = save_store(&store_a);
+        let mut store_b = ParamStore::new();
+        store_b.add("beta", Matrix::zeros(1, 1));
+        assert!(matches!(load_store(&mut store_b, blob), Err(NnError::Mismatch(_))));
+    }
+
+    #[test]
+    fn corrupt_buffers_are_rejected() {
+        let mut store = ParamStore::new();
+        store.add("w", Matrix::zeros(2, 2));
+        let blob = save_store(&store);
+        for cut in [0usize, 3, 9, blob.len() - 1] {
+            let mut fresh = ParamStore::new();
+            fresh.add("w", Matrix::zeros(2, 2));
+            assert!(load_store(&mut fresh, blob.slice(0..cut)).is_err(), "cut={cut}");
+        }
+        let mut fresh = ParamStore::new();
+        fresh.add("w", Matrix::zeros(2, 2));
+        assert!(load_store(&mut fresh, Bytes::from_static(b"XXXXxxxxyyyyzzzz")).is_err());
+    }
+
+    #[test]
+    fn gradients_are_not_persisted() {
+        let mut store = ParamStore::new();
+        let p = store.add("w", Init::Normal(1.0).sample(2, 2, &mut Rng64::seed_from_u64(5)));
+        store.grad_mut(p).set(0, 0, 123.0);
+        let blob = save_store(&store);
+        let mut fresh = ParamStore::new();
+        let q = fresh.add("w", Matrix::zeros(2, 2));
+        load_store(&mut fresh, blob).unwrap();
+        assert_eq!(fresh.grad(q).get(0, 0), 0.0);
+        assert_eq!(fresh.value(q), store.value(p));
+    }
+}

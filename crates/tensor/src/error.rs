@@ -1,0 +1,56 @@
+//! Error type for tensor operations.
+
+use std::fmt;
+
+/// Errors produced by matrix construction, algebra and (de)serialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two operands had incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Operation name, e.g. `"matmul"`.
+        op: &'static str,
+        /// Shape of the left operand.
+        lhs: (usize, usize),
+        /// Shape of the right operand.
+        rhs: (usize, usize),
+    },
+    /// A buffer's length did not match the requested `rows * cols`.
+    LengthMismatch {
+        /// Expected number of elements.
+        expected: usize,
+        /// Number of elements actually supplied.
+        actual: usize,
+    },
+    /// An index was out of bounds.
+    OutOfBounds {
+        /// Description of what was indexed.
+        what: &'static str,
+        /// The offending index.
+        index: usize,
+        /// The exclusive bound.
+        bound: usize,
+    },
+    /// A serialized buffer was malformed.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: lhs {}x{}, rhs {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(f, "buffer length mismatch: expected {expected}, got {actual}")
+            }
+            TensorError::OutOfBounds { what, index, bound } => {
+                write!(f, "{what} index {index} out of bounds (< {bound})")
+            }
+            TensorError::Corrupt(msg) => write!(f, "corrupt matrix buffer: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}

@@ -1,0 +1,30 @@
+//! Dense row-major `f32` matrix kernels.
+//!
+//! This crate is the lowest substrate of the ATNN reproduction: it plays the
+//! role TensorFlow's dense kernels play in the paper's implementation.
+//! Everything above it (autograd, layers, models) is expressed in terms of
+//! the [`Matrix`] type and the handful of cache-friendly kernels here.
+//!
+//! Design notes (following the Rust Performance Book guidance):
+//! - storage is a single contiguous `Vec<f32>`, row-major, so row views are
+//!   plain slices and the matmul inner loop is a unit-stride FMA chain;
+//! - `matmul` uses the i-k-j loop ordering (writes stream through the output
+//!   row while reading `b`'s row contiguously), which is the standard
+//!   cache-friendly ordering for row-major operands;
+//! - no operation allocates unless it returns a new matrix; in-place
+//!   variants (`*_assign`) are provided for the optimizer hot paths.
+
+mod error;
+mod matrix;
+mod ops;
+mod rng;
+mod serialize;
+
+pub use error::TensorError;
+pub use matrix::Matrix;
+pub use ops::{cosine, dot};
+pub use rng::{Init, Rng64};
+pub use serialize::{decode_matrix, encode_matrix};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,0 +1,405 @@
+//! The [`Matrix`] type: a dense, row-major, 2-D `f32` array.
+
+use crate::{Result, TensorError};
+
+/// A dense row-major matrix of `f32`.
+///
+/// Row vectors (`1 x n`) and column vectors (`n x 1`) are represented as
+/// ordinary matrices; the crate does not have a separate vector type.
+///
+/// # Examples
+/// ```
+/// use atnn_tensor::Matrix;
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+/// let b = Matrix::identity(2);
+/// let c = a.matmul(&b).unwrap();
+/// assert_eq!(c, a);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    data: Vec<f32>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { data: vec![0.0; rows * cols], rows, cols }
+    }
+
+    /// Creates a `rows x cols` matrix filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Matrix { data: vec![value; rows * cols], rows, cols }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Wraps an existing buffer as a matrix.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::LengthMismatch`] when `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(TensorError::LengthMismatch { expected: rows * cols, actual: data.len() });
+        }
+        Ok(Matrix { data, rows, cols })
+    }
+
+    /// Builds a matrix from row slices; all rows must have equal length.
+    pub fn from_rows(rows: &[&[f32]]) -> Result<Self> {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            if row.len() != c {
+                return Err(TensorError::LengthMismatch { expected: c, actual: row.len() });
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Matrix { data, rows: r, cols: c })
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` for every element.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { data, rows, cols }
+    }
+
+    /// Builds a `1 x n` row vector from a slice.
+    pub fn row_vector(values: &[f32]) -> Self {
+        Matrix { data: values.to_vec(), rows: 1, cols: values.len() }
+    }
+
+    /// Builds an `n x 1` column vector from a slice.
+    pub fn col_vector(values: &[f32]) -> Self {
+        Matrix { data: values.to_vec(), rows: values.len(), cols: 1 }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the matrix has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the backing buffer (row-major).
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the backing buffer (row-major).
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element accessor (panics on out-of-bounds, like slice indexing).
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f32 {
+        debug_assert!(row < self.rows && col < self.cols);
+        self.data[row * self.cols + col]
+    }
+
+    /// Element setter (panics on out-of-bounds, like slice indexing).
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: f32) {
+        debug_assert!(row < self.rows && col < self.cols);
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Immutable view of one row.
+    #[inline]
+    pub fn row(&self, row: usize) -> &[f32] {
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Mutable view of one row.
+    #[inline]
+    pub fn row_mut(&mut self, row: usize) -> &mut [f32] {
+        &mut self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Iterator over row slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Returns a new matrix whose rows are `self`'s rows at `indices`.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::OutOfBounds`] for any index `>= rows()`.
+    pub fn select_rows(&self, indices: &[u32]) -> Result<Matrix> {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (dst, &idx) in indices.iter().enumerate() {
+            let idx = idx as usize;
+            if idx >= self.rows {
+                return Err(TensorError::OutOfBounds { what: "row", index: idx, bound: self.rows });
+            }
+            out.row_mut(dst).copy_from_slice(self.row(idx));
+        }
+        Ok(out)
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for (j, &v) in self.row(i).iter().enumerate() {
+                out.data[j * self.rows + i] = v;
+            }
+        }
+        out
+    }
+
+    /// Horizontally concatenates `self` and `other` (same row count).
+    pub fn concat_cols(&self, other: &Matrix) -> Result<Matrix> {
+        if self.rows != other.rows {
+            return Err(TensorError::ShapeMismatch {
+                op: "concat_cols",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let cols = self.cols + other.cols;
+        let mut data = Vec::with_capacity(self.rows * cols);
+        for i in 0..self.rows {
+            data.extend_from_slice(self.row(i));
+            data.extend_from_slice(other.row(i));
+        }
+        Ok(Matrix { data, rows: self.rows, cols })
+    }
+
+    /// Vertically concatenates `self` and `other` (same column count).
+    pub fn concat_rows(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.cols {
+            return Err(TensorError::ShapeMismatch {
+                op: "concat_rows",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let mut data = Vec::with_capacity((self.rows + other.rows) * self.cols);
+        data.extend_from_slice(&self.data);
+        data.extend_from_slice(&other.data);
+        Ok(Matrix { data, rows: self.rows + other.rows, cols: self.cols })
+    }
+
+    /// Returns columns `[start, end)` as a new matrix.
+    pub fn slice_cols(&self, start: usize, end: usize) -> Result<Matrix> {
+        if start > end || end > self.cols {
+            return Err(TensorError::OutOfBounds { what: "column", index: end, bound: self.cols });
+        }
+        let w = end - start;
+        let mut out = Matrix::zeros(self.rows, w);
+        for i in 0..self.rows {
+            out.row_mut(i).copy_from_slice(&self.row(i)[start..end]);
+        }
+        Ok(out)
+    }
+
+    /// Applies `f` to every element, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix {
+            data: self.data.iter().map(|&v| f(v)).collect(),
+            rows: self.rows,
+            cols: self.cols,
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Fills the matrix with zeros without reallocating.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+}
+
+impl std::fmt::Display for Matrix {
+    /// Debug-friendly rendering: small matrices in full, large ones
+    /// elided to their 4×4 corner with a shape note.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        const SHOW: usize = 4;
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows.min(SHOW) {
+            write!(f, "  [")?;
+            for j in 0..self.cols.min(SHOW) {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:>9.4}", self.get(i, j))?;
+            }
+            if self.cols > SHOW {
+                write!(f, ", …")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > SHOW {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let m = Matrix::from_fn(2, 3, |i, j| (i * 3 + j) as f32);
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.get(1, 2), 5.0);
+        assert_eq!(m.row(1), &[3.0, 4.0, 5.0]);
+        assert_eq!(m.len(), 6);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn from_vec_rejects_bad_length() {
+        let err = Matrix::from_vec(2, 2, vec![1.0; 3]).unwrap_err();
+        assert_eq!(err, TensorError::LengthMismatch { expected: 4, actual: 3 });
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged_input() {
+        let err = Matrix::from_rows(&[&[1.0, 2.0], &[3.0][..]]).unwrap_err();
+        assert!(matches!(err, TensorError::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn identity_is_diagonal() {
+        let id = Matrix::identity(3);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(id.get(i, j), if i == j { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = Matrix::from_fn(3, 4, |i, j| (i * 7 + j * 3) as f32);
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose().shape(), (4, 3));
+        assert_eq!(m.transpose().get(2, 1), m.get(1, 2));
+    }
+
+    #[test]
+    fn concat_cols_works() {
+        let a = Matrix::from_rows(&[&[1.0], &[2.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        let c = a.concat_cols(&b).unwrap();
+        assert_eq!(c.shape(), (2, 3));
+        assert_eq!(c.row(0), &[1.0, 3.0, 4.0]);
+        assert_eq!(c.row(1), &[2.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn concat_cols_rejects_row_mismatch() {
+        let a = Matrix::zeros(2, 1);
+        let b = Matrix::zeros(3, 1);
+        assert!(a.concat_cols(&b).is_err());
+    }
+
+    #[test]
+    fn concat_rows_works() {
+        let a = Matrix::row_vector(&[1.0, 2.0]);
+        let b = Matrix::row_vector(&[3.0, 4.0]);
+        let c = a.concat_rows(&b).unwrap();
+        assert_eq!(c.shape(), (2, 2));
+        assert_eq!(c.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn slice_cols_extracts_window() {
+        let m = Matrix::from_fn(2, 4, |i, j| (i * 4 + j) as f32);
+        let s = m.slice_cols(1, 3).unwrap();
+        assert_eq!(s.shape(), (2, 2));
+        assert_eq!(s.row(0), &[1.0, 2.0]);
+        assert_eq!(s.row(1), &[5.0, 6.0]);
+        assert!(m.slice_cols(3, 5).is_err());
+    }
+
+    #[test]
+    fn select_rows_gathers_and_validates() {
+        let m = Matrix::from_fn(4, 2, |i, _| i as f32);
+        let g = m.select_rows(&[3, 0, 3]).unwrap();
+        assert_eq!(g.row(0), &[3.0, 3.0]);
+        assert_eq!(g.row(1), &[0.0, 0.0]);
+        assert_eq!(g.row(2), &[3.0, 3.0]);
+        assert!(m.select_rows(&[4]).is_err());
+    }
+
+    #[test]
+    fn display_shows_small_and_elides_large() {
+        let small = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.5]]).unwrap();
+        let s = format!("{small}");
+        assert!(s.contains("Matrix 2x2"));
+        assert!(s.contains("1.0000") && s.contains("4.5000"));
+        assert!(!s.contains('…'));
+
+        let big = Matrix::zeros(10, 10);
+        let b = format!("{big}");
+        assert!(b.contains("Matrix 10x10"));
+        assert!(b.contains('…'), "large matrices are elided");
+        assert!(b.lines().count() <= 8);
+    }
+
+    #[test]
+    fn map_and_fill() {
+        let mut m = Matrix::full(2, 2, 2.0);
+        let doubled = m.map(|v| v * 2.0);
+        assert_eq!(doubled.as_slice(), &[4.0; 4]);
+        m.map_inplace(|v| v + 1.0);
+        assert_eq!(m.as_slice(), &[3.0; 4]);
+        m.fill_zero();
+        assert_eq!(m.as_slice(), &[0.0; 4]);
+    }
+}

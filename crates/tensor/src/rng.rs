@@ -1,0 +1,253 @@
+//! Deterministic random initialization for matrices.
+//!
+//! Everything in the reproduction is seeded: data simulation, weight
+//! initialization and training-time shuffles all flow from explicit
+//! [`Rng64`] instances so every table in `EXPERIMENTS.md` regenerates
+//! byte-identically.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Matrix;
+
+/// A small deterministic RNG wrapper around [`StdRng`] with the sampling
+/// helpers this workspace needs (uniform, standard normal via Box–Muller,
+/// Bernoulli, index sampling).
+#[derive(Debug, Clone)]
+pub struct Rng64 {
+    inner: StdRng,
+    /// Cached second Box–Muller variate.
+    spare_normal: Option<f32>,
+}
+
+impl Rng64 {
+    /// Creates an RNG from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Rng64 { inner: StdRng::seed_from_u64(seed), spare_normal: None }
+    }
+
+    /// Derives an independent child RNG; `salt` distinguishes siblings.
+    ///
+    /// Used to give each subsystem (weights, data, shuffles) its own stream
+    /// so adding draws to one cannot perturb another.
+    pub fn fork(&mut self, salt: u64) -> Self {
+        let seed = self.inner.random::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        Rng64::seed_from_u64(seed)
+    }
+
+    /// Uniform sample in `[0, 1)`.
+    #[inline]
+    pub fn uniform(&mut self) -> f32 {
+        self.inner.random::<f32>()
+    }
+
+    /// Uniform sample in `[lo, hi)`.
+    #[inline]
+    pub fn uniform_in(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Standard normal sample via the Box–Muller transform.
+    pub fn normal(&mut self) -> f32 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        // Guard u1 away from 0 so ln() stays finite.
+        let u1 = self.uniform().max(f32::MIN_POSITIVE);
+        let u2 = self.uniform();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        self.spare_normal = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal sample with the given mean and standard deviation.
+    #[inline]
+    pub fn normal_with(&mut self, mean: f32, std: f32) -> f32 {
+        mean + std * self.normal()
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn bernoulli(&mut self, p: f32) -> bool {
+        self.uniform() < p
+    }
+
+    /// Uniform integer in `[0, bound)`. Panics when `bound == 0`.
+    #[inline]
+    pub fn index(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "index bound must be positive");
+        self.inner.random_range(0..bound)
+    }
+
+    /// Uniform `u64`.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.random::<u64>()
+    }
+
+    /// Samples a Poisson count with rate `lambda` (Knuth for small rates,
+    /// normal approximation above 30 to stay O(1)).
+    pub fn poisson(&mut self, lambda: f32) -> u32 {
+        if lambda <= 0.0 {
+            return 0;
+        }
+        if lambda > 30.0 {
+            let z = self.normal_with(lambda, lambda.sqrt());
+            return z.round().max(0.0) as u32;
+        }
+        let limit = (-lambda).exp();
+        let mut k = 0u32;
+        let mut p = 1.0f32;
+        loop {
+            p *= self.uniform();
+            if p <= limit {
+                return k;
+            }
+            k += 1;
+        }
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.index(i + 1);
+            xs.swap(i, j);
+        }
+    }
+}
+
+/// Weight-initialization schemes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Init {
+    /// All zeros (biases).
+    Zeros,
+    /// Constant fill.
+    Constant(f32),
+    /// Uniform in `[-limit, limit]`.
+    Uniform(f32),
+    /// Glorot/Xavier uniform: `limit = sqrt(6 / (fan_in + fan_out))`.
+    XavierUniform,
+    /// He/Kaiming normal: `std = sqrt(2 / fan_in)`; pairs with ReLU.
+    HeNormal,
+    /// Normal with explicit std.
+    Normal(f32),
+}
+
+impl Init {
+    /// Samples a `rows x cols` matrix. For layers, `rows` is treated as
+    /// fan-in and `cols` as fan-out (weights are stored `[in, out]`).
+    pub fn sample(self, rows: usize, cols: usize, rng: &mut Rng64) -> Matrix {
+        match self {
+            Init::Zeros => Matrix::zeros(rows, cols),
+            Init::Constant(c) => Matrix::full(rows, cols, c),
+            Init::Uniform(limit) => {
+                Matrix::from_fn(rows, cols, |_, _| rng.uniform_in(-limit, limit))
+            }
+            Init::XavierUniform => {
+                let limit = (6.0 / (rows + cols).max(1) as f32).sqrt();
+                Matrix::from_fn(rows, cols, |_, _| rng.uniform_in(-limit, limit))
+            }
+            Init::HeNormal => {
+                let std = (2.0 / rows.max(1) as f32).sqrt();
+                Matrix::from_fn(rows, cols, |_, _| rng.normal_with(0.0, std))
+            }
+            Init::Normal(std) => Matrix::from_fn(rows, cols, |_, _| rng.normal_with(0.0, std)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = Rng64::seed_from_u64(7);
+        let mut b = Rng64::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn forks_are_independent_streams() {
+        let mut root = Rng64::seed_from_u64(1);
+        let mut c1 = root.fork(1);
+        let mut c2 = root.fork(2);
+        // Not a rigorous independence test; just ensure the streams differ.
+        let a: Vec<u64> = (0..8).map(|_| c1.next_u64()).collect();
+        let b: Vec<u64> = (0..8).map(|_| c2.next_u64()).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = Rng64::seed_from_u64(42);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.03, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.05, "var={var}");
+    }
+
+    #[test]
+    fn poisson_mean_tracks_lambda() {
+        let mut rng = Rng64::seed_from_u64(9);
+        for &lambda in &[0.5f32, 3.0, 12.0, 80.0] {
+            let n = 4000;
+            let mean =
+                (0..n).map(|_| rng.poisson(lambda) as f32).sum::<f32>() / n as f32;
+            assert!(
+                (mean - lambda).abs() < 0.15 * lambda.max(1.0),
+                "lambda={lambda} mean={mean}"
+            );
+        }
+        assert_eq!(rng.poisson(0.0), 0);
+        assert_eq!(rng.poisson(-1.0), 0);
+    }
+
+    #[test]
+    fn bernoulli_frequency() {
+        let mut rng = Rng64::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.bernoulli(0.3)).count();
+        assert!((hits as f32 / 10_000.0 - 0.3).abs() < 0.02);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Rng64::seed_from_u64(5);
+        let mut xs: Vec<usize> = (0..50).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(xs, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn xavier_limits_respected() {
+        let mut rng = Rng64::seed_from_u64(11);
+        let m = Init::XavierUniform.sample(30, 20, &mut rng);
+        let limit = (6.0f32 / 50.0).sqrt();
+        assert!(m.max_abs() <= limit + 1e-6);
+        assert!(m.max_abs() > limit * 0.5); // actually spread out
+    }
+
+    #[test]
+    fn he_normal_std_is_plausible() {
+        let mut rng = Rng64::seed_from_u64(13);
+        let m = Init::HeNormal.sample(200, 100, &mut rng);
+        let std_expected = (2.0f32 / 200.0).sqrt();
+        let var = m.as_slice().iter().map(|&v| v * v).sum::<f32>() / m.len() as f32;
+        assert!((var.sqrt() - std_expected).abs() < 0.01);
+    }
+
+    #[test]
+    fn zeros_and_constant() {
+        let mut rng = Rng64::seed_from_u64(1);
+        assert_eq!(Init::Zeros.sample(2, 2, &mut rng).as_slice(), &[0.0; 4]);
+        assert_eq!(Init::Constant(0.5).sample(1, 3, &mut rng).as_slice(), &[0.5; 3]);
+    }
+}

@@ -1,0 +1,112 @@
+//! Binary (de)serialization of matrices.
+//!
+//! Format (little-endian): magic `b"ATMX"`, `u32` version, `u64` rows,
+//! `u64` cols, then `rows*cols` `f32` values. The sanctioned dependency
+//! list has no serde *format* crate, so model checkpoints use this
+//! hand-rolled length-checked layout on top of `bytes`.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::{Matrix, Result, TensorError};
+
+const MAGIC: &[u8; 4] = b"ATMX";
+const VERSION: u32 = 1;
+
+/// Appends the binary encoding of `m` to `buf`.
+pub fn encode_matrix(m: &Matrix, buf: &mut BytesMut) {
+    buf.reserve(4 + 4 + 16 + m.len() * 4);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u64_le(m.rows() as u64);
+    buf.put_u64_le(m.cols() as u64);
+    for &v in m.as_slice() {
+        buf.put_f32_le(v);
+    }
+}
+
+/// Decodes one matrix from the front of `buf`, advancing it.
+///
+/// # Errors
+/// Returns [`TensorError::Corrupt`] on a bad magic/version or a truncated
+/// buffer.
+pub fn decode_matrix(buf: &mut Bytes) -> Result<Matrix> {
+    if buf.remaining() < 4 + 4 + 16 {
+        return Err(TensorError::Corrupt("header truncated"));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(TensorError::Corrupt("bad magic"));
+    }
+    if buf.get_u32_le() != VERSION {
+        return Err(TensorError::Corrupt("unsupported version"));
+    }
+    let rows = buf.get_u64_le() as usize;
+    let cols = buf.get_u64_le() as usize;
+    let n = rows.checked_mul(cols).ok_or(TensorError::Corrupt("shape overflow"))?;
+    if buf.remaining() < n * 4 {
+        return Err(TensorError::Corrupt("payload truncated"));
+    }
+    let mut data = Vec::with_capacity(n);
+    for _ in 0..n {
+        data.push(buf.get_f32_le());
+    }
+    Matrix::from_vec(rows, cols, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng64;
+
+    #[test]
+    fn roundtrip_preserves_matrix() {
+        let mut rng = Rng64::seed_from_u64(2);
+        let m = crate::Init::Normal(1.0).sample(7, 5, &mut rng);
+        let mut buf = BytesMut::new();
+        encode_matrix(&m, &mut buf);
+        let mut bytes = buf.freeze();
+        let back = decode_matrix(&mut bytes).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(bytes.remaining(), 0);
+    }
+
+    #[test]
+    fn roundtrip_multiple_matrices() {
+        let a = Matrix::from_fn(2, 3, |i, j| (i + j) as f32);
+        let b = Matrix::identity(4);
+        let mut buf = BytesMut::new();
+        encode_matrix(&a, &mut buf);
+        encode_matrix(&b, &mut buf);
+        let mut bytes = buf.freeze();
+        assert_eq!(decode_matrix(&mut bytes).unwrap(), a);
+        assert_eq!(decode_matrix(&mut bytes).unwrap(), b);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = Bytes::from_static(b"NOPE\x01\x00\x00\x00aaaaaaaabbbbbbbb");
+        assert!(matches!(decode_matrix(&mut bytes), Err(TensorError::Corrupt(_))));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let m = Matrix::full(3, 3, 1.0);
+        let mut buf = BytesMut::new();
+        encode_matrix(&m, &mut buf);
+        let full = buf.freeze();
+        for cut in [0usize, 3, 10, 23, full.len() - 1] {
+            let mut prefix = full.slice(0..cut);
+            assert!(decode_matrix(&mut prefix).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn empty_matrix_roundtrips() {
+        let m = Matrix::zeros(0, 5);
+        let mut buf = BytesMut::new();
+        encode_matrix(&m, &mut buf);
+        let back = decode_matrix(&mut buf.freeze()).unwrap();
+        assert_eq!(back.shape(), (0, 5));
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for the tensor algebra.
+
+use atnn_tensor::{Matrix, Rng64};
+use proptest::prelude::*;
+
+/// Strategy: a matrix with the given shape and bounded values.
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-100.0f32..100.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data).unwrap())
+}
+
+fn shapes() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..8, 1usize..8, 1usize..8)
+}
+
+fn approx_eq(a: &Matrix, b: &Matrix, tol: f32) -> bool {
+    a.shape() == b.shape()
+        && a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(&x, &y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())))
+}
+
+proptest! {
+    #[test]
+    fn add_commutes((r, c, _) in shapes(), seed in 0u64..1000) {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let a = atnn_tensor::Init::Normal(5.0).sample(r, c, &mut rng);
+        let b = atnn_tensor::Init::Normal(5.0).sample(r, c, &mut rng);
+        prop_assert_eq!(a.add(&b).unwrap(), b.add(&a).unwrap());
+    }
+
+    #[test]
+    fn matmul_identity_is_noop((r, c, _) in shapes(), m in (1usize..6).prop_flat_map(|r| matrix(r, 4))) {
+        let _ = (r, c);
+        let id = Matrix::identity(4);
+        prop_assert!(approx_eq(&m.matmul(&id).unwrap(), &m, 1e-5));
+    }
+
+    #[test]
+    fn matmul_distributes_over_add((m, k, n) in shapes(), seed in 0u64..1000) {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let a = atnn_tensor::Init::Normal(1.0).sample(m, k, &mut rng);
+        let b = atnn_tensor::Init::Normal(1.0).sample(k, n, &mut rng);
+        let c = atnn_tensor::Init::Normal(1.0).sample(k, n, &mut rng);
+        let lhs = a.matmul(&b.add(&c).unwrap()).unwrap();
+        let rhs = a.matmul(&b).unwrap().add(&a.matmul(&c).unwrap()).unwrap();
+        prop_assert!(approx_eq(&lhs, &rhs, 1e-4));
+    }
+
+    #[test]
+    fn transpose_respects_matmul((m, k, n) in shapes(), seed in 0u64..1000) {
+        // (A B)^T == B^T A^T
+        let mut rng = Rng64::seed_from_u64(seed);
+        let a = atnn_tensor::Init::Normal(1.0).sample(m, k, &mut rng);
+        let b = atnn_tensor::Init::Normal(1.0).sample(k, n, &mut rng);
+        let lhs = a.matmul(&b).unwrap().transpose();
+        let rhs = b.transpose().matmul(&a.transpose()).unwrap();
+        prop_assert!(approx_eq(&lhs, &rhs, 1e-4));
+    }
+
+    #[test]
+    fn tn_and_nt_agree_with_naive((m, k, n) in shapes(), seed in 0u64..1000) {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let a = atnn_tensor::Init::Normal(1.0).sample(k, m, &mut rng);
+        let b = atnn_tensor::Init::Normal(1.0).sample(k, n, &mut rng);
+        prop_assert!(approx_eq(
+            &a.matmul_tn(&b).unwrap(),
+            &a.transpose().matmul(&b).unwrap(),
+            1e-4
+        ));
+        let c = atnn_tensor::Init::Normal(1.0).sample(m, k, &mut rng);
+        let d = atnn_tensor::Init::Normal(1.0).sample(n, k, &mut rng);
+        prop_assert!(approx_eq(
+            &c.matmul_nt(&d).unwrap(),
+            &c.matmul(&d.transpose()).unwrap(),
+            1e-4
+        ));
+    }
+
+    #[test]
+    fn sum_rows_then_sum_equals_sum(m in (1usize..7, 1usize..7).prop_flat_map(|(r, c)| matrix(r, c))) {
+        let total = m.sum();
+        let via_rows = m.sum_rows().sum();
+        let via_cols = m.sum_cols().sum();
+        prop_assert!((total - via_rows).abs() < 1e-2 * (1.0 + total.abs()));
+        prop_assert!((total - via_cols).abs() < 1e-2 * (1.0 + total.abs()));
+    }
+
+    #[test]
+    fn select_rows_matches_manual(indices in proptest::collection::vec(0u32..5, 1..10)) {
+        let m = Matrix::from_fn(5, 3, |i, j| (i * 10 + j) as f32);
+        let g = m.select_rows(&indices).unwrap();
+        for (dst, &idx) in indices.iter().enumerate() {
+            prop_assert_eq!(g.row(dst), m.row(idx as usize));
+        }
+    }
+
+    #[test]
+    fn serialization_roundtrip(m in (1usize..6, 1usize..6).prop_flat_map(|(r, c)| matrix(r, c))) {
+        let mut buf = bytes::BytesMut::new();
+        atnn_tensor::encode_matrix(&m, &mut buf);
+        let back = atnn_tensor::decode_matrix(&mut buf.freeze()).unwrap();
+        prop_assert_eq!(back, m);
+    }
+}

@@ -1,0 +1,16 @@
+//! Umbrella crate for the ATNN reproduction workspace.
+//!
+//! Re-exports the public API of every member crate so that examples and
+//! integration tests (and downstream users who just want "the whole
+//! system") can depend on a single crate.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every table and figure.
+
+pub use atnn_autograd as autograd;
+pub use atnn_baselines as baselines;
+pub use atnn_core as atnn;
+pub use atnn_data as data;
+pub use atnn_metrics as metrics;
+pub use atnn_nn as nn;
+pub use atnn_tensor as tensor;

@@ -1,0 +1,68 @@
+//! Integration: the persist-then-train pipeline. A feature platform
+//! materializes interaction logs and encoded blocks once; training jobs
+//! that consume the persisted artifacts must reproduce exactly what
+//! training on the live dataset produces.
+
+use atnn_repro::baselines::{tabular, Gbdt, GbdtConfig};
+use atnn_repro::data::io::{
+    decode_feature_block, decode_interactions, encode_feature_block, encode_interactions,
+};
+use atnn_repro::data::tmall::{TmallConfig, TmallDataset};
+
+#[test]
+fn training_from_persisted_artifacts_is_identical() {
+    let data = TmallDataset::generate(
+        TmallConfig {
+            num_users: 100,
+            num_items: 200,
+            num_interactions: 2_000,
+            ..TmallConfig::tiny()
+        }
+        .with_seed(555),
+    );
+
+    // --- producer side: materialize and "ship" the artifacts. ----------
+    let items: Vec<u32> = data.interactions.iter().map(|i| i.item).collect();
+    let users: Vec<u32> = data.interactions.iter().map(|i| i.user).collect();
+    let profile = data.encode_item_profiles(&items);
+    let stats = data.encode_item_stats(&items);
+    let user_block = data.encode_users(&users);
+    let shipped_log = encode_interactions(&data.interactions);
+    let shipped_profile = encode_feature_block(&profile);
+    let shipped_stats = encode_feature_block(&stats);
+    let shipped_users = encode_feature_block(&user_block);
+
+    // --- consumer side: decode and train from bytes alone. -------------
+    let log = decode_interactions(shipped_log).unwrap();
+    let profile2 = decode_feature_block(shipped_profile).unwrap();
+    let stats2 = decode_feature_block(shipped_stats).unwrap();
+    let users2 = decode_feature_block(shipped_users).unwrap();
+
+    let make_xy = |p: &atnn_repro::data::FeatureBlock,
+                   s: &atnn_repro::data::FeatureBlock,
+                   u: &atnn_repro::data::FeatureBlock,
+                   labels: &[bool]| {
+        let x = tabular::hstack(
+            &tabular::hstack(&tabular::flatten(&p.categorical, &p.numeric), &s.numeric),
+            &tabular::flatten(&u.categorical, &u.numeric),
+        );
+        let y: Vec<f32> = labels.iter().map(|&c| c as u8 as f32).collect();
+        (x, y)
+    };
+    let live_labels: Vec<bool> = data.interactions.iter().map(|i| i.clicked).collect();
+    let shipped_labels: Vec<bool> = log.iter().map(|i| i.clicked).collect();
+    assert_eq!(live_labels, shipped_labels);
+
+    let (x_live, y_live) = make_xy(&profile, &stats, &user_block, &live_labels);
+    let (x_art, y_art) = make_xy(&profile2, &stats2, &users2, &shipped_labels);
+    assert_eq!(x_live, x_art, "artifacts must decode to identical features");
+
+    let cfg = GbdtConfig { num_trees: 15, ..Default::default() };
+    let live = Gbdt::fit(cfg.clone(), &x_live, &y_live);
+    let from_artifacts = Gbdt::fit(cfg, &x_art, &y_art);
+    assert_eq!(
+        live.predict(&x_live),
+        from_artifacts.predict(&x_art),
+        "training from persisted artifacts must be bit-identical"
+    );
+}

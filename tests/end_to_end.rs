@@ -1,0 +1,101 @@
+//! Cross-crate integration: the full ATNN pipeline from simulated log to
+//! cold-start scores, on a fresh seed (distinct from every unit test).
+
+use atnn_repro::atnn::{
+    evaluate_auc_full, evaluate_auc_generated, evaluate_auc_imputed, Atnn, AtnnConfig,
+    CtrTrainer, PopularityIndex, TrainOptions,
+};
+use atnn_repro::data::dataset::Split;
+use atnn_repro::data::tmall::{TmallConfig, TmallDataset};
+
+fn fresh_setup() -> (TmallDataset, Split, Vec<u32>) {
+    let data = TmallDataset::generate(
+        TmallConfig {
+            num_users: 250,
+            num_items: 700,
+            num_interactions: 7_000,
+            ..TmallConfig::tiny()
+        }
+        .with_seed(20_260_706),
+    );
+    let n_items = data.num_items() as u32;
+    let first_new = n_items - n_items / 5;
+    let item_of: Vec<u32> = data.interactions.iter().map(|i| i.item).collect();
+    let split = Split::by_group(&item_of, |item| item >= first_new);
+    let new_arrivals: Vec<u32> = (first_new..n_items).collect();
+    (data, split, new_arrivals)
+}
+
+fn train(data: &TmallDataset, split: &Split, config: AtnnConfig) -> Atnn {
+    let mut model = Atnn::new(config, data);
+    CtrTrainer::new(TrainOptions { epochs: 6, ..Default::default() })
+        .train(&mut model, data, Some(&split.train));
+    model
+}
+
+#[test]
+fn atnn_cold_start_beats_tnn_on_a_fresh_seed() {
+    let (data, split, _) = fresh_setup();
+    let atnn = train(&data, &split, AtnnConfig::scaled());
+    let tnn = train(&data, &split, AtnnConfig::tnn_dcn());
+    let means = data.mean_item_stats(&split.train.iter().map(|&r| data.interactions[r as usize].item).collect::<Vec<_>>());
+
+    let atnn_cold = evaluate_auc_generated(&atnn, &data, &split.test).unwrap();
+    let tnn_cold = evaluate_auc_imputed(&tnn, &data, &split.test, &means).unwrap();
+    assert!(
+        atnn_cold > tnn_cold + 0.02,
+        "ATNN cold {atnn_cold:.4} must clearly beat TNN cold {tnn_cold:.4}"
+    );
+
+    // And the adversarial training does not wreck the warm path.
+    let atnn_full = evaluate_auc_full(&atnn, &data, &split.test).unwrap();
+    let tnn_full = evaluate_auc_full(&tnn, &data, &split.test).unwrap();
+    assert!(
+        (atnn_full - tnn_full).abs() < 0.05,
+        "warm paths comparable: {atnn_full:.4} vs {tnn_full:.4}"
+    );
+}
+
+#[test]
+fn training_is_bit_deterministic() {
+    let (data, split, _) = fresh_setup();
+    let a = train(&data, &split, AtnnConfig::scaled());
+    let b = train(&data, &split, AtnnConfig::scaled());
+    let items: Vec<u32> = (0..50).collect();
+    let profile = data.encode_item_profiles(&items);
+    assert_eq!(
+        a.item_vectors_generated(&profile),
+        b.item_vectors_generated(&profile),
+        "same seeds must give identical models"
+    );
+}
+
+#[test]
+fn checkpoint_roundtrip_through_disk_format() {
+    let (data, split, new_arrivals) = fresh_setup();
+    let model = train(&data, &split, AtnnConfig::scaled());
+    let blob = model.save();
+
+    let mut restored = Atnn::new(AtnnConfig::scaled(), &data);
+    restored.load(blob).unwrap();
+
+    let group: Vec<u32> = (0..100).collect();
+    let idx_a = PopularityIndex::build(&model, &data, &group);
+    let idx_b = PopularityIndex::build(&restored, &data, &group);
+    let scores_a = idx_a.score_new_arrivals(&model, &data, &new_arrivals);
+    let scores_b = idx_b.score_new_arrivals(&restored, &data, &new_arrivals);
+    assert_eq!(scores_a, scores_b);
+}
+
+#[test]
+fn popularity_scores_rank_true_popularity() {
+    let (data, split, new_arrivals) = fresh_setup();
+    let model = train(&data, &split, AtnnConfig::scaled());
+    let group: Vec<u32> = (0..data.num_users() as u32).collect();
+    let index = PopularityIndex::build(&model, &data, &group);
+    let scores = index.score_new_arrivals(&model, &data, &new_arrivals);
+    let truth: Vec<f32> =
+        new_arrivals.iter().map(|&i| data.true_popularity(i)).collect();
+    let rho = atnn_repro::metrics::spearman(&scores, &truth).unwrap();
+    assert!(rho > 0.5, "popularity ranking must track ground truth: rho={rho:.3}");
+}

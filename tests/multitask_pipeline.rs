@@ -1,0 +1,71 @@
+//! Integration of the food-delivery extension on a fresh seed: Algorithm 2
+//! training, cold prediction, and the expert comparison, end to end.
+
+use atnn_repro::atnn::{evaluate_mae_cold, AtnnConfig, MultiTaskAtnn, MultiTaskTrainOptions};
+use atnn_repro::data::dataset::Split;
+use atnn_repro::data::eleme::{ElemeConfig, ElemeDataset, ElemeExpertPolicy};
+use atnn_repro::tensor::Rng64;
+
+fn setup() -> (ElemeDataset, Split) {
+    let data = ElemeDataset::generate(
+        ElemeConfig { num_restaurants: 1_400, ..ElemeConfig::tiny() }.with_seed(31_337),
+    );
+    let mut rng = Rng64::seed_from_u64(8);
+    let split = Split::random(data.num_restaurants(), 0.2, &mut rng);
+    (data, split)
+}
+
+#[test]
+fn multitask_pipeline_beats_naive_and_tracks_truth() {
+    let (data, split) = setup();
+    let mut model = MultiTaskAtnn::new(AtnnConfig::scaled(), &data, &split.train);
+    let reports = model.train(
+        &data,
+        &split.train,
+        &MultiTaskTrainOptions { epochs: 10, ..Default::default() },
+    );
+    assert!(reports.last().unwrap().loss_d < reports[0].loss_d);
+
+    let (vppv_mae, gmv_mae) = evaluate_mae_cold(&model, &data, &split.test);
+    // Naive baseline: predict the train mean everywhere.
+    let vm = split.train.iter().map(|&r| data.vppv(r) as f64).sum::<f64>()
+        / split.train.len() as f64;
+    let naive_vppv = split
+        .test
+        .iter()
+        .map(|&r| (data.vppv(r) as f64 - vm).abs())
+        .sum::<f64>()
+        / split.test.len() as f64;
+    assert!(
+        vppv_mae < naive_vppv * 0.9,
+        "model {vppv_mae:.4} must clearly beat mean-baseline {naive_vppv:.4}"
+    );
+    assert!(gmv_mae.is_finite() && gmv_mae > 0.0);
+
+    // Predictions correlate with ground truth across the cold pool.
+    let (vp, gp) = model.predict_cold(&data, &split.test);
+    let vt: Vec<f32> = split.test.iter().map(|&r| data.vppv(r)).collect();
+    let gt: Vec<f32> = split.test.iter().map(|&r| data.gmv(r)).collect();
+    assert!(atnn_repro::metrics::spearman(&vp, &vt).unwrap() > 0.3);
+    assert!(atnn_repro::metrics::spearman(&gp, &gt).unwrap() > 0.3);
+}
+
+#[test]
+fn model_ranking_beats_expert_ranking_on_gmv() {
+    let (data, split) = setup();
+    let mut model = MultiTaskAtnn::new(AtnnConfig::scaled(), &data, &split.train);
+    model.train(
+        &data,
+        &split.train,
+        &MultiTaskTrainOptions { epochs: 10, ..Default::default() },
+    );
+    let (_, gmv_pred) = model.predict_cold(&data, &split.test);
+    let expert = ElemeExpertPolicy::default().score(&data, &split.test);
+    let gmv_true: Vec<f32> = split.test.iter().map(|&r| data.gmv(r)).collect();
+    let model_rho = atnn_repro::metrics::spearman(&gmv_pred, &gmv_true).unwrap();
+    let expert_rho = atnn_repro::metrics::spearman(&expert, &gmv_true).unwrap();
+    assert!(
+        model_rho > expert_rho,
+        "model GMV ranking {model_rho:.3} must beat expert {expert_rho:.3}"
+    );
+}
