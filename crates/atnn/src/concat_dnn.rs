@@ -64,8 +64,7 @@ impl ConcatDnn {
             Some(&user_block.numeric),
         );
 
-        let in_dim =
-            profile_encoder.out_dim() + stats_encoder.out_dim() + user_encoder.out_dim();
+        let in_dim = profile_encoder.out_dim() + stats_encoder.out_dim() + user_encoder.out_dim();
         let mut dims = vec![in_dim];
         dims.extend_from_slice(&config.deep_dims);
         dims.push(1);

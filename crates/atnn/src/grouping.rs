@@ -281,11 +281,7 @@ mod tests {
         let err_of = |k: usize, rng: &mut Rng64| {
             let idx = GroupedPopularityIndex::build(&model, &data, &group, k, rng);
             let scores = idx.score_new_arrivals(&model, &data, &items);
-            scores
-                .iter()
-                .zip(&reference)
-                .map(|(&a, &b)| (a - b).abs() as f64)
-                .sum::<f64>()
+            scores.iter().zip(&reference).map(|(&a, &b)| (a - b).abs() as f64).sum::<f64>()
                 / items.len() as f64
         };
         let e1 = err_of(1, &mut rng);
@@ -304,10 +300,7 @@ mod tests {
         let idx = GroupedPopularityIndex::build(&model, &data, &group, 4, &mut rng);
         assert_eq!(idx.k(), 4);
         assert!((idx.weights().iter().sum::<f32>() - 1.0).abs() < 1e-5);
-        let vec = model
-            .item_vectors_generated(&data.encode_item_profiles(&[0]))
-            .row(0)
-            .to_vec();
+        let vec = model.item_vectors_generated(&data.encode_item_profiles(&[0])).row(0).to_vec();
         let per = idx.per_cluster_scores(&vec);
         assert_eq!(per.len(), 4);
         // The weighted mean of per-cluster scores is the blended score.

@@ -67,9 +67,7 @@ pub use config::{embed_dim_for, AdversarialMode, AtnnConfig};
 pub use features::FeatureEncoder;
 pub use grouping::{GroupedPopularityIndex, KMeans};
 pub use model::{Atnn, StepLosses};
-pub use multitask::{
-    evaluate_mae_cold, MultiTaskAtnn, MultiTaskReport, MultiTaskTrainOptions,
-};
+pub use multitask::{evaluate_mae_cold, MultiTaskAtnn, MultiTaskReport, MultiTaskTrainOptions};
 pub use popularity::{
     pairwise_popularity, pairwise_popularity_parallel, PopularityIndex, ServingIndex,
 };

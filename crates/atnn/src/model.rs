@@ -203,14 +203,12 @@ impl Atnn {
         g_group.extend(generator_encoder.embedding_params());
         g_group.extend(generator_tower.params());
 
-        let disc_group: Vec<ParamId> =
-            discriminator.as_ref().map(Mlp::params).unwrap_or_default();
+        let disc_group: Vec<ParamId> = discriminator.as_ref().map(Mlp::params).unwrap_or_default();
 
         let opt_d = Adam::new(d_group.clone(), config.learning_rate);
         let opt_g = Adam::new(g_group.clone(), config.learning_rate);
-        let opt_disc = discriminator
-            .as_ref()
-            .map(|_| Adam::new(disc_group.clone(), config.learning_rate));
+        let opt_disc =
+            discriminator.as_ref().map(|_| Adam::new(disc_group.clone(), config.learning_rate));
 
         Atnn {
             config,
@@ -585,9 +583,7 @@ mod tests {
         let cos_mean = |model: &Atnn| {
             let gen = model.item_vectors_generated(&profile);
             let full = model.item_vectors_full(&profile, &stats);
-            (0..gen.rows())
-                .map(|i| atnn_tensor::cosine(gen.row(i), full.row(i)))
-                .sum::<f32>()
+            (0..gen.rows()).map(|i| atnn_tensor::cosine(gen.row(i), full.row(i))).sum::<f32>()
                 / gen.rows() as f32
         };
         let before = cos_mean(&model);

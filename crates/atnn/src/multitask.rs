@@ -162,10 +162,22 @@ impl MultiTaskAtnn {
         // Task heads over the item ⊙ group interaction vector — bilinear
         // scoring, so the mean-group trick stays exact per group.
         let head_vppv = Linear::new(
-            &mut store, &mut rng, "head.vppv", config.vec_dim, 1, Init::XavierUniform, true,
+            &mut store,
+            &mut rng,
+            "head.vppv",
+            config.vec_dim,
+            1,
+            Init::XavierUniform,
+            true,
         );
         let head_gmv = Linear::new(
-            &mut store, &mut rng, "head.gmv", config.vec_dim, 1, Init::XavierUniform, true,
+            &mut store,
+            &mut rng,
+            "head.gmv",
+            config.vec_dim,
+            1,
+            Init::XavierUniform,
+            true,
         );
 
         let mut d_group = Vec::new();
@@ -207,7 +219,12 @@ impl MultiTaskAtnn {
         }
     }
 
-    fn restaurant_vec_full(&self, g: &mut Graph, profile: &FeatureBlock, stats: &FeatureBlock) -> Var {
+    fn restaurant_vec_full(
+        &self,
+        g: &mut Graph,
+        profile: &FeatureBlock,
+        stats: &FeatureBlock,
+    ) -> Var {
         let p = self.profile_encoder.encode(g, &self.store, profile);
         let s = self.stats_encoder.encode(g, &self.store, stats);
         let x = g.concat_cols(p, s);
@@ -431,11 +448,7 @@ fn destandardize(pred: &Matrix, (mean, std): (f32, f32)) -> Vec<f32> {
 
 /// MAE of cold-start predictions over `rows`, in original units:
 /// `(vppv_mae, gmv_mae)` — the paper's Table IV metrics.
-pub fn evaluate_mae_cold(
-    model: &MultiTaskAtnn,
-    data: &ElemeDataset,
-    rows: &[u32],
-) -> (f64, f64) {
+pub fn evaluate_mae_cold(model: &MultiTaskAtnn, data: &ElemeDataset, rows: &[u32]) -> (f64, f64) {
     let (vppv_pred, gmv_pred) = model.predict_cold(data, rows);
     let vppv_true: Vec<f32> = rows.iter().map(|&r| data.vppv(r)).collect();
     let gmv_true: Vec<f32> = rows.iter().map(|&r| data.gmv(r)).collect();
@@ -452,10 +465,8 @@ mod tests {
     use atnn_data::eleme::ElemeConfig;
 
     fn setup() -> (ElemeDataset, Split) {
-        let data = ElemeDataset::generate(ElemeConfig {
-            num_restaurants: 1_200,
-            ..ElemeConfig::tiny()
-        });
+        let data =
+            ElemeDataset::generate(ElemeConfig { num_restaurants: 1_200, ..ElemeConfig::tiny() });
         let mut rng = Rng64::seed_from_u64(5);
         let split = Split::random(data.num_restaurants(), 0.2, &mut rng);
         (data, split)
@@ -485,18 +496,12 @@ mod tests {
         // Baseline: always predict the training mean.
         let (vm, _) = model.vppv_stats;
         let (gm, _) = model.gmv_stats;
-        let vppv_base: f64 = split
-            .test
-            .iter()
-            .map(|&r| (data.vppv(r) - vm).abs() as f64)
-            .sum::<f64>()
-            / split.test.len() as f64;
-        let gmv_base: f64 = split
-            .test
-            .iter()
-            .map(|&r| (data.gmv(r) - gm).abs() as f64)
-            .sum::<f64>()
-            / split.test.len() as f64;
+        let vppv_base: f64 =
+            split.test.iter().map(|&r| (data.vppv(r) - vm).abs() as f64).sum::<f64>()
+                / split.test.len() as f64;
+        let gmv_base: f64 =
+            split.test.iter().map(|&r| (data.gmv(r) - gm).abs() as f64).sum::<f64>()
+                / split.test.len() as f64;
         assert!(vppv_mae < vppv_base, "VpPV {vppv_mae} vs mean-baseline {vppv_base}");
         assert!(gmv_mae < gmv_base, "GMV {gmv_mae} vs mean-baseline {gmv_base}");
     }
@@ -534,10 +539,7 @@ mod tests {
         let tnn_vppv = atnn_metrics::mae(&vppv_pred, &vppv_true).unwrap();
         let tnn_gmv = atnn_metrics::mae(&gmv_pred, &gmv_true).unwrap();
 
-        assert!(
-            atnn_vppv < tnn_vppv,
-            "ATNN VpPV MAE {atnn_vppv} should beat TNN {tnn_vppv}"
-        );
+        assert!(atnn_vppv < tnn_vppv, "ATNN VpPV MAE {atnn_vppv} should beat TNN {tnn_vppv}");
         assert!(atnn_gmv < tnn_gmv, "ATNN GMV MAE {atnn_gmv} should beat TNN {tnn_gmv}");
     }
 
@@ -545,7 +547,11 @@ mod tests {
     fn predict_full_uses_statistics() {
         let (data, split) = setup();
         let mut model = MultiTaskAtnn::new(AtnnConfig::scaled(), &data, &split.train);
-        model.train(&data, &split.train, &MultiTaskTrainOptions { epochs: 4, ..Default::default() });
+        model.train(
+            &data,
+            &split.train,
+            &MultiTaskTrainOptions { epochs: 4, ..Default::default() },
+        );
         let (full_vppv, _) = model.predict_full(&data, &split.test);
         let vppv_true: Vec<f32> = split.test.iter().map(|&r| data.vppv(r)).collect();
         let full_mae = atnn_metrics::mae(&full_vppv, &vppv_true).unwrap();

@@ -8,9 +8,10 @@
 //! arrival against the stored mean vector. Per-item cost drops from
 //! `O(N_users)` to `O(1)`.
 
+use std::sync::RwLock;
+
 use atnn_data::tmall::TmallDataset;
-use atnn_tensor::{dot, Matrix};
-use parking_lot::RwLock;
+use atnn_tensor::{dot, pool, Matrix};
 
 use crate::model::Atnn;
 
@@ -117,8 +118,9 @@ pub fn pairwise_popularity(
 }
 
 /// Multi-threaded variant of [`pairwise_popularity`]: splits the item set
-/// across `threads` crossbeam-scoped workers. Bit-identical to the serial
-/// path (each item's mean is an independent reduction).
+/// across the shared [`pool`]. Bit-identical to the serial path — each
+/// item's mean is an independent reduction and the item→chunk split
+/// depends only on `items.len()` and `threads`.
 pub fn pairwise_popularity_parallel(
     model: &Atnn,
     data: &TmallDataset,
@@ -132,16 +134,12 @@ pub fn pairwise_popularity_parallel(
         return pairwise_popularity(model, data, items, user_group);
     }
     let chunk_size = items.len().div_ceil(threads);
-    let mut results: Vec<Vec<f32>> = vec![Vec::new(); threads];
-    crossbeam::scope(|scope| {
-        for (slot, chunk) in results.iter_mut().zip(items.chunks(chunk_size)) {
-            scope.spawn(move |_| {
-                *slot = pairwise_popularity(model, data, chunk, user_group);
-            });
-        }
+    pool::map_chunks(items, chunk_size, threads, |chunk| {
+        pairwise_popularity(model, data, chunk, user_group)
     })
-    .expect("scoring threads");
-    results.into_iter().flatten().collect()
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// A hot-swappable serving wrapper: scoring threads take cheap read locks
@@ -161,17 +159,17 @@ impl ServingIndex {
 
     /// Scores one item vector under a read lock.
     pub fn score(&self, item_vec: &[f32]) -> f32 {
-        self.inner.read().score_vector(item_vec)
+        self.inner.read().expect("serving lock poisoned").score_vector(item_vec)
     }
 
     /// Atomically replaces the published index.
     pub fn publish(&self, index: PopularityIndex) {
-        *self.inner.write() = index;
+        *self.inner.write().expect("serving lock poisoned") = index;
     }
 
     /// A snapshot of the current index.
     pub fn snapshot(&self) -> PopularityIndex {
-        self.inner.read().clone()
+        self.inner.read().expect("serving lock poisoned").clone()
     }
 }
 
@@ -262,8 +260,7 @@ mod tests {
         let items: Vec<u32> = (0..90).collect();
         let serial = pairwise_popularity(&model, &data, &items, &group);
         for threads in [1usize, 2, 4, 7] {
-            let parallel =
-                pairwise_popularity_parallel(&model, &data, &items, &group, threads);
+            let parallel = pairwise_popularity_parallel(&model, &data, &items, &group, threads);
             assert_eq!(parallel, serial, "threads={threads}");
         }
     }
@@ -274,10 +271,7 @@ mod tests {
         let group: Vec<u32> = (0..32).collect();
         let index = PopularityIndex::build(&model, &data, &group);
         let serving = ServingIndex::new(index.clone());
-        let item = model
-            .item_vectors_generated(&data.encode_item_profiles(&[0]))
-            .row(0)
-            .to_vec();
+        let item = model.item_vectors_generated(&data.encode_item_profiles(&[0])).row(0).to_vec();
         let before = serving.score(&item);
         assert_eq!(before, index.score_vector(&item));
         // Publish a different index (other user group) and observe change.

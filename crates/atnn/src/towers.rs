@@ -107,8 +107,7 @@ mod tests {
     fn build(use_cross: bool, cross_depth: usize) -> (ParamStore, Tower) {
         let mut store = ParamStore::new();
         let mut rng = Rng64::seed_from_u64(0);
-        let tower =
-            Tower::new(&mut store, &mut rng, "t", 10, &[16, 8], cross_depth, use_cross, 4);
+        let tower = Tower::new(&mut store, &mut rng, "t", 10, &[16, 8], cross_depth, use_cross, 4);
         (store, tower)
     }
 

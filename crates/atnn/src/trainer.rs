@@ -3,7 +3,7 @@
 use atnn_data::dataset::BatchIter;
 use atnn_data::schema::FeatureBlock;
 use atnn_data::tmall::TmallDataset;
-use atnn_tensor::{Matrix, Rng64};
+use atnn_tensor::{pool, Matrix, Rng64};
 
 use crate::model::{Atnn, StepLosses};
 
@@ -78,7 +78,12 @@ impl CtrTrainer {
     }
 
     /// Trains on `rows` (indices into `data.interactions`; `None` = all).
-    pub fn train(&self, model: &mut Atnn, data: &TmallDataset, rows: Option<&[u32]>) -> TrainReport {
+    pub fn train(
+        &self,
+        model: &mut Atnn,
+        data: &TmallDataset,
+        rows: Option<&[u32]>,
+    ) -> TrainReport {
         self.run(model, data, rows, None, 0)
     }
 
@@ -133,7 +138,8 @@ impl CtrTrainer {
             self.opts.batch_size,
             Rng64::seed_from_u64(self.opts.seed),
         );
-        let mut report = TrainReport { epochs: Vec::with_capacity(self.opts.epochs), best_epoch: 0 };
+        let mut report =
+            TrainReport { epochs: Vec::with_capacity(self.opts.epochs), best_epoch: 0 };
         let mut best_auc = f64::NEG_INFINITY;
         let mut best_weights: Option<bytes::Bytes> = None;
         let mut since_best = 0usize;
@@ -150,8 +156,8 @@ impl CtrTrainer {
             }
             iter.next_epoch();
             let n = batches.max(1) as f32;
-            let val_auc = val_rows
-                .map(|rows| evaluate_auc_generated(model, data, rows).unwrap_or(0.5));
+            let val_auc =
+                val_rows.map(|rows| evaluate_auc_generated(model, data, rows).unwrap_or(0.5));
             let stats = EpochStats {
                 epoch,
                 loss_i: acc.loss_i / n,
@@ -194,7 +200,9 @@ impl CtrTrainer {
 }
 
 /// Materializes the feature blocks and labels of a batch of interaction
-/// rows.
+/// rows. The three feature encodes are independent, so they fork across
+/// the shared [`pool`] (each encode is itself deterministic, so the fork
+/// cannot change any result).
 pub fn gather_batch(
     data: &TmallDataset,
     rows: &[u32],
@@ -204,7 +212,12 @@ pub fn gather_batch(
     let labels = Matrix::from_fn(rows.len(), 1, |i, _| {
         data.interactions[rows[i] as usize].clicked as u8 as f32
     });
-    (data.encode_item_profiles(&items), data.encode_item_stats(&items), data.encode_users(&users), labels)
+    let (profile, stats, user_block) = pool::join3(
+        || data.encode_item_profiles(&items),
+        || data.encode_item_stats(&items),
+        || data.encode_users(&users),
+    );
+    (profile, stats, user_block, labels)
 }
 
 const EVAL_BATCH: usize = 512;
@@ -242,14 +255,22 @@ pub fn evaluate_auc_imputed(
 fn evaluate_auc_with(
     data: &TmallDataset,
     rows: &[u32],
-    mut predict: impl FnMut(&FeatureBlock, &FeatureBlock, &FeatureBlock) -> Vec<f32>,
+    predict: impl Fn(&FeatureBlock, &FeatureBlock, &FeatureBlock) -> Vec<f32> + Sync,
 ) -> Option<f64> {
+    // Shard the rows over the pool in `EVAL_BATCH` chunks. The chunk
+    // boundaries match the serial loop and results are re-concatenated in
+    // input order, so the AUC input is bit-identical at any thread count.
+    let per_chunk = pool::map_chunks(rows, EVAL_BATCH, pool::effective_threads(), |chunk| {
+        let (profile, stats, users, y) = gather_batch(data, chunk);
+        let scores = predict(&profile, &stats, &users);
+        let labels: Vec<bool> = y.as_slice().iter().map(|&v| v > 0.5).collect();
+        (scores, labels)
+    });
     let mut scores = Vec::with_capacity(rows.len());
     let mut labels = Vec::with_capacity(rows.len());
-    for chunk in rows.chunks(EVAL_BATCH) {
-        let (profile, stats, users, y) = gather_batch(data, chunk);
-        scores.extend(predict(&profile, &stats, &users));
-        labels.extend(y.as_slice().iter().map(|&v| v > 0.5));
+    for (s, l) in per_chunk {
+        scores.extend(s);
+        labels.extend(l);
     }
     atnn_metrics::auc(&scores, &labels)
 }
@@ -278,8 +299,11 @@ mod tests {
         let split = Split::by_group(&item_keys, |item| item >= 240);
         let mut model = Atnn::new(AtnnConfig::scaled(), &data);
         let before = evaluate_auc_full(&model, &data, &split.test).unwrap();
-        let report = CtrTrainer::new(TrainOptions { epochs: 2, ..Default::default() })
-            .train(&mut model, &data, Some(&split.train));
+        let report = CtrTrainer::new(TrainOptions { epochs: 2, ..Default::default() }).train(
+            &mut model,
+            &data,
+            Some(&split.train),
+        );
         let after = evaluate_auc_full(&model, &data, &split.test).unwrap();
         assert!(after > before.max(0.55), "AUC {before} -> {after}");
         // Losses decline across epochs.
@@ -292,8 +316,11 @@ mod tests {
         let item_keys: Vec<u32> = data.interactions.iter().map(|i| i.item).collect();
         let split = Split::by_group(&item_keys, |item| item >= 240);
         let mut model = Atnn::new(AtnnConfig::scaled(), &data);
-        CtrTrainer::new(TrainOptions { epochs: 2, ..Default::default() })
-            .train(&mut model, &data, Some(&split.train));
+        CtrTrainer::new(TrainOptions { epochs: 2, ..Default::default() }).train(
+            &mut model,
+            &data,
+            Some(&split.train),
+        );
         let gen_auc = evaluate_auc_generated(&model, &data, &split.test).unwrap();
         assert!(gen_auc > 0.55, "cold-start AUC {gen_auc}");
     }
@@ -316,11 +343,7 @@ mod tests {
         let item_keys: Vec<u32> = data.interactions.iter().map(|i| i.item).collect();
         let split = Split::by_group(&item_keys, |item| item >= 240);
         let mut model = Atnn::new(AtnnConfig::scaled(), &data);
-        let opts = TrainOptions {
-            epochs: 3,
-            negative_keep_rate: Some(0.4),
-            ..Default::default()
-        };
+        let opts = TrainOptions { epochs: 3, negative_keep_rate: Some(0.4), ..Default::default() };
         CtrTrainer::new(opts).train(&mut model, &data, Some(&split.train));
         let auc = evaluate_auc_full(&model, &data, &split.test).unwrap();
         assert!(auc > 0.62, "downsampled training must still rank: {auc:.4}");

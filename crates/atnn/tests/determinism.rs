@@ -1,0 +1,43 @@
+//! Regression test for the threading/determinism contract (see README
+//! "Threading & determinism"): because every parallel kernel is
+//! bit-identical to its serial counterpart and chunk placement is a pure
+//! function of input sizes, training is bit-deterministic across pool
+//! widths. `ATNN_THREADS` is read once per process, so the test pins the
+//! width per run with `pool::with_threads` — the same override the env
+//! var feeds.
+
+use atnn_core::{evaluate_auc_full, Atnn, AtnnConfig, CtrTrainer, TrainOptions};
+use atnn_data::tmall::{TmallConfig, TmallDataset};
+use atnn_tensor::pool;
+
+fn train_once(threads: usize) -> (bytes::Bytes, f64) {
+    pool::with_threads(threads, || {
+        let data = TmallDataset::generate(TmallConfig::tiny());
+        let mut model = Atnn::new(AtnnConfig::scaled(), &data);
+        let opts = TrainOptions { epochs: 2, ..Default::default() };
+        CtrTrainer::new(opts).train(&mut model, &data, None);
+        let rows: Vec<u32> = (0..data.interactions.len() as u32).collect();
+        let auc = evaluate_auc_full(&model, &data, &rows).expect("AUC defined");
+        (model.save(), auc)
+    })
+}
+
+#[test]
+fn training_is_bit_identical_across_pool_widths() {
+    let (weights_serial, auc_serial) = train_once(1);
+    for threads in [4usize, 7] {
+        let (weights_par, auc_par) = train_once(threads);
+        assert_eq!(
+            weights_par, weights_serial,
+            "final weights must be bit-identical at {threads} threads vs serial"
+        );
+        assert_eq!(auc_par, auc_serial, "evaluation must match at {threads} threads");
+    }
+}
+
+#[test]
+fn repeated_runs_at_same_width_are_bit_identical() {
+    let (a, _) = train_once(4);
+    let (b, _) = train_once(4);
+    assert_eq!(a, b, "same width twice must reproduce exactly");
+}

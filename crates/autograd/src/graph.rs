@@ -16,7 +16,10 @@ enum Op {
     /// Leaf backed by a parameter slot; gradients flow into the store.
     Param(ParamId),
     /// Sparse row lookup into a parameter (embedding tables).
-    Gather { param: ParamId, indices: Vec<u32> },
+    Gather {
+        param: ParamId,
+        indices: Vec<u32>,
+    },
     MatMul(Var, Var),
     Add(Var, Var),
     Sub(Var, Var),
@@ -38,8 +41,14 @@ enum Op {
     MulMask(Var, Matrix),
     Mean(Var),
     Sum(Var),
-    MseLoss { pred: Var, target: Matrix },
-    BceWithLogits { logits: Var, targets: Matrix },
+    MseLoss {
+        pred: Var,
+        target: Matrix,
+    },
+    BceWithLogits {
+        logits: Var,
+        targets: Matrix,
+    },
     // The parent is deliberately not visited in backward; kept for Debug.
     Detach(#[allow(dead_code)] Var),
 }
@@ -280,8 +289,7 @@ impl Graph {
     /// Elementwise multiply by a fixed (gradient-free) mask. With an
     /// inverted-dropout mask (`0` or `1/keep_prob`) this is dropout.
     pub fn mul_mask(&mut self, x: Var, mask: &Matrix) -> Var {
-        let value =
-            self.val(x).hadamard(mask).unwrap_or_else(|e| panic!("mul_mask: {e}"));
+        let value = self.val(x).hadamard(mask).unwrap_or_else(|e| panic!("mul_mask: {e}"));
         self.push(Op::MulMask(x, mask.clone()), value)
     }
 
@@ -342,10 +350,7 @@ impl Graph {
             .map(|(&z, &y)| z.max(0.0) - y * z + (1.0 + (-z.abs()).exp()).ln())
             .sum::<f32>()
             / n;
-        self.push(
-            Op::BceWithLogits { logits, targets: targets.clone() },
-            Matrix::full(1, 1, loss),
-        )
+        self.push(Op::BceWithLogits { logits, targets: targets.clone() }, Matrix::full(1, 1, loss))
     }
 
     // ------------------------------------------------------------------
@@ -372,10 +377,7 @@ impl Graph {
             match &node.op {
                 Op::Input => {}
                 Op::Param(pid) => {
-                    store
-                        .grad_mut(*pid)
-                        .add_assign_scaled(&g, 1.0)
-                        .expect("param grad shape");
+                    store.grad_mut(*pid).add_assign_scaled(&g, 1.0).expect("param grad shape");
                 }
                 Op::Gather { param, indices } => {
                     let table = store.grad_mut(*param);
@@ -556,9 +558,9 @@ impl Graph {
 
 fn accumulate(grads: &mut [Option<Matrix>], var: Var, delta: Matrix) {
     match &mut grads[var.0] {
-        Some(existing) => existing
-            .add_assign_scaled(&delta, 1.0)
-            .expect("gradient accumulation shape mismatch"),
+        Some(existing) => {
+            existing.add_assign_scaled(&delta, 1.0).expect("gradient accumulation shape mismatch")
+        }
         slot @ None => *slot = Some(delta),
     }
 }
@@ -574,7 +576,9 @@ mod tests {
         let ids = shapes
             .iter()
             .enumerate()
-            .map(|(i, &(r, c))| store.add(format!("p{i}"), Init::Normal(0.5).sample(r, c, &mut rng)))
+            .map(|(i, &(r, c))| {
+                store.add(format!("p{i}"), Init::Normal(0.5).sample(r, c, &mut rng))
+            })
             .collect();
         (store, ids)
     }

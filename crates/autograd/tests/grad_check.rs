@@ -12,19 +12,13 @@ fn setup(shapes: &[(usize, usize)], seed: u64) -> (ParamStore, Vec<atnn_autograd
     let ids = shapes
         .iter()
         .enumerate()
-        .map(|(i, &(r, c))| {
-            store.add(format!("p{i}"), Init::Normal(0.6).sample(r, c, &mut rng))
-        })
+        .map(|(i, &(r, c))| store.add(format!("p{i}"), Init::Normal(0.6).sample(r, c, &mut rng)))
         .collect();
     (store, ids)
 }
 
 /// Shorthand: check one two-parameter op composed with `sum` as the loss.
-fn check_binary(
-    shapes: [(usize, usize); 2],
-    seed: u64,
-    op: impl Fn(&mut Graph, Var, Var) -> Var,
-) {
+fn check_binary(shapes: [(usize, usize); 2], seed: u64, op: impl Fn(&mut Graph, Var, Var) -> Var) {
     let (mut store, ids) = setup(&shapes, seed);
     let (a, b) = (ids[0], ids[1]);
     check_gradients(&mut store, &[a, b], 2e-2, |g, s| {

@@ -22,13 +22,26 @@ pub struct FmConfig {
     pub learning_rate: f32,
     /// L2 regularization on all parameters.
     pub l2: f32,
+    /// Per-coordinate gradient clip. The second-order term gives SGD a
+    /// positive feedback loop (larger `v` → larger `Σ v x` → larger
+    /// gradient on `v`) that can run away to NaN on dense many-column
+    /// inputs; clipping bounds each step without affecting well-behaved
+    /// runs, whose gradients sit orders of magnitude below the bound.
+    pub grad_clip: f32,
     /// Init/shuffle seed.
     pub seed: u64,
 }
 
 impl Default for FmConfig {
     fn default() -> Self {
-        FmConfig { factors: 8, epochs: 20, learning_rate: 0.05, l2: 1e-4, seed: 37 }
+        FmConfig {
+            factors: 8,
+            epochs: 20,
+            learning_rate: 0.05,
+            l2: 1e-4,
+            grad_clip: 10.0,
+            seed: 37,
+        }
     }
 }
 
@@ -50,6 +63,7 @@ impl FactorizationMachine {
         assert!(x.rows() > 0, "FactorizationMachine::fit on empty data");
         assert_eq!(x.rows(), y.len(), "feature/label mismatch");
         assert!(cfg.factors > 0, "need at least one factor");
+        assert!(cfg.grad_clip > 0.0, "grad_clip must be positive");
         let d = x.cols();
         let mut rng = Rng64::seed_from_u64(cfg.seed);
         let mut model = FactorizationMachine {
@@ -67,15 +81,17 @@ impl FactorizationMachine {
                 let z = model.raw_score(row, &mut sum_f);
                 let err = sigmoid(z) - y[i as usize];
                 let lr = cfg.learning_rate;
+                let clip = cfg.grad_clip;
                 model.w0 -= lr * err;
                 for (j, &xv) in row.iter().enumerate() {
                     if xv == 0.0 {
                         continue;
                     }
-                    model.w[j] -= lr * (err * xv + cfg.l2 * model.w[j]);
+                    let gw = (err * xv + cfg.l2 * model.w[j]).clamp(-clip, clip);
+                    model.w[j] -= lr * gw;
                     for (f, &sf) in sum_f.iter().enumerate() {
                         let vjf = model.v.get(j, f);
-                        let grad = err * xv * (sf - vjf * xv) + cfg.l2 * vjf;
+                        let grad = (err * xv * (sf - vjf * xv) + cfg.l2 * vjf).clamp(-clip, clip);
                         model.v.set(j, f, vjf - lr * grad);
                     }
                 }
@@ -134,8 +150,7 @@ mod tests {
     }
 
     fn accuracy(pred: &[f32], y: &[f32]) -> f32 {
-        pred.iter().zip(y).filter(|(&p, &t)| (p > 0.5) == (t > 0.5)).count() as f32
-            / y.len() as f32
+        pred.iter().zip(y).filter(|(&p, &t)| (p > 0.5) == (t > 0.5)).count() as f32 / y.len() as f32
     }
 
     #[test]

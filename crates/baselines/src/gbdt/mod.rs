@@ -183,8 +183,7 @@ impl Gbdt {
 
         for _ in 0..config.num_trees {
             let mut loss_acc = 0.0f64;
-            for (((&margin, &target), g), h) in
-                margins.iter().zip(y).zip(&mut grad).zip(&mut hess)
+            for (((&margin, &target), g), h) in margins.iter().zip(y).zip(&mut grad).zip(&mut hess)
             {
                 match config.objective {
                     Objective::Logistic => {
@@ -310,11 +309,7 @@ mod tests {
         let (x, y) = xor_data(600);
         let model = Gbdt::fit(GbdtConfig { num_trees: 40, ..Default::default() }, &x, &y);
         let preds = model.predict(&x);
-        let acc = preds
-            .iter()
-            .zip(&y)
-            .filter(|(&p, &t)| (p > 0.5) == (t > 0.5))
-            .count() as f32
+        let acc = preds.iter().zip(&y).filter(|(&p, &t)| (p > 0.5) == (t > 0.5)).count() as f32
             / y.len() as f32;
         assert!(acc > 0.95, "XOR accuracy {acc}");
     }
@@ -340,8 +335,7 @@ mod tests {
         let mut rng = Rng64::seed_from_u64(5);
         let n = 800;
         let x = Matrix::from_fn(n, 2, |_, _| rng.uniform_in(-2.0, 2.0));
-        let y: Vec<f32> =
-            (0..n).map(|i| x.get(i, 0) * x.get(i, 0) + 0.5 * x.get(i, 1)).collect();
+        let y: Vec<f32> = (0..n).map(|i| x.get(i, 0) * x.get(i, 0) + 0.5 * x.get(i, 1)).collect();
         let cfg = GbdtConfig {
             objective: Objective::SquaredError,
             num_trees: 80,
@@ -398,9 +392,14 @@ mod tests {
 
     #[test]
     fn early_stopping_truncates_overfit_ensembles() {
-        // Tiny training set + many deep trees = guaranteed overfit; a
-        // validation set must cut the ensemble short.
-        let (x, y) = xor_data(60);
+        // Tiny training set with label noise + many deep trees =
+        // guaranteed overfit; a validation set must cut the ensemble
+        // short. The noise is deterministic (every 4th label flipped) so
+        // overfitting does not depend on any particular RNG stream.
+        let (x, mut y) = xor_data(60);
+        for t in y.iter_mut().step_by(4) {
+            *t = 1.0 - *t;
+        }
         let (xv, yv) = {
             let (x, y) = xor_data(400);
             // Use the tail as a disjoint validation slice.
@@ -445,14 +444,8 @@ mod tests {
     #[should_panic(expected = "empty validation set")]
     fn early_stopping_rejects_empty_validation() {
         let (x, y) = xor_data(20);
-        let _ = Gbdt::fit_with_validation(
-            GbdtConfig::default(),
-            &x,
-            &y,
-            &Matrix::zeros(0, 3),
-            &[],
-            3,
-        );
+        let _ =
+            Gbdt::fit_with_validation(GbdtConfig::default(), &x, &y, &Matrix::zeros(0, 3), &[], 3);
     }
 
     #[test]

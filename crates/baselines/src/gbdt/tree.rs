@@ -130,13 +130,7 @@ impl TreeGrower<'_> {
         slot as u32
     }
 
-    fn best_split(
-        &self,
-        rows: &[u32],
-        cols: &[u32],
-        g_sum: f64,
-        h_sum: f64,
-    ) -> Option<BestSplit> {
+    fn best_split(&self, rows: &[u32], cols: &[u32], g_sum: f64, h_sum: f64) -> Option<BestSplit> {
         let lambda = self.lambda as f64;
         let parent_score = g_sum * g_sum / (h_sum + lambda);
         let mut best: Option<BestSplit> = None;
@@ -165,16 +159,11 @@ impl TreeGrower<'_> {
                     break; // hl only grows; right side can't recover
                 }
                 let gr = g_sum - gl;
-                let gain =
-                    0.5 * (gl * gl / (hl + lambda) + gr * gr / (hr + lambda) - parent_score);
-                if gain > self.min_gain as f64
-                    && best.as_ref().is_none_or(|b| gain > b.gain as f64)
+                let gain = 0.5 * (gl * gl / (hl + lambda) + gr * gr / (hr + lambda) - parent_score);
+                if gain > self.min_gain as f64 && best.as_ref().is_none_or(|b| gain > b.gain as f64)
                 {
-                    best = Some(BestSplit {
-                        feature: f,
-                        threshold_bin: bin as u8,
-                        gain: gain as f32,
-                    });
+                    best =
+                        Some(BestSplit { feature: f, threshold_bin: bin as u8, gain: gain as f32 });
                 }
             }
         }

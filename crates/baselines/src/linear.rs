@@ -213,15 +213,13 @@ mod tests {
     fn linear_data(n: usize, seed: u64) -> (Matrix, Vec<f32>) {
         let mut rng = Rng64::seed_from_u64(seed);
         let x = Matrix::from_fn(n, 3, |_, _| rng.normal());
-        let y = (0..n)
-            .map(|i| if x.get(i, 0) + 2.0 * x.get(i, 1) > 0.0 { 1.0 } else { 0.0 })
-            .collect();
+        let y =
+            (0..n).map(|i| if x.get(i, 0) + 2.0 * x.get(i, 1) > 0.0 { 1.0 } else { 0.0 }).collect();
         (x, y)
     }
 
     fn accuracy(pred: &[f32], y: &[f32]) -> f32 {
-        pred.iter().zip(y).filter(|(&p, &t)| (p > 0.5) == (t > 0.5)).count() as f32
-            / y.len() as f32
+        pred.iter().zip(y).filter(|(&p, &t)| (p > 0.5) == (t > 0.5)).count() as f32 / y.len() as f32
     }
 
     #[test]
@@ -259,9 +257,8 @@ mod tests {
         let mut rng = Rng64::seed_from_u64(3);
         let n = 800;
         let x = Matrix::from_fn(n, 10, |_, _| rng.normal());
-        let y: Vec<f32> = (0..n)
-            .map(|i| if x.get(i, 0) + 2.0 * x.get(i, 1) > 0.0 { 1.0 } else { 0.0 })
-            .collect();
+        let y: Vec<f32> =
+            (0..n).map(|i| if x.get(i, 0) + 2.0 * x.get(i, 1) > 0.0 { 1.0 } else { 0.0 }).collect();
         // Noise coordinates accumulate |z| ~ sqrt(n)·|g| ≈ 7 by random walk
         // while signal coordinates grow linearly (~80): λ₁ = 20 separates.
         let model = Ftrl::fit(FtrlConfig { l1: 20.0, epochs: 1, ..Default::default() }, &x, &y);

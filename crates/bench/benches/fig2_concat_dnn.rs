@@ -17,9 +17,7 @@ fn bench_concat_dnn(c: &mut Criterion) {
     group.bench_function("train_step_256", |b| {
         b.iter(|| model.train_step(&profile, &stats, &users, &labels))
     });
-    group.bench_function("predict_256", |b| {
-        b.iter(|| model.predict(&profile, &stats, &users))
-    });
+    group.bench_function("predict_256", |b| b.iter(|| model.predict(&profile, &stats, &users)));
     group.finish();
 }
 

@@ -16,9 +16,8 @@ fn bench_two_tower(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig3_two_tower");
     group.sample_size(20);
     group.throughput(Throughput::Elements(rows.len() as u64));
-    group.bench_function("item_tower_256", |b| {
-        b.iter(|| model.item_vectors_full(&profile, &stats))
-    });
+    group
+        .bench_function("item_tower_256", |b| b.iter(|| model.item_vectors_full(&profile, &stats)));
     group.bench_function("user_tower_256", |b| b.iter(|| model.user_vectors(&users)));
     group.bench_function("full_pairwise_ctr_256", |b| {
         b.iter(|| model.predict_ctr_full(&profile, &stats, &users))

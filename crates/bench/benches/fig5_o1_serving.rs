@@ -40,21 +40,15 @@ fn bench_serving(c: &mut Criterion) {
     for &n_users in &[200usize, 800, 3_200] {
         let user_group: Vec<u32> = (0..n_users as u32).collect();
         // O(N_users) reference: the Cartesian scoring the paper replaces.
-        group.bench_with_input(
-            BenchmarkId::new("pairwise", n_users),
-            &n_users,
-            |b, _| {
-                b.iter(|| pairwise_popularity(&s.model, &s.data, &s.items, &user_group))
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("pairwise", n_users), &n_users, |b, _| {
+            b.iter(|| pairwise_popularity(&s.model, &s.data, &s.items, &user_group))
+        });
         // O(1) path: the index is built once at "training time"; serving
         // touches only the stored mean vector.
         let index = PopularityIndex::build(&s.model, &s.data, &user_group);
-        group.bench_with_input(
-            BenchmarkId::new("mean_vector", n_users),
-            &n_users,
-            |b, _| b.iter(|| index.score_new_arrivals(&s.model, &s.data, &s.items)),
-        );
+        group.bench_with_input(BenchmarkId::new("mean_vector", n_users), &n_users, |b, _| {
+            b.iter(|| index.score_new_arrivals(&s.model, &s.data, &s.items))
+        });
     }
     group.finish();
 

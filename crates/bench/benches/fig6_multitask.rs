@@ -15,12 +15,8 @@ fn bench_multitask(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6_multitask");
     group.sample_size(20);
     group.throughput(Throughput::Elements(batch.len() as u64));
-    group.bench_function("train_step_128", |b| {
-        b.iter(|| model.train_step(&data, &batch, &opts))
-    });
-    group.bench_function("predict_cold_128", |b| {
-        b.iter(|| model.predict_cold(&data, &batch))
-    });
+    group.bench_function("train_step_128", |b| b.iter(|| model.train_step(&data, &batch, &opts)));
+    group.bench_function("predict_cold_128", |b| b.iter(|| model.predict_cold(&data, &batch)));
     group.finish();
 }
 

@@ -3,7 +3,9 @@
 
 use atnn_autograd::{Graph, ParamStore};
 use atnn_baselines::gbdt::binning::BinMapper;
-use atnn_tensor::{Init, Matrix, Rng64};
+use atnn_core::{Atnn, AtnnConfig, CtrTrainer, TrainOptions};
+use atnn_data::tmall::{TmallConfig, TmallDataset};
+use atnn_tensor::{pool, Init, Matrix, Rng64};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn bench_matmul(c: &mut Criterion) {
@@ -39,6 +41,50 @@ fn bench_matmul_blocked(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_matmul_parallel(c: &mut Criterion) {
+    // Serial vs row-sharded parallel dispatch at pool widths 1/2/4.
+    // `with_threads` pins the advertised width, the same override
+    // `ATNN_THREADS` feeds; the kernels are bit-identical either way, so
+    // this measures scheduling overhead + whatever real parallelism the
+    // host offers. On a single-CPU host widths >1 cannot beat width 1 —
+    // the interesting number there is how small the overhead stays.
+    let mut rng = Rng64::seed_from_u64(7);
+    let mut group = c.benchmark_group("matmul_parallel");
+    for &n in &[256usize, 512, 1024] {
+        let a = Init::Normal(1.0).sample(n, n, &mut rng);
+        let b = Init::Normal(1.0).sample(n, n, &mut rng);
+        group.sample_size(if n >= 1024 { 10 } else { 20 });
+        group.throughput(Throughput::Elements((n * n * n) as u64));
+        for &threads in &[1usize, 2, 4] {
+            group.bench_with_input(BenchmarkId::new(format!("t{threads}"), n), &n, |bench, _| {
+                bench.iter(|| pool::with_threads(threads, || a.matmul(&b)).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_train_epoch(c: &mut Criterion) {
+    // End-to-end CTR training epoch (tiny Tmall draw) at pool widths 1
+    // and 4: exercises the parallel gather, the forward/backward matmuls
+    // through linear/mlp, and adversarial steps together.
+    let data = TmallDataset::generate(TmallConfig::tiny());
+    let mut group = c.benchmark_group("train_epoch_tiny");
+    group.sample_size(10);
+    for &threads in &[1usize, 4] {
+        group.bench_function(format!("t{threads}"), |bench| {
+            bench.iter(|| {
+                pool::with_threads(threads, || {
+                    let mut model = Atnn::new(AtnnConfig::scaled(), &data);
+                    CtrTrainer::new(TrainOptions { epochs: 1, ..Default::default() })
+                        .train(&mut model, &data, None)
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_gather(c: &mut Criterion) {
     let mut rng = Rng64::seed_from_u64(2);
     let mut store = ParamStore::new();
@@ -63,6 +109,7 @@ fn bench_binning(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_matmul, bench_matmul_blocked, bench_gather, bench_binning
+    targets = bench_matmul, bench_matmul_blocked, bench_matmul_parallel, bench_train_epoch,
+        bench_gather, bench_binning
 }
 criterion_main!(benches);

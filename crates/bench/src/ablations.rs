@@ -111,12 +111,9 @@ pub fn user_grouping(scale: Scale) -> Vec<Measurement> {
         .map(|k| {
             let idx = GroupedPopularityIndex::build(&model, &setup.data, &group, k, &mut rng);
             let scores = idx.score_new_arrivals(&model, &setup.data, &setup.new_arrivals);
-            let mad = scores
-                .iter()
-                .zip(&reference)
-                .map(|(&a, &b)| (a - b).abs() as f64)
-                .sum::<f64>()
-                / reference.len() as f64;
+            let mad =
+                scores.iter().zip(&reference).map(|(&a, &b)| (a - b).abs() as f64).sum::<f64>()
+                    / reference.len() as f64;
             Measurement { label: format!("k={k} (MAD vs pairwise)"), value: mad }
         })
         .collect()
@@ -139,8 +136,7 @@ pub fn id_embeddings(scale: Scale) -> Vec<Measurement> {
         let n_items = data.num_items() as u32;
         let threshold = n_items - n_items / 5;
         let item_keys: Vec<u32> = data.interactions.iter().map(|i| i.item).collect();
-        let split =
-            atnn_data::dataset::Split::by_group(&item_keys, |item| item >= threshold);
+        let split = atnn_data::dataset::Split::by_group(&item_keys, |item| item >= threshold);
         // Carve a warm-pair validation slice out of the warm interactions.
         let holdout = split.train.len() / 10;
         let (warm_eval, train) = split.train.split_at(holdout);
@@ -217,10 +213,7 @@ mod tests {
         let get = |label: &str| m.iter().find(|x| x.label == label).unwrap().value;
         // Cold-start scoring goes through the generator, which never sees
         // ids: enabling them must not collapse it.
-        assert!(
-            (get("ids=on cold") - get("ids=off cold")).abs() < 0.08,
-            "{m:?}"
-        );
+        assert!((get("ids=on cold") - get("ids=off cold")).abs() < 0.08, "{m:?}");
         for x in &m {
             assert!(x.value > 0.5, "{x:?}");
         }
@@ -230,10 +223,7 @@ mod tests {
     fn grouping_error_shrinks_with_k() {
         let m = user_grouping(Scale::Tiny);
         assert_eq!(m.len(), 4);
-        assert!(
-            m[3].value < m[0].value,
-            "k=64 must track pairwise better than k=1: {m:?}"
-        );
+        assert!(m[3].value < m[0].value, "k=64 must track pairwise better than k=1: {m:?}");
     }
 
     #[test]

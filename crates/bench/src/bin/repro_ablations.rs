@@ -28,7 +28,11 @@ fn main() {
 
     eprintln!("running ablations ({which}) at {scale:?} scale...");
     if which == "all" || which == "shared-embeddings" {
-        print_measurements("A1 — shared embeddings", "Cold-start AUC", &ablations::shared_embeddings(scale));
+        print_measurements(
+            "A1 — shared embeddings",
+            "Cold-start AUC",
+            &ablations::shared_embeddings(scale),
+        );
     }
     if which == "all" || which == "lambda" {
         print_measurements("A2 — lambda sweep", "Cold-start AUC", &ablations::lambda_sweep(scale));
@@ -37,7 +41,11 @@ fn main() {
         print_measurements("A3 — cross depth", "Cold-start AUC", &ablations::cross_depth(scale));
     }
     if which == "all" || which == "adv-mode" {
-        print_measurements("A4 — adversarial mode", "Cold-start AUC", &ablations::adversarial_mode(scale));
+        print_measurements(
+            "A4 — adversarial mode",
+            "Cold-start AUC",
+            &ablations::adversarial_mode(scale),
+        );
     }
     if which == "all" || which == "mean-vector-fidelity" {
         let (rho, ndcg) = ablations::mean_vector_fidelity(scale);

@@ -28,14 +28,16 @@ fn main() {
         index.score_new_arrivals(&model, &setup.data, pool)
     });
     let expert_policy = ExpertPolicy::default();
-    let expert = simulate_ecosystem(&setup.data, &cfg, |pool| {
-        expert_policy.score(&setup.data, pool)
-    });
+    let expert =
+        simulate_ecosystem(&setup.data, &cfg, |pool| expert_policy.score(&setup.data, pool));
     let mut rng = Rng64::seed_from_u64(404);
     let random =
         simulate_ecosystem(&setup.data, &cfg, |pool| pool.iter().map(|_| rng.uniform()).collect());
 
-    println!("Figure 1 — tripartite win-win over {} feedback rounds (scale {scale:?})\n", cfg.rounds);
+    println!(
+        "Figure 1 — tripartite win-win over {} feedback rounds (scale {scale:?})\n",
+        cfg.rounds
+    );
     let row = |name: &str, o: &EcosystemOutcome| {
         vec![
             name.to_string(),
@@ -51,5 +53,8 @@ fn main() {
             &[row("random", &random), row("expert", &expert), row("ATNN", &atnn)],
         )
     );
-    println!("\nper-round GMV (ATNN): {:?}", atnn.rounds.iter().map(|r| r.promoted_gmv.round()).collect::<Vec<_>>());
+    println!(
+        "\nper-round GMV (ATNN): {:?}",
+        atnn.rounds.iter().map(|r| r.promoted_gmv.round()).collect::<Vec<_>>()
+    );
 }

@@ -20,8 +20,5 @@ fn main() {
     let v = variance::run(scale, seeds);
     println!("Table I across {seeds} seeds (mean ± sample std), scale {scale:?}\n");
     print!("{}", variance::render(&v));
-    println!(
-        "\nATNN best cold-start model in every draw: {}",
-        v.atnn_always_best_cold()
-    );
+    println!("\nATNN best cold-start model in every draw: {}", v.atnn_always_best_cold());
 }

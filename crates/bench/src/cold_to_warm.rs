@@ -43,10 +43,7 @@ impl ColdToWarm {
     /// First window at which the encoder path matches or beats the
     /// generator, if any.
     pub fn crossover_day(&self) -> Option<usize> {
-        self.windows
-            .iter()
-            .find(|w| w.encoder_auc >= w.generator_auc)
-            .map(|w| w.days)
+        self.windows.iter().find(|w| w.encoder_auc >= w.generator_auc).map(|w| w.days)
     }
 }
 
@@ -58,8 +55,7 @@ pub fn run(scale: Scale) -> ColdToWarm {
         evaluate_auc_generated(&model, &setup.data, &setup.split.test).expect("AUC defined");
 
     // Launch every new arrival once; windows share the telemetry.
-    let outcomes =
-        simulate_launch(&setup.data, &setup.new_arrivals, &MarketConfig::default());
+    let outcomes = simulate_launch(&setup.data, &setup.new_arrivals, &MarketConfig::default());
     let first_new = setup.new_arrivals[0];
 
     let windows = [0usize, 1, 3, 7, 14, 30]
@@ -118,8 +114,7 @@ pub fn render(t: &ColdToWarm) -> String {
                 format!("{} days", w.days),
                 crate::fmt::f4(w.encoder_auc),
                 crate::fmt::f4(w.generator_auc),
-                if w.encoder_auc >= w.generator_auc { "encoder" } else { "generator" }
-                    .to_string(),
+                if w.encoder_auc >= w.generator_auc { "encoder" } else { "generator" }.to_string(),
             ]
         })
         .collect();

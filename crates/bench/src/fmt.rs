@@ -53,10 +53,7 @@ mod tests {
     fn table_is_aligned() {
         let t = render_table(
             &["Model", "AUC"],
-            &[
-                vec!["GBDT".into(), "0.6149".into()],
-                vec!["ATNN".into(), "0.7121".into()],
-            ],
+            &[vec!["GBDT".into(), "0.6149".into()], vec!["ATNN".into(), "0.7121".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -14,12 +14,12 @@ pub mod ablations;
 pub mod cold_to_warm;
 pub mod fmt;
 pub mod pipeline;
-pub mod variance;
 pub mod table1;
 pub mod table2;
 pub mod table3;
 pub mod table4;
 pub mod table5;
+pub mod variance;
 
 /// Experiment scale preset.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

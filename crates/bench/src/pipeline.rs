@@ -110,10 +110,8 @@ pub fn gbdt_features(
         &tabular::hstack(&tabular::flatten(&profile.categorical, &profile.numeric), &stats_numeric),
         &tabular::flatten(&user.categorical, &user.numeric),
     );
-    let y: Vec<f32> = rows
-        .iter()
-        .map(|&r| data.interactions[r as usize].clicked as u8 as f32)
-        .collect();
+    let y: Vec<f32> =
+        rows.iter().map(|&r| data.interactions[r as usize].clicked as u8 as f32).collect();
     (x, y)
 }
 

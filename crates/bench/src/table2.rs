@@ -14,8 +14,7 @@ use crate::Scale;
 
 /// Column order of the outcome matrix (matching the paper's header).
 pub const METRICS: [&str; 9] = [
-    "7d IPV", "14d IPV", "30d IPV", "7d AtF", "14d AtF", "30d AtF", "7d GMV", "14d GMV",
-    "30d GMV",
+    "7d IPV", "14d IPV", "30d IPV", "7d AtF", "14d AtF", "30d AtF", "7d GMV", "14d GMV", "30d GMV",
 ];
 
 /// The quintile lift result.
@@ -38,8 +37,7 @@ pub fn run(scale: Scale) -> Table2 {
     let scores = index.score_new_arrivals(&model, &setup.data, &setup.new_arrivals);
 
     // Launch every new arrival and collect telemetry.
-    let outcomes =
-        simulate_launch(&setup.data, &setup.new_arrivals, &MarketConfig::default());
+    let outcomes = simulate_launch(&setup.data, &setup.new_arrivals, &MarketConfig::default());
     let rows: Vec<Vec<f64>> = outcomes
         .iter()
         .map(|o| {

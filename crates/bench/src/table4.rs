@@ -63,11 +63,7 @@ pub fn render(t: &Table4) -> String {
     crate::fmt::render_table(
         &["Model", "VpPV (MAE)", "GMV (MAE)"],
         &[
-            vec![
-                "TNN-DCN".into(),
-                format!("{:.4}", t.tnn_dcn.0),
-                format!("{:.3}", t.tnn_dcn.1),
-            ],
+            vec!["TNN-DCN".into(), format!("{:.4}", t.tnn_dcn.0), format!("{:.3}", t.tnn_dcn.1)],
             vec!["ATNN".into(), format!("{:.4}", t.atnn.0), format!("{:.3}", t.atnn.1)],
             vec![
                 "Improvement".into(),

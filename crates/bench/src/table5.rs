@@ -80,8 +80,7 @@ pub fn run(scale: Scale) -> Table5 {
     let standardize = |v: &[f32]| -> Vec<f32> {
         let n = v.len() as f32;
         let mean = v.iter().sum::<f32>() / n;
-        let std =
-            (v.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / n).sqrt().max(1e-6);
+        let std = (v.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / n).sqrt().max(1e-6);
         v.iter().map(|&x| (x - mean) / std).collect()
     };
     let zv = standardize(&vppv_pred);

@@ -59,8 +59,7 @@ impl VarianceReport {
 /// Runs Table I for `num_seeds` independent seeds and aggregates.
 pub fn run(scale: Scale, num_seeds: usize) -> VarianceReport {
     assert!(num_seeds > 0, "need at least one seed");
-    let runs: Vec<Table1> =
-        (0..num_seeds as u64).map(|s| table1::run_seeded(scale, s)).collect();
+    let runs: Vec<Table1> = (0..num_seeds as u64).map(|s| table1::run_seeded(scale, s)).collect();
     let models: Vec<String> = runs[0].rows.iter().map(|r| r.model.clone()).collect();
     let collect = |f: &dyn Fn(&table1::Row) -> f64| -> Vec<CellStats> {
         models
@@ -97,10 +96,7 @@ pub fn render(v: &VarianceReport) -> String {
             ]
         })
         .collect();
-    crate::fmt::render_table(
-        &["Model", "AUC profile-only", "AUC complete", "Degradation"],
-        &rows,
-    )
+    crate::fmt::render_table(&["Model", "AUC profile-only", "AUC complete", "Degradation"], &rows)
 }
 
 #[cfg(test)]

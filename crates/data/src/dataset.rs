@@ -18,10 +18,7 @@ impl Split {
     /// # Panics
     /// Panics unless `0.0 < test_fraction < 1.0`.
     pub fn random(n: usize, test_fraction: f64, rng: &mut Rng64) -> Self {
-        assert!(
-            test_fraction > 0.0 && test_fraction < 1.0,
-            "test_fraction must be in (0, 1)"
-        );
+        assert!(test_fraction > 0.0 && test_fraction < 1.0, "test_fraction must be in (0, 1)");
         let mut idx: Vec<u32> = (0..n as u32).collect();
         rng.shuffle(&mut idx);
         let n_test = ((n as f64) * test_fraction).round() as usize;
@@ -54,10 +51,7 @@ impl Split {
 /// Predictions from a model trained on the downsampled log are biased;
 /// correct them with [`recalibrate_probability`].
 pub fn downsample_negatives(labels: &[bool], keep_rate: f32, rng: &mut Rng64) -> Vec<u32> {
-    assert!(
-        (0.0..=1.0).contains(&keep_rate),
-        "keep_rate must be a probability"
-    );
+    assert!((0.0..=1.0).contains(&keep_rate), "keep_rate must be a probability");
     labels
         .iter()
         .enumerate()
@@ -180,10 +174,7 @@ mod tests {
         // Indices stay sorted (original order).
         assert!(kept.windows(2).all(|w| w[0] < w[1]));
         // Degenerate rates.
-        assert_eq!(
-            downsample_negatives(&labels, 1.0, &mut rng).len(),
-            labels.len()
-        );
+        assert_eq!(downsample_negatives(&labels, 1.0, &mut rng).len(), labels.len());
         let only_pos = downsample_negatives(&labels, 0.0, &mut rng);
         assert!(only_pos.iter().all(|&i| labels[i as usize]));
     }

@@ -29,13 +29,8 @@ const REST_NUM_FIELDS: usize = 24;
 const REST_STATS_FIELDS: usize = 8;
 const GROUP_NUM_FIELDS: usize = 12;
 
-const REST_CAT_VOCABS: [(&str, usize); REST_CAT_FIELDS] = [
-    ("brand", 300),
-    ("location_grid", 64),
-    ("cuisine", 24),
-    ("theme", 12),
-    ("price_tier", 8),
-];
+const REST_CAT_VOCABS: [(&str, usize); REST_CAT_FIELDS] =
+    [("brand", 300), ("location_grid", 64), ("cuisine", 24), ("theme", 12), ("price_tier", 8)];
 
 /// Simulator configuration.
 #[derive(Debug, Clone)]
@@ -144,8 +139,7 @@ impl ElemeDataset {
         let mut rng_rest = root.fork(3);
         let k = cfg.latent_dim;
 
-        let w_rest =
-            Matrix::from_fn(k + 1, REST_NUM_FIELDS, |_, _| rng_proj.normal_with(0.0, 1.0));
+        let w_rest = Matrix::from_fn(k + 1, REST_NUM_FIELDS, |_, _| rng_proj.normal_with(0.0, 1.0));
         let w_group = Matrix::from_fn(k, GROUP_NUM_FIELDS, |_, _| rng_proj.normal_with(0.0, 1.0));
 
         let groups: Vec<GroupRecord> = (0..cfg.num_groups)
@@ -154,8 +148,7 @@ impl ElemeDataset {
                 let traffic = rng_groups.normal_with(2.0, 0.5).exp();
                 let mut nums = vec![0.0f32; GROUP_NUM_FIELDS];
                 for (j, n) in nums.iter_mut().enumerate() {
-                    let proj: f32 =
-                        z.iter().enumerate().map(|(d, &v)| v * w_group.get(d, j)).sum();
+                    let proj: f32 = z.iter().enumerate().map(|(d, &v)| v * w_group.get(d, j)).sum();
                     // Group features are averages over many users: low noise.
                     *n = proj / (k as f32).sqrt() + rng_groups.normal_with(0.0, 0.1);
                 }
@@ -184,9 +177,9 @@ impl ElemeDataset {
 
         let affinity: f32 =
             z.iter().zip(&g.z).map(|(&a, &b)| a * b).sum::<f32>() / (k as f32).sqrt();
-        let vppv = softplus(
-            -0.8 + 0.5 * affinity + 0.8 * attractiveness + cfg.label_noise * rng.normal(),
-        ) * 0.4;
+        let vppv =
+            softplus(-0.8 + 0.5 * affinity + 0.8 * attractiveness + cfg.label_noise * rng.normal())
+                * 0.4;
         let gmv = vppv * g.traffic * (0.15 * rng.normal()).exp();
 
         let raw = [
@@ -403,9 +396,7 @@ mod tests {
         d.encode_restaurant_profiles(&ids)
             .validate(&ElemeDataset::restaurant_profile_schema())
             .unwrap();
-        d.encode_restaurant_stats(&ids)
-            .validate(&ElemeDataset::restaurant_stats_schema())
-            .unwrap();
+        d.encode_restaurant_stats(&ids).validate(&ElemeDataset::restaurant_stats_schema()).unwrap();
         d.encode_groups_of(&ids).validate(&ElemeDataset::group_schema()).unwrap();
     }
 

@@ -22,8 +22,8 @@
 //! (vocabularies and normalization), [`dataset`] (splits and mini-batching).
 
 pub mod dataset;
-pub mod encode;
 pub mod eleme;
+pub mod encode;
 pub mod io;
 pub mod market;
 pub mod schema;

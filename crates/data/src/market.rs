@@ -128,8 +128,7 @@ fn simulate_one(
     let mut cum_pv = 0u64;
     let mut cum_clicks = 0u64;
     for _ in 0..cfg.horizon_days {
-        let observed_ctr =
-            if cum_pv > 0 { cum_clicks as f32 / cum_pv as f32 } else { 0.0 };
+        let observed_ctr = if cum_pv > 0 { cum_clicks as f32 / cum_pv as f32 } else { 0.0 };
         let rate = cfg.base_daily_pv * (1.0 + cfg.momentum * observed_ctr);
         let pv = rng.poisson(rate);
         let clicks = binomial(rng, pv, pop);
@@ -137,13 +136,7 @@ fn simulate_one(
         let purchases = binomial(rng, clicks, cfg.purchase_rate);
         cum_pv += pv as u64;
         cum_clicks += clicks as u64;
-        days.push(DailyFunnel {
-            pv,
-            clicks,
-            favorites,
-            purchases,
-            gmv: purchases as f64 * price,
-        });
+        days.push(DailyFunnel { pv, clicks, favorites, purchases, gmv: purchases as f64 * price });
     }
     MarketOutcome { days }
 }
@@ -221,9 +214,7 @@ pub fn run_arm(
     assert_eq!(pool.len(), scores.len(), "run_arm: pool/scores mismatch");
     assert!(top_k > 0 && top_k <= pool.len(), "run_arm: bad top_k");
     let mut order: Vec<usize> = (0..pool.len()).collect();
-    order.sort_by(|&a, &b| {
-        scores[b].partial_cmp(&scores[a]).expect("NaN score").then(a.cmp(&b))
-    });
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("NaN score").then(a.cmp(&b)));
     let selected: Vec<u32> = order[..top_k].iter().map(|&i| pool[i]).collect();
     let outcomes = simulate_launch(data, &selected, cfg);
     let mut total_days = 0.0f64;
@@ -347,13 +338,12 @@ pub fn simulate_ecosystem(
         });
         let promoted: Vec<u32> = order[..k].iter().map(|&i| pool[i]).collect();
 
-        let market = MarketConfig { seed: cfg.market.seed ^ (round as u64 + 1), ..cfg.market.clone() };
+        let market =
+            MarketConfig { seed: cfg.market.seed ^ (round as u64 + 1), ..cfg.market.clone() };
         let outcomes = simulate_launch(data, &promoted, &market);
         let gmv: f64 = outcomes.iter().map(|o| o.gmv_at(market.horizon_days)).sum();
-        let clicks: u64 = outcomes
-            .iter()
-            .map(|o| o.days.iter().map(|d| d.clicks as u64).sum::<u64>())
-            .sum();
+        let clicks: u64 =
+            outcomes.iter().map(|o| o.days.iter().map(|d| d.clicks as u64).sum::<u64>()).sum();
         rounds.push(EcosystemRound { supply, promoted_gmv: gmv, promoted_clicks: clicks });
 
         // Seller response: supply grows with realized per-slot GMV.
@@ -481,9 +471,8 @@ mod tests {
             pool.iter().map(|&i| d.true_popularity(i)).collect()
         });
         let mut rng = Rng64::seed_from_u64(77);
-        let random = simulate_ecosystem(&d, &cfg, |pool| {
-            pool.iter().map(|_| rng.uniform()).collect()
-        });
+        let random =
+            simulate_ecosystem(&d, &cfg, |pool| pool.iter().map(|_| rng.uniform()).collect());
         assert!(
             oracle.total_gmv() > random.total_gmv() * 1.2,
             "GMV: oracle {:.0} vs random {:.0}",
@@ -507,9 +496,7 @@ mod tests {
         let d = data();
         let cfg = EcosystemConfig { rounds: 3, ..Default::default() };
         let run = |d: &TmallDataset| {
-            simulate_ecosystem(d, &cfg, |pool| {
-                pool.iter().map(|&i| d.true_popularity(i)).collect()
-            })
+            simulate_ecosystem(d, &cfg, |pool| pool.iter().map(|&i| d.true_popularity(i)).collect())
         };
         assert_eq!(run(&d).rounds, run(&d).rounds);
     }

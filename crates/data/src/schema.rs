@@ -220,16 +220,12 @@ mod tests {
         wrong_rows.categorical[1].pop();
         assert!(wrong_rows.validate(&s).unwrap_err().contains("rows"));
 
-        let wrong_cols = FeatureBlock {
-            categorical: vec![vec![0, 0]],
-            numeric: good.numeric.clone(),
-        };
+        let wrong_cols =
+            FeatureBlock { categorical: vec![vec![0, 0]], numeric: good.numeric.clone() };
         assert!(wrong_cols.validate(&s).unwrap_err().contains("categorical columns"));
 
-        let wrong_numeric = FeatureBlock {
-            categorical: good.categorical.clone(),
-            numeric: Matrix::zeros(2, 3),
-        };
+        let wrong_numeric =
+            FeatureBlock { categorical: good.categorical.clone(), numeric: Matrix::zeros(2, 3) };
         assert!(wrong_numeric.validate(&s).unwrap_err().contains("numeric"));
 
         let mut poisoned = good.clone();

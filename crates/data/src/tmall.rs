@@ -79,7 +79,12 @@ impl TmallConfig {
     /// Minutes-long full-scale run for the release-mode repro binaries
     /// (scaled from the paper's 23.1M/4M/40M; see DESIGN.md §2.1).
     pub fn paper_scale() -> Self {
-        TmallConfig { num_users: 4_000, num_items: 20_000, num_interactions: 400_000, ..Self::tiny() }
+        TmallConfig {
+            num_users: 4_000,
+            num_items: 20_000,
+            num_interactions: 400_000,
+            ..Self::tiny()
+        }
     }
 
     /// Seconds-long run for examples and release benches.
@@ -147,13 +152,8 @@ const ITEM_CAT_FIELDS: usize = 6;
 const ITEM_NUM_FIELDS: usize = 32; // 6 + 32 = 38 raw item-profile features
 const STATS_FIELDS: usize = 46; // raw item-statistics features
 
-const USER_CAT_VOCABS: [(&str, usize); USER_CAT_FIELDS] = [
-    ("gender", 3),
-    ("age_band", 8),
-    ("occupation", 12),
-    ("location", 32),
-    ("pref_category", 16),
-];
+const USER_CAT_VOCABS: [(&str, usize); USER_CAT_FIELDS] =
+    [("gender", 3), ("age_band", 8), ("occupation", 12), ("location", 32), ("pref_category", 16)];
 
 const ITEM_CAT_VOCABS: [(&str, usize); ITEM_CAT_FIELDS] = [
     ("category", 24),
@@ -203,8 +203,7 @@ impl TmallDataset {
 
         // Fixed random projections from latents to observable numerics.
         let w_user = Matrix::from_fn(k, USER_NUM_FIELDS, |_, _| rng_proj.normal_with(0.0, 1.0));
-        let w_item =
-            Matrix::from_fn(k + 1, ITEM_NUM_FIELDS, |_, _| rng_proj.normal_with(0.0, 1.0));
+        let w_item = Matrix::from_fn(k + 1, ITEM_NUM_FIELDS, |_, _| rng_proj.normal_with(0.0, 1.0));
 
         let users: Vec<UserRecord> =
             (0..cfg.num_users).map(|_| Self::gen_user(&cfg, &w_user, &mut rng_users)).collect();
@@ -228,8 +227,7 @@ impl TmallDataset {
             bucket(0.6 * z[0] + 0.6 * z[4 % z.len()], 16),
         ];
         let mut cats = [0u32; USER_CAT_FIELDS];
-        for (c, (raw_id, (_, vocab))) in
-            cats.iter_mut().zip(raw.iter().zip(USER_CAT_VOCABS.iter()))
+        for (c, (raw_id, (_, vocab))) in cats.iter_mut().zip(raw.iter().zip(USER_CAT_VOCABS.iter()))
         {
             *c = if rng.bernoulli(0.05) { rng.index(*vocab) as u32 } else { *raw_id };
         }
@@ -271,8 +269,7 @@ impl TmallDataset {
             bucket(z[4 % k], 20),
         ];
         let mut cats = [0u32; ITEM_CAT_FIELDS];
-        for (c, (raw_id, (_, vocab))) in
-            cats.iter_mut().zip(raw.iter().zip(ITEM_CAT_VOCABS.iter()))
+        for (c, (raw_id, (_, vocab))) in cats.iter_mut().zip(raw.iter().zip(ITEM_CAT_VOCABS.iter()))
         {
             *c = if rng.bernoulli(cfg.profile_flip_prob) {
                 rng.index(*vocab) as u32
@@ -288,8 +285,7 @@ impl TmallDataset {
         latent.push(0.6 * quality);
         let mut nums = vec![0.0f32; ITEM_NUM_FIELDS];
         for (j, n) in nums.iter_mut().enumerate() {
-            let proj: f32 =
-                latent.iter().enumerate().map(|(d, &v)| v * w_item.get(d, j)).sum();
+            let proj: f32 = latent.iter().enumerate().map(|(d, &v)| v * w_item.get(d, j)).sum();
             *n = proj / ((k + 1) as f32).sqrt() + rng.normal_with(0.0, cfg.profile_noise);
         }
 
@@ -367,7 +363,11 @@ impl TmallDataset {
             let item = if rng.bernoulli(0.7) {
                 let a = rng.index(n_items);
                 let b = rng.index(n_items);
-                if self.items[a].traffic >= self.items[b].traffic { a } else { b }
+                if self.items[a].traffic >= self.items[b].traffic {
+                    a
+                } else {
+                    b
+                }
             } else {
                 rng.index(n_items)
             } as u32;
@@ -472,9 +472,8 @@ impl TmallDataset {
         if self.cfg.include_ids {
             categorical.push(ids.iter().map(|&u| self.id_bucket(u)).collect());
         }
-        let numeric = Matrix::from_fn(ids.len(), USER_NUM_FIELDS, |i, j| {
-            self.users[ids[i] as usize].nums[j]
-        });
+        let numeric =
+            Matrix::from_fn(ids.len(), USER_NUM_FIELDS, |i, j| self.users[ids[i] as usize].nums[j]);
         FeatureBlock { categorical, numeric }
     }
 
@@ -483,9 +482,8 @@ impl TmallDataset {
         let categorical = (0..ITEM_CAT_FIELDS)
             .map(|f| ids.iter().map(|&i| self.items[i as usize].cats[f]).collect())
             .collect();
-        let numeric = Matrix::from_fn(ids.len(), ITEM_NUM_FIELDS, |i, j| {
-            self.items[ids[i] as usize].nums[j]
-        });
+        let numeric =
+            Matrix::from_fn(ids.len(), ITEM_NUM_FIELDS, |i, j| self.items[ids[i] as usize].nums[j]);
         FeatureBlock { categorical, numeric }
     }
 
@@ -500,9 +498,8 @@ impl TmallDataset {
         } else {
             vec![]
         };
-        let numeric = Matrix::from_fn(ids.len(), STATS_FIELDS, |i, j| {
-            self.items[ids[i] as usize].stats[j]
-        });
+        let numeric =
+            Matrix::from_fn(ids.len(), STATS_FIELDS, |i, j| self.items[ids[i] as usize].stats[j]);
         FeatureBlock { categorical, numeric }
     }
 
@@ -621,9 +618,7 @@ mod tests {
         let users: Vec<u32> = (0..d.num_users() as u32).collect();
         let items: Vec<u32> = (0..d.num_items() as u32).collect();
         d.encode_users(&users).validate(&TmallDataset::user_schema()).unwrap();
-        d.encode_item_profiles(&items)
-            .validate(&TmallDataset::item_profile_schema())
-            .unwrap();
+        d.encode_item_profiles(&items).validate(&TmallDataset::item_profile_schema()).unwrap();
         d.encode_item_stats(&items).validate(&TmallDataset::item_stats_schema()).unwrap();
     }
 

@@ -4,7 +4,9 @@
 
 use atnn_data::dataset::{BatchIter, Split};
 use atnn_data::eleme::{ElemeConfig, ElemeDataset};
-use atnn_data::io::{decode_feature_block, decode_interactions, encode_feature_block, encode_interactions};
+use atnn_data::io::{
+    decode_feature_block, decode_interactions, encode_feature_block, encode_interactions,
+};
 use atnn_data::tmall::{TmallConfig, TmallDataset};
 use atnn_tensor::Rng64;
 use proptest::prelude::*;

@@ -15,8 +15,8 @@
 
 mod auc;
 mod calibration;
-mod gauc;
 mod confusion;
+mod gauc;
 mod lift;
 mod loss;
 mod rank;
@@ -24,8 +24,8 @@ mod topk;
 
 pub use auc::auc;
 pub use calibration::CalibrationReport;
-pub use gauc::gauc;
 pub use confusion::BinaryConfusion;
+pub use gauc::gauc;
 pub use lift::{quantile_lift, LiftTable};
 pub use loss::{log_loss, mae, mse, rmse};
 pub use rank::{kendall_tau, ndcg_at, spearman};

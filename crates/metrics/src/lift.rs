@@ -21,9 +21,7 @@ impl LiftTable {
     /// True when metric `m` decreases (weakly, within `slack` relative
     /// tolerance) from each group to the next.
     pub fn is_monotone(&self, metric: usize, slack: f64) -> bool {
-        self.groups
-            .windows(2)
-            .all(|w| w[1][metric] <= w[0][metric] * (1.0 + slack))
+        self.groups.windows(2).all(|w| w[1][metric] <= w[0][metric] * (1.0 + slack))
     }
 
     /// Ratio of the top group's mean to the bottom group's mean for
@@ -57,9 +55,7 @@ pub fn quantile_lift(scores: &[f32], outcomes: &[Vec<f64>], k: usize) -> Option<
 
     let mut order: Vec<usize> = (0..scores.len()).collect();
     // Descending by score; index tiebreak keeps the split deterministic.
-    order.sort_by(|&a, &b| {
-        scores[b].partial_cmp(&scores[a]).expect("NaN score").then(a.cmp(&b))
-    });
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("NaN score").then(a.cmp(&b)));
 
     let n = scores.len();
     let mut groups = Vec::with_capacity(k);

@@ -6,9 +6,7 @@
 
 fn top_k_indices(scores: &[f32], k: usize) -> Vec<usize> {
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| {
-        scores[b].partial_cmp(&scores[a]).expect("NaN score").then(a.cmp(&b))
-    });
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("NaN score").then(a.cmp(&b)));
     order.truncate(k);
     order
 }

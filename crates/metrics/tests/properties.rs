@@ -4,9 +4,8 @@ use atnn_metrics::{auc, kendall_tau, log_loss, mae, ndcg_at, quantile_lift, rmse
 use proptest::prelude::*;
 
 fn scores_and_labels() -> impl Strategy<Value = (Vec<f32>, Vec<bool>)> {
-    proptest::collection::vec((0.0f32..1.0, any::<bool>()), 4..80).prop_map(|pairs| {
-        pairs.into_iter().unzip()
-    })
+    proptest::collection::vec((0.0f32..1.0, any::<bool>()), 4..80)
+        .prop_map(|pairs| pairs.into_iter().unzip())
 }
 
 proptest! {

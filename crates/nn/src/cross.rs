@@ -26,7 +26,13 @@ impl CrossNet {
     /// `depth == 0` is allowed and makes [`CrossNet::forward`] the identity
     /// — that degenerate configuration is what the cross-depth ablation
     /// (DESIGN.md A3) exercises.
-    pub fn new(store: &mut ParamStore, rng: &mut Rng64, name: &str, dim: usize, depth: usize) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut Rng64,
+        name: &str,
+        dim: usize,
+        depth: usize,
+    ) -> Self {
         let mut ws = Vec::with_capacity(depth);
         let mut bs = Vec::with_capacity(depth);
         for l in 0..depth {

@@ -20,7 +20,13 @@ pub struct Embedding {
 
 impl Embedding {
     /// Registers a new table initialized with small normal noise.
-    pub fn new(store: &mut ParamStore, rng: &mut Rng64, name: &str, vocab: usize, dim: usize) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut Rng64,
+        name: &str,
+        vocab: usize,
+        dim: usize,
+    ) -> Self {
         assert!(vocab > 0 && dim > 0, "embedding needs positive vocab and dim");
         let table = store.add(format!("{name}.table"), Init::Normal(0.05).sample(vocab, dim, rng));
         Embedding { table, vocab, dim }
@@ -64,7 +70,13 @@ pub struct EmbeddingBag {
 
 impl EmbeddingBag {
     /// Registers a new `vocab x dim` table.
-    pub fn new(store: &mut ParamStore, rng: &mut Rng64, name: &str, vocab: usize, dim: usize) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut Rng64,
+        name: &str,
+        vocab: usize,
+        dim: usize,
+    ) -> Self {
         EmbeddingBag { inner: Embedding::new(store, rng, name, vocab, dim) }
     }
 

@@ -39,9 +39,7 @@ impl Mlp {
         let layers = dims
             .windows(2)
             .enumerate()
-            .map(|(i, w)| {
-                Linear::new(store, rng, &format!("{name}.fc{i}"), w[0], w[1], init, true)
-            })
+            .map(|(i, w)| Linear::new(store, rng, &format!("{name}.fc{i}"), w[0], w[1], init, true))
             .collect();
         Mlp { layers, activation, output_activation: Activation::Identity }
     }
@@ -137,13 +135,7 @@ mod tests {
         let mut store = ParamStore::new();
         let mut rng = Rng64::seed_from_u64(42);
         let mlp = Mlp::new(&mut store, &mut rng, "xor", &[2, 8, 1], Activation::Tanh);
-        let x = Matrix::from_rows(&[
-            &[0.0, 0.0],
-            &[0.0, 1.0],
-            &[1.0, 0.0],
-            &[1.0, 1.0],
-        ])
-        .unwrap();
+        let x = Matrix::from_rows(&[&[0.0, 0.0], &[0.0, 1.0], &[1.0, 0.0], &[1.0, 1.0]]).unwrap();
         let y = Matrix::col_vector(&[0.0, 1.0, 1.0, 0.0]);
         let params = mlp.params();
         let loss = train_until(&mut store, &params, 0.5, 3000, 0.05, |g, s| {

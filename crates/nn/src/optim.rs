@@ -56,10 +56,7 @@ fn encode_state(tag: u8, scalars: &[f64], matrices: &[&[Matrix]]) -> Bytes {
     buf.freeze()
 }
 
-fn decode_state(
-    mut buf: Bytes,
-    expect_tag: u8,
-) -> Result<(Vec<f64>, Vec<Matrix>), String> {
+fn decode_state(mut buf: Bytes, expect_tag: u8) -> Result<(Vec<f64>, Vec<Matrix>), String> {
     if buf.remaining() < 5 {
         return Err("optimizer state truncated".into());
     }
@@ -378,7 +375,12 @@ mod tests {
     use atnn_autograd::Graph;
 
     /// Minimizes `f(w) = (w - 3)^2` and returns the final w.
-    fn run_quadratic(opt: &mut dyn Optimizer, store: &mut ParamStore, p: ParamId, steps: usize) -> f32 {
+    fn run_quadratic(
+        opt: &mut dyn Optimizer,
+        store: &mut ParamStore,
+        p: ParamId,
+        steps: usize,
+    ) -> f32 {
         let target = Matrix::full(1, 1, 3.0);
         for _ in 0..steps {
             store.zero_grads(opt.params());
@@ -541,9 +543,8 @@ mod tests {
             (store, opt)
         };
         // A deterministic pseudo-gradient stream.
-        let grad_at = |t: usize| {
-            Matrix::from_fn(2, 3, |i, j| ((t * 7 + i * 3 + j) % 5) as f32 * 0.2 - 0.4)
-        };
+        let grad_at =
+            |t: usize| Matrix::from_fn(2, 3, |i, j| ((t * 7 + i * 3 + j) % 5) as f32 * 0.2 - 0.4);
         for kind in 0..3u8 {
             // Continuous: 10 steps straight through.
             let (mut store_a, mut opt_a) = build(kind);

@@ -17,6 +17,7 @@
 mod error;
 mod matrix;
 mod ops;
+pub mod pool;
 mod rng;
 mod serialize;
 

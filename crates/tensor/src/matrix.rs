@@ -241,11 +241,7 @@ impl Matrix {
 
     /// Applies `f` to every element, returning a new matrix.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
-        Matrix {
-            data: self.data.iter().map(|&v| f(v)).collect(),
-            rows: self.rows,
-            cols: self.cols,
-        }
+        Matrix { data: self.data.iter().map(|&v| f(v)).collect(), rows: self.rows, cols: self.cols }
     }
 
     /// Applies `f` to every element in place.

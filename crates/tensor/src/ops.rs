@@ -4,16 +4,143 @@
 //! All binary ops validate shapes and return [`crate::Result`]; in-place
 //! `*_assign` variants exist for optimizer hot paths.
 
-use crate::{Matrix, Result, TensorError};
+use crate::{pool, Matrix, Result, TensorError};
+
+/// Approximate L2 capacity in `f32` elements (1 MiB). The matmul working
+/// set per output row is the whole right-hand panel plus one lhs row and
+/// one output row; when that exceeds this budget the kernel k-tiles.
+pub(crate) const L2_F32_BUDGET: usize = 256 * 1024;
+
+/// k-dimension tile width for the cache-blocked kernel. 64 keeps a
+/// 64-row panel of `other` resident across output rows (measured ~27%
+/// faster at 1024² than unblocked on this class of hardware; neutral
+/// below the budget — see the `kernels` bench).
+pub(crate) const MATMUL_K_BLOCK: usize = 64;
+
+/// Minimum multiply-add volume (`m * k * n`) before forking a matmul
+/// across the pool pays for dispatch overhead. Half a MFLOP — roughly
+/// the paper's 512-batch hidden-layer products.
+pub(crate) const PAR_MIN_WORK: usize = 1 << 19;
+
+/// Number of pool tasks for a kernel with `m` shardable output rows and
+/// `work` multiply-adds; `1` means stay on the serial path.
+fn par_tasks(m: usize, work: usize) -> usize {
+    let threads = pool::effective_threads();
+    if threads <= 1 || work < PAR_MIN_WORK {
+        1
+    } else {
+        threads.min(m).max(1)
+    }
+}
+
+/// k-tile width for `a @ b`: tile only when the working set (`b` plus
+/// one row each of `a` and the output) outgrows the L2 budget.
+fn k_block_for(b_len: usize, k: usize, n: usize) -> usize {
+    if b_len + k + n > L2_F32_BUDGET {
+        MATMUL_K_BLOCK
+    } else {
+        k.max(1)
+    }
+}
+
+/// Shards the rows of `out` into `tasks` contiguous bands and runs
+/// `f(first_row, band)` on each, in parallel when `tasks > 1`.
+///
+/// Band boundaries are a pure function of `out.rows()` and `tasks`
+/// (placement determinism), and `tasks == 1` degenerates to a single
+/// call covering the whole matrix — so any kernel whose per-element
+/// reduction order is independent of its row range is bit-identical
+/// across all task counts.
+fn shard_rows(out: &mut Matrix, tasks: usize, f: impl Fn(usize, &mut [f32]) + Sync) {
+    let (m, n) = out.shape();
+    if m == 0 || n == 0 {
+        return;
+    }
+    let tasks = tasks.clamp(1, m);
+    if tasks == 1 {
+        f(0, out.as_mut_slice());
+        return;
+    }
+    let band_rows = m.div_ceil(tasks);
+    pool::for_each_chunk_mut(out.as_mut_slice(), band_rows * n, tasks, |offset, band| {
+        f(offset / n, band);
+    });
+}
+
+/// Writes output rows `[row0, row0 + band.len() / n)` of `a @ b` into
+/// `band`, k-tiled by `k_block`. Per output element the summation runs
+/// over `k` ascending with zero-skip regardless of `k_block` or the row
+/// range — the invariant behind blocked/parallel bit-identity.
+fn matmul_band(a: &Matrix, b: &Matrix, row0: usize, band: &mut [f32], k_block: usize) {
+    let k = a.cols();
+    let n = b.cols();
+    let rows = band.len() / n;
+    let mut k0 = 0;
+    while k0 < k {
+        let k1 = (k0 + k_block).min(k);
+        for i in 0..rows {
+            let a_row = &a.row(row0 + i)[k0..k1];
+            let out_row = &mut band[i * n..(i + 1) * n];
+            for (p, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let b_row = b.row(k0 + p);
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += av * bv;
+                }
+            }
+        }
+        k0 = k1;
+    }
+}
+
+/// Writes output rows `[i0, i0 + band.len() / n)` of `aᵀ @ b` into
+/// `band`. `p` stays outermost within the band (both reads row-
+/// contiguous); for each output element the additions still run over
+/// `p` ascending with zero-skip, independent of the band split.
+fn matmul_tn_band(a: &Matrix, b: &Matrix, i0: usize, band: &mut [f32]) {
+    let k = a.rows();
+    let n = b.cols();
+    let rows = band.len() / n;
+    for p in 0..k {
+        let a_seg = &a.row(p)[i0..i0 + rows];
+        let b_row = b.row(p);
+        for (i, &av) in a_seg.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let out_row = &mut band[i * n..(i + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Writes output rows `[row0, row0 + band.len() / n)` of `a @ bᵀ` into
+/// `band`. Each element is an independent [`dot`], so sharding cannot
+/// change any summation order.
+fn matmul_nt_band(a: &Matrix, b: &Matrix, row0: usize, band: &mut [f32]) {
+    let n = b.rows();
+    let rows = band.len() / n;
+    for i in 0..rows {
+        let a_row = a.row(row0 + i);
+        let out_row = &mut band[i * n..(i + 1) * n];
+        for (j, o) in out_row.iter_mut().enumerate() {
+            *o = dot(a_row, b.row(j));
+        }
+    }
+}
 
 impl Matrix {
     /// `self @ other` — `(m x k) @ (k x n) -> (m x n)`.
     ///
     /// Uses the cache-friendly i-k-j ordering: the inner loop streams
     /// contiguously through one row of `other` and one row of the output.
-    /// Operands whose right-hand side outgrows L2 are dispatched to a
-    /// cache-blocked variant (measured ~27% faster at 1024² on this
-    /// class of hardware; neutral below — see the `kernels` bench).
+    /// Large operands are k-tiled (see [`L2_F32_BUDGET`]) and row-sharded
+    /// across the pool (see [`PAR_MIN_WORK`]); both transformations are
+    /// bit-identical to the plain serial kernel.
     pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
         if self.cols() != other.rows() {
             return Err(TensorError::ShapeMismatch {
@@ -22,26 +149,30 @@ impl Matrix {
                 rhs: other.shape(),
             });
         }
-        // Block when `other` outgrows a typical L2 (~1 MiB of f32).
-        if other.len() > 256 * 1024 {
-            return Ok(self.matmul_blocked(other, 64));
+        let (m, k) = self.shape();
+        let n = other.cols();
+        let tasks = par_tasks(m, m.saturating_mul(k).saturating_mul(n));
+        self.matmul_parallel(other, tasks)
+    }
+
+    /// [`Matrix::matmul`] forced onto the row-sharded path with exactly
+    /// `tasks` bands, bypassing the work-size heuristic. Bit-identical to
+    /// the serial kernel at every task count (property-tested).
+    pub fn matmul_parallel(&self, other: &Matrix, tasks: usize) -> Result<Matrix> {
+        if self.cols() != other.rows() {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
         }
         let (m, k) = self.shape();
         let n = other.cols();
+        let k_block = k_block_for(other.len(), k, n);
         let mut out = Matrix::zeros(m, n);
-        for i in 0..m {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (p, &a) in a_row.iter().enumerate().take(k) {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = other.row(p);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        shard_rows(&mut out, tasks, |row0, band| {
+            matmul_band(self, other, row0, band, k_block);
+        });
         Ok(out)
     }
 
@@ -56,32 +187,20 @@ impl Matrix {
     pub fn matmul_blocked(&self, other: &Matrix, k_block: usize) -> Matrix {
         assert_eq!(self.cols(), other.rows(), "matmul_blocked shape");
         assert!(k_block > 0, "k_block must be positive");
-        let (m, k) = self.shape();
-        let n = other.cols();
-        let mut out = Matrix::zeros(m, n);
-        let mut k0 = 0;
-        while k0 < k {
-            let k1 = (k0 + k_block).min(k);
-            for i in 0..m {
-                let a_row = &self.row(i)[k0..k1];
-                let out_row = out.row_mut(i);
-                for (p, &a) in a_row.iter().enumerate() {
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let b_row = other.row(k0 + p);
-                    for (o, &b) in out_row.iter_mut().zip(b_row) {
-                        *o += a * b;
-                    }
-                }
-            }
-            k0 = k1;
+        let mut out = Matrix::zeros(self.rows(), other.cols());
+        if !out.is_empty() {
+            matmul_band(self, other, 0, out.as_mut_slice(), k_block);
         }
         out
     }
 
     /// `selfᵀ @ other` — `(k x m)ᵀ @ (k x n) -> (m x n)` without materializing
     /// the transpose. Used by backward passes (`dW = xᵀ @ dy`).
+    ///
+    /// Serially iterates `p` outermost so both reads are row-contiguous;
+    /// above [`PAR_MIN_WORK`] the *output rows* are sharded across the
+    /// pool (each band keeps the p-outer loop, so no accumulator is
+    /// shared and per-element order is unchanged).
     pub fn matmul_tn(&self, other: &Matrix) -> Result<Matrix> {
         if self.rows() != other.rows() {
             return Err(TensorError::ShapeMismatch {
@@ -92,22 +211,27 @@ impl Matrix {
         }
         let (k, m) = self.shape();
         let n = other.cols();
-        let mut out = Matrix::zeros(m, n);
-        // out[i][j] = sum_p self[p][i] * other[p][j]; iterate p outermost so
-        // both reads are row-contiguous and out rows are revisited cheaply.
-        for p in 0..k {
-            let a_row = self.row(p);
-            let b_row = other.row(p);
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = out.row_mut(i);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
+        let tasks = par_tasks(m, m.saturating_mul(k).saturating_mul(n));
+        self.matmul_tn_parallel(other, tasks)
+    }
+
+    /// [`Matrix::matmul_tn`] forced onto the row-sharded path with exactly
+    /// `tasks` bands, bypassing the work-size heuristic. Bit-identical to
+    /// the serial kernel at every task count (property-tested).
+    pub fn matmul_tn_parallel(&self, other: &Matrix, tasks: usize) -> Result<Matrix> {
+        if self.rows() != other.rows() {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_tn",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
         }
+        let m = self.cols();
+        let n = other.cols();
+        let mut out = Matrix::zeros(m, n);
+        shard_rows(&mut out, tasks, |i0, band| {
+            matmul_tn_band(self, other, i0, band);
+        });
         Ok(out)
     }
 
@@ -121,17 +245,27 @@ impl Matrix {
                 rhs: other.shape(),
             });
         }
-        let m = self.rows();
+        let (m, k) = self.shape();
         let n = other.rows();
-        let mut out = Matrix::zeros(m, n);
-        for i in 0..m {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (j, o) in out_row.iter_mut().enumerate().take(n) {
-                let b_row = other.row(j);
-                *o = dot(a_row, b_row);
-            }
+        let tasks = par_tasks(m, m.saturating_mul(k).saturating_mul(n));
+        self.matmul_nt_parallel(other, tasks)
+    }
+
+    /// [`Matrix::matmul_nt`] forced onto the row-sharded path with exactly
+    /// `tasks` bands, bypassing the work-size heuristic. Bit-identical to
+    /// the serial kernel at every task count (property-tested).
+    pub fn matmul_nt_parallel(&self, other: &Matrix, tasks: usize) -> Result<Matrix> {
+        if self.cols() != other.cols() {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_nt",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
         }
+        let mut out = Matrix::zeros(self.rows(), other.rows());
+        shard_rows(&mut out, tasks, |row0, band| {
+            matmul_nt_band(self, other, row0, band);
+        });
         Ok(out)
     }
 
@@ -300,8 +434,7 @@ impl Matrix {
         if self.shape() != other.shape() {
             return Err(TensorError::ShapeMismatch { op, lhs: self.shape(), rhs: other.shape() });
         }
-        let data =
-            self.as_slice().iter().zip(other.as_slice()).map(|(&a, &b)| f(a, b)).collect();
+        let data = self.as_slice().iter().zip(other.as_slice()).map(|(&a, &b)| f(a, b)).collect();
         Matrix::from_vec(self.rows(), self.cols(), data)
     }
 }
@@ -374,16 +507,51 @@ mod tests {
 
     #[test]
     fn large_matmul_dispatches_to_blocked_and_stays_correct() {
-        // 640x640 crosses the dispatch threshold (len > 262144).
+        // 640x640 crosses the k-tiling threshold.
         let a = Matrix::from_fn(50, 640, |i, j| ((i + j) % 7) as f32 * 0.1);
         let b = Matrix::from_fn(640, 640, |i, j| ((i * 3 + j) % 5) as f32 * 0.2);
-        assert!(b.len() > 256 * 1024);
+        assert!(b.len() + 640 + 640 > L2_F32_BUDGET);
         let via_dispatch = a.matmul(&b).unwrap();
-        let via_blocked = a.matmul_blocked(&b, 64);
+        let via_blocked = a.matmul_blocked(&b, MATMUL_K_BLOCK);
         assert_eq!(via_dispatch, via_blocked);
         // Spot-check one element against a manual dot product.
         let manual: f32 = (0..640).map(|p| a.get(7, p) * b.get(p, 11)).sum();
         assert!((via_dispatch.get(7, 11) - manual).abs() < 1e-3);
+    }
+
+    #[test]
+    fn parallel_variants_are_bit_identical_to_serial() {
+        let a = Matrix::from_fn(23, 17, |i, j| ((i * 31 + j * 17) % 11) as f32 * 0.37 - 1.5);
+        let b = Matrix::from_fn(17, 13, |i, j| ((i * 7 + j * 13) % 13) as f32 * 0.21 - 1.1);
+        let at = a.transpose(); // 17 x 23
+        let bt = b.transpose(); // 13 x 17
+        let nn = a.matmul_parallel(&b, 1).unwrap();
+        let tn = at.matmul_tn_parallel(&b, 1).unwrap();
+        let nt = a.matmul_nt_parallel(&bt, 1).unwrap();
+        // matmul and matmul_tn sum identically (k ascending, zero-skip);
+        // matmul_nt goes through the unrolled `dot`, so only approximate
+        // agreement is expected across kernels.
+        assert_eq!(nn, tn);
+        assert!(nn.sub(&nt).unwrap().max_abs() < 1e-4);
+        for tasks in [2usize, 3, 7, 8, 64] {
+            assert_eq!(a.matmul_parallel(&b, tasks).unwrap(), nn, "nn tasks={tasks}");
+            assert_eq!(at.matmul_tn_parallel(&b, tasks).unwrap(), tn, "tn tasks={tasks}");
+            assert_eq!(a.matmul_nt_parallel(&bt, tasks).unwrap(), nt, "nt tasks={tasks}");
+        }
+    }
+
+    #[test]
+    fn parallel_variants_handle_degenerate_shapes() {
+        for tasks in [1usize, 4] {
+            let empty = Matrix::zeros(0, 5);
+            let rhs = Matrix::zeros(5, 0);
+            let c = empty.matmul_parallel(&rhs, tasks).unwrap();
+            assert_eq!(c.shape(), (0, 0));
+            let row = Matrix::from_fn(1, 6, |_, j| j as f32);
+            let col = Matrix::from_fn(6, 1, |i, _| i as f32);
+            assert_eq!(row.matmul_parallel(&col, tasks).unwrap().get(0, 0), 55.0);
+            assert_eq!(col.matmul_parallel(&row, tasks).unwrap(), col.matmul(&row).unwrap(),);
+        }
     }
 
     #[test]

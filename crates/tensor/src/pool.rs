@@ -1,0 +1,425 @@
+//! The workspace-wide parallel compute runtime: a lazily-initialized,
+//! size-configurable pool of worker threads with scoped fork/join helpers.
+//!
+//! Sizing: the `ATNN_THREADS` environment variable, read once at first
+//! use, falling back to [`std::thread::available_parallelism`]. A scoped
+//! override — [`with_threads`] — takes precedence over both, which is how
+//! tests pin parallelism deterministically without touching the
+//! environment.
+//!
+//! Execution model: callers never hold a pool handle. [`run_tasks`] splits
+//! a region into `tasks` closure invocations, runs one inline on the
+//! calling thread and hands the rest to the shared workers, then blocks —
+//! *helping drain the queue while it waits*, so nested or concurrent
+//! regions cannot deadlock. Code running inside a pool task reports
+//! [`effective_threads`]`() == 1`, which collapses nested parallel
+//! dispatch to the serial kernels (no oversubscription, and the
+//! bit-identical guarantee composes trivially).
+//!
+//! Every helper here preserves *placement determinism*: which chunk of
+//! work lands in which output slot is a pure function of the input sizes,
+//! never of thread scheduling. Combined with kernels whose per-element
+//! reduction order is independent of the sharding, results are bit-for-bit
+//! identical at every thread count.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Hard ceiling on pool workers, guarding against absurd `ATNN_THREADS`.
+const MAX_THREADS: usize = 64;
+
+/// How long a waiting caller sleeps between queue-help attempts.
+const HELP_WAIT: Duration = Duration::from_micros(200);
+
+/// The configured pool width: `ATNN_THREADS` if set and positive,
+/// otherwise the machine's available parallelism. Read once; cached.
+pub fn configured_threads() -> usize {
+    static CONFIGURED: OnceLock<usize> = OnceLock::new();
+    *CONFIGURED.get_or_init(|| {
+        std::env::var("ATNN_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+            .min(MAX_THREADS)
+    })
+}
+
+thread_local! {
+    static OVERRIDE: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+    static IN_TASK: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// The parallelism visible at this call site: 1 inside a pool task
+/// (nested regions run serial), else the [`with_threads`] override, else
+/// [`configured_threads`]. Kernel dispatch keys off this value.
+pub fn effective_threads() -> usize {
+    if IN_TASK.with(|t| t.get()) {
+        1
+    } else {
+        OVERRIDE.with(|o| o.get()).unwrap_or_else(configured_threads)
+    }
+}
+
+/// Runs `f` with [`effective_threads`] pinned to `threads` on this thread.
+///
+/// The hook behind the determinism tests: the same training run under
+/// `with_threads(1)` and `with_threads(8)` must produce bit-identical
+/// weights, because every parallel kernel is bit-identical to its serial
+/// counterpart.
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    assert!(threads > 0, "with_threads: need at least one thread");
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|o| o.set(self.0));
+        }
+    }
+    let _restore = Restore(OVERRIDE.with(|o| o.replace(Some(threads.min(MAX_THREADS)))));
+    f()
+}
+
+/// A unit of queued work: an erased borrow of the caller's closure plus
+/// the task index it should run and the latch to signal.
+///
+/// Safety: the `'static` on `f` is a lie told by [`run_tasks`], which
+/// blocks until `latch` confirms every job has *finished running* before
+/// its frame (and the closure it borrows) can unwind. Jobs never outlive
+/// the call that spawned them.
+struct Job {
+    f: &'static (dyn Fn(usize) + Sync),
+    idx: usize,
+    latch: Arc<Latch>,
+}
+
+/// Countdown of outstanding jobs for one `run_tasks` region.
+struct Latch {
+    remaining: AtomicUsize,
+    panicked: AtomicBool,
+    mutex: Mutex<()>,
+    cv: Condvar,
+}
+
+impl Latch {
+    fn new(count: usize) -> Arc<Self> {
+        Arc::new(Latch {
+            remaining: AtomicUsize::new(count),
+            panicked: AtomicBool::new(false),
+            mutex: Mutex::new(()),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn complete(&self) {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _guard = self.mutex.lock().unwrap();
+            self.cv.notify_all();
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.remaining.load(Ordering::Acquire) == 0
+    }
+}
+
+/// The shared injection queue all workers (and helping callers) drain.
+struct JobQueue {
+    jobs: Mutex<VecDeque<Job>>,
+    cv: Condvar,
+}
+
+impl JobQueue {
+    fn push(&self, job: Job) {
+        self.jobs.lock().unwrap().push_back(job);
+        self.cv.notify_one();
+    }
+
+    fn pop_blocking(&self) -> Job {
+        let mut q = self.jobs.lock().unwrap();
+        loop {
+            if let Some(job) = q.pop_front() {
+                return job;
+            }
+            q = self.cv.wait(q).unwrap();
+        }
+    }
+
+    fn try_pop(&self) -> Option<Job> {
+        self.jobs.lock().unwrap().pop_front()
+    }
+}
+
+struct Pool {
+    queue: Arc<JobQueue>,
+    spawned: Mutex<usize>,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        queue: Arc::new(JobQueue { jobs: Mutex::new(VecDeque::new()), cv: Condvar::new() }),
+        spawned: Mutex::new(0),
+    })
+}
+
+/// Runs a job, recording panics on its latch instead of crashing a worker.
+fn run_job(job: Job) {
+    let was_in_task = IN_TASK.with(|t| t.replace(true));
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (job.f)(job.idx)));
+    IN_TASK.with(|t| t.set(was_in_task));
+    if result.is_err() {
+        job.latch.panicked.store(true, Ordering::Release);
+    }
+    job.latch.complete();
+}
+
+/// Lazily grows the worker set to at least `want` threads.
+fn ensure_workers(want: usize) {
+    let p = pool();
+    let mut spawned = p.spawned.lock().unwrap();
+    while *spawned < want.min(MAX_THREADS) {
+        let queue = Arc::clone(&p.queue);
+        let name = format!("atnn-pool-{}", *spawned);
+        std::thread::Builder::new()
+            .name(name)
+            .spawn(move || loop {
+                run_job(queue.pop_blocking());
+            })
+            .expect("spawn pool worker");
+        *spawned += 1;
+    }
+}
+
+/// Forks `f` across `tasks` invocations — `f(0)` inline on the caller,
+/// `f(1..tasks)` on pool workers — and joins them all before returning.
+///
+/// The caller helps drain the shared queue while it waits, so regions
+/// started from inside other regions (or from several threads at once)
+/// always make progress. Panics in any task are propagated to the caller
+/// after all tasks finish.
+pub fn run_tasks(tasks: usize, f: &(dyn Fn(usize) + Sync)) {
+    if tasks <= 1 {
+        f(0);
+        return;
+    }
+    ensure_workers(tasks - 1);
+    let latch = Latch::new(tasks - 1);
+    // Safety: see `Job` — this function does not return until every job
+    // has completed, so the borrow cannot dangle.
+    let f_static: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f) };
+    let queue = &pool().queue;
+    for idx in 1..tasks {
+        queue.push(Job { f: f_static, idx, latch: Arc::clone(&latch) });
+    }
+
+    // Run our own share (nested dispatch inside it sees 1 thread).
+    let was_in_task = IN_TASK.with(|t| t.replace(true));
+    let own = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(0)));
+    IN_TASK.with(|t| t.set(was_in_task));
+
+    // Join, helping with queued work (ours or anyone's) while we wait.
+    while !latch.done() {
+        if let Some(job) = queue.try_pop() {
+            run_job(job);
+            continue;
+        }
+        let guard = latch.mutex.lock().unwrap();
+        if latch.done() {
+            break;
+        }
+        let _ = latch.cv.wait_timeout(guard, HELP_WAIT).unwrap();
+    }
+
+    if let Err(payload) = own {
+        std::panic::resume_unwind(payload);
+    }
+    assert!(
+        !latch.panicked.load(Ordering::Acquire),
+        "a pool task panicked; see worker output above"
+    );
+}
+
+/// Splits `data` into contiguous chunks of at most `chunk_len` elements
+/// and applies `f(element_offset, chunk)` to each, using up to `tasks`
+/// threads. Chunk boundaries depend only on `data.len()` and `chunk_len`,
+/// never on scheduling.
+pub fn for_each_chunk_mut<T: Send>(
+    data: &mut [T],
+    chunk_len: usize,
+    tasks: usize,
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
+    assert!(chunk_len > 0, "for_each_chunk_mut: chunk_len must be positive");
+    if data.is_empty() {
+        return;
+    }
+    let n_chunks = data.len().div_ceil(chunk_len);
+    let work = Mutex::new(data.chunks_mut(chunk_len).enumerate());
+    run_tasks(tasks.min(n_chunks), &|_| loop {
+        let next = work.lock().unwrap().next();
+        match next {
+            Some((i, chunk)) => f(i * chunk_len, chunk),
+            None => break,
+        }
+    });
+}
+
+/// Maps `f` over contiguous chunks of `items` (at most `chunk_len` long)
+/// in parallel, returning results in input order.
+pub fn map_chunks<T: Sync, R: Send>(
+    items: &[T],
+    chunk_len: usize,
+    tasks: usize,
+    f: impl Fn(&[T]) -> R + Sync,
+) -> Vec<R> {
+    assert!(chunk_len > 0, "map_chunks: chunk_len must be positive");
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let n_chunks = items.len().div_ceil(chunk_len);
+    let work = Mutex::new(items.chunks(chunk_len).enumerate());
+    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n_chunks));
+    run_tasks(tasks.min(n_chunks), &|_| loop {
+        let next = work.lock().unwrap().next();
+        match next {
+            Some((i, chunk)) => {
+                let r = f(chunk);
+                results.lock().unwrap().push((i, r));
+            }
+            None => break,
+        }
+    });
+    let mut results = results.into_inner().unwrap();
+    results.sort_unstable_by_key(|&(i, _)| i);
+    results.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<RA: Send, RB: Send>(
+    a: impl FnOnce() -> RA + Send,
+    b: impl FnOnce() -> RB + Send,
+) -> (RA, RB) {
+    if effective_threads() <= 1 {
+        return (a(), b());
+    }
+    let fa = Mutex::new(Some(a));
+    let fb = Mutex::new(Some(b));
+    let ra: Mutex<Option<RA>> = Mutex::new(None);
+    let rb: Mutex<Option<RB>> = Mutex::new(None);
+    run_tasks(2, &|idx| {
+        if idx == 0 {
+            let f = fa.lock().unwrap().take().expect("join task 0 ran twice");
+            *ra.lock().unwrap() = Some(f());
+        } else {
+            let f = fb.lock().unwrap().take().expect("join task 1 ran twice");
+            *rb.lock().unwrap() = Some(f());
+        }
+    });
+    (
+        ra.into_inner().unwrap().expect("join lost result 0"),
+        rb.into_inner().unwrap().expect("join lost result 1"),
+    )
+}
+
+/// Runs three closures, potentially in parallel, returning all results.
+pub fn join3<RA: Send, RB: Send, RC: Send>(
+    a: impl FnOnce() -> RA + Send,
+    b: impl FnOnce() -> RB + Send,
+    c: impl FnOnce() -> RC + Send,
+) -> (RA, RB, RC) {
+    let ((ra, rb), rc) = join(|| join(a, b), c);
+    (ra, rb, rc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_tasks_covers_all_indices() {
+        let hit = [(); 8].map(|_| AtomicUsize::new(0));
+        run_tasks(8, &|i| {
+            hit[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, h) in hit.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "task {i}");
+        }
+    }
+
+    #[test]
+    fn for_each_chunk_mut_is_placement_deterministic() {
+        for tasks in [1usize, 2, 5, 8] {
+            let mut data = vec![0u32; 103];
+            for_each_chunk_mut(&mut data, 10, tasks, |offset, chunk| {
+                for (i, v) in chunk.iter_mut().enumerate() {
+                    *v = (offset + i) as u32;
+                }
+            });
+            let expected: Vec<u32> = (0..103).collect();
+            assert_eq!(data, expected, "tasks={tasks}");
+        }
+    }
+
+    #[test]
+    fn map_chunks_preserves_order() {
+        let items: Vec<usize> = (0..57).collect();
+        for tasks in [1usize, 3, 8] {
+            let sums = map_chunks(&items, 7, tasks, |chunk| chunk.iter().sum::<usize>());
+            let expected: Vec<usize> = items.chunks(7).map(|c| c.iter().sum()).collect();
+            assert_eq!(sums, expected, "tasks={tasks}");
+        }
+    }
+
+    #[test]
+    fn join_returns_both_sides() {
+        with_threads(4, || {
+            let (a, b) = join(|| 6 * 7, || "ok".to_string());
+            assert_eq!(a, 42);
+            assert_eq!(b, "ok");
+            let (x, y, z) = join3(|| 1, || 2, || 3);
+            assert_eq!((x, y, z), (1, 2, 3));
+        });
+    }
+
+    #[test]
+    fn nested_regions_run_serially_without_deadlock() {
+        with_threads(4, || {
+            let total = AtomicUsize::new(0);
+            run_tasks(4, &|_| {
+                // Inside a task the advertised width collapses to 1, so
+                // kernel dispatch goes serial; a raw nested region still
+                // works because waiters help drain the shared queue.
+                assert_eq!(effective_threads(), 1);
+                run_tasks(4, &|_| {
+                    total.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+            assert_eq!(total.load(Ordering::Relaxed), 16);
+        });
+    }
+
+    #[test]
+    fn with_threads_overrides_and_restores() {
+        let base = effective_threads();
+        with_threads(3, || {
+            assert_eq!(effective_threads(), 3);
+            with_threads(1, || assert_eq!(effective_threads(), 1));
+            assert_eq!(effective_threads(), 3);
+        });
+        assert_eq!(effective_threads(), base);
+    }
+
+    #[test]
+    fn panics_propagate_to_the_caller() {
+        let result = std::panic::catch_unwind(|| {
+            run_tasks(4, &|i| {
+                if i == 3 {
+                    panic!("boom");
+                }
+            });
+        });
+        assert!(result.is_err());
+    }
+}

@@ -197,12 +197,8 @@ mod tests {
         let mut rng = Rng64::seed_from_u64(9);
         for &lambda in &[0.5f32, 3.0, 12.0, 80.0] {
             let n = 4000;
-            let mean =
-                (0..n).map(|_| rng.poisson(lambda) as f32).sum::<f32>() / n as f32;
-            assert!(
-                (mean - lambda).abs() < 0.15 * lambda.max(1.0),
-                "lambda={lambda} mean={mean}"
-            );
+            let mean = (0..n).map(|_| rng.poisson(lambda) as f32).sum::<f32>() / n as f32;
+            assert!((mean - lambda).abs() < 0.15 * lambda.max(1.0), "lambda={lambda} mean={mean}");
         }
         assert_eq!(rng.poisson(0.0), 0);
         assert_eq!(rng.poisson(-1.0), 0);

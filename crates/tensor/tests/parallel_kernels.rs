@@ -1,0 +1,109 @@
+//! Property tests: the row-sharded parallel matmul family is bit-identical
+//! to the serial kernels across random shapes (including degenerate 1×N,
+//! N×1, and empty-adjacent cases) and task counts 1–8.
+//!
+//! Bit-identity (not approximate equality) is the contract the training
+//! determinism guarantee is built on: `assert_eq!` on `Matrix` compares
+//! every f32 exactly.
+
+use atnn_tensor::{pool, Matrix};
+use proptest::prelude::*;
+
+/// Pure deterministic value for element `(i, j)`: a SplitMix64-style hash
+/// mapped into `[-1, 1)`, with ~1/8 of entries exactly zero so the
+/// kernels' zero-skip path is exercised.
+fn val(seed: u64, i: usize, j: usize) -> f32 {
+    let mut z = seed
+        ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (j as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    if z.is_multiple_of(8) {
+        0.0
+    } else {
+        ((z >> 40) & 0xFF_FFFF) as f32 / (1u64 << 23) as f32 - 1.0
+    }
+}
+
+fn test_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    Matrix::from_fn(rows, cols, |i, j| val(seed, i, j))
+}
+
+/// `(m, k, n)` shapes: a general small box plus the degenerate families —
+/// zero-dimension (empty-adjacent), single-row, single-column, and
+/// single-output-column — and a band that crosses `PAR_MIN_WORK`-style
+/// row counts.
+fn shapes() -> impl Strategy<Value = (usize, usize, usize)> {
+    prop_oneof![
+        (0usize..12, 0usize..12, 0usize..12),
+        (Just(1usize), 1usize..48, 1usize..8),
+        (1usize..48, Just(1usize), 1usize..8),
+        (1usize..48, 1usize..8, Just(1usize)),
+        (13usize..40, 13usize..40, 13usize..40),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn matmul_parallel_is_bit_identical(
+        (m, k, n) in shapes(),
+        tasks in 1usize..9,
+        seed in any::<u64>(),
+    ) {
+        let a = test_matrix(m, k, seed);
+        let b = test_matrix(k, n, seed.wrapping_add(1));
+        let serial = pool::with_threads(1, || a.matmul(&b)).unwrap();
+        // Explicit task count, bypassing the work-size heuristic.
+        prop_assert_eq!(&a.matmul_parallel(&b, tasks).unwrap(), &serial);
+        // Auto dispatch under an overridden pool width.
+        let auto = pool::with_threads(tasks, || a.matmul(&b)).unwrap();
+        prop_assert_eq!(&auto, &serial);
+    }
+
+    #[test]
+    fn matmul_tn_parallel_is_bit_identical(
+        (m, k, n) in shapes(),
+        tasks in 1usize..9,
+        seed in any::<u64>(),
+    ) {
+        // matmul_tn: (k x m)ᵀ @ (k x n) -> (m x n).
+        let a = test_matrix(k, m, seed);
+        let b = test_matrix(k, n, seed.wrapping_add(1));
+        let serial = pool::with_threads(1, || a.matmul_tn(&b)).unwrap();
+        prop_assert_eq!(&a.matmul_tn_parallel(&b, tasks).unwrap(), &serial);
+        let auto = pool::with_threads(tasks, || a.matmul_tn(&b)).unwrap();
+        prop_assert_eq!(&auto, &serial);
+    }
+
+    #[test]
+    fn matmul_nt_parallel_is_bit_identical(
+        (m, k, n) in shapes(),
+        tasks in 1usize..9,
+        seed in any::<u64>(),
+    ) {
+        // matmul_nt: (m x k) @ (n x k)ᵀ -> (m x n).
+        let a = test_matrix(m, k, seed);
+        let b = test_matrix(n, k, seed.wrapping_add(1));
+        let serial = pool::with_threads(1, || a.matmul_nt(&b)).unwrap();
+        prop_assert_eq!(&a.matmul_nt_parallel(&b, tasks).unwrap(), &serial);
+        let auto = pool::with_threads(tasks, || a.matmul_nt(&b)).unwrap();
+        prop_assert_eq!(&auto, &serial);
+    }
+}
+
+/// The dispatch heuristic must also be exercised above `PAR_MIN_WORK`:
+/// a shape big enough to auto-fork still matches the pinned-serial run.
+#[test]
+fn auto_dispatch_above_threshold_is_bit_identical() {
+    // 96 * 96 * 96 = 884736 > PAR_MIN_WORK (1 << 19).
+    let a = test_matrix(96, 96, 11);
+    let b = test_matrix(96, 96, 12);
+    let serial = pool::with_threads(1, || a.matmul(&b)).unwrap();
+    for threads in [2usize, 4, 8] {
+        let par = pool::with_threads(threads, || a.matmul(&b)).unwrap();
+        assert_eq!(par, serial, "threads={threads}");
+    }
+}

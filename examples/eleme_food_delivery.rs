@@ -4,9 +4,7 @@
 //!
 //! Run with: `cargo run --release --example eleme_food_delivery`
 
-use atnn_repro::atnn::{
-    evaluate_mae_cold, AtnnConfig, MultiTaskAtnn, MultiTaskTrainOptions,
-};
+use atnn_repro::atnn::{evaluate_mae_cold, AtnnConfig, MultiTaskAtnn, MultiTaskTrainOptions};
 use atnn_repro::data::dataset::Split;
 use atnn_repro::data::eleme::{ElemeConfig, ElemeDataset, ElemeExpertPolicy};
 use atnn_repro::tensor::Rng64;
@@ -56,8 +54,7 @@ fn main() {
     by_expert.sort_by(|&a, &b| expert_scores[b].partial_cmp(&expert_scores[a]).unwrap());
 
     let realized = |picked: &[usize]| {
-        let vppv: f64 =
-            picked.iter().map(|&i| data.vppv(pool[i]) as f64).sum::<f64>() / k as f64;
+        let vppv: f64 = picked.iter().map(|&i| data.vppv(pool[i]) as f64).sum::<f64>() / k as f64;
         let gmv: f64 = picked.iter().map(|&i| data.gmv(pool[i]) as f64).sum::<f64>() / k as f64;
         (vppv, gmv)
     };

@@ -27,11 +27,8 @@ fn main() {
 
     // Publish the initial index from user group A.
     let group_a: Vec<u32> = (0..(data.num_users() / 2) as u32).collect();
-    let index = Arc::new(ServingIndex::new(PopularityIndex::build(
-        &serving_model,
-        &data,
-        &group_a,
-    )));
+    let index =
+        Arc::new(ServingIndex::new(PopularityIndex::build(&serving_model, &data, &group_a)));
 
     // Materialize generated item vectors for a shard of new arrivals —
     // this is the per-item O(1) state the scorers work from.
@@ -41,12 +38,12 @@ fn main() {
     // Concurrent scorers + one refresher that republishes the index built
     // from user group B halfway through.
     let total_scored = Arc::new(AtomicU64::new(0));
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for worker in 0..4 {
             let index = Arc::clone(&index);
             let vectors = &vectors;
             let total_scored = Arc::clone(&total_scored);
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut checksum = 0.0f64;
                 for round in 0..200 {
                     for i in 0..vectors.rows() {
@@ -62,15 +59,14 @@ fn main() {
         let index = Arc::clone(&index);
         let serving_model = &serving_model;
         let data = &data;
-        scope.spawn(move |_| {
+        scope.spawn(move || {
             let group_b: Vec<u32> =
                 ((data.num_users() / 2) as u32..data.num_users() as u32).collect();
             let fresh = PopularityIndex::build(serving_model, data, &group_b);
             index.publish(fresh);
             println!("refresher: published index from user group B");
         });
-    })
-    .expect("serving threads");
+    });
 
     println!(
         "served {} scores across 4 workers with one live index swap",
@@ -79,10 +75,8 @@ fn main() {
 
     // Show the end product: the top-5 new arrivals under the final index.
     let final_index = index.snapshot();
-    let mut ranked: Vec<(u32, f32)> = items
-        .iter()
-        .map(|&it| (it, final_index.score_vector(vectors.row(it as usize))))
-        .collect();
+    let mut ranked: Vec<(u32, f32)> =
+        items.iter().map(|&it| (it, final_index.score_vector(vectors.row(it as usize)))).collect();
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     println!("\ntop new arrivals by served popularity:");
     for (item, score) in ranked.iter().take(5) {

@@ -21,8 +21,11 @@ fn main() {
 
     println!("training ATNN on {} warm interactions...", split.train.len());
     let mut model = Atnn::new(AtnnConfig::scaled(), &data);
-    CtrTrainer::new(TrainOptions { epochs: 3, ..Default::default() })
-        .train(&mut model, &data, Some(&split.train));
+    CtrTrainer::new(TrainOptions { epochs: 3, ..Default::default() }).train(
+        &mut model,
+        &data,
+        Some(&split.train),
+    );
 
     // Rank the new arrivals in O(1) per item.
     let group: Vec<u32> = (0..(data.num_users() / 2) as u32).collect();
@@ -62,8 +65,16 @@ fn main() {
     let expert = run_arm(&data, &new_arrivals, &expert_scores, top_k, 5, &market);
     let atnn = run_arm(&data, &new_arrivals, &scores, top_k, 5, &market);
     println!("\nA/B test (top {top_k} selections, avg days to 5 sales):");
-    println!("  expert : {:.2} days (hit rate {:.0}%)", expert.avg_days_to_k_sales, expert.hit_rate * 100.0);
-    println!("  ATNN   : {:.2} days (hit rate {:.0}%)", atnn.avg_days_to_k_sales, atnn.hit_rate * 100.0);
+    println!(
+        "  expert : {:.2} days (hit rate {:.0}%)",
+        expert.avg_days_to_k_sales,
+        expert.hit_rate * 100.0
+    );
+    println!(
+        "  ATNN   : {:.2} days (hit rate {:.0}%)",
+        atnn.avg_days_to_k_sales,
+        atnn.hit_rate * 100.0
+    );
     let improvement =
         (expert.avg_days_to_k_sales - atnn.avg_days_to_k_sales) / expert.avg_days_to_k_sales;
     println!("  improvement: {:+.2}%", improvement * 100.0);

@@ -44,19 +44,15 @@ fn tabular_setup() -> Tabular {
     };
     let (x_train, y_train) = build(0..4_800);
     let (x_test, y_test) = build(4_800..6_000);
-    Tabular {
-        x_train,
-        y_train,
-        x_test,
-        labels_test: y_test.iter().map(|&v| v > 0.5).collect(),
-    }
+    Tabular { x_train, y_train, x_test, labels_test: y_test.iter().map(|&v| v > 0.5).collect() }
 }
 
 #[test]
 fn gbdt_dominates_linear_models_on_mixed_features() {
     let t = tabular_setup();
 
-    let gbdt = Gbdt::fit(GbdtConfig { num_trees: 40, ..Default::default() }, &t.x_train, &t.y_train);
+    let gbdt =
+        Gbdt::fit(GbdtConfig { num_trees: 40, ..Default::default() }, &t.x_train, &t.y_train);
     let gbdt_auc = auc(&gbdt.predict(&t.x_test), &t.labels_test).unwrap();
 
     let lr = LogisticRegression::fit(LrConfig::default(), &t.x_train, &t.y_train);

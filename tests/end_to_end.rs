@@ -2,8 +2,8 @@
 //! cold-start scores, on a fresh seed (distinct from every unit test).
 
 use atnn_repro::atnn::{
-    evaluate_auc_full, evaluate_auc_generated, evaluate_auc_imputed, Atnn, AtnnConfig,
-    CtrTrainer, PopularityIndex, TrainOptions,
+    evaluate_auc_full, evaluate_auc_generated, evaluate_auc_imputed, Atnn, AtnnConfig, CtrTrainer,
+    PopularityIndex, TrainOptions,
 };
 use atnn_repro::data::dataset::Split;
 use atnn_repro::data::tmall::{TmallConfig, TmallDataset};
@@ -28,8 +28,11 @@ fn fresh_setup() -> (TmallDataset, Split, Vec<u32>) {
 
 fn train(data: &TmallDataset, split: &Split, config: AtnnConfig) -> Atnn {
     let mut model = Atnn::new(config, data);
-    CtrTrainer::new(TrainOptions { epochs: 6, ..Default::default() })
-        .train(&mut model, data, Some(&split.train));
+    CtrTrainer::new(TrainOptions { epochs: 6, ..Default::default() }).train(
+        &mut model,
+        data,
+        Some(&split.train),
+    );
     model
 }
 
@@ -38,7 +41,9 @@ fn atnn_cold_start_beats_tnn_on_a_fresh_seed() {
     let (data, split, _) = fresh_setup();
     let atnn = train(&data, &split, AtnnConfig::scaled());
     let tnn = train(&data, &split, AtnnConfig::tnn_dcn());
-    let means = data.mean_item_stats(&split.train.iter().map(|&r| data.interactions[r as usize].item).collect::<Vec<_>>());
+    let means = data.mean_item_stats(
+        &split.train.iter().map(|&r| data.interactions[r as usize].item).collect::<Vec<_>>(),
+    );
 
     let atnn_cold = evaluate_auc_generated(&atnn, &data, &split.test).unwrap();
     let tnn_cold = evaluate_auc_imputed(&tnn, &data, &split.test, &means).unwrap();
@@ -94,8 +99,7 @@ fn popularity_scores_rank_true_popularity() {
     let group: Vec<u32> = (0..data.num_users() as u32).collect();
     let index = PopularityIndex::build(&model, &data, &group);
     let scores = index.score_new_arrivals(&model, &data, &new_arrivals);
-    let truth: Vec<f32> =
-        new_arrivals.iter().map(|&i| data.true_popularity(i)).collect();
+    let truth: Vec<f32> = new_arrivals.iter().map(|&i| data.true_popularity(i)).collect();
     let rho = atnn_repro::metrics::spearman(&scores, &truth).unwrap();
     assert!(rho > 0.5, "popularity ranking must track ground truth: rho={rho:.3}");
 }

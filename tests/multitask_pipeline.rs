@@ -28,13 +28,9 @@ fn multitask_pipeline_beats_naive_and_tracks_truth() {
 
     let (vppv_mae, gmv_mae) = evaluate_mae_cold(&model, &data, &split.test);
     // Naive baseline: predict the train mean everywhere.
-    let vm = split.train.iter().map(|&r| data.vppv(r) as f64).sum::<f64>()
-        / split.train.len() as f64;
-    let naive_vppv = split
-        .test
-        .iter()
-        .map(|&r| (data.vppv(r) as f64 - vm).abs())
-        .sum::<f64>()
+    let vm =
+        split.train.iter().map(|&r| data.vppv(r) as f64).sum::<f64>() / split.train.len() as f64;
+    let naive_vppv = split.test.iter().map(|&r| (data.vppv(r) as f64 - vm).abs()).sum::<f64>()
         / split.test.len() as f64;
     assert!(
         vppv_mae < naive_vppv * 0.9,
@@ -54,11 +50,7 @@ fn multitask_pipeline_beats_naive_and_tracks_truth() {
 fn model_ranking_beats_expert_ranking_on_gmv() {
     let (data, split) = setup();
     let mut model = MultiTaskAtnn::new(AtnnConfig::scaled(), &data, &split.train);
-    model.train(
-        &data,
-        &split.train,
-        &MultiTaskTrainOptions { epochs: 10, ..Default::default() },
-    );
+    model.train(&data, &split.train, &MultiTaskTrainOptions { epochs: 10, ..Default::default() });
     let (_, gmv_pred) = model.predict_cold(&data, &split.test);
     let expert = ElemeExpertPolicy::default().score(&data, &split.test);
     let gmv_true: Vec<f32> = split.test.iter().map(|&r| data.gmv(r)).collect();

@@ -10,8 +10,13 @@ use atnn_repro::data::tmall::{TmallConfig, TmallDataset};
 #[test]
 fn hot_swap_is_atomic_under_concurrent_reads() {
     let data = TmallDataset::generate(
-        TmallConfig { num_users: 200, num_items: 300, num_interactions: 2_000, ..TmallConfig::tiny() }
-            .with_seed(4242),
+        TmallConfig {
+            num_users: 200,
+            num_items: 300,
+            num_interactions: 2_000,
+            ..TmallConfig::tiny()
+        }
+        .with_seed(4242),
     );
     let mut model = Atnn::new(AtnnConfig::scaled(), &data);
     CtrTrainer::new(TrainOptions { epochs: 1, ..Default::default() })
@@ -22,22 +27,19 @@ fn hot_swap_is_atomic_under_concurrent_reads() {
     let index_a = PopularityIndex::build(&model, &data, &group_a);
     let index_b = PopularityIndex::build(&model, &data, &group_b);
 
-    let item_vec = model
-        .item_vectors_generated(&data.encode_item_profiles(&[0]))
-        .row(0)
-        .to_vec();
+    let item_vec = model.item_vectors_generated(&data.encode_item_profiles(&[0])).row(0).to_vec();
     let expected_a = index_a.score_vector(&item_vec);
     let expected_b = index_b.score_vector(&item_vec);
     assert_ne!(expected_a, expected_b, "the two groups must score differently");
 
     let serving = Arc::new(ServingIndex::new(index_a.clone()));
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         // Four readers hammer the index; every score must equal one of the
         // two legitimate values.
         for _ in 0..4 {
             let serving = Arc::clone(&serving);
             let item_vec = item_vec.clone();
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for _ in 0..20_000 {
                     let s = serving.score(&item_vec);
                     assert!(
@@ -49,11 +51,10 @@ fn hot_swap_is_atomic_under_concurrent_reads() {
         }
         // One writer flips between the indexes.
         let serving = Arc::clone(&serving);
-        scope.spawn(move |_| {
+        scope.spawn(move || {
             for i in 0..50 {
                 serving.publish(if i % 2 == 0 { index_b.clone() } else { index_a.clone() });
             }
         });
-    })
-    .unwrap();
+    });
 }

@@ -1,0 +1,378 @@
+//! Minimal offline stand-in for the `criterion` crate (0.5 API subset).
+//!
+//! A thin wall-clock timing harness behind criterion's API shape:
+//! warm-up, a fixed number of timed samples, and a one-line report per
+//! benchmark. No statistical analysis, outlier detection or HTML reports.
+//!
+//! Set `CRITERION_JSON=/path/to/out.json` to additionally dump every
+//! result of the process as a JSON array — the workspace's bench scripts
+//! use this to record kernel numbers in version-controlled artifacts.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Work performed per iteration, used to report rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus a parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `new("matmul", 256)` renders as `matmul/256`.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", name.into(), param) }
+    }
+}
+
+/// Anything accepted as a benchmark id (`&str` or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+struct Record {
+    name: String,
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    samples: usize,
+    iters_per_sample: u64,
+    throughput: Option<Throughput>,
+}
+
+/// The top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    sample_size: Option<usize>,
+    records: Vec<Record>,
+}
+
+const DEFAULT_SAMPLE_SIZE: usize = 30;
+/// Total measurement budget per benchmark; sample count shrinks to fit
+/// when single iterations are slow.
+const TOTAL_BUDGET: Duration = Duration::from_millis(1500);
+const WARMUP_BUDGET: Duration = Duration::from_millis(150);
+
+impl Criterion {
+    /// Overrides the default number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: None, throughput: None }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function(&mut self, id: impl IntoBenchmarkId, mut f: impl FnMut(&mut Bencher)) {
+        let sample_size = self.sample_size.unwrap_or(DEFAULT_SAMPLE_SIZE);
+        self.run_one(id.into_id(), sample_size, None, &mut f);
+    }
+
+    fn run_one(
+        &mut self,
+        name: String,
+        sample_size: usize,
+        throughput: Option<Throughput>,
+        f: &mut dyn FnMut(&mut Bencher),
+    ) {
+        let mut bencher = Bencher { sample_size, samples_ns: Vec::new(), iters_per_sample: 1 };
+        f(&mut bencher);
+        let Bencher { samples_ns, iters_per_sample, .. } = bencher;
+        if samples_ns.is_empty() {
+            return; // the closure never called iter()
+        }
+        let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        let min = samples_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples_ns.iter().cloned().fold(0.0f64, f64::max);
+        let record = Record {
+            name,
+            mean_ns: mean,
+            min_ns: min,
+            max_ns: max,
+            samples: samples_ns.len(),
+            iters_per_sample,
+            throughput,
+        };
+        report(&record);
+        self.records.push(record);
+    }
+}
+
+impl Drop for Criterion {
+    fn drop(&mut self) {
+        let Ok(path) = std::env::var("CRITERION_JSON") else { return };
+        if self.records.is_empty() {
+            return;
+        }
+        let mut out = String::from("[\n");
+        for (i, r) in self.records.iter().enumerate() {
+            let (kind, per_iter) = match r.throughput {
+                Some(Throughput::Elements(n)) => ("elements", n),
+                Some(Throughput::Bytes(n)) => ("bytes", n),
+                None => ("none", 0),
+            };
+            let rate = if per_iter > 0 && r.mean_ns > 0.0 {
+                per_iter as f64 / (r.mean_ns * 1e-9)
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "  {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}, \
+                 \"samples\": {}, \"iters_per_sample\": {}, \"throughput_kind\": \"{}\", \
+                 \"throughput_per_iter\": {}, \"rate_per_sec\": {:.1}}}{}\n",
+                r.name,
+                r.mean_ns,
+                r.min_ns,
+                r.max_ns,
+                r.samples,
+                r.iters_per_sample,
+                kind,
+                per_iter,
+                rate,
+                if i + 1 == self.records.len() { "" } else { "," },
+            ));
+        }
+        out.push_str("]\n");
+        // Append-merge: concatenate arrays from multiple Criterion drops in
+        // one process by rewriting the whole file each time.
+        let merged = match std::fs::read_to_string(&path) {
+            Ok(prev) if prev.trim_start().starts_with('[') && prev.trim_end().ends_with(']') => {
+                let prev_body = prev.trim().trim_start_matches('[').trim_end_matches(']').trim();
+                let new_body = out.trim().trim_start_matches('[').trim_end_matches(']').trim();
+                if prev_body.is_empty() {
+                    out.clone()
+                } else {
+                    format!("[\n  {},\n  {}\n]\n", prev_body.trim_end_matches(','), new_body)
+                }
+            }
+            _ => out.clone(),
+        };
+        if let Err(e) = std::fs::write(&path, merged) {
+            eprintln!("criterion: failed to write {path}: {e}");
+        }
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn report(r: &Record) {
+    let thrpt = match r.throughput {
+        Some(Throughput::Elements(n)) if r.mean_ns > 0.0 => {
+            let rate = n as f64 / (r.mean_ns * 1e-9);
+            format!("  thrpt: {:.3} Melem/s", rate / 1e6)
+        }
+        Some(Throughput::Bytes(n)) if r.mean_ns > 0.0 => {
+            let rate = n as f64 / (r.mean_ns * 1e-9);
+            format!("  thrpt: {:.3} MiB/s", rate / (1024.0 * 1024.0))
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{:<48} time: [{} {} {}]{}",
+        r.name,
+        human(r.min_ns),
+        human(r.mean_ns),
+        human(r.max_ns),
+        thrpt
+    );
+}
+
+/// A group of related benchmarks sharing sample size and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Declares per-iteration work for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    fn effective_sample_size(&self) -> usize {
+        self.sample_size.or(self.criterion.sample_size).unwrap_or(DEFAULT_SAMPLE_SIZE)
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(&mut self, id: impl IntoBenchmarkId, mut f: impl FnMut(&mut Bencher)) {
+        let name = format!("{}/{}", self.name, id.into_id());
+        let (n, t) = (self.effective_sample_size(), self.throughput);
+        self.criterion.run_one(name, n, t, &mut f);
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let name = format!("{}/{}", self.name, id.into_id());
+        let (n, t) = (self.effective_sample_size(), self.throughput);
+        self.criterion.run_one(name, n, t, &mut |b| f(b, input));
+    }
+
+    /// Ends the group (kept for API compatibility; no-op).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; times the routine.
+pub struct Bencher {
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Measures the routine: warm-up, then timed samples. Mean/min/max of
+    /// the per-iteration time are recorded and reported by the harness.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warm-up and per-iteration estimate.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        loop {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_start.elapsed() >= WARMUP_BUDGET || warm_iters >= 10 {
+                break;
+            }
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+
+        // Fit the requested samples into the budget; slow routines get
+        // fewer samples rather than multi-minute runs.
+        let budget_ns = TOTAL_BUDGET.as_nanos() as f64;
+        let max_samples = ((budget_ns / est_ns) as usize).max(3);
+        let samples = self.sample_size.min(max_samples);
+        // Aim for ~1ms per sample so Instant overhead stays negligible.
+        let iters = ((1e6 / est_ns) as u64).clamp(1, 1_000_000);
+
+        self.iters_per_sample = iters;
+        self.samples_ns.clear();
+        for _ in 0..samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples_ns.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+}
+
+/// Declares a benchmark group function. Both criterion forms are accepted:
+/// a plain target list, or `name/config/targets` assignments.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn times_a_cheap_routine() {
+        let mut c = Criterion::default().sample_size(5);
+        let mut ran = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        assert_eq!(c.records.len(), 1);
+        assert!(c.records[0].mean_ns > 0.0);
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn groups_and_ids_render() {
+        let mut c = Criterion::default().sample_size(3);
+        {
+            let mut g = c.benchmark_group("grp");
+            g.sample_size(3).throughput(Throughput::Elements(10));
+            g.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
+            g.bench_with_input(BenchmarkId::new("param", 42), &42, |b, &x| {
+                b.iter(|| black_box(x * 2))
+            });
+            g.finish();
+        }
+        let names: Vec<&str> = c.records.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, vec!["grp/plain", "grp/param/42"]);
+    }
+}
