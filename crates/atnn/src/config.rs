@@ -19,7 +19,7 @@ pub enum AdversarialMode {
 
 /// Hyper-parameters of [`crate::Atnn`] (and the TNN baselines, which are
 /// configurations of the same architecture).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AtnnConfig {
     /// Width of the final item/user vectors (the paper uses 128).
     pub vec_dim: usize,

@@ -52,6 +52,7 @@
 //! assert_eq!(scores.len(), 3);
 //! ```
 
+mod artifact;
 mod concat_dnn;
 mod config;
 mod features;
@@ -62,6 +63,7 @@ mod popularity;
 mod towers;
 mod trainer;
 
+pub use artifact::{ArtifactError, InstantiatedModel, ModelArtifact};
 pub use concat_dnn::ConcatDnn;
 pub use config::{embed_dim_for, AdversarialMode, AtnnConfig};
 pub use features::FeatureEncoder;

@@ -8,10 +8,10 @@
 //! arrival against the stored mean vector. Per-item cost drops from
 //! `O(N_users)` to `O(1)`.
 
-use std::sync::RwLock;
+use std::sync::Arc;
 
 use atnn_data::tmall::TmallDataset;
-use atnn_tensor::{dot, pool, Matrix};
+use atnn_tensor::{dot, pool, Matrix, SwapCell};
 
 use crate::model::Atnn;
 
@@ -49,6 +49,12 @@ impl PopularityIndex {
     pub fn from_user_vectors(vectors: &Matrix, bias: f32) -> Self {
         assert!(vectors.rows() > 0, "PopularityIndex: no vectors");
         PopularityIndex { mean_user_vec: vectors.mean_rows().into_vec(), bias }
+    }
+
+    /// Reassembles an index from its stored parts (artifact loading).
+    pub fn from_parts(mean_user_vec: Vec<f32>, bias: f32) -> Self {
+        assert!(!mean_user_vec.is_empty(), "PopularityIndex: empty mean vector");
+        PopularityIndex { mean_user_vec, bias }
     }
 
     /// O(1) popularity score of one item vector:
@@ -142,34 +148,39 @@ pub fn pairwise_popularity_parallel(
     .collect()
 }
 
-/// A hot-swappable serving wrapper: scoring threads take cheap read locks
-/// while a trainer republishes the index after each model refresh — the
-/// "store its mean user vector at the training stage" deployment shape of
-/// the paper's real-time engine.
+/// A hot-swappable serving wrapper: scoring threads read an [`Arc`]
+/// snapshot while a trainer republishes the index after each model
+/// refresh — the "store its mean user vector at the training stage"
+/// deployment shape of the paper's real-time engine.
+///
+/// Built on [`SwapCell`]: a score or snapshot is one refcount bump (the
+/// mean-vector matrix is never copied), and a publish is one pointer swap,
+/// so readers never wait behind an index rebuild.
 #[derive(Debug)]
 pub struct ServingIndex {
-    inner: RwLock<PopularityIndex>,
+    inner: SwapCell<PopularityIndex>,
 }
 
 impl ServingIndex {
     /// Wraps an index for concurrent use.
     pub fn new(index: PopularityIndex) -> Self {
-        ServingIndex { inner: RwLock::new(index) }
+        ServingIndex { inner: SwapCell::new(index) }
     }
 
-    /// Scores one item vector under a read lock.
+    /// Scores one item vector against the currently published index.
     pub fn score(&self, item_vec: &[f32]) -> f32 {
-        self.inner.read().expect("serving lock poisoned").score_vector(item_vec)
+        self.inner.load().score_vector(item_vec)
     }
 
     /// Atomically replaces the published index.
     pub fn publish(&self, index: PopularityIndex) {
-        *self.inner.write().expect("serving lock poisoned") = index;
+        self.inner.publish(index);
     }
 
-    /// A snapshot of the current index.
-    pub fn snapshot(&self) -> PopularityIndex {
-        self.inner.read().expect("serving lock poisoned").clone()
+    /// A zero-copy snapshot of the current index; stays valid (and
+    /// unchanged) across later publishes.
+    pub fn snapshot(&self) -> Arc<PopularityIndex> {
+        self.inner.load()
     }
 }
 
@@ -276,9 +287,28 @@ mod tests {
         assert_eq!(before, index.score_vector(&item));
         // Publish a different index (other user group) and observe change.
         let other = PopularityIndex::build(&model, &data, &(32..80).collect::<Vec<_>>());
+        let pre_swap = serving.snapshot();
         serving.publish(other.clone());
         assert_eq!(serving.score(&item), other.score_vector(&item));
-        assert_eq!(serving.snapshot(), other);
+        assert_eq!(*serving.snapshot(), other);
+        assert_eq!(*pre_swap, index, "old snapshots survive a publish unchanged");
+    }
+
+    #[test]
+    fn snapshots_share_storage_between_publishes() {
+        let (model, data) = trained();
+        let serving = ServingIndex::new(PopularityIndex::build(&model, &data, &[0, 1, 2]));
+        let a = serving.snapshot();
+        let b = serving.snapshot();
+        assert!(Arc::ptr_eq(&a, &b), "snapshot must be a refcount bump, not a copy");
+    }
+
+    #[test]
+    fn from_parts_roundtrips_the_stored_state() {
+        let (model, data) = trained();
+        let built = PopularityIndex::build(&model, &data, &(0..40).collect::<Vec<_>>());
+        let rebuilt = PopularityIndex::from_parts(built.mean_user_vec().to_vec(), built.bias());
+        assert_eq!(rebuilt, built);
     }
 
     #[test]

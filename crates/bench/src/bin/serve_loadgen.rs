@@ -1,0 +1,246 @@
+//! Load generator for the atnn-serve inference service.
+//!
+//! Trains one model, then runs closed-loop mixed traffic (forced-cold,
+//! forced-warm, policy-routed, top-k) against a fresh in-process server at
+//! several offered-load levels, and dumps per-endpoint latency quantiles
+//! plus shed rates to `BENCH_serve.json`. The final level deliberately
+//! shrinks the batcher queue to drive the server into overload so the shed
+//! path shows up in the record, not just in unit tests.
+//!
+//! Run with: `cargo run --release -p atnn-bench --bin serve_loadgen
+//! [-- --scale tiny|small|paper] [--duration-ms N] [--out PATH]`
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use atnn_bench::Scale;
+use atnn_core::{Atnn, AtnnConfig, CtrTrainer, PopularityIndex, TrainOptions};
+use atnn_data::tmall::{TmallConfig, TmallDataset};
+use atnn_serve::protocol::StatsReport;
+use atnn_serve::{serve, ModelManager, ModelSnapshot, Response, ServeClient, ServeConfig};
+
+/// One offered-load level.
+struct Level {
+    name: &'static str,
+    clients: usize,
+    /// Items per scoring request.
+    request_items: usize,
+    /// Batcher queue bound for this level (small = forced overload).
+    queue_capacity: usize,
+}
+
+/// What one level measured.
+struct LevelResult {
+    level: Level,
+    elapsed: Duration,
+    requests_sent: u64,
+    client_sheds: u64,
+    stats: StatsReport,
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::from_args();
+    let duration = Duration::from_millis(
+        flag_value(&args, "--duration-ms").and_then(|v| v.parse().ok()).unwrap_or(2_000),
+    );
+    let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
+
+    let data_cfg = match scale {
+        Scale::Tiny => TmallConfig::tiny(),
+        Scale::Small => TmallConfig::small(),
+        Scale::Paper => TmallConfig::paper_scale(),
+    };
+    eprintln!("training model ({scale:?} scale)...");
+    let data = TmallDataset::generate(data_cfg);
+    let mut model = Atnn::new(AtnnConfig::scaled(), &data);
+    CtrTrainer::new(TrainOptions { epochs: 1, ..Default::default() })
+        .train(&mut model, &data, None);
+    let users: Vec<u32> = (0..data.num_users() as u32).collect();
+    let index = PopularityIndex::build(&model, &data, &users);
+    let num_items = data.num_items();
+    let manager = Arc::new(ModelManager::new(ModelSnapshot { version: 1, data, model, index }));
+
+    // Requests carry enough items that the forward pass, not the TCP
+    // round-trip, dominates the measured latency — that is what makes the
+    // cold path's cheapness visible in the quantiles.
+    let levels = [
+        Level { name: "light", clients: 2, request_items: 256, queue_capacity: 4096 },
+        Level { name: "heavy", clients: 8, request_items: 256, queue_capacity: 4096 },
+        // Queue bound below the offered in-flight item count: the batcher
+        // must shed, and the shed rate must show up in the stats.
+        Level { name: "overload", clients: 8, request_items: 256, queue_capacity: 384 },
+    ];
+
+    let mut results = Vec::new();
+    for level in levels {
+        eprintln!(
+            "level {}: {} clients x {} items, queue {}...",
+            level.name, level.clients, level.request_items, level.queue_capacity
+        );
+        results.push(run_level(level, &manager, num_items, duration));
+    }
+
+    let json = render_json(scale, &results);
+    std::fs::write(&out_path, &json).expect("write bench json");
+    eprintln!("wrote {out_path}");
+
+    // The paper's reason for the O(1) cold path is that it is cheap; the
+    // served latencies have to agree. Checked at the light level, where a
+    // request's latency is its own forward pass rather than queue wait.
+    let light = &results[0].stats;
+    let cold_p50 = light.endpoint("score_new_arrival").map(|e| e.p50_ns).unwrap_or(0);
+    let warm_p50 = light.endpoint("score_warm_item").map(|e| e.p50_ns).unwrap_or(0);
+    eprintln!("light-level p50: cold {}us vs warm {}us", cold_p50 / 1_000, warm_p50 / 1_000);
+    assert!(
+        cold_p50 < warm_p50,
+        "cold-path p50 ({cold_p50}ns) must undercut warm-path p50 ({warm_p50}ns)"
+    );
+    let overload = &results[2];
+    assert!(
+        overload.client_sheds > 0,
+        "the overload level must actually shed (queue bound too generous?)"
+    );
+}
+
+/// Runs one closed-loop level against a fresh server (fresh telemetry and
+/// router; the trained model is shared through the manager).
+fn run_level(
+    level: Level,
+    manager: &Arc<ModelManager>,
+    num_items: usize,
+    duration: Duration,
+) -> LevelResult {
+    let cfg = ServeConfig { queue_capacity: level.queue_capacity, ..ServeConfig::default() };
+    let warm_threshold = cfg.warm_threshold;
+    let mut handle = serve(cfg, Arc::clone(manager)).expect("bind ephemeral port");
+    let addr = handle.local_addr();
+
+    // Warm the first half of the catalogue so routed traffic is mixed.
+    let warm_pool: Vec<u32> = (0..(num_items / 2) as u32).collect();
+    let mut setup = ServeClient::connect(addr).expect("setup connect");
+    for chunk in warm_pool.chunks(512) {
+        for _ in 0..warm_threshold {
+            setup.record_interactions(chunk).expect("warm catalogue");
+        }
+    }
+
+    let requests_sent = AtomicU64::new(0);
+    let client_sheds = AtomicU64::new(0);
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for worker in 0..level.clients {
+            let (requests_sent, client_sheds) = (&requests_sent, &client_sheds);
+            let n = level.request_items;
+            scope.spawn(move || {
+                let mut client = ServeClient::connect(addr).expect("client connect");
+                // Per-worker deterministic item cursor; cold ids come from
+                // the unwarmed upper half, warm ids from the lower half.
+                let mut cursor = worker as u32 * 7919;
+                let half = (num_items / 2) as u32;
+                let phase_len = duration / 3;
+                let send = |response: Result<Response, _>| {
+                    requests_sent.fetch_add(1, Ordering::Relaxed);
+                    match response.expect("request failed") {
+                        Response::Overloaded => {
+                            client_sheds.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Response::Error(msg) => panic!("server error: {msg}"),
+                        _ => {}
+                    }
+                };
+                // Three homogeneous phases — cold-only, warm-only, then
+                // routed mixed traffic. Homogeneous phases keep each
+                // endpoint's queue wait proportional to its own path's
+                // service time, so the cold/warm latency gap survives
+                // into the per-endpoint quantiles.
+                while started.elapsed() < phase_len {
+                    let cold: Vec<u32> =
+                        (0..n as u32).map(|i| half + (cursor + i) % half).collect();
+                    cursor = cursor.wrapping_add(n as u32);
+                    send(client.score_new_arrival(&cold));
+                }
+                while started.elapsed() < 2 * phase_len {
+                    let warm: Vec<u32> = (0..n as u32).map(|i| (cursor + i) % half).collect();
+                    cursor = cursor.wrapping_add(n as u32);
+                    send(client.score_warm_item(&warm));
+                }
+                while started.elapsed() < duration {
+                    let mixed: Vec<u32> =
+                        (0..n as u32).map(|i| (cursor + i) % (2 * half)).collect();
+                    cursor = cursor.wrapping_add(n as u32);
+                    send(client.score(&mixed));
+                    send(client.topk(&mixed, 8));
+                }
+            });
+        }
+    });
+    let elapsed = started.elapsed();
+
+    let stats = setup.stats().expect("final stats");
+    handle.shutdown();
+    LevelResult {
+        level,
+        elapsed,
+        requests_sent: requests_sent.load(Ordering::Relaxed),
+        client_sheds: client_sheds.load(Ordering::Relaxed),
+        stats,
+    }
+}
+
+fn render_json(scale: Scale, results: &[LevelResult]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
+    out.push_str("  \"levels\": [\n");
+    for (li, r) in results.iter().enumerate() {
+        let secs = r.elapsed.as_secs_f64();
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", r.level.name));
+        out.push_str(&format!("      \"clients\": {},\n", r.level.clients));
+        out.push_str(&format!("      \"request_items\": {},\n", r.level.request_items));
+        out.push_str(&format!("      \"queue_capacity\": {},\n", r.level.queue_capacity));
+        out.push_str(&format!("      \"duration_secs\": {secs:.3},\n"));
+        out.push_str(&format!("      \"requests_sent\": {},\n", r.requests_sent));
+        out.push_str(&format!("      \"throughput_rps\": {:.1},\n", r.requests_sent as f64 / secs));
+        out.push_str(&format!(
+            "      \"shed_rate\": {:.4},\n",
+            r.client_sheds as f64 / (r.requests_sent as f64).max(1.0)
+        ));
+        out.push_str(&format!(
+            "      \"batches\": {}, \"batched_items\": {}, \"mean_batch_size\": {:.2},\n",
+            r.stats.batches,
+            r.stats.batched_items,
+            r.stats.mean_batch_size()
+        ));
+        out.push_str("      \"endpoints\": [\n");
+        let scoring: Vec<_> = r
+            .stats
+            .endpoints
+            .iter()
+            .filter(|e| e.requests > 0 && e.name != "record_interactions" && e.name != "stats")
+            .collect();
+        for (ei, e) in scoring.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{\"name\": \"{}\", \"requests\": {}, \"errors\": {}, \"shed\": {}, \
+                 \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}}}{}\n",
+                e.name,
+                e.requests,
+                e.errors,
+                e.shed,
+                e.p50_ns as f64 / 1_000.0,
+                e.p95_ns as f64 / 1_000.0,
+                e.p99_ns as f64 / 1_000.0,
+                if ei + 1 < scoring.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("      ]\n");
+        out.push_str(&format!("    }}{}\n", if li + 1 < results.len() { "," } else { "" }));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

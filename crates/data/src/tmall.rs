@@ -38,7 +38,7 @@ pub struct Interaction {
 }
 
 /// Simulator configuration. All fields are public dials; presets below.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TmallConfig {
     /// Number of users.
     pub num_users: usize,

@@ -51,7 +51,7 @@ pub use mlp::Mlp;
 pub use norm::LayerNorm;
 pub use optim::{clip_grad_norm, AdaGrad, Adam, Optimizer, Sgd};
 pub use schedule::{ConstantLr, ExponentialDecay, LrSchedule, StepDecay};
-pub use serialize::{load_store, save_store, NnError};
+pub use serialize::{fnv1a64, load_store, save_store, NnError};
 
 use atnn_autograd::{Graph, ParamStore, Var};
 use atnn_tensor::{Matrix, Rng64};

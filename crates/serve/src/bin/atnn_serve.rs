@@ -1,0 +1,225 @@
+//! The serving daemon: train (or load an artifact), bind, serve.
+//!
+//! ```text
+//! atnn_serve [--scale tiny|small|paper] [--addr HOST:PORT]
+//!            [--artifact PATH] [--save-artifact PATH]
+//!            [--epochs N] [--smoke]
+//! ```
+//!
+//! Without `--artifact`, the daemon trains a model on the simulated Tmall
+//! stream at the requested scale, builds the O(1) popularity index, and
+//! serves it. With `--artifact PATH` it boots from a saved
+//! [`ModelArtifact`] instead (the production shape: a training job writes
+//! the artifact, the serving fleet loads it). `--save-artifact` writes the
+//! trained state so a later run — or a hot reload — can pick it up.
+//!
+//! `--smoke` starts the server on an ephemeral port, exercises every
+//! endpoint once through a real TCP client, and exits non-zero on any
+//! mismatch: the CI smoke stage.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use atnn_core::{Atnn, AtnnConfig, CtrTrainer, ModelArtifact, PopularityIndex, TrainOptions};
+use atnn_data::tmall::{TmallConfig, TmallDataset};
+use atnn_serve::{serve, ModelManager, ModelSnapshot, Response, ServeClient, ServeConfig};
+
+struct Args {
+    scale: String,
+    addr: Option<String>,
+    artifact: Option<String>,
+    save_artifact: Option<String>,
+    epochs: usize,
+    smoke: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = Args {
+        scale: "small".to_string(),
+        addr: None,
+        artifact: None,
+        save_artifact: None,
+        epochs: 2,
+        smoke: false,
+    };
+    let mut i = 0;
+    let value = |argv: &[String], i: usize, flag: &str| -> Result<String, String> {
+        argv.get(i + 1).cloned().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--scale" => {
+                args.scale = value(&argv, i, "--scale")?;
+                i += 2;
+            }
+            "--addr" => {
+                args.addr = Some(value(&argv, i, "--addr")?);
+                i += 2;
+            }
+            "--artifact" => {
+                args.artifact = Some(value(&argv, i, "--artifact")?);
+                i += 2;
+            }
+            "--save-artifact" => {
+                args.save_artifact = Some(value(&argv, i, "--save-artifact")?);
+                i += 2;
+            }
+            "--epochs" => {
+                args.epochs = value(&argv, i, "--epochs")?
+                    .parse()
+                    .map_err(|_| "--epochs needs an integer".to_string())?;
+                i += 2;
+            }
+            "--smoke" => {
+                args.smoke = true;
+                i += 1;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn data_config(scale: &str) -> Result<TmallConfig, String> {
+    match scale {
+        "tiny" => Ok(TmallConfig::tiny()),
+        "small" => Ok(TmallConfig::small()),
+        "paper" => Ok(TmallConfig::paper_scale()),
+        other => Err(format!("unknown scale {other} (tiny|small|paper)")),
+    }
+}
+
+/// Trains a fresh model at `scale` and wraps it into a snapshot.
+fn train_snapshot(scale: &str, epochs: usize) -> Result<(ModelSnapshot, TmallConfig), String> {
+    let cfg = data_config(scale)?;
+    eprintln!("generating {scale} dataset...");
+    let data = TmallDataset::generate(cfg.clone());
+    let mut model = Atnn::new(AtnnConfig::scaled(), &data);
+    eprintln!(
+        "training {} parameters for {epochs} epochs on {} interactions...",
+        model.num_parameters(),
+        data.interactions.len()
+    );
+    CtrTrainer::new(TrainOptions { epochs, ..Default::default() }).train(&mut model, &data, None);
+    let users: Vec<u32> = (0..data.num_users() as u32).collect();
+    let index = PopularityIndex::build(&model, &data, &users);
+    Ok((ModelSnapshot { version: 1, data, model, index }, cfg))
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+
+    let (manager, data_cfg) = match &args.artifact {
+        Some(path) => {
+            eprintln!("loading artifact {path}...");
+            let artifact =
+                ModelArtifact::load_from(path).map_err(|e| format!("load {path}: {e}"))?;
+            let snapshot = ModelSnapshot::from_artifact(&artifact)
+                .map_err(|e| format!("instantiate {path}: {e}"))?;
+            let cfg = artifact.data_config.clone();
+            (ModelManager::new(snapshot), cfg)
+        }
+        None => {
+            let (snapshot, cfg) = train_snapshot(&args.scale, args.epochs)?;
+            (ModelManager::new(snapshot), cfg)
+        }
+    };
+
+    if let Some(path) = &args.save_artifact {
+        let snap = manager.load();
+        let artifact = ModelArtifact::capture(&snap.model, &data_cfg, &snap.index, snap.version);
+        artifact.save_to(path).map_err(|e| format!("save {path}: {e}"))?;
+        eprintln!("artifact saved to {path}");
+    }
+
+    let mut serve_cfg = ServeConfig::default();
+    match (&args.addr, args.smoke) {
+        (Some(addr), _) => serve_cfg.addr = addr.clone(),
+        // Smoke runs always take an ephemeral port so CI never collides.
+        (None, true) => serve_cfg.addr = "127.0.0.1:0".to_string(),
+        (None, false) => serve_cfg.addr = "127.0.0.1:7878".to_string(),
+    }
+
+    let manager = Arc::new(manager);
+    let mut handle =
+        serve(serve_cfg, Arc::clone(&manager)).map_err(|e| format!("bind failed: {e}"))?;
+    println!("atnn-serve listening on {} (model v{})", handle.local_addr(), manager.version());
+
+    if args.smoke {
+        let result = smoke(handle.local_addr());
+        handle.shutdown();
+        return result;
+    }
+
+    // Serve until killed.
+    loop {
+        std::thread::park();
+    }
+}
+
+/// One request per endpoint over real TCP; any surprise is a hard failure.
+fn smoke(addr: std::net::SocketAddr) -> Result<(), String> {
+    fn fail<E: std::fmt::Display>(what: &'static str) -> impl Fn(E) -> String {
+        move |e| format!("smoke {what}: {e}")
+    }
+    let mut client = ServeClient::connect(addr).map_err(fail("connect"))?;
+
+    let version = client.health().map_err(fail("health"))?;
+    println!("smoke: health ok, model v{version}");
+
+    let items: Vec<u32> = (0..8).collect();
+    match client.score_new_arrival(&items).map_err(fail("score_new_arrival"))? {
+        Response::Scores(s) if s.len() == items.len() => {
+            println!("smoke: score_new_arrival ok ({} scores)", s.len());
+        }
+        other => return Err(format!("smoke score_new_arrival: unexpected {other:?}")),
+    }
+    match client.score_warm_item(&items).map_err(fail("score_warm_item"))? {
+        Response::Scores(s) if s.len() == items.len() => {
+            println!("smoke: score_warm_item ok ({} scores)", s.len());
+        }
+        other => return Err(format!("smoke score_warm_item: unexpected {other:?}")),
+    }
+
+    let counts = client.record_interactions(&[0, 0, 0]).map_err(fail("record_interactions"))?;
+    if counts.len() != 3 || counts[2] < 3 {
+        return Err(format!("smoke record_interactions: unexpected counts {counts:?}"));
+    }
+    println!("smoke: record_interactions ok (item 0 at {})", counts[2]);
+
+    match client.score(&items).map_err(fail("score"))? {
+        Response::RoutedScores { scores, warm } if scores.len() == items.len() => {
+            println!("smoke: score ok ({} warm)", warm.iter().filter(|&&w| w).count());
+        }
+        other => return Err(format!("smoke score: unexpected {other:?}")),
+    }
+    match client.topk(&items, 3).map_err(fail("topk"))? {
+        Response::TopK(winners) if winners.len() == 3 => {
+            println!("smoke: topk ok (best item {} @ {:.4})", winners[0].0, winners[0].1);
+        }
+        other => return Err(format!("smoke topk: unexpected {other:?}")),
+    }
+
+    let stats = client.stats().map_err(fail("stats"))?;
+    let scored = stats.endpoint("score_new_arrival").map(|e| e.requests).unwrap_or(0);
+    if scored == 0 {
+        return Err("smoke stats: score_new_arrival requests not accounted".to_string());
+    }
+    println!(
+        "smoke: stats ok ({} batches, mean batch {:.1})",
+        stats.batches,
+        stats.mean_batch_size()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("atnn_serve: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

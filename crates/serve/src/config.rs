@@ -1,0 +1,47 @@
+//! Server configuration.
+
+use std::time::Duration;
+
+/// All serving dials in one place. `Default` is tuned for tests and the
+/// loadgen; production deployments override the address and capacities.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address. Port 0 picks an ephemeral port (tests, loadgen).
+    pub addr: String,
+    /// Maximum items coalesced into one batched forward pass.
+    pub max_batch: usize,
+    /// Maximum items a single request may carry (larger requests are
+    /// answered with an `Error` instead of monopolizing the batcher).
+    pub max_request_items: usize,
+    /// How long the batcher waits for more work after the first job of a
+    /// batch arrives (the paper-style micro-batching deadline).
+    pub flush_deadline: Duration,
+    /// When true (the default), a partially filled batch is flushed as
+    /// soon as the queue is empty instead of waiting out the deadline —
+    /// latency-optimal under light load, identical under saturation.
+    pub eager_flush: bool,
+    /// Bound on items waiting in the batcher queue. Submissions beyond it
+    /// are shed with `Overloaded` instead of blocking the acceptor.
+    pub queue_capacity: usize,
+    /// Interactions before an item switches from the cold (generator +
+    /// O(1) index) path to the warm (full tower) path.
+    pub warm_threshold: u32,
+    /// Poll interval used by connection threads to notice shutdown while
+    /// blocked on an idle socket.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_batch: 128,
+            max_request_items: 1024,
+            flush_deadline: Duration::from_millis(2),
+            eager_flush: true,
+            queue_capacity: 1024,
+            warm_threshold: 5,
+            read_timeout: Duration::from_millis(50),
+        }
+    }
+}

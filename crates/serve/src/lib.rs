@@ -1,0 +1,50 @@
+//! # atnn-serve — the online inference service
+//!
+//! The ATNN paper is deployed behind Taobao-scale traffic: new items must
+//! be scorable the moment they are listed (before any behaviour data
+//! exists), and the serving layer answers with the frozen mean-user-vector
+//! index in O(1) per item. This crate turns the repo's trained model into
+//! that service, std-only:
+//!
+//! - [`protocol`]: a length-prefixed binary wire protocol (`Health`,
+//!   `Stats`, `ScoreNewArrival`, `ScoreWarmItem`, `Score`,
+//!   `RecordInteractions`, `TopK`) in which `f32` scores travel bit-exact.
+//! - [`batcher`]: a bounded micro-batching queue that coalesces concurrent
+//!   requests into shared forward passes and sheds (`Overloaded`) instead
+//!   of blocking when full.
+//! - [`manager`]: versioned model snapshots behind an atomic swap — hot
+//!   reloads publish a fully-built snapshot with zero reader blocking.
+//! - [`router`]: the paper's §IV-D cold→warm serving switch as live
+//!   per-item interaction counters.
+//! - [`telemetry`]: lock-free per-endpoint counters and geometric latency
+//!   histograms, exported through the `Stats` endpoint.
+//! - [`server`] / [`client`]: a thread-per-connection TCP server and the
+//!   matching blocking client.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use atnn_serve::{serve, ModelManager, ServeClient, ServeConfig};
+//!
+//! let manager = Arc::new(ModelManager::from_artifact_file("model.atnn").unwrap());
+//! let handle = serve(ServeConfig::default(), manager).unwrap();
+//! let mut client = ServeClient::connect(handle.local_addr()).unwrap();
+//! println!("serving model v{}", client.health().unwrap());
+//! ```
+
+pub mod batcher;
+pub mod client;
+pub mod config;
+pub mod manager;
+pub mod protocol;
+pub mod router;
+pub mod server;
+pub mod telemetry;
+
+pub use batcher::{Batcher, Overloaded};
+pub use client::ServeClient;
+pub use config::ServeConfig;
+pub use manager::{ModelManager, ModelSnapshot};
+pub use protocol::{Request, Response, StatsReport};
+pub use router::{PolicyRouter, ScorePath};
+pub use server::{serve, ServeHandle};
+pub use telemetry::{Endpoint, Telemetry};

@@ -1,0 +1,192 @@
+//! The model manager: versioned snapshots behind an atomic swap.
+//!
+//! A [`ModelSnapshot`] bundles everything one request needs — the model,
+//! the feature store, and the frozen O(1) index — so a request that grabbed
+//! a snapshot is immune to concurrent republishes: it scores against one
+//! consistent model version from start to finish. The manager holds the
+//! current snapshot in a [`SwapCell`]; `load` is a refcount bump,
+//! `publish` is a pointer swap, and a background reload builds the new
+//! snapshot entirely off to the side before publishing, so readers never
+//! block behind artifact IO or weight loading.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use atnn_core::{ArtifactError, Atnn, ModelArtifact, PopularityIndex};
+use atnn_data::tmall::TmallDataset;
+use atnn_tensor::SwapCell;
+
+/// One immutable, consistently-versioned serving state.
+#[derive(Debug)]
+pub struct ModelSnapshot {
+    /// Publisher's version tag.
+    pub version: u64,
+    /// The feature store items are encoded from.
+    pub data: TmallDataset,
+    /// The trained model.
+    pub model: Atnn,
+    /// The frozen mean-user-vector index.
+    pub index: PopularityIndex,
+}
+
+/// Batch width for server-side forward passes.
+const BATCH: usize = 512;
+
+impl ModelSnapshot {
+    /// Rebuilds a snapshot from a decoded artifact.
+    pub fn from_artifact(artifact: &ModelArtifact) -> Result<Self, ArtifactError> {
+        let live = artifact.instantiate()?;
+        Ok(ModelSnapshot {
+            version: live.version,
+            data: live.data,
+            model: live.model,
+            index: live.index,
+        })
+    }
+
+    /// Highest item id this snapshot can score.
+    pub fn num_items(&self) -> usize {
+        self.data.num_items()
+    }
+
+    /// Cold path: generator vectors from profiles, then the O(1) dot
+    /// against the stored mean user vector.
+    pub fn score_cold(&self, items: &[u32]) -> Vec<f32> {
+        let mut scores = Vec::with_capacity(items.len());
+        for chunk in items.chunks(BATCH) {
+            let profile = self.data.encode_item_profiles(chunk);
+            let vecs = self.model.item_vectors_generated(&profile);
+            scores.extend((0..vecs.rows()).map(|i| self.index.score_vector(vecs.row(i))));
+        }
+        scores
+    }
+
+    /// Warm path: full encoder vectors from profile + accrued statistics,
+    /// then the same dot against the mean user vector.
+    pub fn score_warm(&self, items: &[u32]) -> Vec<f32> {
+        let mut scores = Vec::with_capacity(items.len());
+        for chunk in items.chunks(BATCH) {
+            let profile = self.data.encode_item_profiles(chunk);
+            let stats = self.data.encode_item_stats(chunk);
+            let vecs = self.model.item_vectors_full(&profile, &stats);
+            scores.extend((0..vecs.rows()).map(|i| self.index.score_vector(vecs.row(i))));
+        }
+        scores
+    }
+}
+
+/// Holds the current [`ModelSnapshot`] and swaps in replacements.
+#[derive(Debug)]
+pub struct ModelManager {
+    current: SwapCell<ModelSnapshot>,
+}
+
+impl ModelManager {
+    /// Starts serving `snapshot`.
+    pub fn new(snapshot: ModelSnapshot) -> Self {
+        ModelManager { current: SwapCell::new(snapshot) }
+    }
+
+    /// Boots a manager straight from an artifact file.
+    pub fn from_artifact_file(path: impl AsRef<Path>) -> Result<Self, ArtifactError> {
+        let artifact = ModelArtifact::load_from(path)?;
+        Ok(ModelManager::new(ModelSnapshot::from_artifact(&artifact)?))
+    }
+
+    /// The current snapshot (refcount bump; never copies the model).
+    pub fn load(&self) -> Arc<ModelSnapshot> {
+        self.current.load()
+    }
+
+    /// The version tag of the current snapshot.
+    pub fn version(&self) -> u64 {
+        self.load().version
+    }
+
+    /// Publishes a new snapshot. In-flight requests keep the snapshot
+    /// they already hold; new requests see the replacement immediately.
+    pub fn publish(&self, snapshot: ModelSnapshot) {
+        self.current.publish(snapshot);
+    }
+
+    /// Reloads from an artifact file and publishes the result. The build
+    /// (file read, checksum, dataset regeneration, weight load) happens
+    /// before the swap, so readers never observe a half-loaded model.
+    /// Returns the published version.
+    pub fn reload_from(&self, path: impl AsRef<Path>) -> Result<u64, ArtifactError> {
+        let artifact = ModelArtifact::load_from(path)?;
+        let snapshot = ModelSnapshot::from_artifact(&artifact)?;
+        let version = snapshot.version;
+        self.publish(snapshot);
+        Ok(version)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atnn_core::{AtnnConfig, CtrTrainer, TrainOptions};
+    use atnn_data::tmall::TmallConfig;
+
+    fn tiny_snapshot(version: u64, epochs: usize) -> (ModelSnapshot, TmallConfig) {
+        let cfg = TmallConfig {
+            num_users: 60,
+            num_items: 120,
+            num_interactions: 1_000,
+            ..TmallConfig::tiny()
+        };
+        let data = TmallDataset::generate(cfg.clone());
+        let mut model = Atnn::new(AtnnConfig::scaled(), &data);
+        CtrTrainer::new(TrainOptions { epochs, ..Default::default() })
+            .train(&mut model, &data, None);
+        let index = PopularityIndex::build(&model, &data, &(0..40).collect::<Vec<_>>());
+        (ModelSnapshot { version, data, model, index }, cfg)
+    }
+
+    #[test]
+    fn score_paths_match_direct_model_calls() {
+        let (snap, _) = tiny_snapshot(1, 1);
+        let items: Vec<u32> = (0..20).collect();
+        let cold = snap.score_cold(&items);
+        let direct = snap.index.score_new_arrivals(&snap.model, &snap.data, &items);
+        assert_eq!(cold, direct);
+
+        let warm = snap.score_warm(&items);
+        let profile = snap.data.encode_item_profiles(&items);
+        let stats = snap.data.encode_item_stats(&items);
+        let vecs = snap.model.item_vectors_full(&profile, &stats);
+        let expected: Vec<f32> =
+            (0..vecs.rows()).map(|i| snap.index.score_vector(vecs.row(i))).collect();
+        assert_eq!(warm, expected);
+    }
+
+    #[test]
+    fn publish_swaps_while_held_snapshots_stay_valid() {
+        let (snap_a, _) = tiny_snapshot(1, 0);
+        let (snap_b, _) = tiny_snapshot(2, 1);
+        let manager = ModelManager::new(snap_a);
+        let held = manager.load();
+        assert_eq!(held.version, 1);
+        manager.publish(snap_b);
+        assert_eq!(manager.version(), 2);
+        assert_eq!(held.version, 1, "held snapshot unaffected by publish");
+    }
+
+    #[test]
+    fn artifact_reload_publishes_identical_scores() {
+        let (snap, data_cfg) = tiny_snapshot(7, 1);
+        let items: Vec<u32> = (0..15).collect();
+        let expected = snap.score_cold(&items);
+
+        let artifact = ModelArtifact::capture(&snap.model, &data_cfg, &snap.index, 8);
+        let path =
+            std::env::temp_dir().join(format!("atnn_manager_test_{}.atnn", std::process::id()));
+        artifact.save_to(&path).unwrap();
+
+        let manager = ModelManager::new(snap);
+        let version = manager.reload_from(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(version, 8);
+        assert_eq!(manager.load().score_cold(&items), expected, "reload must be bit-identical");
+    }
+}

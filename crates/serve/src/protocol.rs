@@ -1,0 +1,562 @@
+//! The wire protocol: length-prefixed binary frames over TCP.
+//!
+//! A frame is a little-endian `u32` payload length followed by the
+//! payload; the payload's first byte is the opcode, the rest is the
+//! op-specific body. Everything is fixed-width little-endian — no text
+//! parsing on the hot path, and `f32` scores travel bit-exact, so a served
+//! score can be compared to a direct model call with `==`.
+//!
+//! Request opcodes: `Health`, `Stats`, `ScoreNewArrival` (forced cold
+//! path), `ScoreWarmItem` (forced warm path), `Score` (policy-routed),
+//! `RecordInteractions` (feeds the router's counters), `TopK` (routed
+//! ranking). Responses mirror them, plus `Overloaded` (load shed by the
+//! micro-batcher) and `Error`.
+
+use std::io::{Read, Write};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Frames larger than this are rejected — a corrupt length prefix must not
+/// make the server allocate gigabytes.
+pub const MAX_FRAME: usize = 8 << 20;
+
+/// Errors from framing and (de)serialization.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The peer sent a malformed frame or payload.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Io(e) => write!(f, "protocol io error: {e}"),
+            ProtocolError::Malformed(msg) => write!(f, "malformed frame: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<std::io::Error> for ProtocolError {
+    fn from(e: std::io::Error) -> Self {
+        ProtocolError::Io(e)
+    }
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe; returns the served model version.
+    Health,
+    /// Telemetry snapshot.
+    Stats,
+    /// Score new arrivals on the cold path: generator vectors + the O(1)
+    /// mean-user-vector index (paper §IV-D before the switch).
+    ScoreNewArrival {
+        /// Item ids to score.
+        items: Vec<u32>,
+    },
+    /// Score warm items on the full encoder path (profile + accrued
+    /// statistics — after the switch).
+    ScoreWarmItem {
+        /// Item ids to score.
+        items: Vec<u32>,
+    },
+    /// Policy-routed scoring: each item goes cold or warm according to the
+    /// server's live interaction counters.
+    Score {
+        /// Item ids to score.
+        items: Vec<u32>,
+    },
+    /// Report observed interactions; bumps the per-item counters that
+    /// drive the cold→warm switch.
+    RecordInteractions {
+        /// One entry per observed interaction (repeats allowed).
+        items: Vec<u32>,
+    },
+    /// Rank candidate items (policy-routed) and return the top `k`.
+    TopK {
+        /// Candidate item ids.
+        items: Vec<u32>,
+        /// How many winners to return.
+        k: u32,
+    },
+}
+
+/// Per-endpoint telemetry in a [`Response::Stats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EndpointStats {
+    /// Endpoint name (snake_case, stable).
+    pub name: String,
+    /// Requests answered (including errors and sheds).
+    pub requests: u64,
+    /// Requests answered with [`Response::Error`].
+    pub errors: u64,
+    /// Requests shed with [`Response::Overloaded`].
+    pub shed: u64,
+    /// Median service latency, nanoseconds (bucket upper bound).
+    pub p50_ns: u64,
+    /// 95th-percentile service latency, nanoseconds.
+    pub p95_ns: u64,
+    /// 99th-percentile service latency, nanoseconds.
+    pub p99_ns: u64,
+}
+
+/// The full telemetry snapshot returned by [`Request::Stats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsReport {
+    /// Version tag of the currently served model snapshot.
+    pub model_version: u64,
+    /// Batched forward passes executed by the micro-batcher.
+    pub batches: u64,
+    /// Total items scored through batched forward passes.
+    pub batched_items: u64,
+    /// Per-endpoint counters and latency quantiles.
+    pub endpoints: Vec<EndpointStats>,
+}
+
+impl StatsReport {
+    /// The stats row for `name`, if present.
+    pub fn endpoint(&self, name: &str) -> Option<&EndpointStats> {
+        self.endpoints.iter().find(|e| e.name == name)
+    }
+
+    /// Mean micro-batch size (items per batched forward pass).
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_items as f64 / self.batches as f64
+        }
+    }
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Liveness + the served model version.
+    Health {
+        /// Always true when the server answered at all.
+        ok: bool,
+        /// Version tag of the current model snapshot.
+        model_version: u64,
+    },
+    /// Telemetry snapshot.
+    Stats(StatsReport),
+    /// Scores, one per requested item, in request order.
+    Scores(Vec<f32>),
+    /// Policy-routed scores plus the path each item took (`true` = warm).
+    RoutedScores {
+        /// Scores in request order.
+        scores: Vec<f32>,
+        /// Whether each item was routed to the warm (full-tower) path.
+        warm: Vec<bool>,
+    },
+    /// Interaction counters recorded.
+    Recorded {
+        /// Counter total after the bump, per item, in request order.
+        counts: Vec<u32>,
+    },
+    /// `(item, score)` winners, best first.
+    TopK(Vec<(u32, f32)>),
+    /// The micro-batch queue was full; retry later (load shed).
+    Overloaded,
+    /// The request was invalid (unknown item, oversized batch, ...).
+    Error(String),
+}
+
+const OP_HEALTH: u8 = 1;
+const OP_STATS: u8 = 2;
+const OP_SCORE_NEW: u8 = 3;
+const OP_SCORE_WARM: u8 = 4;
+const OP_SCORE: u8 = 5;
+const OP_RECORD: u8 = 6;
+const OP_TOPK: u8 = 7;
+
+const RESP_HEALTH: u8 = 101;
+const RESP_STATS: u8 = 102;
+const RESP_SCORES: u8 = 103;
+const RESP_ROUTED: u8 = 104;
+const RESP_RECORDED: u8 = 105;
+const RESP_TOPK: u8 = 106;
+const RESP_OVERLOADED: u8 = 107;
+const RESP_ERROR: u8 = 108;
+
+fn put_items(items: &[u32], buf: &mut BytesMut) {
+    buf.put_u32_le(items.len() as u32);
+    for &i in items {
+        buf.put_u32_le(i);
+    }
+}
+
+fn get_items(buf: &mut Bytes) -> Result<Vec<u32>, ProtocolError> {
+    let n = get_u32(buf)? as usize;
+    if buf.remaining() < n * 4 {
+        return Err(ProtocolError::Malformed("item list truncated"));
+    }
+    Ok((0..n).map(|_| buf.get_u32_le()).collect())
+}
+
+fn get_u32(buf: &mut Bytes) -> Result<u32, ProtocolError> {
+    if buf.remaining() < 4 {
+        return Err(ProtocolError::Malformed("field truncated"));
+    }
+    Ok(buf.get_u32_le())
+}
+
+fn get_u64(buf: &mut Bytes) -> Result<u64, ProtocolError> {
+    if buf.remaining() < 8 {
+        return Err(ProtocolError::Malformed("field truncated"));
+    }
+    Ok(buf.get_u64_le())
+}
+
+fn put_string(s: &str, buf: &mut BytesMut) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_string(buf: &mut Bytes) -> Result<String, ProtocolError> {
+    let n = get_u32(buf)? as usize;
+    if buf.remaining() < n {
+        return Err(ProtocolError::Malformed("string truncated"));
+    }
+    let mut bytes = vec![0u8; n];
+    buf.copy_to_slice(&mut bytes);
+    String::from_utf8(bytes).map_err(|_| ProtocolError::Malformed("string not UTF-8"))
+}
+
+impl Request {
+    /// Serializes the request payload (without the frame length prefix).
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        match self {
+            Request::Health => buf.put_u8(OP_HEALTH),
+            Request::Stats => buf.put_u8(OP_STATS),
+            Request::ScoreNewArrival { items } => {
+                buf.put_u8(OP_SCORE_NEW);
+                put_items(items, &mut buf);
+            }
+            Request::ScoreWarmItem { items } => {
+                buf.put_u8(OP_SCORE_WARM);
+                put_items(items, &mut buf);
+            }
+            Request::Score { items } => {
+                buf.put_u8(OP_SCORE);
+                put_items(items, &mut buf);
+            }
+            Request::RecordInteractions { items } => {
+                buf.put_u8(OP_RECORD);
+                put_items(items, &mut buf);
+            }
+            Request::TopK { items, k } => {
+                buf.put_u8(OP_TOPK);
+                put_items(items, &mut buf);
+                buf.put_u32_le(*k);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Parses a request payload.
+    pub fn decode(mut buf: Bytes) -> Result<Self, ProtocolError> {
+        if buf.remaining() < 1 {
+            return Err(ProtocolError::Malformed("empty payload"));
+        }
+        let op = buf.get_u8();
+        let req = match op {
+            OP_HEALTH => Request::Health,
+            OP_STATS => Request::Stats,
+            OP_SCORE_NEW => Request::ScoreNewArrival { items: get_items(&mut buf)? },
+            OP_SCORE_WARM => Request::ScoreWarmItem { items: get_items(&mut buf)? },
+            OP_SCORE => Request::Score { items: get_items(&mut buf)? },
+            OP_RECORD => Request::RecordInteractions { items: get_items(&mut buf)? },
+            OP_TOPK => {
+                let items = get_items(&mut buf)?;
+                let k = get_u32(&mut buf)?;
+                Request::TopK { items, k }
+            }
+            _ => return Err(ProtocolError::Malformed("unknown request opcode")),
+        };
+        if buf.remaining() != 0 {
+            return Err(ProtocolError::Malformed("trailing bytes"));
+        }
+        Ok(req)
+    }
+
+    /// The telemetry endpoint name this request is accounted under.
+    pub fn endpoint_name(&self) -> &'static str {
+        match self {
+            Request::Health => "health",
+            Request::Stats => "stats",
+            Request::ScoreNewArrival { .. } => "score_new_arrival",
+            Request::ScoreWarmItem { .. } => "score_warm_item",
+            Request::Score { .. } => "score",
+            Request::RecordInteractions { .. } => "record_interactions",
+            Request::TopK { .. } => "topk",
+        }
+    }
+}
+
+impl Response {
+    /// Serializes the response payload (without the frame length prefix).
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        match self {
+            Response::Health { ok, model_version } => {
+                buf.put_u8(RESP_HEALTH);
+                buf.put_u8(*ok as u8);
+                buf.put_u64_le(*model_version);
+            }
+            Response::Stats(report) => {
+                buf.put_u8(RESP_STATS);
+                buf.put_u64_le(report.model_version);
+                buf.put_u64_le(report.batches);
+                buf.put_u64_le(report.batched_items);
+                buf.put_u32_le(report.endpoints.len() as u32);
+                for e in &report.endpoints {
+                    put_string(&e.name, &mut buf);
+                    buf.put_u64_le(e.requests);
+                    buf.put_u64_le(e.errors);
+                    buf.put_u64_le(e.shed);
+                    buf.put_u64_le(e.p50_ns);
+                    buf.put_u64_le(e.p95_ns);
+                    buf.put_u64_le(e.p99_ns);
+                }
+            }
+            Response::Scores(scores) => {
+                buf.put_u8(RESP_SCORES);
+                buf.put_u32_le(scores.len() as u32);
+                for &s in scores {
+                    buf.put_f32_le(s);
+                }
+            }
+            Response::RoutedScores { scores, warm } => {
+                buf.put_u8(RESP_ROUTED);
+                buf.put_u32_le(scores.len() as u32);
+                for &s in scores {
+                    buf.put_f32_le(s);
+                }
+                for &w in warm {
+                    buf.put_u8(w as u8);
+                }
+            }
+            Response::Recorded { counts } => {
+                buf.put_u8(RESP_RECORDED);
+                buf.put_u32_le(counts.len() as u32);
+                for &c in counts {
+                    buf.put_u32_le(c);
+                }
+            }
+            Response::TopK(winners) => {
+                buf.put_u8(RESP_TOPK);
+                buf.put_u32_le(winners.len() as u32);
+                for &(item, score) in winners {
+                    buf.put_u32_le(item);
+                    buf.put_f32_le(score);
+                }
+            }
+            Response::Overloaded => buf.put_u8(RESP_OVERLOADED),
+            Response::Error(msg) => {
+                buf.put_u8(RESP_ERROR);
+                put_string(msg, &mut buf);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Parses a response payload.
+    pub fn decode(mut buf: Bytes) -> Result<Self, ProtocolError> {
+        if buf.remaining() < 1 {
+            return Err(ProtocolError::Malformed("empty payload"));
+        }
+        let op = buf.get_u8();
+        let resp = match op {
+            RESP_HEALTH => {
+                if buf.remaining() < 1 {
+                    return Err(ProtocolError::Malformed("health truncated"));
+                }
+                let ok = buf.get_u8() != 0;
+                Response::Health { ok, model_version: get_u64(&mut buf)? }
+            }
+            RESP_STATS => {
+                let model_version = get_u64(&mut buf)?;
+                let batches = get_u64(&mut buf)?;
+                let batched_items = get_u64(&mut buf)?;
+                let n = get_u32(&mut buf)? as usize;
+                let mut endpoints = Vec::with_capacity(n);
+                for _ in 0..n {
+                    endpoints.push(EndpointStats {
+                        name: get_string(&mut buf)?,
+                        requests: get_u64(&mut buf)?,
+                        errors: get_u64(&mut buf)?,
+                        shed: get_u64(&mut buf)?,
+                        p50_ns: get_u64(&mut buf)?,
+                        p95_ns: get_u64(&mut buf)?,
+                        p99_ns: get_u64(&mut buf)?,
+                    });
+                }
+                Response::Stats(StatsReport { model_version, batches, batched_items, endpoints })
+            }
+            RESP_SCORES => {
+                let n = get_u32(&mut buf)? as usize;
+                if buf.remaining() < n * 4 {
+                    return Err(ProtocolError::Malformed("scores truncated"));
+                }
+                Response::Scores((0..n).map(|_| buf.get_f32_le()).collect())
+            }
+            RESP_ROUTED => {
+                let n = get_u32(&mut buf)? as usize;
+                if buf.remaining() < n * 5 {
+                    return Err(ProtocolError::Malformed("routed scores truncated"));
+                }
+                let scores = (0..n).map(|_| buf.get_f32_le()).collect();
+                let warm = (0..n).map(|_| buf.get_u8() != 0).collect();
+                Response::RoutedScores { scores, warm }
+            }
+            RESP_RECORDED => {
+                let n = get_u32(&mut buf)? as usize;
+                if buf.remaining() < n * 4 {
+                    return Err(ProtocolError::Malformed("counts truncated"));
+                }
+                Response::Recorded { counts: (0..n).map(|_| buf.get_u32_le()).collect() }
+            }
+            RESP_TOPK => {
+                let n = get_u32(&mut buf)? as usize;
+                if buf.remaining() < n * 8 {
+                    return Err(ProtocolError::Malformed("topk truncated"));
+                }
+                Response::TopK((0..n).map(|_| (buf.get_u32_le(), buf.get_f32_le())).collect())
+            }
+            RESP_OVERLOADED => Response::Overloaded,
+            RESP_ERROR => Response::Error(get_string(&mut buf)?),
+            _ => return Err(ProtocolError::Malformed("unknown response opcode")),
+        };
+        if buf.remaining() != 0 {
+            return Err(ProtocolError::Malformed("trailing bytes"));
+        }
+        Ok(resp)
+    }
+}
+
+/// Writes one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME);
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame. Returns `Ok(None)` on clean EOF at a
+/// frame boundary (the peer hung up between requests).
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Bytes>, ProtocolError> {
+    let mut len_bytes = [0u8; 4];
+    match r.read_exact(&mut len_bytes) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME {
+        return Err(ProtocolError::Malformed("frame too large"));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(Bytes::from(payload)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        assert_eq!(Request::decode(req.encode()).unwrap(), req);
+    }
+
+    fn roundtrip_response(resp: Response) {
+        assert_eq!(Response::decode(resp.encode()).unwrap(), resp);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_request(Request::Health);
+        roundtrip_request(Request::Stats);
+        roundtrip_request(Request::ScoreNewArrival { items: vec![1, 2, 3] });
+        roundtrip_request(Request::ScoreWarmItem { items: vec![] });
+        roundtrip_request(Request::Score { items: vec![9, 9, 9] });
+        roundtrip_request(Request::RecordInteractions { items: vec![0, u32::MAX] });
+        roundtrip_request(Request::TopK { items: vec![5, 4, 3], k: 2 });
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_response(Response::Health { ok: true, model_version: 7 });
+        roundtrip_response(Response::Scores(vec![0.25, f32::MIN_POSITIVE, 1.0]));
+        roundtrip_response(Response::RoutedScores {
+            scores: vec![0.5, 0.75],
+            warm: vec![true, false],
+        });
+        roundtrip_response(Response::Recorded { counts: vec![1, 2, 3] });
+        roundtrip_response(Response::TopK(vec![(3, 0.9), (1, 0.1)]));
+        roundtrip_response(Response::Overloaded);
+        roundtrip_response(Response::Error("bad item".into()));
+        roundtrip_response(Response::Stats(StatsReport {
+            model_version: 2,
+            batches: 10,
+            batched_items: 55,
+            endpoints: vec![EndpointStats {
+                name: "score".into(),
+                requests: 100,
+                errors: 1,
+                shed: 2,
+                p50_ns: 1_000,
+                p95_ns: 5_000,
+                p99_ns: 9_000,
+            }],
+        }));
+    }
+
+    #[test]
+    fn scores_travel_bit_exact() {
+        let scores = vec![0.1f32, 1.0 / 3.0, 0.9999999];
+        let Response::Scores(back) =
+            Response::decode(Response::Scores(scores.clone()).encode()).unwrap()
+        else {
+            panic!("wrong variant");
+        };
+        for (a, b) in scores.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_are_rejected() {
+        assert!(Request::decode(Bytes::from_static(b"")).is_err());
+        assert!(Request::decode(Bytes::from_static(b"\xff")).is_err());
+        // Truncated item list.
+        assert!(
+            Request::decode(Bytes::from_static(b"\x03\x02\x00\x00\x00\x01\x00\x00\x00")).is_err()
+        );
+        // Trailing garbage.
+        assert!(Request::decode(Bytes::from_static(b"\x01\x00")).is_err());
+        assert!(Response::decode(Bytes::from_static(b"\xee")).is_err());
+    }
+
+    #[test]
+    fn frames_roundtrip_and_reject_oversize() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        let mut r = std::io::Cursor::new(wire);
+        assert_eq!(read_frame(&mut r).unwrap().unwrap().as_ref(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap().as_ref(), b"");
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+
+        let huge = ((MAX_FRAME + 1) as u32).to_le_bytes();
+        let mut r = std::io::Cursor::new(huge.to_vec());
+        assert!(read_frame(&mut r).is_err());
+    }
+}

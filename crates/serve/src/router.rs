@@ -1,0 +1,148 @@
+//! The serving-policy switch (paper §IV-D) as live routing state.
+//!
+//! The paper deploys ATNN in two phases: a brand-new arrival has no
+//! behavioural statistics, so it is scored by the generator against the
+//! stored mean user vector (the O(1) cold path); once the real-time data
+//! engine has accrued enough interactions, the full encoder tower takes
+//! over (the warm path). [`PolicyRouter`] holds that switch as a dense
+//! array of per-item interaction counters: `record` bumps a counter
+//! lock-free, `is_warm` compares it to the configured threshold, and
+//! `split` partitions a request batch into the two paths while remembering
+//! each item's original slot so merged results come back in request order.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Which scoring path an item is routed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScorePath {
+    /// Generator vector + O(1) mean-user-vector index (no statistics yet).
+    Cold,
+    /// Full encoder tower over profile + accrued statistics.
+    Warm,
+}
+
+/// Items assigned to one path, each paired with its original request slot
+/// so per-path results can be merged back in request order.
+pub type SlottedItems = Vec<(usize, u32)>;
+
+/// Per-item interaction counters and the cold→warm threshold.
+#[derive(Debug)]
+pub struct PolicyRouter {
+    counts: Vec<AtomicU32>,
+    warm_threshold: u32,
+}
+
+impl PolicyRouter {
+    /// A router for items `0..num_items`, all starting cold.
+    pub fn new(num_items: usize, warm_threshold: u32) -> Self {
+        assert!(warm_threshold > 0, "a zero threshold would make every item warm at birth");
+        PolicyRouter { counts: (0..num_items).map(|_| AtomicU32::new(0)).collect(), warm_threshold }
+    }
+
+    /// Number of items the router tracks.
+    pub fn num_items(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The cold→warm interaction threshold.
+    pub fn warm_threshold(&self) -> u32 {
+        self.warm_threshold
+    }
+
+    /// Records one observed interaction; returns the new count. Saturates
+    /// instead of wrapping.
+    pub fn record(&self, item: u32) -> u32 {
+        let c = &self.counts[item as usize];
+        let mut cur = c.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_add(1);
+            match c.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return next,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// The current interaction count of `item`.
+    pub fn count(&self, item: u32) -> u32 {
+        self.counts[item as usize].load(Ordering::Relaxed)
+    }
+
+    /// Whether `item` has crossed the warm threshold.
+    pub fn is_warm(&self, item: u32) -> bool {
+        self.count(item) >= self.warm_threshold
+    }
+
+    /// The path `item` is currently routed to.
+    pub fn route(&self, item: u32) -> ScorePath {
+        if self.is_warm(item) {
+            ScorePath::Warm
+        } else {
+            ScorePath::Cold
+        }
+    }
+
+    /// Partitions a request batch by path, keeping each item's original
+    /// slot index so per-path results can be merged back in request order.
+    pub fn split(&self, items: &[u32]) -> (SlottedItems, SlottedItems) {
+        let mut cold = Vec::new();
+        let mut warm = Vec::new();
+        for (slot, &item) in items.iter().enumerate() {
+            match self.route(item) {
+                ScorePath::Cold => cold.push((slot, item)),
+                ScorePath::Warm => warm.push((slot, item)),
+            }
+        }
+        (cold, warm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn items_start_cold_and_warm_at_the_threshold() {
+        let router = PolicyRouter::new(10, 3);
+        assert_eq!(router.route(5), ScorePath::Cold);
+        assert_eq!(router.record(5), 1);
+        assert_eq!(router.record(5), 2);
+        assert_eq!(router.route(5), ScorePath::Cold, "below threshold");
+        assert_eq!(router.record(5), 3);
+        assert_eq!(router.route(5), ScorePath::Warm, "at threshold");
+        assert_eq!(router.route(4), ScorePath::Cold, "other items unaffected");
+    }
+
+    #[test]
+    fn split_preserves_request_slots() {
+        let router = PolicyRouter::new(6, 1);
+        router.record(1);
+        router.record(4);
+        let (cold, warm) = router.split(&[0, 1, 2, 4, 1]);
+        assert_eq!(cold, vec![(0, 0), (2, 2)]);
+        assert_eq!(warm, vec![(1, 1), (3, 4), (4, 1)]);
+    }
+
+    #[test]
+    fn concurrent_records_are_not_lost() {
+        let router = PolicyRouter::new(1, 1_000_000);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..10_000 {
+                        router.record(0);
+                    }
+                });
+            }
+        });
+        assert_eq!(router.count(0), 40_000);
+    }
+
+    #[test]
+    fn counter_saturates_instead_of_wrapping() {
+        let router = PolicyRouter::new(1, 2);
+        router.counts[0].store(u32::MAX, Ordering::Relaxed);
+        assert_eq!(router.record(0), u32::MAX);
+        assert!(router.is_warm(0));
+    }
+}

@@ -1,0 +1,315 @@
+//! The TCP server: a thread-per-connection acceptor over the shared
+//! batcher, router, model manager, and telemetry.
+//!
+//! Each accepted connection gets its own thread that reads length-prefixed
+//! request frames, dispatches them, and writes the response frame back.
+//! Scoring requests go through the micro-batcher (so concurrent
+//! connections coalesce into shared forward passes); everything else is
+//! answered inline from lock-free or swap-cell state. The acceptor never
+//! waits on the model: a full batch queue turns into an immediate
+//! `Overloaded` response.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crate::batcher::Batcher;
+use crate::config::ServeConfig;
+use crate::manager::ModelManager;
+use crate::protocol::{read_frame, write_frame, ProtocolError, Request, Response};
+use crate::router::{PolicyRouter, ScorePath};
+use crate::telemetry::{Endpoint, Telemetry};
+
+/// State shared by the acceptor, every connection thread, and the handle.
+struct ServerShared {
+    cfg: ServeConfig,
+    shutdown: AtomicBool,
+    manager: Arc<ModelManager>,
+    router: Arc<PolicyRouter>,
+    telemetry: Arc<Telemetry>,
+    batcher: Batcher,
+    connections: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A running server. Dropping the handle (or calling [`shutdown`]) stops
+/// the acceptor, drains connection threads, and stops the batch worker.
+///
+/// [`shutdown`]: ServeHandle::shutdown
+pub struct ServeHandle {
+    addr: SocketAddr,
+    shared: Arc<ServerShared>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+/// Binds `cfg.addr` and starts serving `manager`'s current snapshot.
+///
+/// The policy router is sized to the snapshot the server boots with; a
+/// later hot swap must keep the item space (a retrained model over the
+/// same catalogue), which is exactly the paper's periodic-retrain setup.
+pub fn serve(cfg: ServeConfig, manager: Arc<ModelManager>) -> io::Result<ServeHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let num_items = manager.load().num_items();
+    let router = Arc::new(PolicyRouter::new(num_items, cfg.warm_threshold));
+    let telemetry = Arc::new(Telemetry::new());
+    let batcher = Batcher::start(cfg.clone(), Arc::clone(&manager), Arc::clone(&telemetry));
+    let shared = Arc::new(ServerShared {
+        cfg,
+        shutdown: AtomicBool::new(false),
+        manager,
+        router,
+        telemetry,
+        batcher,
+        connections: Mutex::new(Vec::new()),
+    });
+
+    let acceptor_shared = Arc::clone(&shared);
+    let acceptor = std::thread::Builder::new()
+        .name("atnn-serve-acceptor".to_string())
+        .spawn(move || accept_loop(&listener, &acceptor_shared))?;
+
+    Ok(ServeHandle { addr, shared, acceptor: Some(acceptor) })
+}
+
+impl ServeHandle {
+    /// The bound address (with the resolved port when `addr` asked for 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The model manager behind the server — publish here to hot swap.
+    pub fn manager(&self) -> &Arc<ModelManager> {
+        &self.shared.manager
+    }
+
+    /// The live policy router (interaction counters).
+    pub fn router(&self) -> &Arc<PolicyRouter> {
+        &self.shared.router
+    }
+
+    /// The server's telemetry sink.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.shared.telemetry
+    }
+
+    /// Stops accepting, drains connection threads, and stops the batch
+    /// worker. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the acceptor with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        let connections =
+            std::mem::take(&mut *self.shared.connections.lock().expect("connections lock"));
+        for conn in connections {
+            let _ = conn.join();
+        }
+        self.shared.batcher.shutdown();
+    }
+}
+
+impl Drop for ServeHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let conn_shared = Arc::clone(shared);
+        let handle = std::thread::Builder::new()
+            .name("atnn-serve-conn".to_string())
+            .spawn(move || connection_loop(stream, &conn_shared));
+        if let Ok(handle) = handle {
+            shared.connections.lock().expect("connections lock").push(handle);
+        }
+    }
+}
+
+fn connection_loop(stream: TcpStream, shared: &Arc<ServerShared>) {
+    let _ = stream.set_nodelay(true);
+    // The read timeout doubles as the shutdown poll interval: an idle
+    // connection wakes every `read_timeout` to check the flag.
+    let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
+    let mut stream = stream;
+    loop {
+        let payload = match read_frame(&mut stream) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => return, // peer hung up cleanly
+            Err(ProtocolError::Io(e))
+                if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return, // broken pipe or garbage framing: drop the peer
+        };
+        let started = Instant::now();
+        let (endpoint, response) = match Request::decode(payload) {
+            Ok(request) => {
+                let endpoint = endpoint_of(&request);
+                (endpoint, handle_request(shared, request))
+            }
+            Err(e) => (Endpoint::Health, Response::Error(format!("bad request: {e}"))),
+        };
+        shared.telemetry.record_request(endpoint, started.elapsed());
+        match &response {
+            Response::Overloaded => shared.telemetry.record_shed(endpoint),
+            Response::Error(_) => shared.telemetry.record_error(endpoint),
+            _ => {}
+        }
+        if write_frame(&mut stream, &response.encode()).is_err() {
+            return;
+        }
+    }
+}
+
+/// The telemetry endpoint a request is accounted under.
+fn endpoint_of(request: &Request) -> Endpoint {
+    match request {
+        Request::Health => Endpoint::Health,
+        Request::Stats => Endpoint::Stats,
+        Request::ScoreNewArrival { .. } => Endpoint::ScoreNewArrival,
+        Request::ScoreWarmItem { .. } => Endpoint::ScoreWarmItem,
+        Request::Score { .. } => Endpoint::Score,
+        Request::RecordInteractions { .. } => Endpoint::RecordInteractions,
+        Request::TopK { .. } => Endpoint::TopK,
+    }
+}
+
+/// Rejects oversized requests and unknown item ids before they reach the
+/// batcher. Returns the error response to send, or `None` when valid.
+fn validate_items(shared: &ServerShared, items: &[u32]) -> Option<Response> {
+    if items.len() > shared.cfg.max_request_items {
+        return Some(Response::Error(format!(
+            "request carries {} items, limit is {}",
+            items.len(),
+            shared.cfg.max_request_items
+        )));
+    }
+    let num_items = shared.router.num_items() as u32;
+    if let Some(&bad) = items.iter().find(|&&i| i >= num_items) {
+        return Some(Response::Error(format!("item {bad} out of range (0..{num_items})")));
+    }
+    None
+}
+
+/// Scores `items` on one forced path through the batcher.
+fn score_path(shared: &ServerShared, path: ScorePath, items: Vec<u32>) -> Response {
+    if items.is_empty() {
+        return Response::Scores(Vec::new());
+    }
+    match shared.batcher.submit(path, items) {
+        Ok(rx) => match rx.recv() {
+            Ok(scores) => Response::Scores(scores),
+            Err(_) => Response::Error("batch worker dropped the job".to_string()),
+        },
+        Err(_) => Response::Overloaded,
+    }
+}
+
+/// Policy-routed scoring: splits by the live counters, submits both paths
+/// to the batcher concurrently, and merges back into request order.
+/// Returns `(scores, warm_flags)` or an error/overload response.
+fn score_routed(shared: &ServerShared, items: &[u32]) -> Result<(Vec<f32>, Vec<bool>), Response> {
+    let (cold, warm) = shared.router.split(items);
+    let mut warm_flags = vec![false; items.len()];
+    for &(slot, _) in &warm {
+        warm_flags[slot] = true;
+    }
+
+    // Submit both paths before waiting on either, so they share a flush.
+    let submit = |path: ScorePath,
+                  part: &[(usize, u32)]|
+     -> Result<Option<mpsc::Receiver<Vec<f32>>>, Response> {
+        if part.is_empty() {
+            return Ok(None);
+        }
+        let ids: Vec<u32> = part.iter().map(|&(_, item)| item).collect();
+        shared.batcher.submit(path, ids).map(Some).map_err(|_| Response::Overloaded)
+    };
+    let cold_rx = submit(ScorePath::Cold, &cold)?;
+    let warm_rx = submit(ScorePath::Warm, &warm)?;
+
+    let mut scores = vec![0.0f32; items.len()];
+    let mut fill = |part: &[(usize, u32)],
+                    rx: Option<mpsc::Receiver<Vec<f32>>>|
+     -> Result<(), Response> {
+        let Some(rx) = rx else { return Ok(()) };
+        let part_scores =
+            rx.recv().map_err(|_| Response::Error("batch worker dropped the job".to_string()))?;
+        for (&(slot, _), &score) in part.iter().zip(&part_scores) {
+            scores[slot] = score;
+        }
+        Ok(())
+    };
+    fill(&cold, cold_rx)?;
+    fill(&warm, warm_rx)?;
+    Ok((scores, warm_flags))
+}
+
+fn handle_request(shared: &ServerShared, request: Request) -> Response {
+    match request {
+        Request::Health => Response::Health { ok: true, model_version: shared.manager.version() },
+        Request::Stats => Response::Stats(shared.telemetry.report(shared.manager.version())),
+        Request::ScoreNewArrival { items } => validate_items(shared, &items)
+            .unwrap_or_else(|| score_path(shared, ScorePath::Cold, items)),
+        Request::ScoreWarmItem { items } => validate_items(shared, &items)
+            .unwrap_or_else(|| score_path(shared, ScorePath::Warm, items)),
+        Request::Score { items } => {
+            if let Some(err) = validate_items(shared, &items) {
+                return err;
+            }
+            match score_routed(shared, &items) {
+                Ok((scores, warm)) => Response::RoutedScores { scores, warm },
+                Err(resp) => resp,
+            }
+        }
+        Request::RecordInteractions { items } => {
+            if let Some(err) = validate_items(shared, &items) {
+                return err;
+            }
+            let counts = items.iter().map(|&i| shared.router.record(i)).collect();
+            Response::Recorded { counts }
+        }
+        Request::TopK { items, k } => {
+            if let Some(err) = validate_items(shared, &items) {
+                return err;
+            }
+            match score_routed(shared, &items) {
+                Ok((scores, _)) => {
+                    let mut ranked: Vec<(u32, f32)> = items.into_iter().zip(scores).collect();
+                    // Best score first; ties broken by item id for a
+                    // deterministic order.
+                    ranked.sort_by(|a, b| {
+                        b.1.partial_cmp(&a.1)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .then(a.0.cmp(&b.0))
+                    });
+                    ranked.truncate(k as usize);
+                    Response::TopK(ranked)
+                }
+                Err(resp) => resp,
+            }
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Lock-cheap serving telemetry: per-endpoint counters and fixed-bucket
+//! latency histograms.
+//!
+//! Every counter is a relaxed atomic — a recording is a handful of
+//! `fetch_add`s, with no lock anywhere on the request path. Latencies land
+//! in a geometric fixed-bucket histogram (factor-1.25 bucket bounds from
+//! 1 µs up), from which any quantile is derivable; p50/p95/p99 are exposed
+//! through the `Stats` endpoint as the matched bucket's upper bound, so a
+//! reported quantile is always ≥ the true one and within one bucket ratio
+//! of it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::protocol::{EndpointStats, StatsReport};
+
+/// Number of histogram buckets. With a 1 µs base and ×1.25 spacing the
+/// last finite bound is ≈ 88 s; anything slower lands in the overflow
+/// bucket.
+const BUCKETS: usize = 83;
+/// Lowest bucket upper bound, in nanoseconds.
+const BASE_NS: u64 = 1_000;
+/// Bucket bound growth factor (5/4, computed in integers).
+fn next_bound(b: u64) -> u64 {
+    b + b / 4
+}
+
+/// The endpoints accounted separately. Indexes into [`Telemetry::per`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `Health` probes.
+    Health,
+    /// `Stats` snapshots.
+    Stats,
+    /// Forced cold-path scoring.
+    ScoreNewArrival,
+    /// Forced warm-path scoring.
+    ScoreWarmItem,
+    /// Policy-routed scoring.
+    Score,
+    /// Interaction-counter updates.
+    RecordInteractions,
+    /// Routed top-k ranking.
+    TopK,
+}
+
+/// All endpoints, in display order.
+pub const ENDPOINTS: [Endpoint; 7] = [
+    Endpoint::Health,
+    Endpoint::Stats,
+    Endpoint::ScoreNewArrival,
+    Endpoint::ScoreWarmItem,
+    Endpoint::Score,
+    Endpoint::RecordInteractions,
+    Endpoint::TopK,
+];
+
+impl Endpoint {
+    /// Stable snake_case name (matches [`crate::protocol::Request::endpoint_name`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            Endpoint::Health => "health",
+            Endpoint::Stats => "stats",
+            Endpoint::ScoreNewArrival => "score_new_arrival",
+            Endpoint::ScoreWarmItem => "score_warm_item",
+            Endpoint::Score => "score",
+            Endpoint::RecordInteractions => "record_interactions",
+            Endpoint::TopK => "topk",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Endpoint::Health => 0,
+            Endpoint::Stats => 1,
+            Endpoint::ScoreNewArrival => 2,
+            Endpoint::ScoreWarmItem => 3,
+            Endpoint::Score => 4,
+            Endpoint::RecordInteractions => 5,
+            Endpoint::TopK => 6,
+        }
+    }
+}
+
+/// A fixed-bucket latency histogram with geometric bounds.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    /// Samples above the last finite bound.
+    overflow: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { buckets: [(); BUCKETS].map(|_| AtomicU64::new(0)), overflow: AtomicU64::new(0) }
+    }
+}
+
+impl Histogram {
+    /// Records one latency sample.
+    pub fn record(&self, latency: Duration) {
+        let ns = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let mut bound = BASE_NS;
+        for bucket in &self.buckets {
+            if ns <= bound {
+                bucket.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            bound = next_bound(bound);
+        }
+        self.overflow.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum::<u64>()
+            + self.overflow.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (0 < q ≤ 1) as the upper bound of the bucket the
+    /// quantile sample falls in, in nanoseconds. Zero when empty.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        let mut bound = BASE_NS;
+        for bucket in &self.buckets {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bound;
+            }
+            bound = next_bound(bound);
+        }
+        bound // overflow bucket: report the last finite bound
+    }
+}
+
+#[derive(Debug, Default)]
+struct EndpointTelemetry {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    shed: AtomicU64,
+    latency: Histogram,
+}
+
+/// The server-wide telemetry sink.
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    per: [EndpointTelemetry; ENDPOINTS.len()],
+    batches: AtomicU64,
+    batched_items: AtomicU64,
+}
+
+impl Telemetry {
+    /// Fresh, zeroed telemetry.
+    pub fn new() -> Self {
+        Telemetry::default()
+    }
+
+    /// Accounts one answered request.
+    pub fn record_request(&self, endpoint: Endpoint, latency: Duration) {
+        let e = &self.per[endpoint.index()];
+        e.requests.fetch_add(1, Ordering::Relaxed);
+        e.latency.record(latency);
+    }
+
+    /// Accounts an [`crate::protocol::Response::Error`] answer.
+    pub fn record_error(&self, endpoint: Endpoint) {
+        self.per[endpoint.index()].errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Accounts an [`crate::protocol::Response::Overloaded`] answer.
+    pub fn record_shed(&self, endpoint: Endpoint) {
+        self.per[endpoint.index()].shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Accounts one batched forward pass over `items` items.
+    pub fn record_batch(&self, items: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_items.fetch_add(items as u64, Ordering::Relaxed);
+    }
+
+    /// Requests recorded for `endpoint` so far.
+    pub fn requests(&self, endpoint: Endpoint) -> u64 {
+        self.per[endpoint.index()].requests.load(Ordering::Relaxed)
+    }
+
+    /// Shed responses recorded for `endpoint` so far.
+    pub fn sheds(&self, endpoint: Endpoint) -> u64 {
+        self.per[endpoint.index()].shed.load(Ordering::Relaxed)
+    }
+
+    /// A consistent-enough snapshot for the `Stats` endpoint (counters are
+    /// read relaxed; exactness across endpoints is not required).
+    pub fn report(&self, model_version: u64) -> StatsReport {
+        let endpoints = ENDPOINTS
+            .iter()
+            .map(|&ep| {
+                let e = &self.per[ep.index()];
+                EndpointStats {
+                    name: ep.name().to_string(),
+                    requests: e.requests.load(Ordering::Relaxed),
+                    errors: e.errors.load(Ordering::Relaxed),
+                    shed: e.shed.load(Ordering::Relaxed),
+                    p50_ns: e.latency.quantile_ns(0.50),
+                    p95_ns: e.latency.quantile_ns(0.95),
+                    p99_ns: e.latency.quantile_ns(0.99),
+                }
+            })
+            .collect();
+        StatsReport {
+            model_version,
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_items: self.batched_items.load(Ordering::Relaxed),
+            endpoints,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_the_samples() {
+        let h = Histogram::default();
+        // 100 samples: 1..=100 µs.
+        for us in 1..=100u64 {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile_ns(0.50);
+        let p99 = h.quantile_ns(0.99);
+        // Bucket bounds are ×1.25 apart: the reported bound is ≥ the true
+        // quantile and < 1.25× the next sample above it.
+        assert!((50_000..100_000).contains(&p50), "p50={p50}");
+        assert!((99_000..198_000).contains(&p99), "p99={p99}");
+        assert!(h.quantile_ns(1.0) >= 100_000);
+    }
+
+    #[test]
+    fn histogram_handles_extremes() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile_ns(0.5), 0, "empty histogram");
+        h.record(Duration::from_nanos(1));
+        h.record(Duration::from_secs(10_000)); // overflow bucket
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile_ns(0.25), BASE_NS);
+        assert!(h.quantile_ns(1.0) >= 10_000_000_000, "last finite bound covers ≥ 10 s");
+    }
+
+    #[test]
+    fn report_collects_all_endpoints() {
+        let t = Telemetry::new();
+        t.record_request(Endpoint::Score, Duration::from_micros(10));
+        t.record_shed(Endpoint::Score);
+        t.record_error(Endpoint::TopK);
+        t.record_batch(7);
+        t.record_batch(3);
+        let report = t.report(42);
+        assert_eq!(report.model_version, 42);
+        assert_eq!(report.batches, 2);
+        assert_eq!(report.batched_items, 10);
+        assert_eq!(report.mean_batch_size(), 5.0);
+        let score = report.endpoint("score").unwrap();
+        assert_eq!((score.requests, score.shed, score.errors), (1, 1, 0));
+        assert!(score.p50_ns >= 10_000);
+        assert_eq!(report.endpoint("topk").unwrap().errors, 1);
+        assert_eq!(report.endpoints.len(), ENDPOINTS.len());
+    }
+}

@@ -1,0 +1,246 @@
+//! End-to-end serving tests over real TCP: a trained model behind the full
+//! server stack, scored through the wire protocol, checked bit-for-bit
+//! against direct model calls. The kernels are bit-identical regardless of
+//! batch composition (see `atnn_tensor::pool`), so every comparison here
+//! is exact `==`, not a tolerance.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use atnn_core::{Atnn, AtnnConfig, CtrTrainer, ModelArtifact, PopularityIndex, TrainOptions};
+use atnn_data::tmall::{TmallConfig, TmallDataset};
+use atnn_serve::{
+    serve, ModelManager, ModelSnapshot, Response, ServeClient, ServeConfig, ServeHandle,
+};
+
+fn tiny_data_config() -> TmallConfig {
+    TmallConfig { num_users: 60, num_items: 150, num_interactions: 1_200, ..TmallConfig::tiny() }
+}
+
+/// Trains a snapshot on the shared tiny dataset. More epochs → different
+/// weights, which is how the hot-swap test tells versions apart.
+fn snapshot(version: u64, epochs: usize) -> ModelSnapshot {
+    let data = TmallDataset::generate(tiny_data_config());
+    let mut model = Atnn::new(AtnnConfig::scaled(), &data);
+    CtrTrainer::new(TrainOptions { epochs, ..Default::default() }).train(&mut model, &data, None);
+    let index = PopularityIndex::build(&model, &data, &(0..40).collect::<Vec<_>>());
+    ModelSnapshot { version, data, model, index }
+}
+
+fn start_server(cfg: ServeConfig, snap: ModelSnapshot) -> (ServeHandle, Arc<ModelManager>) {
+    let manager = Arc::new(ModelManager::new(snap));
+    let handle = serve(cfg, Arc::clone(&manager)).expect("bind ephemeral port");
+    (handle, manager)
+}
+
+#[test]
+fn mixed_cold_warm_traffic_matches_direct_model_calls() {
+    let (mut handle, manager) = start_server(ServeConfig::default(), snapshot(1, 1));
+    let snap = manager.load();
+    let mut client = ServeClient::connect(handle.local_addr()).unwrap();
+
+    assert_eq!(client.health().unwrap(), 1);
+
+    // Warm items 0..5 past the default threshold via the wire.
+    let warm_items: Vec<u32> = (0..5).collect();
+    for _ in 0..ServeConfig::default().warm_threshold {
+        client.record_interactions(&warm_items).unwrap();
+    }
+
+    // Forced paths are exact.
+    let items: Vec<u32> = (0..20).collect();
+    match client.score_new_arrival(&items).unwrap() {
+        Response::Scores(scores) => assert_eq!(scores, snap.score_cold(&items)),
+        other => panic!("unexpected {other:?}"),
+    }
+    match client.score_warm_item(&items).unwrap() {
+        Response::Scores(scores) => assert_eq!(scores, snap.score_warm(&items)),
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // Policy-routed scoring: items 0..5 take the warm path, the rest cold,
+    // each slot matching the corresponding direct call exactly.
+    match client.score(&items).unwrap() {
+        Response::RoutedScores { scores, warm } => {
+            let cold_direct = snap.score_cold(&items);
+            let warm_direct = snap.score_warm(&items);
+            for (i, item) in items.iter().enumerate() {
+                let expect_warm = *item < 5;
+                assert_eq!(warm[i], expect_warm, "routing of item {item}");
+                let expected = if expect_warm { warm_direct[i] } else { cold_direct[i] };
+                assert_eq!(scores[i], expected, "score of item {item}");
+            }
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn topk_returns_best_routed_scores_in_order() {
+    let (mut handle, manager) = start_server(ServeConfig::default(), snapshot(1, 1));
+    let snap = manager.load();
+    let mut client = ServeClient::connect(handle.local_addr()).unwrap();
+
+    let items: Vec<u32> = (10..40).collect();
+    let direct = snap.score_cold(&items);
+    match client.topk(&items, 5).unwrap() {
+        Response::TopK(winners) => {
+            assert_eq!(winners.len(), 5);
+            let mut ranked: Vec<(u32, f32)> = items.iter().copied().zip(direct).collect();
+            ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+            assert_eq!(winners, ranked[..5].to_vec());
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn invalid_requests_get_errors_and_stats_account_traffic() {
+    let cfg = ServeConfig { max_request_items: 16, ..ServeConfig::default() };
+    let (mut handle, _manager) = start_server(cfg, snapshot(3, 0));
+    let mut client = ServeClient::connect(handle.local_addr()).unwrap();
+
+    // Unknown item id.
+    match client.score_new_arrival(&[9_999]).unwrap() {
+        Response::Error(msg) => assert!(msg.contains("out of range"), "{msg}"),
+        other => panic!("unexpected {other:?}"),
+    }
+    // Oversized request.
+    let big: Vec<u32> = (0..17).collect();
+    match client.score(&big).unwrap() {
+        Response::Error(msg) => assert!(msg.contains("limit"), "{msg}"),
+        other => panic!("unexpected {other:?}"),
+    }
+    // Valid traffic for the counters.
+    client.score_new_arrival(&[1, 2, 3]).unwrap();
+    client.score_new_arrival(&[4]).unwrap();
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.model_version, 3);
+    let cold = stats.endpoint("score_new_arrival").unwrap();
+    assert_eq!(cold.requests, 3, "two ok + one error");
+    assert_eq!(cold.errors, 1);
+    assert!(cold.p50_ns > 0, "latency histogram populated");
+    assert_eq!(stats.endpoint("score").unwrap().errors, 1);
+    assert!(stats.batches >= 2, "scoring went through the batcher");
+    handle.shutdown();
+}
+
+#[test]
+fn saturated_queue_sheds_with_overloaded_over_the_wire() {
+    // A queue smaller than one request: every scoring request sheds, which
+    // exercises the full TCP shed path deterministically.
+    let cfg = ServeConfig { queue_capacity: 4, ..ServeConfig::default() };
+    let (mut handle, _manager) = start_server(cfg, snapshot(1, 0));
+    let mut client = ServeClient::connect(handle.local_addr()).unwrap();
+
+    let items: Vec<u32> = (0..8).collect();
+    match client.score_new_arrival(&items).unwrap() {
+        Response::Overloaded => {}
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    // Small requests still fit and succeed.
+    match client.score_new_arrival(&[0, 1]).unwrap() {
+        Response::Scores(scores) => assert_eq!(scores.len(), 2),
+        other => panic!("unexpected {other:?}"),
+    }
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.endpoint("score_new_arrival").unwrap().shed, 1);
+    handle.shutdown();
+}
+
+#[test]
+fn hot_swap_mid_load_serves_both_versions_and_never_errors() {
+    let (mut handle, manager) = start_server(ServeConfig::default(), snapshot(1, 0));
+    let v1 = manager.load();
+    let v2_snap = snapshot(2, 2);
+    let items: Vec<u32> = (0..10).collect();
+    let v1_scores = v1.score_cold(&items);
+    let v2_scores = v2_snap.score_cold(&items);
+    assert_ne!(v1_scores, v2_scores, "retraining must actually move the weights");
+
+    let addr = handle.local_addr();
+    let stop = Arc::new(AtomicBool::new(false));
+    let requests_ok = Arc::new(AtomicU64::new(0));
+    let saw_v2 = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|scope| {
+        let mut workers = Vec::new();
+        for _ in 0..3 {
+            let stop = Arc::clone(&stop);
+            let requests_ok = Arc::clone(&requests_ok);
+            let saw_v2 = Arc::clone(&saw_v2);
+            let (items, v1_scores, v2_scores) = (&items, &v1_scores, &v2_scores);
+            workers.push(scope.spawn(move || {
+                let mut client = ServeClient::connect(addr).expect("connect");
+                while !stop.load(Ordering::Relaxed) {
+                    match client.score_new_arrival(items).expect("request failed during swap") {
+                        Response::Scores(scores) => {
+                            // Every answer is exactly one model version —
+                            // never a blend, never an error.
+                            if &scores == v2_scores {
+                                saw_v2.store(true, Ordering::Relaxed);
+                            } else {
+                                assert_eq!(&scores, v1_scores, "torn or unknown scores");
+                            }
+                            requests_ok.fetch_add(1, Ordering::Relaxed);
+                        }
+                        other => panic!("unexpected response during swap: {other:?}"),
+                    }
+                }
+            }));
+        }
+
+        // Let traffic flow, then publish the retrained snapshot mid-load.
+        std::thread::sleep(Duration::from_millis(50));
+        manager.publish(v2_snap);
+        std::thread::sleep(Duration::from_millis(100));
+        stop.store(true, Ordering::Relaxed);
+        for w in workers {
+            w.join().expect("worker panicked");
+        }
+    });
+
+    assert!(requests_ok.load(Ordering::Relaxed) > 0, "no traffic flowed");
+    assert!(saw_v2.load(Ordering::Relaxed), "post-swap scores never reflected the new weights");
+    assert_eq!(manager.version(), 2);
+
+    // New connections see only v2.
+    let mut client = ServeClient::connect(addr).unwrap();
+    assert_eq!(client.health().unwrap(), 2);
+    match client.score_new_arrival(&items).unwrap() {
+        Response::Scores(scores) => assert_eq!(scores, v2_scores),
+        other => panic!("unexpected {other:?}"),
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn artifact_reload_through_manager_swaps_the_served_model() {
+    let (mut handle, manager) = start_server(ServeConfig::default(), snapshot(1, 0));
+    let mut client = ServeClient::connect(handle.local_addr()).unwrap();
+    assert_eq!(client.health().unwrap(), 1);
+
+    // A "training job" writes a fresh artifact...
+    let retrained = snapshot(9, 2);
+    let artifact =
+        ModelArtifact::capture(&retrained.model, &tiny_data_config(), &retrained.index, 9);
+    let path = std::env::temp_dir().join(format!("atnn_e2e_reload_{}.atnn", std::process::id()));
+    artifact.save_to(&path).unwrap();
+
+    // ...and the running server reloads it without restarting.
+    let items: Vec<u32> = (0..12).collect();
+    let expected = retrained.score_cold(&items);
+    assert_eq!(manager.reload_from(&path).unwrap(), 9);
+    std::fs::remove_file(&path).unwrap();
+
+    assert_eq!(client.health().unwrap(), 9, "existing connection sees the new version");
+    match client.score_new_arrival(&items).unwrap() {
+        Response::Scores(scores) => assert_eq!(scores, expected),
+        other => panic!("unexpected {other:?}"),
+    }
+    handle.shutdown();
+}

@@ -20,12 +20,14 @@ mod ops;
 pub mod pool;
 mod rng;
 mod serialize;
+mod sync;
 
 pub use error::TensorError;
 pub use matrix::Matrix;
 pub use ops::{cosine, dot};
 pub use rng::{Init, Rng64};
 pub use serialize::{decode_matrix, encode_matrix};
+pub use sync::SwapCell;
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, TensorError>;

@@ -10,6 +10,9 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> serve smoke (one request per endpoint over TCP)"
+cargo run --release -p atnn-serve --bin atnn_serve -- --scale tiny --smoke
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 

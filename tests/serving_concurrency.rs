@@ -49,6 +49,19 @@ fn hot_swap_is_atomic_under_concurrent_reads() {
                 }
             });
         }
+        // One snapshotter checks that whole snapshots are never torn either:
+        // each must equal one of the two published indexes exactly.
+        {
+            let serving = Arc::clone(&serving);
+            let index_a = index_a.clone();
+            let index_b = index_b.clone();
+            scope.spawn(move || {
+                for _ in 0..5_000 {
+                    let snap = serving.snapshot();
+                    assert!(*snap == index_a || *snap == index_b, "torn snapshot");
+                }
+            });
+        }
         // One writer flips between the indexes.
         let serving = Arc::clone(&serving);
         scope.spawn(move || {
@@ -57,4 +70,23 @@ fn hot_swap_is_atomic_under_concurrent_reads() {
             }
         });
     });
+}
+
+#[test]
+fn snapshots_are_zero_copy_and_stable_across_publish() {
+    let data = TmallDataset::generate(TmallConfig::tiny());
+    let mut model = Atnn::new(AtnnConfig::scaled(), &data);
+    CtrTrainer::new(TrainOptions { epochs: 1, ..Default::default() })
+        .train(&mut model, &data, None);
+    let index_a = PopularityIndex::build(&model, &data, &(0..64).collect::<Vec<_>>());
+    let index_b = PopularityIndex::build(&model, &data, &(64..128).collect::<Vec<_>>());
+
+    let serving = ServingIndex::new(index_a.clone());
+    let s1 = serving.snapshot();
+    let s2 = serving.snapshot();
+    assert!(Arc::ptr_eq(&s1, &s2), "snapshot must share storage, not clone the matrix");
+
+    serving.publish(index_b.clone());
+    assert_eq!(*s1, index_a, "pre-publish snapshot unchanged");
+    assert_eq!(*serving.snapshot(), index_b);
 }
