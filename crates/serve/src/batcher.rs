@@ -28,11 +28,16 @@ use crate::manager::ModelManager;
 use crate::router::ScorePath;
 use crate::telemetry::Telemetry;
 
+/// What a queued job is answered with: the scores, or a description of why
+/// the batch worker could not score it (out-of-range ids for the snapshot
+/// the batch ran against, or a panicked forward pass).
+pub type BatchReply = Result<Vec<f32>, String>;
+
 /// One queued scoring request.
 struct Job {
     path: ScorePath,
     items: Vec<u32>,
-    reply: mpsc::SyncSender<Vec<f32>>,
+    reply: mpsc::SyncSender<BatchReply>,
 }
 
 struct QueueState {
@@ -95,7 +100,7 @@ impl Batcher {
         &self,
         path: ScorePath,
         items: Vec<u32>,
-    ) -> Result<mpsc::Receiver<Vec<f32>>, Overloaded> {
+    ) -> Result<mpsc::Receiver<BatchReply>, Overloaded> {
         let (tx, rx) = mpsc::sync_channel(1);
         {
             let mut state = self.shared.state.lock().expect("batcher lock poisoned");
@@ -201,8 +206,31 @@ fn collect_batch(shared: &Shared) -> Vec<Job> {
 
 /// Scores one packed batch: one snapshot, at most one forward pass per
 /// path, replies split back per job in submission order.
+///
+/// The snapshot is grabbed here, so ids are re-validated against *its*
+/// item space — the server validated against the boot snapshot, and even
+/// though the manager refuses to publish a differently-sized catalogue,
+/// a job with out-of-range ids must answer with an error rather than
+/// panic the worker. The forward passes run under `catch_unwind` for the
+/// same reason: a panicking pass fails its batch, not the whole server
+/// (a dead worker would leave queued jobs blocking their connections
+/// forever).
 fn execute_batch(shared: &Shared, batch: Vec<Job>) {
     let snapshot = shared.manager.load();
+    let num_items = snapshot.num_items() as u32;
+
+    let (batch, invalid): (Vec<Job>, Vec<Job>) =
+        batch.into_iter().partition(|job| job.items.iter().all(|&i| i < num_items));
+    for job in invalid {
+        // A dead receiver just means the client hung up; nothing to do.
+        let _ = job.reply.send(Err(format!(
+            "item out of range for model v{} (0..{num_items})",
+            snapshot.version
+        )));
+    }
+    if batch.is_empty() {
+        return;
+    }
 
     let mut cold_items: Vec<u32> = Vec::new();
     let mut warm_items: Vec<u32> = Vec::new();
@@ -212,17 +240,31 @@ fn execute_batch(shared: &Shared, batch: Vec<Job>) {
             ScorePath::Warm => warm_items.extend_from_slice(&job.items),
         }
     }
-    let cold_scores = if cold_items.is_empty() {
-        Vec::new()
-    } else {
-        shared.telemetry.record_batch(cold_items.len());
-        snapshot.score_cold(&cold_items)
-    };
-    let warm_scores = if warm_items.is_empty() {
-        Vec::new()
-    } else {
-        shared.telemetry.record_batch(warm_items.len());
-        snapshot.score_warm(&warm_items)
+    let scored = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let cold_scores = if cold_items.is_empty() {
+            Vec::new()
+        } else {
+            shared.telemetry.record_batch(cold_items.len());
+            snapshot.score_cold(&cold_items)
+        };
+        let warm_scores = if warm_items.is_empty() {
+            Vec::new()
+        } else {
+            shared.telemetry.record_batch(warm_items.len());
+            snapshot.score_warm(&warm_items)
+        };
+        (cold_scores, warm_scores)
+    }));
+    let (cold_scores, warm_scores) = match scored {
+        Ok(scores) => scores,
+        Err(_) => {
+            for job in batch {
+                let _ = job
+                    .reply
+                    .send(Err(format!("forward pass panicked on model v{}", snapshot.version)));
+            }
+            return;
+        }
     };
 
     let (mut cold_off, mut warm_off) = (0usize, 0usize);
@@ -240,8 +282,7 @@ fn execute_batch(shared: &Shared, batch: Vec<Job>) {
                 s
             }
         };
-        // A dead receiver just means the client hung up; nothing to do.
-        let _ = job.reply.send(scores);
+        let _ = job.reply.send(Ok(scores));
     }
 }
 
@@ -278,9 +319,9 @@ mod tests {
         let rx_a = batcher.submit(ScorePath::Cold, vec![0, 1, 2]).unwrap();
         let rx_b = batcher.submit(ScorePath::Warm, vec![3, 4]).unwrap();
         let rx_c = batcher.submit(ScorePath::Cold, vec![5]).unwrap();
-        assert_eq!(rx_a.recv().unwrap(), snapshot.score_cold(&[0, 1, 2]));
-        assert_eq!(rx_b.recv().unwrap(), snapshot.score_warm(&[3, 4]));
-        assert_eq!(rx_c.recv().unwrap(), snapshot.score_cold(&[5]));
+        assert_eq!(rx_a.recv().unwrap().unwrap(), snapshot.score_cold(&[0, 1, 2]));
+        assert_eq!(rx_b.recv().unwrap().unwrap(), snapshot.score_warm(&[3, 4]));
+        assert_eq!(rx_c.recv().unwrap().unwrap(), snapshot.score_cold(&[5]));
         assert!(telemetry.report(1).batches >= 1);
     }
 
@@ -300,7 +341,7 @@ mod tests {
         let receivers: Vec<_> =
             (0..16u32).map(|i| batcher.submit(ScorePath::Cold, vec![i]).unwrap()).collect();
         for (i, rx) in receivers.into_iter().enumerate() {
-            assert_eq!(rx.recv().unwrap(), snapshot.score_cold(&[i as u32]));
+            assert_eq!(rx.recv().unwrap().unwrap(), snapshot.score_cold(&[i as u32]));
         }
         let report = telemetry.report(1);
         assert_eq!(report.batched_items, 16);
@@ -327,8 +368,8 @@ mod tests {
         );
         batcher.set_paused(false);
         // Queued work still completes after the shed.
-        assert_eq!(first.recv_timeout(Duration::from_secs(10)).unwrap().len(), 4);
-        assert_eq!(second.recv_timeout(Duration::from_secs(10)).unwrap().len(), 4);
+        assert_eq!(first.recv_timeout(Duration::from_secs(10)).unwrap().unwrap().len(), 4);
+        assert_eq!(second.recv_timeout(Duration::from_secs(10)).unwrap().unwrap().len(), 4);
         assert_eq!(batcher.queued_items(), 0);
     }
 
@@ -340,8 +381,33 @@ mod tests {
             (0..8u32).map(|i| batcher.submit(ScorePath::Cold, vec![i]).unwrap()).collect();
         batcher.shutdown();
         for rx in receivers {
-            assert_eq!(rx.recv().unwrap().len(), 1, "queued jobs answered before exit");
+            assert_eq!(rx.recv().unwrap().unwrap().len(), 1, "queued jobs answered before exit");
         }
         assert!(batcher.submit(ScorePath::Cold, vec![0]).is_err(), "post-shutdown submit sheds");
+    }
+
+    #[test]
+    fn out_of_range_job_gets_an_error_and_worker_survives() {
+        let manager = tiny_manager();
+        let batcher = Batcher::start(
+            ServeConfig::default(),
+            Arc::clone(&manager),
+            Arc::new(Telemetry::new()),
+        );
+        let snapshot = manager.load();
+        let beyond = snapshot.num_items() as u32;
+
+        // An id past the snapshot's item space (reachable only if server
+        // validation were bypassed) answers with an error, not a panic.
+        let bad = batcher.submit(ScorePath::Cold, vec![0, beyond]).unwrap();
+        let reply = bad.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert!(reply.unwrap_err().contains("out of range"));
+
+        // The worker is still alive and scoring.
+        let ok = batcher.submit(ScorePath::Cold, vec![0, 1]).unwrap();
+        assert_eq!(
+            ok.recv_timeout(Duration::from_secs(10)).unwrap().unwrap(),
+            snapshot.score_cold(&[0, 1])
+        );
     }
 }

@@ -40,11 +40,11 @@ pub mod router;
 pub mod server;
 pub mod telemetry;
 
-pub use batcher::{Batcher, Overloaded};
+pub use batcher::{BatchReply, Batcher, Overloaded};
 pub use client::ServeClient;
 pub use config::ServeConfig;
-pub use manager::{ModelManager, ModelSnapshot};
-pub use protocol::{Request, Response, StatsReport};
+pub use manager::{ItemSpaceMismatch, ModelManager, ModelSnapshot};
+pub use protocol::{FrameRead, FrameReader, Request, Response, StatsReport};
 pub use router::{PolicyRouter, ScorePath};
 pub use server::{serve, ServeHandle};
 pub use telemetry::{Endpoint, Telemetry};

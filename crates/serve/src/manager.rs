@@ -75,16 +75,54 @@ impl ModelSnapshot {
     }
 }
 
+/// Rejected publish: the replacement snapshot covers a different item
+/// space than the catalogue being served.
+///
+/// The server's policy router and request validation are sized to the boot
+/// snapshot, so a hot swap must be a retrained model over the same
+/// catalogue (the paper's periodic-retrain setup). A snapshot with fewer
+/// items would let already-validated ids reach a forward pass that cannot
+/// score them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ItemSpaceMismatch {
+    /// Items in the catalogue being served.
+    pub serving: usize,
+    /// Items in the rejected snapshot.
+    pub offered: usize,
+}
+
+impl std::fmt::Display for ItemSpaceMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "snapshot covers {} items but the served catalogue has {}",
+            self.offered, self.serving
+        )
+    }
+}
+
+impl std::error::Error for ItemSpaceMismatch {}
+
 /// Holds the current [`ModelSnapshot`] and swaps in replacements.
 #[derive(Debug)]
 pub struct ModelManager {
     current: SwapCell<ModelSnapshot>,
+    /// Item-space size fixed at construction; every published snapshot
+    /// must match it.
+    num_items: usize,
 }
 
 impl ModelManager {
-    /// Starts serving `snapshot`.
+    /// Starts serving `snapshot`. Its item space becomes the invariant all
+    /// later publishes are checked against.
     pub fn new(snapshot: ModelSnapshot) -> Self {
-        ModelManager { current: SwapCell::new(snapshot) }
+        let num_items = snapshot.num_items();
+        ModelManager { current: SwapCell::new(snapshot), num_items }
+    }
+
+    /// Items in the served catalogue (fixed across hot swaps).
+    pub fn num_items(&self) -> usize {
+        self.num_items
     }
 
     /// Boots a manager straight from an artifact file.
@@ -105,19 +143,31 @@ impl ModelManager {
 
     /// Publishes a new snapshot. In-flight requests keep the snapshot
     /// they already hold; new requests see the replacement immediately.
-    pub fn publish(&self, snapshot: ModelSnapshot) {
+    /// Rejects snapshots whose item space differs from the served
+    /// catalogue — see [`ItemSpaceMismatch`].
+    pub fn publish(&self, snapshot: ModelSnapshot) -> Result<(), ItemSpaceMismatch> {
+        if snapshot.num_items() != self.num_items {
+            return Err(ItemSpaceMismatch {
+                serving: self.num_items,
+                offered: snapshot.num_items(),
+            });
+        }
         self.current.publish(snapshot);
+        Ok(())
     }
 
     /// Reloads from an artifact file and publishes the result. The build
     /// (file read, checksum, dataset regeneration, weight load) happens
-    /// before the swap, so readers never observe a half-loaded model.
+    /// before the swap, so readers never observe a half-loaded model; an
+    /// artifact over a different catalogue is rejected without swapping.
     /// Returns the published version.
     pub fn reload_from(&self, path: impl AsRef<Path>) -> Result<u64, ArtifactError> {
         let artifact = ModelArtifact::load_from(path)?;
         let snapshot = ModelSnapshot::from_artifact(&artifact)?;
         let version = snapshot.version;
-        self.publish(snapshot);
+        self.publish(snapshot).map_err(|_| {
+            ArtifactError::Corrupt("artifact item space differs from the served catalogue")
+        })?;
         Ok(version)
     }
 }
@@ -167,9 +217,33 @@ mod tests {
         let manager = ModelManager::new(snap_a);
         let held = manager.load();
         assert_eq!(held.version, 1);
-        manager.publish(snap_b);
+        manager.publish(snap_b).unwrap();
         assert_eq!(manager.version(), 2);
         assert_eq!(held.version, 1, "held snapshot unaffected by publish");
+    }
+
+    #[test]
+    fn publish_rejects_a_different_item_space() {
+        let (snap_a, _) = tiny_snapshot(1, 0);
+        let manager = ModelManager::new(snap_a);
+        assert_eq!(manager.num_items(), 120);
+
+        let shrunk_cfg = TmallConfig {
+            num_users: 60,
+            num_items: 80,
+            num_interactions: 1_000,
+            ..TmallConfig::tiny()
+        };
+        let data = TmallDataset::generate(shrunk_cfg);
+        let mut model = Atnn::new(AtnnConfig::scaled(), &data);
+        CtrTrainer::new(TrainOptions { epochs: 0, ..Default::default() })
+            .train(&mut model, &data, None);
+        let index = PopularityIndex::build(&model, &data, &(0..40).collect::<Vec<_>>());
+        let shrunk = ModelSnapshot { version: 2, data, model, index };
+
+        let err = manager.publish(shrunk).unwrap_err();
+        assert_eq!(err, ItemSpaceMismatch { serving: 120, offered: 80 });
+        assert_eq!(manager.version(), 1, "rejected publish must not swap");
     }
 
     #[test]

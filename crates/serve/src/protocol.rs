@@ -452,6 +452,11 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
 
 /// Reads one length-prefixed frame. Returns `Ok(None)` on clean EOF at a
 /// frame boundary (the peer hung up between requests).
+///
+/// For sockets with a read timeout use [`FrameReader`] instead: this
+/// function treats `WouldBlock`/`TimedOut` as an error and any bytes it
+/// already consumed are lost, so retrying it mid-frame desynchronizes the
+/// stream.
 pub fn read_frame(r: &mut impl Read) -> Result<Option<Bytes>, ProtocolError> {
     let mut len_bytes = [0u8; 4];
     match r.read_exact(&mut len_bytes) {
@@ -466,6 +471,119 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Bytes>, ProtocolError> {
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
     Ok(Some(Bytes::from(payload)))
+}
+
+/// Outcome of one [`FrameReader::read_frame`] call.
+#[derive(Debug)]
+pub enum FrameRead {
+    /// A complete frame payload.
+    Frame(Bytes),
+    /// Clean EOF at a frame boundary (the peer hung up between requests).
+    Eof,
+    /// The read timed out (`WouldBlock`/`TimedOut`). Any partial bytes of
+    /// the next frame stay buffered; call again to resume where the stream
+    /// left off.
+    Idle,
+}
+
+/// Stateful frame reader for sockets with a read timeout.
+///
+/// A timeout can fire anywhere — including in the middle of a frame's
+/// length prefix or payload. This reader keeps whatever it has consumed so
+/// far across calls, so a timeout never discards partial bytes and the
+/// next call resumes mid-frame instead of misparsing payload bytes as a
+/// new length prefix.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    header: [u8; 4],
+    header_have: usize,
+    /// Allocated once the length prefix is complete; `None` while the
+    /// prefix itself is still being read.
+    payload: Option<Vec<u8>>,
+    payload_have: usize,
+}
+
+/// Outcome of one buffer-filling attempt.
+enum Fill {
+    Done,
+    Timeout,
+    Eof,
+}
+
+/// Reads into `buf[*have..]` until full, EOF, or a timeout, advancing
+/// `have` past every successfully consumed byte.
+fn fill(r: &mut impl Read, buf: &mut [u8], have: &mut usize) -> Result<Fill, ProtocolError> {
+    while *have < buf.len() {
+        match r.read(&mut buf[*have..]) {
+            Ok(0) => return Ok(Fill::Eof),
+            Ok(n) => *have += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Ok(Fill::Timeout)
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(Fill::Done)
+}
+
+impl FrameReader {
+    /// A reader positioned at a frame boundary.
+    pub fn new() -> Self {
+        FrameReader::default()
+    }
+
+    /// Whether partial bytes of an unfinished frame are buffered.
+    pub fn mid_frame(&self) -> bool {
+        self.header_have > 0 || self.payload.is_some()
+    }
+
+    /// Reads one frame, resuming from any partial bytes buffered by an
+    /// earlier timed-out call. EOF mid-frame is an error; EOF at a frame
+    /// boundary is [`FrameRead::Eof`].
+    pub fn read_frame(&mut self, r: &mut impl Read) -> Result<FrameRead, ProtocolError> {
+        if self.payload.is_none() {
+            match fill(r, &mut self.header, &mut self.header_have)? {
+                Fill::Timeout => return Ok(FrameRead::Idle),
+                Fill::Eof => {
+                    if self.header_have == 0 {
+                        return Ok(FrameRead::Eof);
+                    }
+                    return Err(ProtocolError::Io(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "eof inside a frame length prefix",
+                    )));
+                }
+                Fill::Done => {
+                    let len = u32::from_le_bytes(self.header) as usize;
+                    if len > MAX_FRAME {
+                        return Err(ProtocolError::Malformed("frame too large"));
+                    }
+                    self.payload = Some(vec![0u8; len]);
+                    self.payload_have = 0;
+                }
+            }
+        }
+        let payload = self.payload.as_mut().expect("payload allocated above");
+        match fill(r, payload, &mut self.payload_have)? {
+            Fill::Timeout => Ok(FrameRead::Idle),
+            Fill::Eof => Err(ProtocolError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "eof inside a frame payload",
+            ))),
+            Fill::Done => {
+                let frame = self.payload.take().expect("payload present");
+                self.header_have = 0;
+                self.payload_have = 0;
+                Ok(FrameRead::Frame(Bytes::from(frame)))
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -543,6 +661,94 @@ mod tests {
         // Trailing garbage.
         assert!(Request::decode(Bytes::from_static(b"\x01\x00")).is_err());
         assert!(Response::decode(Bytes::from_static(b"\xee")).is_err());
+    }
+
+    /// Serves `data` in `chunk`-byte slices with a `WouldBlock` timeout
+    /// between every chunk — the worst-case dribbling client.
+    struct Dribble {
+        data: Vec<u8>,
+        pos: usize,
+        chunk: usize,
+        ready: bool,
+    }
+
+    impl std::io::Read for Dribble {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if !self.ready {
+                self.ready = true;
+                return Err(std::io::Error::from(std::io::ErrorKind::WouldBlock));
+            }
+            self.ready = false;
+            let n = self.chunk.min(buf.len()).min(self.data.len() - self.pos);
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn frame_reader_resumes_after_mid_frame_timeouts() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Request::Score { items: vec![7, 8, 9] }.encode()).unwrap();
+        write_frame(&mut wire, &Request::Health.encode()).unwrap();
+        // One byte per read, a timeout before each: every length prefix and
+        // payload is split across many timed-out calls.
+        let mut r = Dribble { data: wire, pos: 0, chunk: 1, ready: false };
+        let mut reader = FrameReader::new();
+        let mut frames = Vec::new();
+        loop {
+            match reader.read_frame(&mut r).unwrap() {
+                FrameRead::Frame(payload) => frames.push(payload),
+                FrameRead::Idle => continue,
+                FrameRead::Eof => break,
+            }
+        }
+        assert_eq!(frames.len(), 2);
+        assert_eq!(
+            Request::decode(frames[0].clone()).unwrap(),
+            Request::Score { items: vec![7, 8, 9] }
+        );
+        assert_eq!(Request::decode(frames[1].clone()).unwrap(), Request::Health);
+    }
+
+    #[test]
+    fn frame_reader_reports_mid_frame_state_and_bad_eof() {
+        // 4-byte prefix announcing 10 payload bytes, but only 2 arrive.
+        let mut truncated = 10u32.to_le_bytes().to_vec();
+        truncated.extend_from_slice(b"ab");
+        let mut r = Dribble { data: truncated, pos: 0, chunk: 3, ready: false };
+        let mut reader = FrameReader::new();
+        loop {
+            match reader.read_frame(&mut r) {
+                Ok(FrameRead::Idle) => continue,
+                Err(ProtocolError::Io(e)) => {
+                    assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof);
+                    break;
+                }
+                other => panic!("expected eof-mid-frame error, got {other:?}"),
+            }
+        }
+
+        // Clean EOF at a boundary is not an error.
+        let mut empty = Dribble { data: Vec::new(), pos: 0, chunk: 1, ready: true };
+        assert!(matches!(FrameReader::new().read_frame(&mut empty).unwrap(), FrameRead::Eof));
+
+        // A reader that consumed part of a prefix knows it is mid-frame.
+        let mut partial = Dribble { data: vec![1, 0], pos: 0, chunk: 2, ready: true };
+        let mut reader = FrameReader::new();
+        assert!(!reader.mid_frame());
+        assert!(matches!(reader.read_frame(&mut partial).unwrap(), FrameRead::Idle));
+        assert!(reader.mid_frame());
+    }
+
+    #[test]
+    fn frame_reader_rejects_oversize_prefix() {
+        let huge = ((MAX_FRAME + 1) as u32).to_le_bytes();
+        let mut r = std::io::Cursor::new(huge.to_vec());
+        assert!(matches!(
+            FrameReader::new().read_frame(&mut r),
+            Err(ProtocolError::Malformed("frame too large"))
+        ));
     }
 
     #[test]

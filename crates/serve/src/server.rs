@@ -16,12 +16,16 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use crate::batcher::Batcher;
+use crate::batcher::{BatchReply, Batcher};
 use crate::config::ServeConfig;
 use crate::manager::ModelManager;
-use crate::protocol::{read_frame, write_frame, ProtocolError, Request, Response};
+use crate::protocol::{write_frame, FrameRead, FrameReader, Request, Response};
 use crate::router::{PolicyRouter, ScorePath};
 use crate::telemetry::{Endpoint, Telemetry};
+
+/// Backoff before retrying a failed `accept` — persistent errors (e.g. fd
+/// exhaustion) must not busy-spin the acceptor at 100% CPU.
+const ACCEPT_RETRY_DELAY: std::time::Duration = std::time::Duration::from_millis(50);
 
 /// State shared by the acceptor, every connection thread, and the handle.
 struct ServerShared {
@@ -46,14 +50,15 @@ pub struct ServeHandle {
 
 /// Binds `cfg.addr` and starts serving `manager`'s current snapshot.
 ///
-/// The policy router is sized to the snapshot the server boots with; a
-/// later hot swap must keep the item space (a retrained model over the
-/// same catalogue), which is exactly the paper's periodic-retrain setup.
+/// The policy router is sized to the manager's fixed item space; the
+/// manager rejects hot swaps over a different catalogue (see
+/// [`crate::manager::ItemSpaceMismatch`]), so ids the router validated
+/// stay scorable across every published snapshot — exactly the paper's
+/// periodic-retrain setup.
 pub fn serve(cfg: ServeConfig, manager: Arc<ModelManager>) -> io::Result<ServeHandle> {
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
-    let num_items = manager.load().num_items();
-    let router = Arc::new(PolicyRouter::new(num_items, cfg.warm_threshold));
+    let router = Arc::new(PolicyRouter::new(manager.num_items(), cfg.warm_threshold));
     let telemetry = Arc::new(Telemetry::new());
     let batcher = Batcher::start(cfg.clone(), Arc::clone(&manager), Arc::clone(&telemetry));
     let shared = Arc::new(ServerShared {
@@ -127,12 +132,14 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
+                std::thread::sleep(ACCEPT_RETRY_DELAY);
                 continue;
             }
         };
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
+        reap_finished_connections(shared);
         let conn_shared = Arc::clone(shared);
         let handle = std::thread::Builder::new()
             .name("atnn-serve-conn".to_string())
@@ -143,19 +150,36 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
     }
 }
 
+/// Joins connection threads that already exited, so a long-running server
+/// with connection churn doesn't accumulate handles without bound. Joining
+/// a finished thread returns immediately.
+fn reap_finished_connections(shared: &ServerShared) {
+    let mut connections = shared.connections.lock().expect("connections lock");
+    let mut i = 0;
+    while i < connections.len() {
+        if connections[i].is_finished() {
+            let _ = connections.swap_remove(i).join();
+        } else {
+            i += 1;
+        }
+    }
+}
+
 fn connection_loop(stream: TcpStream, shared: &Arc<ServerShared>) {
     let _ = stream.set_nodelay(true);
     // The read timeout doubles as the shutdown poll interval: an idle
     // connection wakes every `read_timeout` to check the flag.
     let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
     let mut stream = stream;
+    // The stateful reader keeps partial frame bytes across read timeouts:
+    // a client pausing mid-frame resumes exactly where it left off instead
+    // of desynchronizing the stream.
+    let mut reader = FrameReader::new();
     loop {
-        let payload = match read_frame(&mut stream) {
-            Ok(Some(payload)) => payload,
-            Ok(None) => return, // peer hung up cleanly
-            Err(ProtocolError::Io(e))
-                if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
-            {
+        let payload = match reader.read_frame(&mut stream) {
+            Ok(FrameRead::Frame(payload)) => payload,
+            Ok(FrameRead::Eof) => return, // peer hung up cleanly
+            Ok(FrameRead::Idle) => {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
@@ -169,7 +193,7 @@ fn connection_loop(stream: TcpStream, shared: &Arc<ServerShared>) {
                 let endpoint = endpoint_of(&request);
                 (endpoint, handle_request(shared, request))
             }
-            Err(e) => (Endpoint::Health, Response::Error(format!("bad request: {e}"))),
+            Err(e) => (Endpoint::Malformed, Response::Error(format!("bad request: {e}"))),
         };
         shared.telemetry.record_request(endpoint, started.elapsed());
         match &response {
@@ -220,7 +244,8 @@ fn score_path(shared: &ServerShared, path: ScorePath, items: Vec<u32>) -> Respon
     }
     match shared.batcher.submit(path, items) {
         Ok(rx) => match rx.recv() {
-            Ok(scores) => Response::Scores(scores),
+            Ok(Ok(scores)) => Response::Scores(scores),
+            Ok(Err(msg)) => Response::Error(msg),
             Err(_) => Response::Error("batch worker dropped the job".to_string()),
         },
         Err(_) => Response::Overloaded,
@@ -240,7 +265,7 @@ fn score_routed(shared: &ServerShared, items: &[u32]) -> Result<(Vec<f32>, Vec<b
     // Submit both paths before waiting on either, so they share a flush.
     let submit = |path: ScorePath,
                   part: &[(usize, u32)]|
-     -> Result<Option<mpsc::Receiver<Vec<f32>>>, Response> {
+     -> Result<Option<mpsc::Receiver<BatchReply>>, Response> {
         if part.is_empty() {
             return Ok(None);
         }
@@ -251,17 +276,18 @@ fn score_routed(shared: &ServerShared, items: &[u32]) -> Result<(Vec<f32>, Vec<b
     let warm_rx = submit(ScorePath::Warm, &warm)?;
 
     let mut scores = vec![0.0f32; items.len()];
-    let mut fill = |part: &[(usize, u32)],
-                    rx: Option<mpsc::Receiver<Vec<f32>>>|
-     -> Result<(), Response> {
-        let Some(rx) = rx else { return Ok(()) };
-        let part_scores =
-            rx.recv().map_err(|_| Response::Error("batch worker dropped the job".to_string()))?;
-        for (&(slot, _), &score) in part.iter().zip(&part_scores) {
-            scores[slot] = score;
-        }
-        Ok(())
-    };
+    let mut fill =
+        |part: &[(usize, u32)], rx: Option<mpsc::Receiver<BatchReply>>| -> Result<(), Response> {
+            let Some(rx) = rx else { return Ok(()) };
+            let part_scores = rx
+                .recv()
+                .map_err(|_| Response::Error("batch worker dropped the job".to_string()))?
+                .map_err(Response::Error)?;
+            for (&(slot, _), &score) in part.iter().zip(&part_scores) {
+                scores[slot] = score;
+            }
+            Ok(())
+        };
     fill(&cold, cold_rx)?;
     fill(&warm, warm_rx)?;
     Ok((scores, warm_flags))

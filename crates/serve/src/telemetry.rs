@@ -42,10 +42,13 @@ pub enum Endpoint {
     RecordInteractions,
     /// Routed top-k ranking.
     TopK,
+    /// Frames that failed `Request::decode` — kept separate so malformed
+    /// traffic doesn't pollute any real endpoint's counters.
+    Malformed,
 }
 
 /// All endpoints, in display order.
-pub const ENDPOINTS: [Endpoint; 7] = [
+pub const ENDPOINTS: [Endpoint; 8] = [
     Endpoint::Health,
     Endpoint::Stats,
     Endpoint::ScoreNewArrival,
@@ -53,6 +56,7 @@ pub const ENDPOINTS: [Endpoint; 7] = [
     Endpoint::Score,
     Endpoint::RecordInteractions,
     Endpoint::TopK,
+    Endpoint::Malformed,
 ];
 
 impl Endpoint {
@@ -66,6 +70,7 @@ impl Endpoint {
             Endpoint::Score => "score",
             Endpoint::RecordInteractions => "record_interactions",
             Endpoint::TopK => "topk",
+            Endpoint::Malformed => "malformed",
         }
     }
 
@@ -78,6 +83,7 @@ impl Endpoint {
             Endpoint::Score => 4,
             Endpoint::RecordInteractions => 5,
             Endpoint::TopK => 6,
+            Endpoint::Malformed => 7,
         }
     }
 }

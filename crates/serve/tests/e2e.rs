@@ -4,14 +4,17 @@
 //! batch composition (see `atnn_tensor::pool`), so every comparison here
 //! is exact `==`, not a tolerance.
 
+use std::io::Write;
+use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use atnn_core::{Atnn, AtnnConfig, CtrTrainer, ModelArtifact, PopularityIndex, TrainOptions};
 use atnn_data::tmall::{TmallConfig, TmallDataset};
+use atnn_serve::protocol::{read_frame, write_frame};
 use atnn_serve::{
-    serve, ModelManager, ModelSnapshot, Response, ServeClient, ServeConfig, ServeHandle,
+    serve, ModelManager, ModelSnapshot, Request, Response, ServeClient, ServeConfig, ServeHandle,
 };
 
 fn tiny_data_config() -> TmallConfig {
@@ -153,6 +156,67 @@ fn saturated_queue_sheds_with_overloaded_over_the_wire() {
 }
 
 #[test]
+fn client_pausing_mid_frame_stays_synchronized() {
+    // A read timeout far shorter than the client's mid-frame pauses: the
+    // server must buffer the partial frame across timeouts instead of
+    // discarding consumed bytes and misparsing the remainder.
+    let cfg = ServeConfig { read_timeout: Duration::from_millis(5), ..ServeConfig::default() };
+    let (mut handle, manager) = start_server(cfg, snapshot(1, 1));
+    let snap = manager.load();
+
+    let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let items: Vec<u32> = (0..6).collect();
+    let payload = Request::ScoreNewArrival { items: items.clone() }.encode();
+    let mut frame = (payload.len() as u32).to_le_bytes().to_vec();
+    frame.extend_from_slice(&payload);
+
+    // Dribble the frame in three writes: mid-length-prefix, mid-payload,
+    // rest — each pause several read timeouts long.
+    for part in [&frame[..2], &frame[2..7], &frame[7..]] {
+        stream.write_all(part).unwrap();
+        stream.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+    }
+    match Response::decode(read_frame(&mut stream).unwrap().unwrap()).unwrap() {
+        Response::Scores(scores) => assert_eq!(scores, snap.score_cold(&items)),
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // The same connection keeps working — the stream never desynchronized.
+    write_frame(&mut stream, &Request::Health.encode()).unwrap();
+    match Response::decode(read_frame(&mut stream).unwrap().unwrap()).unwrap() {
+        Response::Health { ok, model_version } => {
+            assert!(ok);
+            assert_eq!(model_version, 1);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn malformed_frames_are_accounted_separately_from_real_endpoints() {
+    let (mut handle, _manager) = start_server(ServeConfig::default(), snapshot(1, 0));
+
+    let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+    write_frame(&mut stream, &[0xff]).unwrap(); // unknown opcode
+    match Response::decode(read_frame(&mut stream).unwrap().unwrap()).unwrap() {
+        Response::Error(msg) => assert!(msg.contains("bad request"), "{msg}"),
+        other => panic!("unexpected {other:?}"),
+    }
+
+    let mut client = ServeClient::connect(handle.local_addr()).unwrap();
+    client.health().unwrap();
+    let stats = client.stats().unwrap();
+    let malformed = stats.endpoint("malformed").unwrap();
+    assert_eq!((malformed.requests, malformed.errors), (1, 1));
+    let health = stats.endpoint("health").unwrap();
+    assert_eq!(health.errors, 0, "malformed traffic must not pollute health");
+    handle.shutdown();
+}
+
+#[test]
 fn hot_swap_mid_load_serves_both_versions_and_never_errors() {
     let (mut handle, manager) = start_server(ServeConfig::default(), snapshot(1, 0));
     let v1 = manager.load();
@@ -196,7 +260,7 @@ fn hot_swap_mid_load_serves_both_versions_and_never_errors() {
 
         // Let traffic flow, then publish the retrained snapshot mid-load.
         std::thread::sleep(Duration::from_millis(50));
-        manager.publish(v2_snap);
+        manager.publish(v2_snap).expect("same catalogue, publish accepted");
         std::thread::sleep(Duration::from_millis(100));
         stop.store(true, Ordering::Relaxed);
         for w in workers {
