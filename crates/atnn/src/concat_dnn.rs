@@ -64,6 +64,16 @@ impl ConcatDnn {
             Some(&user_block.numeric),
         );
 
+        // Row-sparse embedding gradients (see `ParamStore::mark_sparse`).
+        for id in profile_encoder
+            .embedding_params()
+            .into_iter()
+            .chain(stats_encoder.embedding_params())
+            .chain(user_encoder.embedding_params())
+        {
+            store.mark_sparse(id);
+        }
+
         let in_dim = profile_encoder.out_dim() + stats_encoder.out_dim() + user_encoder.out_dim();
         let mut dims = vec![in_dim];
         dims.extend_from_slice(&config.deep_dims);

@@ -50,6 +50,10 @@ pub struct Atnn {
     opt_g: Adam,
     opt_disc: Option<Adam>,
     dropout_rng: Rng64,
+    /// Tape reused across training steps: node storage and the backward
+    /// workspace arena persist, so the steady-state step allocates no
+    /// per-batch gradient scratch.
+    graph: Graph,
 }
 
 impl Atnn {
@@ -148,6 +152,19 @@ impl Atnn {
             Some(&user_block.numeric),
         );
 
+        // Embedding tables get row-sparse gradients: a batch only touches
+        // a few rows of each vocab-sized table (mark_sparse is idempotent,
+        // so shared generator/profile tables may be marked twice).
+        for id in profile_encoder
+            .embedding_params()
+            .into_iter()
+            .chain(generator_encoder.embedding_params())
+            .chain(stats_encoder.embedding_params())
+            .chain(user_encoder.embedding_params())
+        {
+            store.mark_sparse(id);
+        }
+
         let item_tower = Tower::new(
             &mut store,
             &mut weight_rng,
@@ -229,6 +246,7 @@ impl Atnn {
             opt_g,
             opt_disc,
             dropout_rng,
+            graph: Graph::new(),
         }
     }
 
@@ -283,10 +301,14 @@ impl Atnn {
         labels: &Matrix,
     ) -> StepLosses {
         let mut losses = StepLosses::default();
+        // One tape serves all phases of the step; it is moved out of the
+        // struct (the borrow checker's view of `self` stays simple), reused
+        // via `clear()`, and restored before every return.
+        let mut g = std::mem::take(&mut self.graph);
 
         // ---- D step: minimize L_i over the encoder path. -------------
         self.store.zero_grads(&self.d_group);
-        let mut g = Graph::new();
+        g.clear();
         let iv = self.item_vec_full(&mut g, profile, stats);
         let iv = self.apply_dropout(&mut g, iv);
         let uv = self.user_vec(&mut g, users);
@@ -299,13 +321,14 @@ impl Atnn {
         self.opt_d.step(&mut self.store);
 
         if matches!(self.config.adversarial, AdversarialMode::None) {
+            self.graph = g;
             return losses;
         }
 
         // ---- Discriminator step (learned mode only). ------------------
         if let Some(disc) = &self.discriminator {
             self.store.zero_grads(&self.disc_group);
-            let mut g = Graph::new();
+            g.clear();
             let real = self.item_vec_full(&mut g, profile, stats);
             let real = g.detach(real);
             let fake = self.item_vec_generated(&mut g, profile);
@@ -326,7 +349,7 @@ impl Atnn {
 
         // ---- G step: minimize L_g + λ·L_s over the generator path. ----
         self.store.zero_grads(&self.g_group);
-        let mut g = Graph::new();
+        g.clear();
         let gen_v = self.item_vec_generated(&mut g, profile);
         let gen_v = self.apply_dropout(&mut g, gen_v);
         // The user vector and the similarity target are frozen in this
@@ -363,6 +386,7 @@ impl Atnn {
         clip_grad_norm(&mut self.store, &self.g_group, self.config.grad_clip);
         self.opt_g.step(&mut self.store);
 
+        self.graph = g;
         losses
     }
 

@@ -128,6 +128,18 @@ impl MultiTaskAtnn {
             Some(&group_block.numeric),
         );
 
+        // Row-sparse embedding gradients (see `ParamStore::mark_sparse`);
+        // idempotent, so shared generator/profile tables may repeat.
+        for id in profile_encoder
+            .embedding_params()
+            .into_iter()
+            .chain(generator_encoder.embedding_params())
+            .chain(stats_encoder.embedding_params())
+            .chain(group_encoder.embedding_params())
+        {
+            store.mark_sparse(id);
+        }
+
         let item_tower = Tower::new(
             &mut store,
             &mut rng,

@@ -49,7 +49,7 @@ pub fn check_gradients(
     let mut graph = Graph::new();
     let loss = build(&mut graph, store);
     graph.backward(loss, store);
-    let analytic: Vec<Matrix> = params.iter().map(|&p| store.grad(p).clone()).collect();
+    let analytic: Vec<Matrix> = params.iter().map(|&p| store.grad_to_dense(p)).collect();
 
     for (k, &param) in params.iter().enumerate() {
         let numeric = numeric_gradient(store, param, 1e-2, |s| {

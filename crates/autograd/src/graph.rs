@@ -65,6 +65,40 @@ struct Node {
 #[derive(Debug, Default)]
 pub struct Graph {
     nodes: Vec<Node>,
+    /// Scratch-matrix arena for backward; retained across batches so the
+    /// steady-state training step allocates no per-node gradients.
+    ws: Workspace,
+    /// Per-node gradient slots, reused across `backward` calls.
+    grad_slots: Vec<Option<Matrix>>,
+}
+
+/// Free-list of `f32` buffers recycled as backward-pass scratch matrices.
+///
+/// `take` pops (or grows) a buffer and hands it back as a zeroed matrix
+/// of the requested shape; `give` returns a matrix's storage to the
+/// list. Buffers keep their high-water capacity, so after the first few
+/// batches every `take` is a pop + `memset` with no allocation.
+#[derive(Debug, Default)]
+struct Workspace {
+    free: Vec<Vec<f32>>,
+}
+
+impl Workspace {
+    /// A zeroed `rows x cols` matrix backed by recycled storage.
+    fn take(&mut self, rows: usize, cols: usize) -> Matrix {
+        let mut buf = self.free.pop().unwrap_or_default();
+        buf.clear();
+        buf.resize(rows * cols, 0.0);
+        Matrix::from_vec(rows, cols, buf).expect("workspace buffer sized to shape")
+    }
+
+    /// Returns a matrix's storage to the free list.
+    fn give(&mut self, m: Matrix) {
+        let buf = m.into_vec();
+        if buf.capacity() > 0 {
+            self.free.push(buf);
+        }
+    }
 }
 
 /// Numerically stable logistic function.
@@ -359,90 +393,163 @@ impl Graph {
 
     /// Reverse-mode sweep from the scalar `loss` node. Gradients of
     /// parameter leaves are **accumulated** into `store` (call
-    /// [`ParamStore::zero_grads`] between steps).
+    /// [`ParamStore::zero_grads`] between steps); sparse-declared slots
+    /// receive only their touched rows and are left coalesced.
+    ///
+    /// Per-node scratch matrices come from a workspace arena retained on
+    /// the graph, so repeated `clear()` + rebuild + `backward` cycles on
+    /// the same `Graph` stop allocating once buffer capacities warm up.
     ///
     /// # Panics
     /// Panics when `loss` is not `1 x 1`.
     pub fn backward(&mut self, loss: Var, store: &mut ParamStore) {
         assert_eq!(self.val(loss).shape(), (1, 1), "backward: loss must be a scalar node");
-        let mut grads: Vec<Option<Matrix>> = (0..self.nodes.len()).map(|_| None).collect();
-        grads[loss.0] = Some(Matrix::full(1, 1, 1.0));
+        let Graph { nodes, ws, grad_slots } = self;
+        grad_slots.clear();
+        grad_slots.resize_with(nodes.len(), || None);
+        let mut seed = ws.take(1, 1);
+        seed.set(0, 0, 1.0);
+        grad_slots[loss.0] = Some(seed);
 
         for id in (0..=loss.0).rev() {
-            let Some(g) = grads[id].take() else { continue };
+            let Some(g) = grad_slots[id].take() else { continue };
             // Split-borrow: the node being processed vs. earlier nodes.
-            let (before, at) = self.nodes.split_at_mut(id);
+            let (before, at) = nodes.split_at_mut(id);
             let node = &at[0];
             let val_of = |v: Var| -> &Matrix { &before[v.0].value };
             match &node.op {
-                Op::Input => {}
+                Op::Input => ws.give(g),
                 Op::Param(pid) => {
-                    store.grad_mut(*pid).add_assign_scaled(&g, 1.0).expect("param grad shape");
+                    store.accumulate_dense(*pid, &g);
+                    ws.give(g);
                 }
                 Op::Gather { param, indices } => {
-                    let table = store.grad_mut(*param);
-                    for (r, &idx) in indices.iter().enumerate() {
-                        let row = table.row_mut(idx as usize);
-                        for (t, &d) in row.iter_mut().zip(g.row(r)) {
-                            *t += d;
-                        }
-                    }
+                    store.scatter_rows(*param, indices, &g);
+                    ws.give(g);
                 }
                 Op::MatMul(a, b) => {
-                    let da = g.matmul_nt(val_of(*b)).expect("matmul da");
-                    let db = val_of(*a).matmul_tn(&g).expect("matmul db");
-                    accumulate(&mut grads, *a, da);
-                    accumulate(&mut grads, *b, db);
+                    // da = g @ bᵀ via the packed-transpose kernel (the
+                    // matmul_nt layout), db = aᵀ @ g — both into arena
+                    // buffers, dispatch-identical to the allocating forms.
+                    let (av, bv) = (val_of(*a), val_of(*b));
+                    let mut bt = ws.take(bv.cols(), bv.rows());
+                    bv.transpose_into(&mut bt);
+                    let mut da = ws.take(g.rows(), bv.rows());
+                    g.matmul_into(&bt, &mut da).expect("matmul da");
+                    ws.give(bt);
+                    let mut db = ws.take(av.cols(), g.cols());
+                    av.matmul_tn_into(&g, &mut db).expect("matmul db");
+                    ws.give(g);
+                    accumulate(grad_slots, ws, *a, da);
+                    accumulate(grad_slots, ws, *b, db);
                 }
                 Op::Add(a, b) => {
-                    accumulate(&mut grads, *a, g.clone());
-                    accumulate(&mut grads, *b, g);
+                    let mut da = ws.take(g.rows(), g.cols());
+                    da.as_mut_slice().copy_from_slice(g.as_slice());
+                    accumulate(grad_slots, ws, *a, da);
+                    accumulate(grad_slots, ws, *b, g);
                 }
                 Op::Sub(a, b) => {
-                    accumulate(&mut grads, *a, g.clone());
-                    accumulate(&mut grads, *b, g.scale(-1.0));
+                    let mut db = ws.take(g.rows(), g.cols());
+                    db.as_mut_slice().copy_from_slice(g.as_slice());
+                    db.scale_assign(-1.0);
+                    accumulate(grad_slots, ws, *a, g);
+                    accumulate(grad_slots, ws, *b, db);
                 }
                 Op::Mul(a, b) => {
-                    let da = g.hadamard(val_of(*b)).expect("mul da");
-                    let db = g.hadamard(val_of(*a)).expect("mul db");
-                    accumulate(&mut grads, *a, da);
-                    accumulate(&mut grads, *b, db);
+                    let (av, bv) = (val_of(*a), val_of(*b));
+                    let mut db = ws.take(g.rows(), g.cols());
+                    for ((o, &gv), &avv) in
+                        db.as_mut_slice().iter_mut().zip(g.as_slice()).zip(av.as_slice())
+                    {
+                        *o = gv * avv;
+                    }
+                    let mut da = g;
+                    for (d, &bvv) in da.as_mut_slice().iter_mut().zip(bv.as_slice()) {
+                        *d *= bvv;
+                    }
+                    accumulate(grad_slots, ws, *a, da);
+                    accumulate(grad_slots, ws, *b, db);
                 }
                 Op::AddRowBroadcast(x, bias) => {
-                    accumulate(&mut grads, *bias, g.sum_rows());
-                    accumulate(&mut grads, *x, g);
+                    // dbias = column sums of g, accumulated rows-ascending
+                    // (the sum_rows order).
+                    let mut dbias = ws.take(1, g.cols());
+                    for i in 0..g.rows() {
+                        for (o, &v) in dbias.row_mut(0).iter_mut().zip(g.row(i)) {
+                            *o += v;
+                        }
+                    }
+                    accumulate(grad_slots, ws, *bias, dbias);
+                    accumulate(grad_slots, ws, *x, g);
                 }
                 Op::MulRowBroadcast(x, scale) => {
-                    let sv = val_of(*scale);
                     // dx = g ⊙ (scale broadcast); dscale = column sums of g ⊙ x.
-                    let mut dx = g.clone();
-                    let srow = sv.row(0).to_vec();
+                    let xv = val_of(*x);
+                    let mut ds = ws.take(1, g.cols());
+                    for i in 0..g.rows() {
+                        for ((o, &gv), &xvv) in
+                            ds.row_mut(0).iter_mut().zip(g.row(i)).zip(xv.row(i))
+                        {
+                            *o += gv * xvv;
+                        }
+                    }
+                    let sv = val_of(*scale);
+                    let srow = sv.row(0);
+                    let mut dx = g;
                     for i in 0..dx.rows() {
-                        for (v, &m) in dx.row_mut(i).iter_mut().zip(&srow) {
+                        for (v, &m) in dx.row_mut(i).iter_mut().zip(srow) {
                             *v *= m;
                         }
                     }
-                    let ds = g.hadamard(val_of(*x)).expect("mul_row_broadcast ds").sum_rows();
-                    accumulate(&mut grads, *x, dx);
-                    accumulate(&mut grads, *scale, ds);
+                    accumulate(grad_slots, ws, *x, dx);
+                    accumulate(grad_slots, ws, *scale, ds);
                 }
                 Op::ScaleRows(x, s) => {
-                    let dx = g.scale_rows(val_of(*s)).expect("scale_rows dx");
-                    let ds = g.hadamard(val_of(*x)).expect("scale_rows ds").sum_cols();
-                    accumulate(&mut grads, *x, dx);
-                    accumulate(&mut grads, *s, ds);
+                    // ds[i] = Σ_j g[i][j] * x[i][j] (the hadamard+sum_cols
+                    // left-to-right order); dx = g with row i scaled by s[i].
+                    let xv = val_of(*x);
+                    let mut ds = ws.take(g.rows(), 1);
+                    for i in 0..g.rows() {
+                        let mut acc = 0.0f32;
+                        for (&gv, &xvv) in g.row(i).iter().zip(xv.row(i)) {
+                            acc += gv * xvv;
+                        }
+                        ds.set(i, 0, acc);
+                    }
+                    let sv = val_of(*s);
+                    let mut dx = g;
+                    for i in 0..dx.rows() {
+                        let m = sv.get(i, 0);
+                        for v in dx.row_mut(i) {
+                            *v *= m;
+                        }
+                    }
+                    accumulate(grad_slots, ws, *x, dx);
+                    accumulate(grad_slots, ws, *s, ds);
                 }
                 Op::RowwiseDot(a, b) => {
-                    let da = val_of(*b).scale_rows(&g).expect("rowwise_dot da");
-                    let db = val_of(*a).scale_rows(&g).expect("rowwise_dot db");
-                    accumulate(&mut grads, *a, da);
-                    accumulate(&mut grads, *b, db);
+                    let (av, bv) = (val_of(*a), val_of(*b));
+                    let mut da = ws.take(av.rows(), av.cols());
+                    let mut db = ws.take(av.rows(), av.cols());
+                    for i in 0..av.rows() {
+                        let gi = g.get(i, 0);
+                        for (o, &bvv) in da.row_mut(i).iter_mut().zip(bv.row(i)) {
+                            *o = bvv * gi;
+                        }
+                        for (o, &avv) in db.row_mut(i).iter_mut().zip(av.row(i)) {
+                            *o = avv * gi;
+                        }
+                    }
+                    ws.give(g);
+                    accumulate(grad_slots, ws, *a, da);
+                    accumulate(grad_slots, ws, *b, db);
                 }
                 Op::RowwiseCosine(a, b) => {
                     let (av, bv) = (val_of(*a), val_of(*b));
                     let cos = &node.value;
-                    let mut da = Matrix::zeros(av.rows(), av.cols());
-                    let mut db = Matrix::zeros(av.rows(), av.cols());
+                    let mut da = ws.take(av.rows(), av.cols());
+                    let mut db = ws.take(av.rows(), av.cols());
                     for i in 0..av.rows() {
                         let (ar, br) = (av.row(i), bv.row(i));
                         let na = atnn_tensor::dot(ar, ar).sqrt();
@@ -461,15 +568,23 @@ impl Graph {
                             *d = gi * (aj / (na * nb) - c * bj / (nb * nb));
                         }
                     }
-                    accumulate(&mut grads, *a, da);
-                    accumulate(&mut grads, *b, db);
+                    ws.give(g);
+                    accumulate(grad_slots, ws, *a, da);
+                    accumulate(grad_slots, ws, *b, db);
                 }
                 Op::ConcatCols(a, b) => {
                     let ca = val_of(*a).cols();
-                    let da = g.slice_cols(0, ca).expect("concat da");
-                    let db = g.slice_cols(ca, g.cols()).expect("concat db");
-                    accumulate(&mut grads, *a, da);
-                    accumulate(&mut grads, *b, db);
+                    let cb = g.cols() - ca;
+                    let mut da = ws.take(g.rows(), ca);
+                    let mut db = ws.take(g.rows(), cb);
+                    for i in 0..g.rows() {
+                        let gr = g.row(i);
+                        da.row_mut(i).copy_from_slice(&gr[..ca]);
+                        db.row_mut(i).copy_from_slice(&gr[ca..]);
+                    }
+                    ws.give(g);
+                    accumulate(grad_slots, ws, *a, da);
+                    accumulate(grad_slots, ws, *b, db);
                 }
                 Op::Sigmoid(x) => {
                     let y = &node.value;
@@ -477,7 +592,7 @@ impl Graph {
                     for (d, &yv) in dx.as_mut_slice().iter_mut().zip(y.as_slice()) {
                         *d *= yv * (1.0 - yv);
                     }
-                    accumulate(&mut grads, *x, dx);
+                    accumulate(grad_slots, ws, *x, dx);
                 }
                 Op::Tanh(x) => {
                     let y = &node.value;
@@ -485,7 +600,7 @@ impl Graph {
                     for (d, &yv) in dx.as_mut_slice().iter_mut().zip(y.as_slice()) {
                         *d *= 1.0 - yv * yv;
                     }
-                    accumulate(&mut grads, *x, dx);
+                    accumulate(grad_slots, ws, *x, dx);
                 }
                 Op::Relu(x) => {
                     let xv = val_of(*x);
@@ -495,7 +610,7 @@ impl Graph {
                             *d = 0.0;
                         }
                     }
-                    accumulate(&mut grads, *x, dx);
+                    accumulate(grad_slots, ws, *x, dx);
                 }
                 Op::LeakyRelu(x, alpha) => {
                     let xv = val_of(*x);
@@ -505,7 +620,7 @@ impl Graph {
                             *d *= alpha;
                         }
                     }
-                    accumulate(&mut grads, *x, dx);
+                    accumulate(grad_slots, ws, *x, dx);
                 }
                 Op::Rsqrt(x, eps) => {
                     // d/dx (x+eps)^(-1/2) = -1/2 (x+eps)^(-3/2) = -y³/2.
@@ -515,51 +630,77 @@ impl Graph {
                     for (d, &yv) in dx.as_mut_slice().iter_mut().zip(y.as_slice()) {
                         *d *= -0.5 * yv * yv * yv;
                     }
-                    accumulate(&mut grads, *x, dx);
+                    accumulate(grad_slots, ws, *x, dx);
                 }
-                Op::MulScalar(x, c) => accumulate(&mut grads, *x, g.scale(*c)),
-                Op::AddScalar(x, _) => accumulate(&mut grads, *x, g),
+                Op::MulScalar(x, c) => {
+                    let mut dx = g;
+                    dx.scale_assign(*c);
+                    accumulate(grad_slots, ws, *x, dx);
+                }
+                Op::AddScalar(x, _) => accumulate(grad_slots, ws, *x, g),
                 Op::MulMask(x, mask) => {
-                    let dx = g.hadamard(mask).expect("mul_mask dx");
-                    accumulate(&mut grads, *x, dx);
+                    let mut dx = g;
+                    for (d, &mv) in dx.as_mut_slice().iter_mut().zip(mask.as_slice()) {
+                        *d *= mv;
+                    }
+                    accumulate(grad_slots, ws, *x, dx);
                 }
                 Op::Mean(x) => {
                     let xv = val_of(*x);
                     let scale = g.get(0, 0) / xv.len().max(1) as f32;
-                    accumulate(&mut grads, *x, Matrix::full(xv.rows(), xv.cols(), scale));
+                    ws.give(g);
+                    let mut dx = ws.take(xv.rows(), xv.cols());
+                    for d in dx.as_mut_slice() {
+                        *d = scale;
+                    }
+                    accumulate(grad_slots, ws, *x, dx);
                 }
                 Op::Sum(x) => {
                     let xv = val_of(*x);
-                    accumulate(&mut grads, *x, Matrix::full(xv.rows(), xv.cols(), g.get(0, 0)));
+                    let g00 = g.get(0, 0);
+                    ws.give(g);
+                    let mut dx = ws.take(xv.rows(), xv.cols());
+                    for d in dx.as_mut_slice() {
+                        *d = g00;
+                    }
+                    accumulate(grad_slots, ws, *x, dx);
                 }
                 Op::MseLoss { pred, target } => {
                     let p = val_of(*pred);
                     let scale = 2.0 * g.get(0, 0) / p.len().max(1) as f32;
-                    let mut dp = p.sub(target).expect("mse dp");
-                    dp.scale_assign(scale);
-                    accumulate(&mut grads, *pred, dp);
+                    ws.give(g);
+                    let mut dp = ws.take(p.rows(), p.cols());
+                    for ((o, &pv), &tv) in
+                        dp.as_mut_slice().iter_mut().zip(p.as_slice()).zip(target.as_slice())
+                    {
+                        *o = (pv - tv) * scale;
+                    }
+                    accumulate(grad_slots, ws, *pred, dp);
                 }
                 Op::BceWithLogits { logits, targets } => {
                     let z = val_of(*logits);
                     let scale = g.get(0, 0) / z.len().max(1) as f32;
-                    let mut dz = Matrix::zeros(z.rows(), z.cols());
+                    ws.give(g);
+                    let mut dz = ws.take(z.rows(), z.cols());
                     for ((d, &zv), &y) in
                         dz.as_mut_slice().iter_mut().zip(z.as_slice()).zip(targets.as_slice())
                     {
                         *d = scale * (sigmoid(zv) - y);
                     }
-                    accumulate(&mut grads, *logits, dz);
+                    accumulate(grad_slots, ws, *logits, dz);
                 }
-                Op::Detach(_) => {}
+                Op::Detach(_) => ws.give(g),
             }
         }
+        store.coalesce_sparse_grads();
     }
 }
 
-fn accumulate(grads: &mut [Option<Matrix>], var: Var, delta: Matrix) {
+fn accumulate(grads: &mut [Option<Matrix>], ws: &mut Workspace, var: Var, delta: Matrix) {
     match &mut grads[var.0] {
         Some(existing) => {
-            existing.add_assign_scaled(&delta, 1.0).expect("gradient accumulation shape mismatch")
+            existing.add_assign_scaled(&delta, 1.0).expect("gradient accumulation shape mismatch");
+            ws.give(delta);
         }
         slot @ None => *slot = Some(delta),
     }

@@ -14,7 +14,10 @@
 //! - Embedding lookups use [`Graph::gather`], which copies only the rows a
 //!   batch touches and scatters gradients back by row — the standard
 //!   large-vocabulary optimization (the paper's embedding tables map
-//!   "large-scale sparse features to low-rank vectors").
+//!   "large-scale sparse features to low-rank vectors"). Tables declared
+//!   with [`ParamStore::mark_sparse`] keep those gradients in a row-sparse
+//!   representation ([`Grad::Sparse`]), so per-step cost scales with the
+//!   batch, not the vocabulary.
 //!
 //! # Shape errors
 //! Graph ops assert shapes and panic with a descriptive message: a shape
@@ -46,4 +49,4 @@ mod store;
 
 pub use check::{check_gradients, numeric_gradient};
 pub use graph::{Graph, Var};
-pub use store::{ParamId, ParamStore};
+pub use store::{Grad, ParamId, ParamStore};

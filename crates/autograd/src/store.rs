@@ -1,6 +1,13 @@
 //! Parameter storage: named slots of (value, gradient) matrices.
+//!
+//! Gradients come in two representations (see [`Grad`]): dense matrices
+//! (the default — every op except `gather` produces full-size
+//! gradients) and row-sparse lists for embedding tables declared with
+//! [`ParamStore::mark_sparse`], where a minibatch only touches a few
+//! rows of a `vocab x dim` value. Sparse slots keep optimizer and
+//! zeroing cost at O(touched rows · dim) instead of O(vocab · dim).
 
-use atnn_tensor::Matrix;
+use atnn_tensor::{Matrix, SparseRowGrad};
 
 /// Opaque handle to one parameter slot in a [`ParamStore`].
 ///
@@ -18,11 +25,45 @@ impl ParamId {
     }
 }
 
+/// A parameter's accumulated gradient: dense matrix or row-sparse list.
+///
+/// Slots declared with [`ParamStore::mark_sparse`] normally hold
+/// `Sparse`, but fall back to `Dense` within a step when something
+/// produces a full-size gradient for them (an `Op::Param` use of the
+/// whole table, or a batch touching every row) — optimizers must
+/// therefore match on the representation, not on the declaration.
+#[derive(Debug, Clone)]
+pub enum Grad {
+    /// Full-size gradient, same shape as the value.
+    Dense(Matrix),
+    /// Row-sparse gradient; coalesced by the end of every backward pass.
+    Sparse(SparseRowGrad),
+}
+
+impl Grad {
+    /// True for the sparse representation.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self, Grad::Sparse(_))
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Slot {
     name: String,
     value: Matrix,
-    grad: Matrix,
+    grad: Grad,
+    /// Declared sparse via `mark_sparse`: zeroing restores the sparse
+    /// representation even after a dense fallback.
+    declared_sparse: bool,
+}
+
+impl Slot {
+    /// Converts a sparse gradient to the equivalent dense matrix in place.
+    fn densify(&mut self) {
+        if let Grad::Sparse(sg) = &self.grad {
+            self.grad = Grad::Dense(sg.to_dense(self.value.rows()));
+        }
+    }
 }
 
 /// Container for all trainable parameters of one or more models.
@@ -44,9 +85,29 @@ impl ParamStore {
 
     /// Registers a parameter, returning its handle. Gradient starts at zero.
     pub fn add(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
-        let grad = Matrix::zeros(value.rows(), value.cols());
-        self.slots.push(Slot { name: name.into(), value, grad });
+        let grad = Grad::Dense(Matrix::zeros(value.rows(), value.cols()));
+        self.slots.push(Slot { name: name.into(), value, grad, declared_sparse: false });
         ParamId(self.slots.len() - 1)
+    }
+
+    /// Declares a parameter's gradient row-sparse (embedding tables whose
+    /// batches touch few rows). Any currently accumulated gradient is
+    /// discarded; call this at model construction time. Idempotent, so
+    /// shared tables may be marked through every sharing handle.
+    ///
+    /// # Panics
+    /// Panics on a zero-width value (no gradient rows to store).
+    pub fn mark_sparse(&mut self, id: ParamId) {
+        let slot = &mut self.slots[id.0];
+        slot.declared_sparse = true;
+        slot.grad = Grad::Sparse(SparseRowGrad::new(slot.value.cols()));
+    }
+
+    /// True when the parameter was declared sparse via
+    /// [`ParamStore::mark_sparse`] (its gradient may still be a dense
+    /// fallback at any given moment — see [`Grad`]).
+    pub fn is_sparse_param(&self, id: ParamId) -> bool {
+        self.slots[id.0].declared_sparse
     }
 
     /// Number of registered parameters.
@@ -79,27 +140,155 @@ impl ParamStore {
         &mut self.slots[id.0].value
     }
 
-    /// Immutable view of a parameter's accumulated gradient.
+    /// Immutable view of a parameter's accumulated *dense* gradient.
+    ///
+    /// # Panics
+    /// Panics when the gradient is currently sparse — representation-
+    /// aware callers use [`ParamStore::grad_entry`] or
+    /// [`ParamStore::grad_to_dense`].
     pub fn grad(&self, id: ParamId) -> &Matrix {
+        match &self.slots[id.0].grad {
+            Grad::Dense(m) => m,
+            Grad::Sparse(_) => panic!(
+                "gradient of '{}' is sparse; use grad_entry/grad_to_dense",
+                self.slots[id.0].name
+            ),
+        }
+    }
+
+    /// Mutable view of a parameter's *dense* gradient.
+    ///
+    /// # Panics
+    /// Panics when the gradient is currently sparse (see [`ParamStore::grad`]).
+    pub fn grad_mut(&mut self, id: ParamId) -> &mut Matrix {
+        let slot = &mut self.slots[id.0];
+        match &mut slot.grad {
+            Grad::Dense(m) => m,
+            Grad::Sparse(_) => {
+                panic!("gradient of '{}' is sparse; use grad_entry_mut/scatter_rows", slot.name)
+            }
+        }
+    }
+
+    /// The gradient in whichever representation it currently has.
+    pub fn grad_entry(&self, id: ParamId) -> &Grad {
         &self.slots[id.0].grad
     }
 
-    /// Mutable view of a parameter's gradient (used by `Graph::backward`).
-    pub fn grad_mut(&mut self, id: ParamId) -> &mut Matrix {
+    /// Mutable access to the gradient representation.
+    pub fn grad_entry_mut(&mut self, id: ParamId) -> &mut Grad {
         &mut self.slots[id.0].grad
     }
 
-    /// Zeroes the gradients of the given parameter group.
+    /// Split borrow of a parameter's value and gradient — the optimizer
+    /// step entry point (read the gradient while updating the value).
+    pub fn value_and_grad_mut(&mut self, id: ParamId) -> (&mut Matrix, &mut Grad) {
+        let slot = &mut self.slots[id.0];
+        (&mut slot.value, &mut slot.grad)
+    }
+
+    /// The gradient materialized as a dense matrix (copies; diagnostics
+    /// and gradient checking, not the hot path).
+    pub fn grad_to_dense(&self, id: ParamId) -> Matrix {
+        let slot = &self.slots[id.0];
+        match &slot.grad {
+            Grad::Dense(m) => m.clone(),
+            Grad::Sparse(sg) => sg.to_dense(slot.value.rows()),
+        }
+    }
+
+    /// Accumulates `g.row(k)` into gradient row `indices[k]` for every
+    /// `k` — the gather/embedding-bag backward. Sparse slots record the
+    /// touched rows; dense slots scatter-add in place. Duplicate indices
+    /// sum in occurrence order either way (bit-identical results).
+    ///
+    /// # Panics
+    /// Panics on width mismatch or (dense path) out-of-range indices.
+    pub fn scatter_rows(&mut self, id: ParamId, indices: &[u32], g: &Matrix) {
+        match &mut self.slots[id.0].grad {
+            Grad::Sparse(sg) => sg.push_rows(indices, g),
+            Grad::Dense(table) => {
+                for (r, &idx) in indices.iter().enumerate() {
+                    let row = table.row_mut(idx as usize);
+                    for (t, &d) in row.iter_mut().zip(g.row(r)) {
+                        *t += d;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Accumulates a full-size gradient (`Op::Param` backward). A sparse
+    /// slot falls back to dense first — using a whole embedding table as
+    /// a dense leaf (e.g. an L2 penalty over it) densifies its gradient
+    /// for that step.
+    pub fn accumulate_dense(&mut self, id: ParamId, g: &Matrix) {
+        self.slots[id.0].densify();
+        match &mut self.slots[id.0].grad {
+            Grad::Dense(m) => m.add_assign_scaled(g, 1.0).expect("param grad shape"),
+            Grad::Sparse(_) => unreachable!("densified above"),
+        }
+    }
+
+    /// Converts a sparse gradient to its dense equivalent in place
+    /// (no-op on dense slots). Optimizer fallbacks (momentum, coupled
+    /// weight decay) use this when they need the full matrix.
+    pub fn densify_grad(&mut self, id: ParamId) {
+        self.slots[id.0].densify();
+    }
+
+    /// Coalesces every sparse gradient (sorts, merges duplicate rows);
+    /// called at the end of every backward pass so consumers can assume
+    /// sorted, duplicate-free entries. A batch that touched every row is
+    /// densified — the dense sweep is cheaper than sparse bookkeeping at
+    /// full occupancy.
+    pub fn coalesce_sparse_grads(&mut self) {
+        for slot in &mut self.slots {
+            if let Grad::Sparse(sg) = &mut slot.grad {
+                sg.coalesce();
+                if sg.nnz() >= slot.value.rows() {
+                    slot.densify();
+                }
+            }
+        }
+    }
+
+    /// Zeroes the gradients of the given parameter group. Sparse-declared
+    /// slots return to an empty sparse gradient (retaining buffers; also
+    /// undoing any dense fallback from the previous step).
     pub fn zero_grads(&mut self, ids: &[ParamId]) {
         for &id in ids {
-            self.slots[id.0].grad.fill_zero();
+            self.zero_slot(id.0);
         }
     }
 
     /// Zeroes every gradient in the store.
     pub fn zero_all_grads(&mut self) {
-        for slot in &mut self.slots {
-            slot.grad.fill_zero();
+        for i in 0..self.slots.len() {
+            self.zero_slot(i);
+        }
+    }
+
+    fn zero_slot(&mut self, i: usize) {
+        let slot = &mut self.slots[i];
+        if slot.declared_sparse {
+            match &mut slot.grad {
+                Grad::Sparse(sg) => sg.clear(),
+                Grad::Dense(_) => {
+                    slot.grad = Grad::Sparse(SparseRowGrad::new(slot.value.cols()));
+                }
+            }
+        } else if let Grad::Dense(m) = &mut slot.grad {
+            m.fill_zero();
+        }
+    }
+
+    /// Rescales a parameter's gradient by `alpha` in either
+    /// representation (gradient clipping).
+    pub fn scale_grad(&mut self, id: ParamId, alpha: f32) {
+        match &mut self.slots[id.0].grad {
+            Grad::Dense(m) => m.scale_assign(alpha),
+            Grad::Sparse(sg) => sg.scale(alpha),
         }
     }
 
@@ -109,11 +298,16 @@ impl ParamStore {
     }
 
     /// Global L2 norm of the gradients of a parameter group (for clipping).
+    ///
+    /// Sparse slots contribute their coalesced entries in ascending-row
+    /// order — the same traversal order as the dense row-major sweep over
+    /// the nonzero rows, with the all-zero rows contributing exact-zero
+    /// terms — so the result is bit-identical across representations.
     pub fn grad_norm(&self, ids: &[ParamId]) -> f32 {
         ids.iter()
-            .map(|&id| {
-                let g = &self.slots[id.0].grad;
-                g.as_slice().iter().map(|&v| v * v).sum::<f32>()
+            .map(|&id| match &self.slots[id.0].grad {
+                Grad::Dense(g) => g.as_slice().iter().map(|&v| v * v).sum::<f32>(),
+                Grad::Sparse(sg) => sg.l2_sq(),
             })
             .sum::<f32>()
             .sqrt()
@@ -161,5 +355,72 @@ mod tests {
         store.grad_mut(b).set(0, 0, 4.0);
         assert!((store.grad_norm(&[a, b]) - 5.0).abs() < 1e-6);
         assert!((store.grad_norm(&[a]) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sparse_slot_collects_scattered_rows() {
+        let mut store = ParamStore::new();
+        let t = store.add("emb", Matrix::zeros(10, 2));
+        store.mark_sparse(t);
+        assert!(store.is_sparse_param(t));
+        let g = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        store.scatter_rows(t, &[7, 2, 7], &g);
+        store.coalesce_sparse_grads();
+        let dense = store.grad_to_dense(t);
+        assert_eq!(dense.row(2), &[3.0, 4.0]);
+        assert_eq!(dense.row(7), &[6.0, 8.0]);
+        assert_eq!(
+            store.grad_norm(&[t]),
+            dense.as_slice().iter().map(|&v| v * v).sum::<f32>().sqrt()
+        );
+    }
+
+    #[test]
+    fn sparse_grad_norm_matches_dense_bitwise() {
+        let mut dense_store = ParamStore::new();
+        let mut sparse_store = ParamStore::new();
+        let d = dense_store.add("t", Matrix::zeros(8, 3));
+        let s = sparse_store.add("t", Matrix::zeros(8, 3));
+        sparse_store.mark_sparse(s);
+        let g = Matrix::from_fn(4, 3, |i, j| (i * 3 + j) as f32 * 0.37 - 1.1);
+        let ids = [5u32, 1, 5, 0];
+        dense_store.scatter_rows(d, &ids, &g);
+        sparse_store.scatter_rows(s, &ids, &g);
+        sparse_store.coalesce_sparse_grads();
+        assert_eq!(dense_store.grad_norm(&[d]).to_bits(), sparse_store.grad_norm(&[s]).to_bits());
+    }
+
+    #[test]
+    fn accumulate_dense_densifies_sparse_slot() {
+        let mut store = ParamStore::new();
+        let t = store.add("emb", Matrix::zeros(4, 2));
+        store.mark_sparse(t);
+        store.scatter_rows(t, &[1], &Matrix::full(1, 2, 2.0));
+        store.accumulate_dense(t, &Matrix::full(4, 2, 1.0));
+        assert!(!store.grad_entry(t).is_sparse());
+        assert_eq!(store.grad(t).row(1), &[3.0, 3.0]);
+        assert_eq!(store.grad(t).row(0), &[1.0, 1.0]);
+        // zeroing restores the sparse representation
+        store.zero_grads(&[t]);
+        assert!(store.grad_entry(t).is_sparse());
+    }
+
+    #[test]
+    fn full_occupancy_coalesce_densifies() {
+        let mut store = ParamStore::new();
+        let t = store.add("emb", Matrix::zeros(2, 2));
+        store.mark_sparse(t);
+        store.scatter_rows(t, &[0, 1], &Matrix::full(2, 2, 1.0));
+        store.coalesce_sparse_grads();
+        assert!(!store.grad_entry(t).is_sparse(), "full touch should fall back to dense");
+    }
+
+    #[test]
+    #[should_panic(expected = "is sparse")]
+    fn dense_view_of_sparse_grad_panics() {
+        let mut store = ParamStore::new();
+        let t = store.add("emb", Matrix::zeros(4, 2));
+        store.mark_sparse(t);
+        let _ = store.grad(t);
     }
 }

@@ -1,0 +1,171 @@
+//! Sparse-vs-dense gradient equality for the gather backward.
+//!
+//! Two stores hold bit-identical embedding tables; one declares the
+//! table row-sparse via `mark_sparse`. Identical graphs run on both,
+//! and every test asserts the accumulated gradients agree **bitwise**
+//! (`f32::to_bits`), not approximately — the sparse path's contract is
+//! that it changes storage, never arithmetic. Covered here: duplicate
+//! ids (occurrence-order summation), full-vocab batches (dense
+//! fallback in `coalesce_sparse_grads`), whole-table `Op::Param` use
+//! (densify-on-accumulate), and gradient accumulation across multiple
+//! backward passes without zeroing.
+
+use atnn_autograd::{Graph, ParamId, ParamStore, Var};
+use atnn_tensor::Matrix;
+use proptest::prelude::*;
+
+/// Bit-identical tables in two stores; the second is declared sparse.
+fn paired_stores(vocab: usize, dim: usize) -> (ParamStore, ParamId, ParamStore, ParamId) {
+    let table = Matrix::from_fn(vocab, dim, |i, j| ((i * 31 + j * 7) as f32 * 0.83).sin() * 0.5);
+    let mut dense = ParamStore::new();
+    let d = dense.add("emb", table.clone());
+    let mut sparse = ParamStore::new();
+    let s = sparse.add("emb", table);
+    sparse.mark_sparse(s);
+    (dense, d, sparse, s)
+}
+
+/// `sum(gather(ids) * W)` with a non-uniform weight block, so each
+/// occurrence of a duplicated id contributes a *different* gradient row
+/// (a plain `sum` would hide ordering bugs behind identical addends).
+fn weighted_gather_loss(g: &mut Graph, store: &ParamStore, p: ParamId, ids: &[u32]) -> Var {
+    let dim = store.value(p).cols();
+    let e = g.gather(store, p, ids);
+    let w = g.input(Matrix::from_fn(ids.len(), dim, |i, j| (i * 13 + j * 5) as f32 * 0.21 - 1.3));
+    let prod = g.mul(e, w);
+    g.sum(prod)
+}
+
+fn prop_bits_eq(a: &Matrix, b: &Matrix) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.shape(), b.shape());
+    for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+        prop_assert_eq!(x.to_bits(), y.to_bits(), "scalar {} differs: {} vs {}", i, x, y);
+    }
+    Ok(())
+}
+
+/// vocab, dim, and an id list (duplicates very likely at these sizes).
+fn case() -> impl Strategy<Value = (usize, usize, Vec<u32>)> {
+    (2usize..12, 1usize..6).prop_flat_map(|(vocab, dim)| {
+        collection::vec(0..vocab as u32, 1..24).prop_map(move |ids| (vocab, dim, ids))
+    })
+}
+
+proptest! {
+    #[test]
+    fn gather_backward_is_bit_identical((vocab, dim, ids) in case()) {
+        let (mut dense, d, mut sparse, s) = paired_stores(vocab, dim);
+        let mut g = Graph::new();
+        let loss = weighted_gather_loss(&mut g, &dense, d, &ids);
+        g.backward(loss, &mut dense);
+        let mut g = Graph::new();
+        let loss = weighted_gather_loss(&mut g, &sparse, s, &ids);
+        g.backward(loss, &mut sparse);
+
+        prop_bits_eq(&dense.grad_to_dense(d), &sparse.grad_to_dense(s))?;
+        prop_assert_eq!(
+            dense.grad_norm(&[d]).to_bits(),
+            sparse.grad_norm(&[s]).to_bits(),
+            "grad_norm must agree bitwise across representations"
+        );
+
+        // Representation check: a batch that missed at least one row
+        // stays sparse; full occupancy must have fallen back to dense.
+        let mut unique = ids.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        prop_assert_eq!(sparse.grad_entry(s).is_sparse(), unique.len() < vocab);
+    }
+
+    #[test]
+    fn full_vocab_batch_falls_back_to_dense((vocab, dim, extra) in case()) {
+        let (mut dense, d, mut sparse, s) = paired_stores(vocab, dim);
+        // Every row at least once, plus arbitrary duplicates.
+        let mut ids: Vec<u32> = (0..vocab as u32).collect();
+        ids.extend_from_slice(&extra);
+
+        let mut g = Graph::new();
+        let loss = weighted_gather_loss(&mut g, &dense, d, &ids);
+        g.backward(loss, &mut dense);
+        let mut g = Graph::new();
+        let loss = weighted_gather_loss(&mut g, &sparse, s, &ids);
+        g.backward(loss, &mut sparse);
+
+        prop_assert!(!sparse.grad_entry(s).is_sparse(), "full touch must densify");
+        prop_bits_eq(&dense.grad_to_dense(d), &sparse.grad_to_dense(s))?;
+    }
+
+    #[test]
+    fn whole_table_param_use_densifies_and_matches((vocab, dim, ids) in case()) {
+        // loss = sum(gather(ids) * W) + 0.5 * sum(table): the second term
+        // reaches the table through `Op::Param`, whose full-size backward
+        // forces the sparse slot dense mid-pass (the L2-penalty shape).
+        let (mut dense, d, mut sparse, s) = paired_stores(vocab, dim);
+        for (store, p) in [(&mut dense, d), (&mut sparse, s)] {
+            let mut g = Graph::new();
+            let gathered = weighted_gather_loss(&mut g, store, p, &ids);
+            let table = g.param(store, p);
+            let table_sum = g.sum(table);
+            let penalty = g.mul_scalar(table_sum, 0.5);
+            let loss = g.add(gathered, penalty);
+            g.backward(loss, store);
+        }
+        prop_assert!(!sparse.grad_entry(s).is_sparse(), "Op::Param backward must densify");
+        prop_bits_eq(&dense.grad_to_dense(d), &sparse.grad_to_dense(s))?;
+    }
+
+    #[test]
+    fn accumulation_across_backward_passes_matches(
+        (vocab, dim, ids_a) in case(),
+        seed in 0u32..1000,
+    ) {
+        // Two backward passes without zeroing in between: the second
+        // scatters onto an already-coalesced sparse gradient. Afterwards
+        // `zero_grads` must restore the sparse representation and a third
+        // pass must still agree.
+        let ids_b: Vec<u32> = ids_a.iter().map(|&i| (i + seed) % vocab as u32).collect();
+        let (mut dense, d, mut sparse, s) = paired_stores(vocab, dim);
+        for ids in [&ids_a, &ids_b] {
+            let mut g = Graph::new();
+            let loss = weighted_gather_loss(&mut g, &dense, d, ids);
+            g.backward(loss, &mut dense);
+            let mut g = Graph::new();
+            let loss = weighted_gather_loss(&mut g, &sparse, s, ids);
+            g.backward(loss, &mut sparse);
+        }
+        prop_bits_eq(&dense.grad_to_dense(d), &sparse.grad_to_dense(s))?;
+
+        dense.zero_grads(&[d]);
+        sparse.zero_grads(&[s]);
+        prop_assert!(sparse.grad_entry(s).is_sparse(), "zeroing restores sparse form");
+        let mut g = Graph::new();
+        let loss = weighted_gather_loss(&mut g, &dense, d, &ids_b);
+        g.backward(loss, &mut dense);
+        let mut g = Graph::new();
+        let loss = weighted_gather_loss(&mut g, &sparse, s, &ids_b);
+        g.backward(loss, &mut sparse);
+        prop_bits_eq(&dense.grad_to_dense(d), &sparse.grad_to_dense(s))?;
+    }
+
+    #[test]
+    fn reused_graph_matches_fresh_graphs((vocab, dim, ids) in case()) {
+        // The training loop reuses one `Graph` (workspace arena and all)
+        // across steps via `clear()`; recycled scratch buffers must not
+        // leak into results.
+        let (mut fresh, d, mut reused, s) = paired_stores(vocab, dim);
+        let mut g = Graph::new();
+        for _ in 0..3 {
+            fresh.zero_grads(&[d]);
+            let mut gf = Graph::new();
+            let loss = weighted_gather_loss(&mut gf, &fresh, d, &ids);
+            gf.backward(loss, &mut fresh);
+
+            reused.zero_grads(&[s]);
+            g.clear();
+            let loss = weighted_gather_loss(&mut g, &reused, s, &ids);
+            g.backward(loss, &mut reused);
+
+            prop_bits_eq(&fresh.grad_to_dense(d), &reused.grad_to_dense(s))?;
+        }
+    }
+}

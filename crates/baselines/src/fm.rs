@@ -100,6 +100,81 @@ impl FactorizationMachine {
         model
     }
 
+    /// Fits on categorical fields (treated as one-hot groups) plus dense
+    /// numeric columns, without materializing the one-hot expansion.
+    ///
+    /// `categorical[f][i]` is row `i`'s id in field `f` (vocab size
+    /// `vocabs[f]`); the virtual feature layout is the fields' one-hot
+    /// blocks in order, followed by the numeric columns. Training visits
+    /// only each row's active coordinates — `fields + nonzero numerics`
+    /// per sample instead of `Σ vocab` — and is bit-identical to
+    /// [`FactorizationMachine::fit`] on the expanded dense input (same rng
+    /// stream, same ascending-index update order, and the dense path's
+    /// zero-skip makes the touched coordinates coincide).
+    ///
+    /// # Panics
+    /// Panics on empty data, length mismatches, or an id `>= vocabs[f]`.
+    pub fn fit_onehot(
+        cfg: FmConfig,
+        categorical: &[Vec<u32>],
+        vocabs: &[usize],
+        numeric: &Matrix,
+        y: &[f32],
+    ) -> Self {
+        assert_eq!(categorical.len(), vocabs.len(), "field/vocab count mismatch");
+        let n = if categorical.is_empty() { numeric.rows() } else { categorical[0].len() };
+        assert!(n > 0, "FactorizationMachine::fit_onehot on empty data");
+        assert_eq!(n, y.len(), "feature/label mismatch");
+        assert_eq!(numeric.rows(), n, "numeric block row mismatch");
+        for (f, col) in categorical.iter().enumerate() {
+            assert_eq!(col.len(), n, "field {f} row mismatch");
+        }
+        assert!(cfg.factors > 0, "need at least one factor");
+        assert!(cfg.grad_clip > 0.0, "grad_clip must be positive");
+
+        let mut offsets = Vec::with_capacity(vocabs.len());
+        let mut cat_width = 0usize;
+        for &v in vocabs {
+            offsets.push(cat_width);
+            cat_width += v;
+        }
+        let d = cat_width + numeric.cols();
+        // Same d => the same rng draw sequence as `fit` on the expansion.
+        let mut rng = Rng64::seed_from_u64(cfg.seed);
+        let mut model = FactorizationMachine {
+            w0: 0.0,
+            w: vec![0.0; d],
+            v: Matrix::from_fn(d, cfg.factors, |_, _| rng.normal_with(0.0, 0.05)),
+            factors: cfg.factors,
+        };
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        let mut sum_f = vec![0.0f32; cfg.factors];
+        let mut active: Vec<(u32, f32)> = Vec::with_capacity(vocabs.len() + numeric.cols());
+        for _ in 0..cfg.epochs {
+            rng.shuffle(&mut order);
+            for &i in &order {
+                let i = i as usize;
+                gather_active(categorical, vocabs, &offsets, numeric, i, &mut active);
+                let z = model.raw_score_sparse(&active, &mut sum_f);
+                let err = sigmoid(z) - y[i];
+                let lr = cfg.learning_rate;
+                let clip = cfg.grad_clip;
+                model.w0 -= lr * err;
+                for &(j, xv) in &active {
+                    let j = j as usize;
+                    let gw = (err * xv + cfg.l2 * model.w[j]).clamp(-clip, clip);
+                    model.w[j] -= lr * gw;
+                    for (f, &sf) in sum_f.iter().enumerate() {
+                        let vjf = model.v.get(j, f);
+                        let grad = (err * xv * (sf - vjf * xv) + cfg.l2 * vjf).clamp(-clip, clip);
+                        model.v.set(j, f, vjf - lr * grad);
+                    }
+                }
+            }
+        }
+        model
+    }
+
     /// Raw (pre-sigmoid) score; `sum_f` is scratch of length `factors`
     /// left holding `Σᵢ v_{if} xᵢ` (needed by the SGD update).
     fn raw_score(&self, row: &[f32], sum_f: &mut [f32]) -> f32 {
@@ -122,10 +197,86 @@ impl FactorizationMachine {
         z + 0.5 * pair
     }
 
+    /// Sparse [`FactorizationMachine::raw_score`]: visits only the active
+    /// `(index, value)` pairs. Matches the dense score bit-for-bit when
+    /// `active` lists the nonzero coordinates in ascending index order
+    /// (the dense loops' visit order; zero coordinates contribute exact
+    /// ±0.0 terms that leave the accumulators bit-unchanged).
+    fn raw_score_sparse(&self, active: &[(u32, f32)], sum_f: &mut [f32]) -> f32 {
+        let mut z = self.w0;
+        for &(j, xv) in active {
+            z += self.w[j as usize] * xv;
+        }
+        let mut pair = 0.0f32;
+        for (f, s) in sum_f.iter_mut().enumerate() {
+            let mut sum = 0.0f32;
+            let mut sum_sq = 0.0f32;
+            for &(j, xv) in active {
+                let t = self.v.get(j as usize, f) * xv;
+                sum += t;
+                sum_sq += t * t;
+            }
+            *s = sum;
+            pair += sum * sum - sum_sq;
+        }
+        z + 0.5 * pair
+    }
+
     /// Predicted click probabilities.
     pub fn predict(&self, x: &Matrix) -> Vec<f32> {
         let mut sum_f = vec![0.0f32; self.factors];
         (0..x.rows()).map(|i| sigmoid(self.raw_score(x.row(i), &mut sum_f))).collect()
+    }
+
+    /// Predicted click probabilities for one-hot layout inputs (the
+    /// counterpart of [`FactorizationMachine::fit_onehot`]).
+    pub fn predict_onehot(
+        &self,
+        categorical: &[Vec<u32>],
+        vocabs: &[usize],
+        numeric: &Matrix,
+    ) -> Vec<f32> {
+        let mut offsets = Vec::with_capacity(vocabs.len());
+        let mut cat_width = 0usize;
+        for &v in vocabs {
+            offsets.push(cat_width);
+            cat_width += v;
+        }
+        assert_eq!(cat_width + numeric.cols(), self.w.len(), "feature layout mismatch");
+        let n = if categorical.is_empty() { numeric.rows() } else { categorical[0].len() };
+        let mut sum_f = vec![0.0f32; self.factors];
+        let mut active: Vec<(u32, f32)> = Vec::with_capacity(vocabs.len() + numeric.cols());
+        (0..n)
+            .map(|i| {
+                gather_active(categorical, vocabs, &offsets, numeric, i, &mut active);
+                sigmoid(self.raw_score_sparse(&active, &mut sum_f))
+            })
+            .collect()
+    }
+}
+
+/// Collects row `i`'s active `(index, value)` pairs — one-hot hits first
+/// (field order, which is ascending offsets), then nonzero numerics —
+/// into the reused `active` scratch.
+fn gather_active(
+    categorical: &[Vec<u32>],
+    vocabs: &[usize],
+    offsets: &[usize],
+    numeric: &Matrix,
+    i: usize,
+    active: &mut Vec<(u32, f32)>,
+) {
+    active.clear();
+    for (f, col) in categorical.iter().enumerate() {
+        let id = col[i] as usize;
+        assert!(id < vocabs[f], "field {f} id {id} out of vocab {}", vocabs[f]);
+        active.push(((offsets[f] + id) as u32, 1.0));
+    }
+    let base = offsets.last().map_or(0, |o| o + vocabs[vocabs.len() - 1]);
+    for (c, &xv) in numeric.row(i).iter().enumerate() {
+        if xv != 0.0 {
+            active.push(((base + c) as u32, xv));
+        }
     }
 }
 
@@ -201,5 +352,92 @@ mod tests {
     fn rejects_zero_factors() {
         let (x, y) = xor_data(10, 3);
         let _ = FactorizationMachine::fit(FmConfig { factors: 0, ..Default::default() }, &x, &y);
+    }
+
+    /// Categorical fields + labels with a per-(a,b) interaction pattern,
+    /// plus one numeric column carrying weak linear signal.
+    fn onehot_data(n: usize, seed: u64) -> (Vec<Vec<u32>>, Vec<usize>, Matrix, Vec<f32>) {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let vocabs = vec![3usize, 4];
+        let mut cat = vec![Vec::with_capacity(n), Vec::with_capacity(n)];
+        let mut numeric = Matrix::zeros(n, 2);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            let a = (rng.next_u64() % 3) as u32;
+            let b = (rng.next_u64() % 4) as u32;
+            cat[0].push(a);
+            cat[1].push(b);
+            numeric.set(i, 0, rng.normal());
+            // Second numeric column stays exactly zero for half the rows,
+            // exercising the dense path's zero-skip agreement.
+            if rng.bernoulli(0.5) {
+                numeric.set(i, 1, rng.normal());
+            }
+            y.push(if (a + b).is_multiple_of(2) { 1.0 } else { 0.0 });
+        }
+        (cat, vocabs, numeric, y)
+    }
+
+    /// Expands the one-hot layout into the dense matrix `fit` consumes.
+    fn expand(cat: &[Vec<u32>], vocabs: &[usize], numeric: &Matrix) -> Matrix {
+        let n = cat[0].len();
+        let cat_width: usize = vocabs.iter().sum();
+        let mut x = Matrix::zeros(n, cat_width + numeric.cols());
+        for i in 0..n {
+            let mut offset = 0;
+            for (f, col) in cat.iter().enumerate() {
+                x.set(i, offset + col[i] as usize, 1.0);
+                offset += vocabs[f];
+            }
+            for c in 0..numeric.cols() {
+                x.set(i, cat_width + c, numeric.get(i, c));
+            }
+        }
+        x
+    }
+
+    #[test]
+    fn fit_onehot_is_bit_identical_to_dense_fit_on_expansion() {
+        let (cat, vocabs, numeric, y) = onehot_data(120, 5);
+        let cfg = FmConfig { factors: 4, epochs: 8, ..Default::default() };
+        let sparse = FactorizationMachine::fit_onehot(cfg.clone(), &cat, &vocabs, &numeric, &y);
+        let dense = FactorizationMachine::fit(cfg, &expand(&cat, &vocabs, &numeric), &y);
+        assert_eq!(sparse.w0.to_bits(), dense.w0.to_bits());
+        let bits = |w: &[f32]| w.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&sparse.w), bits(&dense.w));
+        assert_eq!(bits(sparse.v.as_slice()), bits(dense.v.as_slice()));
+        assert_eq!(
+            sparse.predict_onehot(&cat, &vocabs, &numeric),
+            dense.predict(&expand(&cat, &vocabs, &numeric))
+        );
+    }
+
+    #[test]
+    fn fit_onehot_learns_categorical_interaction() {
+        // Parity of two categorical ids is a pure interaction: no single
+        // one-hot coordinate is predictive on its own.
+        let (cat, vocabs, numeric, y) = onehot_data(500, 11);
+        let fm = FactorizationMachine::fit_onehot(
+            FmConfig { factors: 6, epochs: 80, learning_rate: 0.1, ..Default::default() },
+            &cat,
+            &vocabs,
+            &numeric,
+            &y,
+        );
+        let acc = accuracy(&fm.predict_onehot(&cat, &vocabs, &numeric), &y);
+        assert!(acc > 0.9, "one-hot FM must learn id parity: {acc}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocab")]
+    fn fit_onehot_rejects_out_of_vocab_ids() {
+        let cat = vec![vec![5u32]];
+        let _ = FactorizationMachine::fit_onehot(
+            FmConfig::default(),
+            &cat,
+            &[3],
+            &Matrix::zeros(1, 0),
+            &[1.0],
+        );
     }
 }

@@ -1,0 +1,142 @@
+//! Vocab-sweep train-step benchmark: sparse vs dense embedding
+//! gradients (`ParamStore::mark_sparse`).
+//!
+//! One "train step" is the full loop body — zero grads, forward
+//! (gather + linear head), backward, clip, AdaGrad update — on a fixed
+//! 256-row batch over a `vocab x 16` table. The dense path pays
+//! `O(vocab x dim)` per step (gradient zeroing + optimizer scan); the
+//! sparse path pays `O(batch x dim)`, so its step time should be flat
+//! in vocab: the acceptance bar is 1M-vocab sparse within 2x of
+//! 10k-vocab sparse. AdaGrad is the sparse-bit-identical optimizer with
+//! per-row state, i.e. the representative training configuration.
+//!
+//! Set `CRITERION_JSON=BENCH_sparse.json` to capture the sweep; a
+//! counting global allocator additionally reports steady-state heap
+//! allocations per step on stderr (the EXPERIMENTS.md numbers).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use atnn_autograd::{Graph, ParamId, ParamStore};
+use atnn_nn::{clip_grad_norm, AdaGrad, Optimizer};
+use atnn_tensor::{pool, Init, Matrix, Rng64};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+struct CountingAlloc;
+
+static COUNT_ENABLED: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNT_ENABLED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNT_ENABLED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const DIM: usize = 16;
+const BATCH: usize = 256;
+
+/// Embedding table + linear head trained with AdaGrad on a fixed batch.
+struct StepHarness {
+    store: ParamStore,
+    table: ParamId,
+    head: ParamId,
+    group: Vec<ParamId>,
+    opt: AdaGrad,
+    g: Graph,
+    ids: Vec<u32>,
+    targets: Matrix,
+}
+
+impl StepHarness {
+    fn new(vocab: usize, sparse: bool) -> Self {
+        let mut rng = Rng64::seed_from_u64(0xA11C + vocab as u64);
+        let mut store = ParamStore::new();
+        let table = store.add("emb", Init::Normal(0.05).sample(vocab, DIM, &mut rng));
+        if sparse {
+            store.mark_sparse(table);
+        }
+        let head = store.add("head", Init::Normal(0.3).sample(DIM, 1, &mut rng));
+        let group = vec![table, head];
+        let opt = AdaGrad::new(group.clone(), 0.05);
+        let ids: Vec<u32> = (0..BATCH).map(|_| rng.index(vocab) as u32).collect();
+        let targets = Matrix::from_fn(BATCH, 1, |i, _| if i % 2 == 0 { 1.0 } else { -1.0 });
+        StepHarness { store, table, head, group, opt, g: Graph::new(), ids, targets }
+    }
+
+    fn step(&mut self) -> f32 {
+        self.store.zero_grads(&self.group);
+        self.g.clear();
+        let e = self.g.gather(&self.store, self.table, &self.ids);
+        let h = self.g.param(&self.store, self.head);
+        let pred = self.g.matmul(e, h);
+        let loss = self.g.mse_loss(pred, &self.targets);
+        let value = self.g.value(loss).get(0, 0);
+        self.g.backward(loss, &mut self.store);
+        clip_grad_norm(&mut self.store, &self.group, 5.0);
+        self.opt.step(&mut self.store);
+        value
+    }
+}
+
+/// Steady-state allocations per step, after warmup (stderr only — the
+/// timing records carry no allocator channel).
+fn report_allocs(vocab: usize, sparse: bool) {
+    let mut h = StepHarness::new(vocab, sparse);
+    for _ in 0..4 {
+        h.step();
+    }
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNT_ENABLED.store(true, Ordering::SeqCst);
+    const STEPS: usize = 5;
+    for _ in 0..STEPS {
+        h.step();
+    }
+    COUNT_ENABLED.store(false, Ordering::SeqCst);
+    let per_step = ALLOCS.load(Ordering::SeqCst) / STEPS;
+    let kind = if sparse { "sparse" } else { "dense" };
+    eprintln!("allocs_per_step vocab={vocab} {kind}: {per_step}");
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    pool::with_threads(1, || {
+        let mut group = c.benchmark_group("sparse_train_step");
+        for &vocab in &[10_000usize, 100_000, 1_000_000] {
+            group.sample_size(if vocab >= 1_000_000 { 10 } else { 20 });
+            for sparse in [true, false] {
+                report_allocs(vocab, sparse);
+                let label = if sparse { "sparse" } else { "dense" };
+                group.bench_with_input(BenchmarkId::new(label, vocab), &vocab, |b, _| {
+                    let mut h = StepHarness::new(vocab, sparse);
+                    for _ in 0..3 {
+                        h.step(); // fill arena + optimizer state before timing
+                    }
+                    b.iter(|| h.step())
+                });
+            }
+        }
+        group.finish();
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_train_step
+}
+criterion_main!(benches);

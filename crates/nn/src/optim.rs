@@ -5,7 +5,7 @@
 //! groups of one shared store: a "D step" updating the towers/encoders and
 //! a "G step" updating the generator (and the shared embeddings).
 
-use atnn_autograd::{ParamId, ParamStore};
+use atnn_autograd::{Grad, ParamId, ParamStore};
 use atnn_tensor::{decode_matrix, encode_matrix, Matrix};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -104,7 +104,7 @@ pub fn clip_grad_norm(store: &mut ParamStore, params: &[ParamId], max_norm: f32)
     if norm > max_norm && norm > 0.0 {
         let scale = max_norm / norm;
         for &p in params {
-            store.grad_mut(p).scale_assign(scale);
+            store.scale_grad(p, scale);
         }
     }
     norm
@@ -153,19 +153,38 @@ impl Optimizer for Sgd {
                 .collect();
         }
         for (i, &p) in self.params.iter().enumerate() {
-            if self.weight_decay > 0.0 {
-                let decay = store.value(p).scale(self.weight_decay);
-                store.grad_mut(p).add_assign_scaled(&decay, 1.0).expect("wd shape");
+            // Momentum keeps dense velocity and weight decay pulls on every
+            // weight, so both need the full gradient; plain SGD has a true
+            // sparse path (touched rows only, bit-identical to the dense
+            // sweep since untouched rows would receive exact-zero updates).
+            if (self.momentum > 0.0 || self.weight_decay > 0.0) && store.grad_entry(p).is_sparse() {
+                store.densify_grad(p);
             }
-            if self.momentum > 0.0 {
-                let v = &mut self.velocity[i];
-                v.scale_assign(self.momentum);
-                v.add_assign_scaled(store.grad(p), 1.0).expect("velocity shape");
-                let vc = v.clone();
-                store.value_mut(p).add_assign_scaled(&vc, -self.lr).expect("sgd shape");
-            } else {
-                let grad = store.grad(p).clone();
-                store.value_mut(p).add_assign_scaled(&grad, -self.lr).expect("sgd shape");
+            let (value, grad) = store.value_and_grad_mut(p);
+            match grad {
+                Grad::Dense(gm) => {
+                    if self.weight_decay > 0.0 {
+                        for (gv, &wv) in gm.as_mut_slice().iter_mut().zip(value.as_slice()) {
+                            *gv += wv * self.weight_decay;
+                        }
+                    }
+                    if self.momentum > 0.0 {
+                        let v = &mut self.velocity[i];
+                        v.scale_assign(self.momentum);
+                        v.add_assign_scaled(gm, 1.0).expect("velocity shape");
+                        value.add_assign_scaled(v, -self.lr).expect("sgd shape");
+                    } else {
+                        value.add_assign_scaled(gm, -self.lr).expect("sgd shape");
+                    }
+                }
+                Grad::Sparse(sg) => {
+                    for (row, vals) in sg.iter() {
+                        let wrow = value.row_mut(row as usize);
+                        for (w, &gv) in wrow.iter_mut().zip(vals) {
+                            *w += -self.lr * gv;
+                        }
+                    }
+                }
             }
         }
     }
@@ -193,6 +212,20 @@ impl Optimizer for Sgd {
 }
 
 /// Adam (Kingma & Ba, 2015) with bias correction.
+///
+/// # Sparse (lazy) updates
+///
+/// For parameters whose gradient arrives row-sparse, `step` applies
+/// *lazy-Adam* semantics (as in TensorFlow's `LazyAdamOptimizer`): only
+/// the rows touched by the batch update their first/second moments and
+/// weights; untouched rows keep stale moments and skip their decay.
+/// This is **not** bit-identical to dense Adam — dense Adam keeps
+/// updating every row from moment momentum even on zero gradient — but
+/// converges to the same quality on sparse workloads (see the
+/// `sparse_optim` integration tests) while costing O(touched rows)
+/// instead of O(vocab). Bias correction uses the global step counter
+/// for all rows. Moments themselves stay dense, so checkpoint blobs are
+/// unchanged.
 #[derive(Debug)]
 pub struct Adam {
     params: Vec<ParamId>,
@@ -250,25 +283,50 @@ impl Optimizer for Adam {
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
         for (i, &p) in self.params.iter().enumerate() {
-            let g = store.grad(p).clone();
-            let m = &mut self.m[i];
-            m.scale_assign(self.beta1);
-            m.add_assign_scaled(&g, 1.0 - self.beta1).expect("adam m shape");
-            let v = &mut self.v[i];
-            v.scale_assign(self.beta2);
-            for (vv, &gv) in v.as_mut_slice().iter_mut().zip(g.as_slice()) {
-                *vv += (1.0 - self.beta2) * gv * gv;
-            }
-            let (mslice, vslice) = (self.m[i].as_slice(), self.v[i].as_slice());
-            let value = store.value_mut(p);
-            for ((w, &mv), &vv) in value.as_mut_slice().iter_mut().zip(mslice).zip(vslice) {
-                let m_hat = mv / bc1;
-                let v_hat = vv / bc2;
-                let mut update = m_hat / (v_hat.sqrt() + self.eps);
-                if self.weight_decay > 0.0 {
-                    update += self.weight_decay * *w;
+            let (value, grad) = store.value_and_grad_mut(p);
+            match grad {
+                Grad::Dense(gm) => {
+                    let m = &mut self.m[i];
+                    m.scale_assign(self.beta1);
+                    m.add_assign_scaled(gm, 1.0 - self.beta1).expect("adam m shape");
+                    let v = &mut self.v[i];
+                    v.scale_assign(self.beta2);
+                    for (vv, &gv) in v.as_mut_slice().iter_mut().zip(gm.as_slice()) {
+                        *vv += (1.0 - self.beta2) * gv * gv;
+                    }
+                    let (mslice, vslice) = (self.m[i].as_slice(), self.v[i].as_slice());
+                    for ((w, &mv), &vv) in value.as_mut_slice().iter_mut().zip(mslice).zip(vslice) {
+                        let m_hat = mv / bc1;
+                        let v_hat = vv / bc2;
+                        let mut update = m_hat / (v_hat.sqrt() + self.eps);
+                        if self.weight_decay > 0.0 {
+                            update += self.weight_decay * *w;
+                        }
+                        *w -= self.lr * update;
+                    }
                 }
-                *w -= self.lr * update;
+                Grad::Sparse(sg) => {
+                    // Lazy Adam: touched rows only (see the type docs).
+                    let m = &mut self.m[i];
+                    let v = &mut self.v[i];
+                    for (row, vals) in sg.iter() {
+                        let r = row as usize;
+                        let mrow = m.row_mut(r);
+                        let vrow = v.row_mut(r);
+                        let wrow = value.row_mut(r);
+                        for (((w, mv), vv), &gv) in wrow.iter_mut().zip(mrow).zip(vrow).zip(vals) {
+                            *mv = self.beta1 * *mv + (1.0 - self.beta1) * gv;
+                            *vv = self.beta2 * *vv + (1.0 - self.beta2) * gv * gv;
+                            let m_hat = *mv / bc1;
+                            let v_hat = *vv / bc2;
+                            let mut update = m_hat / (v_hat.sqrt() + self.eps);
+                            if self.weight_decay > 0.0 {
+                                update += self.weight_decay * *w;
+                            }
+                            *w -= self.lr * update;
+                        }
+                    }
+                }
             }
         }
     }
@@ -334,15 +392,35 @@ impl Optimizer for AdaGrad {
                 .collect();
         }
         for (i, &p) in self.params.iter().enumerate() {
-            let g = store.grad(p).clone();
-            let acc = &mut self.accum[i];
-            for (a, &gv) in acc.as_mut_slice().iter_mut().zip(g.as_slice()) {
-                *a += gv * gv;
-            }
-            let accs = self.accum[i].as_slice();
-            let value = store.value_mut(p);
-            for ((w, &gv), &a) in value.as_mut_slice().iter_mut().zip(g.as_slice()).zip(accs) {
-                *w -= self.lr * gv / (a.sqrt() + self.eps);
+            let (value, grad) = store.value_and_grad_mut(p);
+            match grad {
+                Grad::Dense(gm) => {
+                    let acc = &mut self.accum[i];
+                    for (a, &gv) in acc.as_mut_slice().iter_mut().zip(gm.as_slice()) {
+                        *a += gv * gv;
+                    }
+                    let accs = self.accum[i].as_slice();
+                    for ((w, &gv), &a) in
+                        value.as_mut_slice().iter_mut().zip(gm.as_slice()).zip(accs)
+                    {
+                        *w -= self.lr * gv / (a.sqrt() + self.eps);
+                    }
+                }
+                Grad::Sparse(sg) => {
+                    // Touched rows only; bit-identical to the dense sweep
+                    // (untouched accumulators/weights would see exact-zero
+                    // deltas, and per-element update order is unchanged).
+                    let acc = &mut self.accum[i];
+                    for (row, vals) in sg.iter() {
+                        let r = row as usize;
+                        let arow = acc.row_mut(r);
+                        let wrow = value.row_mut(r);
+                        for ((w, a), &gv) in wrow.iter_mut().zip(arow).zip(vals) {
+                            *a += gv * gv;
+                            *w -= self.lr * gv / (a.sqrt() + self.eps);
+                        }
+                    }
+                }
             }
         }
     }

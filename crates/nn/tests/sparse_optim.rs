@@ -1,0 +1,262 @@
+//! Sparse-vs-dense training equivalence at the optimizer level.
+//!
+//! Two models with bit-identical initial weights train side by side —
+//! one with its embedding tables declared row-sparse, one dense. For
+//! SGD (plain) and AdaGrad the resulting weights must agree **bitwise**
+//! after many steps, including under gradient clipping: untouched rows
+//! receive `w += -lr * 0.0`, which is a bitwise no-op for every finite
+//! `w`, and touched rows run the exact same scalar expressions in the
+//! same order. Adam is exempt from bit-identity by design (lazy
+//! moments; see `Adam`'s doc comment) and gets a convergence-parity
+//! test instead. EmbeddingBag backward (mean pooling, empty bags,
+//! duplicate ids across bags) is covered through the same harness.
+
+use atnn_autograd::{Graph, ParamStore};
+use atnn_nn::{clip_grad_norm, AdaGrad, Adam, EmbeddingBag, Optimizer, Sgd};
+use atnn_tensor::{Matrix, Rng64};
+use proptest::prelude::*;
+
+/// One tiny model: an embedding bag pooled over id bags, squared-error
+/// loss against per-sample targets. Everything deterministic from `seed`.
+struct Harness {
+    store: ParamStore,
+    bag: EmbeddingBag,
+}
+
+impl Harness {
+    fn new(seed: u64, vocab: usize, dim: usize, sparse: bool) -> Self {
+        let mut store = ParamStore::new();
+        let mut rng = Rng64::seed_from_u64(seed);
+        let bag = EmbeddingBag::new(&mut store, &mut rng, "emb", vocab, dim);
+        if sparse {
+            store.mark_sparse(bag.param());
+        }
+        Harness { store, bag }
+    }
+
+    /// Forward + backward on one batch of bags; returns the loss node's value.
+    fn backward(&mut self, g: &mut Graph, bags: &[Vec<u32>], targets: &Matrix) -> f32 {
+        self.store.zero_all_grads();
+        g.clear();
+        let pooled = self.bag.forward(g, &self.store, bags);
+        let loss = g.mse_loss(pooled, targets);
+        let value = g.value(loss).get(0, 0);
+        g.backward(loss, &mut self.store);
+        value
+    }
+
+    fn table_bits(&self) -> Vec<u32> {
+        self.store.value(self.bag.param()).as_slice().iter().map(|v| v.to_bits()).collect()
+    }
+}
+
+fn targets_for(bags: &[Vec<u32>], dim: usize) -> Matrix {
+    Matrix::from_fn(bags.len(), dim, |i, j| ((i * 7 + j * 3) as f32 * 0.61).cos())
+}
+
+/// Batches of bags over a small vocab: variable bag length *including
+/// empty bags*, duplicate ids within and across bags.
+fn bag_batches() -> impl Strategy<Value = (usize, usize, Vec<Vec<Vec<u32>>>)> {
+    (3usize..10, 1usize..5).prop_flat_map(|(vocab, dim)| {
+        let bag = collection::vec(0..vocab as u32, 0..4); // 0 => empty bag allowed
+        let batch = collection::vec(bag, 1..5);
+        collection::vec(batch, 2..6).prop_map(move |steps| (vocab, dim, steps))
+    })
+}
+
+/// Runs the same multi-step training twice (sparse vs dense declaration)
+/// with the given optimizer factory and asserts bitwise weight equality
+/// after every step.
+fn assert_training_bit_identical<O: Optimizer>(
+    vocab: usize,
+    dim: usize,
+    steps: &[Vec<Vec<u32>>],
+    clip: Option<f32>,
+    make_opt: impl Fn(&Harness) -> O,
+) -> Result<(), TestCaseError> {
+    let mut dense = Harness::new(42, vocab, dim, false);
+    let mut sparse = Harness::new(42, vocab, dim, true);
+    prop_assert_eq!(dense.table_bits(), sparse.table_bits(), "identical init");
+    let mut dense_opt = make_opt(&dense);
+    let mut sparse_opt = make_opt(&sparse);
+    let mut gd = Graph::new();
+    let mut gs = Graph::new();
+    for (step, bags) in steps.iter().enumerate() {
+        let targets = targets_for(bags, dim);
+        let ld = dense.backward(&mut gd, bags, &targets);
+        let ls = sparse.backward(&mut gs, bags, &targets);
+        prop_assert_eq!(ld.to_bits(), ls.to_bits(), "loss diverged at step {}", step);
+        if let Some(c) = clip {
+            let group = [dense.bag.param()];
+            clip_grad_norm(&mut dense.store, &group, c);
+            clip_grad_norm(&mut sparse.store, &group, c);
+        }
+        dense_opt.step(&mut dense.store);
+        sparse_opt.step(&mut sparse.store);
+        prop_assert_eq!(
+            dense.table_bits(),
+            sparse.table_bits(),
+            "weights diverged after step {}",
+            step
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn embedding_bag_backward_is_bit_identical((vocab, dim, steps) in bag_batches()) {
+        // Gradient-level check (before any optimizer): accumulate one
+        // batch in each representation and compare densified results.
+        let mut dense = Harness::new(7, vocab, dim, false);
+        let mut sparse = Harness::new(7, vocab, dim, true);
+        let mut gd = Graph::new();
+        let mut gs = Graph::new();
+        for bags in &steps {
+            let targets = targets_for(bags, dim);
+            dense.backward(&mut gd, bags, &targets);
+            sparse.backward(&mut gs, bags, &targets);
+            let a = dense.store.grad_to_dense(dense.bag.param());
+            let b = sparse.store.grad_to_dense(sparse.bag.param());
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn sgd_training_is_bit_identical((vocab, dim, steps) in bag_batches()) {
+        assert_training_bit_identical(vocab, dim, &steps, None, |h| {
+            Sgd::new(vec![h.bag.param()], 0.1)
+        })?;
+    }
+
+    #[test]
+    fn sgd_with_clipping_is_bit_identical((vocab, dim, steps) in bag_batches()) {
+        // Tight clip threshold so rescaling actually fires.
+        assert_training_bit_identical(vocab, dim, &steps, Some(0.05), |h| {
+            Sgd::new(vec![h.bag.param()], 0.1)
+        })?;
+    }
+
+    #[test]
+    fn adagrad_training_is_bit_identical((vocab, dim, steps) in bag_batches()) {
+        assert_training_bit_identical(vocab, dim, &steps, None, |h| {
+            AdaGrad::new(vec![h.bag.param()], 0.1)
+        })?;
+    }
+
+    #[test]
+    fn sgd_momentum_densifies_and_still_matches((vocab, dim, steps) in bag_batches()) {
+        // Momentum (and coupled weight decay) cannot run row-sparse —
+        // velocity decays even on untouched rows — so the step densifies
+        // first. The result must still equal the dense-declared run.
+        assert_training_bit_identical(vocab, dim, &steps, None, |h| {
+            Sgd::new(vec![h.bag.param()], 0.05).with_momentum(0.9)
+        })?;
+    }
+}
+
+/// Lazy Adam is *not* bit-identical to dense Adam (dense moments keep
+/// decaying on untouched rows; lazy moments freeze). The contract is
+/// convergence parity: on the same regression task both reach a loss far
+/// below the starting point, and within a modest factor of each other.
+#[test]
+fn lazy_adam_converges_like_dense_adam() {
+    let vocab = 24;
+    let dim = 4;
+    // Skewed id distribution so some rows go untouched for many steps —
+    // the exact regime where lazy and dense moments diverge.
+    let mut rng = Rng64::seed_from_u64(99);
+    let batches: Vec<Vec<Vec<u32>>> = (0..120)
+        .map(|_| {
+            (0..6)
+                .map(|_| {
+                    (0..2)
+                        .map(|_| {
+                            let r = rng.uniform();
+                            // 80% of mass on the first 4 ids.
+                            if r < 0.8 {
+                                rng.index(4) as u32
+                            } else {
+                                rng.index(vocab) as u32
+                            }
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+
+    // Exactly fittable regression: each id has a fixed target vector and a
+    // bag's target is the mean of its ids' vectors — the solution is
+    // "embedding row i == target vector i", so the loss floor is zero.
+    let id_target = |id: u32, j: usize| ((id as usize * 3 + j) as f32 * 0.7).sin();
+    let bag_targets = |bags: &[Vec<u32>]| {
+        Matrix::from_fn(bags.len(), dim, |i, j| {
+            let bag = &bags[i];
+            if bag.is_empty() {
+                0.0
+            } else {
+                bag.iter().map(|&id| id_target(id, j)).sum::<f32>() / bag.len() as f32
+            }
+        })
+    };
+
+    let run = |sparse: bool| -> (f32, f32) {
+        let mut h = Harness::new(5, vocab, dim, sparse);
+        let mut opt = Adam::new(vec![h.bag.param()], 0.05);
+        let mut g = Graph::new();
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for (i, bags) in batches.iter().enumerate() {
+            let targets = bag_targets(bags);
+            let loss = h.backward(&mut g, bags, &targets);
+            if i == 0 {
+                first = loss;
+            }
+            last = loss;
+            opt.step(&mut h.store);
+        }
+        (first, last)
+    };
+
+    let (dense_first, dense_last) = run(false);
+    let (sparse_first, sparse_last) = run(true);
+    assert_eq!(dense_first.to_bits(), sparse_first.to_bits(), "same init => same first loss");
+    assert!(
+        dense_last < 0.2 * dense_first,
+        "dense Adam must converge: {dense_first} -> {dense_last}"
+    );
+    assert!(
+        sparse_last < 0.2 * sparse_first,
+        "lazy Adam must converge: {sparse_first} -> {sparse_last}"
+    );
+    let ratio = sparse_last / dense_last.max(1e-6);
+    assert!(
+        (0.2..=5.0).contains(&ratio),
+        "lazy Adam should land within 5x of dense Adam: {sparse_last} vs {dense_last}"
+    );
+}
+
+/// AdaGrad's sparse step and a from-scratch dense reference must agree
+/// on a hand-checkable case: one id hit twice, one never.
+#[test]
+fn adagrad_sparse_matches_closed_form() {
+    let mut h = Harness::new(1, 3, 1, true);
+    let w0: Vec<f32> = h.store.value(h.bag.param()).as_slice().to_vec();
+    let mut opt = AdaGrad::new(vec![h.bag.param()], 1.0);
+    let mut g = Graph::new();
+    let bags = vec![vec![1u32]];
+    let targets = Matrix::zeros(1, 1);
+    h.backward(&mut g, &bags, &targets);
+    // mse grad for one sample: 2*(w1 - 0)/1 = 2*w1; adagrad with accum=g^2:
+    // w1 -= lr * g / (sqrt(g^2) + eps) ≈ w1 - sign(g).
+    let grad = 2.0 * w0[1];
+    let expected = w0[1] - 1.0 * grad / (grad.abs() + 1e-10);
+    opt.step(&mut h.store);
+    let w = h.store.value(h.bag.param());
+    assert_eq!(w.get(0, 0).to_bits(), w0[0].to_bits(), "untouched row 0 unchanged");
+    assert_eq!(w.get(2, 0).to_bits(), w0[2].to_bits(), "untouched row 2 unchanged");
+    assert!((w.get(1, 0) - expected).abs() < 1e-5, "{} vs {expected}", w.get(1, 0));
+}

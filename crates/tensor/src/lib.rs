@@ -20,6 +20,7 @@ mod ops;
 pub mod pool;
 mod rng;
 mod serialize;
+mod sparse;
 mod sync;
 
 pub use error::TensorError;
@@ -27,6 +28,7 @@ pub use matrix::Matrix;
 pub use ops::{cosine, dot};
 pub use rng::{Init, Rng64};
 pub use serialize::{decode_matrix, encode_matrix};
+pub use sparse::SparseRowGrad;
 pub use sync::SwapCell;
 
 /// Crate-wide result alias.

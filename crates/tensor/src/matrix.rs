@@ -185,12 +185,26 @@ impl Matrix {
     /// Returns the transpose.
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
+        self.transpose_body(&mut out);
+        out
+    }
+
+    /// Writes the transpose into a caller-provided `cols x rows` buffer
+    /// (the allocation-free variant for scratch-arena users).
+    ///
+    /// # Panics
+    /// Panics when `out` is not `cols x rows`.
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        assert_eq!(out.shape(), (self.cols, self.rows), "transpose_into shape");
+        self.transpose_body(out);
+    }
+
+    fn transpose_body(&self, out: &mut Matrix) {
         for i in 0..self.rows {
             for (j, &v) in self.row(i).iter().enumerate() {
                 out.data[j * self.rows + i] = v;
             }
         }
-        out
     }
 
     /// Horizontally concatenates `self` and `other` (same row count).

@@ -1,0 +1,273 @@
+//! Sparse row-indexed gradients for embedding tables.
+//!
+//! A minibatch only touches a few hundred rows of a `vocab x dim` table,
+//! so its gradient is a short list of `(row, dim-vector)` pairs rather
+//! than a dense matrix. [`SparseRowGrad`] stores exactly that, reusing
+//! its buffers across steps so the training hot loop performs no
+//! per-step allocation once capacities have warmed up.
+//!
+//! # Bit-identity contract
+//!
+//! The dense scatter path sums duplicate rows in *occurrence order*
+//! (`grad[row] += g[k]` for `k` ascending). [`SparseRowGrad::coalesce`]
+//! reproduces that order exactly: entries are sorted by row with a
+//! stable permutation, and duplicates merge by summing in insertion
+//! order — so every coalesced row value is the same `f32` bit pattern
+//! the dense scatter would have produced (up to the sign of zero, which
+//! compares equal). Downstream consumers (optimizer updates, norm
+//! accumulation) iterate rows ascending, matching dense row-major
+//! traversal, which is what makes sparse SGD/AdaGrad bit-identical to
+//! their dense sweeps.
+
+use crate::Matrix;
+
+/// A row-sparse gradient for a `rows x dim` parameter: coalesced
+/// `(row, dim-vector)` pairs sorted by row.
+///
+/// Produced by the embedding-gather backward pass and consumed by the
+/// sparse optimizer paths. Buffers (entries, sort scratch) are retained
+/// across `clear()` so steady-state training does not allocate here.
+#[derive(Debug, Clone)]
+pub struct SparseRowGrad {
+    dim: usize,
+    /// Row index per entry; parallel to `vals` chunks of `dim`.
+    rows: Vec<u32>,
+    vals: Vec<f32>,
+    coalesced: bool,
+    // Scratch reused across coalesce() calls.
+    perm: Vec<u32>,
+    out_rows: Vec<u32>,
+    out_vals: Vec<f32>,
+}
+
+impl SparseRowGrad {
+    /// Creates an empty sparse gradient for rows of width `dim`.
+    ///
+    /// # Panics
+    /// Panics when `dim == 0` (a zero-width table has no gradient rows).
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "SparseRowGrad requires dim > 0");
+        SparseRowGrad {
+            dim,
+            rows: Vec::new(),
+            vals: Vec::new(),
+            coalesced: true,
+            perm: Vec::new(),
+            out_rows: Vec::new(),
+            out_vals: Vec::new(),
+        }
+    }
+
+    /// Row width this gradient was created for.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of stored entries (rows counted with multiplicity until
+    /// [`SparseRowGrad::coalesce`] merges duplicates).
+    pub fn nnz(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// True when entries are sorted by row with no duplicates.
+    pub fn is_coalesced(&self) -> bool {
+        self.coalesced
+    }
+
+    /// Drops all entries but keeps every buffer's capacity.
+    pub fn clear(&mut self) {
+        self.rows.clear();
+        self.vals.clear();
+        self.coalesced = true;
+    }
+
+    /// Appends one `(row, values)` entry.
+    ///
+    /// # Panics
+    /// Panics when `values.len() != dim`.
+    pub fn push_row(&mut self, row: u32, values: &[f32]) {
+        assert_eq!(values.len(), self.dim, "push_row width mismatch");
+        self.rows.push(row);
+        self.vals.extend_from_slice(values);
+        self.coalesced = false;
+    }
+
+    /// Appends row `indices[k]` with values `block.row(k)` for every `k`
+    /// — the shape the gather backward produces (`g` is `batch x dim`,
+    /// `indices` the batch's row ids).
+    ///
+    /// # Panics
+    /// Panics when `block` is not `indices.len() x dim`.
+    pub fn push_rows(&mut self, indices: &[u32], block: &Matrix) {
+        assert_eq!(block.cols(), self.dim, "push_rows width mismatch");
+        assert_eq!(block.rows(), indices.len(), "push_rows row-count mismatch");
+        if indices.is_empty() {
+            return;
+        }
+        self.rows.extend_from_slice(indices);
+        self.vals.extend_from_slice(block.as_slice());
+        self.coalesced = false;
+    }
+
+    /// Sorts entries by row and merges duplicates, summing their values
+    /// in insertion order (the dense scatter's occurrence order — see
+    /// the module docs for why this preserves bit-identity).
+    ///
+    /// Idempotent; uses retained scratch buffers, so steady-state calls
+    /// only allocate while capacities are still growing.
+    pub fn coalesce(&mut self) {
+        if self.coalesced {
+            return;
+        }
+        let n = self.rows.len();
+        self.perm.clear();
+        self.perm.extend(0..n as u32);
+        // (row, insertion index) keys are unique, so the unstable sort is
+        // deterministic and equals the stable sort-by-row — without the
+        // merge-sort scratch allocation.
+        let rows = &self.rows;
+        self.perm.sort_unstable_by_key(|&i| (rows[i as usize], i));
+        self.out_rows.clear();
+        self.out_vals.clear();
+        let dim = self.dim;
+        let mut k = 0;
+        while k < n {
+            let src = self.perm[k] as usize;
+            let row = self.rows[src];
+            self.out_rows.push(row);
+            let base = self.out_vals.len();
+            self.out_vals.extend_from_slice(&self.vals[src * dim..(src + 1) * dim]);
+            k += 1;
+            while k < n && self.rows[self.perm[k] as usize] == row {
+                let src = self.perm[k] as usize;
+                let seg = &self.vals[src * dim..(src + 1) * dim];
+                for (o, &v) in self.out_vals[base..].iter_mut().zip(seg) {
+                    *o += v;
+                }
+                k += 1;
+            }
+        }
+        std::mem::swap(&mut self.rows, &mut self.out_rows);
+        std::mem::swap(&mut self.vals, &mut self.out_vals);
+        self.coalesced = true;
+    }
+
+    /// Iterates `(row, values)` entries in storage order (ascending rows
+    /// once coalesced).
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &[f32])> {
+        self.rows.iter().copied().zip(self.vals.chunks_exact(self.dim))
+    }
+
+    /// The stored row ids, in storage order.
+    pub fn row_ids(&self) -> &[u32] {
+        &self.rows
+    }
+
+    /// Multiplies every stored value by `alpha` (gradient clipping).
+    pub fn scale(&mut self, alpha: f32) {
+        for v in &mut self.vals {
+            *v *= alpha;
+        }
+    }
+
+    /// Sum of squared values, accumulated in storage order. On a
+    /// coalesced gradient this is bit-identical to the dense matrix's
+    /// row-major `Σ v²` because untouched rows contribute exact `+0.0`
+    /// terms that cannot change the accumulator.
+    pub fn l2_sq(&self) -> f32 {
+        debug_assert!(self.coalesced, "l2_sq on uncoalesced gradient double-counts rows");
+        self.vals.iter().map(|&v| v * v).sum()
+    }
+
+    /// Adds every entry into the matching row of `out` (`out[row] += values`).
+    ///
+    /// # Panics
+    /// Panics when `out.cols() != dim` or a row id is out of range.
+    pub fn add_into_dense(&self, out: &mut Matrix) {
+        assert_eq!(out.cols(), self.dim, "add_into_dense width mismatch");
+        for (row, vals) in self.iter() {
+            let dst = out.row_mut(row as usize);
+            for (o, &v) in dst.iter_mut().zip(vals) {
+                *o += v;
+            }
+        }
+    }
+
+    /// Materializes the dense `rows x dim` gradient.
+    pub fn to_dense(&self, rows: usize) -> Matrix {
+        let mut out = Matrix::zeros(rows, self.dim);
+        self.add_into_dense(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_coalesce_merges_duplicates_in_occurrence_order() {
+        let mut sg = SparseRowGrad::new(2);
+        sg.push_row(3, &[1.0, 2.0]);
+        sg.push_row(1, &[10.0, 20.0]);
+        sg.push_row(3, &[0.5, 0.5]);
+        assert!(!sg.is_coalesced());
+        assert_eq!(sg.nnz(), 3);
+        sg.coalesce();
+        assert!(sg.is_coalesced());
+        assert_eq!(sg.nnz(), 2);
+        let entries: Vec<(u32, Vec<f32>)> = sg.iter().map(|(r, v)| (r, v.to_vec())).collect();
+        assert_eq!(entries, vec![(1, vec![10.0, 20.0]), (3, vec![1.5, 2.5])]);
+    }
+
+    #[test]
+    fn coalesce_matches_dense_scatter_bitwise() {
+        // Adversarial values where float addition order matters: the
+        // coalesced sum must equal the dense scatter's occurrence-order sum.
+        let vals = [1.0e7f32, 3.25, -1.0e7, 2.6875, 0.001];
+        let mut sg = SparseRowGrad::new(1);
+        let mut dense = Matrix::zeros(4, 1);
+        for (k, &v) in vals.iter().enumerate() {
+            let row = (k % 2) as u32 * 2; // rows 0 and 2, interleaved
+            sg.push_row(row, &[v]);
+            dense.row_mut(row as usize)[0] += v;
+        }
+        sg.coalesce();
+        assert_eq!(sg.to_dense(4), dense);
+    }
+
+    #[test]
+    fn push_rows_takes_gather_shaped_blocks() {
+        let mut sg = SparseRowGrad::new(3);
+        let block = Matrix::from_fn(2, 3, |i, j| (i * 3 + j) as f32);
+        sg.push_rows(&[5, 0], &block);
+        sg.coalesce();
+        let d = sg.to_dense(6);
+        assert_eq!(d.row(0), &[3.0, 4.0, 5.0]);
+        assert_eq!(d.row(5), &[0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn clear_keeps_capacity_and_scale_applies() {
+        let mut sg = SparseRowGrad::new(2);
+        sg.push_row(0, &[2.0, -4.0]);
+        sg.coalesce();
+        sg.scale(0.5);
+        assert_eq!(sg.iter().next().unwrap().1, &[1.0, -2.0]);
+        assert!((sg.l2_sq() - 5.0).abs() < 1e-6);
+        sg.clear();
+        assert!(sg.is_empty() && sg.is_coalesced());
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn rejects_wrong_width() {
+        let mut sg = SparseRowGrad::new(2);
+        sg.push_row(0, &[1.0]);
+    }
+}

@@ -13,6 +13,9 @@ cargo test -q
 echo "==> serve smoke (one request per endpoint over TCP)"
 cargo run --release -p atnn-serve --bin atnn_serve -- --scale tiny --smoke
 
+echo "==> allocation budget (steady-state train step, counting allocator)"
+cargo test --release -q -p atnn-core --test alloc_budget
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
