@@ -385,7 +385,8 @@ mod tests {
         let data = TmallDataset::generate(cfg.clone());
         let mut model = Atnn::new(AtnnConfig::scaled(), &data);
         CtrTrainer::new(TrainOptions { epochs: 1, ..Default::default() })
-            .train(&mut model, &data, None);
+            .train(&mut model, &data, None)
+            .unwrap();
         (model, data, cfg)
     }
 

@@ -107,6 +107,7 @@ impl ConcatDnn {
         users: &FeatureBlock,
         labels: &Matrix,
     ) -> f32 {
+        let t0 = atnn_obs::timing_enabled().then(std::time::Instant::now);
         self.store.zero_grads(&self.group);
         let mut g = Graph::new();
         let logits = self.forward(&mut g, profile, stats, users);
@@ -115,6 +116,13 @@ impl ConcatDnn {
         g.backward(loss, &mut self.store);
         clip_grad_norm(&mut self.store, &self.group, self.grad_clip);
         self.opt.step(&mut self.store);
+        if let Some(t0) = t0 {
+            atnn_obs::emit(&atnn_obs::Event::StepTiming {
+                section: "concat_dnn.train_step".into(),
+                ns: t0.elapsed().as_nanos() as u64,
+                rows: labels.rows() as u64,
+            });
+        }
         value
     }
 

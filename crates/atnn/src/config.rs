@@ -1,4 +1,37 @@
 //! Model configuration.
+//!
+//! [`AtnnConfig`] and [`crate::TrainOptions`] are `#[non_exhaustive]`:
+//! out-of-crate code constructs them through the presets
+//! ([`AtnnConfig::paper`], [`AtnnConfig::scaled`], …) or through the
+//! validating builders ([`AtnnConfig::builder`] /
+//! [`crate::TrainOptions::builder`]), which reject nonsensical values at
+//! construction instead of panicking mid-train. To tweak a preset, go
+//! through [`AtnnConfig::to_builder`].
+
+use std::fmt;
+
+/// A configuration value rejected by a builder's `build()`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// The offending field, e.g. `"batch_size"`.
+    pub field: &'static str,
+    /// Why the value was rejected.
+    pub reason: &'static str,
+}
+
+impl ConfigError {
+    pub(crate) fn new(field: &'static str, reason: &'static str) -> Self {
+        ConfigError { field, reason }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid config: {}: {}", self.field, self.reason)
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// How the adversarial component is realized.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -19,7 +52,13 @@ pub enum AdversarialMode {
 
 /// Hyper-parameters of [`crate::Atnn`] (and the TNN baselines, which are
 /// configurations of the same architecture).
+///
+/// `#[non_exhaustive]`: construct via a preset ([`AtnnConfig::paper`],
+/// [`AtnnConfig::scaled`], [`AtnnConfig::tnn_dcn`], [`AtnnConfig::tnn_fc`])
+/// or the validating [`AtnnConfig::builder`]; customize a preset with
+/// [`AtnnConfig::to_builder`].
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub struct AtnnConfig {
     /// Width of the final item/user vectors (the paper uses 128).
     pub vec_dim: usize,
@@ -107,6 +146,135 @@ impl AtnnConfig {
         self.seed = seed;
         self
     }
+
+    /// A validating builder seeded from [`AtnnConfig::scaled`] (the
+    /// workspace's default working scale).
+    pub fn builder() -> AtnnConfigBuilder {
+        Self::scaled().to_builder()
+    }
+
+    /// A validating builder seeded from `self` — the way to customize a
+    /// preset field-by-field from outside this crate.
+    pub fn to_builder(self) -> AtnnConfigBuilder {
+        AtnnConfigBuilder { cfg: self }
+    }
+}
+
+/// Builder for [`AtnnConfig`]; returned by [`AtnnConfig::builder`] /
+/// [`AtnnConfig::to_builder`]. [`AtnnConfigBuilder::build`] validates.
+#[derive(Debug, Clone)]
+pub struct AtnnConfigBuilder {
+    cfg: AtnnConfig,
+}
+
+impl AtnnConfigBuilder {
+    /// Sets the final item/user vector width.
+    pub fn vec_dim(mut self, v: usize) -> Self {
+        self.cfg.vec_dim = v;
+        self
+    }
+
+    /// Sets the hidden widths of the deep part of each tower.
+    pub fn deep_dims(mut self, v: Vec<usize>) -> Self {
+        self.cfg.deep_dims = v;
+        self
+    }
+
+    /// Sets the number of DCN cross layers.
+    pub fn cross_depth(mut self, v: usize) -> Self {
+        self.cfg.cross_depth = v;
+        self
+    }
+
+    /// Enables/disables the cross network.
+    pub fn use_cross(mut self, v: bool) -> Self {
+        self.cfg.use_cross = v;
+        self
+    }
+
+    /// Sets the adversarial component mode.
+    pub fn adversarial(mut self, v: AdversarialMode) -> Self {
+        self.cfg.adversarial = v;
+        self
+    }
+
+    /// Shares (or unshares) generator/encoder embedding tables.
+    pub fn shared_embeddings(mut self, v: bool) -> Self {
+        self.cfg.shared_embeddings = v;
+        self
+    }
+
+    /// Sets λ, the similarity-loss weight in the generator step.
+    pub fn lambda(mut self, v: f32) -> Self {
+        self.cfg.lambda = v;
+        self
+    }
+
+    /// Sets the learned discriminator's hidden widths.
+    pub fn disc_dims(mut self, v: Vec<usize>) -> Self {
+        self.cfg.disc_dims = v;
+        self
+    }
+
+    /// Sets the cap on per-field embedding width.
+    pub fn max_embed_dim(mut self, v: usize) -> Self {
+        self.cfg.max_embed_dim = v;
+        self
+    }
+
+    /// Sets the dropout rate on tower hidden layers.
+    pub fn dropout(mut self, v: f32) -> Self {
+        self.cfg.dropout = v;
+        self
+    }
+
+    /// Sets the Adam learning rate.
+    pub fn learning_rate(mut self, v: f32) -> Self {
+        self.cfg.learning_rate = v;
+        self
+    }
+
+    /// Sets the gradient-clipping threshold.
+    pub fn grad_clip(mut self, v: f32) -> Self {
+        self.cfg.grad_clip = v;
+        self
+    }
+
+    /// Sets the weight-initialization / dropout seed.
+    pub fn seed(mut self, v: u64) -> Self {
+        self.cfg.seed = v;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<AtnnConfig, ConfigError> {
+        let c = &self.cfg;
+        if c.vec_dim == 0 {
+            return Err(ConfigError::new("vec_dim", "must be positive"));
+        }
+        if c.max_embed_dim == 0 {
+            return Err(ConfigError::new("max_embed_dim", "must be positive"));
+        }
+        if !(c.learning_rate > 0.0 && c.learning_rate.is_finite()) {
+            return Err(ConfigError::new("learning_rate", "must be positive and finite"));
+        }
+        if !(c.grad_clip > 0.0 && c.grad_clip.is_finite()) {
+            return Err(ConfigError::new("grad_clip", "must be positive and finite"));
+        }
+        if !(0.0..1.0).contains(&c.dropout) {
+            return Err(ConfigError::new("dropout", "must be in [0, 1)"));
+        }
+        if !(c.lambda >= 0.0 && c.lambda.is_finite()) {
+            return Err(ConfigError::new("lambda", "must be non-negative and finite"));
+        }
+        if c.adversarial == AdversarialMode::LearnedDiscriminator && c.disc_dims.is_empty() {
+            return Err(ConfigError::new(
+                "disc_dims",
+                "learned discriminator needs at least one hidden layer",
+            ));
+        }
+        Ok(self.cfg)
+    }
 }
 
 /// Embedding width for a categorical field: `ceil(1.7 · vocab^0.25)`
@@ -137,6 +305,39 @@ mod tests {
         assert_eq!(AtnnConfig::tnn_dcn().adversarial, AdversarialMode::None);
         assert!(AtnnConfig::tnn_dcn().use_cross);
         assert!(!AtnnConfig::tnn_fc().use_cross);
+    }
+
+    #[test]
+    fn builder_validates_and_roundtrips_presets() {
+        // A no-op to_builder().build() is the identity on every preset.
+        for preset in
+            [AtnnConfig::paper(), AtnnConfig::scaled(), AtnnConfig::tnn_dcn(), AtnnConfig::tnn_fc()]
+        {
+            assert_eq!(preset.clone().to_builder().build().unwrap(), preset);
+        }
+        let custom = AtnnConfig::builder().lambda(1.0).seed(7).build().unwrap();
+        assert_eq!(custom.lambda, 1.0);
+        assert_eq!(custom.seed, 7);
+        assert_eq!(custom.vec_dim, AtnnConfig::scaled().vec_dim, "builder starts from scaled");
+
+        for (build, field) in [
+            (AtnnConfig::builder().vec_dim(0).build(), "vec_dim"),
+            (AtnnConfig::builder().learning_rate(0.0).build(), "learning_rate"),
+            (AtnnConfig::builder().learning_rate(f32::NAN).build(), "learning_rate"),
+            (AtnnConfig::builder().grad_clip(-1.0).build(), "grad_clip"),
+            (AtnnConfig::builder().dropout(1.0).build(), "dropout"),
+            (AtnnConfig::builder().lambda(-0.5).build(), "lambda"),
+            (AtnnConfig::builder().max_embed_dim(0).build(), "max_embed_dim"),
+            (
+                AtnnConfig::builder()
+                    .adversarial(AdversarialMode::LearnedDiscriminator)
+                    .disc_dims(vec![])
+                    .build(),
+                "disc_dims",
+            ),
+        ] {
+            assert_eq!(build.unwrap_err().field, field);
+        }
     }
 
     #[test]

@@ -317,7 +317,8 @@ mod tests {
         });
         let mut model = Atnn::new(AtnnConfig::scaled(), &data);
         CtrTrainer::new(TrainOptions { epochs: 2, ..Default::default() })
-            .train(&mut model, &data, None);
+            .train(&mut model, &data, None)
+            .unwrap();
         (model, data)
     }
 }

@@ -42,8 +42,8 @@
 //!
 //! let data = TmallDataset::generate(TmallConfig::tiny());
 //! let mut model = Atnn::new(AtnnConfig::scaled(), &data);
-//! let report = CtrTrainer::new(TrainOptions { epochs: 1, ..Default::default() })
-//!     .train(&mut model, &data, None);
+//! let opts = TrainOptions::builder().epochs(1).build().expect("valid options");
+//! let report = CtrTrainer::new(opts).train(&mut model, &data, None).expect("training runs");
 //! assert!(report.epochs[0].loss_i.is_finite());
 //!
 //! // O(1) cold-start popularity for three brand-new items:
@@ -65,7 +65,7 @@ mod trainer;
 
 pub use artifact::{ArtifactError, InstantiatedModel, ModelArtifact};
 pub use concat_dnn::ConcatDnn;
-pub use config::{embed_dim_for, AdversarialMode, AtnnConfig};
+pub use config::{embed_dim_for, AdversarialMode, AtnnConfig, AtnnConfigBuilder, ConfigError};
 pub use features::FeatureEncoder;
 pub use grouping::{GroupedPopularityIndex, KMeans};
 pub use model::{Atnn, StepLosses};
@@ -76,5 +76,5 @@ pub use popularity::{
 pub use towers::Tower;
 pub use trainer::{
     evaluate_auc_full, evaluate_auc_generated, evaluate_auc_imputed, gather_batch, CtrTrainer,
-    EpochStats, TrainOptions, TrainReport,
+    EpochStats, TrainError, TrainOptions, TrainOptionsBuilder, TrainReport,
 };

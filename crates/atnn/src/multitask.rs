@@ -281,7 +281,17 @@ impl MultiTaskAtnn {
             let mut batches = 0;
             while let Some(batch) = iter.next_batch() {
                 let ids: Vec<u32> = batch.to_vec();
+                // Gated on the obs enabled flag: disabled cost is one
+                // atomic load per batch.
+                let t0 = atnn_obs::timing_enabled().then(std::time::Instant::now);
                 let (d, gl, s) = self.train_step(data, &ids, opts);
+                if let Some(t0) = t0 {
+                    atnn_obs::emit(&atnn_obs::Event::StepTiming {
+                        section: "multitask.train_step".into(),
+                        ns: t0.elapsed().as_nanos() as u64,
+                        rows: ids.len() as u64,
+                    });
+                }
                 acc.0 += d;
                 acc.1 += gl;
                 acc.2 += s;
@@ -289,12 +299,19 @@ impl MultiTaskAtnn {
             }
             iter.next_epoch();
             let n = batches.max(1) as f32;
-            reports.push(MultiTaskReport {
-                epoch,
-                loss_d: acc.0 / n,
-                loss_g: acc.1 / n,
-                loss_s: acc.2 / n,
+            let report =
+                MultiTaskReport { epoch, loss_d: acc.0 / n, loss_g: acc.1 / n, loss_s: acc.2 / n };
+            // `loss_i` carries the D-step loss: the multi-task D step
+            // plays the same role the CTR loss plays in `CtrTrainer`.
+            atnn_obs::emit(&atnn_obs::Event::EpochEnd {
+                model: "multitask".into(),
+                epoch: epoch as u64,
+                loss_i: report.loss_d,
+                loss_g: report.loss_g,
+                loss_s: report.loss_s,
+                val_auc: None,
             });
+            reports.push(report);
         }
         reports
     }

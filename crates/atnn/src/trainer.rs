@@ -3,12 +3,61 @@
 use atnn_data::dataset::BatchIter;
 use atnn_data::schema::FeatureBlock;
 use atnn_data::tmall::TmallDataset;
+use atnn_obs::{Event, StderrSink};
 use atnn_tensor::{pool, Matrix, Rng64};
 
+use crate::config::ConfigError;
 use crate::model::{Atnn, StepLosses};
 
+/// Why a training run could not start or finish.
+#[derive(Debug)]
+pub enum TrainError {
+    /// The training row set was empty.
+    EmptyTrainingSet,
+    /// `train_with_validation` was given an empty validation set.
+    EmptyValidationSet,
+    /// Negative downsampling removed every training row.
+    DownsampledToEmpty,
+    /// Restoring the best-epoch checkpoint after early stopping failed
+    /// (the blob came from [`Atnn::save`] moments earlier, so this
+    /// indicates memory corruption rather than user error).
+    Restore(atnn_nn::NnError),
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::EmptyTrainingSet => write!(f, "empty training set"),
+            TrainError::EmptyValidationSet => write!(f, "empty validation set"),
+            TrainError::DownsampledToEmpty => {
+                write!(f, "negative downsampling removed every training row")
+            }
+            TrainError::Restore(e) => write!(f, "restore best checkpoint: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TrainError::Restore(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<atnn_nn::NnError> for TrainError {
+    fn from(e: atnn_nn::NnError) -> Self {
+        TrainError::Restore(e)
+    }
+}
+
 /// Options for [`CtrTrainer`].
+///
+/// `#[non_exhaustive]`: construct via [`TrainOptions::default`] or the
+/// validating [`TrainOptions::builder`].
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct TrainOptions {
     /// Passes over the training interactions.
     pub epochs: usize,
@@ -35,6 +84,70 @@ impl Default for TrainOptions {
             verbose: false,
             negative_keep_rate: None,
         }
+    }
+}
+
+impl TrainOptions {
+    /// A validating builder seeded from [`TrainOptions::default`].
+    pub fn builder() -> TrainOptionsBuilder {
+        TrainOptionsBuilder { opts: TrainOptions::default() }
+    }
+}
+
+/// Builder for [`TrainOptions`]; [`TrainOptionsBuilder::build`] rejects
+/// zero `epochs`/`batch_size` and out-of-range `negative_keep_rate` at
+/// construction instead of panicking (or looping forever) mid-train.
+#[derive(Debug, Clone)]
+pub struct TrainOptionsBuilder {
+    opts: TrainOptions,
+}
+
+impl TrainOptionsBuilder {
+    /// Sets the number of passes over the training interactions.
+    pub fn epochs(mut self, v: usize) -> Self {
+        self.opts.epochs = v;
+        self
+    }
+
+    /// Sets the mini-batch size.
+    pub fn batch_size(mut self, v: usize) -> Self {
+        self.opts.batch_size = v;
+        self
+    }
+
+    /// Sets the shuffle seed.
+    pub fn seed(mut self, v: u64) -> Self {
+        self.opts.seed = v;
+        self
+    }
+
+    /// Enables one human-readable progress line per epoch on stderr.
+    pub fn verbose(mut self, v: bool) -> Self {
+        self.opts.verbose = v;
+        self
+    }
+
+    /// Sets the negative-downsampling keep rate (`None` keeps everything).
+    pub fn negative_keep_rate(mut self, v: Option<f32>) -> Self {
+        self.opts.negative_keep_rate = v;
+        self
+    }
+
+    /// Validates and returns the options.
+    pub fn build(self) -> Result<TrainOptions, ConfigError> {
+        let o = &self.opts;
+        if o.epochs == 0 {
+            return Err(ConfigError::new("epochs", "must be positive"));
+        }
+        if o.batch_size == 0 {
+            return Err(ConfigError::new("batch_size", "must be positive"));
+        }
+        if let Some(keep) = o.negative_keep_rate {
+            if !(keep > 0.0 && keep <= 1.0) {
+                return Err(ConfigError::new("negative_keep_rate", "must be in (0, 1]"));
+            }
+        }
+        Ok(self.opts)
     }
 }
 
@@ -78,12 +191,16 @@ impl CtrTrainer {
     }
 
     /// Trains on `rows` (indices into `data.interactions`; `None` = all).
+    ///
+    /// # Errors
+    /// [`TrainError::EmptyTrainingSet`] / [`TrainError::DownsampledToEmpty`]
+    /// when no rows are left to train on.
     pub fn train(
         &self,
         model: &mut Atnn,
         data: &TmallDataset,
         rows: Option<&[u32]>,
-    ) -> TrainReport {
+    ) -> Result<TrainReport, TrainError> {
         self.run(model, data, rows, None, 0)
     }
 
@@ -91,6 +208,11 @@ impl CtrTrainer {
     /// (generated-path) AUC on `val_rows` is measured; when it fails to
     /// improve for `patience` consecutive epochs, training stops and the
     /// weights of the best epoch are restored.
+    ///
+    /// # Errors
+    /// [`TrainError::EmptyValidationSet`] when `val_rows` is empty, the
+    /// [`CtrTrainer::train`] errors for degenerate training sets, and
+    /// [`TrainError::Restore`] if reloading the best checkpoint fails.
     pub fn train_with_validation(
         &self,
         model: &mut Atnn,
@@ -98,8 +220,10 @@ impl CtrTrainer {
         train_rows: &[u32],
         val_rows: &[u32],
         patience: usize,
-    ) -> TrainReport {
-        assert!(!val_rows.is_empty(), "CtrTrainer: empty validation set");
+    ) -> Result<TrainReport, TrainError> {
+        if val_rows.is_empty() {
+            return Err(TrainError::EmptyValidationSet);
+        }
         self.run(model, data, Some(train_rows), Some(val_rows), patience)
     }
 
@@ -110,7 +234,7 @@ impl CtrTrainer {
         rows: Option<&[u32]>,
         val_rows: Option<&[u32]>,
         patience: usize,
-    ) -> TrainReport {
+    ) -> Result<TrainReport, TrainError> {
         let all: Vec<u32>;
         let rows = match rows {
             Some(r) => r,
@@ -119,7 +243,9 @@ impl CtrTrainer {
                 &all
             }
         };
-        assert!(!rows.is_empty(), "CtrTrainer: empty training set");
+        if rows.is_empty() {
+            return Err(TrainError::EmptyTrainingSet);
+        }
         let rows: Vec<u32> = match self.opts.negative_keep_rate {
             Some(keep) => {
                 let labels: Vec<bool> =
@@ -132,7 +258,9 @@ impl CtrTrainer {
             }
             None => rows.to_vec(),
         };
-        assert!(!rows.is_empty(), "CtrTrainer: downsampling removed every row");
+        if rows.is_empty() {
+            return Err(TrainError::DownsampledToEmpty);
+        }
         let mut iter = BatchIter::new(
             rows.clone(),
             self.opts.batch_size,
@@ -148,7 +276,18 @@ impl CtrTrainer {
             let mut batches = 0usize;
             while let Some(batch) = iter.next_batch() {
                 let (profile, stats, users, labels) = gather_batch(data, batch);
+                // Step timing is gated on the obs enabled flag: with no
+                // active sink the cost is one atomic load per batch (the
+                // alloc-budget test depends on this path staying silent).
+                let t0 = atnn_obs::timing_enabled().then(std::time::Instant::now);
                 let losses = model.train_step(&profile, &stats, &users, &labels);
+                if let Some(t0) = t0 {
+                    atnn_obs::emit(&Event::StepTiming {
+                        section: "ctr.train_step".into(),
+                        ns: t0.elapsed().as_nanos() as u64,
+                        rows: batch.len() as u64,
+                    });
+                }
                 acc.loss_i += losses.loss_i;
                 acc.loss_g += losses.loss_g;
                 acc.loss_s += losses.loss_s;
@@ -165,15 +304,18 @@ impl CtrTrainer {
                 loss_s: acc.loss_s / n,
                 val_auc,
             };
+            let epoch_event = Event::EpochEnd {
+                model: "ctr".into(),
+                epoch: epoch as u64,
+                loss_i: stats.loss_i,
+                loss_g: stats.loss_g,
+                loss_s: stats.loss_s,
+                val_auc,
+            };
             if self.opts.verbose {
-                eprintln!(
-                    "epoch {epoch}: L_i={:.4} L_g={:.4} L_s={:.4}{}",
-                    stats.loss_i,
-                    stats.loss_g,
-                    stats.loss_s,
-                    val_auc.map(|a| format!(" val_auc={a:.4}")).unwrap_or_default()
-                );
+                eprintln!("{}", StderrSink::render(&epoch_event));
             }
+            atnn_obs::emit(&epoch_event);
             report.epochs.push(stats);
 
             if let Some(auc) = val_auc {
@@ -185,6 +327,11 @@ impl CtrTrainer {
                 } else {
                     since_best += 1;
                     if since_best > patience {
+                        atnn_obs::emit(&Event::EarlyStop {
+                            model: "ctr".into(),
+                            stopped_epoch: epoch as u64,
+                            best_epoch: report.best_epoch as u64,
+                        });
                         break;
                     }
                 }
@@ -193,9 +340,9 @@ impl CtrTrainer {
             }
         }
         if let Some(blob) = best_weights {
-            model.load(blob).expect("restore best checkpoint");
+            model.load(blob)?;
         }
-        report
+        Ok(report)
     }
 }
 
@@ -299,11 +446,9 @@ mod tests {
         let split = Split::by_group(&item_keys, |item| item >= 240);
         let mut model = Atnn::new(AtnnConfig::scaled(), &data);
         let before = evaluate_auc_full(&model, &data, &split.test).unwrap();
-        let report = CtrTrainer::new(TrainOptions { epochs: 2, ..Default::default() }).train(
-            &mut model,
-            &data,
-            Some(&split.train),
-        );
+        let report = CtrTrainer::new(TrainOptions { epochs: 2, ..Default::default() })
+            .train(&mut model, &data, Some(&split.train))
+            .unwrap();
         let after = evaluate_auc_full(&model, &data, &split.test).unwrap();
         assert!(after > before.max(0.55), "AUC {before} -> {after}");
         // Losses decline across epochs.
@@ -316,11 +461,9 @@ mod tests {
         let item_keys: Vec<u32> = data.interactions.iter().map(|i| i.item).collect();
         let split = Split::by_group(&item_keys, |item| item >= 240);
         let mut model = Atnn::new(AtnnConfig::scaled(), &data);
-        CtrTrainer::new(TrainOptions { epochs: 2, ..Default::default() }).train(
-            &mut model,
-            &data,
-            Some(&split.train),
-        );
+        CtrTrainer::new(TrainOptions { epochs: 2, ..Default::default() })
+            .train(&mut model, &data, Some(&split.train))
+            .unwrap();
         let gen_auc = evaluate_auc_generated(&model, &data, &split.test).unwrap();
         assert!(gen_auc > 0.55, "cold-start AUC {gen_auc}");
     }
@@ -344,7 +487,7 @@ mod tests {
         let split = Split::by_group(&item_keys, |item| item >= 240);
         let mut model = Atnn::new(AtnnConfig::scaled(), &data);
         let opts = TrainOptions { epochs: 3, negative_keep_rate: Some(0.4), ..Default::default() };
-        CtrTrainer::new(opts).train(&mut model, &data, Some(&split.train));
+        CtrTrainer::new(opts).train(&mut model, &data, Some(&split.train)).unwrap();
         let auc = evaluate_auc_full(&model, &data, &split.test).unwrap();
         assert!(auc > 0.62, "downsampled training must still rank: {auc:.4}");
     }
@@ -359,7 +502,8 @@ mod tests {
         let (val, train) = split.train.split_at(split.train.len() / 5);
         let mut model = Atnn::new(AtnnConfig::scaled(), &data);
         let report = CtrTrainer::new(TrainOptions { epochs: 4, ..Default::default() })
-            .train_with_validation(&mut model, &data, train, val, 1);
+            .train_with_validation(&mut model, &data, train, val, 1)
+            .unwrap();
         assert!(!report.epochs.is_empty());
         assert!(report.best_epoch < report.epochs.len());
         for e in &report.epochs {
@@ -388,7 +532,8 @@ mod tests {
         // Patience 0: stop at the first non-improving epoch. With a large
         // epoch budget this must terminate well before exhausting it.
         let report = CtrTrainer::new(TrainOptions { epochs: 50, ..Default::default() })
-            .train_with_validation(&mut model, &data, train, val, 0);
+            .train_with_validation(&mut model, &data, train, val, 0)
+            .unwrap();
         assert!(
             report.epochs.len() < 50,
             "expected an early stop, ran all {} epochs",
@@ -397,10 +542,44 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "empty training set")]
-    fn rejects_empty_training_set() {
+    fn degenerate_row_sets_are_typed_errors_not_panics() {
         let data = data();
         let mut model = Atnn::new(AtnnConfig::scaled(), &data);
-        let _ = CtrTrainer::new(TrainOptions::default()).train(&mut model, &data, Some(&[]));
+        let trainer = CtrTrainer::new(TrainOptions::default());
+        assert!(matches!(
+            trainer.train(&mut model, &data, Some(&[])),
+            Err(TrainError::EmptyTrainingSet)
+        ));
+        assert!(matches!(
+            trainer.train_with_validation(&mut model, &data, &[0, 1, 2], &[], 1),
+            Err(TrainError::EmptyValidationSet)
+        ));
+    }
+
+    #[test]
+    fn train_options_builder_validates() {
+        let opts = TrainOptions::builder()
+            .epochs(5)
+            .batch_size(64)
+            .seed(3)
+            .verbose(false)
+            .negative_keep_rate(Some(0.5))
+            .build()
+            .unwrap();
+        assert_eq!((opts.epochs, opts.batch_size, opts.seed), (5, 64, 3));
+        assert_eq!(opts.negative_keep_rate, Some(0.5));
+
+        for (build, field) in [
+            (TrainOptions::builder().epochs(0).build(), "epochs"),
+            (TrainOptions::builder().batch_size(0).build(), "batch_size"),
+            (TrainOptions::builder().negative_keep_rate(Some(0.0)).build(), "negative_keep_rate"),
+            (TrainOptions::builder().negative_keep_rate(Some(1.5)).build(), "negative_keep_rate"),
+            (
+                TrainOptions::builder().negative_keep_rate(Some(f32::NAN)).build(),
+                "negative_keep_rate",
+            ),
+        ] {
+            assert_eq!(build.unwrap_err().field, field);
+        }
     }
 }

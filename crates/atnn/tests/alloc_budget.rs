@@ -63,6 +63,15 @@ const MEASURED_STEPS: usize = 10;
 
 #[test]
 fn steady_state_train_step_stays_within_alloc_budget() {
+    // The observability layer must be free when no active sink is
+    // installed: a NullSink reports `active() == false`, so the hub stays
+    // disabled and every producer's telemetry path is one atomic load —
+    // the budget below is asserted with the sink in place.
+    let _sink = atnn_obs::install_scoped(std::sync::Arc::new(atnn_obs::NullSink));
+    assert!(
+        !atnn_obs::enabled(),
+        "NullSink must leave the obs hub disabled; the alloc budget assumes the no-op path"
+    );
     pool::with_threads(1, || {
         let data = TmallDataset::generate(TmallConfig::tiny());
         let mut model = Atnn::new(AtnnConfig::scaled(), &data);

@@ -14,8 +14,8 @@ fn train_once(threads: usize) -> (bytes::Bytes, f64) {
     pool::with_threads(threads, || {
         let data = TmallDataset::generate(TmallConfig::tiny());
         let mut model = Atnn::new(AtnnConfig::scaled(), &data);
-        let opts = TrainOptions { epochs: 2, ..Default::default() };
-        CtrTrainer::new(opts).train(&mut model, &data, None);
+        let opts = TrainOptions::builder().epochs(2).build().expect("valid options");
+        CtrTrainer::new(opts).train(&mut model, &data, None).expect("training runs");
         let rows: Vec<u32> = (0..data.interactions.len() as u32).collect();
         let auc = evaluate_auc_full(&model, &data, &rows).expect("AUC defined");
         (model.save(), auc)

@@ -1,0 +1,117 @@
+//! The trainer's event stream must agree with its returned report: one
+//! `EpochEnd` per trained epoch, step timings for every batch, and an
+//! `EarlyStop` exactly when the report says training stopped early.
+
+use std::sync::{Arc, Mutex};
+
+use atnn_core::{Atnn, AtnnConfig, CtrTrainer, TrainOptions};
+use atnn_data::tmall::{TmallConfig, TmallDataset};
+use atnn_obs::{CaptureSink, Event};
+
+/// Sinks are process-global; tests in this binary take turns.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn tiny_data() -> TmallDataset {
+    TmallDataset::generate(TmallConfig {
+        num_users: 50,
+        num_items: 100,
+        num_interactions: 800,
+        ..TmallConfig::tiny()
+    })
+}
+
+#[test]
+fn one_epoch_end_event_per_reported_epoch() {
+    let _turn = SERIAL.lock().unwrap();
+    let sink = Arc::new(CaptureSink::default());
+    let _guard = atnn_obs::install_scoped(sink.clone());
+
+    let data = tiny_data();
+    let mut model = Atnn::new(AtnnConfig::scaled(), &data);
+    let opts = TrainOptions::builder().epochs(3).build().expect("valid options");
+    let report = CtrTrainer::new(opts).train(&mut model, &data, None).expect("training runs");
+
+    let events = sink.take();
+    let epoch_ends: Vec<&Event> = events
+        .iter()
+        .filter(|e| matches!(e, Event::EpochEnd { model, .. } if model == "ctr"))
+        .collect();
+    assert_eq!(
+        epoch_ends.len(),
+        report.epochs.len(),
+        "EpochEnd events must match TrainReport.epochs"
+    );
+    // Epoch numbers are 0-based and consecutive; losses mirror the report.
+    for (i, (event, reported)) in epoch_ends.iter().zip(&report.epochs).enumerate() {
+        match event {
+            Event::EpochEnd { epoch, loss_i, loss_g, loss_s, val_auc, .. } => {
+                assert_eq!(*epoch, i as u64);
+                assert_eq!(*loss_i, reported.loss_i);
+                assert_eq!(*loss_g, reported.loss_g);
+                assert_eq!(*loss_s, reported.loss_s);
+                assert_eq!(*val_auc, reported.val_auc);
+            }
+            _ => unreachable!(),
+        }
+    }
+    // Every batch produced a step timing with a plausible payload.
+    let steps: Vec<&Event> = events
+        .iter()
+        .filter(|e| matches!(e, Event::StepTiming { section, .. } if section == "ctr.train_step"))
+        .collect();
+    assert!(
+        steps.len() >= report.epochs.len(),
+        "at least one StepTiming per epoch, got {}",
+        steps.len()
+    );
+    for step in steps {
+        match step {
+            Event::StepTiming { ns, rows, .. } => {
+                assert!(*ns > 0);
+                assert!(*rows > 0);
+            }
+            _ => unreachable!(),
+        }
+    }
+}
+
+#[test]
+fn early_stop_event_matches_the_report() {
+    let _turn = SERIAL.lock().unwrap();
+    let sink = Arc::new(CaptureSink::default());
+    let _guard = atnn_obs::install_scoped(sink.clone());
+
+    let data = tiny_data();
+    let mut model = Atnn::new(AtnnConfig::scaled(), &data);
+    // Split a validation slice so early stopping is armed; patience 1
+    // with many epochs makes a stop overwhelmingly likely at this scale.
+    let all: Vec<u32> = (0..data.interactions.len() as u32).collect();
+    let (val, train) = all.split_at(all.len() / 5);
+    let opts = TrainOptions::builder().epochs(40).build().expect("valid options");
+    let report = CtrTrainer::new(opts)
+        .train_with_validation(&mut model, &data, train, val, 1)
+        .expect("training runs");
+
+    let events = sink.take();
+    let stops: Vec<&Event> =
+        events.iter().filter(|e| matches!(e, Event::EarlyStop { .. })).collect();
+    let stopped_early = report.epochs.len() < 40;
+    if stopped_early {
+        assert_eq!(stops.len(), 1, "exactly one EarlyStop when training stopped early");
+        match stops[0] {
+            Event::EarlyStop { stopped_epoch, best_epoch, .. } => {
+                assert_eq!(*stopped_epoch, report.epochs.len() as u64 - 1);
+                assert_eq!(*best_epoch, report.best_epoch as u64);
+            }
+            _ => unreachable!(),
+        }
+    } else {
+        assert!(stops.is_empty(), "no EarlyStop when training ran to completion");
+    }
+    // Epoch accounting holds on the validation path too.
+    let epoch_ends = events
+        .iter()
+        .filter(|e| matches!(e, Event::EpochEnd { model, .. } if model == "ctr"))
+        .count();
+    assert_eq!(epoch_ends, report.epochs.len());
+}

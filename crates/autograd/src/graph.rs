@@ -404,6 +404,9 @@ impl Graph {
     /// Panics when `loss` is not `1 x 1`.
     pub fn backward(&mut self, loss: Var, store: &mut ParamStore) {
         assert_eq!(self.val(loss).shape(), (1, 1), "backward: loss must be a scalar node");
+        // Timing is gated on the obs enabled flag so the disabled cost is
+        // one atomic load — no `Instant::now`, no event, no allocation.
+        let t0 = atnn_obs::timing_enabled().then(std::time::Instant::now);
         let Graph { nodes, ws, grad_slots } = self;
         grad_slots.clear();
         grad_slots.resize_with(nodes.len(), || None);
@@ -693,6 +696,12 @@ impl Graph {
             }
         }
         store.coalesce_sparse_grads();
+        if let Some(t0) = t0 {
+            atnn_obs::emit(&atnn_obs::Event::Backward {
+                ns: t0.elapsed().as_nanos() as u64,
+                nodes: loss.0 as u64 + 1,
+            });
+        }
     }
 }
 

@@ -1,0 +1,342 @@
+//! One uniform train/predict surface over every baseline.
+//!
+//! The inherent `fit` constructors keep their original shapes (and their
+//! documented panics — existing callers and `#[should_panic]` tests are
+//! untouched); the [`Learner`] impls validate the same preconditions up
+//! front and report them as typed [`FitError`]s instead, then delegate.
+//! That gives harness code — benchmark tables, ablation sweeps — one
+//! generic entry point:
+//!
+//! ```
+//! use atnn_baselines::{Learner, LogisticRegression, LrConfig};
+//! use atnn_tensor::Matrix;
+//!
+//! fn auc_of<L: Learner<Input = Matrix>>(cfg: L::Config, x: &Matrix, y: &[f32]) -> Vec<f32> {
+//!     let model = L::fit(cfg, x, y).expect("valid data");
+//!     model.predict(x)
+//! }
+//!
+//! let x = Matrix::from_fn(8, 2, |i, j| (i * 2 + j) as f32 / 16.0);
+//! let y = vec![0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0];
+//! let p = auc_of::<LogisticRegression>(LrConfig::default(), &x, &y);
+//! assert_eq!(p.len(), 8);
+//! ```
+
+use atnn_tensor::Matrix;
+
+use crate::fm::{FactorizationMachine, FmConfig};
+use crate::gbdt::{Gbdt, GbdtConfig};
+use crate::linear::{Ftrl, FtrlConfig, LogisticRegression, LrConfig};
+
+/// Why a [`Learner::fit`] call was rejected before training started.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FitError {
+    /// The feature block has zero rows.
+    EmptyTrainingSet,
+    /// Feature rows and label count disagree.
+    LabelMismatch {
+        /// Rows in the feature block.
+        rows: usize,
+        /// Entries in the label slice.
+        labels: usize,
+    },
+    /// A hyper-parameter is out of its valid range.
+    InvalidConfig(&'static str),
+    /// A categorical id is outside its field's declared vocabulary.
+    IdOutOfVocab {
+        /// Field index within the one-hot block.
+        field: usize,
+        /// The offending id.
+        id: u32,
+        /// The field's vocabulary size.
+        vocab: usize,
+    },
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FitError::EmptyTrainingSet => write!(f, "fit on an empty training set"),
+            FitError::LabelMismatch { rows, labels } => {
+                write!(f, "{rows} feature rows but {labels} labels")
+            }
+            FitError::InvalidConfig(why) => write!(f, "invalid config: {why}"),
+            FitError::IdOutOfVocab { field, id, vocab } => {
+                write!(f, "field {field}: id {id} out of vocab {vocab}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// A supervised baseline with a uniform fit/predict surface.
+///
+/// `Input` is the feature container the model consumes — [`Matrix`] for
+/// the dense tabular models, [`OneHotBlock`] for the sparse one-hot FM —
+/// so a generic harness can be written per input layout.
+pub trait Learner: Sized {
+    /// Hyper-parameters consumed by [`Learner::fit`].
+    type Config;
+    /// Feature container (`Matrix` for dense tabular models).
+    type Input: ?Sized;
+
+    /// Trains a model, rejecting degenerate inputs as [`FitError`]s
+    /// (where the inherent constructors would panic).
+    fn fit(cfg: Self::Config, x: &Self::Input, y: &[f32]) -> Result<Self, FitError>;
+
+    /// Per-row predictions (probabilities for the CTR objectives).
+    fn predict(&self, x: &Self::Input) -> Vec<f32>;
+}
+
+fn check_dense(x: &Matrix, y: &[f32]) -> Result<(), FitError> {
+    if x.rows() == 0 {
+        return Err(FitError::EmptyTrainingSet);
+    }
+    if x.rows() != y.len() {
+        return Err(FitError::LabelMismatch { rows: x.rows(), labels: y.len() });
+    }
+    Ok(())
+}
+
+impl Learner for LogisticRegression {
+    type Config = LrConfig;
+    type Input = Matrix;
+
+    fn fit(cfg: LrConfig, x: &Matrix, y: &[f32]) -> Result<Self, FitError> {
+        check_dense(x, y)?;
+        Ok(LogisticRegression::fit(cfg, x, y))
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f32> {
+        LogisticRegression::predict(self, x)
+    }
+}
+
+impl Learner for Ftrl {
+    type Config = FtrlConfig;
+    type Input = Matrix;
+
+    fn fit(cfg: FtrlConfig, x: &Matrix, y: &[f32]) -> Result<Self, FitError> {
+        check_dense(x, y)?;
+        Ok(Ftrl::fit(cfg, x, y))
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f32> {
+        Ftrl::predict(self, x)
+    }
+}
+
+impl Learner for FactorizationMachine {
+    type Config = FmConfig;
+    type Input = Matrix;
+
+    fn fit(cfg: FmConfig, x: &Matrix, y: &[f32]) -> Result<Self, FitError> {
+        check_dense(x, y)?;
+        if cfg.factors == 0 {
+            return Err(FitError::InvalidConfig("need at least one factor"));
+        }
+        if cfg.grad_clip.is_nan() || cfg.grad_clip <= 0.0 {
+            return Err(FitError::InvalidConfig("grad_clip must be positive"));
+        }
+        Ok(FactorizationMachine::fit(cfg, x, y))
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f32> {
+        FactorizationMachine::predict(self, x)
+    }
+}
+
+impl Learner for Gbdt {
+    type Config = GbdtConfig;
+    type Input = Matrix;
+
+    fn fit(cfg: GbdtConfig, x: &Matrix, y: &[f32]) -> Result<Self, FitError> {
+        check_dense(x, y)?;
+        Ok(Gbdt::fit(cfg, x, y))
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f32> {
+        Gbdt::predict(self, x)
+    }
+}
+
+/// The one-hot feature layout [`FactorizationMachine::fit_onehot`]
+/// consumes: categorical fields as raw ids plus a dense numeric block,
+/// never materializing the one-hot expansion.
+#[derive(Debug, Clone)]
+pub struct OneHotBlock {
+    /// `categorical[f][i]` = row `i`'s id in field `f`.
+    pub categorical: Vec<Vec<u32>>,
+    /// Vocabulary size per field.
+    pub vocabs: Vec<usize>,
+    /// Dense numeric columns appended after the one-hot blocks.
+    pub numeric: Matrix,
+}
+
+impl OneHotBlock {
+    /// Rows in the block.
+    pub fn rows(&self) -> usize {
+        if self.categorical.is_empty() {
+            self.numeric.rows()
+        } else {
+            self.categorical[0].len()
+        }
+    }
+}
+
+/// [`FactorizationMachine`] driven through the sparse one-hot path, as a
+/// learner over [`OneHotBlock`] inputs. Bit-identical to the dense FM on
+/// the materialized expansion (see `fit_onehot`).
+#[derive(Debug, Clone)]
+pub struct FmOneHot(pub FactorizationMachine);
+
+impl Learner for FmOneHot {
+    type Config = FmConfig;
+    type Input = OneHotBlock;
+
+    fn fit(cfg: FmConfig, x: &OneHotBlock, y: &[f32]) -> Result<Self, FitError> {
+        if x.categorical.len() != x.vocabs.len() {
+            return Err(FitError::InvalidConfig("field/vocab count mismatch"));
+        }
+        let n = x.rows();
+        if n == 0 {
+            return Err(FitError::EmptyTrainingSet);
+        }
+        if n != y.len() {
+            return Err(FitError::LabelMismatch { rows: n, labels: y.len() });
+        }
+        if x.numeric.rows() != n {
+            return Err(FitError::LabelMismatch { rows: n, labels: x.numeric.rows() });
+        }
+        for (f, col) in x.categorical.iter().enumerate() {
+            if col.len() != n {
+                return Err(FitError::LabelMismatch { rows: n, labels: col.len() });
+            }
+            if let Some(&id) = col.iter().find(|&&id| id as usize >= x.vocabs[f]) {
+                return Err(FitError::IdOutOfVocab { field: f, id, vocab: x.vocabs[f] });
+            }
+        }
+        if cfg.factors == 0 {
+            return Err(FitError::InvalidConfig("need at least one factor"));
+        }
+        if cfg.grad_clip.is_nan() || cfg.grad_clip <= 0.0 {
+            return Err(FitError::InvalidConfig("grad_clip must be positive"));
+        }
+        Ok(FmOneHot(FactorizationMachine::fit_onehot(
+            cfg,
+            &x.categorical,
+            &x.vocabs,
+            &x.numeric,
+            y,
+        )))
+    }
+
+    fn predict(&self, x: &OneHotBlock) -> Vec<f32> {
+        self.0.predict_onehot(&x.categorical, &x.vocabs, &x.numeric)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atnn_tensor::Rng64;
+
+    fn data(n: usize) -> (Matrix, Vec<f32>) {
+        let mut rng = Rng64::seed_from_u64(7);
+        let x = Matrix::from_fn(n, 3, |_, _| rng.normal());
+        let y =
+            (0..n).map(|i| if x.get(i, 0) + 2.0 * x.get(i, 1) > 0.0 { 1.0 } else { 0.0 }).collect();
+        (x, y)
+    }
+
+    /// The generic harness every dense baseline must satisfy.
+    fn fit_predict<L: Learner<Input = Matrix>>(cfg: L::Config, x: &Matrix, y: &[f32]) -> Vec<f32> {
+        L::fit(cfg, x, y).expect("valid data").predict(x)
+    }
+
+    #[test]
+    fn all_dense_learners_run_through_one_generic_harness() {
+        let (x, y) = data(200);
+        for preds in [
+            fit_predict::<LogisticRegression>(LrConfig::default(), &x, &y),
+            fit_predict::<Ftrl>(FtrlConfig::default(), &x, &y),
+            fit_predict::<FactorizationMachine>(FmConfig::default(), &x, &y),
+            fit_predict::<Gbdt>(GbdtConfig { num_trees: 10, ..Default::default() }, &x, &y),
+        ] {
+            assert_eq!(preds.len(), 200);
+            assert!(preds.iter().all(|p| (0.0..=1.0).contains(p)));
+        }
+    }
+
+    #[test]
+    fn trait_fit_matches_inherent_fit_exactly() {
+        let (x, y) = data(150);
+        let a =
+            <LogisticRegression as Learner>::fit(LrConfig::default(), &x, &y).unwrap().predict(&x);
+        let b = LogisticRegression::fit(LrConfig::default(), &x, &y).predict(&x);
+        assert_eq!(a, b);
+        let a = <FactorizationMachine as Learner>::fit(FmConfig::default(), &x, &y)
+            .unwrap()
+            .predict(&x);
+        let b = FactorizationMachine::fit(FmConfig::default(), &x, &y).predict(&x);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn degenerate_inputs_become_typed_errors_not_panics() {
+        let empty = Matrix::zeros(0, 3);
+        assert_eq!(
+            <LogisticRegression as Learner>::fit(LrConfig::default(), &empty, &[]).unwrap_err(),
+            FitError::EmptyTrainingSet
+        );
+        let (x, _) = data(10);
+        assert_eq!(
+            <Ftrl as Learner>::fit(FtrlConfig::default(), &x, &[1.0]).unwrap_err(),
+            FitError::LabelMismatch { rows: 10, labels: 1 }
+        );
+        let y = vec![0.0; 10];
+        assert!(matches!(
+            <FactorizationMachine as Learner>::fit(
+                FmConfig { factors: 0, ..Default::default() },
+                &x,
+                &y
+            )
+            .unwrap_err(),
+            FitError::InvalidConfig(_)
+        ));
+        assert_eq!(
+            <Gbdt as Learner>::fit(GbdtConfig::default(), &empty, &[]).unwrap_err(),
+            FitError::EmptyTrainingSet
+        );
+    }
+
+    #[test]
+    fn onehot_learner_validates_and_matches_the_inherent_path() {
+        let block = OneHotBlock {
+            categorical: vec![vec![0, 1, 2, 0], vec![3, 0, 1, 2]],
+            vocabs: vec![3, 4],
+            numeric: Matrix::from_fn(4, 1, |i, _| i as f32 / 4.0),
+        };
+        let y = [1.0, 0.0, 1.0, 0.0];
+        let cfg = FmConfig { factors: 2, epochs: 3, ..Default::default() };
+        let model = FmOneHot::fit(cfg.clone(), &block, &y).unwrap();
+        let inherent = FactorizationMachine::fit_onehot(
+            cfg,
+            &block.categorical,
+            &block.vocabs,
+            &block.numeric,
+            &y,
+        );
+        assert_eq!(
+            model.predict(&block),
+            inherent.predict_onehot(&block.categorical, &block.vocabs, &block.numeric)
+        );
+
+        let bad = OneHotBlock { vocabs: vec![3, 2], ..block.clone() };
+        assert_eq!(
+            FmOneHot::fit(FmConfig::default(), &bad, &y).unwrap_err(),
+            FitError::IdOutOfVocab { field: 1, id: 3, vocab: 2 }
+        );
+    }
+}

@@ -14,13 +14,18 @@
 //!
 //! All models consume a dense *tabular* encoding ([`tabular::flatten`])
 //! where categorical ids appear as ordinal columns — the standard way to
-//! feed mixed features to trees without one-hot blow-up.
+//! feed mixed features to trees without one-hot blow-up. The [`Learner`]
+//! trait puts one generic `fit`/`predict` surface over the whole zoo
+//! (plus [`FmOneHot`] for the sparse one-hot FM path), turning panicking
+//! preconditions into typed [`FitError`]s for harness code.
 
 mod fm;
 pub mod gbdt;
+mod learner;
 mod linear;
 pub mod tabular;
 
 pub use fm::{FactorizationMachine, FmConfig};
 pub use gbdt::{Gbdt, GbdtConfig, Objective};
+pub use learner::{FitError, FmOneHot, Learner, OneHotBlock};
 pub use linear::{Ftrl, FtrlConfig, LogisticRegression, LrConfig};

@@ -19,10 +19,11 @@ fn bench_train_step(c: &mut Criterion) {
         ("atnn_similarity", AtnnConfig::scaled()),
         (
             "atnn_learned_disc",
-            AtnnConfig {
-                adversarial: AdversarialMode::LearnedDiscriminator,
-                ..AtnnConfig::scaled()
-            },
+            AtnnConfig::scaled()
+                .to_builder()
+                .adversarial(AdversarialMode::LearnedDiscriminator)
+                .build()
+                .expect("valid config"),
         ),
     ];
     for (name, cfg) in variants {

@@ -27,8 +27,8 @@ fn setup() -> Setup {
         ..TmallConfig::tiny()
     });
     let mut model = Atnn::new(AtnnConfig::scaled(), &data);
-    CtrTrainer::new(TrainOptions { epochs: 1, ..Default::default() })
-        .train(&mut model, &data, None);
+    let opts = TrainOptions::builder().epochs(1).build().expect("valid options");
+    CtrTrainer::new(opts).train(&mut model, &data, None).expect("training runs");
     let items: Vec<u32> = (0..200).collect();
     Setup { data, model, items }
 }

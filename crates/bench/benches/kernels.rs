@@ -76,8 +76,8 @@ fn bench_train_epoch(c: &mut Criterion) {
             bench.iter(|| {
                 pool::with_threads(threads, || {
                     let mut model = Atnn::new(AtnnConfig::scaled(), &data);
-                    CtrTrainer::new(TrainOptions { epochs: 1, ..Default::default() })
-                        .train(&mut model, &data, None)
+                    let opts = TrainOptions::builder().epochs(1).build().expect("valid options");
+                    CtrTrainer::new(opts).train(&mut model, &data, None).expect("training runs")
                 })
             })
         });

@@ -23,6 +23,14 @@ fn cold_auc(setup: &ColdStartSetup, config: AtnnConfig, scale: Scale) -> f64 {
     evaluate_auc_generated(&model, &setup.data, &setup.split.test).expect("AUC defined")
 }
 
+/// The scaled preset with one knob turned — every ablation arm is a
+/// single-field builder tweak.
+fn scaled_with(
+    tweak: impl FnOnce(atnn_core::AtnnConfigBuilder) -> atnn_core::AtnnConfigBuilder,
+) -> AtnnConfig {
+    tweak(AtnnConfig::scaled().to_builder()).build().expect("valid config")
+}
+
 /// A1 — shared embeddings on/off.
 pub fn shared_embeddings(scale: Scale) -> Vec<Measurement> {
     let setup = ColdStartSetup::generate(scale);
@@ -30,11 +38,7 @@ pub fn shared_embeddings(scale: Scale) -> Vec<Measurement> {
         .into_iter()
         .map(|shared| Measurement {
             label: format!("shared_embeddings={shared}"),
-            value: cold_auc(
-                &setup,
-                AtnnConfig { shared_embeddings: shared, ..AtnnConfig::scaled() },
-                scale,
-            ),
+            value: cold_auc(&setup, scaled_with(|b| b.shared_embeddings(shared)), scale),
         })
         .collect()
 }
@@ -46,7 +50,7 @@ pub fn lambda_sweep(scale: Scale) -> Vec<Measurement> {
         .into_iter()
         .map(|lambda| Measurement {
             label: format!("lambda={lambda}"),
-            value: cold_auc(&setup, AtnnConfig { lambda, ..AtnnConfig::scaled() }, scale),
+            value: cold_auc(&setup, scaled_with(|b| b.lambda(lambda)), scale),
         })
         .collect()
 }
@@ -59,7 +63,7 @@ pub fn cross_depth(scale: Scale) -> Vec<Measurement> {
             label: format!("cross_depth={depth}"),
             value: cold_auc(
                 &setup,
-                AtnnConfig { cross_depth: depth, use_cross: depth > 0, ..AtnnConfig::scaled() },
+                scaled_with(|b| b.cross_depth(depth).use_cross(depth > 0)),
                 scale,
             ),
         })
@@ -76,7 +80,7 @@ pub fn adversarial_mode(scale: Scale) -> Vec<Measurement> {
     .into_iter()
     .map(|(name, mode)| Measurement {
         label: format!("adv={name}"),
-        value: cold_auc(&setup, AtnnConfig { adversarial: mode, ..AtnnConfig::scaled() }, scale),
+        value: cold_auc(&setup, scaled_with(|b| b.adversarial(mode)), scale),
     })
     .collect()
 }
@@ -142,11 +146,11 @@ pub fn id_embeddings(scale: Scale) -> Vec<Measurement> {
         let (warm_eval, train) = split.train.split_at(holdout);
 
         let mut model = Atnn::new(AtnnConfig::scaled(), &data);
-        CtrTrainer::new(TrainOptions {
-            epochs: crate::pipeline::epochs(scale),
-            ..Default::default()
-        })
-        .train(&mut model, &data, Some(train));
+        let opts = TrainOptions::builder()
+            .epochs(crate::pipeline::epochs(scale))
+            .build()
+            .expect("valid options");
+        CtrTrainer::new(opts).train(&mut model, &data, Some(train)).expect("training runs");
 
         let tag = if with_ids { "on" } else { "off" };
         out.push(Measurement {

@@ -59,8 +59,8 @@ fn main() {
     eprintln!("training model ({scale:?} scale)...");
     let data = TmallDataset::generate(data_cfg);
     let mut model = Atnn::new(AtnnConfig::scaled(), &data);
-    CtrTrainer::new(TrainOptions { epochs: 1, ..Default::default() })
-        .train(&mut model, &data, None);
+    let opts = TrainOptions::builder().epochs(1).build().expect("valid options");
+    CtrTrainer::new(opts).train(&mut model, &data, None).expect("training runs");
     let users: Vec<u32> = (0..data.num_users() as u32).collect();
     let index = PopularityIndex::build(&model, &data, &users);
     let num_items = data.num_items();

@@ -1,7 +1,7 @@
 //! Shared experiment plumbing: datasets, cold-start splits, and model
 //! training pipelines reused by every table.
 
-use atnn_baselines::{tabular, Gbdt, GbdtConfig, Objective};
+use atnn_baselines::{tabular, Gbdt, GbdtConfig, Learner, Objective};
 use atnn_core::{Atnn, AtnnConfig, CtrTrainer, TrainOptions};
 use atnn_data::dataset::Split;
 use atnn_data::eleme::{ElemeConfig, ElemeDataset};
@@ -82,8 +82,10 @@ impl ColdStartSetup {
 /// Trains an [`Atnn`] (or TNN variant, per `config`) on the warm split.
 pub fn train_atnn(setup: &ColdStartSetup, config: AtnnConfig, scale: Scale) -> Atnn {
     let mut model = Atnn::new(config, &setup.data);
-    let opts = TrainOptions { epochs: epochs(scale), ..Default::default() };
-    CtrTrainer::new(opts).train(&mut model, &setup.data, Some(&setup.split.train));
+    let opts = TrainOptions::builder().epochs(epochs(scale)).build().expect("valid options");
+    CtrTrainer::new(opts)
+        .train(&mut model, &setup.data, Some(&setup.split.train))
+        .expect("warm split is non-degenerate");
     model
 }
 
@@ -115,16 +117,37 @@ pub fn gbdt_features(
     (x, y)
 }
 
-/// Trains the GBDT baseline on the warm split.
-pub fn train_gbdt(setup: &ColdStartSetup, scale: Scale) -> Gbdt {
+/// Trains any dense-input [`Learner`] on the warm split's tabular
+/// features — the one generic entry point every baseline row goes
+/// through.
+pub fn train_baseline<L: Learner<Input = Matrix>>(setup: &ColdStartSetup, cfg: L::Config) -> L {
     let (x, y) = gbdt_features(&setup.data, &setup.split.train, None);
+    L::fit(cfg, &x, &y).expect("warm split is non-degenerate")
+}
+
+/// AUC of any dense-input [`Learner`] over interaction rows (optionally
+/// with imputed stats).
+pub fn baseline_auc<L: Learner<Input = Matrix>>(
+    model: &L,
+    data: &TmallDataset,
+    rows: &[u32],
+    stats_override: Option<&[f32]>,
+) -> f64 {
+    let (x, y) = gbdt_features(data, rows, stats_override);
+    let scores = model.predict(&x);
+    let labels: Vec<bool> = y.iter().map(|&v| v > 0.5).collect();
+    atnn_metrics::auc(&scores, &labels).expect("AUC defined")
+}
+
+/// Trains the GBDT baseline on the warm split (via [`train_baseline`]).
+pub fn train_gbdt(setup: &ColdStartSetup, scale: Scale) -> Gbdt {
     let num_trees = match scale {
         Scale::Tiny => 20,
         Scale::Small => 60,
         Scale::Paper => 80,
     };
     let cfg = GbdtConfig { num_trees, objective: Objective::Logistic, ..GbdtConfig::default() };
-    Gbdt::fit(cfg, &x, &y)
+    train_baseline::<Gbdt>(setup, cfg)
 }
 
 /// AUC of a GBDT over interaction rows (optionally with imputed stats).
@@ -134,10 +157,7 @@ pub fn gbdt_auc(
     rows: &[u32],
     stats_override: Option<&[f32]>,
 ) -> f64 {
-    let (x, y) = gbdt_features(data, rows, stats_override);
-    let scores = model.predict(&x);
-    let labels: Vec<bool> = y.iter().map(|&v| v > 0.5).collect();
-    atnn_metrics::auc(&scores, &labels).expect("AUC defined")
+    baseline_auc(model, data, rows, stats_override)
 }
 
 /// An 80/20 restaurant split for the food-delivery experiments.

@@ -49,7 +49,7 @@ pub use embedding::{Embedding, EmbeddingBag};
 pub use linear::Linear;
 pub use mlp::Mlp;
 pub use norm::LayerNorm;
-pub use optim::{clip_grad_norm, AdaGrad, Adam, Optimizer, Sgd};
+pub use optim::{clip_grad_norm, last_grad_norm, param_step_counts, AdaGrad, Adam, Optimizer, Sgd};
 pub use schedule::{ConstantLr, ExponentialDecay, LrSchedule, StepDecay};
 pub use serialize::{fnv1a64, load_store, save_store, NnError};
 

@@ -6,8 +6,36 @@
 //! a "G step" updating the generator (and the shared embeddings).
 
 use atnn_autograd::{Grad, ParamId, ParamStore};
+use atnn_obs::{Counter, Gauge};
 use atnn_tensor::{decode_matrix, encode_matrix, Matrix};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+// --- optimizer telemetry --------------------------------------------------
+// Always-on relaxed counters (one `fetch_add` per parameter slot per
+// step); the sparse/dense split is the observable effect of
+// `ParamStore::mark_sparse` — a sparse-declared embedding table silently
+// falling back to dense steps shows up here long before it shows up as a
+// wall-clock regression.
+
+/// Parameter slots stepped through the dense (full-matrix) path.
+static DENSE_PARAM_STEPS: Counter = Counter::new();
+/// Parameter slots stepped through the sparse (touched-rows-only) path.
+static SPARSE_PARAM_STEPS: Counter = Counter::new();
+/// Pre-clip global gradient norm from the latest [`clip_grad_norm`].
+static LAST_GRAD_NORM: Gauge = Gauge::new();
+
+/// Optimizer step counts since process start: `(dense_slots,
+/// sparse_slots)` — one count per parameter slot per `step()` call,
+/// across all optimizers.
+pub fn param_step_counts() -> (u64, u64) {
+    (DENSE_PARAM_STEPS.get(), SPARSE_PARAM_STEPS.get())
+}
+
+/// The pre-clip global gradient norm recorded by the most recent
+/// [`clip_grad_norm`] call (0.0 before any).
+pub fn last_grad_norm() -> f64 {
+    LAST_GRAD_NORM.get()
+}
 
 /// A first-order optimizer bound to a parameter group.
 pub trait Optimizer {
@@ -101,12 +129,15 @@ fn check_shapes(got: &[Matrix], want: &[Matrix]) -> Result<(), String> {
 /// `max_norm`. Returns the pre-clipping norm.
 pub fn clip_grad_norm(store: &mut ParamStore, params: &[ParamId], max_norm: f32) -> f32 {
     let norm = store.grad_norm(params);
-    if norm > max_norm && norm > 0.0 {
+    let clipped = norm > max_norm && norm > 0.0;
+    if clipped {
         let scale = max_norm / norm;
         for &p in params {
             store.scale_grad(p, scale);
         }
     }
+    LAST_GRAD_NORM.set(norm as f64);
+    atnn_obs::emit(&atnn_obs::Event::GradNorm { norm, clipped });
     norm
 }
 
@@ -163,6 +194,7 @@ impl Optimizer for Sgd {
             let (value, grad) = store.value_and_grad_mut(p);
             match grad {
                 Grad::Dense(gm) => {
+                    DENSE_PARAM_STEPS.incr();
                     if self.weight_decay > 0.0 {
                         for (gv, &wv) in gm.as_mut_slice().iter_mut().zip(value.as_slice()) {
                             *gv += wv * self.weight_decay;
@@ -178,6 +210,7 @@ impl Optimizer for Sgd {
                     }
                 }
                 Grad::Sparse(sg) => {
+                    SPARSE_PARAM_STEPS.incr();
                     for (row, vals) in sg.iter() {
                         let wrow = value.row_mut(row as usize);
                         for (w, &gv) in wrow.iter_mut().zip(vals) {
@@ -286,6 +319,7 @@ impl Optimizer for Adam {
             let (value, grad) = store.value_and_grad_mut(p);
             match grad {
                 Grad::Dense(gm) => {
+                    DENSE_PARAM_STEPS.incr();
                     let m = &mut self.m[i];
                     m.scale_assign(self.beta1);
                     m.add_assign_scaled(gm, 1.0 - self.beta1).expect("adam m shape");
@@ -306,6 +340,7 @@ impl Optimizer for Adam {
                     }
                 }
                 Grad::Sparse(sg) => {
+                    SPARSE_PARAM_STEPS.incr();
                     // Lazy Adam: touched rows only (see the type docs).
                     let m = &mut self.m[i];
                     let v = &mut self.v[i];
@@ -395,6 +430,7 @@ impl Optimizer for AdaGrad {
             let (value, grad) = store.value_and_grad_mut(p);
             match grad {
                 Grad::Dense(gm) => {
+                    DENSE_PARAM_STEPS.incr();
                     let acc = &mut self.accum[i];
                     for (a, &gv) in acc.as_mut_slice().iter_mut().zip(gm.as_slice()) {
                         *a += gv * gv;
@@ -407,6 +443,7 @@ impl Optimizer for AdaGrad {
                     }
                 }
                 Grad::Sparse(sg) => {
+                    SPARSE_PARAM_STEPS.incr();
                     // Touched rows only; bit-identical to the dense sweep
                     // (untouched accumulators/weights would see exact-zero
                     // deltas, and per-element update order is unchanged).

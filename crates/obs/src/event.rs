@@ -1,0 +1,402 @@
+//! The typed event stream: one enum, a stable flat-JSON wire form, and an
+//! exact parser for replaying recorded streams.
+//!
+//! Every event serializes to a single-line flat JSON object whose first
+//! key is `"event"` (the kind tag). Floats are written with Rust's
+//! shortest round-trip `Display` and parsed back at the same width, so
+//! `Event::from_json(&e.to_json()) == Ok(e)` holds exactly for finite
+//! values; non-finite floats are encoded as the strings `"NaN"`, `"inf"`
+//! and `"-inf"` (JSON numbers cannot represent them).
+
+use std::borrow::Cow;
+
+use crate::json::{parse_flat_object, write_string, JsonError, Scalar};
+
+/// String payload of an event: `'static` at emit sites (no allocation on
+/// the hot path), owned after parsing a recorded stream. `Cow`'s equality
+/// compares contents, so round-trips still compare equal.
+pub type Str = Cow<'static, str>;
+
+/// A structured telemetry event.
+///
+/// Producers throughout the workspace emit these through
+/// [`crate::emit`]; installed [`crate::Sink`]s receive them. The set is
+/// expected to grow — consumers should ignore kinds they do not know.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// One training epoch finished (`CtrTrainer`, `MultiTaskAtnn`).
+    EpochEnd {
+        /// Which trainer produced it (`"ctr"`, `"multitask"`).
+        model: Str,
+        /// Zero-based epoch index.
+        epoch: u64,
+        /// Mean per-batch item-tower (or D-step) loss.
+        loss_i: f32,
+        /// Mean per-batch generator loss.
+        loss_g: f32,
+        /// Mean per-batch similarity loss.
+        loss_s: f32,
+        /// Validation AUC, when a validation split was supplied.
+        val_auc: Option<f64>,
+    },
+    /// One timed section of a training step.
+    StepTiming {
+        /// Section label, e.g. `"ctr.train_step"`.
+        section: Str,
+        /// Wall time of the section in nanoseconds.
+        ns: u64,
+        /// Rows processed in the section (0 when not meaningful).
+        rows: u64,
+    },
+    /// One reverse pass through the autograd tape.
+    Backward {
+        /// Wall time of the backward pass in nanoseconds.
+        ns: u64,
+        /// Number of tape nodes visited.
+        nodes: u64,
+    },
+    /// A global gradient-norm clip decision (`atnn-nn` optimizers).
+    GradNorm {
+        /// Pre-clip global L2 norm.
+        norm: f32,
+        /// Whether the gradients were rescaled.
+        clipped: bool,
+    },
+    /// Early stopping fired: training ended before the epoch budget.
+    EarlyStop {
+        /// Which trainer stopped.
+        model: Str,
+        /// Epoch after which training stopped (zero-based).
+        stopped_epoch: u64,
+        /// Epoch whose weights were kept.
+        best_epoch: u64,
+    },
+    /// A serving replica published a new model snapshot.
+    Swap {
+        /// The new model version.
+        version: u64,
+    },
+    /// The serving batcher shed a request under overload.
+    Shed {
+        /// Endpoint that was shed, e.g. `"score"`.
+        endpoint: Str,
+    },
+    /// A scoped timer (see [`crate::span()`]) finished.
+    Span {
+        /// The span's label.
+        label: Str,
+        /// Wall time between creation and drop in nanoseconds.
+        ns: u64,
+    },
+}
+
+/// Why a line failed to parse back into an [`Event`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventParseError {
+    /// The line is not a flat JSON object.
+    Json(JsonError),
+    /// The object is missing a required field.
+    MissingField(&'static str),
+    /// A field had the wrong type or an unparsable value.
+    BadField(&'static str),
+    /// The `"event"` tag named a kind this version does not know.
+    UnknownEvent(String),
+}
+
+impl std::fmt::Display for EventParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EventParseError::Json(e) => write!(f, "{e}"),
+            EventParseError::MissingField(k) => write!(f, "missing event field {k:?}"),
+            EventParseError::BadField(k) => write!(f, "malformed event field {k:?}"),
+            EventParseError::UnknownEvent(kind) => write!(f, "unknown event kind {kind:?}"),
+        }
+    }
+}
+
+impl std::error::Error for EventParseError {}
+
+impl From<JsonError> for EventParseError {
+    fn from(e: JsonError) -> Self {
+        EventParseError::Json(e)
+    }
+}
+
+// --- writing -------------------------------------------------------------
+
+fn push_key(out: &mut String, key: &str) {
+    out.push(',');
+    write_string(out, key);
+    out.push(':');
+}
+
+fn push_str(out: &mut String, key: &str, value: &str) {
+    push_key(out, key);
+    write_string(out, value);
+}
+
+fn push_u64(out: &mut String, key: &str, value: u64) {
+    use std::fmt::Write as _;
+    push_key(out, key);
+    let _ = write!(out, "{value}");
+}
+
+fn push_bool(out: &mut String, key: &str, value: bool) {
+    push_key(out, key);
+    out.push_str(if value { "true" } else { "false" });
+}
+
+/// Non-finite floats have no JSON-number form; both widths share these
+/// string spellings.
+fn push_f64(out: &mut String, key: &str, value: f64) {
+    use std::fmt::Write as _;
+    push_key(out, key);
+    if value.is_finite() {
+        let _ = write!(out, "{value}");
+    } else if value.is_nan() {
+        out.push_str("\"NaN\"");
+    } else if value > 0.0 {
+        out.push_str("\"inf\"");
+    } else {
+        out.push_str("\"-inf\"");
+    }
+}
+
+fn push_f32(out: &mut String, key: &str, value: f32) {
+    use std::fmt::Write as _;
+    push_key(out, key);
+    if value.is_finite() {
+        let _ = write!(out, "{value}");
+    } else if value.is_nan() {
+        out.push_str("\"NaN\"");
+    } else if value > 0.0 {
+        out.push_str("\"inf\"");
+    } else {
+        out.push_str("\"-inf\"");
+    }
+}
+
+// --- reading -------------------------------------------------------------
+
+struct Fields(Vec<(String, Scalar)>);
+
+impl Fields {
+    fn get(&self, key: &'static str) -> Result<&Scalar, EventParseError> {
+        self.0
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or(EventParseError::MissingField(key))
+    }
+
+    fn str_field(&self, key: &'static str) -> Result<Str, EventParseError> {
+        match self.get(key)? {
+            Scalar::String(s) => Ok(Cow::Owned(s.clone())),
+            _ => Err(EventParseError::BadField(key)),
+        }
+    }
+
+    fn u64_field(&self, key: &'static str) -> Result<u64, EventParseError> {
+        match self.get(key)? {
+            Scalar::Number(raw) => raw.parse().map_err(|_| EventParseError::BadField(key)),
+            _ => Err(EventParseError::BadField(key)),
+        }
+    }
+
+    fn bool_field(&self, key: &'static str) -> Result<bool, EventParseError> {
+        match self.get(key)? {
+            Scalar::Bool(b) => Ok(*b),
+            _ => Err(EventParseError::BadField(key)),
+        }
+    }
+
+    fn f32_field(&self, key: &'static str) -> Result<f32, EventParseError> {
+        match self.get(key)? {
+            Scalar::Number(raw) => raw.parse().map_err(|_| EventParseError::BadField(key)),
+            Scalar::String(s) => non_finite(s).map(|v| v as f32),
+            _ => Err(EventParseError::BadField(key)),
+        }
+        .map_err(|_: EventParseError| EventParseError::BadField(key))
+    }
+
+    fn opt_f64_field(&self, key: &'static str) -> Result<Option<f64>, EventParseError> {
+        match self.get(key)? {
+            Scalar::Null => Ok(None),
+            Scalar::Number(raw) => {
+                raw.parse().map(Some).map_err(|_| EventParseError::BadField(key))
+            }
+            Scalar::String(s) => non_finite(s).map(Some),
+            _ => Err(EventParseError::BadField(key)),
+        }
+        .map_err(|_: EventParseError| EventParseError::BadField(key))
+    }
+}
+
+fn non_finite(s: &str) -> Result<f64, EventParseError> {
+    match s {
+        "NaN" => Ok(f64::NAN),
+        "inf" => Ok(f64::INFINITY),
+        "-inf" => Ok(f64::NEG_INFINITY),
+        _ => Err(EventParseError::BadField("")),
+    }
+}
+
+impl Event {
+    /// The stable snake_case kind tag this event serializes under.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::EpochEnd { .. } => "epoch_end",
+            Event::StepTiming { .. } => "step_timing",
+            Event::Backward { .. } => "backward",
+            Event::GradNorm { .. } => "grad_norm",
+            Event::EarlyStop { .. } => "early_stop",
+            Event::Swap { .. } => "swap",
+            Event::Shed { .. } => "shed",
+            Event::Span { .. } => "span",
+        }
+    }
+
+    /// Serializes to one flat single-line JSON object (no trailing
+    /// newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push('{');
+        write_string(&mut out, "event");
+        out.push(':');
+        write_string(&mut out, self.kind());
+        match self {
+            Event::EpochEnd { model, epoch, loss_i, loss_g, loss_s, val_auc } => {
+                push_str(&mut out, "model", model);
+                push_u64(&mut out, "epoch", *epoch);
+                push_f32(&mut out, "loss_i", *loss_i);
+                push_f32(&mut out, "loss_g", *loss_g);
+                push_f32(&mut out, "loss_s", *loss_s);
+                match val_auc {
+                    Some(auc) => push_f64(&mut out, "val_auc", *auc),
+                    None => {
+                        push_key(&mut out, "val_auc");
+                        out.push_str("null");
+                    }
+                }
+            }
+            Event::StepTiming { section, ns, rows } => {
+                push_str(&mut out, "section", section);
+                push_u64(&mut out, "ns", *ns);
+                push_u64(&mut out, "rows", *rows);
+            }
+            Event::Backward { ns, nodes } => {
+                push_u64(&mut out, "ns", *ns);
+                push_u64(&mut out, "nodes", *nodes);
+            }
+            Event::GradNorm { norm, clipped } => {
+                push_f32(&mut out, "norm", *norm);
+                push_bool(&mut out, "clipped", *clipped);
+            }
+            Event::EarlyStop { model, stopped_epoch, best_epoch } => {
+                push_str(&mut out, "model", model);
+                push_u64(&mut out, "stopped_epoch", *stopped_epoch);
+                push_u64(&mut out, "best_epoch", *best_epoch);
+            }
+            Event::Swap { version } => push_u64(&mut out, "version", *version),
+            Event::Shed { endpoint } => push_str(&mut out, "endpoint", endpoint),
+            Event::Span { label, ns } => {
+                push_str(&mut out, "label", label);
+                push_u64(&mut out, "ns", *ns);
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses one line previously produced by [`Event::to_json`].
+    ///
+    /// Exact inverse for finite floats: the parsed event compares equal to
+    /// the one that was serialized. Unknown `"event"` tags are reported as
+    /// [`EventParseError::UnknownEvent`] so readers can skip kinds added
+    /// by newer writers.
+    pub fn from_json(line: &str) -> Result<Event, EventParseError> {
+        let fields = Fields(parse_flat_object(line)?);
+        let kind = match fields.get("event")? {
+            Scalar::String(s) => s.clone(),
+            _ => return Err(EventParseError::BadField("event")),
+        };
+        match kind.as_str() {
+            "epoch_end" => Ok(Event::EpochEnd {
+                model: fields.str_field("model")?,
+                epoch: fields.u64_field("epoch")?,
+                loss_i: fields.f32_field("loss_i")?,
+                loss_g: fields.f32_field("loss_g")?,
+                loss_s: fields.f32_field("loss_s")?,
+                val_auc: fields.opt_f64_field("val_auc")?,
+            }),
+            "step_timing" => Ok(Event::StepTiming {
+                section: fields.str_field("section")?,
+                ns: fields.u64_field("ns")?,
+                rows: fields.u64_field("rows")?,
+            }),
+            "backward" => Ok(Event::Backward {
+                ns: fields.u64_field("ns")?,
+                nodes: fields.u64_field("nodes")?,
+            }),
+            "grad_norm" => Ok(Event::GradNorm {
+                norm: fields.f32_field("norm")?,
+                clipped: fields.bool_field("clipped")?,
+            }),
+            "early_stop" => Ok(Event::EarlyStop {
+                model: fields.str_field("model")?,
+                stopped_epoch: fields.u64_field("stopped_epoch")?,
+                best_epoch: fields.u64_field("best_epoch")?,
+            }),
+            "swap" => Ok(Event::Swap { version: fields.u64_field("version")? }),
+            "shed" => Ok(Event::Shed { endpoint: fields.str_field("endpoint")? }),
+            "span" => {
+                Ok(Event::Span { label: fields.str_field("label")?, ns: fields.u64_field("ns")? })
+            }
+            other => Err(EventParseError::UnknownEvent(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_tags_are_stable() {
+        assert_eq!(Event::Swap { version: 1 }.kind(), "swap");
+        assert_eq!(Event::Swap { version: 7 }.to_json(), r#"{"event":"swap","version":7}"#);
+    }
+
+    #[test]
+    fn non_finite_floats_survive_the_wire() {
+        let e = Event::GradNorm { norm: f32::INFINITY, clipped: true };
+        let back = Event::from_json(&e.to_json()).unwrap();
+        match back {
+            Event::GradNorm { norm, clipped: true } => assert!(norm.is_infinite() && norm > 0.0),
+            other => panic!("wrong event: {other:?}"),
+        }
+        let e = Event::EpochEnd {
+            model: "ctr".into(),
+            epoch: 0,
+            loss_i: f32::NAN,
+            loss_g: f32::NEG_INFINITY,
+            loss_s: 0.5,
+            val_auc: Some(f64::NAN),
+        };
+        match Event::from_json(&e.to_json()).unwrap() {
+            Event::EpochEnd { loss_i, loss_g, loss_s, val_auc, .. } => {
+                assert!(loss_i.is_nan());
+                assert!(loss_g.is_infinite() && loss_g < 0.0);
+                assert_eq!(loss_s, 0.5);
+                assert!(val_auc.unwrap().is_nan());
+            }
+            other => panic!("wrong event: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_kinds_are_reported_not_fatal() {
+        let err = Event::from_json(r#"{"event":"drift_alarm","score":0.9}"#).unwrap_err();
+        assert_eq!(err, EventParseError::UnknownEvent("drift_alarm".to_string()));
+    }
+}

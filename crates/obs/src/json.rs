@@ -1,0 +1,282 @@
+//! Minimal hand-rolled JSON support for the event stream.
+//!
+//! The workspace is dependency-free, so the JSONL sink writes and parses
+//! its own JSON. Only the subset events need is supported: one *flat*
+//! object per line whose values are strings, numbers, booleans, or null —
+//! no nesting, no arrays. Numbers are kept as raw text during parsing so
+//! the caller can parse them to exactly the width it stored (`u64`,
+//! `f32`, `f64`) with no double-rounding; Rust's shortest round-trip
+//! float `Display` on the writing side then makes emit → parse exact.
+
+use std::fmt::Write as _;
+
+/// One scalar value in a flat JSON object.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Scalar {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as its raw source text.
+    Number(String),
+    /// A (de-escaped) string.
+    String(String),
+}
+
+/// Why a line failed to parse as a flat JSON object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description of the first problem found.
+    pub message: &'static str,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid JSON object: {}", self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+fn err<T>(message: &'static str) -> Result<T, JsonError> {
+    Err(JsonError { message })
+}
+
+/// Appends `s` to `out` as a quoted JSON string, escaping as needed.
+pub fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A byte-cursor parser over one flat JSON object.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8, message: &'static str) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            err(message)
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"', "expected '\"'")?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else { return err("unterminated string") };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else { return err("unterminated escape") };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let end = self.pos + 4;
+                            let hex = self
+                                .bytes
+                                .get(self.pos..end)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or(JsonError { message: "truncated \\u escape" })?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| JsonError { message: "bad \\u escape" })?;
+                            // Basic-multilingual-plane only: events never emit
+                            // surrogate pairs (escapes are only produced for
+                            // control characters).
+                            let c = char::from_u32(code)
+                                .ok_or(JsonError { message: "\\u escape is not a scalar value" })?;
+                            out.push(c);
+                            self.pos = end;
+                        }
+                        _ => return err("unknown escape"),
+                    }
+                }
+                _ => {
+                    // Re-decode from the byte after the one consumed: strings
+                    // are UTF-8, so multi-byte characters are copied whole.
+                    let start = self.pos - 1;
+                    let rest = std::str::from_utf8(&self.bytes[start..])
+                        .map_err(|_| JsonError { message: "invalid UTF-8 in string" })?;
+                    let c = rest.chars().next().expect("non-empty by construction");
+                    out.push(c);
+                    self.pos = start + c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_scalar(&mut self) -> Result<Scalar, JsonError> {
+        match self.peek() {
+            Some(b'"') => Ok(Scalar::String(self.parse_string()?)),
+            Some(b't') => {
+                self.literal(b"true")?;
+                Ok(Scalar::Bool(true))
+            }
+            Some(b'f') => {
+                self.literal(b"false")?;
+                Ok(Scalar::Bool(false))
+            }
+            Some(b'n') => {
+                self.literal(b"null")?;
+                Ok(Scalar::Null)
+            }
+            Some(b) if b == b'-' || b.is_ascii_digit() => {
+                let start = self.pos;
+                while let Some(b) = self.peek() {
+                    if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .expect("ASCII by construction");
+                Ok(Scalar::Number(text.to_string()))
+            }
+            Some(b'{') | Some(b'[') => err("nested values are not supported"),
+            _ => err("expected a scalar value"),
+        }
+    }
+
+    fn literal(&mut self, lit: &'static [u8]) -> Result<(), JsonError> {
+        if self.bytes.get(self.pos..self.pos + lit.len()) == Some(lit) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            err("unknown literal")
+        }
+    }
+}
+
+/// Parses one flat JSON object into its `(key, value)` pairs, in source
+/// order. Duplicate keys are rejected.
+pub fn parse_flat_object(line: &str) -> Result<Vec<(String, Scalar)>, JsonError> {
+    let mut p = Parser { bytes: line.as_bytes(), pos: 0 };
+    p.skip_ws();
+    p.expect(b'{', "expected '{'")?;
+    let mut out: Vec<(String, Scalar)> = Vec::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.parse_string()?;
+            if out.iter().any(|(k, _)| *k == key) {
+                return err("duplicate key");
+            }
+            p.skip_ws();
+            p.expect(b':', "expected ':'")?;
+            p.skip_ws();
+            let value = p.parse_scalar()?;
+            out.push((key, value));
+            p.skip_ws();
+            match p.peek() {
+                Some(b',') => p.pos += 1,
+                Some(b'}') => {
+                    p.pos += 1;
+                    break;
+                }
+                _ => return err("expected ',' or '}'"),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return err("trailing garbage after object");
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flat_objects() {
+        let got = parse_flat_object(
+            r#"{"event":"swap","version":7,"ok":true,"x":null,"f":-1.25e3,"s":"a\"b\\c\nd"}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            got,
+            vec![
+                ("event".into(), Scalar::String("swap".into())),
+                ("version".into(), Scalar::Number("7".into())),
+                ("ok".into(), Scalar::Bool(true)),
+                ("x".into(), Scalar::Null),
+                ("f".into(), Scalar::Number("-1.25e3".into())),
+                ("s".into(), Scalar::String("a\"b\\c\nd".into())),
+            ]
+        );
+        assert_eq!(parse_flat_object("{}").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn escaping_roundtrips() {
+        let nasty = "quote\" backslash\\ newline\n tab\t ctrl\u{1} unicode é λ";
+        let mut buf = String::new();
+        write_string(&mut buf, nasty);
+        let line = format!("{{\"k\":{buf}}}");
+        let got = parse_flat_object(&line).unwrap();
+        assert_eq!(got, vec![("k".into(), Scalar::String(nasty.into()))]);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "",
+            "{",
+            "{}x",
+            r#"{"a":}"#,
+            r#"{"a":1,}"#,
+            r#"{"a":1 "b":2}"#,
+            r#"{"a":{"nested":1}}"#,
+            r#"{"a":[1]}"#,
+            r#"{"a":1,"a":2}"#,
+            r#"{"a":tru}"#,
+        ] {
+            assert!(parse_flat_object(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! `atnn-obs` — zero-dependency structured telemetry for the ATNN
+//! workspace.
+//!
+//! The paper's system is *operated*: Alibaba's deployment watches
+//! per-stage latency, loss curves, and popularity drift to decide when
+//! the cold→warm switch and retraining fire (§IV-D, §V). This crate is
+//! the substrate those signals flow through. It has two halves:
+//!
+//! * **Instruments** — [`Counter`], [`Gauge`], [`Histogram`]: always-on,
+//!   lock-free, allocation-free scalars. The histogram is the ×1.25
+//!   geometric-bucket design lifted out of `atnn-serve` (whose `Stats`
+//!   replies stay bit-identical on top of it).
+//! * **Events** — a typed stream ([`Event`]) fanned out to pluggable
+//!   [`Sink`]s: [`JsonlSink`] (append-only JSON-per-line, replayable),
+//!   [`StderrSink`] (human-readable progress lines), [`NullSink`]
+//!   (discard; keeps the hot path down to one atomic load), and
+//!   [`CaptureSink`] (in-memory, for tests).
+//!
+//! # Emitting
+//!
+//! Producers call [`emit`] unconditionally — it is gated on a global
+//! `AtomicBool` that is true only while at least one *active* sink is
+//! installed. For events that need a timestamp or other preparation, gate
+//! the preparation too:
+//!
+//! ```
+//! use atnn_obs::{emit, timing_enabled, Event};
+//!
+//! let t0 = timing_enabled().then(std::time::Instant::now);
+//! // ... do the work ...
+//! if let Some(t0) = t0 {
+//!     emit(&Event::Span { label: "example".into(), ns: t0.elapsed().as_nanos() as u64 });
+//! }
+//! ```
+//!
+//! or use the [`span!`] macro / [`span()`] guard, which does exactly that
+//! on drop. With no active sink the cost of an instrumented section is a
+//! single relaxed atomic load — no `Instant::now()`, no event
+//! construction, no allocation (the alloc-budget test in `atnn-core`
+//! pins this).
+//!
+//! # Installing sinks
+//!
+//! ```
+//! use std::sync::Arc;
+//! use atnn_obs::{install_scoped, CaptureSink, Event};
+//!
+//! let capture = Arc::new(CaptureSink::new());
+//! let _guard = install_scoped(capture.clone());
+//! atnn_obs::emit(&Event::Swap { version: 3 });
+//! assert_eq!(capture.take(), vec![Event::Swap { version: 3 }]);
+//! // guard drop uninstalls the sink
+//! ```
+
+#![deny(missing_docs)]
+
+mod event;
+pub mod json;
+mod metrics;
+mod sink;
+
+pub use event::{Event, EventParseError, Str};
+pub use metrics::{Counter, Gauge, Histogram, BASE_NS, BUCKETS};
+pub use sink::{CaptureSink, JsonlSink, NullSink, Sink, StderrSink};
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Instant;
+
+/// True while at least one installed sink reports [`Sink::active`].
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+type Registry = RwLock<Vec<(u64, Arc<dyn Sink>)>>;
+
+fn registry() -> &'static Registry {
+    static SINKS: OnceLock<Registry> = OnceLock::new();
+    SINKS.get_or_init(|| RwLock::new(Vec::new()))
+}
+
+fn lock_read(r: &Registry) -> std::sync::RwLockReadGuard<'_, Vec<(u64, Arc<dyn Sink>)>> {
+    match r.read() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn recompute_enabled(sinks: &[(u64, Arc<dyn Sink>)]) {
+    let any_active = sinks.iter().any(|(_, s)| s.active());
+    ENABLED.store(any_active, Ordering::Release);
+}
+
+/// Handle to an installed sink; pass to [`uninstall`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SinkId(u64);
+
+/// Installs a sink into the global dispatcher. Returns its id.
+///
+/// Sinks receive every subsequent [`emit`] until [`uninstall`]ed. Prefer
+/// [`install_scoped`] where the sink's lifetime maps to a scope (tests,
+/// one training run).
+pub fn install(sink: Arc<dyn Sink>) -> SinkId {
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    let mut sinks = match registry().write() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    sinks.push((id, sink));
+    recompute_enabled(&sinks);
+    SinkId(id)
+}
+
+/// Removes a previously [`install`]ed sink. Returns whether it was still
+/// installed, after flushing it.
+pub fn uninstall(id: SinkId) -> bool {
+    let removed = {
+        let mut sinks = match registry().write() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let before = sinks.len();
+        let removed: Vec<_> = {
+            let mut kept = Vec::with_capacity(before);
+            let mut removed = Vec::new();
+            for entry in sinks.drain(..) {
+                if entry.0 == id.0 {
+                    removed.push(entry.1);
+                } else {
+                    kept.push(entry);
+                }
+            }
+            *sinks = kept;
+            removed
+        };
+        recompute_enabled(&sinks);
+        removed
+    };
+    let any = !removed.is_empty();
+    for sink in removed {
+        sink.flush();
+    }
+    any
+}
+
+/// Uninstalls its sink when dropped. Returned by [`install_scoped`].
+#[derive(Debug)]
+pub struct SinkGuard(Option<SinkId>);
+
+impl SinkGuard {
+    /// The installed sink's id (e.g. to uninstall it early by hand, after
+    /// which the guard's drop is a no-op only if you also [`std::mem::forget`]
+    /// it — prefer just dropping the guard).
+    pub fn id(&self) -> SinkId {
+        self.0.expect("guard still armed")
+    }
+}
+
+impl Drop for SinkGuard {
+    fn drop(&mut self) {
+        if let Some(id) = self.0.take() {
+            uninstall(id);
+        }
+    }
+}
+
+/// Installs a sink for the current scope; the returned guard uninstalls
+/// (and flushes) it on drop.
+#[must_use = "dropping the guard immediately uninstalls the sink"]
+pub fn install_scoped(sink: Arc<dyn Sink>) -> SinkGuard {
+    SinkGuard(Some(install(sink)))
+}
+
+/// Whether any active sink is installed (one relaxed atomic load).
+///
+/// Producers do not need to call this before [`emit`] — `emit` checks it
+/// itself — but should use it (or [`timing_enabled`]) to skip *preparing*
+/// an event: taking timestamps, counting rows, formatting.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Acquire)
+}
+
+/// Alias of [`enabled`] that reads better at timing sites:
+/// `timing_enabled().then(Instant::now)`.
+#[inline]
+pub fn timing_enabled() -> bool {
+    enabled()
+}
+
+/// Fans `event` out to every installed sink. No-op (one atomic load) when
+/// nothing active is installed.
+#[inline]
+pub fn emit(event: &Event) {
+    if enabled() {
+        emit_always(event);
+    }
+}
+
+/// Fans `event` out even if the enabled flag is down (e.g. to push a
+/// final record through inactive-but-installed sinks). Rarely what you
+/// want; prefer [`emit`].
+pub fn emit_always(event: &Event) {
+    let sinks = lock_read(registry());
+    for (_, sink) in sinks.iter() {
+        sink.emit(event);
+    }
+}
+
+/// Flushes every installed sink (e.g. before reading a JSONL file back).
+pub fn flush() {
+    let sinks = lock_read(registry());
+    for (_, sink) in sinks.iter() {
+        sink.flush();
+    }
+}
+
+/// A scoped timer: emits [`Event::Span`] with its wall time on drop.
+///
+/// Created by [`span()`] / the [`span!`] macro. When no sink was active at
+/// creation the guard holds no timestamp and drop does nothing, so the
+/// disabled cost is one atomic load.
+#[derive(Debug)]
+pub struct SpanTimer {
+    label: &'static str,
+    start: Option<Instant>,
+}
+
+impl SpanTimer {
+    /// Elapsed nanoseconds so far, if the span is live (a sink was active
+    /// at creation).
+    pub fn elapsed_ns(&self) -> Option<u64> {
+        self.start.map(|t0| t0.elapsed().as_nanos() as u64)
+    }
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        if let Some(t0) = self.start {
+            emit(&Event::Span { label: self.label.into(), ns: t0.elapsed().as_nanos() as u64 });
+        }
+    }
+}
+
+/// Starts a scoped timer labelled `label`; see [`SpanTimer`].
+#[inline]
+pub fn span(label: &'static str) -> SpanTimer {
+    SpanTimer { label, start: timing_enabled().then(Instant::now) }
+}
+
+/// Times the enclosing scope: `let _t = span!("encode.batch");` emits
+/// [`Event::Span`] when `_t` drops. Sugar for [`span()`].
+#[macro_export]
+macro_rules! span {
+    ($label:expr) => {
+        $crate::span($label)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Installing into the process-global registry would bleed between
+    /// `cargo test` threads; every test that installs takes this lock.
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        match SERIAL.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    #[test]
+    fn null_sink_keeps_dispatch_disabled() {
+        let _s = serial();
+        assert!(!enabled());
+        let guard = install_scoped(Arc::new(NullSink));
+        assert!(!enabled(), "NullSink must not arm the enabled flag");
+        emit(&Event::Swap { version: 1 }); // goes nowhere, must not panic
+        drop(guard);
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn capture_sink_sees_emitted_events_and_scoped_uninstall_works() {
+        let _s = serial();
+        let capture = Arc::new(CaptureSink::new());
+        {
+            let _guard = install_scoped(capture.clone());
+            assert!(enabled());
+            emit(&Event::Swap { version: 9 });
+            emit(&Event::Shed { endpoint: "score".into() });
+        }
+        assert!(!enabled(), "guard drop must disarm the flag");
+        emit(&Event::Swap { version: 10 }); // after uninstall: dropped
+        assert_eq!(
+            capture.take(),
+            vec![Event::Swap { version: 9 }, Event::Shed { endpoint: "score".into() }]
+        );
+    }
+
+    #[test]
+    fn mixed_sinks_arm_the_flag_only_while_an_active_one_is_installed() {
+        let _s = serial();
+        let null = install(Arc::new(NullSink));
+        assert!(!enabled());
+        let capture = Arc::new(CaptureSink::new());
+        let cap = install(capture.clone());
+        assert!(enabled());
+        assert!(uninstall(cap));
+        assert!(!enabled(), "only the NullSink remains");
+        assert!(uninstall(null));
+        assert!(!uninstall(null), "double uninstall reports false");
+    }
+
+    #[test]
+    fn span_emits_on_drop_only_when_enabled() {
+        let _s = serial();
+        {
+            let t = span!("dead");
+            assert!(t.elapsed_ns().is_none(), "no sink: span must not take timestamps");
+        }
+        let capture = Arc::new(CaptureSink::new());
+        let _guard = install_scoped(capture.clone());
+        {
+            let _t = span!("live.section");
+        }
+        let events = capture.take();
+        assert_eq!(events.len(), 1);
+        match &events[0] {
+            Event::Span { label, .. } => assert_eq!(label, "live.section"),
+            other => panic!("wrong event: {other:?}"),
+        }
+    }
+}

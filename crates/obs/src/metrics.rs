@@ -1,0 +1,269 @@
+//! Always-on scalar instruments: relaxed-atomic counters, gauges, and the
+//! geometric latency histogram.
+//!
+//! These are the "cheap half" of the observability layer: recording into
+//! any of them is a handful of relaxed atomic operations with no lock and
+//! no allocation, so call sites leave them unconditional. The event stream
+//! (see [`crate::Event`]) is the gated half.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A monotone event counter (relaxed atomic `u64`).
+///
+/// `const`-constructible so it can live in a `static` next to the code it
+/// instruments:
+///
+/// ```
+/// use atnn_obs::Counter;
+/// static DISPATCHES: Counter = Counter::new();
+/// DISPATCHES.incr();
+/// assert!(DISPATCHES.get() >= 1);
+/// ```
+#[derive(Debug)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A zeroed counter.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one to the counter.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero, returning the previous value.
+    pub fn take(&self) -> u64 {
+        self.0.swap(0, Ordering::Relaxed)
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Counter::new()
+    }
+}
+
+/// A last-value-wins `f64` gauge (stored as raw bits in an atomic `u64`).
+#[derive(Debug)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A gauge reading `0.0`.
+    pub const fn new() -> Self {
+        // 0u64 is the bit pattern of +0.0f64.
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Stores a new reading.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Last stored reading.
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge::new()
+    }
+}
+
+/// Number of finite histogram buckets. With a 1 µs base and ×1.25 spacing
+/// the last finite bound is ≈ 88 s; anything slower lands in the overflow
+/// bucket.
+pub const BUCKETS: usize = 83;
+/// Lowest bucket upper bound, in nanoseconds.
+pub const BASE_NS: u64 = 1_000;
+
+/// Bucket bound growth factor (5/4, computed in integers so bounds are
+/// reproducible across platforms).
+#[inline]
+fn next_bound(b: u64) -> u64 {
+    b + b / 4
+}
+
+/// A fixed-bucket latency histogram with geometric (×1.25) bounds.
+///
+/// Lifted from `atnn-serve`'s original telemetry module and generalized;
+/// the bucket geometry (83 buckets, 1 µs base, integer 5/4 growth) is
+/// identical, so quantiles computed here are bit-identical to what the
+/// serve `Stats` endpoint always reported.
+///
+/// Recording is one relaxed `fetch_add`; any quantile is derivable from
+/// the bucket counts. A reported quantile is the matched bucket's *upper
+/// bound*, so it is always ≥ the true quantile and within one bucket
+/// ratio (×1.25) of it.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    /// Samples above the last finite bound.
+    overflow: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { buckets: [(); BUCKETS].map(|_| AtomicU64::new(0)), overflow: AtomicU64::new(0) }
+    }
+}
+
+impl Histogram {
+    /// Fresh, zeroed histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one latency sample.
+    #[inline]
+    pub fn record(&self, latency: Duration) {
+        self.record_ns(latency.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Records one sample given directly in nanoseconds.
+    pub fn record_ns(&self, ns: u64) {
+        let mut bound = BASE_NS;
+        for bucket in &self.buckets {
+            if ns <= bound {
+                bucket.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            bound = next_bound(bound);
+        }
+        self.overflow.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum::<u64>()
+            + self.overflow.load(Ordering::Relaxed)
+    }
+
+    /// Samples that exceeded the last finite bucket bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (0 < q ≤ 1) as the upper bound of the bucket the
+    /// quantile sample falls in, in nanoseconds. Zero when empty.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        let mut bound = BASE_NS;
+        for bucket in &self.buckets {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bound;
+            }
+            bound = next_bound(bound);
+        }
+        bound // overflow bucket: report the last finite bound
+    }
+
+    /// Non-empty buckets as `(upper_bound_ns, count)` pairs, in bound
+    /// order; the overflow bucket (if non-empty) is reported with
+    /// `u64::MAX` as its bound. Useful for dumping a full distribution.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut bound = BASE_NS;
+        for bucket in &self.buckets {
+            let n = bucket.load(Ordering::Relaxed);
+            if n > 0 {
+                out.push((bound, n));
+            }
+            bound = next_bound(bound);
+        }
+        let over = self.overflow.load(Ordering::Relaxed);
+        if over > 0 {
+            out.push((u64::MAX, over));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(c.take(), 5);
+        assert_eq!(c.get(), 0);
+
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0.0);
+        g.set(-3.25);
+        assert_eq!(g.get(), -3.25);
+    }
+
+    // The two histogram tests below are carried over verbatim from the
+    // original `atnn-serve` telemetry module: they pin the exact bucket
+    // geometry that serve's Stats replies depend on.
+
+    #[test]
+    fn histogram_quantiles_bracket_the_samples() {
+        let h = Histogram::default();
+        // 100 samples: 1..=100 µs.
+        for us in 1..=100u64 {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile_ns(0.50);
+        let p99 = h.quantile_ns(0.99);
+        // Bucket bounds are ×1.25 apart: the reported bound is ≥ the true
+        // quantile and < 1.25× the next sample above it.
+        assert!((50_000..100_000).contains(&p50), "p50={p50}");
+        assert!((99_000..198_000).contains(&p99), "p99={p99}");
+        assert!(h.quantile_ns(1.0) >= 100_000);
+    }
+
+    #[test]
+    fn histogram_handles_extremes() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile_ns(0.5), 0, "empty histogram");
+        h.record(Duration::from_nanos(1));
+        h.record(Duration::from_secs(10_000)); // overflow bucket
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.quantile_ns(0.25), BASE_NS);
+        assert!(h.quantile_ns(1.0) >= 10_000_000_000, "last finite bound covers ≥ 10 s");
+    }
+
+    #[test]
+    fn record_ns_matches_record() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for ns in [0, 1, 999, 1_000, 1_001, 5_000_000, u64::MAX] {
+            a.record_ns(ns);
+            b.record(Duration::from_nanos(ns));
+        }
+        assert_eq!(a.nonzero_buckets(), b.nonzero_buckets());
+    }
+}

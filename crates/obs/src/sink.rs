@@ -1,0 +1,177 @@
+//! Event sinks: where emitted [`Event`]s go.
+//!
+//! A sink is fan-out plumbing, not business logic — implementations must
+//! be cheap, non-blocking-ish, and must never panic into the host (write
+//! errors are swallowed; telemetry loss is preferable to crashing a
+//! training run or a serving replica).
+
+use std::fs::OpenOptions;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::event::Event;
+
+/// Receives every emitted [`Event`].
+///
+/// Implementations are shared across threads ([`Send`] + [`Sync`]) and are
+/// called from whatever thread emitted — training loops, pool workers,
+/// serving connection threads.
+pub trait Sink: Send + Sync {
+    /// Handles one event. Must not panic.
+    fn emit(&self, event: &Event);
+
+    /// Whether this sink wants events at all. The global dispatcher ORs
+    /// this across installed sinks into one `AtomicBool`; when every sink
+    /// is inactive the emit hot path is a single relaxed atomic load.
+    fn active(&self) -> bool {
+        true
+    }
+
+    /// Flushes any buffered output.
+    fn flush(&self) {}
+}
+
+/// Discards everything and reports itself inactive.
+///
+/// Installing only `NullSink`s leaves the global enabled flag false, so
+/// instrumented hot paths (train steps, backward passes) skip event
+/// construction and even their `Instant::now()` calls — the per-step cost
+/// is one relaxed atomic load. The alloc-budget test in `atnn-core` pins
+/// this.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn emit(&self, _event: &Event) {}
+
+    fn active(&self) -> bool {
+        false
+    }
+}
+
+/// Renders events as human-readable lines on stderr.
+///
+/// This replaces the ad-hoc `verbose` prints the trainers used to do; the
+/// line format for `EpochEnd` is unchanged from those prints.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StderrSink;
+
+impl StderrSink {
+    /// The human-readable one-line rendering of `event` (no newline).
+    pub fn render(event: &Event) -> String {
+        match event {
+            Event::EpochEnd { model, epoch, loss_i, loss_g, loss_s, val_auc } => format!(
+                "[{model}] epoch {epoch}: L_i={loss_i:.4} L_g={loss_g:.4} L_s={loss_s:.4}{}",
+                val_auc.map(|a| format!(" val_auc={a:.4}")).unwrap_or_default()
+            ),
+            Event::StepTiming { section, ns, rows } => {
+                format!("{section}: {:.3} ms ({rows} rows)", *ns as f64 / 1e6)
+            }
+            Event::Backward { ns, nodes } => {
+                format!("backward: {:.3} ms ({nodes} nodes)", *ns as f64 / 1e6)
+            }
+            Event::GradNorm { norm, clipped } => {
+                format!("grad_norm={norm:.4}{}", if *clipped { " (clipped)" } else { "" })
+            }
+            Event::EarlyStop { model, stopped_epoch, best_epoch } => {
+                format!("[{model}] early stop after epoch {stopped_epoch}, kept epoch {best_epoch}")
+            }
+            Event::Swap { version } => format!("model swap -> v{version}"),
+            Event::Shed { endpoint } => format!("shed request on {endpoint}"),
+            Event::Span { label, ns } => format!("{label}: {:.3} ms", *ns as f64 / 1e6),
+        }
+    }
+}
+
+impl Sink for StderrSink {
+    fn emit(&self, event: &Event) {
+        eprintln!("{}", Self::render(event));
+    }
+}
+
+/// Appends one JSON object per event to a writer (append-only JSONL).
+///
+/// The stream is replayable: each line parses back with
+/// [`Event::from_json`] into an event equal to the one emitted.
+pub struct JsonlSink {
+    out: Mutex<BufWriter<Box<dyn Write + Send>>>,
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("JsonlSink")
+    }
+}
+
+impl JsonlSink {
+    /// Opens (creating if needed) `path` in append mode.
+    pub fn append(path: impl AsRef<Path>) -> std::io::Result<JsonlSink> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(JsonlSink::from_writer(file))
+    }
+
+    /// Wraps an arbitrary writer (e.g. an in-memory buffer in tests).
+    pub fn from_writer(w: impl Write + Send + 'static) -> JsonlSink {
+        JsonlSink { out: Mutex::new(BufWriter::new(Box::new(w))) }
+    }
+}
+
+impl Sink for JsonlSink {
+    fn emit(&self, event: &Event) {
+        let mut out = match self.out.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        // Telemetry writes are best-effort: a full disk must not take the
+        // training run down with it.
+        let _ = writeln!(out, "{}", event.to_json());
+    }
+
+    fn flush(&self) {
+        let mut out = match self.out.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let _ = out.flush();
+    }
+}
+
+/// Buffers events in memory; for tests and programmatic consumers.
+#[derive(Debug, Default)]
+pub struct CaptureSink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl CaptureSink {
+    /// Fresh, empty capture buffer.
+    pub fn new() -> CaptureSink {
+        CaptureSink::default()
+    }
+
+    /// Drains and returns everything captured so far.
+    pub fn take(&self) -> Vec<Event> {
+        std::mem::take(&mut *self.events.lock().expect("capture sink poisoned"))
+    }
+
+    /// Clones the captured events without draining.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.events.lock().expect("capture sink poisoned").clone()
+    }
+
+    /// Number of events captured so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("capture sink poisoned").len()
+    }
+
+    /// Whether nothing has been captured yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for CaptureSink {
+    fn emit(&self, event: &Event) {
+        self.events.lock().expect("capture sink poisoned").push(event.clone());
+    }
+}

@@ -1,0 +1,121 @@
+//! JSONL sink round-trip: emit a stream of every event kind through a
+//! `JsonlSink`, read the file back line by line, and require *exact*
+//! event equality — this is what makes a recorded stream replayable by
+//! the bench harness.
+
+use std::sync::{Arc, Mutex};
+
+use atnn_obs::{emit, install_scoped, Event, JsonlSink};
+
+/// A `Write` impl backed by a shared buffer so the test can read what the
+/// sink wrote without touching the filesystem.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl std::io::Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn every_event_kind() -> Vec<Event> {
+    vec![
+        Event::EpochEnd {
+            model: "ctr".into(),
+            epoch: 3,
+            loss_i: 0.6931999,
+            loss_g: 1.25e-7,
+            loss_s: -0.125,
+            val_auc: Some(0.7431234567890123),
+        },
+        Event::EpochEnd {
+            model: "multitask".into(),
+            epoch: 0,
+            loss_i: 0.5,
+            loss_g: 0.25,
+            loss_s: 0.125,
+            val_auc: None,
+        },
+        Event::StepTiming { section: "ctr.train_step".into(), ns: 1_234_567, rows: 256 },
+        Event::Backward { ns: 987_654_321, nodes: 151 },
+        Event::GradNorm { norm: 17.25, clipped: true },
+        Event::EarlyStop { model: "ctr".into(), stopped_epoch: 7, best_epoch: 4 },
+        Event::Swap { version: u64::MAX },
+        Event::Shed { endpoint: "score_new_arrival".into() },
+        Event::Span { label: "weird \"label\"\\with\nescapes".into(), ns: 0 },
+    ]
+}
+
+#[test]
+fn jsonl_stream_roundtrips_to_exactly_equal_events() {
+    let buf = SharedBuf::default();
+    let events = every_event_kind();
+    {
+        let _guard = install_scoped(Arc::new(JsonlSink::from_writer(buf.clone())));
+        for e in &events {
+            emit(e);
+        }
+        atnn_obs::flush();
+    }
+    let bytes = buf.0.lock().unwrap().clone();
+    let text = String::from_utf8(bytes).expect("sink output is UTF-8");
+    let parsed: Vec<Event> = text
+        .lines()
+        .map(|line| Event::from_json(line).unwrap_or_else(|e| panic!("line {line:?}: {e}")))
+        .collect();
+    assert_eq!(parsed, events, "JSONL round-trip must reproduce the stream exactly");
+}
+
+#[test]
+fn float_payloads_roundtrip_bit_exactly() {
+    // Shortest round-trip Display + parse-at-the-same-width must be the
+    // identity on awkward values, not just pretty ones.
+    for loss in [f32::MIN_POSITIVE, 1.0 + f32::EPSILON, 3.4e38, 1e-40 /* subnormal */] {
+        for auc in [0.5000000000000001_f64, f64::MIN_POSITIVE, 0.9999999999999999] {
+            let e = Event::EpochEnd {
+                model: "ctr".into(),
+                epoch: 1,
+                loss_i: loss,
+                loss_g: -loss,
+                loss_s: 0.0,
+                val_auc: Some(auc),
+            };
+            let back = Event::from_json(&e.to_json()).unwrap();
+            match back {
+                Event::EpochEnd { loss_i, loss_g, val_auc, .. } => {
+                    assert_eq!(loss_i.to_bits(), loss.to_bits());
+                    assert_eq!(loss_g.to_bits(), (-loss).to_bits());
+                    assert_eq!(val_auc.unwrap().to_bits(), auc.to_bits());
+                }
+                other => panic!("wrong event: {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn appended_streams_concatenate() {
+    // JSONL is append-only: two sessions writing to the same file must
+    // yield one parseable stream.
+    let buf = SharedBuf::default();
+    for version in [1u64, 2] {
+        let _guard = install_scoped(Arc::new(JsonlSink::from_writer(buf.clone())));
+        emit(&Event::Swap { version });
+        atnn_obs::flush();
+    }
+    let bytes = buf.0.lock().unwrap().clone();
+    let text = String::from_utf8(bytes).unwrap();
+    let versions: Vec<u64> = text
+        .lines()
+        .map(|l| match Event::from_json(l).unwrap() {
+            Event::Swap { version } => version,
+            other => panic!("wrong event: {other:?}"),
+        })
+        .collect();
+    assert_eq!(versions, vec![1, 2]);
+}

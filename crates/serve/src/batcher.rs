@@ -302,8 +302,8 @@ mod tests {
             ..TmallConfig::tiny()
         });
         let mut model = Atnn::new(AtnnConfig::scaled(), &data);
-        CtrTrainer::new(TrainOptions { epochs: 1, ..Default::default() })
-            .train(&mut model, &data, None);
+        let opts = TrainOptions::builder().epochs(1).build().expect("valid options");
+        CtrTrainer::new(opts).train(&mut model, &data, None).expect("training runs");
         let index = PopularityIndex::build(&model, &data, &(0..30).collect::<Vec<_>>());
         Arc::new(ModelManager::new(ModelSnapshot { version: 1, data, model, index }))
     }

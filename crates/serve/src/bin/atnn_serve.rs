@@ -101,7 +101,8 @@ fn train_snapshot(scale: &str, epochs: usize) -> Result<(ModelSnapshot, TmallCon
         model.num_parameters(),
         data.interactions.len()
     );
-    CtrTrainer::new(TrainOptions { epochs, ..Default::default() }).train(&mut model, &data, None);
+    let opts = TrainOptions::builder().epochs(epochs).build().map_err(|e| e.to_string())?;
+    CtrTrainer::new(opts).train(&mut model, &data, None).map_err(|e| e.to_string())?;
     let users: Vec<u32> = (0..data.num_users() as u32).collect();
     let index = PopularityIndex::build(&model, &data, &users);
     Ok((ModelSnapshot { version: 1, data, model, index }, cfg))

@@ -44,7 +44,7 @@ pub use batcher::{BatchReply, Batcher, Overloaded};
 pub use client::ServeClient;
 pub use config::ServeConfig;
 pub use manager::{ItemSpaceMismatch, ModelManager, ModelSnapshot};
-pub use protocol::{FrameRead, FrameReader, Request, Response, StatsReport};
+pub use protocol::{FrameRead, FrameReader, ProtocolError, Request, Response, StatsReport};
 pub use router::{PolicyRouter, ScorePath};
 pub use server::{serve, ServeHandle};
 pub use telemetry::{Endpoint, Telemetry};

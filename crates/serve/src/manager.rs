@@ -152,7 +152,9 @@ impl ModelManager {
                 offered: snapshot.num_items(),
             });
         }
+        let version = snapshot.version;
         self.current.publish(snapshot);
+        atnn_obs::emit(&atnn_obs::Event::Swap { version });
         Ok(())
     }
 
@@ -187,8 +189,10 @@ mod tests {
         };
         let data = TmallDataset::generate(cfg.clone());
         let mut model = Atnn::new(AtnnConfig::scaled(), &data);
-        CtrTrainer::new(TrainOptions { epochs, ..Default::default() })
-            .train(&mut model, &data, None);
+        if epochs > 0 {
+            let opts = TrainOptions::builder().epochs(epochs).build().expect("valid options");
+            CtrTrainer::new(opts).train(&mut model, &data, None).expect("training runs");
+        }
         let index = PopularityIndex::build(&model, &data, &(0..40).collect::<Vec<_>>());
         (ModelSnapshot { version, data, model, index }, cfg)
     }
@@ -235,9 +239,7 @@ mod tests {
             ..TmallConfig::tiny()
         };
         let data = TmallDataset::generate(shrunk_cfg);
-        let mut model = Atnn::new(AtnnConfig::scaled(), &data);
-        CtrTrainer::new(TrainOptions { epochs: 0, ..Default::default() })
-            .train(&mut model, &data, None);
+        let model = Atnn::new(AtnnConfig::scaled(), &data);
         let index = PopularityIndex::build(&model, &data, &(0..40).collect::<Vec<_>>());
         let shrunk = ModelSnapshot { version: 2, data, model, index };
 

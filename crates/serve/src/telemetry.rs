@@ -1,29 +1,24 @@
 //! Lock-cheap serving telemetry: per-endpoint counters and fixed-bucket
-//! latency histograms.
+//! latency histograms, built on the `atnn-obs` instruments.
 //!
 //! Every counter is a relaxed atomic — a recording is a handful of
 //! `fetch_add`s, with no lock anywhere on the request path. Latencies land
-//! in a geometric fixed-bucket histogram (factor-1.25 bucket bounds from
-//! 1 µs up), from which any quantile is derivable; p50/p95/p99 are exposed
-//! through the `Stats` endpoint as the matched bucket's upper bound, so a
-//! reported quantile is always ≥ the true one and within one bucket ratio
-//! of it.
+//! in [`atnn_obs::Histogram`] — the geometric fixed-bucket histogram
+//! (factor-1.25 bucket bounds from 1 µs up) that originated in this module
+//! and now lives in `atnn-obs` — from which any quantile is derivable;
+//! p50/p95/p99 are exposed through the `Stats` endpoint as the matched
+//! bucket's upper bound, so a reported quantile is always ≥ the true one
+//! and within one bucket ratio of it. The re-base is observable only
+//! through `atnn-obs` sinks (shed decisions also emit
+//! [`atnn_obs::Event::Shed`]); `Stats` replies are bit-identical to the
+//! pre-obs implementation, which `stats_report_is_bit_identical_to_the_
+//! reference_histogram` pins against an independent serial reference.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-use crate::protocol::{EndpointStats, StatsReport};
+use atnn_obs::{Counter, Event, Histogram};
 
-/// Number of histogram buckets. With a 1 µs base and ×1.25 spacing the
-/// last finite bound is ≈ 88 s; anything slower lands in the overflow
-/// bucket.
-const BUCKETS: usize = 83;
-/// Lowest bucket upper bound, in nanoseconds.
-const BASE_NS: u64 = 1_000;
-/// Bucket bound growth factor (5/4, computed in integers).
-fn next_bound(b: u64) -> u64 {
-    b + b / 4
-}
+use crate::protocol::{EndpointStats, StatsReport};
 
 /// The endpoints accounted separately. Indexes into [`Telemetry::per`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,67 +83,11 @@ impl Endpoint {
     }
 }
 
-/// A fixed-bucket latency histogram with geometric bounds.
-#[derive(Debug)]
-pub struct Histogram {
-    buckets: [AtomicU64; BUCKETS],
-    /// Samples above the last finite bound.
-    overflow: AtomicU64,
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Histogram { buckets: [(); BUCKETS].map(|_| AtomicU64::new(0)), overflow: AtomicU64::new(0) }
-    }
-}
-
-impl Histogram {
-    /// Records one latency sample.
-    pub fn record(&self, latency: Duration) {
-        let ns = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
-        let mut bound = BASE_NS;
-        for bucket in &self.buckets {
-            if ns <= bound {
-                bucket.fetch_add(1, Ordering::Relaxed);
-                return;
-            }
-            bound = next_bound(bound);
-        }
-        self.overflow.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Total samples recorded.
-    pub fn count(&self) -> u64 {
-        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum::<u64>()
-            + self.overflow.load(Ordering::Relaxed)
-    }
-
-    /// The `q`-quantile (0 < q ≤ 1) as the upper bound of the bucket the
-    /// quantile sample falls in, in nanoseconds. Zero when empty.
-    pub fn quantile_ns(&self, q: f64) -> u64 {
-        let total = self.count();
-        if total == 0 {
-            return 0;
-        }
-        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
-        let mut seen = 0u64;
-        let mut bound = BASE_NS;
-        for bucket in &self.buckets {
-            seen += bucket.load(Ordering::Relaxed);
-            if seen >= rank {
-                return bound;
-            }
-            bound = next_bound(bound);
-        }
-        bound // overflow bucket: report the last finite bound
-    }
-}
-
 #[derive(Debug, Default)]
 struct EndpointTelemetry {
-    requests: AtomicU64,
-    errors: AtomicU64,
-    shed: AtomicU64,
+    requests: Counter,
+    errors: Counter,
+    shed: Counter,
     latency: Histogram,
 }
 
@@ -156,8 +95,8 @@ struct EndpointTelemetry {
 #[derive(Debug, Default)]
 pub struct Telemetry {
     per: [EndpointTelemetry; ENDPOINTS.len()],
-    batches: AtomicU64,
-    batched_items: AtomicU64,
+    batches: Counter,
+    batched_items: Counter,
 }
 
 impl Telemetry {
@@ -169,34 +108,36 @@ impl Telemetry {
     /// Accounts one answered request.
     pub fn record_request(&self, endpoint: Endpoint, latency: Duration) {
         let e = &self.per[endpoint.index()];
-        e.requests.fetch_add(1, Ordering::Relaxed);
+        e.requests.incr();
         e.latency.record(latency);
     }
 
     /// Accounts an [`crate::protocol::Response::Error`] answer.
     pub fn record_error(&self, endpoint: Endpoint) {
-        self.per[endpoint.index()].errors.fetch_add(1, Ordering::Relaxed);
+        self.per[endpoint.index()].errors.incr();
     }
 
-    /// Accounts an [`crate::protocol::Response::Overloaded`] answer.
+    /// Accounts an [`crate::protocol::Response::Overloaded`] answer, and
+    /// surfaces the decision on the `atnn-obs` event stream.
     pub fn record_shed(&self, endpoint: Endpoint) {
-        self.per[endpoint.index()].shed.fetch_add(1, Ordering::Relaxed);
+        self.per[endpoint.index()].shed.incr();
+        atnn_obs::emit(&Event::Shed { endpoint: endpoint.name().into() });
     }
 
     /// Accounts one batched forward pass over `items` items.
     pub fn record_batch(&self, items: usize) {
-        self.batches.fetch_add(1, Ordering::Relaxed);
-        self.batched_items.fetch_add(items as u64, Ordering::Relaxed);
+        self.batches.incr();
+        self.batched_items.add(items as u64);
     }
 
     /// Requests recorded for `endpoint` so far.
     pub fn requests(&self, endpoint: Endpoint) -> u64 {
-        self.per[endpoint.index()].requests.load(Ordering::Relaxed)
+        self.per[endpoint.index()].requests.get()
     }
 
     /// Shed responses recorded for `endpoint` so far.
     pub fn sheds(&self, endpoint: Endpoint) -> u64 {
-        self.per[endpoint.index()].shed.load(Ordering::Relaxed)
+        self.per[endpoint.index()].shed.get()
     }
 
     /// A consistent-enough snapshot for the `Stats` endpoint (counters are
@@ -208,9 +149,9 @@ impl Telemetry {
                 let e = &self.per[ep.index()];
                 EndpointStats {
                     name: ep.name().to_string(),
-                    requests: e.requests.load(Ordering::Relaxed),
-                    errors: e.errors.load(Ordering::Relaxed),
-                    shed: e.shed.load(Ordering::Relaxed),
+                    requests: e.requests.get(),
+                    errors: e.errors.get(),
+                    shed: e.shed.get(),
                     p50_ns: e.latency.quantile_ns(0.50),
                     p95_ns: e.latency.quantile_ns(0.95),
                     p99_ns: e.latency.quantile_ns(0.99),
@@ -219,8 +160,8 @@ impl Telemetry {
             .collect();
         StatsReport {
             model_version,
-            batches: self.batches.load(Ordering::Relaxed),
-            batched_items: self.batched_items.load(Ordering::Relaxed),
+            batches: self.batches.get(),
+            batched_items: self.batched_items.get(),
             endpoints,
         }
     }
@@ -229,6 +170,7 @@ impl Telemetry {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use atnn_obs::BASE_NS;
 
     #[test]
     fn histogram_quantiles_bracket_the_samples() {
@@ -276,5 +218,85 @@ mod tests {
         assert!(score.p50_ns >= 10_000);
         assert_eq!(report.endpoint("topk").unwrap().errors, 1);
         assert_eq!(report.endpoints.len(), ENDPOINTS.len());
+    }
+
+    /// The pre-obs histogram, reimplemented serially and independently:
+    /// 83 buckets, 1 µs base, integer ×5/4 bound growth, quantile = upper
+    /// bound of the bucket holding the ceil(q·total)-th sample.
+    struct Reference {
+        buckets: Vec<u64>,
+        overflow: u64,
+    }
+
+    impl Reference {
+        fn new() -> Self {
+            Reference { buckets: vec![0; 83], overflow: 0 }
+        }
+
+        fn record_ns(&mut self, ns: u64) {
+            let mut bound = 1_000u64;
+            for b in &mut self.buckets {
+                if ns <= bound {
+                    *b += 1;
+                    return;
+                }
+                bound += bound / 4;
+            }
+            self.overflow += 1;
+        }
+
+        fn quantile_ns(&self, q: f64) -> u64 {
+            let total: u64 = self.buckets.iter().sum::<u64>() + self.overflow;
+            if total == 0 {
+                return 0;
+            }
+            let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+            let mut seen = 0u64;
+            let mut bound = 1_000u64;
+            for b in &self.buckets {
+                seen += b;
+                if seen >= rank {
+                    return bound;
+                }
+                bound += bound / 4;
+            }
+            bound
+        }
+    }
+
+    #[test]
+    fn stats_report_is_bit_identical_to_the_reference_histogram() {
+        // Awkward latency mix: bucket edges, edge+1, sub-base, huge
+        // (overflow), and a pseudo-random spread — then every quantile the
+        // Stats endpoint reports must equal the reference exactly.
+        let t = Telemetry::new();
+        let mut r = Reference::new();
+        let mut samples: Vec<u64> = vec![1, 999, 1_000, 1_001, 1_250, 1_251, 90_000_000_000_000];
+        let mut x = 0x2545_F491_4F6C_DD1Du64;
+        for _ in 0..500 {
+            // xorshift spread across ~7 decades
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            samples.push(x % 10_000_000_000);
+        }
+        for &ns in &samples {
+            t.record_request(Endpoint::Score, Duration::from_nanos(ns));
+            r.record_ns(ns);
+        }
+        let report = t.report(1);
+        let score = report.endpoint("score").unwrap();
+        assert_eq!(score.requests, samples.len() as u64);
+        assert_eq!(score.p50_ns, r.quantile_ns(0.50));
+        assert_eq!(score.p95_ns, r.quantile_ns(0.95));
+        assert_eq!(score.p99_ns, r.quantile_ns(0.99));
+        // And off-report quantiles of the shared histogram geometry too.
+        let h = Histogram::new();
+        for &ns in &samples {
+            h.record_ns(ns);
+        }
+        for q in [0.01, 0.1, 0.25, 0.333, 0.5, 0.75, 0.9, 0.999, 1.0] {
+            assert_eq!(h.quantile_ns(q), r.quantile_ns(q), "q={q}");
+        }
     }
 }

@@ -26,7 +26,10 @@ fn tiny_data_config() -> TmallConfig {
 fn snapshot(version: u64, epochs: usize) -> ModelSnapshot {
     let data = TmallDataset::generate(tiny_data_config());
     let mut model = Atnn::new(AtnnConfig::scaled(), &data);
-    CtrTrainer::new(TrainOptions { epochs, ..Default::default() }).train(&mut model, &data, None);
+    if epochs > 0 {
+        let opts = TrainOptions::builder().epochs(epochs).build().expect("valid options");
+        CtrTrainer::new(opts).train(&mut model, &data, None).expect("training runs");
+    }
     let index = PopularityIndex::build(&model, &data, &(0..40).collect::<Vec<_>>());
     ModelSnapshot { version, data, model, index }
 }

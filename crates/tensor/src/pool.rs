@@ -27,8 +27,44 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Duration;
 
+use atnn_obs::Counter;
+
 /// Hard ceiling on pool workers, guarding against absurd `ATNN_THREADS`.
 const MAX_THREADS: usize = 64;
+
+// --- dispatch telemetry ---------------------------------------------------
+// Process-global, monotone, relaxed counters (always on: one `fetch_add`
+// per region / per task, no allocation). `shard_task_counts` shows how
+// evenly regions sharded; a skewed histogram means chunk sizing is off.
+
+/// Regions that ran entirely inline (`tasks <= 1`).
+static SERIAL_REGIONS: Counter = Counter::new();
+/// Regions that actually forked onto the pool.
+static PARALLEL_REGIONS: Counter = Counter::new();
+// A const is the MSRV-compatible way to repeat a non-Copy initializer;
+// each array slot gets its own Counter, so the interior-mutability lint
+// does not apply.
+#[allow(clippy::declare_interior_mutable_const)]
+const SHARD_ZERO: Counter = Counter::new();
+/// Tasks executed per shard index (shard 0 is the caller-inline share).
+static SHARD_TASKS: [Counter; MAX_THREADS] = [SHARD_ZERO; MAX_THREADS];
+
+/// Dispatch counts since process start: `(parallel_regions,
+/// serial_regions)`. A region is one [`run_tasks`] call; serial means it
+/// ran inline without touching the pool.
+pub fn dispatch_counts() -> (u64, u64) {
+    (PARALLEL_REGIONS.get(), SERIAL_REGIONS.get())
+}
+
+/// Tasks executed per shard index since process start, trailing zeros
+/// trimmed (index 0 = the caller-inline share of each region).
+pub fn shard_task_counts() -> Vec<u64> {
+    let mut counts: Vec<u64> = SHARD_TASKS.iter().map(Counter::get).collect();
+    while counts.len() > 1 && counts.last() == Some(&0) {
+        counts.pop();
+    }
+    counts
+}
 
 /// How long a waiting caller sleeps between queue-help attempts.
 const HELP_WAIT: Duration = Duration::from_micros(200);
@@ -166,6 +202,7 @@ fn pool() -> &'static Pool {
 
 /// Runs a job, recording panics on its latch instead of crashing a worker.
 fn run_job(job: Job) {
+    SHARD_TASKS[job.idx.min(MAX_THREADS - 1)].incr();
     let was_in_task = IN_TASK.with(|t| t.replace(true));
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (job.f)(job.idx)));
     IN_TASK.with(|t| t.set(was_in_task));
@@ -201,9 +238,12 @@ fn ensure_workers(want: usize) {
 /// after all tasks finish.
 pub fn run_tasks(tasks: usize, f: &(dyn Fn(usize) + Sync)) {
     if tasks <= 1 {
+        SERIAL_REGIONS.incr();
         f(0);
         return;
     }
+    PARALLEL_REGIONS.incr();
+    SHARD_TASKS[0].incr();
     ensure_workers(tasks - 1);
     let latch = Latch::new(tasks - 1);
     // Safety: see `Job` — this function does not return until every job
@@ -336,6 +376,21 @@ pub fn join3<RA: Send, RB: Send, RC: Send>(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn dispatch_counters_account_regions_and_shards() {
+        // Counters are process-global and other tests run concurrently,
+        // so assert on deltas with `>=` only.
+        let (par0, ser0) = dispatch_counts();
+        run_tasks(1, &|_| {});
+        run_tasks(4, &|_| {});
+        let (par1, ser1) = dispatch_counts();
+        assert!(ser1 > ser0, "serial region not counted");
+        assert!(par1 > par0, "parallel region not counted");
+        let shards = shard_task_counts();
+        assert!(shards.len() >= 4, "4-way region must touch shards 0..=3, got {shards:?}");
+        assert!(shards[..4].iter().all(|&n| n >= 1), "every shard ran: {shards:?}");
+    }
 
     #[test]
     fn run_tasks_covers_all_indices() {

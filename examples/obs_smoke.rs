@@ -1,0 +1,56 @@
+//! CI smoke test for the observability pipeline: trains one tiny epoch
+//! with a `JsonlSink` attached, replays the JSONL stream, and verifies
+//! that at least one `EpochEnd` event round-trips. Run from
+//! `scripts/check.sh`; exits non-zero on any broken link in the chain
+//! (no file, unparseable line, no epoch event).
+
+use std::io::BufRead;
+use std::sync::Arc;
+
+use atnn_repro::atnn::{Atnn, AtnnConfig, CtrTrainer, TrainOptions};
+use atnn_repro::data::tmall::{TmallConfig, TmallDataset};
+use atnn_repro::obs::{Event, JsonlSink};
+
+fn main() {
+    let path = std::env::temp_dir().join(format!("atnn_obs_smoke_{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    {
+        let sink = JsonlSink::append(&path).expect("open jsonl sink");
+        let _guard = atnn_repro::obs::install_scoped(Arc::new(sink));
+        let data = TmallDataset::generate(TmallConfig::tiny());
+        let mut model = Atnn::new(AtnnConfig::scaled(), &data);
+        let opts = TrainOptions::builder().epochs(1).build().expect("valid options");
+        let report = CtrTrainer::new(opts).train(&mut model, &data, None).expect("training runs");
+        atnn_repro::obs::flush();
+        println!("trained {} epoch(s), events at {}", report.epochs.len(), path.display());
+    }
+
+    let file = std::fs::File::open(&path).expect("jsonl stream written");
+    let mut total = 0usize;
+    let mut epoch_ends = 0usize;
+    let mut step_timings = 0usize;
+    for line in std::io::BufReader::new(file).lines() {
+        let line = line.expect("readable line");
+        let event = Event::from_json(&line)
+            .unwrap_or_else(|e| panic!("unparseable event line {line:?}: {e}"));
+        total += 1;
+        match event {
+            Event::EpochEnd { model, epoch, loss_i, .. } => {
+                assert_eq!(model, "ctr");
+                assert!(loss_i.is_finite(), "epoch {epoch} loss is not finite");
+                epoch_ends += 1;
+            }
+            Event::StepTiming { ns, rows, .. } => {
+                assert!(ns > 0 && rows > 0);
+                step_timings += 1;
+            }
+            _ => {}
+        }
+    }
+    std::fs::remove_file(&path).ok();
+
+    assert!(epoch_ends >= 1, "expected at least one EpochEnd event, parsed {total} events");
+    assert!(step_timings >= 1, "expected step timings alongside the epoch event");
+    println!("obs smoke OK: {total} events ({epoch_ends} epoch_end, {step_timings} step_timing)");
+}

@@ -15,8 +15,8 @@ fn main() {
     let data = TmallDataset::generate(TmallConfig::small());
     let mut model = Atnn::new(AtnnConfig::scaled(), &data);
     println!("training...");
-    CtrTrainer::new(TrainOptions { epochs: 2, ..Default::default() })
-        .train(&mut model, &data, None);
+    let opts = TrainOptions::builder().epochs(2).build().expect("valid options");
+    CtrTrainer::new(opts).train(&mut model, &data, None).expect("training runs");
 
     // Checkpoint and restore: the serving fleet loads weights produced by
     // the training job.

@@ -30,8 +30,9 @@ fn main() {
     // 3. Train ATNN with the paper's Algorithm 1 (alternating D/G steps).
     let mut model = Atnn::new(AtnnConfig::scaled(), &data);
     println!("model: {} trainable parameters", model.num_parameters());
-    let report = CtrTrainer::new(TrainOptions { epochs: 2, verbose: true, ..Default::default() })
-        .train(&mut model, &data, Some(&split.train));
+    let opts = TrainOptions::builder().epochs(2).verbose(true).build().expect("valid options");
+    let report =
+        CtrTrainer::new(opts).train(&mut model, &data, Some(&split.train)).expect("training runs");
     let last = report.epochs.last().unwrap();
     println!("final losses: L_i={:.4} L_g={:.4} L_s={:.4}", last.loss_i, last.loss_g, last.loss_s);
 

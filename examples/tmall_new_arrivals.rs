@@ -21,11 +21,8 @@ fn main() {
 
     println!("training ATNN on {} warm interactions...", split.train.len());
     let mut model = Atnn::new(AtnnConfig::scaled(), &data);
-    CtrTrainer::new(TrainOptions { epochs: 3, ..Default::default() }).train(
-        &mut model,
-        &data,
-        Some(&split.train),
-    );
+    let opts = TrainOptions::builder().epochs(3).build().expect("valid options");
+    CtrTrainer::new(opts).train(&mut model, &data, Some(&split.train)).expect("training runs");
 
     // Rank the new arrivals in O(1) per item.
     let group: Vec<u32> = (0..(data.num_users() / 2) as u32).collect();

@@ -16,8 +16,8 @@ fn main() {
     let data = TmallDataset::generate(TmallConfig::small());
     let mut model = Atnn::new(AtnnConfig::scaled(), &data);
     println!("training...");
-    CtrTrainer::new(TrainOptions { epochs: 2, ..Default::default() })
-        .train(&mut model, &data, None);
+    let opts = TrainOptions::builder().epochs(2).build().expect("valid options");
+    CtrTrainer::new(opts).train(&mut model, &data, None).expect("training runs");
 
     let user_group: Vec<u32> = (0..(data.num_users() / 2) as u32).collect();
     let new_items: Vec<u32> = (3_500..3_600).collect();

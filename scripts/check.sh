@@ -16,6 +16,12 @@ cargo run --release -p atnn-serve --bin atnn_serve -- --scale tiny --smoke
 echo "==> allocation budget (steady-state train step, counting allocator)"
 cargo test --release -q -p atnn-core --test alloc_budget
 
+echo "==> obs smoke (train one epoch with a JsonlSink, replay the event stream)"
+cargo run --release --example obs_smoke
+
+echo "==> cargo doc -p atnn-obs (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q -p atnn-obs
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 

@@ -1,0 +1,131 @@
+//! The workspace-wide error type.
+//!
+//! Every member crate defines its own focused error enum close to where
+//! it can occur ([`TensorError`] for shape mismatches, [`NnError`] for
+//! checkpoint decoding, [`IoError`] for dataset files, [`ArtifactError`]
+//! for model artifacts, [`ProtocolError`] for the serve wire format, plus
+//! the training-layer [`TrainError`]/[`ConfigError`]/[`FitError`]).
+//! [`AtnnError`] is the sum of them all: application code that drives the
+//! whole system — load a dataset, build a config, train, checkpoint,
+//! serve — can use one `Result<_, AtnnError>` and let `?` convert.
+
+use std::fmt;
+
+use atnn_baselines::FitError;
+use atnn_core::{ArtifactError, ConfigError, TrainError};
+use atnn_data::io::IoError;
+use atnn_nn::NnError;
+use atnn_serve::ProtocolError;
+use atnn_tensor::TensorError;
+
+/// Any error the ATNN workspace can produce, with `From` conversions
+/// from every member crate's error type (so `?` just works).
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum AtnnError {
+    /// Tensor shape/layout violation ([`atnn_tensor`]).
+    Tensor(TensorError),
+    /// Checkpoint encode/decode failure ([`atnn_nn`]).
+    Nn(NnError),
+    /// Dataset file IO/parse failure ([`atnn_data`]).
+    Io(IoError),
+    /// Model-artifact capture/restore failure ([`atnn_core`]).
+    Artifact(ArtifactError),
+    /// Serve wire-protocol violation ([`atnn_serve`]).
+    Protocol(ProtocolError),
+    /// Training-loop failure ([`atnn_core`]).
+    Train(TrainError),
+    /// Rejected training/model configuration ([`atnn_core`]).
+    Config(ConfigError),
+    /// Rejected baseline fit ([`atnn_baselines`]).
+    Fit(FitError),
+}
+
+impl fmt::Display for AtnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AtnnError::Tensor(e) => write!(f, "tensor: {e}"),
+            AtnnError::Nn(e) => write!(f, "nn: {e}"),
+            AtnnError::Io(e) => write!(f, "io: {e}"),
+            AtnnError::Artifact(e) => write!(f, "artifact: {e}"),
+            AtnnError::Protocol(e) => write!(f, "protocol: {e}"),
+            AtnnError::Train(e) => write!(f, "train: {e}"),
+            AtnnError::Config(e) => write!(f, "config: {e}"),
+            AtnnError::Fit(e) => write!(f, "fit: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AtnnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AtnnError::Tensor(e) => Some(e),
+            AtnnError::Nn(e) => Some(e),
+            AtnnError::Io(e) => Some(e),
+            AtnnError::Artifact(e) => Some(e),
+            AtnnError::Protocol(e) => Some(e),
+            AtnnError::Train(e) => Some(e),
+            AtnnError::Config(e) => Some(e),
+            AtnnError::Fit(e) => Some(e),
+        }
+    }
+}
+
+macro_rules! from_variant {
+    ($($source:ty => $variant:ident),* $(,)?) => {
+        $(impl From<$source> for AtnnError {
+            fn from(e: $source) -> Self {
+                AtnnError::$variant(e)
+            }
+        })*
+    };
+}
+
+from_variant! {
+    TensorError => Tensor,
+    NnError => Nn,
+    IoError => Io,
+    ArtifactError => Artifact,
+    ProtocolError => Protocol,
+    TrainError => Train,
+    ConfigError => Config,
+    FitError => Fit,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    /// `?` must lift every member error into [`AtnnError`].
+    #[test]
+    fn question_mark_converts_from_every_layer() {
+        fn tensor() -> Result<(), AtnnError> {
+            Err(TensorError::ShapeMismatch { op: "matmul", lhs: (1, 2), rhs: (2, 1) })?;
+            Ok(())
+        }
+        fn train() -> Result<(), AtnnError> {
+            Err(TrainError::EmptyTrainingSet)?;
+            Ok(())
+        }
+        fn config() -> Result<(), AtnnError> {
+            atnn_core::TrainOptions::builder().epochs(0).build()?;
+            Ok(())
+        }
+        fn fit() -> Result<(), AtnnError> {
+            Err(FitError::EmptyTrainingSet)?;
+            Ok(())
+        }
+        assert!(matches!(tensor().unwrap_err(), AtnnError::Tensor(_)));
+        assert!(matches!(train().unwrap_err(), AtnnError::Train(_)));
+        assert!(matches!(config().unwrap_err(), AtnnError::Config(_)));
+        assert!(matches!(fit().unwrap_err(), AtnnError::Fit(_)));
+    }
+
+    #[test]
+    fn display_and_source_expose_the_inner_error() {
+        let e = AtnnError::from(TrainError::EmptyValidationSet);
+        assert!(e.to_string().starts_with("train: "));
+        assert!(e.source().is_some());
+    }
+}

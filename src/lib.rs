@@ -13,5 +13,10 @@ pub use atnn_core as atnn;
 pub use atnn_data as data;
 pub use atnn_metrics as metrics;
 pub use atnn_nn as nn;
+pub use atnn_obs as obs;
 pub use atnn_serve as serve;
 pub use atnn_tensor as tensor;
+
+mod error;
+
+pub use error::AtnnError;

@@ -1,8 +1,13 @@
 //! Integration of the baseline learners with the Tmall simulator: the
 //! classical-model pecking order must hold on the tabular encoding.
+//!
+//! Every model is driven through the generic [`Learner`] surface — one
+//! fit/predict harness covers the whole zoo, and the scores it produces
+//! are identical to the inherent constructors' (the trait impls validate
+//! and delegate).
 
 use atnn_repro::baselines::{
-    tabular, FactorizationMachine, FmConfig, Ftrl, FtrlConfig, Gbdt, GbdtConfig,
+    tabular, FactorizationMachine, FmConfig, Ftrl, FtrlConfig, Gbdt, GbdtConfig, Learner,
     LogisticRegression, LrConfig,
 };
 use atnn_repro::data::tmall::{TmallConfig, TmallDataset};
@@ -14,6 +19,15 @@ struct Tabular {
     y_train: Vec<f32>,
     x_test: Matrix,
     labels_test: Vec<bool>,
+}
+
+impl Tabular {
+    /// The one generic harness: fit any dense-input learner on the train
+    /// block, return its test AUC.
+    fn eval<L: Learner<Input = Matrix>>(&self, cfg: L::Config) -> f64 {
+        let model = L::fit(cfg, &self.x_train, &self.y_train).expect("valid training data");
+        auc(&model.predict(&self.x_test), &self.labels_test).expect("AUC defined")
+    }
 }
 
 fn tabular_setup() -> Tabular {
@@ -51,12 +65,8 @@ fn tabular_setup() -> Tabular {
 fn gbdt_dominates_linear_models_on_mixed_features() {
     let t = tabular_setup();
 
-    let gbdt =
-        Gbdt::fit(GbdtConfig { num_trees: 40, ..Default::default() }, &t.x_train, &t.y_train);
-    let gbdt_auc = auc(&gbdt.predict(&t.x_test), &t.labels_test).unwrap();
-
-    let lr = LogisticRegression::fit(LrConfig::default(), &t.x_train, &t.y_train);
-    let lr_auc = auc(&lr.predict(&t.x_test), &t.labels_test).unwrap();
+    let gbdt_auc = t.eval::<Gbdt>(GbdtConfig { num_trees: 40, ..Default::default() });
+    let lr_auc = t.eval::<LogisticRegression>(LrConfig::default());
 
     assert!(gbdt_auc > 0.68, "GBDT with stats should be strong: {gbdt_auc:.4}");
     assert!(
@@ -72,18 +82,21 @@ fn ftrl_and_fm_are_sane_on_simulator_data() {
     // ids span hundreds and blow up multiplicative updates).
     let t = tabular_setup();
     let norm = atnn_repro::data::encode::Normalizer::fit(&t.x_train);
-    let x_train = norm.transform(&t.x_train);
-    let x_test = norm.transform(&t.x_test);
+    let t = Tabular {
+        x_train: norm.transform(&t.x_train),
+        x_test: norm.transform(&t.x_test),
+        y_train: t.y_train,
+        labels_test: t.labels_test,
+    };
 
-    let ftrl = Ftrl::fit(FtrlConfig { l1: 0.1, ..Default::default() }, &x_train, &t.y_train);
-    let ftrl_auc = auc(&ftrl.predict(&x_test), &t.labels_test).unwrap();
+    let ftrl_auc = t.eval::<Ftrl>(FtrlConfig { l1: 0.1, ..Default::default() });
     assert!(ftrl_auc > 0.55, "FTRL above chance: {ftrl_auc:.4}");
 
-    let fm = FactorizationMachine::fit(
-        FmConfig { factors: 4, epochs: 8, learning_rate: 0.01, ..Default::default() },
-        &x_train,
-        &t.y_train,
-    );
-    let fm_auc = auc(&fm.predict(&x_test), &t.labels_test).unwrap();
+    let fm_auc = t.eval::<FactorizationMachine>(FmConfig {
+        factors: 4,
+        epochs: 8,
+        learning_rate: 0.01,
+        ..Default::default()
+    });
     assert!(fm_auc > 0.55, "FM above chance: {fm_auc:.4}");
 }

@@ -28,11 +28,8 @@ fn fresh_setup() -> (TmallDataset, Split, Vec<u32>) {
 
 fn train(data: &TmallDataset, split: &Split, config: AtnnConfig) -> Atnn {
     let mut model = Atnn::new(config, data);
-    CtrTrainer::new(TrainOptions { epochs: 6, ..Default::default() }).train(
-        &mut model,
-        data,
-        Some(&split.train),
-    );
+    let opts = TrainOptions::builder().epochs(6).build().expect("valid options");
+    CtrTrainer::new(opts).train(&mut model, data, Some(&split.train)).expect("training runs");
     model
 }
 

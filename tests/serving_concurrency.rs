@@ -19,8 +19,8 @@ fn hot_swap_is_atomic_under_concurrent_reads() {
         .with_seed(4242),
     );
     let mut model = Atnn::new(AtnnConfig::scaled(), &data);
-    CtrTrainer::new(TrainOptions { epochs: 1, ..Default::default() })
-        .train(&mut model, &data, None);
+    let opts = TrainOptions::builder().epochs(1).build().expect("valid options");
+    CtrTrainer::new(opts).train(&mut model, &data, None).expect("training runs");
 
     let group_a: Vec<u32> = (0..100).collect();
     let group_b: Vec<u32> = (100..200).collect();
@@ -76,8 +76,8 @@ fn hot_swap_is_atomic_under_concurrent_reads() {
 fn snapshots_are_zero_copy_and_stable_across_publish() {
     let data = TmallDataset::generate(TmallConfig::tiny());
     let mut model = Atnn::new(AtnnConfig::scaled(), &data);
-    CtrTrainer::new(TrainOptions { epochs: 1, ..Default::default() })
-        .train(&mut model, &data, None);
+    let opts = TrainOptions::builder().epochs(1).build().expect("valid options");
+    CtrTrainer::new(opts).train(&mut model, &data, None).expect("training runs");
     let index_a = PopularityIndex::build(&model, &data, &(0..64).collect::<Vec<_>>());
     let index_b = PopularityIndex::build(&model, &data, &(64..128).collect::<Vec<_>>());
 
