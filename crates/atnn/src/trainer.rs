@@ -316,6 +316,10 @@ impl CtrTrainer {
                 eprintln!("{}", StderrSink::render(&epoch_event));
             }
             atnn_obs::emit(&epoch_event);
+            // Kernel-selection snapshot (cumulative process-wide counts):
+            // makes tiled/small/parallel dispatch visible per epoch.
+            let (tiled, small, edge_tiles, parallel) = atnn_tensor::gemm_dispatch_counts();
+            atnn_obs::emit(&Event::KernelDispatch { tiled, small, edge_tiles, parallel });
             report.epochs.push(stats);
 
             if let Some(auc) = val_auc {

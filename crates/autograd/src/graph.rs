@@ -1,6 +1,6 @@
 //! The tape: eager-forward, reverse-backward computation graph.
 
-use atnn_tensor::Matrix;
+use atnn_tensor::{ActKind, Matrix};
 
 use crate::{ParamId, ParamStore};
 
@@ -21,6 +21,14 @@ enum Op {
         indices: Vec<u32>,
     },
     MatMul(Var, Var),
+    /// Fused `act(x @ w + b)` layer: one tape node, one memory sweep.
+    /// Holds the parameter ids directly (no `Param` leaf clones).
+    Linear {
+        x: Var,
+        w: ParamId,
+        b: Option<ParamId>,
+        act: ActKind,
+    },
     Add(Var, Var),
     Sub(Var, Var),
     Mul(Var, Var),
@@ -48,6 +56,9 @@ enum Op {
     BceWithLogits {
         logits: Var,
         targets: Matrix,
+        /// `σ(logits)` cached by the fused forward sweep (shares the
+        /// `exp(-|z|)` with the loss terms), consumed by backward.
+        probs: Matrix,
     },
     // The parent is deliberately not visited in backward; kept for Debug.
     Detach(#[allow(dead_code)] Var),
@@ -101,16 +112,10 @@ impl Workspace {
     }
 }
 
-/// Numerically stable logistic function.
-#[inline]
-pub(crate) fn sigmoid(z: f32) -> f32 {
-    if z >= 0.0 {
-        1.0 / (1.0 + (-z).exp())
-    } else {
-        let e = z.exp();
-        e / (1.0 + e)
-    }
-}
+/// Numerically stable logistic function — the canonical `stable_sigmoid`
+/// from `atnn-tensor`, shared so the fused epilogue, the `Sigmoid` node and
+/// the BCE loss all round identically.
+pub(crate) use atnn_tensor::stable_sigmoid as sigmoid;
 
 impl Graph {
     /// Creates an empty tape.
@@ -183,6 +188,29 @@ impl Graph {
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
         let value = self.val(a).matmul(self.val(b)).unwrap_or_else(|e| panic!("matmul: {e}"));
         self.push(Op::MatMul(a, b), value)
+    }
+
+    /// Fused dense layer `act(x @ w + b)`: matmul, bias add and activation
+    /// run in one output sweep (the `linear_bias_act` kernel), and the tape
+    /// records one node instead of three — no `Param` leaf value clones.
+    ///
+    /// Bit-identical to the unfused `param`/`matmul`/`add_row_broadcast`/
+    /// activation chain in both the forward values and the gradients
+    /// accumulated into `store`.
+    pub fn linear(
+        &mut self,
+        store: &ParamStore,
+        x: Var,
+        w: ParamId,
+        b: Option<ParamId>,
+        act: ActKind,
+    ) -> Var {
+        let bias = b.map(|id| store.value(id));
+        let value = self
+            .val(x)
+            .linear_bias_act(store.value(w), bias, act)
+            .unwrap_or_else(|e| panic!("linear('{}'): {e}", store.name(w)));
+        self.push(Op::Linear { x, w, b, act }, value)
     }
 
     /// Elementwise `a + b` (same shapes).
@@ -377,14 +405,24 @@ impl Graph {
         assert_eq!(z.shape(), targets.shape(), "bce_with_logits_loss: shape mismatch");
         let n = z.len().max(1) as f32;
         // max(z,0) - y*z + ln(1 + exp(-|z|)) is the standard stable form.
-        let loss = z
-            .as_slice()
-            .iter()
-            .zip(targets.as_slice())
-            .map(|(&z, &y)| z.max(0.0) - y * z + (1.0 + (-z.abs()).exp()).ln())
-            .sum::<f32>()
-            / n;
-        self.push(Op::BceWithLogits { logits, targets: targets.clone() }, Matrix::full(1, 1, loss))
+        // The same exp(-|z|) also yields σ(z) branch-for-branch identical
+        // to `stable_sigmoid` (z ≥ 0: 1/(1+e); z < 0: e/(1+e)), so the
+        // probabilities backward needs are cached here for free instead of
+        // re-exponentiating the whole batch in the backward sweep.
+        let mut probs = Matrix::zeros(z.rows(), z.cols());
+        let mut loss = 0.0f32;
+        for ((p, &zv), &y) in
+            probs.as_mut_slice().iter_mut().zip(z.as_slice()).zip(targets.as_slice())
+        {
+            let e = (-zv.abs()).exp();
+            loss += zv.max(0.0) - y * zv + (1.0 + e).ln();
+            *p = if zv >= 0.0 { 1.0 / (1.0 + e) } else { e / (1.0 + e) };
+        }
+        loss /= n;
+        self.push(
+            Op::BceWithLogits { logits, targets: targets.clone(), probs },
+            Matrix::full(1, 1, loss),
+        )
     }
 
     // ------------------------------------------------------------------
@@ -431,20 +469,75 @@ impl Graph {
                     ws.give(g);
                 }
                 Op::MatMul(a, b) => {
-                    // da = g @ bᵀ via the packed-transpose kernel (the
-                    // matmul_nt layout), db = aᵀ @ g — both into arena
-                    // buffers, dispatch-identical to the allocating forms.
+                    // da = g @ bᵀ and db = aᵀ @ g, both through the packed
+                    // gemm (packing absorbs the transposes — no transpose
+                    // is ever materialized) into arena buffers.
                     let (av, bv) = (val_of(*a), val_of(*b));
-                    let mut bt = ws.take(bv.cols(), bv.rows());
-                    bv.transpose_into(&mut bt);
                     let mut da = ws.take(g.rows(), bv.rows());
-                    g.matmul_into(&bt, &mut da).expect("matmul da");
-                    ws.give(bt);
+                    g.matmul_nt_into(bv, &mut da).expect("matmul da");
                     let mut db = ws.take(av.cols(), g.cols());
                     av.matmul_tn_into(&g, &mut db).expect("matmul db");
                     ws.give(g);
                     accumulate(grad_slots, ws, *a, da);
                     accumulate(grad_slots, ws, *b, db);
+                }
+                Op::Linear { x, w, b, act } => {
+                    // One fused arm replacing the activation, bias and
+                    // matmul backward steps. Each piece reuses the exact
+                    // expression of its unfused counterpart: the activation
+                    // masks via the output y (for Relu/LeakyRelu the sign
+                    // of y matches the sign of the pre-activation, so the
+                    // mask is the same), dbias is the rows-ascending column
+                    // sum, dw = xᵀ @ g' and dx = g' @ wᵀ via packed gemm.
+                    let y = &node.value;
+                    let mut gm = g;
+                    match act {
+                        ActKind::Identity => {}
+                        ActKind::Relu => {
+                            for (d, &yv) in gm.as_mut_slice().iter_mut().zip(y.as_slice()) {
+                                if yv <= 0.0 {
+                                    *d = 0.0;
+                                }
+                            }
+                        }
+                        ActKind::LeakyRelu(alpha) => {
+                            for (d, &yv) in gm.as_mut_slice().iter_mut().zip(y.as_slice()) {
+                                if yv <= 0.0 {
+                                    *d *= alpha;
+                                }
+                            }
+                        }
+                        ActKind::Tanh => {
+                            for (d, &yv) in gm.as_mut_slice().iter_mut().zip(y.as_slice()) {
+                                *d *= 1.0 - yv * yv;
+                            }
+                        }
+                        ActKind::Sigmoid => {
+                            for (d, &yv) in gm.as_mut_slice().iter_mut().zip(y.as_slice()) {
+                                *d *= yv * (1.0 - yv);
+                            }
+                        }
+                    }
+                    if let Some(bid) = b {
+                        let mut dbias = ws.take(1, gm.cols());
+                        for i in 0..gm.rows() {
+                            for (o, &v) in dbias.row_mut(0).iter_mut().zip(gm.row(i)) {
+                                *o += v;
+                            }
+                        }
+                        store.accumulate_dense(*bid, &dbias);
+                        ws.give(dbias);
+                    }
+                    let xv = val_of(*x);
+                    let mut dw = ws.take(xv.cols(), gm.cols());
+                    xv.matmul_tn_into(&gm, &mut dw).expect("linear dw");
+                    store.accumulate_dense(*w, &dw);
+                    ws.give(dw);
+                    let wv = store.value(*w);
+                    let mut dx = ws.take(gm.rows(), wv.rows());
+                    gm.matmul_nt_into(wv, &mut dx).expect("linear dx");
+                    ws.give(gm);
+                    accumulate(grad_slots, ws, *x, dx);
                 }
                 Op::Add(a, b) => {
                     let mut da = ws.take(g.rows(), g.cols());
@@ -680,15 +773,17 @@ impl Graph {
                     }
                     accumulate(grad_slots, ws, *pred, dp);
                 }
-                Op::BceWithLogits { logits, targets } => {
+                Op::BceWithLogits { logits, targets, probs } => {
+                    // dL/dz = (σ(z) - y) / N, with σ(z) read from the
+                    // forward-cached probs — no exp in the backward sweep.
                     let z = val_of(*logits);
                     let scale = g.get(0, 0) / z.len().max(1) as f32;
                     ws.give(g);
                     let mut dz = ws.take(z.rows(), z.cols());
-                    for ((d, &zv), &y) in
-                        dz.as_mut_slice().iter_mut().zip(z.as_slice()).zip(targets.as_slice())
+                    for ((d, &p), &y) in
+                        dz.as_mut_slice().iter_mut().zip(probs.as_slice()).zip(targets.as_slice())
                     {
-                        *d = scale * (sigmoid(zv) - y);
+                        *d = scale * (p - y);
                     }
                     accumulate(grad_slots, ws, *logits, dz);
                 }

@@ -28,16 +28,17 @@ fn bench_matmul(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_matmul_blocked(c: &mut Criterion) {
-    // The paper-width regime: 512-wide towers. Blocked tiling vs the
-    // streaming kernel.
+fn bench_matmul_tiled_vs_naive(c: &mut Criterion) {
+    // The paper-width regime: 512-wide towers, beyond L2. The packed
+    // register-tiled kernel (what `matmul` dispatches to) vs the naive
+    // i-k-j reference it is proven bit-identical to.
     let mut rng = Rng64::seed_from_u64(5);
     let a = Init::Normal(1.0).sample(256, 1024, &mut rng);
     let b = Init::Normal(1.0).sample(1024, 1024, &mut rng);
     let mut group = c.benchmark_group("matmul_1024_beyond_l2");
     group.sample_size(20);
-    group.bench_function("blocked_k64", |bench| bench.iter(|| a.matmul_blocked(&b, 64)));
-    group.bench_function("unblocked", |bench| bench.iter(|| a.matmul_blocked(&b, 1024)));
+    group.bench_function("tiled", |bench| bench.iter(|| a.matmul(&b).unwrap()));
+    group.bench_function("naive", |bench| bench.iter(|| a.matmul_naive(&b)));
     group.finish();
 }
 
@@ -109,7 +110,7 @@ fn bench_binning(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_matmul, bench_matmul_blocked, bench_matmul_parallel, bench_train_epoch,
+    targets = bench_matmul, bench_matmul_tiled_vs_naive, bench_matmul_parallel, bench_train_epoch,
         bench_gather, bench_binning
 }
 criterion_main!(benches);

@@ -1,0 +1,170 @@
+//! Naive-vs-tiled GEMM throughput harness.
+//!
+//! Measures GFLOP/s and ns/op for [`Matrix::matmul_naive`] (the scalar
+//! i-k-j reference kernel) against the production register-tiled kernel
+//! across square sizes 64–1024 and the actual ATNN layer shapes, writing
+//! the results to `BENCH_gemm.json` (the source of the README perf table).
+//!
+//! Runs serially (`pool::with_threads(1)`) so the comparison isolates the
+//! single-core microkernel win from the row-sharding layer benchmarked in
+//! `BENCH_kernels.json`.
+//!
+//! Flags:
+//! - `--smoke`: one quick 256² comparison; exits non-zero unless the tiled
+//!   kernel at least matches the naive kernel (the check.sh regression
+//!   gate).
+//! - `--out <path>`: output path (default `BENCH_gemm.json`).
+
+use std::time::Instant;
+
+use atnn_tensor::{pool, Matrix};
+
+/// `(label, m, k, n)` cases: squares spanning the cache hierarchy plus the
+/// paper-config ATNN tower layers (batch 512, deep stack 512-256-128,
+/// projection to vec_dim 128) and the scaled test config's first layer.
+const CASES: &[(&str, usize, usize, usize)] = &[
+    ("square/64", 64, 64, 64),
+    ("square/128", 128, 128, 128),
+    ("square/256", 256, 256, 256),
+    ("square/512", 512, 512, 512),
+    ("square/1024", 1024, 1024, 1024),
+    ("atnn/deep_fc0_512x512x512", 512, 512, 512),
+    ("atnn/deep_fc1_512x512x256", 512, 512, 256),
+    ("atnn/deep_fc2_512x256x128", 512, 256, 128),
+    ("atnn/project_512x256x128", 512, 256, 128),
+    ("atnn/scaled_fc0_64x64x64", 64, 64, 64),
+];
+
+struct Measurement {
+    name: String,
+    m: usize,
+    k: usize,
+    n: usize,
+    naive_ns: f64,
+    tiled_ns: f64,
+    naive_gflops: f64,
+    tiled_gflops: f64,
+    speedup: f64,
+}
+
+fn test_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    Matrix::from_fn(rows, cols, |i, j| {
+        let mut z = seed
+            ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (j as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z ^= z >> 31;
+        ((z >> 40) & 0xFF_FFFF) as f32 / (1u64 << 23) as f32 - 1.0
+    })
+}
+
+/// Median wall time in ns of `f()` over enough iterations to fill
+/// `min_sample_ns`, sampled `samples` times.
+fn time_ns(samples: usize, min_sample_ns: u64, mut f: impl FnMut()) -> f64 {
+    // Calibrate the per-sample iteration count on one warmup run.
+    let t0 = Instant::now();
+    f();
+    let once = t0.elapsed().as_nanos().max(1) as u64;
+    let iters = (min_sample_ns / once).clamp(1, 1_000_000);
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn measure(name: &str, m: usize, k: usize, n: usize, samples: usize) -> Measurement {
+    let a = test_matrix(m, k, 0xA11CE);
+    let b = test_matrix(k, n, 0xB0B);
+    let mut out = Matrix::zeros(m, n);
+    let flops = 2.0 * m as f64 * k as f64 * n as f64;
+    let (naive_ns, tiled_ns) = pool::with_threads(1, || {
+        let naive = time_ns(samples, 20_000_000, || {
+            std::hint::black_box(a.matmul_naive(std::hint::black_box(&b)));
+        });
+        let tiled = time_ns(samples, 20_000_000, || {
+            a.matmul_into(std::hint::black_box(&b), &mut out).unwrap();
+            std::hint::black_box(&out);
+        });
+        (naive, tiled)
+    });
+    Measurement {
+        name: name.to_string(),
+        m,
+        k,
+        n,
+        naive_ns,
+        tiled_ns,
+        naive_gflops: flops / naive_ns,
+        tiled_gflops: flops / tiled_ns,
+        speedup: naive_ns / tiled_ns,
+    }
+}
+
+fn to_json(results: &[Measurement]) -> String {
+    let rows: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "  {{\"name\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, ",
+                    "\"naive_ns\": {:.1}, \"tiled_ns\": {:.1}, ",
+                    "\"naive_gflops\": {:.3}, \"tiled_gflops\": {:.3}, \"speedup\": {:.2}}}"
+                ),
+                r.name,
+                r.m,
+                r.k,
+                r.n,
+                r.naive_ns,
+                r.tiled_ns,
+                r.naive_gflops,
+                r.tiled_gflops,
+                r.speedup
+            )
+        })
+        .collect();
+    format!("[\n{}\n]\n", rows.join(",\n"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_gemm.json".to_string());
+
+    if smoke {
+        // One fast comparison at 256²: a tiled kernel slower than the
+        // naive reference is a regression regardless of absolute numbers.
+        let r = measure("square/256", 256, 256, 256, 3);
+        println!(
+            "gemm-smoke 256²: naive {:.2} GFLOP/s, tiled {:.2} GFLOP/s ({:.2}x)",
+            r.naive_gflops, r.tiled_gflops, r.speedup
+        );
+        if r.tiled_ns > r.naive_ns {
+            eprintln!("gemm-smoke FAILED: tiled kernel slower than naive reference");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let mut results = Vec::new();
+    for &(name, m, k, n) in CASES {
+        let r = measure(name, m, k, n, 7);
+        println!(
+            "{:28} {:4}x{:4}x{:4}  naive {:8.2} GFLOP/s  tiled {:8.2} GFLOP/s  {:5.2}x",
+            r.name, r.m, r.k, r.n, r.naive_gflops, r.tiled_gflops, r.speedup
+        );
+        results.push(r);
+    }
+    std::fs::write(&out_path, to_json(&results)).expect("write bench json");
+    println!("wrote {out_path}");
+}

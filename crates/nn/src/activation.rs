@@ -1,6 +1,7 @@
 //! Activation functions as a small closed enum.
 
 use atnn_autograd::{Graph, Var};
+use atnn_tensor::ActKind;
 
 /// Elementwise nonlinearities usable between layers.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -26,6 +27,18 @@ impl Activation {
             Activation::LeakyRelu(alpha) => g.leaky_relu(x, alpha),
             Activation::Tanh => g.tanh(x),
             Activation::Sigmoid => g.sigmoid(x),
+        }
+    }
+
+    /// The tensor-level kernel form of this activation, for the fused
+    /// `linear_bias_act` epilogue (same expression element-for-element).
+    pub fn kind(self) -> ActKind {
+        match self {
+            Activation::Identity => ActKind::Identity,
+            Activation::Relu => ActKind::Relu,
+            Activation::LeakyRelu(alpha) => ActKind::LeakyRelu(alpha),
+            Activation::Tanh => ActKind::Tanh,
+            Activation::Sigmoid => ActKind::Sigmoid,
         }
     }
 }

@@ -3,6 +3,8 @@
 use atnn_autograd::{Graph, ParamId, ParamStore, Var};
 use atnn_tensor::{Init, Rng64};
 
+use crate::Activation;
+
 /// Affine map `y = x W + b`, with weights stored `[in_dim, out_dim]`.
 #[derive(Debug, Clone)]
 pub struct Linear {
@@ -32,16 +34,17 @@ impl Linear {
     }
 
     /// Forward pass: `x` is `[batch, in_dim]`, output `[batch, out_dim]`.
+    ///
+    /// Equivalent to `forward_act(.., Activation::Identity)`; both run the
+    /// fused `linear_bias_act` kernel and record one tape node.
     pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: Var) -> Var {
-        let w = g.param(store, self.w);
-        let xw = g.matmul(x, w);
-        match self.b {
-            Some(b) => {
-                let bv = g.param(store, b);
-                g.add_row_broadcast(xw, bv)
-            }
-            None => xw,
-        }
+        self.forward_act(g, store, x, Activation::Identity)
+    }
+
+    /// Fused forward pass `act(x W + b)`: matmul, bias and activation in a
+    /// single output sweep — bit-identical to applying them separately.
+    pub fn forward_act(&self, g: &mut Graph, store: &ParamStore, x: Var, act: Activation) -> Var {
+        g.linear(store, x, self.w, self.b, act.kind())
     }
 
     /// Parameter handles of this layer.

@@ -50,17 +50,14 @@ impl Mlp {
         self
     }
 
-    /// Forward pass over the whole stack.
+    /// Forward pass over the whole stack: each layer runs the fused
+    /// `act(x W + b)` kernel (one tape node, one memory sweep per layer).
     pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: Var) -> Var {
         let mut h = x;
         let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter().enumerate() {
-            h = layer.forward(g, store, h);
-            h = if i < last {
-                self.activation.apply(g, h)
-            } else {
-                self.output_activation.apply(g, h)
-            };
+            let act = if i < last { self.activation } else { self.output_activation };
+            h = layer.forward_act(g, store, h, act);
         }
         h
     }

@@ -195,16 +195,32 @@ impl Optimizer for Sgd {
             match grad {
                 Grad::Dense(gm) => {
                     DENSE_PARAM_STEPS.incr();
-                    if self.weight_decay > 0.0 {
-                        for (gv, &wv) in gm.as_mut_slice().iter_mut().zip(value.as_slice()) {
-                            *gv += wv * self.weight_decay;
-                        }
-                    }
+                    // One fused sweep over the slot: decay, velocity and
+                    // weight update per element, preserving the exact
+                    // expressions (and rounding) of the former separate
+                    // passes — elementwise-independent passes interleave
+                    // bit-identically.
                     if self.momentum > 0.0 {
                         let v = &mut self.velocity[i];
-                        v.scale_assign(self.momentum);
-                        v.add_assign_scaled(gm, 1.0).expect("velocity shape");
-                        value.add_assign_scaled(v, -self.lr).expect("sgd shape");
+                        for ((w, gv), vv) in value
+                            .as_mut_slice()
+                            .iter_mut()
+                            .zip(gm.as_mut_slice())
+                            .zip(v.as_mut_slice())
+                        {
+                            if self.weight_decay > 0.0 {
+                                *gv += *w * self.weight_decay;
+                            }
+                            // (the former add_assign_scaled(g, 1.0): the
+                            // 1.0 factor is exact, so it is dropped here)
+                            *vv = *vv * self.momentum + *gv;
+                            *w += -self.lr * *vv;
+                        }
+                    } else if self.weight_decay > 0.0 {
+                        for (w, gv) in value.as_mut_slice().iter_mut().zip(gm.as_mut_slice()) {
+                            *gv += *w * self.weight_decay;
+                            *w += -self.lr * *gv;
+                        }
                     } else {
                         value.add_assign_scaled(gm, -self.lr).expect("sgd shape");
                     }
@@ -320,18 +336,22 @@ impl Optimizer for Adam {
             match grad {
                 Grad::Dense(gm) => {
                     DENSE_PARAM_STEPS.incr();
+                    // One fused sweep: both moments and the weight update
+                    // per element, with the exact expressions (and product
+                    // association) of the former three passes.
                     let m = &mut self.m[i];
-                    m.scale_assign(self.beta1);
-                    m.add_assign_scaled(gm, 1.0 - self.beta1).expect("adam m shape");
                     let v = &mut self.v[i];
-                    v.scale_assign(self.beta2);
-                    for (vv, &gv) in v.as_mut_slice().iter_mut().zip(gm.as_slice()) {
-                        *vv += (1.0 - self.beta2) * gv * gv;
-                    }
-                    let (mslice, vslice) = (self.m[i].as_slice(), self.v[i].as_slice());
-                    for ((w, &mv), &vv) in value.as_mut_slice().iter_mut().zip(mslice).zip(vslice) {
-                        let m_hat = mv / bc1;
-                        let v_hat = vv / bc2;
+                    for (((w, &gv), mv), vv) in value
+                        .as_mut_slice()
+                        .iter_mut()
+                        .zip(gm.as_slice())
+                        .zip(m.as_mut_slice())
+                        .zip(v.as_mut_slice())
+                    {
+                        *mv = *mv * self.beta1 + (1.0 - self.beta1) * gv;
+                        *vv = *vv * self.beta2 + (1.0 - self.beta2) * gv * gv;
+                        let m_hat = *mv / bc1;
+                        let v_hat = *vv / bc2;
                         let mut update = m_hat / (v_hat.sqrt() + self.eps);
                         if self.weight_decay > 0.0 {
                             update += self.weight_decay * *w;
@@ -431,14 +451,13 @@ impl Optimizer for AdaGrad {
             match grad {
                 Grad::Dense(gm) => {
                     DENSE_PARAM_STEPS.incr();
+                    // One fused sweep, mirroring the sparse arm below:
+                    // accumulate then update per element.
                     let acc = &mut self.accum[i];
-                    for (a, &gv) in acc.as_mut_slice().iter_mut().zip(gm.as_slice()) {
-                        *a += gv * gv;
-                    }
-                    let accs = self.accum[i].as_slice();
-                    for ((w, &gv), &a) in
-                        value.as_mut_slice().iter_mut().zip(gm.as_slice()).zip(accs)
+                    for ((w, &gv), a) in
+                        value.as_mut_slice().iter_mut().zip(gm.as_slice()).zip(acc.as_mut_slice())
                     {
+                        *a += gv * gv;
                         *w -= self.lr * gv / (a.sqrt() + self.eps);
                     }
                 }

@@ -88,6 +88,19 @@ pub enum Event {
         /// Wall time between creation and drop in nanoseconds.
         ns: u64,
     },
+    /// Cumulative dense-kernel dispatch counts (`atnn-tensor` gemm),
+    /// snapshotted once per epoch so kernel selection is visible in the
+    /// stream.
+    KernelDispatch {
+        /// Gemm calls that took the register-tiled path.
+        tiled: u64,
+        /// Gemm calls that took the scalar small/skinny path.
+        small: u64,
+        /// Zero-padded rim micro-tiles executed by the tiled path.
+        edge_tiles: u64,
+        /// Matmul entry points forked across the worker pool.
+        parallel: u64,
+    },
 }
 
 /// Why a line failed to parse back into an [`Event`].
@@ -253,6 +266,7 @@ impl Event {
             Event::Swap { .. } => "swap",
             Event::Shed { .. } => "shed",
             Event::Span { .. } => "span",
+            Event::KernelDispatch { .. } => "kernel_dispatch",
         }
     }
 
@@ -303,6 +317,12 @@ impl Event {
                 push_str(&mut out, "label", label);
                 push_u64(&mut out, "ns", *ns);
             }
+            Event::KernelDispatch { tiled, small, edge_tiles, parallel } => {
+                push_u64(&mut out, "tiled", *tiled);
+                push_u64(&mut out, "small", *small);
+                push_u64(&mut out, "edge_tiles", *edge_tiles);
+                push_u64(&mut out, "parallel", *parallel);
+            }
         }
         out.push('}');
         out
@@ -352,6 +372,12 @@ impl Event {
             "span" => {
                 Ok(Event::Span { label: fields.str_field("label")?, ns: fields.u64_field("ns")? })
             }
+            "kernel_dispatch" => Ok(Event::KernelDispatch {
+                tiled: fields.u64_field("tiled")?,
+                small: fields.u64_field("small")?,
+                edge_tiles: fields.u64_field("edge_tiles")?,
+                parallel: fields.u64_field("parallel")?,
+            }),
             other => Err(EventParseError::UnknownEvent(other.to_string())),
         }
     }
@@ -392,6 +418,17 @@ mod tests {
             }
             other => panic!("wrong event: {other:?}"),
         }
+    }
+
+    #[test]
+    fn kernel_dispatch_roundtrips() {
+        let e = Event::KernelDispatch { tiled: 12, small: 34, edge_tiles: 5, parallel: 6 };
+        assert_eq!(e.kind(), "kernel_dispatch");
+        assert_eq!(
+            e.to_json(),
+            r#"{"event":"kernel_dispatch","tiled":12,"small":34,"edge_tiles":5,"parallel":6}"#
+        );
+        assert_eq!(Event::from_json(&e.to_json()).unwrap(), e);
     }
 
     #[test]

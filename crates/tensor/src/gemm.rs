@@ -1,0 +1,675 @@
+//! The register-tiled, cache-blocked GEMM microkernel behind every dense
+//! matmul variant, plus the fused bias+activation epilogue.
+//!
+//! # One kernel, three layouts
+//!
+//! `matmul` (nn), `matmul_tn` (`aᵀ @ b`) and `matmul_nt` (`a @ bᵀ`) all
+//! funnel into [`gemm_band`]; the transpose variants differ only in how
+//! operands are *packed* ([`Src::T`] reads the source transposed), so the
+//! arithmetic — and therefore the result bits — is shared. The row-sharded
+//! parallel dispatch in `ops.rs` composes on top: each shard runs this
+//! kernel over its band of output rows.
+//!
+//! # Structure
+//!
+//! The tiled path is the classic three-level blocking scheme (Goto-style):
+//!
+//! - `jc` walks the output columns in [`NC`]-wide panels;
+//! - `pc` walks the inner dimension in [`KC`]-deep slabs; each `(pc, jc)`
+//!   slab of `b` is packed once into [`NR`]-column strips;
+//! - `ic` walks the output rows in [`MC`]-tall blocks; each `(ic, pc)`
+//!   block of `a` is packed into [`MR`]-row strips;
+//! - the innermost [`microkernel`] multiply-accumulates one `MR x NR`
+//!   register tile over the packed strips, `k` strictly ascending.
+//!
+//! Edge tiles (when `m % MR != 0` or `n % NR != 0`) run the same
+//! microkernel over zero-padded strips into a scratch tile; only the valid
+//! elements are copied back, so the rim never pollutes the output.
+//!
+//! # Why tiling preserves bit-identity
+//!
+//! The naive reference kernel ([`Matrix::matmul_naive`]) accumulates each
+//! output element over `k` ascending in a single `f32` accumulator,
+//! skipping `a`-zeros. The tiled kernel keeps exactly one accumulator per
+//! output element (a register-tile lane), visits `k` in the same ascending
+//! order (`pc` slabs ascending, `p` ascending within a slab; the partial
+//! sum is parked in the output between slabs, which rounds nothing), and
+//! does **not** reorder or split any element's sum — SIMD here vectorizes
+//! across *output columns*, never across `k`. Skipping an `av == 0.0`
+//! product is itself bitwise-neutral: the accumulator can never be `-0.0`
+//! (a round-to-nearest sum only produces `-0.0` from two `-0.0` terms, and
+//! it starts at `+0.0`), so adding the `±0.0` product changes no bits.
+//! Hence tiled == naive for all finite inputs; the only divergence is
+//! `av == 0.0` against a non-finite `bv` (naive skips the resulting NaN).
+//! Multi-accumulator k-unrolling is deliberately forbidden in this module.
+//!
+//! The microkernel body is additionally compiled under
+//! `#[target_feature(enable = "avx2")]` and dispatched by runtime feature
+//! detection: identical Rust source, so identical per-lane `vmulps` +
+//! `vaddps` semantics (rustc never contracts mul+add into FMA) — only the
+//! vector width across output columns widens, which the per-element
+//! summation order does not depend on.
+//!
+//! The fused epilogue is applied once per element after its full k-sum, so
+//! `linear_bias_act` is bit-identical to matmul → bias add → activation as
+//! separate passes (intermediate stores round nothing).
+
+use std::cell::RefCell;
+
+use atnn_obs::Counter;
+
+use crate::Matrix;
+
+/// Register-tile height (output rows per microkernel call).
+pub(crate) const MR: usize = 4;
+/// Register-tile width (output columns per microkernel call); `MR * NR`
+/// accumulators fit the baseline-x86-64 SSE2 register file.
+pub(crate) const NR: usize = 8;
+/// k-slab depth: one packed `KC x NR` strip of `b` stays L1-resident
+/// across a whole column of micro-tiles.
+pub(crate) const KC: usize = 256;
+/// Row-block height (multiple of `MR`): the packed `MC x KC` block of `a`
+/// targets L2.
+pub(crate) const MC: usize = 128;
+/// Column-panel width (multiple of `NR`): the packed `KC x NC` panel of
+/// `b` targets L2/L3.
+pub(crate) const NC: usize = 256;
+/// Below this multiply-add volume (`m * k * n`) the packing overhead
+/// outweighs the tiled kernel; the scalar small path runs instead.
+pub(crate) const SMALL_GEMM_WORK: usize = 32 * 32 * 32;
+
+// --- kernel-dispatch telemetry -------------------------------------------
+// Relaxed counters, one `fetch_add` per gemm call (edge tiles are summed
+// locally first). Surfaced as an `Event::KernelDispatch` snapshot by the
+// trainer and via `Matrix`-level stats so kernel selection is observable
+// in the JSONL event stream.
+
+/// Band-level gemm calls taking the register-tiled path.
+static TILED_CALLS: Counter = Counter::new();
+/// Band-level gemm calls taking the scalar small path (tiny/skinny shapes).
+static SMALL_CALLS: Counter = Counter::new();
+/// Zero-padded rim micro-tiles executed by the tiled path.
+static EDGE_TILES: Counter = Counter::new();
+/// Matmul entry points that forked across the worker pool (tasks > 1).
+static PARALLEL_DISPATCHES: Counter = Counter::new();
+
+/// Cumulative kernel-dispatch counts since process start:
+/// `(tiled_calls, small_calls, edge_tiles, parallel_dispatches)`.
+pub fn gemm_dispatch_counts() -> (u64, u64, u64, u64) {
+    (TILED_CALLS.get(), SMALL_CALLS.get(), EDGE_TILES.get(), PARALLEL_DISPATCHES.get())
+}
+
+/// Records one pool-forked matmul dispatch (called from `ops.rs`).
+pub(crate) fn note_parallel_dispatch() {
+    PARALLEL_DISPATCHES.incr();
+}
+
+/// Numerically stable logistic function `1 / (1 + e^{-z})`.
+///
+/// The two-branch form never exponentiates a positive argument, so it is
+/// finite for every input. This is the *canonical* sigmoid: the autograd
+/// `Sigmoid`/`BceWithLogits` nodes and the fused [`ActKind::Sigmoid`]
+/// epilogue all call it, which is what makes fused and unfused forward
+/// passes bit-identical.
+#[inline]
+pub fn stable_sigmoid(z: f32) -> f32 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Elementwise activation applied by the fused epilogue.
+///
+/// Each variant reproduces the corresponding autograd node's forward map
+/// exactly (same expression, same rounding), so fusing the activation into
+/// the matmul sweep changes no bits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ActKind {
+    /// No nonlinearity (logits / embeddings).
+    Identity,
+    /// Rectifier `max(x, 0)`.
+    Relu,
+    /// Leaky rectifier: `alpha * x` for negative inputs.
+    LeakyRelu(f32),
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid ([`stable_sigmoid`]).
+    Sigmoid,
+}
+
+impl ActKind {
+    /// Applies the activation to one value.
+    #[inline]
+    pub fn apply(self, v: f32) -> f32 {
+        match self {
+            ActKind::Identity => v,
+            ActKind::Relu => v.max(0.0),
+            ActKind::LeakyRelu(alpha) => {
+                if v > 0.0 {
+                    v
+                } else {
+                    alpha * v
+                }
+            }
+            ActKind::Tanh => v.tanh(),
+            ActKind::Sigmoid => stable_sigmoid(v),
+        }
+    }
+}
+
+/// Optional bias + activation applied to each output element once, after
+/// its complete k-sum. `bias` spans the full output width `n`.
+#[derive(Clone, Copy)]
+pub(crate) struct Epilogue<'a> {
+    pub bias: Option<&'a [f32]>,
+    pub act: ActKind,
+}
+
+impl Epilogue<'_> {
+    /// The do-nothing epilogue used by the plain matmul entry points.
+    pub const NONE: Epilogue<'static> = Epilogue { bias: None, act: ActKind::Identity };
+
+    #[inline]
+    fn is_noop(&self) -> bool {
+        self.bias.is_none() && self.act == ActKind::Identity
+    }
+}
+
+/// How an operand is read: `N` as stored, `T` transposed. Packing absorbs
+/// the transpose, so `matmul_tn`/`matmul_nt` never materialize one.
+#[derive(Clone, Copy)]
+pub(crate) enum Src<'a> {
+    N(&'a Matrix),
+    T(&'a Matrix),
+}
+
+impl Src<'_> {
+    /// Logical element `(r, c)` (bounds-checked by the underlying matrix).
+    #[inline]
+    fn at(&self, r: usize, c: usize) -> f32 {
+        match self {
+            Src::N(m) => m.get(r, c),
+            Src::T(m) => m.get(c, r),
+        }
+    }
+}
+
+/// Computes output rows `[row0, row0 + band.len() / n)` of
+/// `act(A @ B + bias)` into `band`, where `A` is `m x k` and `B` is
+/// `k x n` *logically* (transposes absorbed by [`Src`]). `band` must
+/// arrive zeroed; `n > 0` is the caller's invariant (shard_rows skips
+/// empty outputs).
+pub(crate) fn gemm_band(
+    a: Src,
+    b: Src,
+    k: usize,
+    row0: usize,
+    band: &mut [f32],
+    n: usize,
+    epi: &Epilogue,
+) {
+    let m = band.len() / n;
+    if m == 0 {
+        return;
+    }
+    if k == 0 {
+        // No products: the output is act(0 + bias) everywhere.
+        epilogue_sweep(band, n, epi);
+        return;
+    }
+    let work = m * k * n;
+    // Skinny shapes (single output row/column) and tiny products can't
+    // amortize the pack; `m == 1` is the serve single-item path and
+    // `n == 1` the cross-net `x_l @ w` column product.
+    if m == 1 || n == 1 || work < SMALL_GEMM_WORK {
+        SMALL_CALLS.incr();
+        gemm_small(a, b, k, row0, band, n);
+        epilogue_sweep(band, n, epi);
+    } else {
+        TILED_CALLS.incr();
+        gemm_tiled(a, b, k, row0, band, n, epi);
+    }
+}
+
+/// Applies `act(v + bias)` over a full band (used by the small path and
+/// the `k == 0` degenerate case; the tiled path fuses this into its store).
+fn epilogue_sweep(band: &mut [f32], n: usize, epi: &Epilogue) {
+    if epi.is_noop() {
+        return;
+    }
+    for row in band.chunks_exact_mut(n) {
+        match epi.bias {
+            Some(bias) => {
+                for (o, &bv) in row.iter_mut().zip(bias) {
+                    *o = epi.act.apply(*o + bv);
+                }
+            }
+            None => {
+                for o in row.iter_mut() {
+                    *o = epi.act.apply(*o);
+                }
+            }
+        }
+    }
+}
+
+/// Scalar fallback: per output element one accumulator, `k` ascending,
+/// `a`-zero skip — the naive reference order, specialized per layout so
+/// reads stay contiguous where the storage allows.
+fn gemm_small(a: Src, b: Src, k: usize, row0: usize, band: &mut [f32], n: usize) {
+    let rows = band.len() / n;
+    match (a, b) {
+        (Src::N(am), Src::N(bm)) => {
+            // i-k-j: stream one `b` row and one output row per step.
+            for i in 0..rows {
+                let a_row = &am.row(row0 + i)[..k];
+                let out_row = &mut band[i * n..(i + 1) * n];
+                for (p, &av) in a_row.iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    for (o, &bv) in out_row.iter_mut().zip(bm.row(p)) {
+                        *o += av * bv;
+                    }
+                }
+            }
+        }
+        (Src::T(am), Src::N(bm)) => {
+            // p-outer: both reads row-contiguous; per element still
+            // p-ascending (the old matmul_tn_band order).
+            for p in 0..k {
+                let a_seg = &am.row(p)[row0..row0 + rows];
+                let b_row = bm.row(p);
+                for (i, &av) in a_seg.iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    for (o, &bv) in band[i * n..(i + 1) * n].iter_mut().zip(b_row) {
+                        *o += av * bv;
+                    }
+                }
+            }
+        }
+        (Src::N(am), Src::T(bm)) => {
+            // Row-by-row dot products; both reads contiguous.
+            for i in 0..rows {
+                let a_row = &am.row(row0 + i)[..k];
+                for (j, o) in band[i * n..(i + 1) * n].iter_mut().enumerate() {
+                    let mut acc = *o;
+                    for (&av, &bv) in a_row.iter().zip(bm.row(j)) {
+                        if av == 0.0 {
+                            continue;
+                        }
+                        acc += av * bv;
+                    }
+                    *o = acc;
+                }
+            }
+        }
+        (a, b) => {
+            // T/T never occurs today; keep a correct generic path anyway.
+            for i in 0..rows {
+                let out_row = &mut band[i * n..(i + 1) * n];
+                for p in 0..k {
+                    let av = a.at(row0 + i, p);
+                    if av == 0.0 {
+                        continue;
+                    }
+                    for (j, o) in out_row.iter_mut().enumerate() {
+                        *o += av * b.at(p, j);
+                    }
+                }
+            }
+        }
+    }
+}
+
+thread_local! {
+    /// Per-thread pack buffers (`MC*KC` for `a`, `KC*NC` for `b`),
+    /// allocated once and reused across every gemm on this thread — pool
+    /// workers and the main thread each keep their own, so the steady-state
+    /// training step allocates nothing here.
+    static PACK_BUFS: RefCell<(Vec<f32>, Vec<f32>)> = const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// The blocked/tiled path. See the module docs for the loop structure.
+fn gemm_tiled(a: Src, b: Src, k: usize, row0: usize, band: &mut [f32], n: usize, epi: &Epilogue) {
+    let m = band.len() / n;
+    let mut edge_tiles = 0u64;
+    let wide = avx2_enabled();
+    PACK_BUFS.with(|cell| {
+        let (apack, bpack) = &mut *cell.borrow_mut();
+        if apack.is_empty() {
+            apack.resize(MC * KC, 0.0);
+            bpack.resize(KC * NC, 0.0);
+        }
+        for jc in (0..n).step_by(NC) {
+            let nc = NC.min(n - jc);
+            let mut p0 = 0;
+            while p0 < k {
+                let kc = KC.min(k - p0);
+                let last_k = p0 + kc == k;
+                pack_b(b, p0, kc, jc, nc, bpack);
+                for ic in (0..m).step_by(MC) {
+                    let mc = MC.min(m - ic);
+                    pack_a(a, row0 + ic, mc, p0, kc, apack);
+                    for jr in (0..nc).step_by(NR) {
+                        let nr = NR.min(nc - jr);
+                        let bpanel = &bpack[(jr / NR) * kc * NR..][..kc * NR];
+                        for ir in (0..mc).step_by(MR) {
+                            let mr = MR.min(mc - ir);
+                            let apanel = &apack[(ir / MR) * kc * MR..][..kc * MR];
+                            if mr < MR || nr < NR {
+                                edge_tiles += 1;
+                            }
+                            // Seed the register tile with the partial sums
+                            // parked in the output by earlier k-slabs
+                            // (zeros on the first slab); padded lanes start
+                            // at 0 and are never stored back.
+                            let mut acc = [[0.0f32; NR]; MR];
+                            for (i, row) in acc.iter_mut().enumerate().take(mr) {
+                                let off = (ic + ir + i) * n + jc + jr;
+                                row[..nr].copy_from_slice(&band[off..off + nr]);
+                            }
+                            microkernel(apanel, bpanel, &mut acc, wide);
+                            for (i, row) in acc.iter().enumerate().take(mr) {
+                                let off = (ic + ir + i) * n + jc + jr;
+                                let out = &mut band[off..off + nr];
+                                if last_k && !epi.is_noop() {
+                                    for (j, o) in out.iter_mut().enumerate() {
+                                        let mut v = row[j];
+                                        if let Some(bias) = epi.bias {
+                                            v += bias[jc + jr + j];
+                                        }
+                                        *o = epi.act.apply(v);
+                                    }
+                                } else {
+                                    out.copy_from_slice(&row[..nr]);
+                                }
+                            }
+                        }
+                    }
+                }
+                p0 += kc;
+            }
+        }
+    });
+    if edge_tiles > 0 {
+        EDGE_TILES.add(edge_tiles);
+    }
+}
+
+/// One `MR x NR` register tile: for each `p` (ascending), broadcast `MR`
+/// packed `a` values against `NR` packed `b` values. The `j` loop is what
+/// LLVM vectorizes — lanes are distinct output elements, so SIMD never
+/// touches the per-element summation order. The fixed-size array reborrows
+/// (`try_into`) give every loop a constant trip count so the accumulator
+/// tile stays register-resident.
+#[inline(always)]
+fn microkernel_body(apanel: &[f32], bpanel: &[f32], acc: &mut [[f32; NR]; MR]) {
+    for (ap, bp) in apanel.chunks_exact(MR).zip(bpanel.chunks_exact(NR)) {
+        let ap: &[f32; MR] = ap.try_into().unwrap();
+        let bp: &[f32; NR] = bp.try_into().unwrap();
+        for (row, &av) in acc.iter_mut().zip(ap) {
+            for (c, &bv) in row.iter_mut().zip(bp) {
+                *c += av * bv;
+            }
+        }
+    }
+}
+
+/// AVX2-compiled clone of [`microkernel_body`]. Same Rust source, so the
+/// per-lane arithmetic is identical (`vmulps` + `vaddps`; rustc never
+/// contracts mul+add into FMA) — only the vector *width* across output
+/// columns changes, which bit-identity does not depend on.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn microkernel_avx2(apanel: &[f32], bpanel: &[f32], acc: &mut [[f32; NR]; MR]) {
+    microkernel_body(apanel, bpanel, acc);
+}
+
+/// Whether the AVX2 microkernel may run on this host (checked once per
+/// tiled gemm; `is_x86_feature_detected!` caches internally).
+#[inline]
+fn avx2_enabled() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Dispatches one micro-tile to the widest kernel the host supports.
+#[inline]
+fn microkernel(apanel: &[f32], bpanel: &[f32], acc: &mut [[f32; NR]; MR], wide: bool) {
+    #[cfg(target_arch = "x86_64")]
+    if wide {
+        // SAFETY: `wide` is only true when `avx2_enabled()` reported AVX2
+        // support at runtime.
+        unsafe { microkernel_avx2(apanel, bpanel, acc) };
+        return;
+    }
+    let _ = wide;
+    microkernel_body(apanel, bpanel, acc);
+}
+
+/// Packs logical rows `[r0, r0 + mc)` x k-slab `[p0, p0 + kc)` of `a` into
+/// `MR`-row strips: strip `s` holds `a[r0 + s*MR + i][p0 + p]` at
+/// `s*kc*MR + p*MR + i`, rows past `mc` zero-filled.
+fn pack_a(a: Src, r0: usize, mc: usize, p0: usize, kc: usize, buf: &mut [f32]) {
+    let strips = mc.div_ceil(MR);
+    for s in 0..strips {
+        let strip = &mut buf[s * kc * MR..(s + 1) * kc * MR];
+        let rows = MR.min(mc - s * MR);
+        match a {
+            Src::N(m) => {
+                for i in 0..MR {
+                    if i < rows {
+                        let src = &m.row(r0 + s * MR + i)[p0..p0 + kc];
+                        for (p, &v) in src.iter().enumerate() {
+                            strip[p * MR + i] = v;
+                        }
+                    } else {
+                        for p in 0..kc {
+                            strip[p * MR + i] = 0.0;
+                        }
+                    }
+                }
+            }
+            Src::T(m) => {
+                // Logical a[r][p] = m[p][r]: read m's rows contiguously.
+                for (p, dst) in strip.chunks_exact_mut(MR).enumerate() {
+                    let src = &m.row(p0 + p)[r0 + s * MR..r0 + s * MR + rows];
+                    dst[..rows].copy_from_slice(src);
+                    for d in &mut dst[rows..] {
+                        *d = 0.0;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Packs k-slab `[p0, p0 + kc)` x logical columns `[j0, j0 + nc)` of `b`
+/// into `NR`-column strips: strip `t` holds `b[p0 + p][j0 + t*NR + j]` at
+/// `t*kc*NR + p*NR + j`, columns past `nc` zero-filled.
+fn pack_b(b: Src, p0: usize, kc: usize, j0: usize, nc: usize, buf: &mut [f32]) {
+    let strips = nc.div_ceil(NR);
+    for t in 0..strips {
+        let strip = &mut buf[t * kc * NR..(t + 1) * kc * NR];
+        let cols = NR.min(nc - t * NR);
+        match b {
+            Src::N(m) => {
+                for (p, dst) in strip.chunks_exact_mut(NR).enumerate() {
+                    let start = j0 + t * NR;
+                    let src = &m.row(p0 + p)[start..start + cols];
+                    dst[..cols].copy_from_slice(src);
+                    for d in &mut dst[cols..] {
+                        *d = 0.0;
+                    }
+                }
+            }
+            Src::T(m) => {
+                // Logical b[p][j] = m[j][p]: read m's rows contiguously.
+                for j in 0..NR {
+                    if j < cols {
+                        let src = &m.row(j0 + t * NR + j)[p0..p0 + kc];
+                        for (p, &v) in src.iter().enumerate() {
+                            strip[p * NR + j] = v;
+                        }
+                    } else {
+                        for p in 0..kc {
+                            strip[p * NR + j] = 0.0;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        Matrix::from_fn(rows, cols, |i, j| {
+            let mut z = seed
+                ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ (j as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z ^= z >> 31;
+            if z.is_multiple_of(8) {
+                0.0
+            } else {
+                ((z >> 40) & 0xFF_FFFF) as f32 / (1u64 << 23) as f32 - 1.0
+            }
+        })
+    }
+
+    /// The tiled path must match the naive reference bit-for-bit on shapes
+    /// that exercise full tiles, rims, and multiple k-slabs.
+    #[test]
+    fn tiled_matches_naive_across_blocking_boundaries() {
+        for &(m, k, n) in &[
+            (32, 32, 32),             // exactly at the small/tiled edge
+            (33, 37, 41),             // rim in every dimension
+            (MC + 3, KC + 5, NC + 7), // multiple outer blocks
+            (MR * 5, KC * 2, NR * 6), // exact tile multiples, 2 k-slabs
+            (128, 1, 128),            // k=1 (no reuse at all)
+        ] {
+            let a = test_matrix(m, k, 11);
+            let b = test_matrix(k, n, 22);
+            let naive = a.matmul_naive(&b);
+            let mut band = vec![0.0f32; m * n];
+            gemm_band(Src::N(&a), Src::N(&b), k, 0, &mut band, n, &Epilogue::NONE);
+            assert_eq!(band, naive.as_slice(), "m={m} k={k} n={n}");
+        }
+    }
+
+    /// Transposed packing must agree with materialized transposes.
+    #[test]
+    fn packed_transposes_match_materialized() {
+        let (m, k, n) = (45, 70, 50);
+        let at = test_matrix(k, m, 3); // aᵀ stored
+        let bt = test_matrix(n, k, 4); // bᵀ stored
+        let a = at.transpose();
+        let b = bt.transpose();
+        let reference = a.matmul_naive(&b);
+        let mut tn = vec![0.0f32; m * n];
+        gemm_band(Src::T(&at), Src::N(&b), k, 0, &mut tn, n, &Epilogue::NONE);
+        assert_eq!(tn, reference.as_slice(), "tn path");
+        let mut nt = vec![0.0f32; m * n];
+        gemm_band(Src::N(&a), Src::T(&bt), k, 0, &mut nt, n, &Epilogue::NONE);
+        assert_eq!(nt, reference.as_slice(), "nt path");
+    }
+
+    /// A band starting mid-matrix must see the right `a` rows.
+    #[test]
+    fn band_offset_reads_correct_rows() {
+        let (m, k, n) = (40, 48, 36);
+        let a = test_matrix(m, k, 7);
+        let b = test_matrix(k, n, 8);
+        let full = a.matmul_naive(&b);
+        let row0 = 13;
+        let rows = 19;
+        let mut band = vec![0.0f32; rows * n];
+        gemm_band(Src::N(&a), Src::N(&b), k, row0, &mut band, n, &Epilogue::NONE);
+        assert_eq!(band, &full.as_slice()[row0 * n..(row0 + rows) * n]);
+    }
+
+    #[test]
+    fn k_zero_applies_epilogue_only() {
+        let a = Matrix::zeros(3, 0);
+        let bias = [1.0f32, -2.0, 0.5];
+        let mut band = vec![0.0f32; 9];
+        let epi = Epilogue { bias: Some(&bias), act: ActKind::Relu };
+        gemm_band(Src::N(&a), Src::N(&Matrix::zeros(0, 3)), 0, 0, &mut band, 3, &epi);
+        assert_eq!(band, [1.0, 0.0, 0.5, 1.0, 0.0, 0.5, 1.0, 0.0, 0.5]);
+    }
+
+    #[test]
+    fn dispatch_counters_advance() {
+        let (t0, s0, _, _) = gemm_dispatch_counts();
+        let a = test_matrix(64, 64, 1);
+        let b = test_matrix(64, 64, 2);
+        let mut band = vec![0.0f32; 64 * 64];
+        gemm_band(Src::N(&a), Src::N(&b), 64, 0, &mut band, 64, &Epilogue::NONE);
+        let small_a = test_matrix(1, 16, 3);
+        let small_b = test_matrix(16, 4, 4);
+        let mut small_band = vec![0.0f32; 4];
+        gemm_band(Src::N(&small_a), Src::N(&small_b), 16, 0, &mut small_band, 4, &Epilogue::NONE);
+        let (t1, s1, _, _) = gemm_dispatch_counts();
+        assert!(t1 > t0, "tiled counter must advance");
+        assert!(s1 > s0, "small counter must advance");
+    }
+
+    /// The AVX2-compiled microkernel must produce the same bits as the
+    /// baseline-compiled body: same source, same per-lane mul+add order.
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn wide_microkernel_matches_baseline_bits() {
+        if !std::arch::is_x86_feature_detected!("avx2") {
+            return;
+        }
+        let kc = 64;
+        let a = test_matrix(MR, kc, 91);
+        let b = test_matrix(kc, NR, 92);
+        let mut apanel = vec![0.0f32; kc * MR];
+        let mut bpanel = vec![0.0f32; kc * NR];
+        pack_a(Src::N(&a), 0, MR, 0, kc, &mut apanel);
+        pack_b(Src::N(&b), 0, kc, 0, NR, &mut bpanel);
+        let mut base = [[0.125f32; NR]; MR];
+        let mut wide = base;
+        microkernel_body(&apanel, &bpanel, &mut base);
+        // SAFETY: guarded by the runtime AVX2 check above.
+        unsafe { microkernel_avx2(&apanel, &bpanel, &mut wide) };
+        assert_eq!(base, wide);
+    }
+
+    #[test]
+    fn stable_sigmoid_is_finite_and_symmetric() {
+        for &z in &[-100.0f32, -5.0, -0.0, 0.0, 5.0, 100.0] {
+            let s = stable_sigmoid(z);
+            assert!(s.is_finite() && (0.0..=1.0).contains(&s), "z={z}");
+        }
+        assert_eq!(stable_sigmoid(0.0), 0.5);
+    }
+
+    #[test]
+    fn act_kinds_match_reference_forms() {
+        for &v in &[-2.5f32, -0.0, 0.0, 0.7, 3.0] {
+            assert_eq!(ActKind::Identity.apply(v), v);
+            assert_eq!(ActKind::Relu.apply(v), v.max(0.0));
+            assert_eq!(ActKind::LeakyRelu(0.01).apply(v), if v > 0.0 { v } else { 0.01 * v });
+            assert_eq!(ActKind::Tanh.apply(v), v.tanh());
+            assert_eq!(ActKind::Sigmoid.apply(v), stable_sigmoid(v));
+        }
+    }
+}

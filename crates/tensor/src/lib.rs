@@ -7,14 +7,16 @@
 //!
 //! Design notes (following the Rust Performance Book guidance):
 //! - storage is a single contiguous `Vec<f32>`, row-major, so row views are
-//!   plain slices and the matmul inner loop is a unit-stride FMA chain;
-//! - `matmul` uses the i-k-j loop ordering (writes stream through the output
-//!   row while reading `b`'s row contiguously), which is the standard
-//!   cache-friendly ordering for row-major operands;
+//!   plain slices;
+//! - every dense matmul variant (nn/tn/nt, fused or not) runs one shared
+//!   register-tiled, packed, cache-blocked microkernel (see the `gemm`
+//!   module) that stays bit-identical to the naive i-k-j reference;
 //! - no operation allocates unless it returns a new matrix; in-place
-//!   variants (`*_assign`) are provided for the optimizer hot paths.
+//!   variants (`*_assign`) are provided for the optimizer hot paths, and
+//!   gemm pack buffers are thread-local and reused.
 
 mod error;
+mod gemm;
 mod matrix;
 mod ops;
 pub mod pool;
@@ -24,6 +26,7 @@ mod sparse;
 mod sync;
 
 pub use error::TensorError;
+pub use gemm::{gemm_dispatch_counts, stable_sigmoid, ActKind};
 pub use matrix::Matrix;
 pub use ops::{cosine, dot};
 pub use rng::{Init, Rng64};

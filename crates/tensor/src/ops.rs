@@ -4,18 +4,8 @@
 //! All binary ops validate shapes and return [`crate::Result`]; in-place
 //! `*_assign` variants exist for optimizer hot paths.
 
+use crate::gemm::{self, ActKind, Epilogue, Src};
 use crate::{pool, Matrix, Result, TensorError};
-
-/// Approximate L2 capacity in `f32` elements (1 MiB). The matmul working
-/// set per output row is the whole right-hand panel plus one lhs row and
-/// one output row; when that exceeds this budget the kernel k-tiles.
-pub(crate) const L2_F32_BUDGET: usize = 256 * 1024;
-
-/// k-dimension tile width for the cache-blocked kernel. 64 keeps a
-/// 64-row panel of `other` resident across output rows (measured ~27%
-/// faster at 1024² than unblocked on this class of hardware; neutral
-/// below the budget — see the `kernels` bench).
-pub(crate) const MATMUL_K_BLOCK: usize = 64;
 
 /// Minimum multiply-add volume (`m * k * n`) before forking a matmul
 /// across the pool pays for dispatch overhead. Half a MFLOP — roughly
@@ -30,16 +20,6 @@ fn par_tasks(m: usize, work: usize) -> usize {
         1
     } else {
         threads.min(m).max(1)
-    }
-}
-
-/// k-tile width for `a @ b`: tile only when the working set (`b` plus
-/// one row each of `a` and the output) outgrows the L2 budget.
-fn k_block_for(b_len: usize, k: usize, n: usize) -> usize {
-    if b_len + k + n > L2_F32_BUDGET {
-        MATMUL_K_BLOCK
-    } else {
-        k.max(1)
     }
 }
 
@@ -67,65 +47,28 @@ fn shard_rows(out: &mut Matrix, tasks: usize, f: impl Fn(usize, &mut [f32]) + Sy
     });
 }
 
-/// Writes output rows `[row0, row0 + band.len() / n)` of `a @ b` into
-/// `band`, k-tiled by `k_block`. Per output element the summation runs
-/// over `k` ascending with zero-skip regardless of `k_block` or the row
-/// range — the invariant behind blocked/parallel bit-identity.
-fn matmul_band(a: &Matrix, b: &Matrix, row0: usize, band: &mut [f32], k_block: usize) {
-    let k = a.cols();
-    let n = b.cols();
-    let rows = band.len() / n;
-    let mut k0 = 0;
-    while k0 < k {
-        let k1 = (k0 + k_block).min(k);
-        for i in 0..rows {
-            let a_row = &a.row(row0 + i)[k0..k1];
-            let out_row = &mut band[i * n..(i + 1) * n];
-            for (p, &av) in a_row.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let b_row = b.row(k0 + p);
-                for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                    *o += av * bv;
-                }
-            }
-        }
-        k0 = k1;
+/// Runs the shared gemm microkernel over `out`, sharded into `tasks` row
+/// bands. All matmul entry points (nn/tn/nt, allocating or `_into`, with
+/// or without a fused epilogue) funnel through here, so dispatch and bit
+/// patterns are uniform across the whole family.
+fn gemm_dispatch(a: Src, b: Src, k: usize, out: &mut Matrix, tasks: usize, epi: &Epilogue) {
+    let n = out.cols();
+    if tasks > 1 {
+        gemm::note_parallel_dispatch();
     }
-}
-
-/// Writes output rows `[i0, i0 + band.len() / n)` of `aᵀ @ b` into
-/// `band`. `p` stays outermost within the band (both reads row-
-/// contiguous); for each output element the additions still run over
-/// `p` ascending with zero-skip, independent of the band split.
-fn matmul_tn_band(a: &Matrix, b: &Matrix, i0: usize, band: &mut [f32]) {
-    let k = a.rows();
-    let n = b.cols();
-    let rows = band.len() / n;
-    for p in 0..k {
-        let a_seg = &a.row(p)[i0..i0 + rows];
-        let b_row = b.row(p);
-        for (i, &av) in a_seg.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let out_row = &mut band[i * n..(i + 1) * n];
-            for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                *o += av * bv;
-            }
-        }
-    }
+    shard_rows(out, tasks, |row0, band| {
+        gemm::gemm_band(a, b, k, row0, band, n, epi);
+    });
 }
 
 impl Matrix {
     /// `self @ other` — `(m x k) @ (k x n) -> (m x n)`.
     ///
-    /// Uses the cache-friendly i-k-j ordering: the inner loop streams
-    /// contiguously through one row of `other` and one row of the output.
-    /// Large operands are k-tiled (see [`L2_F32_BUDGET`]) and row-sharded
-    /// across the pool (see [`PAR_MIN_WORK`]); both transformations are
-    /// bit-identical to the plain serial kernel.
+    /// Backed by the register-tiled, packed gemm microkernel (see the
+    /// `gemm` module docs); skinny and tiny products fall back to a scalar
+    /// kernel, and large ones are row-sharded across the pool (see
+    /// [`PAR_MIN_WORK`]). Every path is bit-identical to
+    /// [`Matrix::matmul_naive`] for finite inputs.
     pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
         if self.cols() != other.rows() {
             return Err(TensorError::ShapeMismatch {
@@ -184,39 +127,104 @@ impl Matrix {
 
     /// Shared body of the nn-kernel entry points; `out` must be zeroed.
     fn matmul_into_tasks(&self, other: &Matrix, out: &mut Matrix, tasks: usize) {
-        let k = self.cols();
-        let n = other.cols();
-        let k_block = k_block_for(other.len(), k, n);
-        shard_rows(out, tasks, |row0, band| {
-            matmul_band(self, other, row0, band, k_block);
-        });
+        gemm_dispatch(Src::N(self), Src::N(other), self.cols(), out, tasks, &Epilogue::NONE);
     }
 
-    /// Cache-blocked i-k-j matmul: tiles the `k` dimension so each panel
-    /// of `other` is reused across all output rows while resident in
-    /// cache. Produces results identical (bit-for-bit, same summation
-    /// order per output element) to the unblocked kernel.
+    /// The naive serial reference kernel: i-k-j loop order, one `f32`
+    /// accumulator per output element, `k` ascending, `a`-zero skip.
+    ///
+    /// This is the semantics every production variant (tiled, parallel,
+    /// transposed, fused) is property-tested bit-identical against, kept
+    /// public as the comparison baseline for the `gemm_bench` harness.
     ///
     /// # Panics
-    /// Panics on incompatible shapes or `k_block == 0` (internal API —
-    /// use [`Matrix::matmul`], which validates and dispatches).
-    pub fn matmul_blocked(&self, other: &Matrix, k_block: usize) -> Matrix {
-        assert_eq!(self.cols(), other.rows(), "matmul_blocked shape");
-        assert!(k_block > 0, "k_block must be positive");
-        let mut out = Matrix::zeros(self.rows(), other.cols());
-        if !out.is_empty() {
-            matmul_band(self, other, 0, out.as_mut_slice(), k_block);
+    /// Panics on incompatible shapes (reference API — use
+    /// [`Matrix::matmul`], which validates and dispatches).
+    pub fn matmul_naive(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols(), other.rows(), "matmul_naive shape");
+        let n = other.cols();
+        let mut out = Matrix::zeros(self.rows(), n);
+        for i in 0..self.rows() {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (p, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                for (o, &bv) in out_row.iter_mut().zip(other.row(p)) {
+                    *o += av * bv;
+                }
+            }
         }
         out
+    }
+
+    /// Fused `act(self @ w + bias)` in one output sweep: the matmul
+    /// epilogue adds the bias and applies the activation as each element's
+    /// k-sum completes, instead of three separate passes over the output.
+    /// Bit-identical to the unfused sequence (the intermediate stores it
+    /// removes round nothing).
+    ///
+    /// `bias`, when present, must be `1 x w.cols()`.
+    pub fn linear_bias_act(
+        &self,
+        w: &Matrix,
+        bias: Option<&Matrix>,
+        act: ActKind,
+    ) -> Result<Matrix> {
+        let mut out = Matrix::zeros(self.rows(), w.cols());
+        self.linear_bias_act_into(w, bias, act, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Matrix::linear_bias_act`] writing into a caller-provided buffer
+    /// (zeroed first).
+    pub fn linear_bias_act_into(
+        &self,
+        w: &Matrix,
+        bias: Option<&Matrix>,
+        act: ActKind,
+        out: &mut Matrix,
+    ) -> Result<()> {
+        if self.cols() != w.rows() {
+            return Err(TensorError::ShapeMismatch {
+                op: "linear_bias_act",
+                lhs: self.shape(),
+                rhs: w.shape(),
+            });
+        }
+        if let Some(b) = bias {
+            if b.rows() != 1 || b.cols() != w.cols() {
+                return Err(TensorError::ShapeMismatch {
+                    op: "linear_bias_act(bias)",
+                    lhs: b.shape(),
+                    rhs: (1, w.cols()),
+                });
+            }
+        }
+        let (m, k) = self.shape();
+        let n = w.cols();
+        if out.shape() != (m, n) {
+            return Err(TensorError::ShapeMismatch {
+                op: "linear_bias_act(out)",
+                lhs: out.shape(),
+                rhs: (m, n),
+            });
+        }
+        out.fill_zero();
+        let epi = Epilogue { bias: bias.map(|b| b.row(0)), act };
+        let tasks = par_tasks(m, m.saturating_mul(k).saturating_mul(n));
+        gemm_dispatch(Src::N(self), Src::N(w), k, out, tasks, &epi);
+        Ok(())
     }
 
     /// `selfᵀ @ other` — `(k x m)ᵀ @ (k x n) -> (m x n)` without materializing
     /// the transpose. Used by backward passes (`dW = xᵀ @ dy`).
     ///
-    /// Serially iterates `p` outermost so both reads are row-contiguous;
-    /// above [`PAR_MIN_WORK`] the *output rows* are sharded across the
-    /// pool (each band keeps the p-outer loop, so no accumulator is
-    /// shared and per-element order is unchanged).
+    /// Same microkernel as [`Matrix::matmul`] — the packing step reads
+    /// `self` transposed, so the arithmetic (and the result bits) is
+    /// shared; above [`PAR_MIN_WORK`] the output rows are sharded across
+    /// the pool.
     pub fn matmul_tn(&self, other: &Matrix) -> Result<Matrix> {
         if self.rows() != other.rows() {
             return Err(TensorError::ShapeMismatch {
@@ -243,9 +251,7 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.cols(), other.cols());
-        shard_rows(&mut out, tasks, |i0, band| {
-            matmul_tn_band(self, other, i0, band);
-        });
+        gemm_dispatch(Src::T(self), Src::N(other), self.rows(), &mut out, tasks, &Epilogue::NONE);
         Ok(out)
     }
 
@@ -270,20 +276,17 @@ impl Matrix {
         }
         out.fill_zero();
         let tasks = par_tasks(m, m.saturating_mul(k).saturating_mul(n));
-        shard_rows(out, tasks, |i0, band| {
-            matmul_tn_band(self, other, i0, band);
-        });
+        gemm_dispatch(Src::T(self), Src::N(other), k, out, tasks, &Epilogue::NONE);
         Ok(())
     }
 
     /// `self @ otherᵀ` — `(m x k) @ (n x k)ᵀ -> (m x n)`. Used by backward
     /// passes (`dx = dy @ Wᵀ`).
     ///
-    /// Packs `other` into transposed (k-major) layout once and reuses the
-    /// nn kernel, so the inner loop streams contiguously instead of
-    /// striding a column per dot product (~3× faster at every size in the
-    /// `kernels` bench). The result is bit-identical to
-    /// `self.matmul(&other.transpose())` — same kernel, same dispatch.
+    /// Same microkernel as [`Matrix::matmul`]; the packing step reads
+    /// `other` transposed (k-major strips straight from its rows), so no
+    /// transpose is ever materialized and the result is bit-identical to
+    /// `self.matmul(&other.transpose())`.
     pub fn matmul_nt(&self, other: &Matrix) -> Result<Matrix> {
         if self.cols() != other.cols() {
             return Err(TensorError::ShapeMismatch {
@@ -309,10 +312,35 @@ impl Matrix {
                 rhs: other.shape(),
             });
         }
-        let bt = other.transpose();
-        let mut out = Matrix::zeros(self.rows(), bt.cols());
-        self.matmul_into_tasks(&bt, &mut out, tasks);
+        let mut out = Matrix::zeros(self.rows(), other.rows());
+        gemm_dispatch(Src::N(self), Src::T(other), self.cols(), &mut out, tasks, &Epilogue::NONE);
         Ok(out)
+    }
+
+    /// [`Matrix::matmul_nt`] writing into a caller-provided `out` buffer
+    /// (zeroed first) instead of allocating — the backward-pass arena
+    /// path for `dx = dy @ Wᵀ`.
+    pub fn matmul_nt_into(&self, other: &Matrix, out: &mut Matrix) -> Result<()> {
+        if self.cols() != other.cols() {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_nt_into",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let (m, k) = self.shape();
+        let n = other.rows();
+        if out.shape() != (m, n) {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_nt_into(out)",
+                lhs: out.shape(),
+                rhs: (m, n),
+            });
+        }
+        out.fill_zero();
+        let tasks = par_tasks(m, m.saturating_mul(k).saturating_mul(n));
+        gemm_dispatch(Src::N(self), Src::T(other), k, out, tasks, &Epilogue::NONE);
+        Ok(())
     }
 
     /// Elementwise sum: `self + other`.
@@ -543,27 +571,59 @@ mod tests {
     }
 
     #[test]
-    fn matmul_blocked_is_bit_identical_to_unblocked() {
+    fn matmul_is_bit_identical_to_naive_reference() {
         let a = Matrix::from_fn(13, 37, |i, j| ((i * 31 + j * 17) % 11) as f32 * 0.37 - 1.5);
         let b = Matrix::from_fn(37, 9, |i, j| ((i * 7 + j * 13) % 13) as f32 * 0.21 - 1.1);
-        let reference = a.matmul(&b).unwrap();
-        for k_block in [1usize, 2, 5, 16, 37, 64, 1000] {
-            assert_eq!(a.matmul_blocked(&b, k_block), reference, "k_block={k_block}");
-        }
+        assert_eq!(a.matmul(&b).unwrap(), a.matmul_naive(&b));
     }
 
     #[test]
-    fn large_matmul_dispatches_to_blocked_and_stays_correct() {
-        // 640x640 crosses the k-tiling threshold.
+    fn large_matmul_dispatches_to_tiled_and_stays_correct() {
+        // 640x640 is deep into the tiled path (several KC slabs and NC/MC
+        // blocks) and not a multiple of any tile constant.
         let a = Matrix::from_fn(50, 640, |i, j| ((i + j) % 7) as f32 * 0.1);
         let b = Matrix::from_fn(640, 640, |i, j| ((i * 3 + j) % 5) as f32 * 0.2);
-        assert!(b.len() + 640 + 640 > L2_F32_BUDGET);
         let via_dispatch = a.matmul(&b).unwrap();
-        let via_blocked = a.matmul_blocked(&b, MATMUL_K_BLOCK);
-        assert_eq!(via_dispatch, via_blocked);
+        assert_eq!(via_dispatch, a.matmul_naive(&b));
         // Spot-check one element against a manual dot product.
         let manual: f32 = (0..640).map(|p| a.get(7, p) * b.get(p, 11)).sum();
         assert!((via_dispatch.get(7, 11) - manual).abs() < 1e-3);
+    }
+
+    #[test]
+    fn linear_bias_act_matches_unfused_sequence() {
+        let x = Matrix::from_fn(9, 7, |i, j| ((i * 5 + j * 3) % 13) as f32 * 0.31 - 1.9);
+        let w = Matrix::from_fn(7, 6, |i, j| ((i * 11 + j) % 7) as f32 * 0.27 - 0.8);
+        let bias = Matrix::from_fn(1, 6, |_, j| j as f32 * 0.4 - 1.0);
+        for act in [
+            ActKind::Identity,
+            ActKind::Relu,
+            ActKind::LeakyRelu(0.1),
+            ActKind::Tanh,
+            ActKind::Sigmoid,
+        ] {
+            let unfused =
+                x.matmul(&w).unwrap().add_row_broadcast(&bias).unwrap().map(|v| act.apply(v));
+            let fused = x.linear_bias_act(&w, Some(&bias), act).unwrap();
+            assert_eq!(fused, unfused, "act={act:?}");
+        }
+        // Bias-less form.
+        let fused = x.linear_bias_act(&w, None, ActKind::Relu).unwrap();
+        assert_eq!(fused, x.matmul(&w).unwrap().map(|v| v.max(0.0)));
+        // Shape errors.
+        assert!(x.linear_bias_act(&Matrix::zeros(3, 3), None, ActKind::Identity).is_err());
+        assert!(x.linear_bias_act(&w, Some(&Matrix::zeros(1, 5)), ActKind::Identity).is_err());
+    }
+
+    #[test]
+    fn matmul_nt_into_matches_allocating_form() {
+        let a = Matrix::from_fn(6, 5, |i, j| (i + 2 * j) as f32 * 0.3);
+        let b = Matrix::from_fn(8, 5, |i, j| (3 * i + j) as f32 * 0.1 - 1.0);
+        let mut out = Matrix::zeros(6, 8);
+        a.matmul_nt_into(&b, &mut out).unwrap();
+        assert_eq!(out, a.matmul_nt(&b).unwrap());
+        assert!(a.matmul_nt_into(&b, &mut Matrix::zeros(2, 2)).is_err());
+        assert!(a.matmul_nt_into(&Matrix::zeros(8, 4), &mut out).is_err());
     }
 
     #[test]
@@ -575,8 +635,8 @@ mod tests {
         let nn = a.matmul_parallel(&b, 1).unwrap();
         let tn = at.matmul_tn_parallel(&b, 1).unwrap();
         let nt = a.matmul_nt_parallel(&bt, 1).unwrap();
-        // All three variants route through the same i-k-j band kernel
-        // (nt packs its rhs transposed first), so they agree bitwise.
+        // All three variants route through the same microkernel (the
+        // packing step absorbs the transposes), so they agree bitwise.
         assert_eq!(nn, tn);
         assert_eq!(nn, nt);
         for tasks in [2usize, 3, 7, 8, 64] {

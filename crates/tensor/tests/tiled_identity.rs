@@ -1,0 +1,103 @@
+//! Property tests: the register-tiled GEMM is **bit-identical** to the
+//! naive i-k-j reference across adversarial shapes — degenerate 1×N / N×1,
+//! sizes straddling the small/tiled dispatch boundary, and sizes straddling
+//! every blocking rim (`MR`/`NR` micro-tile, `MC` row block, `KC` k-slab,
+//! `NC` column panel) — and the fused `linear_bias_act` epilogue is
+//! bit-identical to the unfused matmul → bias → activation sweeps.
+//!
+//! Together with `parallel_kernels.rs` (parallel == serial) this pins the
+//! whole kernel-dispatch lattice to one reference semantics.
+
+use atnn_tensor::{pool, ActKind, Matrix};
+use proptest::prelude::*;
+
+/// Deterministic value for element `(i, j)` with ~1/8 exact zeros, so the
+/// naive kernel's zero-skip path is exercised against the tiled path
+/// (which has no skip — the skip is bitwise-neutral for finite inputs).
+fn val(seed: u64, i: usize, j: usize) -> f32 {
+    let mut z = seed
+        ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (j as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    if z.is_multiple_of(8) {
+        0.0
+    } else {
+        ((z >> 40) & 0xFF_FFFF) as f32 / (1u64 << 23) as f32 - 1.0
+    }
+}
+
+fn test_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    Matrix::from_fn(rows, cols, |i, j| val(seed, i, j))
+}
+
+/// One dimension draw: degenerate, around the 4/8 register-tile rims,
+/// straddling the small/tiled work boundary (32³), and (rarely) straddling
+/// the MC=128 / KC=256 / NC=256 outer-block rims.
+fn dim() -> impl Strategy<Value = usize> {
+    prop_oneof![1usize..10, 1usize..10, 30usize..42, 30usize..42, 126usize..131, 255usize..259,]
+}
+
+fn act_kind() -> impl Strategy<Value = ActKind> {
+    prop_oneof![
+        Just(ActKind::Identity),
+        Just(ActKind::Relu),
+        Just(ActKind::LeakyRelu(0.01)),
+        Just(ActKind::Tanh),
+        Just(ActKind::Sigmoid),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// nn: `a @ b` (whatever path dispatch picks) == naive reference.
+    #[test]
+    fn tiled_matmul_matches_naive((m, k, n) in (dim(), dim(), dim()), seed in any::<u64>()) {
+        let a = test_matrix(m, k, seed);
+        let b = test_matrix(k, n, seed.wrapping_add(1));
+        let fast = pool::with_threads(1, || a.matmul(&b)).unwrap();
+        prop_assert_eq!(&fast, &a.matmul_naive(&b));
+    }
+
+    /// tn: packing from the transposed source == materialized transpose.
+    #[test]
+    fn tiled_matmul_tn_matches_naive((m, k, n) in (dim(), dim(), dim()), seed in any::<u64>()) {
+        let at = test_matrix(k, m, seed); // aᵀ stored
+        let b = test_matrix(k, n, seed.wrapping_add(1));
+        let fast = pool::with_threads(1, || at.matmul_tn(&b)).unwrap();
+        prop_assert_eq!(&fast, &at.transpose().matmul_naive(&b));
+    }
+
+    /// nt: packing from the transposed source == materialized transpose.
+    #[test]
+    fn tiled_matmul_nt_matches_naive((m, k, n) in (dim(), dim(), dim()), seed in any::<u64>()) {
+        let a = test_matrix(m, k, seed);
+        let bt = test_matrix(n, k, seed.wrapping_add(1)); // bᵀ stored
+        let fast = pool::with_threads(1, || a.matmul_nt(&bt)).unwrap();
+        prop_assert_eq!(&fast, &a.matmul_naive(&bt.transpose()));
+    }
+
+    /// Fused matmul+bias+activation == the three separate sweeps, for every
+    /// activation kind, with and without bias, on rim-straddling shapes.
+    #[test]
+    fn fused_linear_bias_act_matches_unfused(
+        (m, k, n) in (dim(), dim(), dim()),
+        act in act_kind(),
+        with_bias in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let x = test_matrix(m, k, seed);
+        let w = test_matrix(k, n, seed.wrapping_add(1));
+        let bias = test_matrix(1, n, seed.wrapping_add(2));
+        let bias_opt = with_bias.then_some(&bias);
+        let fused = pool::with_threads(1, || x.linear_bias_act(&w, bias_opt, act)).unwrap();
+        let mut expect = x.matmul_naive(&w);
+        if with_bias {
+            expect = expect.add_row_broadcast(&bias).unwrap();
+        }
+        let expect = expect.map(|v| act.apply(v));
+        prop_assert_eq!(&fused, &expect);
+    }
+}

@@ -16,14 +16,17 @@ cargo run --release -p atnn-serve --bin atnn_serve -- --scale tiny --smoke
 echo "==> allocation budget (steady-state train step, counting allocator)"
 cargo test --release -q -p atnn-core --test alloc_budget
 
+echo "==> gemm smoke (tiled kernel must beat naive at 256^3, bit-identically)"
+cargo run --release -p atnn-bench --bin gemm_bench -- --smoke
+
 echo "==> obs smoke (train one epoch with a JsonlSink, replay the event stream)"
 cargo run --release --example obs_smoke
 
 echo "==> cargo doc -p atnn-obs (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q -p atnn-obs
 
-echo "==> cargo clippy --workspace -- -D warnings"
-cargo clippy --workspace -- -D warnings
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo fmt --check"
 cargo fmt --check
