@@ -3,31 +3,54 @@
 //! Trains one model, then runs closed-loop mixed traffic (forced-cold,
 //! forced-warm, policy-routed, top-k) against a fresh in-process server at
 //! several offered-load levels, and dumps per-endpoint latency quantiles
-//! plus shed rates to `BENCH_serve.json`. The final level deliberately
-//! shrinks the batcher queue to drive the server into overload so the shed
-//! path shows up in the record, not just in unit tests.
+//! plus shed rates to `BENCH_serve.json`. Each level fixes a point on the
+//! `connections` axis: the small levels mirror the pre-event-loop
+//! baseline (a handful of fat requests), the `fleet`/`swarm` levels drive
+//! hundreds to thousands of concurrent sockets with small requests — the
+//! shape the epoll front end exists for. The generator itself is
+//! nonblocking: one epoll loop multiplexes every connection of a level,
+//! each connection keeping exactly one request in flight (closed loop).
+//! The final level deliberately shrinks the batcher queue to drive the
+//! server into overload so the shed path shows up in the record.
 //!
 //! Run with: `cargo run --release -p atnn-bench --bin serve_loadgen
 //! [-- --scale tiny|small|paper] [--duration-ms N] [--out PATH]`
+//!
+//! `--smoke` runs only the 512-connection fleet level for a short burst
+//! and exits non-zero unless throughput clears twice the pre-event-loop
+//! baseline — the CI regression gate.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::io::Write;
+use std::net::TcpStream;
+use std::os::fd::AsRawFd;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use atnn_bench::Scale;
 use atnn_core::{Atnn, AtnnConfig, CtrTrainer, PopularityIndex, TrainOptions};
 use atnn_data::tmall::{TmallConfig, TmallDataset};
-use atnn_serve::protocol::StatsReport;
-use atnn_serve::{serve, ModelManager, ModelSnapshot, Response, ServeClient, ServeConfig};
+use atnn_serve::nio::{Epoll, EpollEvent, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT};
+use atnn_serve::protocol::{FrameRead, FrameReader, StatsReport};
+use atnn_serve::{serve, ModelManager, ModelSnapshot, Request, Response, ServeClient, ServeConfig};
+
+/// Light-level throughput of the blocking thread-per-connection server
+/// this event-driven plane replaced (PR 5's `BENCH_serve.json`). The
+/// smoke gate and the EXPERIMENTS.md table are both anchored to it.
+const BASELINE_LIGHT_RPS: f64 = 1473.3;
 
 /// One offered-load level.
 struct Level {
     name: &'static str,
-    clients: usize,
+    /// Concurrent client connections, each with one request in flight.
+    connections: usize,
     /// Items per scoring request.
     request_items: usize,
-    /// Batcher queue bound for this level (small = forced overload).
+    /// Batcher queue bound per shard (small = forced overload).
     queue_capacity: usize,
+    /// Item-catalogue shards behind the front end.
+    shards: usize,
+    /// Server-side epoll event-loop threads.
+    event_threads: usize,
 }
 
 /// What one level measured.
@@ -39,6 +62,12 @@ struct LevelResult {
     stats: StatsReport,
 }
 
+impl LevelResult {
+    fn throughput_rps(&self) -> f64 {
+        self.requests_sent as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
 }
@@ -46,8 +75,13 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let scale = Scale::from_args();
+    let smoke = args.iter().any(|a| a == "--smoke");
     let duration = Duration::from_millis(
-        flag_value(&args, "--duration-ms").and_then(|v| v.parse().ok()).unwrap_or(2_000),
+        flag_value(&args, "--duration-ms").and_then(|v| v.parse().ok()).unwrap_or(if smoke {
+            1_500
+        } else {
+            2_000
+        }),
     );
     let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
 
@@ -66,22 +100,86 @@ fn main() {
     let num_items = data.num_items();
     let manager = Arc::new(ModelManager::new(ModelSnapshot { version: 1, data, model, index }));
 
-    // Requests carry enough items that the forward pass, not the TCP
-    // round-trip, dominates the measured latency — that is what makes the
-    // cold path's cheapness visible in the quantiles.
+    let fleet = || Level {
+        name: "fleet",
+        connections: 512,
+        request_items: 8,
+        queue_capacity: 8192,
+        shards: 2,
+        event_threads: 2,
+    };
+
+    if smoke {
+        let result = run_level(fleet(), &manager, num_items, duration);
+        let rps = result.throughput_rps();
+        let floor = 2.0 * BASELINE_LIGHT_RPS;
+        eprintln!(
+            "smoke: fleet level {rps:.1} req/s over {} connections (floor {floor:.1})",
+            result.level.connections
+        );
+        assert!(
+            rps >= floor,
+            "fleet throughput {rps:.1} req/s under the 2x baseline floor {floor:.1}"
+        );
+        return;
+    }
+
+    // The small levels carry enough items per request that the forward
+    // pass, not the TCP round-trip, dominates the measured latency — that
+    // is what makes the cold path's cheapness visible in the quantiles.
+    // The fleet/swarm levels invert the shape: many sockets, small
+    // requests, throughput bounded by the I/O plane.
     let levels = [
-        Level { name: "light", clients: 2, request_items: 256, queue_capacity: 4096 },
-        Level { name: "heavy", clients: 8, request_items: 256, queue_capacity: 4096 },
+        Level {
+            name: "light",
+            connections: 2,
+            request_items: 256,
+            queue_capacity: 4096,
+            shards: 1,
+            event_threads: 1,
+        },
+        // Fat requests stay unsharded: splitting a 256-item batch across
+        // shard threads halves the GEMM batch size and adds context
+        // switches, a net loss on a single core (see EXPERIMENTS.md).
+        Level {
+            name: "heavy",
+            connections: 8,
+            request_items: 256,
+            queue_capacity: 4096,
+            shards: 1,
+            event_threads: 1,
+        },
+        fleet(),
+        Level {
+            name: "swarm",
+            connections: 2048,
+            request_items: 4,
+            queue_capacity: 8192,
+            shards: 2,
+            event_threads: 2,
+        },
         // Queue bound below the offered in-flight item count: the batcher
         // must shed, and the shed rate must show up in the stats.
-        Level { name: "overload", clients: 8, request_items: 256, queue_capacity: 384 },
+        Level {
+            name: "overload",
+            connections: 8,
+            request_items: 256,
+            queue_capacity: 384,
+            shards: 1,
+            event_threads: 1,
+        },
     ];
 
     let mut results = Vec::new();
     for level in levels {
         eprintln!(
-            "level {}: {} clients x {} items, queue {}...",
-            level.name, level.clients, level.request_items, level.queue_capacity
+            "level {}: {} connections x {} items, queue {}, {} shards, {} event threads...",
+            level.name,
+            level.connections,
+            level.request_items,
+            level.queue_capacity,
+            level.shards,
+            level.event_threads
         );
         results.push(run_level(level, &manager, num_items, duration));
     }
@@ -101,7 +199,7 @@ fn main() {
         cold_p50 < warm_p50,
         "cold-path p50 ({cold_p50}ns) must undercut warm-path p50 ({warm_p50}ns)"
     );
-    let overload = &results[2];
+    let overload = results.last().expect("levels nonempty");
     assert!(
         overload.client_sheds > 0,
         "the overload level must actually shed (queue bound too generous?)"
@@ -116,7 +214,12 @@ fn run_level(
     num_items: usize,
     duration: Duration,
 ) -> LevelResult {
-    let cfg = ServeConfig { queue_capacity: level.queue_capacity, ..ServeConfig::default() };
+    let cfg = ServeConfig {
+        queue_capacity: level.queue_capacity,
+        shards: level.shards,
+        event_threads: level.event_threads,
+        ..ServeConfig::default()
+    };
     let warm_threshold = cfg.warm_threshold;
     let mut handle = serve(cfg, Arc::clone(manager)).expect("bind ephemeral port");
     let addr = handle.local_addr();
@@ -130,56 +233,9 @@ fn run_level(
         }
     }
 
-    let requests_sent = AtomicU64::new(0);
-    let client_sheds = AtomicU64::new(0);
+    let mut gen = LoadGen::connect(addr, &level, num_items);
     let started = Instant::now();
-    std::thread::scope(|scope| {
-        for worker in 0..level.clients {
-            let (requests_sent, client_sheds) = (&requests_sent, &client_sheds);
-            let n = level.request_items;
-            scope.spawn(move || {
-                let mut client = ServeClient::connect(addr).expect("client connect");
-                // Per-worker deterministic item cursor; cold ids come from
-                // the unwarmed upper half, warm ids from the lower half.
-                let mut cursor = worker as u32 * 7919;
-                let half = (num_items / 2) as u32;
-                let phase_len = duration / 3;
-                let send = |response: Result<Response, _>| {
-                    requests_sent.fetch_add(1, Ordering::Relaxed);
-                    match response.expect("request failed") {
-                        Response::Overloaded => {
-                            client_sheds.fetch_add(1, Ordering::Relaxed);
-                        }
-                        Response::Error(msg) => panic!("server error: {msg}"),
-                        _ => {}
-                    }
-                };
-                // Three homogeneous phases — cold-only, warm-only, then
-                // routed mixed traffic. Homogeneous phases keep each
-                // endpoint's queue wait proportional to its own path's
-                // service time, so the cold/warm latency gap survives
-                // into the per-endpoint quantiles.
-                while started.elapsed() < phase_len {
-                    let cold: Vec<u32> =
-                        (0..n as u32).map(|i| half + (cursor + i) % half).collect();
-                    cursor = cursor.wrapping_add(n as u32);
-                    send(client.score_new_arrival(&cold));
-                }
-                while started.elapsed() < 2 * phase_len {
-                    let warm: Vec<u32> = (0..n as u32).map(|i| (cursor + i) % half).collect();
-                    cursor = cursor.wrapping_add(n as u32);
-                    send(client.score_warm_item(&warm));
-                }
-                while started.elapsed() < duration {
-                    let mixed: Vec<u32> =
-                        (0..n as u32).map(|i| (cursor + i) % (2 * half)).collect();
-                    cursor = cursor.wrapping_add(n as u32);
-                    send(client.score(&mixed));
-                    send(client.topk(&mixed, 8));
-                }
-            });
-        }
-    });
+    gen.run(started, duration);
     let elapsed = started.elapsed();
 
     let stats = setup.stats().expect("final stats");
@@ -187,26 +243,237 @@ fn run_level(
     LevelResult {
         level,
         elapsed,
-        requests_sent: requests_sent.load(Ordering::Relaxed),
-        client_sheds: client_sheds.load(Ordering::Relaxed),
+        requests_sent: gen.requests_sent,
+        client_sheds: gen.client_sheds,
         stats,
+    }
+}
+
+/// Traffic phases, switched on wall clock thirds. Homogeneous phases keep
+/// each endpoint's queue wait proportional to its own path's service
+/// time, so the cold/warm latency gap survives into the quantiles.
+#[derive(Clone, Copy, PartialEq)]
+enum Phase {
+    Cold,
+    Warm,
+    Mixed,
+}
+
+/// One nonblocking closed-loop connection: encodes its next request into
+/// `out`, drains replies through a [`FrameReader`].
+struct LoadConn {
+    stream: TcpStream,
+    reader: FrameReader,
+    out: Vec<u8>,
+    sent: usize,
+    mask: u32,
+    cursor: u32,
+    /// Flips between `score` and `topk` in the mixed phase.
+    flip: bool,
+    inflight: bool,
+}
+
+impl LoadConn {
+    /// Encodes `req` as a length-prefixed frame into the out buffer.
+    fn queue(&mut self, req: &Request) {
+        debug_assert!(self.out.is_empty() && !self.inflight);
+        let payload = req.encode();
+        self.out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.out.extend_from_slice(&payload);
+        self.inflight = true;
+    }
+
+    /// Writes until the buffer empties or the socket blocks; returns
+    /// whether bytes are still pending.
+    fn pump_write(&mut self) -> bool {
+        while self.sent < self.out.len() {
+            match self.stream.write(&self.out[self.sent..]) {
+                Ok(n) => self.sent += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return true,
+                Err(e) => panic!("loadgen write: {e}"),
+            }
+        }
+        self.out.clear();
+        self.sent = 0;
+        false
+    }
+}
+
+/// The nonblocking fan-out driver for one level: every connection on one
+/// epoll, each closed-loop (exactly one request in flight).
+struct LoadGen {
+    epoll: Epoll,
+    conns: Vec<LoadConn>,
+    request_items: usize,
+    /// Catalogue midpoint: ids below are warmed, ids at or above are cold.
+    half: u32,
+    requests_sent: u64,
+    client_sheds: u64,
+}
+
+impl LoadGen {
+    fn connect(addr: std::net::SocketAddr, level: &Level, num_items: usize) -> Self {
+        let epoll = Epoll::new().expect("epoll_create1");
+        let mut conns = Vec::with_capacity(level.connections);
+        for i in 0..level.connections {
+            let stream = TcpStream::connect(addr).expect("loadgen connect");
+            stream.set_nodelay(true).expect("nodelay");
+            stream.set_nonblocking(true).expect("nonblocking");
+            epoll.add(stream.as_raw_fd(), EPOLLIN, i as u64).expect("epoll add");
+            conns.push(LoadConn {
+                stream,
+                reader: FrameReader::new(),
+                out: Vec::new(),
+                sent: 0,
+                mask: EPOLLIN,
+                // Spread the deterministic item cursors across workers.
+                cursor: i as u32 * 7919,
+                flip: i % 2 == 0,
+                inflight: false,
+            });
+        }
+        LoadGen {
+            epoll,
+            conns,
+            request_items: level.request_items,
+            half: (num_items / 2) as u32,
+            requests_sent: 0,
+            client_sheds: 0,
+        }
+    }
+
+    fn next_request(&mut self, idx: usize, phase: Phase) -> Request {
+        let n = self.request_items as u32;
+        let half = self.half;
+        let conn = &mut self.conns[idx];
+        let cursor = conn.cursor;
+        conn.cursor = cursor.wrapping_add(n);
+        match phase {
+            // Cold ids come from the unwarmed upper half of the catalogue.
+            Phase::Cold => Request::ScoreNewArrival {
+                items: (0..n).map(|i| half + (cursor + i) % half).collect(),
+            },
+            Phase::Warm => {
+                Request::ScoreWarmItem { items: (0..n).map(|i| (cursor + i) % half).collect() }
+            }
+            Phase::Mixed => {
+                let items: Vec<u32> = (0..n).map(|i| (cursor + i) % (2 * half)).collect();
+                conn.flip = !conn.flip;
+                if conn.flip {
+                    Request::Score { items }
+                } else {
+                    Request::TopK { items, k: 8 }
+                }
+            }
+        }
+    }
+
+    /// Queues a fresh request on `idx` and starts writing it out.
+    fn launch(&mut self, idx: usize, phase: Phase) {
+        let req = self.next_request(idx, phase);
+        let conn = &mut self.conns[idx];
+        conn.queue(&req);
+        self.requests_sent += 1;
+        let blocked = conn.pump_write();
+        self.reconcile_mask(idx, blocked);
+    }
+
+    /// Keeps each connection's epoll interest at `EPOLLIN` plus
+    /// `EPOLLOUT` only while a partial write is pending.
+    fn reconcile_mask(&mut self, idx: usize, write_blocked: bool) {
+        let conn = &mut self.conns[idx];
+        let want = if write_blocked { EPOLLIN | EPOLLOUT } else { EPOLLIN };
+        if conn.mask != want {
+            conn.mask = want;
+            self.epoll.modify(conn.stream.as_raw_fd(), want, idx as u64).expect("epoll modify");
+        }
+    }
+
+    fn run(&mut self, started: Instant, duration: Duration) {
+        let phase_len = duration / 3;
+        let phase_of = |elapsed: Duration| {
+            if elapsed < phase_len {
+                Phase::Cold
+            } else if elapsed < 2 * phase_len {
+                Phase::Warm
+            } else {
+                Phase::Mixed
+            }
+        };
+
+        for idx in 0..self.conns.len() {
+            self.launch(idx, Phase::Cold);
+        }
+        let mut inflight = self.conns.len();
+
+        let mut events = vec![EpollEvent::zeroed(); 512];
+        while inflight > 0 {
+            let n = self.epoll.wait(&mut events, 50).expect("epoll wait");
+            for ev in &events[..n] {
+                // Copy out of the (packed on x86-64) record before use.
+                let (bits, token) = (ev.events, ev.data);
+                let idx = token as usize;
+                if bits & (EPOLLERR | EPOLLHUP) != 0 {
+                    panic!("loadgen connection {idx} failed mid-run");
+                }
+                if bits & EPOLLOUT != 0 {
+                    let blocked = self.conns[idx].pump_write();
+                    self.reconcile_mask(idx, blocked);
+                }
+                if bits & EPOLLIN != 0 {
+                    inflight -= self.drain_replies(idx);
+                    let elapsed = started.elapsed();
+                    if !self.conns[idx].inflight && elapsed < duration {
+                        self.launch(idx, phase_of(elapsed));
+                        inflight += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reads every complete reply buffered on `idx`; returns how many
+    /// in-flight requests it retired (0 or 1 in closed-loop operation).
+    fn drain_replies(&mut self, idx: usize) -> usize {
+        let mut retired = 0;
+        loop {
+            let conn = &mut self.conns[idx];
+            match conn.reader.read_frame(&mut conn.stream) {
+                Ok(FrameRead::Frame(payload)) => {
+                    match Response::decode(payload).expect("decode response") {
+                        Response::Overloaded => self.client_sheds += 1,
+                        Response::Error(msg) => panic!("server error: {msg}"),
+                        _ => {}
+                    }
+                    conn.inflight = false;
+                    retired += 1;
+                }
+                Ok(FrameRead::Idle) => return retired,
+                Ok(FrameRead::Eof) => panic!("server closed connection {idx} mid-run"),
+                Err(e) => panic!("loadgen read: {e}"),
+            }
+        }
     }
 }
 
 fn render_json(scale: Scale, results: &[LevelResult]) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
+    out.push_str(&format!("  \"baseline_light_rps\": {BASELINE_LIGHT_RPS:.1},\n"));
     out.push_str("  \"levels\": [\n");
     for (li, r) in results.iter().enumerate() {
         let secs = r.elapsed.as_secs_f64();
         out.push_str("    {\n");
         out.push_str(&format!("      \"name\": \"{}\",\n", r.level.name));
-        out.push_str(&format!("      \"clients\": {},\n", r.level.clients));
+        out.push_str(&format!("      \"connections\": {},\n", r.level.connections));
         out.push_str(&format!("      \"request_items\": {},\n", r.level.request_items));
         out.push_str(&format!("      \"queue_capacity\": {},\n", r.level.queue_capacity));
+        out.push_str(&format!("      \"shards\": {},\n", r.level.shards));
+        out.push_str(&format!("      \"event_threads\": {},\n", r.level.event_threads));
         out.push_str(&format!("      \"duration_secs\": {secs:.3},\n"));
         out.push_str(&format!("      \"requests_sent\": {},\n", r.requests_sent));
-        out.push_str(&format!("      \"throughput_rps\": {:.1},\n", r.requests_sent as f64 / secs));
+        out.push_str(&format!("      \"throughput_rps\": {:.1},\n", r.throughput_rps()));
         out.push_str(&format!(
             "      \"shed_rate\": {:.4},\n",
             r.client_sheds as f64 / (r.requests_sent as f64).max(1.0)

@@ -1,21 +1,27 @@
 //! The micro-batcher: coalesces concurrent scoring requests into batched
 //! forward passes.
 //!
-//! Connection threads `submit` jobs into a bounded queue; one batch worker
-//! drains it, packing jobs into a batch until the batch is full, the
-//! flush deadline since the batch's first job expires, or (in the default
-//! eager mode) the queue runs dry. Each flush grabs **one** model snapshot
-//! and runs at most one forward pass per scoring path, so a 64-request
-//! burst costs two matmul dispatches instead of 64 — the "batching
-//! requests pays for itself immediately" lesson of the 300M-predictions/s
-//! paper — and every job in a flush is answered by a single consistent
-//! model version.
+//! The event loop `submit_with`s jobs into a bounded queue; one batch
+//! worker per shard drains it, packing jobs into a batch until the batch
+//! is full, the flush deadline since the batch's first job expires, or (in
+//! the default eager mode) the queue runs dry. Each flush grabs **one**
+//! model snapshot from the shard's [`SwapCell`] and runs at most one
+//! forward pass per scoring path, so a 64-request burst costs two matmul
+//! dispatches instead of 64 — the "batching requests pays for itself
+//! immediately" lesson of the 300M-predictions/s paper — and every job in
+//! a flush is answered by a single consistent model version.
+//!
+//! Replies are delivered by invoking the job's completion closure on the
+//! worker thread. The event-driven front hands in a closure that buffers
+//! the response and wakes the owning event loop; the blocking `submit`
+//! convenience (tests, direct embedding) wraps a channel around the same
+//! mechanism.
 //!
 //! Backpressure is explicit: when the queued-item bound would be exceeded,
-//! `submit` fails immediately and the caller answers `Overloaded`. The
-//! acceptor and connection threads never block on a full queue, so a
-//! saturated scorer degrades into fast sheds rather than a connection
-//! pile-up.
+//! submission fails immediately — the completion closure is returned to
+//! the caller *uninvoked* — and the caller answers `Overloaded`. The event
+//! loop never blocks on a full queue, so a saturated shard degrades into
+//! fast sheds rather than a connection pile-up.
 
 use std::collections::VecDeque;
 use std::sync::mpsc;
@@ -23,8 +29,10 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+use atnn_tensor::SwapCell;
+
 use crate::config::ServeConfig;
-use crate::manager::ModelManager;
+use crate::manager::ModelSnapshot;
 use crate::router::ScorePath;
 use crate::telemetry::Telemetry;
 
@@ -33,11 +41,16 @@ use crate::telemetry::Telemetry;
 /// the batch ran against, or a panicked forward pass).
 pub type BatchReply = Result<Vec<f32>, String>;
 
+/// A job's completion closure. Invoked exactly once, on the batch worker
+/// thread, with the job's reply — unless submission was shed, in which
+/// case it is returned to the caller and never invoked.
+pub type ReplyFn = Box<dyn FnOnce(BatchReply) + Send>;
+
 /// One queued scoring request.
 struct Job {
     path: ScorePath,
     items: Vec<u32>,
-    reply: mpsc::SyncSender<BatchReply>,
+    reply: ReplyFn,
 }
 
 struct QueueState {
@@ -54,8 +67,12 @@ struct Shared {
     state: Mutex<QueueState>,
     /// Signals the worker (new job / shutdown).
     cv: Condvar,
-    manager: Arc<ModelManager>,
+    /// The shard's snapshot cell. `ModelManager::publish` fans out to it;
+    /// the worker loads from it once per flush.
+    source: Arc<SwapCell<ModelSnapshot>>,
     telemetry: Arc<Telemetry>,
+    /// This batcher's shard index into the telemetry's shard counters.
+    shard: usize,
     cfg: ServeConfig,
 }
 
@@ -64,15 +81,21 @@ struct Shared {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Overloaded;
 
-/// The bounded queue + batch worker pair.
+/// The bounded queue + batch worker pair (one per catalogue shard).
 pub struct Batcher {
     shared: Arc<Shared>,
     worker: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl Batcher {
-    /// Starts the batch worker.
-    pub fn start(cfg: ServeConfig, manager: Arc<ModelManager>, telemetry: Arc<Telemetry>) -> Self {
+    /// Starts the batch worker for shard `shard`, scoring against
+    /// snapshots from `source`.
+    pub fn start(
+        cfg: ServeConfig,
+        source: Arc<SwapCell<ModelSnapshot>>,
+        telemetry: Arc<Telemetry>,
+        shard: usize,
+    ) -> Self {
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState {
                 jobs: VecDeque::new(),
@@ -81,37 +104,65 @@ impl Batcher {
                 paused: false,
             }),
             cv: Condvar::new(),
-            manager,
+            source,
             telemetry,
+            shard,
             cfg,
         });
         let worker_shared = Arc::clone(&shared);
         let worker = std::thread::Builder::new()
-            .name("atnn-serve-batcher".to_string())
+            .name(format!("atnn-serve-shard{shard}"))
             .spawn(move || worker_loop(&worker_shared))
             .expect("spawn batch worker");
         Batcher { shared, worker: Mutex::new(Some(worker)) }
     }
 
-    /// Enqueues a scoring job. Returns a receiver for the scores, or
-    /// [`Overloaded`] when the queue bound would be exceeded — the caller
-    /// sheds the request instead of waiting.
+    /// Enqueues a scoring job whose reply is delivered by invoking
+    /// `reply` on the worker thread. When the queue bound would be
+    /// exceeded (or the batcher is shutting down) the job is shed:
+    /// `reply` comes back in the `Err`, guaranteed uninvoked, so the
+    /// caller can answer `Overloaded` through it (or drop it).
+    pub fn submit_with(
+        &self,
+        path: ScorePath,
+        items: Vec<u32>,
+        reply: ReplyFn,
+    ) -> Result<(), (Overloaded, ReplyFn)> {
+        {
+            let mut state = self.shared.state.lock().expect("batcher lock poisoned");
+            if state.shutdown || state.queued_items + items.len() > self.shared.cfg.queue_capacity {
+                drop(state);
+                self.shared.telemetry.record_shard_shed(self.shared.shard);
+                return Err((Overloaded, reply));
+            }
+            state.queued_items += items.len();
+            self.shared.telemetry.set_queue_depth(self.shared.shard, state.queued_items);
+            state.jobs.push_back(Job { path, items, reply });
+        }
+        self.shared.telemetry.record_shard_dispatch(self.shared.shard);
+        self.shared.cv.notify_one();
+        Ok(())
+    }
+
+    /// Channel-backed convenience over [`Batcher::submit_with`]: returns a
+    /// receiver for the scores, or [`Overloaded`] when the job was shed.
     pub fn submit(
         &self,
         path: ScorePath,
         items: Vec<u32>,
     ) -> Result<mpsc::Receiver<BatchReply>, Overloaded> {
         let (tx, rx) = mpsc::sync_channel(1);
-        {
-            let mut state = self.shared.state.lock().expect("batcher lock poisoned");
-            if state.shutdown || state.queued_items + items.len() > self.shared.cfg.queue_capacity {
-                return Err(Overloaded);
-            }
-            state.queued_items += items.len();
-            state.jobs.push_back(Job { path, items, reply: tx });
-        }
-        self.shared.cv.notify_one();
+        // A dead receiver just means the caller hung up; nothing to do.
+        let reply: ReplyFn = Box::new(move |r| {
+            let _ = tx.send(r);
+        });
+        self.submit_with(path, items, reply).map_err(|(over, _)| over)?;
         Ok(rx)
+    }
+
+    /// This batcher's shard index.
+    pub fn shard(&self) -> usize {
+        self.shared.shard
     }
 
     /// Items currently waiting in the queue (diagnostics).
@@ -185,6 +236,7 @@ fn collect_batch(shared: &Shared) -> Vec<Job> {
                 break;
             }
         }
+        shared.telemetry.set_queue_depth(shared.shard, state.queued_items);
         if batch_items >= cfg.max_batch || state.shutdown {
             return batch;
         }
@@ -212,18 +264,17 @@ fn collect_batch(shared: &Shared) -> Vec<Job> {
 /// though the manager refuses to publish a differently-sized catalogue,
 /// a job with out-of-range ids must answer with an error rather than
 /// panic the worker. The forward passes run under `catch_unwind` for the
-/// same reason: a panicking pass fails its batch, not the whole server
+/// same reason: a panicking pass fails its batch, not the whole shard
 /// (a dead worker would leave queued jobs blocking their connections
 /// forever).
 fn execute_batch(shared: &Shared, batch: Vec<Job>) {
-    let snapshot = shared.manager.load();
+    let snapshot = shared.source.load();
     let num_items = snapshot.num_items() as u32;
 
     let (batch, invalid): (Vec<Job>, Vec<Job>) =
         batch.into_iter().partition(|job| job.items.iter().all(|&i| i < num_items));
     for job in invalid {
-        // A dead receiver just means the client hung up; nothing to do.
-        let _ = job.reply.send(Err(format!(
+        (job.reply)(Err(format!(
             "item out of range for model v{} (0..{num_items})",
             snapshot.version
         )));
@@ -244,13 +295,13 @@ fn execute_batch(shared: &Shared, batch: Vec<Job>) {
         let cold_scores = if cold_items.is_empty() {
             Vec::new()
         } else {
-            shared.telemetry.record_batch(cold_items.len());
+            shared.telemetry.record_batch(shared.shard, cold_items.len());
             snapshot.score_cold(&cold_items)
         };
         let warm_scores = if warm_items.is_empty() {
             Vec::new()
         } else {
-            shared.telemetry.record_batch(warm_items.len());
+            shared.telemetry.record_batch(shared.shard, warm_items.len());
             snapshot.score_warm(&warm_items)
         };
         (cold_scores, warm_scores)
@@ -259,9 +310,7 @@ fn execute_batch(shared: &Shared, batch: Vec<Job>) {
         Ok(scores) => scores,
         Err(_) => {
             for job in batch {
-                let _ = job
-                    .reply
-                    .send(Err(format!("forward pass panicked on model v{}", snapshot.version)));
+                (job.reply)(Err(format!("forward pass panicked on model v{}", snapshot.version)));
             }
             return;
         }
@@ -282,19 +331,19 @@ fn execute_batch(shared: &Shared, batch: Vec<Job>) {
                 s
             }
         };
-        let _ = job.reply.send(Ok(scores));
+        (job.reply)(Ok(scores));
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::manager::ModelSnapshot;
+    use crate::manager::ModelManager;
     use atnn_core::{Atnn, AtnnConfig, CtrTrainer, PopularityIndex, TrainOptions};
     use atnn_data::tmall::{TmallConfig, TmallDataset};
     use std::time::Duration;
 
-    fn tiny_manager() -> Arc<ModelManager> {
+    fn tiny_snapshot(version: u64) -> ModelSnapshot {
         let data = TmallDataset::generate(TmallConfig {
             num_users: 50,
             num_items: 100,
@@ -305,15 +354,26 @@ mod tests {
         let opts = TrainOptions::builder().epochs(1).build().expect("valid options");
         CtrTrainer::new(opts).train(&mut model, &data, None).expect("training runs");
         let index = PopularityIndex::build(&model, &data, &(0..30).collect::<Vec<_>>());
-        Arc::new(ModelManager::new(ModelSnapshot { version: 1, data, model, index }))
+        ModelSnapshot { version, data, model, index }
+    }
+
+    fn tiny_manager() -> Arc<ModelManager> {
+        Arc::new(ModelManager::new(tiny_snapshot(1)))
+    }
+
+    fn start_batcher(
+        cfg: ServeConfig,
+        manager: &Arc<ModelManager>,
+        telemetry: &Arc<Telemetry>,
+    ) -> Batcher {
+        Batcher::start(cfg, manager.register_shard_cell(), Arc::clone(telemetry), 0)
     }
 
     #[test]
     fn batched_scores_match_direct_calls() {
         let manager = tiny_manager();
         let telemetry = Arc::new(Telemetry::new());
-        let batcher =
-            Batcher::start(ServeConfig::default(), Arc::clone(&manager), Arc::clone(&telemetry));
+        let batcher = start_batcher(ServeConfig::default(), &manager, &telemetry);
         let snapshot = manager.load();
 
         let rx_a = batcher.submit(ScorePath::Cold, vec![0, 1, 2]).unwrap();
@@ -335,7 +395,7 @@ mod tests {
             eager_flush: false,
             ..ServeConfig::default()
         };
-        let batcher = Batcher::start(cfg, Arc::clone(&manager), Arc::clone(&telemetry));
+        let batcher = start_batcher(cfg, &manager, &telemetry);
         let snapshot = manager.load();
 
         let receivers: Vec<_> =
@@ -350,13 +410,15 @@ mod tests {
             "16 sequential submits under a 50ms deadline must coalesce, got {} batches",
             report.batches
         );
+        assert_eq!(report.shards[0].dispatched, 16);
     }
 
     #[test]
     fn full_queue_sheds_instead_of_blocking() {
         let manager = tiny_manager();
+        let telemetry = Arc::new(Telemetry::new());
         let cfg = ServeConfig { queue_capacity: 8, ..ServeConfig::default() };
-        let batcher = Batcher::start(cfg, manager, Arc::new(Telemetry::new()));
+        let batcher = start_batcher(cfg, &manager, &telemetry);
         // Freeze the worker so the queue accounting below is deterministic.
         batcher.set_paused(true);
         let first = batcher.submit(ScorePath::Cold, vec![0, 1, 2, 3]).unwrap();
@@ -366,6 +428,7 @@ mod tests {
             Overloaded,
             "ninth queued item must be shed, not block"
         );
+        assert_eq!(telemetry.report(1).shards[0].shed, 1);
         batcher.set_paused(false);
         // Queued work still completes after the shed.
         assert_eq!(first.recv_timeout(Duration::from_secs(10)).unwrap().unwrap().len(), 4);
@@ -374,9 +437,30 @@ mod tests {
     }
 
     #[test]
+    fn shed_submission_returns_the_reply_uninvoked() {
+        let manager = tiny_manager();
+        let cfg = ServeConfig { queue_capacity: 2, ..ServeConfig::default() };
+        let batcher = start_batcher(cfg, &manager, &Arc::new(Telemetry::new()));
+        batcher.set_paused(true);
+        let _held = batcher.submit(ScorePath::Cold, vec![0, 1]).unwrap();
+
+        let invoked = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let flag = Arc::clone(&invoked);
+        let reply: ReplyFn =
+            Box::new(move |_| flag.store(true, std::sync::atomic::Ordering::SeqCst));
+        let (over, returned) = batcher.submit_with(ScorePath::Cold, vec![2], reply).unwrap_err();
+        assert_eq!(over, Overloaded);
+        assert!(!invoked.load(std::sync::atomic::Ordering::SeqCst), "shed must not invoke");
+        // The caller owns the closure again and may answer through it.
+        returned(Err("overloaded".into()));
+        assert!(invoked.load(std::sync::atomic::Ordering::SeqCst));
+        batcher.set_paused(false);
+    }
+
+    #[test]
     fn shutdown_drains_pending_jobs() {
         let manager = tiny_manager();
-        let batcher = Batcher::start(ServeConfig::default(), manager, Arc::new(Telemetry::new()));
+        let batcher = start_batcher(ServeConfig::default(), &manager, &Arc::new(Telemetry::new()));
         let receivers: Vec<_> =
             (0..8u32).map(|i| batcher.submit(ScorePath::Cold, vec![i]).unwrap()).collect();
         batcher.shutdown();
@@ -389,11 +473,7 @@ mod tests {
     #[test]
     fn out_of_range_job_gets_an_error_and_worker_survives() {
         let manager = tiny_manager();
-        let batcher = Batcher::start(
-            ServeConfig::default(),
-            Arc::clone(&manager),
-            Arc::new(Telemetry::new()),
-        );
+        let batcher = start_batcher(ServeConfig::default(), &manager, &Arc::new(Telemetry::new()));
         let snapshot = manager.load();
         let beyond = snapshot.num_items() as u32;
 
@@ -409,5 +489,20 @@ mod tests {
             ok.recv_timeout(Duration::from_secs(10)).unwrap().unwrap(),
             snapshot.score_cold(&[0, 1])
         );
+    }
+
+    #[test]
+    fn hot_swap_through_the_shard_cell_changes_the_serving_version() {
+        let manager = tiny_manager();
+        let batcher = start_batcher(ServeConfig::default(), &manager, &Arc::new(Telemetry::new()));
+        let beyond = manager.load().num_items() as u32;
+
+        // Republish the same catalogue under a new version tag; the error
+        // string carries the version the batch actually ran against.
+        manager.publish(tiny_snapshot(9)).unwrap();
+
+        let bad = batcher.submit(ScorePath::Cold, vec![beyond]).unwrap();
+        let err = bad.recv_timeout(Duration::from_secs(10)).unwrap().unwrap_err();
+        assert!(err.contains("model v9"), "worker must score against the published cell: {err}");
     }
 }

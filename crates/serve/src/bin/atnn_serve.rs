@@ -3,7 +3,7 @@
 //! ```text
 //! atnn_serve [--scale tiny|small|paper] [--addr HOST:PORT]
 //!            [--artifact PATH] [--save-artifact PATH]
-//!            [--epochs N] [--smoke]
+//!            [--epochs N] [--shards N] [--event-threads N] [--smoke]
 //! ```
 //!
 //! Without `--artifact`, the daemon trains a model on the simulated Tmall
@@ -13,9 +13,14 @@
 //! the artifact, the serving fleet loads it). `--save-artifact` writes the
 //! trained state so a later run — or a hot reload — can pick it up.
 //!
+//! `--shards` splits the catalogue across N batcher replicas (scoring
+//! requests scatter-gather across them); `--event-threads` sets how many
+//! epoll event loops share the accepted connections.
+//!
 //! `--smoke` starts the server on an ephemeral port, exercises every
-//! endpoint once through a real TCP client, and exits non-zero on any
-//! mismatch: the CI smoke stage.
+//! endpoint once through a real TCP client — including a hot swap
+//! republishing the model under a bumped version — and exits non-zero on
+//! any mismatch: the CI smoke stage.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -30,6 +35,8 @@ struct Args {
     artifact: Option<String>,
     save_artifact: Option<String>,
     epochs: usize,
+    shards: usize,
+    event_threads: usize,
     smoke: bool,
 }
 
@@ -41,6 +48,8 @@ fn parse_args() -> Result<Args, String> {
         artifact: None,
         save_artifact: None,
         epochs: 2,
+        shards: 1,
+        event_threads: 1,
         smoke: false,
     };
     let mut i = 0;
@@ -69,6 +78,24 @@ fn parse_args() -> Result<Args, String> {
                 args.epochs = value(&argv, i, "--epochs")?
                     .parse()
                     .map_err(|_| "--epochs needs an integer".to_string())?;
+                i += 2;
+            }
+            "--shards" => {
+                args.shards = value(&argv, i, "--shards")?
+                    .parse()
+                    .map_err(|_| "--shards needs an integer".to_string())?;
+                if args.shards == 0 {
+                    return Err("--shards must be at least 1".to_string());
+                }
+                i += 2;
+            }
+            "--event-threads" => {
+                args.event_threads = value(&argv, i, "--event-threads")?
+                    .parse()
+                    .map_err(|_| "--event-threads needs an integer".to_string())?;
+                if args.event_threads == 0 {
+                    return Err("--event-threads must be at least 1".to_string());
+                }
                 i += 2;
             }
             "--smoke" => {
@@ -134,7 +161,11 @@ fn run() -> Result<(), String> {
         eprintln!("artifact saved to {path}");
     }
 
-    let mut serve_cfg = ServeConfig::default();
+    let mut serve_cfg = ServeConfig {
+        shards: args.shards,
+        event_threads: args.event_threads,
+        ..ServeConfig::default()
+    };
     match (&args.addr, args.smoke) {
         (Some(addr), _) => serve_cfg.addr = addr.clone(),
         // Smoke runs always take an ephemeral port so CI never collides.
@@ -145,10 +176,16 @@ fn run() -> Result<(), String> {
     let manager = Arc::new(manager);
     let mut handle =
         serve(serve_cfg, Arc::clone(&manager)).map_err(|e| format!("bind failed: {e}"))?;
-    println!("atnn-serve listening on {} (model v{})", handle.local_addr(), manager.version());
+    println!(
+        "atnn-serve listening on {} (model v{}, {} shards, {} event threads)",
+        handle.local_addr(),
+        manager.version(),
+        args.shards,
+        args.event_threads
+    );
 
     if args.smoke {
-        let result = smoke(handle.local_addr());
+        let result = smoke(handle.local_addr(), &manager, &data_cfg);
         handle.shutdown();
         return result;
     }
@@ -159,8 +196,13 @@ fn run() -> Result<(), String> {
     }
 }
 
-/// One request per endpoint over real TCP; any surprise is a hard failure.
-fn smoke(addr: std::net::SocketAddr) -> Result<(), String> {
+/// One request per endpoint over real TCP — plus a hot swap through the
+/// manager — so any surprise is a hard failure.
+fn smoke(
+    addr: std::net::SocketAddr,
+    manager: &Arc<ModelManager>,
+    data_cfg: &TmallConfig,
+) -> Result<(), String> {
     fn fail<E: std::fmt::Display>(what: &'static str) -> impl Fn(E) -> String {
         move |e| format!("smoke {what}: {e}")
     }
@@ -202,14 +244,46 @@ fn smoke(addr: std::net::SocketAddr) -> Result<(), String> {
         other => return Err(format!("smoke topk: unexpected {other:?}")),
     }
 
+    // Hot swap: round-trip the live model through an artifact under a
+    // bumped version and republish — every shard must flip together.
+    let before = client.health().map_err(fail("health"))?;
+    {
+        let snap = manager.load();
+        let artifact = ModelArtifact::capture(&snap.model, data_cfg, &snap.index, before + 1);
+        let path =
+            std::env::temp_dir().join(format!("atnn_serve_smoke_{}.atnn", std::process::id()));
+        artifact.save_to(&path).map_err(fail("save swap artifact"))?;
+        let reload = manager.reload_from(&path);
+        let _ = std::fs::remove_file(&path);
+        reload.map_err(fail("reload"))?;
+    }
+    let after = client.health().map_err(fail("health after swap"))?;
+    if after != before + 1 {
+        return Err(format!("smoke hot swap: expected v{}, health says v{after}", before + 1));
+    }
+    match client.score_new_arrival(&items).map_err(fail("score after swap"))? {
+        Response::Scores(s) if s.len() == items.len() => {
+            println!("smoke: hot swap ok (v{before} -> v{after}, still scoring)");
+        }
+        other => return Err(format!("smoke score after swap: unexpected {other:?}")),
+    }
+
     let stats = client.stats().map_err(fail("stats"))?;
     let scored = stats.endpoint("score_new_arrival").map(|e| e.requests).unwrap_or(0);
     if scored == 0 {
         return Err("smoke stats: score_new_arrival requests not accounted".to_string());
     }
+    if stats.shards.is_empty() {
+        return Err("smoke stats: no per-shard counters reported".to_string());
+    }
+    let dispatched: u64 = stats.shards.iter().map(|s| s.dispatched).sum();
+    if dispatched == 0 {
+        return Err("smoke stats: no shard reported a dispatch".to_string());
+    }
     println!(
-        "smoke: stats ok ({} batches, mean batch {:.1})",
+        "smoke: stats ok ({} batches over {} shards, mean batch {:.1})",
         stats.batches,
+        stats.shards.len(),
         stats.mean_batch_size()
     );
     Ok(())

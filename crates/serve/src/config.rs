@@ -26,9 +26,21 @@ pub struct ServeConfig {
     /// Interactions before an item switches from the cold (generator +
     /// O(1) index) path to the warm (full tower) path.
     pub warm_threshold: u32,
-    /// Poll interval used by connection threads to notice shutdown while
-    /// blocked on an idle socket.
+    /// Upper bound on one `epoll_wait` sleep; caps how long an event loop
+    /// can go without checking for shutdown even if no wakeup arrives.
     pub read_timeout: Duration,
+    /// Catalogue shards: each gets its own batcher thread, queue, and
+    /// model-snapshot cell. Item-addressed requests route by item-id hash;
+    /// `Score`/`TopK` scatter to all shards and gather at the front.
+    pub shards: usize,
+    /// Event-loop threads sharing the accepted connections (round-robin).
+    /// One is usually right: the loop only shuffles bytes, the shard
+    /// threads do the scoring work.
+    pub event_threads: usize,
+    /// In-flight (responded-but-unsent or still-scoring) requests allowed
+    /// per connection before the loop stops reading from it; bounds the
+    /// memory a pipelining client can pin.
+    pub max_pipeline: usize,
 }
 
 impl Default for ServeConfig {
@@ -42,6 +54,9 @@ impl Default for ServeConfig {
             queue_capacity: 1024,
             warm_threshold: 5,
             read_timeout: Duration::from_millis(50),
+            shards: 1,
+            event_threads: 1,
+            max_pipeline: 128,
         }
     }
 }

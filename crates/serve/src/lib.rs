@@ -12,14 +12,21 @@
 //! - [`batcher`]: a bounded micro-batching queue that coalesces concurrent
 //!   requests into shared forward passes and sheds (`Overloaded`) instead
 //!   of blocking when full.
+//! - [`shard`]: the item-sharded scoring fleet — one batcher + snapshot
+//!   cell per catalogue shard, with scatter-gather merging at the front.
 //! - [`manager`]: versioned model snapshots behind an atomic swap — hot
-//!   reloads publish a fully-built snapshot with zero reader blocking.
+//!   reloads publish one shared snapshot to the primary cell and every
+//!   shard cell atomically.
 //! - [`router`]: the paper's §IV-D cold→warm serving switch as live
 //!   per-item interaction counters.
-//! - [`telemetry`]: lock-free per-endpoint counters and geometric latency
-//!   histograms, exported through the `Stats` endpoint.
-//! - [`server`] / [`client`]: a thread-per-connection TCP server and the
-//!   matching blocking client.
+//! - [`telemetry`]: lock-free per-endpoint counters, per-shard batcher
+//!   counters, and geometric latency histograms, exported through the
+//!   `Stats` endpoint.
+//! - [`nio`]: dependency-free `epoll`/`eventfd` wrappers over the raw C
+//!   entry points.
+//! - [`server`] / [`client`]: an event-driven (epoll) TCP server — a few
+//!   event-loop threads own all sockets; no thread per connection — and
+//!   the matching blocking client.
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -35,16 +42,21 @@ pub mod batcher;
 pub mod client;
 pub mod config;
 pub mod manager;
+pub mod nio;
 pub mod protocol;
 pub mod router;
 pub mod server;
+pub mod shard;
 pub mod telemetry;
 
-pub use batcher::{BatchReply, Batcher, Overloaded};
+pub use batcher::{BatchReply, Batcher, Overloaded, ReplyFn};
 pub use client::ServeClient;
 pub use config::ServeConfig;
 pub use manager::{ItemSpaceMismatch, ModelManager, ModelSnapshot};
-pub use protocol::{FrameRead, FrameReader, ProtocolError, Request, Response, StatsReport};
+pub use protocol::{
+    FrameRead, FrameReader, ProtocolError, Request, Response, ShardStats, StatsReport,
+};
 pub use router::{PolicyRouter, ScorePath};
 pub use server::{serve, ServeHandle};
+pub use shard::{shard_of, ScatterOutcome, ShardSet};
 pub use telemetry::{Endpoint, Telemetry};

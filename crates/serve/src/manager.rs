@@ -10,7 +10,7 @@
 //! block behind artifact IO or weight loading.
 
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use atnn_core::{ArtifactError, Atnn, ModelArtifact, PopularityIndex};
 use atnn_data::tmall::TmallDataset;
@@ -104,9 +104,18 @@ impl std::fmt::Display for ItemSpaceMismatch {
 impl std::error::Error for ItemSpaceMismatch {}
 
 /// Holds the current [`ModelSnapshot`] and swaps in replacements.
+///
+/// A sharded server registers one extra [`SwapCell`] per shard; `publish`
+/// then fans a single `Arc` of the new snapshot out to the primary cell
+/// and every shard cell, so all shards flip to the new version together
+/// and share one copy of the weights.
 #[derive(Debug)]
 pub struct ModelManager {
     current: SwapCell<ModelSnapshot>,
+    /// Shard-owned cells `publish` fans out to. Guarded by a mutex only
+    /// on the (rare) publish/register path; shard reads go through their
+    /// own `Arc<SwapCell>` clone, never through this list.
+    shard_cells: Mutex<Vec<Arc<SwapCell<ModelSnapshot>>>>,
     /// Item-space size fixed at construction; every published snapshot
     /// must match it.
     num_items: usize,
@@ -117,7 +126,59 @@ impl ModelManager {
     /// later publishes are checked against.
     pub fn new(snapshot: ModelSnapshot) -> Self {
         let num_items = snapshot.num_items();
-        ModelManager { current: SwapCell::new(snapshot), num_items }
+        ModelManager {
+            current: SwapCell::new(snapshot),
+            shard_cells: Mutex::new(Vec::new()),
+            num_items,
+        }
+    }
+
+    /// Creates and registers a shard-owned snapshot cell, seeded with the
+    /// current snapshot. Every later [`ModelManager::publish`] updates it
+    /// atomically alongside the primary cell.
+    pub fn register_shard_cell(&self) -> Arc<SwapCell<ModelSnapshot>> {
+        let cell = Arc::new(SwapCell::from_arc(self.load()));
+        self.shard_cells.lock().unwrap().push(Arc::clone(&cell));
+        cell
+    }
+
+    /// Unregisters previously registered shard cells (matched by pointer
+    /// identity). A server's shutdown path calls this so a manager reused
+    /// across serve lifecycles doesn't keep publishing into dead shards.
+    pub fn unregister_shard_cells(&self, cells: &[Arc<SwapCell<ModelSnapshot>>]) {
+        let mut registered = self.shard_cells.lock().unwrap();
+        registered.retain(|c| !cells.iter().any(|dead| Arc::ptr_eq(c, dead)));
+    }
+
+    /// Number of shard cells currently registered (test/introspection).
+    pub fn shard_cell_count(&self) -> usize {
+        self.shard_cells.lock().unwrap().len()
+    }
+
+    /// Publishes `snapshot` into a single shard's cell, leaving the
+    /// primary and all other shards untouched. This is the canary hook the
+    /// scatter-gather tests use to create a deliberately version-skewed
+    /// fleet; production swaps go through [`ModelManager::publish`].
+    /// Returns `false` if `shard` is out of range.
+    pub fn publish_to_shard(
+        &self,
+        shard: usize,
+        snapshot: ModelSnapshot,
+    ) -> Result<bool, ItemSpaceMismatch> {
+        if snapshot.num_items() != self.num_items {
+            return Err(ItemSpaceMismatch {
+                serving: self.num_items,
+                offered: snapshot.num_items(),
+            });
+        }
+        let registered = self.shard_cells.lock().unwrap();
+        match registered.get(shard) {
+            Some(cell) => {
+                cell.publish_arc(Arc::new(snapshot));
+                Ok(true)
+            }
+            None => Ok(false),
+        }
     }
 
     /// Items in the served catalogue (fixed across hot swaps).
@@ -143,8 +204,11 @@ impl ModelManager {
 
     /// Publishes a new snapshot. In-flight requests keep the snapshot
     /// they already hold; new requests see the replacement immediately.
-    /// Rejects snapshots whose item space differs from the served
-    /// catalogue — see [`ItemSpaceMismatch`].
+    /// One shared `Arc` fans out to the primary cell and every registered
+    /// shard cell under the registration lock, so no two `publish` calls
+    /// can interleave and leave shards on different versions. Rejects
+    /// snapshots whose item space differs from the served catalogue — see
+    /// [`ItemSpaceMismatch`].
     pub fn publish(&self, snapshot: ModelSnapshot) -> Result<(), ItemSpaceMismatch> {
         if snapshot.num_items() != self.num_items {
             return Err(ItemSpaceMismatch {
@@ -153,7 +217,14 @@ impl ModelManager {
             });
         }
         let version = snapshot.version;
-        self.current.publish(snapshot);
+        let shared = Arc::new(snapshot);
+        {
+            let registered = self.shard_cells.lock().unwrap();
+            self.current.publish_arc(Arc::clone(&shared));
+            for cell in registered.iter() {
+                cell.publish_arc(Arc::clone(&shared));
+            }
+        }
         atnn_obs::emit(&atnn_obs::Event::Swap { version });
         Ok(())
     }
@@ -246,6 +317,49 @@ mod tests {
         let err = manager.publish(shrunk).unwrap_err();
         assert_eq!(err, ItemSpaceMismatch { serving: 120, offered: 80 });
         assert_eq!(manager.version(), 1, "rejected publish must not swap");
+    }
+
+    #[test]
+    fn publish_fans_out_to_registered_shard_cells() {
+        let (snap_a, _) = tiny_snapshot(1, 0);
+        let (snap_b, _) = tiny_snapshot(2, 0);
+        let manager = ModelManager::new(snap_a);
+        let cell_0 = manager.register_shard_cell();
+        let cell_1 = manager.register_shard_cell();
+        assert_eq!(manager.shard_cell_count(), 2);
+        assert_eq!(cell_0.load().version, 1, "registration seeds the current snapshot");
+
+        manager.publish(snap_b).unwrap();
+        let (s0, s1) = (cell_0.load(), cell_1.load());
+        assert_eq!((s0.version, s1.version), (2, 2));
+        assert!(Arc::ptr_eq(&s0, &s1), "shards share one copy of the snapshot");
+        assert!(Arc::ptr_eq(&s0, &manager.load()), "and so does the primary cell");
+
+        manager.unregister_shard_cells(&[Arc::clone(&cell_0), Arc::clone(&cell_1)]);
+        assert_eq!(manager.shard_cell_count(), 0);
+        let (snap_c, _) = tiny_snapshot(3, 0);
+        manager.publish(snap_c).unwrap();
+        assert_eq!(cell_0.load().version, 2, "unregistered cells stop receiving publishes");
+    }
+
+    #[test]
+    fn publish_to_shard_skews_one_cell_until_the_next_full_publish() {
+        let (snap_a, _) = tiny_snapshot(1, 0);
+        let (snap_b, _) = tiny_snapshot(2, 0);
+        let (snap_c, _) = tiny_snapshot(3, 0);
+        let manager = ModelManager::new(snap_a);
+        let cell_0 = manager.register_shard_cell();
+        let cell_1 = manager.register_shard_cell();
+
+        assert!(manager.publish_to_shard(1, snap_b).unwrap());
+        assert_eq!(cell_0.load().version, 1);
+        assert_eq!(cell_1.load().version, 2, "canary shard runs ahead");
+        assert_eq!(manager.version(), 1, "primary cell untouched");
+        assert!(!manager.publish_to_shard(9, tiny_snapshot(4, 0).0).unwrap());
+
+        manager.publish(snap_c).unwrap();
+        assert_eq!(cell_0.load().version, 3);
+        assert_eq!(cell_1.load().version, 3, "full publish heals the skew");
     }
 
     #[test]

@@ -1,0 +1,249 @@
+//! Thin, dependency-free nonblocking-I/O primitives: `epoll` and
+//! `eventfd` wrappers over the raw C entry points.
+//!
+//! The serving plane's readiness loop needs exactly four kernel services —
+//! create an epoll instance, register/modify/remove interest, wait for
+//! readiness, and a cross-thread wakeup fd — and none of them are exposed
+//! by `std`. Rather than pull in the `libc` crate (the workspace is
+//! zero-dependency by policy), this module declares the handful of symbols
+//! it needs as `extern "C"` functions: `std` already links the platform
+//! libc on Linux, so the symbols resolve with no new dependency, and
+//! `std::io::Error::last_os_error()` reads `errno` for us.
+//!
+//! Everything here is Linux-specific (`epoll` *is* Linux-specific); the
+//! serving stack targets the Linux deployment box, matching the paper's
+//! production setting.
+
+use std::io;
+use std::os::raw::{c_int, c_uint, c_void};
+use std::os::unix::io::RawFd;
+
+/// Readiness: the fd has data to read (or a pending accept).
+pub const EPOLLIN: u32 = 0x001;
+/// Readiness: the fd can accept writes without blocking.
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition on the fd (always reported; no need to register).
+pub const EPOLLERR: u32 = 0x008;
+/// Hangup: both directions closed (always reported).
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer closed its write half; lets the loop notice half-closed
+/// connections without a read returning 0 first.
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+const EPOLL_CLOEXEC: c_int = 0x8_0000;
+const EFD_CLOEXEC: c_int = 0x8_0000;
+const EFD_NONBLOCK: c_int = 0x800;
+
+/// One readiness record, ABI-compatible with the kernel's `epoll_event`.
+///
+/// On x86-64 the C struct is `__attribute__((packed))` (12 bytes); other
+/// architectures use natural alignment. `data` carries an opaque caller
+/// token (this crate packs a slab index + generation into it).
+#[cfg(target_arch = "x86_64")]
+#[repr(C, packed)]
+#[derive(Debug, Clone, Copy)]
+pub struct EpollEvent {
+    /// Bitmask of `EPOLL*` readiness flags.
+    pub events: u32,
+    /// The token registered with the fd.
+    pub data: u64,
+}
+
+/// One readiness record, ABI-compatible with the kernel's `epoll_event`.
+#[cfg(not(target_arch = "x86_64"))]
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct EpollEvent {
+    /// Bitmask of `EPOLL*` readiness flags.
+    pub events: u32,
+    /// The token registered with the fd.
+    pub data: u64,
+}
+
+impl EpollEvent {
+    /// A zeroed record, for pre-allocating wait buffers.
+    pub fn zeroed() -> Self {
+        EpollEvent { events: 0, data: 0 }
+    }
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    fn close(fd: c_int) -> c_int;
+}
+
+fn cvt(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// An epoll instance (level-triggered; this crate never uses `EPOLLET`).
+#[derive(Debug)]
+pub struct Epoll {
+    fd: RawFd,
+}
+
+impl Epoll {
+    /// Creates a close-on-exec epoll instance.
+    pub fn new() -> io::Result<Self> {
+        // SAFETY: plain syscall, no pointers.
+        let fd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        Ok(Epoll { fd })
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        let mut ev = EpollEvent { events, data: token };
+        // SAFETY: `ev` outlives the call; the kernel copies it.
+        cvt(unsafe { epoll_ctl(self.fd, op, fd, &mut ev) })?;
+        Ok(())
+    }
+
+    /// Registers `fd` with the given interest mask and caller token.
+    pub fn add(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, events, token)
+    }
+
+    /// Replaces `fd`'s interest mask (and token).
+    pub fn modify(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, events, token)
+    }
+
+    /// Removes `fd` from the interest set. Closing the fd does this
+    /// implicitly; explicit removal is only needed to keep an open fd.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Blocks until readiness or `timeout_ms` (`-1` = forever); fills
+    /// `events` and returns how many records are valid. `EINTR` retries.
+    pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        loop {
+            // SAFETY: the buffer is valid for `events.len()` records and
+            // the kernel writes at most that many.
+            let n = unsafe {
+                epoll_wait(self.fd, events.as_mut_ptr(), events.len() as c_int, timeout_ms)
+            };
+            if n >= 0 {
+                return Ok(n as usize);
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        // SAFETY: we own the fd and drop it exactly once.
+        unsafe { close(self.fd) };
+    }
+}
+
+/// A cross-thread wakeup handle: an `eventfd` counter registered in the
+/// loop's epoll set. `wake` is async-signal-cheap (one 8-byte write) and
+/// callable from any thread; the loop `drain`s it so level-triggered
+/// readiness stops firing.
+#[derive(Debug)]
+pub struct WakeFd {
+    fd: RawFd,
+}
+
+impl WakeFd {
+    /// A fresh nonblocking, close-on-exec eventfd with a zero counter.
+    pub fn new() -> io::Result<Self> {
+        // SAFETY: plain syscall, no pointers.
+        let fd = cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+        Ok(WakeFd { fd })
+    }
+
+    /// The fd to register for `EPOLLIN` in the loop's epoll set.
+    pub fn fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Bumps the counter, making the fd readable. A full counter
+    /// (`EAGAIN`) already means "wake pending", so failure is ignored.
+    pub fn wake(&self) {
+        let one: u64 = 1;
+        // SAFETY: 8 valid bytes; eventfd writes are atomic.
+        unsafe { write(self.fd, (&one as *const u64).cast::<c_void>(), 8) };
+    }
+
+    /// Clears the counter so the next `wake` edge is observable again.
+    pub fn drain(&self) {
+        let mut buf: u64 = 0;
+        // SAFETY: 8 valid bytes; a nonblocking eventfd read either zeroes
+        // the counter or fails with EAGAIN.
+        unsafe { read(self.fd, (&mut buf as *mut u64).cast::<c_void>(), 8) };
+    }
+}
+
+impl Drop for WakeFd {
+    fn drop(&mut self) {
+        // SAFETY: we own the fd and drop it exactly once.
+        unsafe { close(self.fd) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOKEN: u64 = 0xDEAD_BEEF_F00D;
+
+    #[test]
+    fn wake_makes_the_eventfd_readable_and_drain_clears_it() {
+        let epoll = Epoll::new().unwrap();
+        let wake = WakeFd::new().unwrap();
+        epoll.add(wake.fd(), EPOLLIN, TOKEN).unwrap();
+
+        let mut events = vec![EpollEvent::zeroed(); 4];
+        assert_eq!(epoll.wait(&mut events, 0).unwrap(), 0, "no wake yet");
+
+        wake.wake();
+        wake.wake(); // coalesces into one readable counter
+        let n = epoll.wait(&mut events, 1_000).unwrap();
+        assert_eq!(n, 1);
+        let (data, mask) = (events[0].data, events[0].events);
+        assert_eq!(data, TOKEN);
+        assert_ne!(mask & EPOLLIN, 0);
+
+        wake.drain();
+        assert_eq!(epoll.wait(&mut events, 0).unwrap(), 0, "drained counter is quiet");
+    }
+
+    #[test]
+    fn modify_and_delete_change_the_interest_set() {
+        let epoll = Epoll::new().unwrap();
+        let wake = WakeFd::new().unwrap();
+        epoll.add(wake.fd(), EPOLLIN, 1).unwrap();
+        wake.wake();
+
+        // Drop read interest: the pending counter no longer reports.
+        epoll.modify(wake.fd(), 0, 1).unwrap();
+        let mut events = vec![EpollEvent::zeroed(); 4];
+        assert_eq!(epoll.wait(&mut events, 0).unwrap(), 0);
+
+        // Restore it with a new token: readiness comes back, token updated.
+        epoll.modify(wake.fd(), EPOLLIN, 2).unwrap();
+        assert_eq!(epoll.wait(&mut events, 1_000).unwrap(), 1);
+        let data = events[0].data;
+        assert_eq!(data, 2);
+
+        epoll.delete(wake.fd()).unwrap();
+        assert_eq!(epoll.wait(&mut events, 0).unwrap(), 0, "deleted fd never reports");
+    }
+}

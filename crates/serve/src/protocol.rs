@@ -105,17 +105,37 @@ pub struct EndpointStats {
     pub p99_ns: u64,
 }
 
+/// Per-shard batcher telemetry in a [`Response::Stats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardStats {
+    /// Batched forward passes this shard executed.
+    pub batches: u64,
+    /// Items scored through this shard's batched forward passes.
+    pub batched_items: u64,
+    /// Jobs accepted into this shard's queue.
+    pub dispatched: u64,
+    /// Jobs shed at this shard's queue bound.
+    pub shed: u64,
+    /// Items waiting in this shard's queue at snapshot time.
+    pub queue_depth: u64,
+}
+
 /// The full telemetry snapshot returned by [`Request::Stats`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct StatsReport {
     /// Version tag of the currently served model snapshot.
     pub model_version: u64,
-    /// Batched forward passes executed by the micro-batcher.
+    /// Batched forward passes executed across all shards.
     pub batches: u64,
-    /// Total items scored through batched forward passes.
+    /// Total items scored through batched forward passes, all shards.
     pub batched_items: u64,
+    /// Failed `accept` calls observed by the acceptor (each one also
+    /// backed off exponentially; see the server's accept loop).
+    pub accept_errors: u64,
     /// Per-endpoint counters and latency quantiles.
     pub endpoints: Vec<EndpointStats>,
+    /// Per-shard batcher counters, indexed by shard id.
+    pub shards: Vec<ShardStats>,
 }
 
 impl StatsReport {
@@ -316,6 +336,7 @@ impl Response {
                 buf.put_u64_le(report.model_version);
                 buf.put_u64_le(report.batches);
                 buf.put_u64_le(report.batched_items);
+                buf.put_u64_le(report.accept_errors);
                 buf.put_u32_le(report.endpoints.len() as u32);
                 for e in &report.endpoints {
                     put_string(&e.name, &mut buf);
@@ -325,6 +346,14 @@ impl Response {
                     buf.put_u64_le(e.p50_ns);
                     buf.put_u64_le(e.p95_ns);
                     buf.put_u64_le(e.p99_ns);
+                }
+                buf.put_u32_le(report.shards.len() as u32);
+                for s in &report.shards {
+                    buf.put_u64_le(s.batches);
+                    buf.put_u64_le(s.batched_items);
+                    buf.put_u64_le(s.dispatched);
+                    buf.put_u64_le(s.shed);
+                    buf.put_u64_le(s.queue_depth);
                 }
             }
             Response::Scores(scores) => {
@@ -386,6 +415,7 @@ impl Response {
                 let model_version = get_u64(&mut buf)?;
                 let batches = get_u64(&mut buf)?;
                 let batched_items = get_u64(&mut buf)?;
+                let accept_errors = get_u64(&mut buf)?;
                 let n = get_u32(&mut buf)? as usize;
                 let mut endpoints = Vec::with_capacity(n);
                 for _ in 0..n {
@@ -399,7 +429,25 @@ impl Response {
                         p99_ns: get_u64(&mut buf)?,
                     });
                 }
-                Response::Stats(StatsReport { model_version, batches, batched_items, endpoints })
+                let ns = get_u32(&mut buf)? as usize;
+                let mut shards = Vec::with_capacity(ns);
+                for _ in 0..ns {
+                    shards.push(ShardStats {
+                        batches: get_u64(&mut buf)?,
+                        batched_items: get_u64(&mut buf)?,
+                        dispatched: get_u64(&mut buf)?,
+                        shed: get_u64(&mut buf)?,
+                        queue_depth: get_u64(&mut buf)?,
+                    });
+                }
+                Response::Stats(StatsReport {
+                    model_version,
+                    batches,
+                    batched_items,
+                    accept_errors,
+                    endpoints,
+                    shards,
+                })
             }
             RESP_SCORES => {
                 let n = get_u32(&mut buf)? as usize;
@@ -625,6 +673,7 @@ mod tests {
             model_version: 2,
             batches: 10,
             batched_items: 55,
+            accept_errors: 3,
             endpoints: vec![EndpointStats {
                 name: "score".into(),
                 requests: 100,
@@ -634,6 +683,22 @@ mod tests {
                 p95_ns: 5_000,
                 p99_ns: 9_000,
             }],
+            shards: vec![
+                ShardStats {
+                    batches: 6,
+                    batched_items: 30,
+                    dispatched: 40,
+                    shed: 1,
+                    queue_depth: 7,
+                },
+                ShardStats {
+                    batches: 4,
+                    batched_items: 25,
+                    dispatched: 31,
+                    shed: 0,
+                    queue_depth: 0,
+                },
+            ],
         }));
     }
 

@@ -1,51 +1,119 @@
-//! The TCP server: a thread-per-connection acceptor over the shared
-//! batcher, router, model manager, and telemetry.
+//! The TCP server: an event-driven epoll front over the item-sharded
+//! scoring fleet.
 //!
-//! Each accepted connection gets its own thread that reads length-prefixed
-//! request frames, dispatches them, and writes the response frame back.
-//! Scoring requests go through the micro-batcher (so concurrent
-//! connections coalesce into shared forward passes); everything else is
-//! answered inline from lock-free or swap-cell state. The acceptor never
-//! waits on the model: a full batch queue turns into an immediate
-//! `Overloaded` response.
+//! One or a few event-loop threads (`cfg.event_threads`) own every
+//! accepted connection. Each loop runs a level-triggered [`Epoll`] set:
+//! `EPOLLIN` drives the stateful [`FrameReader`] incrementally (a client
+//! pausing mid-frame costs nothing but its slab slot), decoded requests
+//! dispatch inline (`Health`, `Stats`, `RecordInteractions`, validation
+//! errors) or scatter to the [`ShardSet`], and completed responses are
+//! written from a per-connection output buffer under `EPOLLOUT` — no
+//! thread per connection, so thousands of idle or slow connections cost
+//! file descriptors, not stacks.
+//!
+//! Scoring replies arrive on shard worker threads; they land in the
+//! owning loop's inbox and an `eventfd` wakeup makes the loop apply them.
+//! Responses stay in request order per connection: each request takes a
+//! sequenced slot in the connection's pending queue and the writer only
+//! releases the contiguous answered prefix, so a pipelining client can
+//! keep many requests in flight (bounded by `cfg.max_pipeline`) without
+//! ever observing a reordered reply. The acceptor never waits on the
+//! model: a full shard queue turns into an immediate `Overloaded`
+//! response, and failed `accept` calls back off exponentially instead of
+//! spinning.
 
-use std::io;
+use std::collections::VecDeque;
+use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use crate::batcher::{BatchReply, Batcher};
 use crate::config::ServeConfig;
 use crate::manager::ModelManager;
+use crate::nio::{Epoll, EpollEvent, WakeFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT};
 use crate::protocol::{write_frame, FrameRead, FrameReader, Request, Response};
-use crate::router::{PolicyRouter, ScorePath};
+use crate::router::{PolicyRouter, ScorePath, SlottedItems};
+use crate::shard::{ScatterOutcome, ShardSet};
 use crate::telemetry::{Endpoint, Telemetry};
 
-/// Backoff before retrying a failed `accept` — persistent errors (e.g. fd
-/// exhaustion) must not busy-spin the acceptor at 100% CPU.
-const ACCEPT_RETRY_DELAY: std::time::Duration = std::time::Duration::from_millis(50);
+/// First backoff after a failed `accept`; doubles per consecutive failure.
+const ACCEPT_BACKOFF_MIN: Duration = Duration::from_millis(1);
+/// Backoff ceiling — persistent errors (fd exhaustion) poll at this rate.
+const ACCEPT_BACKOFF_MAX: Duration = Duration::from_secs(1);
 
-/// State shared by the acceptor, every connection thread, and the handle.
+/// Epoll token reserved for the loop's wakeup eventfd.
+const WAKE_TOKEN: u64 = u64::MAX;
+/// Readiness records drained per `epoll_wait`.
+const WAIT_BATCH: usize = 256;
+/// Output buffered beyond this pauses reading from the connection until
+/// the peer drains it (slow-reader backpressure).
+const OUT_HIGH_WATER: usize = 256 * 1024;
+
+/// One completed async response bound for a connection.
+struct Completion {
+    token: u64,
+    seq: u64,
+    response: Response,
+}
+
+/// Cross-thread mailbox of one event loop.
+#[derive(Default)]
+struct Inbox {
+    new_conns: Vec<TcpStream>,
+    completions: Vec<Completion>,
+}
+
+/// The handle other threads use to hand work to an event loop.
+struct LoopShared {
+    wake: WakeFd,
+    inbox: Mutex<Inbox>,
+}
+
+impl LoopShared {
+    fn push_conn(&self, stream: TcpStream) {
+        self.inbox.lock().expect("loop inbox poisoned").new_conns.push(stream);
+        self.wake.wake();
+    }
+
+    fn push_completion(&self, token: u64, seq: u64, response: Response) {
+        self.inbox.lock().expect("loop inbox poisoned").completions.push(Completion {
+            token,
+            seq,
+            response,
+        });
+        self.wake.wake();
+    }
+
+    fn take(&self) -> Inbox {
+        std::mem::take(&mut *self.inbox.lock().expect("loop inbox poisoned"))
+    }
+}
+
+/// State shared by the acceptor, the event loops, and the handle.
 struct ServerShared {
     cfg: ServeConfig,
     shutdown: AtomicBool,
     manager: Arc<ModelManager>,
     router: Arc<PolicyRouter>,
     telemetry: Arc<Telemetry>,
-    batcher: Batcher,
-    connections: Mutex<Vec<JoinHandle<()>>>,
+    shards: ShardSet,
+    loops: Vec<Arc<LoopShared>>,
+    /// Round-robin cursor for spreading new connections across loops.
+    next_loop: AtomicUsize,
 }
 
 /// A running server. Dropping the handle (or calling [`shutdown`]) stops
-/// the acceptor, drains connection threads, and stops the batch worker.
+/// the acceptor, the event loops, and the shard workers.
 ///
 /// [`shutdown`]: ServeHandle::shutdown
 pub struct ServeHandle {
     addr: SocketAddr,
     shared: Arc<ServerShared>,
     acceptor: Option<JoinHandle<()>>,
+    loop_threads: Vec<JoinHandle<()>>,
 }
 
 /// Binds `cfg.addr` and starts serving `manager`'s current snapshot.
@@ -59,24 +127,40 @@ pub fn serve(cfg: ServeConfig, manager: Arc<ModelManager>) -> io::Result<ServeHa
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
     let router = Arc::new(PolicyRouter::new(manager.num_items(), cfg.warm_threshold));
-    let telemetry = Arc::new(Telemetry::new());
-    let batcher = Batcher::start(cfg.clone(), Arc::clone(&manager), Arc::clone(&telemetry));
+    let telemetry = Arc::new(Telemetry::with_shards(cfg.shards.max(1)));
+    let shards = ShardSet::start(&cfg, &manager, &telemetry);
+    let event_threads = cfg.event_threads.max(1);
+    let loops: Vec<Arc<LoopShared>> = (0..event_threads)
+        .map(|_| {
+            Ok(Arc::new(LoopShared { wake: WakeFd::new()?, inbox: Mutex::new(Inbox::default()) }))
+        })
+        .collect::<io::Result<_>>()?;
     let shared = Arc::new(ServerShared {
         cfg,
         shutdown: AtomicBool::new(false),
         manager,
         router,
         telemetry,
-        batcher,
-        connections: Mutex::new(Vec::new()),
+        shards,
+        loops,
+        next_loop: AtomicUsize::new(0),
     });
 
+    let mut loop_threads = Vec::with_capacity(event_threads);
+    for i in 0..event_threads {
+        let loop_shared = Arc::clone(&shared);
+        loop_threads.push(
+            std::thread::Builder::new()
+                .name(format!("atnn-serve-loop{i}"))
+                .spawn(move || event_loop(&loop_shared, i))?,
+        );
+    }
     let acceptor_shared = Arc::clone(&shared);
     let acceptor = std::thread::Builder::new()
         .name("atnn-serve-acceptor".to_string())
         .spawn(move || accept_loop(&listener, &acceptor_shared))?;
 
-    Ok(ServeHandle { addr, shared, acceptor: Some(acceptor) })
+    Ok(ServeHandle { addr, shared, acceptor: Some(acceptor), loop_threads })
 }
 
 impl ServeHandle {
@@ -85,7 +169,8 @@ impl ServeHandle {
         self.addr
     }
 
-    /// The model manager behind the server — publish here to hot swap.
+    /// The model manager behind the server — publish here to hot swap
+    /// every shard at once.
     pub fn manager(&self) -> &Arc<ModelManager> {
         &self.shared.manager
     }
@@ -100,21 +185,30 @@ impl ServeHandle {
         &self.shared.telemetry
     }
 
-    /// Stops accepting, drains connection threads, and stops the batch
-    /// worker. Idempotent.
+    /// Number of catalogue shards this server is running.
+    pub fn shards(&self) -> usize {
+        self.shared.shards.len()
+    }
+
+    /// Stops accepting, drains the event loops, and stops the shard
+    /// workers. Idempotent.
     pub fn shutdown(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
+        for l in &self.shared.loops {
+            l.wake.wake();
+        }
         // Unblock the acceptor with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
-        let connections =
-            std::mem::take(&mut *self.shared.connections.lock().expect("connections lock"));
-        for conn in connections {
-            let _ = conn.join();
+        for t in self.loop_threads.drain(..) {
+            let _ = t.join();
         }
-        self.shared.batcher.shutdown();
+        self.shared.shards.shutdown();
+        // A manager outliving this server (loadgen reuses one across
+        // levels) must stop fanning publishes into dead shard cells.
+        self.shared.manager.unregister_shard_cells(self.shared.shards.cells());
     }
 }
 
@@ -125,6 +219,7 @@ impl Drop for ServeHandle {
 }
 
 fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
+    let mut backoff = ACCEPT_BACKOFF_MIN;
     loop {
         let stream = match listener.accept() {
             Ok((stream, _)) => stream,
@@ -132,78 +227,338 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
-                std::thread::sleep(ACCEPT_RETRY_DELAY);
+                // Exponential-with-cap: persistent errors (fd exhaustion)
+                // must neither busy-spin nor silently disappear.
+                shared.telemetry.record_accept_error();
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(ACCEPT_BACKOFF_MAX);
                 continue;
             }
         };
+        backoff = ACCEPT_BACKOFF_MIN;
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
-        reap_finished_connections(shared);
-        let conn_shared = Arc::clone(shared);
-        let handle = std::thread::Builder::new()
-            .name("atnn-serve-conn".to_string())
-            .spawn(move || connection_loop(stream, &conn_shared));
-        if let Ok(handle) = handle {
-            shared.connections.lock().expect("connections lock").push(handle);
+        let i = shared.next_loop.fetch_add(1, Ordering::Relaxed) % shared.loops.len();
+        shared.loops[i].push_conn(stream);
+    }
+}
+
+/// Why a connection is being torn down mid-processing.
+enum ConnFate {
+    /// Keep serving.
+    Alive,
+    /// Peer finished its write half cleanly; serve out pending replies,
+    /// then close.
+    ReadClosed,
+    /// Broken pipe, garbage framing, or socket error: drop now.
+    Dead,
+}
+
+/// One registered connection owned by an event loop.
+struct Conn {
+    stream: TcpStream,
+    reader: FrameReader,
+    /// Encoded-but-unsent response bytes; `out[sent..]` is pending.
+    out: Vec<u8>,
+    sent: usize,
+    /// Response slots in request order; `None` = still scoring. The front
+    /// slot has sequence `head_seq`.
+    pending: VecDeque<Option<Response>>,
+    head_seq: u64,
+    next_seq: u64,
+    /// The epoll interest mask currently registered for this fd.
+    mask: u32,
+    /// Peer sent EOF; flush remaining replies, then close.
+    read_closed: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Conn {
+            stream,
+            reader: FrameReader::new(),
+            out: Vec::new(),
+            sent: 0,
+            pending: VecDeque::new(),
+            head_seq: 0,
+            next_seq: 0,
+            mask: 0,
+            read_closed: false,
+        }
+    }
+
+    fn out_pending(&self) -> usize {
+        self.out.len() - self.sent
+    }
+
+    /// Moves the contiguous answered prefix of `pending` into `out`.
+    fn release_ready(&mut self) {
+        while let Some(Some(_)) = self.pending.front() {
+            let response = self.pending.pop_front().flatten().expect("front is answered");
+            self.head_seq += 1;
+            // Writing into a Vec<u8> cannot fail.
+            write_frame(&mut self.out, &response.encode()).expect("vec write");
+        }
+    }
+
+    /// Fills the answered slot for `seq` (ignores stale sequences from a
+    /// recycled token, which cannot occur — tokens carry a generation —
+    /// but cheap to guard).
+    fn complete(&mut self, seq: u64, response: Response) {
+        let idx = seq.wrapping_sub(self.head_seq) as usize;
+        if idx < self.pending.len() {
+            self.pending[idx] = Some(response);
         }
     }
 }
 
-/// Joins connection threads that already exited, so a long-running server
-/// with connection churn doesn't accumulate handles without bound. Joining
-/// a finished thread returns immediately.
-fn reap_finished_connections(shared: &ServerShared) {
-    let mut connections = shared.connections.lock().expect("connections lock");
-    let mut i = 0;
-    while i < connections.len() {
-        if connections[i].is_finished() {
-            let _ = connections.swap_remove(i).join();
-        } else {
-            i += 1;
+/// Generation-checked connection storage: a token is `gen << 32 | index`,
+/// so a completion aimed at a closed-and-recycled slot misses instead of
+/// hitting the wrong connection.
+struct Slab {
+    conns: Vec<Option<Conn>>,
+    gens: Vec<u32>,
+    free: Vec<usize>,
+}
+
+impl Slab {
+    fn new() -> Self {
+        Slab { conns: Vec::new(), gens: Vec::new(), free: Vec::new() }
+    }
+
+    fn insert(&mut self, conn: Conn) -> (usize, u64) {
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.conns[idx] = Some(conn);
+                idx
+            }
+            None => {
+                self.conns.push(Some(conn));
+                self.gens.push(0);
+                self.conns.len() - 1
+            }
+        };
+        (idx, token_for(self.gens[idx], idx))
+    }
+
+    fn get_mut(&mut self, token: u64) -> Option<&mut Conn> {
+        let (gen, idx) = split_token(token);
+        if idx >= self.conns.len() || self.gens[idx] != gen {
+            return None;
         }
+        self.conns[idx].as_mut()
+    }
+
+    fn remove(&mut self, token: u64) -> Option<Conn> {
+        let (gen, idx) = split_token(token);
+        if idx >= self.conns.len() || self.gens[idx] != gen {
+            return None;
+        }
+        let conn = self.conns[idx].take();
+        if conn.is_some() {
+            self.gens[idx] = self.gens[idx].wrapping_add(1);
+            self.free.push(idx);
+        }
+        conn
     }
 }
 
-fn connection_loop(stream: TcpStream, shared: &Arc<ServerShared>) {
-    let _ = stream.set_nodelay(true);
-    // The read timeout doubles as the shutdown poll interval: an idle
-    // connection wakes every `read_timeout` to check the flag.
-    let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
-    let mut stream = stream;
-    // The stateful reader keeps partial frame bytes across read timeouts:
-    // a client pausing mid-frame resumes exactly where it left off instead
-    // of desynchronizing the stream.
-    let mut reader = FrameReader::new();
+fn token_for(gen: u32, idx: usize) -> u64 {
+    (u64::from(gen) << 32) | idx as u64
+}
+
+fn split_token(token: u64) -> (u32, usize) {
+    ((token >> 32) as u32, (token & 0xFFFF_FFFF) as usize)
+}
+
+fn event_loop(shared: &Arc<ServerShared>, me: usize) {
+    let loop_shared = Arc::clone(&shared.loops[me]);
+    let epoll = match Epoll::new() {
+        Ok(e) => e,
+        Err(_) => return, // cannot run without an epoll fd
+    };
+    if epoll.add(loop_shared.wake.fd(), EPOLLIN, WAKE_TOKEN).is_err() {
+        return;
+    }
+    let mut slab = Slab::new();
+    let mut events = vec![EpollEvent::zeroed(); WAIT_BATCH];
+    let wait_ms = shared.cfg.read_timeout.as_millis().clamp(1, i32::MAX as u128) as i32;
+
     loop {
-        let payload = match reader.read_frame(&mut stream) {
-            Ok(FrameRead::Frame(payload)) => payload,
-            Ok(FrameRead::Eof) => return, // peer hung up cleanly
-            Ok(FrameRead::Idle) => {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    return;
-                }
+        let n = epoll.wait(&mut events, wait_ms).unwrap_or(0);
+        // Drain the wake fd BEFORE taking the inbox: a producer pushes
+        // then wakes, so anything pushed after the take leaves the fd
+        // readable and the next wait returns immediately — no lost wake.
+        for ev in &events[..n] {
+            if ev.data == WAKE_TOKEN {
+                loop_shared.wake.drain();
+            }
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return; // drops the slab; in-flight completions miss by design
+        }
+        let inbox = loop_shared.take();
+        for stream in inbox.new_conns {
+            register_conn(&epoll, &mut slab, stream);
+        }
+        for c in inbox.completions {
+            if let Some(conn) = slab.get_mut(c.token) {
+                conn.complete(c.seq, c.response);
+            }
+            service_conn(shared, &epoll, &mut slab, c.token);
+        }
+        for ev in events.iter().take(n) {
+            let (token, readiness) = (ev.data, ev.events);
+            if token == WAKE_TOKEN {
                 continue;
             }
-            Err(_) => return, // broken pipe or garbage framing: drop the peer
+            if readiness & (EPOLLERR | EPOLLHUP) != 0 {
+                drop(slab.remove(token));
+                continue;
+            }
+            if readiness & EPOLLIN != 0 {
+                read_conn(shared, &loop_shared, &mut slab, token);
+            }
+            service_conn(shared, &epoll, &mut slab, token);
+        }
+    }
+}
+
+/// Puts a freshly accepted socket under the loop's epoll set. Data may
+/// already be buffered on it; the level-triggered set reports that on the
+/// next wait, so registration itself does no reads.
+fn register_conn(epoll: &Epoll, slab: &mut Slab, stream: TcpStream) {
+    if stream.set_nonblocking(true).is_err() {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let fd = stream.as_raw_fd();
+    let (_idx, token) = slab.insert(Conn::new(stream));
+    if epoll.add(fd, EPOLLIN, token).is_err() {
+        slab.remove(token);
+        return;
+    }
+    if let Some(conn) = slab.get_mut(token) {
+        conn.mask = EPOLLIN;
+    }
+}
+
+/// Drives the frame reader until the socket runs dry, the pipeline limit
+/// pauses reading, or the peer goes away.
+fn read_conn(
+    shared: &Arc<ServerShared>,
+    loop_shared: &Arc<LoopShared>,
+    slab: &mut Slab,
+    token: u64,
+) {
+    let fate = loop {
+        let Some(conn) = slab.get_mut(token) else { return };
+        if conn.read_closed {
+            break ConnFate::ReadClosed;
+        }
+        if conn.pending.len() >= shared.cfg.max_pipeline || conn.out_pending() >= OUT_HIGH_WATER {
+            break ConnFate::Alive; // paused; interest update drops EPOLLIN
+        }
+        let payload = match conn.reader.read_frame(&mut conn.stream) {
+            Ok(FrameRead::Frame(payload)) => payload,
+            Ok(FrameRead::Idle) => break ConnFate::Alive, // WouldBlock
+            Ok(FrameRead::Eof) => break ConnFate::ReadClosed,
+            Err(_) => break ConnFate::Dead, // garbage framing / io error
         };
         let started = Instant::now();
-        let (endpoint, response) = match Request::decode(payload) {
+        let seq = conn.next_seq;
+        conn.next_seq += 1;
+        conn.pending.push_back(None);
+        match Request::decode(payload) {
             Ok(request) => {
-                let endpoint = endpoint_of(&request);
-                (endpoint, handle_request(shared, request))
+                if let Some(response) = dispatch(shared, loop_shared, token, seq, started, request)
+                {
+                    // Inline answer: fill the slot we just opened.
+                    let Some(conn) = slab.get_mut(token) else { return };
+                    conn.complete(seq, response);
+                    conn.release_ready();
+                }
             }
-            Err(e) => (Endpoint::Malformed, Response::Error(format!("bad request: {e}"))),
-        };
-        shared.telemetry.record_request(endpoint, started.elapsed());
-        match &response {
-            Response::Overloaded => shared.telemetry.record_shed(endpoint),
-            Response::Error(_) => shared.telemetry.record_error(endpoint),
-            _ => {}
+            Err(e) => {
+                let response = Response::Error(format!("bad request: {e}"));
+                shared.telemetry.record_request(Endpoint::Malformed, started.elapsed());
+                shared.telemetry.record_error(Endpoint::Malformed);
+                let Some(conn) = slab.get_mut(token) else { return };
+                conn.complete(seq, response);
+                conn.release_ready();
+            }
         }
-        if write_frame(&mut stream, &response.encode()).is_err() {
-            return;
+    };
+    match fate {
+        ConnFate::Alive => {}
+        ConnFate::ReadClosed => {
+            if let Some(conn) = slab.get_mut(token) {
+                conn.read_closed = true;
+            }
         }
+        ConnFate::Dead => {
+            drop(slab.remove(token));
+        }
+    }
+}
+
+/// Flushes buffered output, closes drained read-closed connections, and
+/// reconciles the epoll interest mask with the connection's state.
+fn service_conn(shared: &Arc<ServerShared>, epoll: &Epoll, slab: &mut Slab, token: u64) {
+    let close = {
+        let Some(conn) = slab.get_mut(token) else { return };
+        conn.release_ready();
+        let mut close = false;
+        // Write as much as the socket accepts; level-triggered EPOLLOUT
+        // re-reports while out bytes remain.
+        while conn.out_pending() > 0 {
+            match conn.stream.write(&conn.out[conn.sent..]) {
+                Ok(0) => {
+                    close = true;
+                    break;
+                }
+                Ok(n) => conn.sent += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    close = true;
+                    break;
+                }
+            }
+        }
+        if conn.sent == conn.out.len() {
+            conn.out.clear();
+            conn.sent = 0;
+        } else if conn.sent >= OUT_HIGH_WATER {
+            conn.out.drain(..conn.sent);
+            conn.sent = 0;
+        }
+        close |= conn.read_closed && conn.pending.is_empty() && conn.out_pending() == 0;
+
+        if !close {
+            let mut mask = 0u32;
+            let read_paused = conn.pending.len() >= shared.cfg.max_pipeline
+                || conn.out_pending() >= OUT_HIGH_WATER;
+            if !conn.read_closed && !read_paused {
+                mask |= EPOLLIN;
+            }
+            if conn.out_pending() > 0 {
+                mask |= EPOLLOUT;
+            }
+            if mask != conn.mask {
+                let fd = conn.stream.as_raw_fd();
+                if epoll.modify(fd, mask, token).is_err() {
+                    close = true;
+                } else {
+                    conn.mask = mask;
+                }
+            }
+        }
+        close
+    };
+    if close {
+        drop(slab.remove(token));
     }
 }
 
@@ -221,7 +576,7 @@ fn endpoint_of(request: &Request) -> Endpoint {
 }
 
 /// Rejects oversized requests and unknown item ids before they reach the
-/// batcher. Returns the error response to send, or `None` when valid.
+/// shards. Returns the error response to send, or `None` when valid.
 fn validate_items(shared: &ServerShared, items: &[u32]) -> Option<Response> {
     if items.len() > shared.cfg.max_request_items {
         return Some(Response::Error(format!(
@@ -237,104 +592,271 @@ fn validate_items(shared: &ServerShared, items: &[u32]) -> Option<Response> {
     None
 }
 
-/// Scores `items` on one forced path through the batcher.
-fn score_path(shared: &ServerShared, path: ScorePath, items: Vec<u32>) -> Response {
-    if items.is_empty() {
-        return Response::Scores(Vec::new());
-    }
-    match shared.batcher.submit(path, items) {
-        Ok(rx) => match rx.recv() {
-            Ok(Ok(scores)) => Response::Scores(scores),
-            Ok(Err(msg)) => Response::Error(msg),
-            Err(_) => Response::Error("batch worker dropped the job".to_string()),
-        },
-        Err(_) => Response::Overloaded,
-    }
-}
-
-/// Policy-routed scoring: splits by the live counters, submits both paths
-/// to the batcher concurrently, and merges back into request order.
-/// Returns `(scores, warm_flags)` or an error/overload response.
-fn score_routed(shared: &ServerShared, items: &[u32]) -> Result<(Vec<f32>, Vec<bool>), Response> {
-    let (cold, warm) = shared.router.split(items);
-    let mut warm_flags = vec![false; items.len()];
-    for &(slot, _) in &warm {
-        warm_flags[slot] = true;
-    }
-
-    // Submit both paths before waiting on either, so they share a flush.
-    let submit = |path: ScorePath,
-                  part: &[(usize, u32)]|
-     -> Result<Option<mpsc::Receiver<BatchReply>>, Response> {
-        if part.is_empty() {
-            return Ok(None);
+/// Handles one decoded request. Returns `Some(response)` for inline
+/// answers; `None` means the request was scattered to the shards and the
+/// response will arrive through the loop's inbox under (`token`, `seq`).
+fn dispatch(
+    shared: &Arc<ServerShared>,
+    loop_shared: &Arc<LoopShared>,
+    token: u64,
+    seq: u64,
+    started: Instant,
+    request: Request,
+) -> Option<Response> {
+    let endpoint = endpoint_of(&request);
+    let inline = |response: Response| {
+        shared.telemetry.record_request(endpoint, started.elapsed());
+        match &response {
+            Response::Overloaded => shared.telemetry.record_shed(endpoint),
+            Response::Error(_) => shared.telemetry.record_error(endpoint),
+            _ => {}
         }
-        let ids: Vec<u32> = part.iter().map(|&(_, item)| item).collect();
-        shared.batcher.submit(path, ids).map(Some).map_err(|_| Response::Overloaded)
+        Some(response)
     };
-    let cold_rx = submit(ScorePath::Cold, &cold)?;
-    let warm_rx = submit(ScorePath::Warm, &warm)?;
-
-    let mut scores = vec![0.0f32; items.len()];
-    let mut fill =
-        |part: &[(usize, u32)], rx: Option<mpsc::Receiver<BatchReply>>| -> Result<(), Response> {
-            let Some(rx) = rx else { return Ok(()) };
-            let part_scores = rx
-                .recv()
-                .map_err(|_| Response::Error("batch worker dropped the job".to_string()))?
-                .map_err(Response::Error)?;
-            for (&(slot, _), &score) in part.iter().zip(&part_scores) {
-                scores[slot] = score;
-            }
-            Ok(())
-        };
-    fill(&cold, cold_rx)?;
-    fill(&warm, warm_rx)?;
-    Ok((scores, warm_flags))
-}
-
-fn handle_request(shared: &ServerShared, request: Request) -> Response {
     match request {
-        Request::Health => Response::Health { ok: true, model_version: shared.manager.version() },
-        Request::Stats => Response::Stats(shared.telemetry.report(shared.manager.version())),
-        Request::ScoreNewArrival { items } => validate_items(shared, &items)
-            .unwrap_or_else(|| score_path(shared, ScorePath::Cold, items)),
-        Request::ScoreWarmItem { items } => validate_items(shared, &items)
-            .unwrap_or_else(|| score_path(shared, ScorePath::Warm, items)),
-        Request::Score { items } => {
-            if let Some(err) = validate_items(shared, &items) {
-                return err;
-            }
-            match score_routed(shared, &items) {
-                Ok((scores, warm)) => Response::RoutedScores { scores, warm },
-                Err(resp) => resp,
-            }
+        Request::Health => {
+            inline(Response::Health { ok: true, model_version: shared.manager.version() })
+        }
+        Request::Stats => {
+            inline(Response::Stats(shared.telemetry.report(shared.manager.version())))
         }
         Request::RecordInteractions { items } => {
             if let Some(err) = validate_items(shared, &items) {
-                return err;
+                return inline(err);
             }
             let counts = items.iter().map(|&i| shared.router.record(i)).collect();
-            Response::Recorded { counts }
+            inline(Response::Recorded { counts })
+        }
+        Request::ScoreNewArrival { items } => {
+            if let Some(err) = validate_items(shared, &items) {
+                return inline(err);
+            }
+            let slotted: SlottedItems = items.into_iter().enumerate().collect();
+            let n = slotted.len();
+            scatter_async(shared, loop_shared, token, seq, started, endpoint, |outcome| {
+                scores_response(outcome, Response::Scores)
+            })(vec![(ScorePath::Cold, slotted)], n);
+            None
+        }
+        Request::ScoreWarmItem { items } => {
+            if let Some(err) = validate_items(shared, &items) {
+                return inline(err);
+            }
+            let slotted: SlottedItems = items.into_iter().enumerate().collect();
+            let n = slotted.len();
+            scatter_async(shared, loop_shared, token, seq, started, endpoint, |outcome| {
+                scores_response(outcome, Response::Scores)
+            })(vec![(ScorePath::Warm, slotted)], n);
+            None
+        }
+        Request::Score { items } => {
+            if let Some(err) = validate_items(shared, &items) {
+                return inline(err);
+            }
+            let (cold, warm) = shared.router.split(&items);
+            let mut warm_flags = vec![false; items.len()];
+            for &(slot, _) in &warm {
+                warm_flags[slot] = true;
+            }
+            let n = items.len();
+            scatter_async(shared, loop_shared, token, seq, started, endpoint, move |outcome| {
+                scores_response(outcome, move |scores| Response::RoutedScores {
+                    scores,
+                    warm: warm_flags,
+                })
+            })(vec![(ScorePath::Cold, cold), (ScorePath::Warm, warm)], n);
+            None
         }
         Request::TopK { items, k } => {
             if let Some(err) = validate_items(shared, &items) {
-                return err;
+                return inline(err);
             }
-            match score_routed(shared, &items) {
-                Ok((scores, _)) => {
-                    let mut ranked: Vec<(u32, f32)> = items.into_iter().zip(scores).collect();
-                    // Best score first; ties broken by item id for a
-                    // deterministic order.
-                    ranked.sort_by(|a, b| {
-                        b.1.partial_cmp(&a.1)
-                            .unwrap_or(std::cmp::Ordering::Equal)
-                            .then(a.0.cmp(&b.0))
-                    });
-                    ranked.truncate(k as usize);
-                    Response::TopK(ranked)
-                }
-                Err(resp) => resp,
+            let (cold, warm) = shared.router.split(&items);
+            let n = items.len();
+            scatter_async(shared, loop_shared, token, seq, started, endpoint, move |outcome| {
+                scores_response(outcome, move |scores| {
+                    Response::TopK(topk_select(items.into_iter().zip(scores).collect(), k as usize))
+                })
+            })(vec![(ScorePath::Cold, cold), (ScorePath::Warm, warm)], n);
+            None
+        }
+    }
+}
+
+/// Maps a gather outcome into a response via `ok` for the scores case.
+fn scores_response(outcome: ScatterOutcome, ok: impl FnOnce(Vec<f32>) -> Response) -> Response {
+    match outcome {
+        ScatterOutcome::Scores(scores) => ok(scores),
+        ScatterOutcome::Overloaded => Response::Overloaded,
+        ScatterOutcome::Error(msg) => Response::Error(msg),
+    }
+}
+
+/// Builds the scatter entry point for one request: the returned closure
+/// scatters the parts, and the shard that completes the gather records
+/// telemetry and posts the response into the owning loop's inbox.
+fn scatter_async<'a, F>(
+    shared: &'a Arc<ServerShared>,
+    loop_shared: &Arc<LoopShared>,
+    token: u64,
+    seq: u64,
+    started: Instant,
+    endpoint: Endpoint,
+    to_response: F,
+) -> impl FnOnce(Vec<(ScorePath, SlottedItems)>, usize) + 'a
+where
+    F: FnOnce(ScatterOutcome) -> Response + Send + 'static,
+{
+    let telemetry = Arc::clone(&shared.telemetry);
+    let ls = Arc::clone(loop_shared);
+    move |parts, total_slots| {
+        shared.shards.scatter(parts, total_slots, move |outcome| {
+            let response = to_response(outcome);
+            telemetry.record_request(endpoint, started.elapsed());
+            match &response {
+                Response::Overloaded => telemetry.record_shed(endpoint),
+                Response::Error(_) => telemetry.record_error(endpoint),
+                _ => {}
+            }
+            ls.push_completion(token, seq, response);
+        });
+    }
+}
+
+/// Selects the k best `(item, score)` pairs — best score first, ties by
+/// item id — via a k-bounded worst-on-top heap, then sorts the kept k.
+/// Bit-identical to sorting everything by the same comparator and
+/// truncating, but O(n log k): the front merges per-shard results without
+/// materializing a full sort of the candidate set.
+fn topk_select(ranked: Vec<(u32, f32)>, k: usize) -> Vec<(u32, f32)> {
+    /// Orders by "worse": lower score first, higher id first — the heap
+    /// max is the worst kept entry, popped on overflow.
+    struct Worst(u32, f32);
+    impl PartialEq for Worst {
+        fn eq(&self, other: &Self) -> bool {
+            self.cmp(other) == std::cmp::Ordering::Equal
+        }
+    }
+    impl Eq for Worst {}
+    impl PartialOrd for Worst {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Worst {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            // Under `best_first`, Greater already means "worse", which is
+            // exactly what the max-heap should surface.
+            best_first(&(self.0, self.1), &(other.0, other.1))
+        }
+    }
+
+    if k == 0 {
+        return Vec::new();
+    }
+    // Capacity bounded by the candidate count too: `k` is client-supplied
+    // and must not size an allocation on its own.
+    let mut heap = std::collections::BinaryHeap::with_capacity((k + 1).min(ranked.len() + 1));
+    for (item, score) in ranked {
+        heap.push(Worst(item, score));
+        if heap.len() > k {
+            heap.pop();
+        }
+    }
+    let mut kept: Vec<(u32, f32)> = heap.into_iter().map(|w| (w.0, w.1)).collect();
+    kept.sort_by(best_first);
+    kept
+}
+
+/// The TopK response order: best score first, ties broken by item id for
+/// a deterministic order.
+fn best_first(a: &(u32, f32), b: &(u32, f32)) -> std::cmp::Ordering {
+    b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_roundtrip_generation_and_index() {
+        let token = token_for(7, 123);
+        assert_eq!(split_token(token), (7, 123));
+        assert_ne!(token_for(8, 123), token, "recycled slot gets a fresh token");
+        assert_ne!(token_for(7, 124), token);
+    }
+
+    #[test]
+    fn slab_generation_guards_stale_tokens() {
+        let mut slab = Slab::new();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let make_conn = || {
+            let c = TcpStream::connect(addr).unwrap();
+            let (s, _) = listener.accept().unwrap();
+            (c, Conn::new(s))
+        };
+        let (_c1, conn1) = make_conn();
+        let (idx1, token1) = slab.insert(conn1);
+        assert!(slab.get_mut(token1).is_some());
+        assert!(slab.remove(token1).is_some());
+        assert!(slab.get_mut(token1).is_none(), "removed token is dead");
+
+        let (_c2, conn2) = make_conn();
+        let (idx2, token2) = slab.insert(conn2);
+        assert_eq!(idx1, idx2, "slot recycled");
+        assert_ne!(token1, token2, "but under a fresh generation");
+        assert!(slab.get_mut(token1).is_none(), "stale token misses the recycled slot");
+        assert!(slab.get_mut(token2).is_some());
+    }
+
+    #[test]
+    fn pending_queue_releases_only_the_answered_prefix() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (stream, _) = listener.accept().unwrap();
+        let mut conn = Conn::new(stream);
+        for _ in 0..3 {
+            let seq = conn.next_seq;
+            conn.next_seq += 1;
+            conn.pending.push_back(None);
+            let _ = seq;
+        }
+        // Answer out of order: 2, then 0, then 1.
+        conn.complete(2, Response::Health { ok: true, model_version: 2 });
+        conn.release_ready();
+        assert_eq!(conn.out_pending(), 0, "head still unanswered: nothing released");
+        conn.complete(0, Response::Health { ok: true, model_version: 0 });
+        conn.release_ready();
+        assert!(conn.out_pending() > 0, "head answered: released");
+        assert_eq!(conn.pending.len(), 2, "seq 1 and 2 still queued");
+        conn.complete(1, Response::Health { ok: true, model_version: 1 });
+        conn.release_ready();
+        assert!(conn.pending.is_empty(), "contiguous prefix all released");
+        assert_eq!(conn.head_seq, 3);
+    }
+
+    #[test]
+    fn topk_select_matches_full_sort_truncate() {
+        let mut x = 0x1234_5678_9ABC_DEF0u64;
+        let mut next = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for n in [0usize, 1, 5, 64, 257] {
+            for k in [0usize, 1, 3, 10, 64, 300] {
+                let ranked: Vec<(u32, f32)> = (0..n)
+                    .map(|_| {
+                        // Coarse scores force plenty of exact ties.
+                        ((next() % 50) as u32, ((next() % 7) as f32) * 0.5)
+                    })
+                    .collect();
+                let mut reference = ranked.clone();
+                reference.sort_by(best_first);
+                reference.truncate(k);
+                assert_eq!(topk_select(ranked, k), reference, "n={n} k={k}");
             }
         }
     }

@@ -1,0 +1,383 @@
+//! The item-sharded scoring fleet: N batcher replicas behind one front.
+//!
+//! The paper's deployment serves a 23.1M-item catalogue; one micro-batch
+//! queue is a single hot lock and a single snapshot pointer. A
+//! [`ShardSet`] splits the catalogue across `cfg.shards` replicas, each
+//! with its own [`Batcher`] thread, bounded queue, and [`SwapCell`]
+//! snapshot registered with the [`ModelManager`](crate::ModelManager) (so
+//! a `publish` flips every shard atomically). Items map to shards by a
+//! multiplicative hash of the item id — stable across requests, so a hot
+//! item always lands on the same replica and its scores are always
+//! produced by that replica's snapshot.
+//!
+//! Requests scatter and gather: each request's items are bucketed by
+//! shard (the single-shard case degenerates to one bucket), every bucket
+//! is submitted with a completion closure targeting a shared [`Gather`],
+//! and the last bucket to finish fires the request's `done` closure with
+//! the slot-ordered scores. A request that touches one shard — the
+//! common case for single-item `ScoreNewArrival` traffic — never pays
+//! for the others.
+//!
+//! Outcome merging is pessimistic: if any bucket was shed the request is
+//! `Overloaded` (per-shard shed still counts in that shard's telemetry);
+//! otherwise if any bucket errored the request carries the first error;
+//! only an all-clear gather returns scores.
+
+use std::sync::{Arc, Mutex};
+
+use atnn_tensor::SwapCell;
+
+use crate::batcher::{Batcher, ReplyFn};
+use crate::config::ServeConfig;
+use crate::manager::{ModelManager, ModelSnapshot};
+use crate::router::{ScorePath, SlottedItems};
+use crate::telemetry::Telemetry;
+
+/// The merged result of one scattered request.
+#[derive(Debug, PartialEq)]
+pub enum ScatterOutcome {
+    /// Every bucket scored: one score per request slot, in slot order.
+    Scores(Vec<f32>),
+    /// At least one bucket was shed at its shard's queue bound.
+    Overloaded,
+    /// No bucket was shed, but at least one failed; the first failure's
+    /// description (by shard submission order).
+    Error(String),
+}
+
+/// Deterministic item → shard map: multiplicative (Fibonacci) hash so
+/// adjacent item ids spread across shards instead of striping hot id
+/// ranges onto one replica.
+#[inline]
+pub fn shard_of(item: u32, shards: usize) -> usize {
+    (item.wrapping_mul(0x9E37_79B1) >> 16) as usize % shards
+}
+
+/// What one bucket reported back into the gather.
+enum BucketResult {
+    Scores(Vec<f32>),
+    Error(String),
+    Shed,
+}
+
+struct GatherState {
+    /// Buckets still outstanding; the completion that takes this to zero
+    /// fires `done`.
+    remaining: usize,
+    /// Slot-ordered scores, filled in by each bucket's completion.
+    scores: Vec<f32>,
+    shed: bool,
+    error: Option<String>,
+}
+
+/// Completion callback fired once all buckets of a scattered request land.
+type DoneFn = Box<dyn FnOnce(ScatterOutcome) + Send>;
+
+/// Shared completion state for one scattered request.
+struct Gather {
+    state: Mutex<GatherState>,
+    done: Mutex<Option<DoneFn>>,
+}
+
+impl Gather {
+    /// Applies one bucket's result and, when it is the last, fires `done`
+    /// (outside the state lock — the closure wakes an event loop).
+    fn complete(self: &Arc<Self>, slots: &[usize], result: BucketResult) {
+        let finished = {
+            let mut state = self.state.lock().expect("gather lock poisoned");
+            match result {
+                BucketResult::Scores(scores) => {
+                    for (&slot, &score) in slots.iter().zip(&scores) {
+                        state.scores[slot] = score;
+                    }
+                }
+                BucketResult::Error(msg) => {
+                    if state.error.is_none() {
+                        state.error = Some(msg);
+                    }
+                }
+                BucketResult::Shed => state.shed = true,
+            }
+            state.remaining -= 1;
+            if state.remaining > 0 {
+                return;
+            }
+            if state.shed {
+                ScatterOutcome::Overloaded
+            } else if let Some(msg) = state.error.take() {
+                ScatterOutcome::Error(msg)
+            } else {
+                ScatterOutcome::Scores(std::mem::take(&mut state.scores))
+            }
+        };
+        let done = self.done.lock().expect("gather done lock poisoned").take();
+        if let Some(done) = done {
+            done(finished);
+        }
+    }
+}
+
+/// One item bucket bound for one shard on one scoring path.
+struct Bucket {
+    shard: usize,
+    path: ScorePath,
+    slots: Vec<usize>,
+    items: Vec<u32>,
+}
+
+/// The shard fleet: one batcher + snapshot cell per catalogue shard.
+pub struct ShardSet {
+    batchers: Vec<Batcher>,
+    cells: Vec<Arc<SwapCell<ModelSnapshot>>>,
+}
+
+impl ShardSet {
+    /// Registers `cfg.shards` snapshot cells with `manager` and starts one
+    /// batch worker per shard. `telemetry` must have been created with at
+    /// least that many shard counter sets.
+    pub fn start(cfg: &ServeConfig, manager: &ModelManager, telemetry: &Arc<Telemetry>) -> Self {
+        let n = cfg.shards.max(1);
+        let cells: Vec<_> = (0..n).map(|_| manager.register_shard_cell()).collect();
+        let batchers = cells
+            .iter()
+            .enumerate()
+            .map(|(shard, cell)| {
+                Batcher::start(cfg.clone(), Arc::clone(cell), Arc::clone(telemetry), shard)
+            })
+            .collect();
+        ShardSet { batchers, cells }
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.batchers.len()
+    }
+
+    /// Whether the fleet is empty (it never is; `start` floors at 1).
+    pub fn is_empty(&self) -> bool {
+        self.batchers.is_empty()
+    }
+
+    /// The snapshot cells registered with the manager, for unregistration
+    /// at server shutdown.
+    pub fn cells(&self) -> &[Arc<SwapCell<ModelSnapshot>>] {
+        &self.cells
+    }
+
+    /// The shard `item` routes to.
+    pub fn shard_of(&self, item: u32) -> usize {
+        shard_of(item, self.batchers.len())
+    }
+
+    /// Scatters slotted items across the fleet and fires `done` once with
+    /// the merged outcome. `parts` carries one entry per scoring path
+    /// (slots must be unique across entries and `< total_slots`); every
+    /// part is bucketed by item hash, so one call covers both the forced
+    /// single-path endpoints and the routed cold+warm split.
+    ///
+    /// `done` runs on whichever thread completes the final bucket — a
+    /// shard worker usually, the calling thread when everything is empty
+    /// or every bucket sheds synchronously.
+    pub fn scatter(
+        &self,
+        parts: Vec<(ScorePath, SlottedItems)>,
+        total_slots: usize,
+        done: impl FnOnce(ScatterOutcome) + Send + 'static,
+    ) {
+        let mut buckets: Vec<Bucket> = Vec::new();
+        for (path, slotted) in parts {
+            // Index buckets by shard for this path; shards untouched by
+            // the request get no bucket at all.
+            let mut by_shard: Vec<Option<usize>> = vec![None; self.batchers.len()];
+            for (slot, item) in slotted {
+                let shard = self.shard_of(item);
+                let idx = *by_shard[shard].get_or_insert_with(|| {
+                    buckets.push(Bucket { shard, path, slots: Vec::new(), items: Vec::new() });
+                    buckets.len() - 1
+                });
+                buckets[idx].slots.push(slot);
+                buckets[idx].items.push(item);
+            }
+        }
+        if buckets.is_empty() {
+            done(ScatterOutcome::Scores(vec![0.0; total_slots]));
+            return;
+        }
+
+        let gather = Arc::new(Gather {
+            state: Mutex::new(GatherState {
+                remaining: buckets.len(),
+                scores: vec![0.0; total_slots],
+                shed: false,
+                error: None,
+            }),
+            done: Mutex::new(Some(Box::new(done))),
+        });
+        for bucket in buckets {
+            let g = Arc::clone(&gather);
+            let slots = bucket.slots;
+            let reply_slots = slots.clone();
+            let reply: ReplyFn = Box::new(move |r| {
+                let result = match r {
+                    Ok(scores) => BucketResult::Scores(scores),
+                    Err(msg) => BucketResult::Error(msg),
+                };
+                g.complete(&reply_slots, result);
+            });
+            if let Err((_, dropped)) =
+                self.batchers[bucket.shard].submit_with(bucket.path, bucket.items, reply)
+            {
+                // The closure came back uninvoked; completing the bucket
+                // as shed here is the single completion for it.
+                drop(dropped);
+                gather.complete(&slots, BucketResult::Shed);
+            }
+        }
+    }
+
+    /// Stops every shard worker after it drains its queue.
+    pub fn shutdown(&self) {
+        for batcher in &self.batchers {
+            batcher.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atnn_core::{Atnn, AtnnConfig, CtrTrainer, PopularityIndex, TrainOptions};
+    use atnn_data::tmall::{TmallConfig, TmallDataset};
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    fn tiny_manager() -> Arc<ModelManager> {
+        let data = TmallDataset::generate(TmallConfig {
+            num_users: 50,
+            num_items: 100,
+            num_interactions: 800,
+            ..TmallConfig::tiny()
+        });
+        let mut model = Atnn::new(AtnnConfig::scaled(), &data);
+        let opts = TrainOptions::builder().epochs(1).build().expect("valid options");
+        CtrTrainer::new(opts).train(&mut model, &data, None).expect("training runs");
+        let index = PopularityIndex::build(&model, &data, &(0..30).collect::<Vec<_>>());
+        Arc::new(ModelManager::new(ModelSnapshot { version: 1, data, model, index }))
+    }
+
+    fn gather_outcome(
+        set: &ShardSet,
+        parts: Vec<(ScorePath, SlottedItems)>,
+        total_slots: usize,
+    ) -> ScatterOutcome {
+        let (tx, rx) = mpsc::sync_channel(1);
+        set.scatter(parts, total_slots, move |o| {
+            let _ = tx.send(o);
+        });
+        rx.recv_timeout(Duration::from_secs(30)).expect("scatter completes")
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_covers_all_shards() {
+        for shards in 1..=5usize {
+            let mut hit = vec![false; shards];
+            for item in 0..500u32 {
+                let s = shard_of(item, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(item, shards), "stable");
+                hit[s] = true;
+            }
+            assert!(hit.iter().all(|&h| h), "500 items cover all {shards} shards");
+        }
+    }
+
+    #[test]
+    fn scattered_scores_match_the_single_snapshot_reference() {
+        let manager = tiny_manager();
+        let telemetry = Arc::new(Telemetry::with_shards(3));
+        let cfg = ServeConfig { shards: 3, ..ServeConfig::default() };
+        let set = ShardSet::start(&cfg, &manager, &telemetry);
+        assert_eq!(set.len(), 3);
+        let snapshot = manager.load();
+
+        let items: Vec<u32> = (0..40).collect();
+        let slotted: SlottedItems = items.iter().copied().enumerate().collect();
+        match gather_outcome(&set, vec![(ScorePath::Cold, slotted)], items.len()) {
+            ScatterOutcome::Scores(scores) => {
+                assert_eq!(scores, snapshot.score_cold(&items), "bit-identical across shards")
+            }
+            other => panic!("expected scores, got {other:?}"),
+        }
+        let report = telemetry.report(1);
+        assert!(
+            report.shards.iter().filter(|s| s.dispatched > 0).count() > 1,
+            "40 items must fan out past one shard"
+        );
+    }
+
+    #[test]
+    fn mixed_path_scatter_merges_in_slot_order() {
+        let manager = tiny_manager();
+        let telemetry = Arc::new(Telemetry::with_shards(2));
+        let cfg = ServeConfig { shards: 2, ..ServeConfig::default() };
+        let set = ShardSet::start(&cfg, &manager, &telemetry);
+        let snapshot = manager.load();
+
+        // Interleave: even slots cold, odd slots warm.
+        let items: Vec<u32> = vec![7, 3, 22, 41, 8, 90];
+        let cold: SlottedItems = vec![(0, 7), (2, 22), (4, 8)];
+        let warm: SlottedItems = vec![(1, 3), (3, 41), (5, 90)];
+        let outcome =
+            gather_outcome(&set, vec![(ScorePath::Cold, cold), (ScorePath::Warm, warm)], 6);
+        let cold_ref = snapshot.score_cold(&[7, 22, 8]);
+        let warm_ref = snapshot.score_warm(&[3, 41, 90]);
+        let expected =
+            vec![cold_ref[0], warm_ref[0], cold_ref[1], warm_ref[1], cold_ref[2], warm_ref[2]];
+        assert_eq!(outcome, ScatterOutcome::Scores(expected));
+        let _ = items;
+    }
+
+    #[test]
+    fn empty_scatter_completes_synchronously_with_zeroed_slots() {
+        let manager = tiny_manager();
+        let telemetry = Arc::new(Telemetry::with_shards(2));
+        let cfg = ServeConfig { shards: 2, ..ServeConfig::default() };
+        let set = ShardSet::start(&cfg, &manager, &telemetry);
+        assert_eq!(
+            gather_outcome(&set, vec![(ScorePath::Cold, Vec::new())], 0),
+            ScatterOutcome::Scores(Vec::new())
+        );
+    }
+
+    #[test]
+    fn one_shed_shard_overloads_the_whole_gather() {
+        let manager = tiny_manager();
+        let telemetry = Arc::new(Telemetry::with_shards(2));
+        // Zero-capacity queues: every bucket sheds synchronously.
+        let cfg = ServeConfig { shards: 2, queue_capacity: 0, ..ServeConfig::default() };
+        let set = ShardSet::start(&cfg, &manager, &telemetry);
+        let slotted: SlottedItems = (0..10u32).map(|i| (i as usize, i)).collect();
+        assert_eq!(
+            gather_outcome(&set, vec![(ScorePath::Cold, slotted)], 10),
+            ScatterOutcome::Overloaded
+        );
+        let report = telemetry.report(1);
+        let shed: u64 = report.shards.iter().map(|s| s.shed).sum();
+        assert!(shed >= 1, "per-shard shed counters must account the sheds");
+    }
+
+    #[test]
+    fn publish_flips_every_shard_cell() {
+        let manager = tiny_manager();
+        let telemetry = Arc::new(Telemetry::with_shards(3));
+        let cfg = ServeConfig { shards: 3, ..ServeConfig::default() };
+        let set = ShardSet::start(&cfg, &manager, &telemetry);
+        assert_eq!(manager.shard_cell_count(), 3);
+        for cell in set.cells() {
+            assert_eq!(cell.load().version, 1);
+        }
+        set.shutdown();
+        manager.unregister_shard_cells(set.cells());
+        assert_eq!(manager.shard_cell_count(), 0);
+    }
+}

@@ -16,9 +16,9 @@
 
 use std::time::Duration;
 
-use atnn_obs::{Counter, Event, Histogram};
+use atnn_obs::{Counter, Event, Gauge, Histogram};
 
-use crate::protocol::{EndpointStats, StatsReport};
+use crate::protocol::{EndpointStats, ShardStats, StatsReport};
 
 /// The endpoints accounted separately. Indexes into [`Telemetry::per`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,18 +91,55 @@ struct EndpointTelemetry {
     latency: Histogram,
 }
 
-/// The server-wide telemetry sink.
+/// Per-shard batcher telemetry: one set of counters per catalogue shard,
+/// so a hot or starved shard is visible in `Stats` instead of averaged
+/// away into a server-wide number.
 #[derive(Debug, Default)]
+struct ShardTelemetry {
+    /// Batched forward passes this shard executed.
+    batches: Counter,
+    /// Items scored through this shard's batched passes.
+    batched_items: Counter,
+    /// Jobs the shard's queue accepted.
+    dispatched: Counter,
+    /// Jobs shed at the shard's queue bound.
+    shed: Counter,
+    /// Items waiting in the shard's queue, sampled at each transition.
+    queue_depth: Gauge,
+}
+
+/// The server-wide telemetry sink.
+#[derive(Debug)]
 pub struct Telemetry {
     per: [EndpointTelemetry; ENDPOINTS.len()],
-    batches: Counter,
-    batched_items: Counter,
+    shards: Vec<ShardTelemetry>,
+    accept_errors: Counter,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::with_shards(1)
+    }
 }
 
 impl Telemetry {
-    /// Fresh, zeroed telemetry.
+    /// Fresh, zeroed telemetry for a single-shard server.
     pub fn new() -> Self {
         Telemetry::default()
+    }
+
+    /// Fresh telemetry with one batcher-counter set per catalogue shard.
+    pub fn with_shards(shards: usize) -> Self {
+        Telemetry {
+            per: Default::default(),
+            shards: (0..shards.max(1)).map(|_| ShardTelemetry::default()).collect(),
+            accept_errors: Counter::new(),
+        }
+    }
+
+    /// Number of shard counter sets.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
     /// Accounts one answered request.
@@ -124,10 +161,37 @@ impl Telemetry {
         atnn_obs::emit(&Event::Shed { endpoint: endpoint.name().into() });
     }
 
-    /// Accounts one batched forward pass over `items` items.
-    pub fn record_batch(&self, items: usize) {
-        self.batches.incr();
-        self.batched_items.add(items as u64);
+    /// Accounts one batched forward pass over `items` items on `shard`.
+    pub fn record_batch(&self, shard: usize, items: usize) {
+        let s = &self.shards[shard];
+        s.batches.incr();
+        s.batched_items.add(items as u64);
+    }
+
+    /// Accounts a job accepted into `shard`'s queue.
+    pub fn record_shard_dispatch(&self, shard: usize) {
+        self.shards[shard].dispatched.incr();
+    }
+
+    /// Accounts a job shed at `shard`'s queue bound (the endpoint-level
+    /// shed is recorded separately via [`Telemetry::record_shed`]).
+    pub fn record_shard_shed(&self, shard: usize) {
+        self.shards[shard].shed.incr();
+    }
+
+    /// Publishes `shard`'s current queued-item count.
+    pub fn set_queue_depth(&self, shard: usize, items: usize) {
+        self.shards[shard].queue_depth.set(items as f64);
+    }
+
+    /// Accounts one failed `accept` call (each also triggers a backoff).
+    pub fn record_accept_error(&self) {
+        self.accept_errors.incr();
+    }
+
+    /// Failed `accept` calls so far.
+    pub fn accept_errors(&self) -> u64 {
+        self.accept_errors.get()
     }
 
     /// Requests recorded for `endpoint` so far.
@@ -158,11 +222,24 @@ impl Telemetry {
                 }
             })
             .collect();
+        let shards: Vec<ShardStats> = self
+            .shards
+            .iter()
+            .map(|s| ShardStats {
+                batches: s.batches.get(),
+                batched_items: s.batched_items.get(),
+                dispatched: s.dispatched.get(),
+                shed: s.shed.get(),
+                queue_depth: s.queue_depth.get() as u64,
+            })
+            .collect();
         StatsReport {
             model_version,
-            batches: self.batches.get(),
-            batched_items: self.batched_items.get(),
+            batches: shards.iter().map(|s| s.batches).sum(),
+            batched_items: shards.iter().map(|s| s.batched_items).sum(),
+            accept_errors: self.accept_errors.get(),
             endpoints,
+            shards,
         }
     }
 }
@@ -206,8 +283,8 @@ mod tests {
         t.record_request(Endpoint::Score, Duration::from_micros(10));
         t.record_shed(Endpoint::Score);
         t.record_error(Endpoint::TopK);
-        t.record_batch(7);
-        t.record_batch(3);
+        t.record_batch(0, 7);
+        t.record_batch(0, 3);
         let report = t.report(42);
         assert_eq!(report.model_version, 42);
         assert_eq!(report.batches, 2);
@@ -218,6 +295,33 @@ mod tests {
         assert!(score.p50_ns >= 10_000);
         assert_eq!(report.endpoint("topk").unwrap().errors, 1);
         assert_eq!(report.endpoints.len(), ENDPOINTS.len());
+        assert_eq!(report.shards.len(), 1);
+    }
+
+    #[test]
+    fn shard_counters_stay_separate_and_sum_into_the_report() {
+        let t = Telemetry::with_shards(3);
+        assert_eq!(t.shard_count(), 3);
+        t.record_batch(0, 4);
+        t.record_batch(2, 6);
+        t.record_batch(2, 6);
+        t.record_shard_dispatch(0);
+        t.record_shard_dispatch(2);
+        t.record_shard_dispatch(2);
+        t.record_shard_shed(1);
+        t.set_queue_depth(2, 17);
+        t.record_accept_error();
+        let report = t.report(1);
+        assert_eq!(report.batches, 3);
+        assert_eq!(report.batched_items, 16);
+        assert_eq!(report.accept_errors, 1);
+        assert_eq!(report.shards.len(), 3);
+        assert_eq!((report.shards[0].batches, report.shards[0].batched_items), (1, 4));
+        assert_eq!((report.shards[2].batches, report.shards[2].batched_items), (2, 12));
+        assert_eq!(report.shards[1].shed, 1);
+        assert_eq!(report.shards[1].batches, 0);
+        assert_eq!(report.shards[2].dispatched, 2);
+        assert_eq!(report.shards[2].queue_depth, 17);
     }
 
     /// The pre-obs histogram, reimplemented serially and independently:

@@ -4,17 +4,19 @@
 //! batch composition (see `atnn_tensor::pool`), so every comparison here
 //! is exact `==`, not a tolerance.
 
-use std::io::Write;
+use std::collections::HashSet;
+use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use atnn_core::{Atnn, AtnnConfig, CtrTrainer, ModelArtifact, PopularityIndex, TrainOptions};
 use atnn_data::tmall::{TmallConfig, TmallDataset};
 use atnn_serve::protocol::{read_frame, write_frame};
 use atnn_serve::{
-    serve, ModelManager, ModelSnapshot, Request, Response, ServeClient, ServeConfig, ServeHandle,
+    serve, shard_of, ModelManager, ModelSnapshot, Request, Response, ServeClient, ServeConfig,
+    ServeHandle,
 };
 
 fn tiny_data_config() -> TmallConfig {
@@ -221,7 +223,24 @@ fn malformed_frames_are_accounted_separately_from_real_endpoints() {
 
 #[test]
 fn hot_swap_mid_load_serves_both_versions_and_never_errors() {
-    let (mut handle, manager) = start_server(ServeConfig::default(), snapshot(1, 0));
+    // Single shard: one batch scores the whole request against one
+    // snapshot load, so every answer is exactly one model version.
+    hot_swap_mid_load(ServeConfig::default(), true);
+}
+
+#[test]
+fn sharded_hot_swap_mid_load_keeps_every_slot_on_a_published_version() {
+    // Under scatter-gather a request can straddle the publish instant:
+    // shard A scores its bucket before the flip, shard B after. That is
+    // the same semantics a per-shard canary creates on purpose, so the
+    // invariant is per slot, not per response: each slot is bit-exactly
+    // one of the two published versions — never a blend within a slot,
+    // never an error — and the fleet converges to v2.
+    hot_swap_mid_load(ServeConfig { shards: 3, event_threads: 2, ..ServeConfig::default() }, false);
+}
+
+fn hot_swap_mid_load(cfg: ServeConfig, atomic_across_shards: bool) {
+    let (mut handle, manager) = start_server(cfg, snapshot(1, 0));
     let v1 = manager.load();
     let v2_snap = snapshot(2, 2);
     let items: Vec<u32> = (0..10).collect();
@@ -246,12 +265,21 @@ fn hot_swap_mid_load_serves_both_versions_and_never_errors() {
                 while !stop.load(Ordering::Relaxed) {
                     match client.score_new_arrival(items).expect("request failed during swap") {
                         Response::Scores(scores) => {
-                            // Every answer is exactly one model version —
-                            // never a blend, never an error.
                             if &scores == v2_scores {
                                 saw_v2.store(true, Ordering::Relaxed);
-                            } else {
+                            } else if atomic_across_shards {
+                                // Single shard: every answer is exactly one
+                                // model version — never a blend.
                                 assert_eq!(&scores, v1_scores, "torn or unknown scores");
+                            } else {
+                                // Sharded: each slot is one version or the
+                                // other, bit-exactly — never garbage.
+                                for (i, &s) in scores.iter().enumerate() {
+                                    assert!(
+                                        s == v1_scores[i] || s == v2_scores[i],
+                                        "slot {i} matches neither version: {s}"
+                                    );
+                                }
                             }
                             requests_ok.fetch_add(1, Ordering::Relaxed);
                         }
@@ -308,6 +336,255 @@ fn artifact_reload_through_manager_swaps_the_served_model() {
     match client.score_new_arrival(&items).unwrap() {
         Response::Scores(scores) => assert_eq!(scores, expected),
         other => panic!("unexpected {other:?}"),
+    }
+    handle.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Sharded serving: scatter-gather correctness, pipelining, slow clients.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sharded_scoring_is_bit_identical_to_direct_calls() {
+    let cfg = ServeConfig { shards: 3, event_threads: 2, ..ServeConfig::default() };
+    let (mut handle, manager) = start_server(cfg, snapshot(1, 1));
+    let snap = manager.load();
+    let mut client = ServeClient::connect(handle.local_addr()).unwrap();
+
+    let warm_items: Vec<u32> = (0..5).collect();
+    for _ in 0..ServeConfig::default().warm_threshold {
+        client.record_interactions(&warm_items).unwrap();
+    }
+
+    // Items spread over all three shards; the gathered answer must be the
+    // same bits as one snapshot scoring everything in a single pass.
+    let items: Vec<u32> = (0..20).collect();
+    match client.score_new_arrival(&items).unwrap() {
+        Response::Scores(scores) => assert_eq!(scores, snap.score_cold(&items)),
+        other => panic!("unexpected {other:?}"),
+    }
+    match client.score(&items).unwrap() {
+        Response::RoutedScores { scores, warm } => {
+            let cold_direct = snap.score_cold(&items);
+            let warm_direct = snap.score_warm(&items);
+            for (i, item) in items.iter().enumerate() {
+                let expect_warm = *item < 5;
+                assert_eq!(warm[i], expect_warm, "routing of item {item}");
+                let expected = if expect_warm { warm_direct[i] } else { cold_direct[i] };
+                assert_eq!(scores[i], expected, "score of item {item}");
+            }
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    match client.topk(&items, 7).unwrap() {
+        Response::TopK(winners) => {
+            let cold = snap.score_cold(&items);
+            let warm = snap.score_warm(&items);
+            let mut ranked: Vec<(u32, f32)> = items
+                .iter()
+                .map(|&it| (it, if it < 5 { warm[it as usize] } else { cold[it as usize] }))
+                .collect();
+            ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+            assert_eq!(winners, ranked[..7].to_vec());
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // Per-shard telemetry: every shard the hash touched actually dispatched.
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.shards.len(), 3);
+    let touched: HashSet<usize> = items.iter().map(|&it| shard_of(it, 3)).collect();
+    assert!(touched.len() >= 2, "items 0..20 all hashed to one shard — widen the range");
+    for &s in &touched {
+        assert!(stats.shards[s].dispatched > 0, "shard {s} never dispatched");
+    }
+    assert_eq!(stats.accept_errors, 0);
+    handle.shutdown();
+}
+
+#[test]
+fn pipelined_requests_are_answered_strictly_in_order() {
+    // Inline endpoints (Health) complete immediately; scoring completes on
+    // a shard thread later. The connection must still answer in arrival
+    // order — a server that released whichever finished first would emit
+    // the Health replies ahead of the Scores.
+    let cfg = ServeConfig { shards: 2, ..ServeConfig::default() };
+    let (mut handle, manager) = start_server(cfg, snapshot(1, 1));
+    let snap = manager.load();
+    let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+
+    let mut requests = Vec::new();
+    for item in 0..6u32 {
+        requests.push(Request::ScoreNewArrival { items: vec![item] });
+        requests.push(Request::Health);
+    }
+    for req in &requests {
+        write_frame(&mut stream, &req.encode()).unwrap();
+    }
+    for (i, req) in requests.iter().enumerate() {
+        let resp = Response::decode(read_frame(&mut stream).unwrap().unwrap()).unwrap();
+        match (req, resp) {
+            (Request::ScoreNewArrival { items }, Response::Scores(scores)) => {
+                assert_eq!(scores, snap.score_cold(items), "slot {i}");
+            }
+            (Request::Health, Response::Health { ok, model_version }) => {
+                assert!(ok, "slot {i}");
+                assert_eq!(model_version, 1, "slot {i}");
+            }
+            (req, resp) => panic!("slot {i}: {req:?} answered with {resp:?}"),
+        }
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn per_shard_canary_swap_routes_by_item_hash() {
+    let cfg = ServeConfig { shards: 3, ..ServeConfig::default() };
+    let (mut handle, manager) = start_server(cfg, snapshot(1, 1));
+    let v1 = manager.load();
+    let v2 = snapshot(2, 2);
+    let items: Vec<u32> = (0..30).collect();
+    let v1_scores = v1.score_cold(&items);
+    let v2_scores = v2.score_cold(&items);
+    assert_ne!(v1_scores, v2_scores, "retraining must actually move the weights");
+
+    // Canary the retrained model onto shard 1 only.
+    assert!(manager.publish_to_shard(1, v2).unwrap());
+    let mut client = ServeClient::connect(handle.local_addr()).unwrap();
+    assert_eq!(client.health().unwrap(), 1, "a canary must not bump the fleet version");
+
+    // Each item scores with exactly the version of the shard it hashes to.
+    for (i, &item) in items.iter().enumerate() {
+        let expected = if shard_of(item, 3) == 1 { v2_scores[i] } else { v1_scores[i] };
+        match client.score_new_arrival(&[item]).unwrap() {
+            Response::Scores(scores) => assert_eq!(scores, vec![expected], "item {item}"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    let canaried = items.iter().filter(|&&it| shard_of(it, 3) == 1).count();
+    assert!(
+        canaried > 0 && canaried < items.len(),
+        "hash put {canaried}/30 items on the canary shard — test proves nothing"
+    );
+
+    // A full publish erases the skew: every shard flips together.
+    manager.publish(snapshot(2, 2)).unwrap();
+    match client.score_new_arrival(&items).unwrap() {
+        Response::Scores(scores) => assert_eq!(scores, v2_scores),
+        other => panic!("unexpected {other:?}"),
+    }
+    handle.shutdown();
+}
+
+/// Caps every read at one byte: the pathological slow client.
+struct OneByteReader<R>(R);
+
+impl<R: Read> Read for OneByteReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = buf.len().min(1);
+        self.0.read(&mut buf[..n])
+    }
+}
+
+#[test]
+fn dribbling_reader_does_not_stall_other_connections() {
+    // One event thread on purpose: the slow and fast connections share it,
+    // so any blocking write (or busy-wait on the clogged socket) shows up
+    // as the fast client stalling.
+    let cfg = ServeConfig {
+        shards: 2,
+        event_threads: 1,
+        queue_capacity: 1_000_000,
+        ..ServeConfig::default()
+    };
+    let (mut handle, manager) = start_server(cfg, snapshot(1, 0));
+    let snap = manager.load();
+    let addr = handle.local_addr();
+
+    // The slow connection pipelines enough replies (~300 KiB) to overflow
+    // both the per-connection out buffer high-water mark and the socket's
+    // send buffer, while reading nothing back yet.
+    const PIPELINED: usize = 400;
+    let items: Vec<u32> = (0..150).collect();
+    let slow = TcpStream::connect(addr).unwrap();
+    slow.set_nodelay(true).unwrap();
+    let mut writer_stream = slow.try_clone().unwrap();
+    let payload = Request::ScoreNewArrival { items: items.clone() }.encode();
+    let writer = std::thread::spawn(move || {
+        for _ in 0..PIPELINED {
+            write_frame(&mut writer_stream, &payload).unwrap();
+        }
+    });
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Meanwhile a well-behaved client on the same event thread must keep
+    // getting answers. A stalled loop turns this into a multi-minute hang.
+    let started = Instant::now();
+    let mut fast = ServeClient::connect(addr).unwrap();
+    for _ in 0..50 {
+        match fast.score_new_arrival(&[0, 1, 2]).unwrap() {
+            Response::Scores(scores) => assert_eq!(scores, snap.score_cold(&[0, 1, 2])),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "event loop stalled behind the slow reader: {:?}",
+        started.elapsed()
+    );
+
+    // Now drain the clogged connection one byte per read() call. Every
+    // reply must come back intact, in order, and bit-exact.
+    let expected = snap.score_cold(&items);
+    let mut one = OneByteReader(slow);
+    for i in 0..PIPELINED {
+        match Response::decode(read_frame(&mut one).unwrap().unwrap()).unwrap() {
+            Response::Scores(scores) => assert_eq!(scores, expected, "reply {i}"),
+            other => panic!("reply {i}: unexpected {other:?}"),
+        }
+    }
+    writer.join().unwrap();
+    handle.shutdown();
+}
+
+#[test]
+fn proptest_sharded_score_and_topk_match_brute_force() {
+    use proptest::collection;
+    use proptest::strategy::Strategy;
+    use proptest::test_runner::TestRng;
+
+    // One catalogue behind four shards; property-based generation drives
+    // the request composition (which items, how many, what k — duplicates
+    // included). The reference is the snapshot scoring everything in one
+    // pass plus a full sort — the gathered answer must match it bit for
+    // bit, for every composition.
+    let cfg = ServeConfig { shards: 4, event_threads: 2, ..ServeConfig::default() };
+    let (mut handle, manager) = start_server(cfg, snapshot(1, 0));
+    let snap = manager.load();
+    let mut client = ServeClient::connect(handle.local_addr()).unwrap();
+
+    let strategy = (collection::vec(0u32..150, 1..=64), 0u32..71);
+    let mut rng = TestRng::from_name("proptest_sharded_score_and_topk_match_brute_force");
+    for case in 0..24 {
+        let (items, k) = strategy.sample(&mut rng);
+        let direct = snap.score_cold(&items);
+        match client.score(&items).unwrap() {
+            Response::RoutedScores { scores, warm } => {
+                assert_eq!(scores, direct, "case {case}: {items:?}");
+                assert!(warm.iter().all(|&w| !w), "case {case}: nothing was warmed");
+            }
+            other => panic!("case {case}: unexpected {other:?}"),
+        }
+        match client.topk(&items, k).unwrap() {
+            Response::TopK(winners) => {
+                let mut ranked: Vec<(u32, f32)> = items.iter().copied().zip(direct).collect();
+                ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+                ranked.truncate(k as usize);
+                assert_eq!(winners, ranked, "case {case}: k={k} items={items:?}");
+            }
+            other => panic!("case {case}: unexpected {other:?}"),
+        }
     }
     handle.shutdown();
 }

@@ -13,6 +13,12 @@ cargo test -q
 echo "==> serve smoke (one request per endpoint over TCP)"
 cargo run --release -p atnn-serve --bin atnn_serve -- --scale tiny --smoke
 
+echo "==> serve-shard-smoke (scatter-gather across 3 shards, hot swap, clean shutdown)"
+cargo run --release -p atnn-serve --bin atnn_serve -- --scale tiny --smoke --shards 3 --event-threads 2
+
+echo "==> loadgen smoke (512 connections must clear 2x the pre-event-loop baseline)"
+cargo run --release -p atnn-bench --bin serve_loadgen -- --smoke
+
 echo "==> allocation budget (steady-state train step, counting allocator)"
 cargo test --release -q -p atnn-core --test alloc_budget
 
