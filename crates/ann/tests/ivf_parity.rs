@@ -1,0 +1,77 @@
+//! Property tests: IVF with a full probe must be bit-identical to the
+//! brute-force oracle — scores, order, and tie-breaks included.
+
+use std::sync::Arc;
+
+use atnn_ann::{BruteForce, IvfFlatIndex, IvfParams, Retriever};
+use atnn_tensor::Matrix;
+use proptest::collection;
+use proptest::strategy::Strategy;
+use proptest::test_runner::TestRng;
+
+#[test]
+fn proptest_full_probe_matches_brute_force_bit_for_bit() {
+    // Pool entries are drawn from a tiny grid (multiples of 0.5) so
+    // duplicate dot products — the case where only the id tie-break keeps
+    // the order deterministic — occur constantly.
+    let strategy = (
+        2usize..200,                       // items
+        1usize..12,                        // dim
+        collection::vec(-4i32..5, 1..=12), // query pattern, half-unit grid
+        0usize..40,                        // k
+    );
+    let mut rng = TestRng::from_name("proptest_full_probe_matches_brute_force_bit_for_bit");
+    for case in 0..32 {
+        let (n, d, qpat, k) = strategy.sample(&mut rng);
+        let pool =
+            Arc::new(Matrix::from_fn(n, d, |i, j| (((i * 31 + j * 7) % 9) as f32 - 4.0) * 0.5));
+        let query: Vec<f32> = (0..d).map(|j| qpat[j % qpat.len()] as f32 * 0.5).collect();
+
+        let params = IvfParams::for_items(n);
+        let ivf = IvfFlatIndex::build(Arc::clone(&pool), params);
+        let oracle = BruteForce::new(Arc::clone(&pool));
+
+        let got = ivf.topk(&query, k, ivf.nlist());
+        let want = oracle.topk(&query, k, 0);
+        assert_eq!(got, want, "case {case}: n={n} d={d} k={k}");
+
+        // Same property through the shard-style filtered path.
+        let keep = |id: u32| id.is_multiple_of(2);
+        assert_eq!(
+            ivf.topk_filtered(&query, k, ivf.nlist(), &keep),
+            oracle.topk_filtered(&query, k, 0, &keep),
+            "case {case} (filtered): n={n} d={d} k={k}"
+        );
+    }
+}
+
+#[test]
+fn proptest_partial_probe_hits_are_exactly_scored_prefix_free() {
+    // Any nprobe: every returned hit must carry the oracle's exact score
+    // for that id, and the result must be sorted under the retrieval
+    // order (best first, ties by ascending id).
+    let strategy = (2usize..300, 1usize..10, 1usize..6, 1usize..20);
+    let mut rng = TestRng::from_name("proptest_partial_probe_hits_are_exactly_scored");
+    for case in 0..24 {
+        let (n, d, nprobe, k) = strategy.sample(&mut rng);
+        let pool = Arc::new(Matrix::from_fn(n, d, |i, j| ((i + j * 13) % 17) as f32 * 0.25 - 2.0));
+        let query: Vec<f32> = (0..d).map(|j| (j as f32 * 0.5) - 1.0).collect();
+
+        let ivf = IvfFlatIndex::build(Arc::clone(&pool), IvfParams::for_items(n));
+        let oracle = BruteForce::new(Arc::clone(&pool));
+        let exact_all = oracle.topk(&query, n, 0);
+
+        let got = ivf.topk(&query, k, nprobe);
+        assert!(got.len() <= k, "case {case}");
+        for window in got.windows(2) {
+            assert!(
+                atnn_ann::best_first(&window[0], &window[1]) == std::cmp::Ordering::Less,
+                "case {case}: output must be strictly ordered"
+            );
+        }
+        for (id, score) in &got {
+            let exact = exact_all.iter().find(|(e, _)| e == id).expect("id exists");
+            assert_eq!(score.to_bits(), exact.1.to_bits(), "case {case}: id {id} score exact");
+        }
+    }
+}

@@ -9,12 +9,14 @@
 //!
 //! ```text
 //! magic  b"ATNNART1"                      (8 bytes)
-//! format version  u32                     (currently 1)
+//! format version  u32                     (currently 2; 1 still decodes)
 //! payload checksum  u64                   (FNV-1a over everything below)
 //! model version  u64                      (publisher's monotonically
 //!                                          increasing tag; shown by the
 //!                                          serve Health/Stats endpoints)
 //! TmallConfig | AtnnConfig | weights blob | index
+//! has_ann  u8                             (version ≥ 2 only)
+//! ann blob  u64 length + bytes            (present iff has_ann == 1)
 //! ```
 //!
 //! The checksum is verified before anything is parsed, so a truncated or
@@ -22,6 +24,13 @@
 //! of instantiating a model from garbage. The weights blob is the
 //! [`atnn_nn::save_store`] checkpoint, which carries its own header and
 //! checksum — defense in depth for the largest section.
+//!
+//! Version 2 appends an *optional* serialized ANN retrieval index (the
+//! `atnn-ann` IVF blob, itself magic'd, versioned and checksummed). The
+//! section is opaque at this layer — the serving snapshot validates it
+//! against the embeddings it computes at load and silently rebuilds when
+//! the blob is absent or stale, so legacy version-1 artifacts keep loading
+//! unchanged.
 
 use std::fmt;
 use std::path::Path;
@@ -35,7 +44,9 @@ use crate::model::Atnn;
 use crate::popularity::PopularityIndex;
 
 const MAGIC: &[u8; 8] = b"ATNNART1";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+/// Oldest format version [`ModelArtifact::decode`] still accepts.
+const MIN_VERSION: u32 = 1;
 
 /// Errors from artifact (de)serialization and instantiation.
 #[derive(Debug)]
@@ -98,6 +109,9 @@ pub struct ModelArtifact {
     pub weights: Bytes,
     /// The frozen O(1) serving index.
     pub index: PopularityIndex,
+    /// Optional serialized ANN retrieval index (opaque at this layer;
+    /// format-version-2 artifacts only).
+    pub ann: Option<Bytes>,
 }
 
 /// A [`ModelArtifact`] instantiated back into live objects.
@@ -127,7 +141,20 @@ impl ModelArtifact {
             model_config: model.config().clone(),
             weights: model.save(),
             index: index.clone(),
+            ann: None,
         }
+    }
+
+    /// Attaches a serialized ANN retrieval index to the artifact, so a
+    /// serving replica can adopt it instead of rebuilding at load.
+    pub fn with_ann(mut self, ann: Bytes) -> Self {
+        self.ann = Some(ann);
+        self
+    }
+
+    /// The persisted ANN index section, if any.
+    pub fn ann(&self) -> Option<&[u8]> {
+        self.ann.as_deref()
     }
 
     /// Serializes the artifact (header + checksummed payload).
@@ -143,6 +170,14 @@ impl ModelArtifact {
             payload.put_f32_le(v);
         }
         payload.put_f32_le(self.index.bias());
+        match &self.ann {
+            Some(ann) => {
+                payload.put_u8(1);
+                payload.put_u64_le(ann.len() as u64);
+                payload.put_slice(ann);
+            }
+            None => payload.put_u8(0),
+        }
 
         let mut buf = BytesMut::with_capacity(8 + 4 + 8 + payload.len());
         buf.put_slice(MAGIC);
@@ -162,7 +197,8 @@ impl ModelArtifact {
         if &magic != MAGIC {
             return Err(ArtifactError::Corrupt("bad magic"));
         }
-        if buf.get_u32_le() != VERSION {
+        let format_version = buf.get_u32_le();
+        if !(MIN_VERSION..=VERSION).contains(&format_version) {
             return Err(ArtifactError::Corrupt("unsupported version"));
         }
         let expected = buf.get_u64_le();
@@ -189,6 +225,26 @@ impl ModelArtifact {
             mean.push(buf.get_f32_le());
         }
         let bias = buf.get_f32_le();
+        let ann = if format_version >= 2 {
+            if buf.remaining() < 1 {
+                return Err(ArtifactError::Corrupt("ann section truncated"));
+            }
+            match buf.get_u8() {
+                0 => None,
+                1 => {
+                    let len = read_u64(&mut buf)? as usize;
+                    if buf.remaining() < len {
+                        return Err(ArtifactError::Corrupt("ann blob truncated"));
+                    }
+                    let ann = buf.slice(0..len);
+                    buf.advance(len);
+                    Some(ann)
+                }
+                _ => return Err(ArtifactError::Corrupt("bad ann flag")),
+            }
+        } else {
+            None
+        };
         if buf.remaining() != 0 {
             return Err(ArtifactError::Corrupt("trailing bytes"));
         }
@@ -198,6 +254,7 @@ impl ModelArtifact {
             model_config,
             weights,
             index: PopularityIndex::from_parts(mean, bias),
+            ann,
         })
     }
 
@@ -433,6 +490,34 @@ mod tests {
         std::fs::remove_file(&path).unwrap();
         assert_eq!(back.index, artifact.index);
         assert_eq!(back.weights, artifact.weights);
+    }
+
+    #[test]
+    fn ann_section_round_trips_and_legacy_v1_artifacts_still_decode() {
+        let (model, data, cfg) = trained();
+        let artifact = capture(&model, &data, &cfg);
+
+        // The ann blob is opaque at this layer; any bytes must survive.
+        let blob = Bytes::from_static(b"ATNNIVF1-opaque-test-bytes");
+        let back = ModelArtifact::decode(artifact.clone().with_ann(blob.clone()).encode()).unwrap();
+        assert_eq!(back.ann(), Some(blob.as_ref()));
+        assert_eq!(back.index, artifact.index);
+        assert_eq!(back.weights, artifact.weights);
+
+        // A legacy version-1 artifact is the same payload minus the ann
+        // section: drop the trailing has_ann flag, patch the format
+        // version down and recompute the checksum.
+        let v2 = artifact.encode();
+        let mut v1 = v2.as_ref().to_vec();
+        assert_eq!(v1.pop(), Some(0), "a v2 artifact without ann ends with has_ann = 0");
+        v1[8..12].copy_from_slice(&1u32.to_le_bytes());
+        let checksum = fnv1a64(&v1[20..]);
+        v1[12..20].copy_from_slice(&checksum.to_le_bytes());
+        let legacy = ModelArtifact::decode(Bytes::from(v1)).unwrap();
+        assert!(legacy.ann().is_none(), "v1 artifacts carry no ann section");
+        assert_eq!(legacy.index, artifact.index);
+        assert_eq!(legacy.weights, artifact.weights);
+        assert_eq!(legacy.model_version, artifact.model_version);
     }
 
     #[test]

@@ -76,6 +76,14 @@ impl PopularityIndex {
         scores
     }
 
+    /// Converts a precomputed raw dot product `⟨v_item, v̄_user⟩` into the
+    /// popularity probability `σ(dot + b)` — the same sigmoid and bias as
+    /// [`PopularityIndex::score_vector`], so retrieval paths that rank in
+    /// dot space can convert their winners bit-identically.
+    pub fn score_from_dot(&self, dot: f32) -> f32 {
+        sigmoid(dot + self.bias)
+    }
+
     /// The stored mean user vector.
     pub fn mean_user_vec(&self) -> &[f32] {
         &self.mean_user_vec

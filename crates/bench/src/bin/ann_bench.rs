@@ -1,0 +1,228 @@
+//! Recall-vs-latency harness for the `atnn-ann` IVF-flat index.
+//!
+//! Builds synthetic item-tower embeddings (a mixture of Gaussians — the
+//! clustered shape a trained tower actually emits, and the shape IVF's
+//! coarse quantizer exploits), then sweeps `nprobe` at several catalogue
+//! sizes and records recall@k against the brute-force oracle plus
+//! per-query latency into `BENCH_ann.json`.
+//!
+//! ```text
+//! ann_bench [--smoke] [--full] [--out PATH]
+//! ```
+//!
+//! Default sizes are 100k and 1M items; `--full` adds the paper-scale
+//! 10M-item catalogue (≈1.3 GiB of embeddings — minutes, not seconds).
+//!
+//! `--smoke` is the CI gate: one small index, asserting recall@10 ≥ 0.95
+//! at the default probe width and *bit-exact* parity with the oracle at
+//! full probe, then exits without touching the JSON.
+
+use std::time::Instant;
+
+use atnn_ann::{BruteForce, IvfFlatIndex, IvfParams, Retriever};
+use atnn_tensor::{Matrix, Rng64};
+
+const DIM: usize = 32;
+const K: usize = 10;
+const QUERIES: usize = 100;
+const NPROBE_SWEEP: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+/// Samples `n` embeddings from a mixture of `centers` Gaussians: items
+/// cluster the way a trained item tower clusters its catalogue, so the
+/// coarse quantizer has real structure to find.
+fn mixture_pool(n: usize, dim: usize, centers: usize, seed: u64) -> (Matrix, Vec<Vec<f32>>) {
+    let mut rng = Rng64::seed_from_u64(seed);
+    let means: Vec<Vec<f32>> =
+        (0..centers).map(|_| (0..dim).map(|_| rng.normal()).collect()).collect();
+    let mut pool = Matrix::zeros(n, dim);
+    for r in 0..n {
+        let mean = &means[rng.index(centers)];
+        let row = pool.row_mut(r);
+        for (d, m) in row.iter_mut().zip(mean) {
+            *d = m + 0.25 * rng.normal();
+        }
+    }
+    (pool, means)
+}
+
+/// Queries drawn from the same mixture (plus noise): retrieval traffic
+/// lands near the clusters, not uniformly over the sphere.
+fn queries(means: &[Vec<f32>], count: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = Rng64::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let mean = &means[rng.index(means.len())];
+            mean.iter().map(|&m| m + 0.25 * rng.normal()).collect()
+        })
+        .collect()
+}
+
+/// Fraction of the oracle's top-k the index recovered, averaged over all
+/// queries. Approximation only drops candidates (scores are exact), so
+/// intersection over k is the whole story.
+fn recall_at_k(ivf: &[Vec<(u32, f32)>], oracle: &[Vec<(u32, f32)>], k: usize) -> f64 {
+    let mut hit = 0usize;
+    let mut total = 0usize;
+    for (approx, exact) in ivf.iter().zip(oracle) {
+        total += exact.len().min(k);
+        for (id, _) in exact.iter().take(k) {
+            if approx.iter().take(k).any(|(a, _)| a == id) {
+                hit += 1;
+            }
+        }
+    }
+    hit as f64 / total.max(1) as f64
+}
+
+/// Runs `retriever` over every query, returning the answers and the mean
+/// per-query latency in microseconds.
+fn timed_run(
+    retriever: &dyn Retriever,
+    queries: &[Vec<f32>],
+    k: usize,
+    nprobe: usize,
+) -> (Vec<Vec<(u32, f32)>>, f64) {
+    let started = Instant::now();
+    let answers: Vec<_> = queries.iter().map(|q| retriever.topk(q, k, nprobe)).collect();
+    let us = started.elapsed().as_secs_f64() * 1e6 / queries.len() as f64;
+    (answers, us)
+}
+
+struct SweepPoint {
+    nprobe: usize,
+    recall: f64,
+    us_per_query: f64,
+    speedup: f64,
+}
+
+struct SizeResult {
+    n: usize,
+    nlist: usize,
+    build_seconds: f64,
+    brute_us_per_query: f64,
+    sweep: Vec<SweepPoint>,
+}
+
+fn run_size(n: usize, seed: u64) -> SizeResult {
+    eprintln!("building {n}-item pool...");
+    let (pool, means) = mixture_pool(n, DIM, 256, seed);
+    let qs = queries(&means, QUERIES, seed ^ 0x5EED);
+    let pool = std::sync::Arc::new(pool);
+
+    let params = IvfParams::for_items(n);
+    let started = Instant::now();
+    let ivf = IvfFlatIndex::build(std::sync::Arc::clone(&pool), params);
+    let build_seconds = started.elapsed().as_secs_f64();
+    eprintln!("  IVF built: {} lists in {build_seconds:.2}s", ivf.nlist());
+
+    let brute = BruteForce::new(std::sync::Arc::clone(&pool));
+    let (oracle, brute_us) = timed_run(&brute, &qs, K, 0);
+    eprintln!("  brute force: {brute_us:.1}us/query");
+
+    let sweep = NPROBE_SWEEP
+        .iter()
+        .filter(|&&p| p <= ivf.nlist())
+        .map(|&nprobe| {
+            let (answers, us) = timed_run(&ivf, &qs, K, nprobe);
+            let recall = recall_at_k(&answers, &oracle, K);
+            let speedup = brute_us / us;
+            eprintln!(
+                "  nprobe {nprobe:>3}: recall@{K} {recall:.4}, {us:>8.1}us/query ({speedup:.1}x)"
+            );
+            SweepPoint { nprobe, recall, us_per_query: us, speedup }
+        })
+        .collect();
+
+    SizeResult { n, nlist: ivf.nlist(), build_seconds, brute_us_per_query: brute_us, sweep }
+}
+
+fn render_json(results: &[SizeResult]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"dim\": {DIM},\n  \"k\": {K},\n  \"queries\": {QUERIES},\n"));
+    out.push_str("  \"sizes\": [\n");
+    for (si, r) in results.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"n\": {},\n      \"nlist\": {},\n", r.n, r.nlist));
+        out.push_str(&format!("      \"build_seconds\": {:.3},\n", r.build_seconds));
+        out.push_str(&format!(
+            "      \"brute_force_us_per_query\": {:.1},\n",
+            r.brute_us_per_query
+        ));
+        out.push_str("      \"sweep\": [\n");
+        for (pi, p) in r.sweep.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{\"nprobe\": {}, \"recall_at_{K}\": {:.4}, \"us_per_query\": {:.1}, \
+                 \"speedup_vs_brute\": {:.1}}}{}\n",
+                p.nprobe,
+                p.recall,
+                p.us_per_query,
+                p.speedup,
+                if pi + 1 < r.sweep.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("      ]\n");
+        out.push_str(&format!("    }}{}\n", if si + 1 < results.len() { "," } else { "" }));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// The CI gate: a small index must clear recall@10 ≥ 0.95 at the default
+/// probe width, and a full probe must be bit-identical to the oracle.
+fn smoke() {
+    let n = 20_000;
+    let (pool, means) = mixture_pool(n, 16, 64, 7);
+    let qs = queries(&means, 50, 11);
+    let pool = std::sync::Arc::new(pool);
+    let params = IvfParams::for_items(n);
+    let ivf = IvfFlatIndex::build(std::sync::Arc::clone(&pool), params);
+    let brute = BruteForce::new(pool);
+
+    let (oracle, _) = timed_run(&brute, &qs, K, 0);
+    let (default_probe, _) = timed_run(&ivf, &qs, K, ivf.default_nprobe());
+    let recall = recall_at_k(&default_probe, &oracle, K);
+    eprintln!(
+        "smoke: recall@{K} {recall:.4} at nprobe {} over {} lists",
+        ivf.default_nprobe(),
+        ivf.nlist()
+    );
+    assert!(recall >= 0.95, "smoke: recall@{K} {recall:.4} under the 0.95 floor");
+
+    let (full_probe, _) = timed_run(&ivf, &qs, K, ivf.nlist());
+    assert_eq!(full_probe, oracle, "smoke: full probe must be bit-identical to brute force");
+    eprintln!("smoke: full probe bit-identical to the oracle over {} queries", qs.len());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
+    let full = args.iter().any(|a| a == "--full");
+    let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_ann.json".to_string());
+
+    let mut sizes = vec![100_000usize, 1_000_000];
+    if full {
+        sizes.push(10_000_000);
+    }
+    let results: Vec<SizeResult> =
+        sizes.into_iter().enumerate().map(|(i, n)| run_size(n, 42 + i as u64)).collect();
+
+    std::fs::write(&out_path, render_json(&results)).expect("write bench json");
+    eprintln!("wrote {out_path}");
+
+    // The acceptance bar: at 1M items some probe width must reach
+    // recall@10 ≥ 0.95 while beating brute force by ≥ 10x.
+    let million = results.iter().find(|r| r.n == 1_000_000).expect("1M size always runs");
+    let cleared = million.sweep.iter().any(|p| p.recall >= 0.95 && p.speedup >= 10.0);
+    assert!(
+        cleared,
+        "no nprobe at 1M items reached recall@10 >= 0.95 with a >= 10x speedup over brute force"
+    );
+    eprintln!("acceptance: 1M-item sweep has a >= 10x point at recall@10 >= 0.95");
+}

@@ -46,11 +46,34 @@ pub type BatchReply = Result<Vec<f32>, String>;
 /// case it is returned to the caller and never invoked.
 pub type ReplyFn = Box<dyn FnOnce(BatchReply) + Send>;
 
-/// One queued scoring request.
-struct Job {
-    path: ScorePath,
-    items: Vec<u32>,
-    reply: ReplyFn,
+/// What a queued ANN probe job is answered with: this shard's top-k in
+/// **raw dot space** (best first, ties by ascending id), or the same
+/// failure descriptions as [`BatchReply`].
+pub type ProbeReply = Result<Vec<(u32, f32)>, String>;
+
+/// A probe job's completion closure; same invocation contract as
+/// [`ReplyFn`].
+pub type ProbeReplyFn = Box<dyn FnOnce(ProbeReply) + Send>;
+
+/// One queued request.
+enum Job {
+    /// Batched forward-pass scoring of explicit items.
+    Score { path: ScorePath, items: Vec<u32>, reply: ReplyFn },
+    /// Catalogue-wide ANN retrieval over this shard's slice of the
+    /// catalogue (probe width comes from `ServeConfig::nprobe`).
+    Probe { k: usize, reply: ProbeReplyFn },
+}
+
+impl Job {
+    /// Queue-capacity units this job occupies. A probe touches at most
+    /// `nprobe` inverted lists and retains `k` winners, so it is charged
+    /// its result size rather than a per-item cost.
+    fn cost(&self) -> usize {
+        match self {
+            Job::Score { items, .. } => items.len(),
+            Job::Probe { k, .. } => (*k).max(1),
+        }
+    }
 }
 
 struct QueueState {
@@ -128,16 +151,40 @@ impl Batcher {
         items: Vec<u32>,
         reply: ReplyFn,
     ) -> Result<(), (Overloaded, ReplyFn)> {
+        self.enqueue(Job::Score { path, items, reply }).map_err(|job| match job {
+            Job::Score { reply, .. } => (Overloaded, reply),
+            Job::Probe { .. } => unreachable!("enqueue returns the job it was given"),
+        })
+    }
+
+    /// Enqueues a catalogue-wide ANN probe answered with this shard's
+    /// top-`k` in raw dot space. Same shed contract as
+    /// [`Batcher::submit_with`].
+    pub fn submit_probe_with(
+        &self,
+        k: usize,
+        reply: ProbeReplyFn,
+    ) -> Result<(), (Overloaded, ProbeReplyFn)> {
+        self.enqueue(Job::Probe { k, reply }).map_err(|job| match job {
+            Job::Probe { reply, .. } => (Overloaded, reply),
+            Job::Score { .. } => unreachable!("enqueue returns the job it was given"),
+        })
+    }
+
+    /// Shared admission path: sheds (returning the job uninvoked) when the
+    /// queue bound would be exceeded or the batcher is shutting down.
+    fn enqueue(&self, job: Job) -> Result<(), Job> {
+        let cost = job.cost();
         {
             let mut state = self.shared.state.lock().expect("batcher lock poisoned");
-            if state.shutdown || state.queued_items + items.len() > self.shared.cfg.queue_capacity {
+            if state.shutdown || state.queued_items + cost > self.shared.cfg.queue_capacity {
                 drop(state);
                 self.shared.telemetry.record_shard_shed(self.shared.shard);
-                return Err((Overloaded, reply));
+                return Err(job);
             }
-            state.queued_items += items.len();
+            state.queued_items += cost;
             self.shared.telemetry.set_queue_depth(self.shared.shard, state.queued_items);
-            state.jobs.push_back(Job { path, items, reply });
+            state.jobs.push_back(job);
         }
         self.shared.telemetry.record_shard_dispatch(self.shared.shard);
         self.shared.cv.notify_one();
@@ -157,6 +204,16 @@ impl Batcher {
             let _ = tx.send(r);
         });
         self.submit_with(path, items, reply).map_err(|(over, _)| over)?;
+        Ok(rx)
+    }
+
+    /// Channel-backed convenience over [`Batcher::submit_probe_with`].
+    pub fn submit_probe(&self, k: usize) -> Result<mpsc::Receiver<ProbeReply>, Overloaded> {
+        let (tx, rx) = mpsc::sync_channel(1);
+        let reply: ProbeReplyFn = Box::new(move |r| {
+            let _ = tx.send(r);
+        });
+        self.submit_probe_with(k, reply).map_err(|(over, _)| over)?;
         Ok(rx)
     }
 
@@ -225,12 +282,12 @@ fn collect_batch(shared: &Shared) -> Vec<Job> {
         // so a job that would overflow a non-empty batch waits for the
         // next flush; an oversized job forms its own batch.
         while let Some(job) = state.jobs.front() {
-            if !batch.is_empty() && batch_items + job.items.len() > cfg.max_batch {
+            if !batch.is_empty() && batch_items + job.cost() > cfg.max_batch {
                 break;
             }
             let job = state.jobs.pop_front().expect("front exists");
-            state.queued_items -= job.items.len();
-            batch_items += job.items.len();
+            state.queued_items -= job.cost();
+            batch_items += job.cost();
             batch.push(job);
             if batch_items >= cfg.max_batch {
                 break;
@@ -271,27 +328,48 @@ fn execute_batch(shared: &Shared, batch: Vec<Job>) {
     let snapshot = shared.source.load();
     let num_items = snapshot.num_items() as u32;
 
-    let (batch, invalid): (Vec<Job>, Vec<Job>) =
-        batch.into_iter().partition(|job| job.items.iter().all(|&i| i < num_items));
-    for job in invalid {
-        (job.reply)(Err(format!(
-            "item out of range for model v{} (0..{num_items})",
-            snapshot.version
-        )));
+    let mut score_jobs: Vec<(ScorePath, Vec<u32>, ReplyFn)> = Vec::new();
+    let mut probe_jobs: Vec<(usize, ProbeReplyFn)> = Vec::new();
+    for job in batch {
+        match job {
+            Job::Score { path, items, reply } => {
+                // Ids are re-validated against *this* snapshot's item
+                // space; the server validated against the boot snapshot.
+                if items.iter().all(|&i| i < num_items) {
+                    score_jobs.push((path, items, reply));
+                } else {
+                    reply(Err(format!(
+                        "item out of range for model v{} (0..{num_items})",
+                        snapshot.version
+                    )));
+                }
+            }
+            Job::Probe { k, reply } => probe_jobs.push((k, reply)),
+        }
     }
-    if batch.is_empty() {
+    if score_jobs.is_empty() && probe_jobs.is_empty() {
         return;
     }
 
     let mut cold_items: Vec<u32> = Vec::new();
     let mut warm_items: Vec<u32> = Vec::new();
-    for job in &batch {
-        match job.path {
-            ScorePath::Cold => cold_items.extend_from_slice(&job.items),
-            ScorePath::Warm => warm_items.extend_from_slice(&job.items),
+    for (path, items, _) in &score_jobs {
+        match path {
+            ScorePath::Cold => cold_items.extend_from_slice(items),
+            ScorePath::Warm => warm_items.extend_from_slice(items),
         }
     }
-    let scored = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+    // A probe only sees ids this shard owns; the single-shard case skips
+    // the hash entirely.
+    let shards = shared.cfg.shards.max(1);
+    let my_shard = shared.shard;
+    let keep: Box<dyn Fn(u32) -> bool> = if shards == 1 {
+        Box::new(|_| true)
+    } else {
+        Box::new(move |id| crate::shard::shard_of(id, shards) == my_shard)
+    };
+    let nprobe = shared.cfg.nprobe;
+    let executed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         let cold_scores = if cold_items.is_empty() {
             Vec::new()
         } else {
@@ -304,22 +382,28 @@ fn execute_batch(shared: &Shared, batch: Vec<Job>) {
             shared.telemetry.record_batch(shared.shard, warm_items.len());
             snapshot.score_warm(&warm_items)
         };
-        (cold_scores, warm_scores)
+        let probed: Vec<Vec<(u32, f32)>> =
+            probe_jobs.iter().map(|&(k, _)| snapshot.topk_dots(k, nprobe, &keep)).collect();
+        (cold_scores, warm_scores, probed)
     }));
-    let (cold_scores, warm_scores) = match scored {
-        Ok(scores) => scores,
+    let (cold_scores, warm_scores, probed) = match executed {
+        Ok(results) => results,
         Err(_) => {
-            for job in batch {
-                (job.reply)(Err(format!("forward pass panicked on model v{}", snapshot.version)));
+            let panic_msg = format!("forward pass panicked on model v{}", snapshot.version);
+            for (_, _, reply) in score_jobs {
+                reply(Err(panic_msg.clone()));
+            }
+            for (_, reply) in probe_jobs {
+                reply(Err(panic_msg.clone()));
             }
             return;
         }
     };
 
     let (mut cold_off, mut warm_off) = (0usize, 0usize);
-    for job in batch {
-        let n = job.items.len();
-        let scores = match job.path {
+    for (path, items, reply) in score_jobs {
+        let n = items.len();
+        let scores = match path {
             ScorePath::Cold => {
                 let s = cold_scores[cold_off..cold_off + n].to_vec();
                 cold_off += n;
@@ -331,7 +415,10 @@ fn execute_batch(shared: &Shared, batch: Vec<Job>) {
                 s
             }
         };
-        (job.reply)(Ok(scores));
+        reply(Ok(scores));
+    }
+    for ((_, reply), winners) in probe_jobs.into_iter().zip(probed) {
+        reply(Ok(winners));
     }
 }
 
@@ -354,7 +441,7 @@ mod tests {
         let opts = TrainOptions::builder().epochs(1).build().expect("valid options");
         CtrTrainer::new(opts).train(&mut model, &data, None).expect("training runs");
         let index = PopularityIndex::build(&model, &data, &(0..30).collect::<Vec<_>>());
-        ModelSnapshot { version, data, model, index }
+        ModelSnapshot::new(version, data, model, index)
     }
 
     fn tiny_manager() -> Arc<ModelManager> {
@@ -411,6 +498,35 @@ mod tests {
             report.batches
         );
         assert_eq!(report.shards[0].dispatched, 16);
+    }
+
+    #[test]
+    fn probe_jobs_return_the_snapshots_topk_dots() {
+        let manager = tiny_manager();
+        let cfg = ServeConfig::default();
+        let batcher = start_batcher(cfg.clone(), &manager, &Arc::new(Telemetry::new()));
+        let snapshot = manager.load();
+        let winners = batcher.submit_probe(5).unwrap().recv().unwrap().unwrap();
+        assert_eq!(winners, snapshot.topk_dots(5, cfg.nprobe, &|_| true));
+        assert_eq!(winners.len(), 5);
+    }
+
+    #[test]
+    fn probe_jobs_respect_the_shard_filter() {
+        let manager = tiny_manager();
+        let cfg = ServeConfig { shards: 3, ..ServeConfig::default() };
+        let batcher = Batcher::start(
+            cfg.clone(),
+            manager.register_shard_cell(),
+            Arc::new(Telemetry::with_shards(3)),
+            1,
+        );
+        let snapshot = manager.load();
+        let winners = batcher.submit_probe(100).unwrap().recv().unwrap().unwrap();
+        let keep = |id: u32| crate::shard::shard_of(id, 3) == 1;
+        assert_eq!(winners, snapshot.topk_dots(100, cfg.nprobe, &keep));
+        assert!(!winners.is_empty());
+        assert!(winners.iter().all(|&(id, _)| keep(id)));
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //! ```text
 //! atnn_serve [--scale tiny|small|paper] [--addr HOST:PORT]
 //!            [--artifact PATH] [--save-artifact PATH]
-//!            [--epochs N] [--shards N] [--event-threads N] [--smoke]
+//!            [--epochs N] [--shards N] [--event-threads N]
+//!            [--nprobe N] [--smoke]
 //! ```
 //!
 //! Without `--artifact`, the daemon trains a model on the simulated Tmall
@@ -15,7 +16,9 @@
 //!
 //! `--shards` splits the catalogue across N batcher replicas (scoring
 //! requests scatter-gather across them); `--event-threads` sets how many
-//! epoll event loops share the accepted connections.
+//! epoll event loops share the accepted connections. `--nprobe` sets how
+//! many inverted lists each catalogue-wide `TopKAll` retrieval probes in
+//! the ANN index (recall dial; `nprobe ≥ nlist` is an exact scan).
 //!
 //! `--smoke` starts the server on an ephemeral port, exercises every
 //! endpoint once through a real TCP client — including a hot swap
@@ -37,6 +40,7 @@ struct Args {
     epochs: usize,
     shards: usize,
     event_threads: usize,
+    nprobe: usize,
     smoke: bool,
 }
 
@@ -50,6 +54,7 @@ fn parse_args() -> Result<Args, String> {
         epochs: 2,
         shards: 1,
         event_threads: 1,
+        nprobe: ServeConfig::default().nprobe,
         smoke: false,
     };
     let mut i = 0;
@@ -98,6 +103,15 @@ fn parse_args() -> Result<Args, String> {
                 }
                 i += 2;
             }
+            "--nprobe" => {
+                args.nprobe = value(&argv, i, "--nprobe")?
+                    .parse()
+                    .map_err(|_| "--nprobe needs an integer".to_string())?;
+                if args.nprobe == 0 {
+                    return Err("--nprobe must be at least 1".to_string());
+                }
+                i += 2;
+            }
             "--smoke" => {
                 args.smoke = true;
                 i += 1;
@@ -132,7 +146,7 @@ fn train_snapshot(scale: &str, epochs: usize) -> Result<(ModelSnapshot, TmallCon
     CtrTrainer::new(opts).train(&mut model, &data, None).map_err(|e| e.to_string())?;
     let users: Vec<u32> = (0..data.num_users() as u32).collect();
     let index = PopularityIndex::build(&model, &data, &users);
-    Ok((ModelSnapshot { version: 1, data, model, index }, cfg))
+    Ok((ModelSnapshot::new(1, data, model, index), cfg))
 }
 
 fn run() -> Result<(), String> {
@@ -156,7 +170,10 @@ fn run() -> Result<(), String> {
 
     if let Some(path) = &args.save_artifact {
         let snap = manager.load();
-        let artifact = ModelArtifact::capture(&snap.model, &data_cfg, &snap.index, snap.version);
+        // Persist the built ANN index too, so the next boot skips the
+        // k-means rebuild (decode cross-checks it against the embeddings).
+        let artifact = ModelArtifact::capture(&snap.model, &data_cfg, &snap.index, snap.version)
+            .with_ann(snap.encoded_ann().into());
         artifact.save_to(path).map_err(|e| format!("save {path}: {e}"))?;
         eprintln!("artifact saved to {path}");
     }
@@ -164,6 +181,7 @@ fn run() -> Result<(), String> {
     let mut serve_cfg = ServeConfig {
         shards: args.shards,
         event_threads: args.event_threads,
+        nprobe: args.nprobe,
         ..ServeConfig::default()
     };
     match (&args.addr, args.smoke) {
@@ -242,6 +260,16 @@ fn smoke(
             println!("smoke: topk ok (best item {} @ {:.4})", winners[0].0, winners[0].1);
         }
         other => return Err(format!("smoke topk: unexpected {other:?}")),
+    }
+    match client.topk_all(5).map_err(fail("topk_all"))? {
+        Response::TopK(winners) if winners.len() == 5 => {
+            let sorted = winners.windows(2).all(|w| w[0].1 >= w[1].1);
+            if !sorted {
+                return Err(format!("smoke topk_all: winners out of order: {winners:?}"));
+            }
+            println!("smoke: topk_all ok (best item {} @ {:.4})", winners[0].0, winners[0].1);
+        }
+        other => return Err(format!("smoke topk_all: unexpected {other:?}")),
     }
 
     // Hot swap: round-trip the live model through an artifact under a

@@ -78,4 +78,9 @@ impl ServeClient {
     pub fn topk(&mut self, items: &[u32], k: u32) -> Result<Response, ProtocolError> {
         self.call(&Request::TopK { items: items.to_vec(), k })
     }
+
+    /// Catalogue-wide top-k retrieval through the server's ANN index.
+    pub fn topk_all(&mut self, k: u32) -> Result<Response, ProtocolError> {
+        self.call(&Request::TopKAll { k })
+    }
 }

@@ -41,6 +41,11 @@ pub struct ServeConfig {
     /// per connection before the loop stops reading from it; bounds the
     /// memory a pipelining client can pin.
     pub max_pipeline: usize,
+    /// Inverted lists probed per catalogue-wide `TopKAll` retrieval.
+    /// Higher probes more of the catalogue (better recall, more work);
+    /// `nprobe ≥ nlist` degenerates to an exact scan bit-identical to the
+    /// brute-force oracle.
+    pub nprobe: usize,
 }
 
 impl Default for ServeConfig {
@@ -57,6 +62,7 @@ impl Default for ServeConfig {
             shards: 1,
             event_threads: 1,
             max_pipeline: 128,
+            nprobe: 8,
         }
     }
 }

@@ -8,7 +8,8 @@
 //!
 //! - [`protocol`]: a length-prefixed binary wire protocol (`Health`,
 //!   `Stats`, `ScoreNewArrival`, `ScoreWarmItem`, `Score`,
-//!   `RecordInteractions`, `TopK`) in which `f32` scores travel bit-exact.
+//!   `RecordInteractions`, `TopK`, `TopKAll`) in which `f32` scores travel
+//!   bit-exact.
 //! - [`batcher`]: a bounded micro-batching queue that coalesces concurrent
 //!   requests into shared forward passes and sheds (`Overloaded`) instead
 //!   of blocking when full.
@@ -49,14 +50,14 @@ pub mod server;
 pub mod shard;
 pub mod telemetry;
 
-pub use batcher::{BatchReply, Batcher, Overloaded, ReplyFn};
+pub use batcher::{BatchReply, Batcher, Overloaded, ProbeReply, ProbeReplyFn, ReplyFn};
 pub use client::ServeClient;
 pub use config::ServeConfig;
-pub use manager::{ItemSpaceMismatch, ModelManager, ModelSnapshot};
+pub use manager::{snapshot_build_gauge, ItemSpaceMismatch, ModelManager, ModelSnapshot};
 pub use protocol::{
     FrameRead, FrameReader, ProtocolError, Request, Response, ShardStats, StatsReport,
 };
 pub use router::{PolicyRouter, ScorePath};
 pub use server::{serve, ServeHandle};
-pub use shard::{shard_of, ScatterOutcome, ShardSet};
+pub use shard::{shard_of, ScatterOutcome, ShardSet, TopKOutcome};
 pub use telemetry::{Endpoint, Telemetry};

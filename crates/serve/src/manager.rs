@@ -11,12 +11,34 @@
 
 use std::path::Path;
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
+use atnn_ann::{IvfFlatIndex, IvfParams, Retriever};
 use atnn_core::{ArtifactError, Atnn, ModelArtifact, PopularityIndex};
 use atnn_data::tmall::TmallDataset;
-use atnn_tensor::SwapCell;
+use atnn_obs::Gauge;
+use atnn_tensor::{Matrix, SwapCell};
+
+/// Wall-clock seconds the most recent snapshot build spent precomputing
+/// embedding caches and the ANN index (set by [`ModelSnapshot::new`] and
+/// [`ModelSnapshot::from_artifact`]).
+static SNAPSHOT_BUILD_SECONDS: Gauge = Gauge::new();
+
+/// The gauge tracking the last snapshot build's wall-clock cost.
+pub fn snapshot_build_gauge() -> &'static Gauge {
+    &SNAPSHOT_BUILD_SECONDS
+}
 
 /// One immutable, consistently-versioned serving state.
+///
+/// Construction precomputes both item-tower embedding matrices once per
+/// publish — the item side depends only on the item, so scoring becomes a
+/// cached-row dot instead of a per-request forward pass — and builds the
+/// IVF-flat retrieval index over the cold (new-arrival) embeddings. The
+/// cached paths are bit-identical to re-running the towers per request:
+/// the GEMM kernel uses a single accumulator per output element with
+/// strictly ascending `k`, so forward passes are row-wise invariant and
+/// batch-size invariant (pinned by `score_paths_match_direct_model_calls`).
 #[derive(Debug)]
 pub struct ModelSnapshot {
     /// Publisher's version tag.
@@ -27,21 +49,73 @@ pub struct ModelSnapshot {
     pub model: Atnn,
     /// The frozen mean-user-vector index.
     pub index: PopularityIndex,
+    /// Cached generator (cold-path) item vectors, row id == item id.
+    cold_vecs: Arc<Matrix>,
+    /// Cached full-encoder (warm-path) item vectors. Item statistics are
+    /// frozen per snapshot (`RecordInteractions` feeds the policy router,
+    /// not the feature store), so these cannot go stale.
+    warm_vecs: Arc<Matrix>,
+    /// IVF-flat index over `cold_vecs` — catalogue-wide TopK retrieval
+    /// shares the new-arrival ranking semantics of the O(1) index.
+    ann: IvfFlatIndex,
+    /// Wall-clock cost of cache + index construction, in seconds.
+    build_seconds: f64,
 }
 
 /// Batch width for server-side forward passes.
 const BATCH: usize = 512;
 
 impl ModelSnapshot {
-    /// Rebuilds a snapshot from a decoded artifact.
+    /// Builds a snapshot: precomputes both embedding caches and the ANN
+    /// index, then records the build cost in [`snapshot_build_gauge`].
+    pub fn new(version: u64, data: TmallDataset, model: Atnn, index: PopularityIndex) -> Self {
+        Self::assemble(version, data, model, index, None)
+    }
+
+    /// Rebuilds a snapshot from a decoded artifact, adopting its persisted
+    /// ANN index when present and valid (otherwise building at load).
     pub fn from_artifact(artifact: &ModelArtifact) -> Result<Self, ArtifactError> {
         let live = artifact.instantiate()?;
-        Ok(ModelSnapshot {
-            version: live.version,
-            data: live.data,
-            model: live.model,
-            index: live.index,
-        })
+        Ok(Self::assemble(live.version, live.data, live.model, live.index, artifact.ann()))
+    }
+
+    fn assemble(
+        version: u64,
+        data: TmallDataset,
+        model: Atnn,
+        index: PopularityIndex,
+        ann_blob: Option<&[u8]>,
+    ) -> Self {
+        let started = Instant::now();
+        let n = data.num_items();
+        let dim = model.config().vec_dim;
+        let mut cold = Matrix::zeros(n, dim);
+        let mut warm = Matrix::zeros(n, dim);
+        let ids: Vec<u32> = (0..n as u32).collect();
+        for (c, chunk) in ids.chunks(BATCH).enumerate() {
+            let profile = data.encode_item_profiles(chunk);
+            let stats = data.encode_item_stats(chunk);
+            let cold_chunk = model.item_vectors_generated(&profile);
+            let warm_chunk = model.item_vectors_full(&profile, &stats);
+            for i in 0..chunk.len() {
+                cold.row_mut(c * BATCH + i).copy_from_slice(cold_chunk.row(i));
+                warm.row_mut(c * BATCH + i).copy_from_slice(warm_chunk.row(i));
+            }
+        }
+        let cold_vecs = Arc::new(cold);
+        let warm_vecs = Arc::new(warm);
+        // A persisted index is adopted only if it decodes cleanly against
+        // the freshly computed embeddings; anything else falls back to a
+        // build-at-load. The build is deterministic, so both routes yield
+        // bit-identical retrieval.
+        let ann = ann_blob
+            .and_then(|blob| IvfFlatIndex::decode(blob, Arc::clone(&cold_vecs)).ok())
+            .unwrap_or_else(|| {
+                IvfFlatIndex::build(Arc::clone(&cold_vecs), IvfParams::for_items(n))
+            });
+        let build_seconds = started.elapsed().as_secs_f64();
+        SNAPSHOT_BUILD_SECONDS.set(build_seconds);
+        ModelSnapshot { version, data, model, index, cold_vecs, warm_vecs, ann, build_seconds }
     }
 
     /// Highest item id this snapshot can score.
@@ -49,29 +123,52 @@ impl ModelSnapshot {
         self.data.num_items()
     }
 
-    /// Cold path: generator vectors from profiles, then the O(1) dot
-    /// against the stored mean user vector.
+    /// Cold path: the cached generator vector's O(1) dot against the
+    /// stored mean user vector.
     pub fn score_cold(&self, items: &[u32]) -> Vec<f32> {
-        let mut scores = Vec::with_capacity(items.len());
-        for chunk in items.chunks(BATCH) {
-            let profile = self.data.encode_item_profiles(chunk);
-            let vecs = self.model.item_vectors_generated(&profile);
-            scores.extend((0..vecs.rows()).map(|i| self.index.score_vector(vecs.row(i))));
-        }
-        scores
+        items.iter().map(|&i| self.index.score_vector(self.cold_vecs.row(i as usize))).collect()
     }
 
-    /// Warm path: full encoder vectors from profile + accrued statistics,
-    /// then the same dot against the mean user vector.
+    /// Warm path: the cached full-encoder vector's dot against the same
+    /// mean user vector.
     pub fn score_warm(&self, items: &[u32]) -> Vec<f32> {
-        let mut scores = Vec::with_capacity(items.len());
-        for chunk in items.chunks(BATCH) {
-            let profile = self.data.encode_item_profiles(chunk);
-            let stats = self.data.encode_item_stats(chunk);
-            let vecs = self.model.item_vectors_full(&profile, &stats);
-            scores.extend((0..vecs.rows()).map(|i| self.index.score_vector(vecs.row(i))));
-        }
-        scores
+        items.iter().map(|&i| self.index.score_vector(self.warm_vecs.row(i as usize))).collect()
+    }
+
+    /// Catalogue-wide top-`k` retrieval in **raw dot space** (best first,
+    /// ties by ascending id), restricted to ids `keep` accepts. Callers
+    /// convert winners to probabilities with
+    /// [`PopularityIndex::score_from_dot`] — the sigmoid is monotone, so
+    /// converting after selection preserves the exact dot-space order
+    /// (converting before could collapse distinct dots to equal `f32`
+    /// probabilities and flip id tie-breaks).
+    pub fn topk_dots(
+        &self,
+        k: usize,
+        nprobe: usize,
+        keep: &dyn Fn(u32) -> bool,
+    ) -> Vec<(u32, f32)> {
+        self.ann.topk_filtered(self.index.mean_user_vec(), k, nprobe, keep)
+    }
+
+    /// The retrieval index built over the cold embeddings.
+    pub fn ann(&self) -> &IvfFlatIndex {
+        &self.ann
+    }
+
+    /// The cached cold-path (generator) embedding pool.
+    pub fn cold_vecs(&self) -> &Arc<Matrix> {
+        &self.cold_vecs
+    }
+
+    /// Serialized form of the ANN index, for persisting into an artifact.
+    pub fn encoded_ann(&self) -> Vec<u8> {
+        self.ann.encode()
+    }
+
+    /// Wall-clock seconds this snapshot spent in cache + index builds.
+    pub fn build_seconds(&self) -> f64 {
+        self.build_seconds
     }
 }
 
@@ -265,7 +362,7 @@ mod tests {
             CtrTrainer::new(opts).train(&mut model, &data, None).expect("training runs");
         }
         let index = PopularityIndex::build(&model, &data, &(0..40).collect::<Vec<_>>());
-        (ModelSnapshot { version, data, model, index }, cfg)
+        (ModelSnapshot::new(version, data, model, index), cfg)
     }
 
     #[test]
@@ -283,6 +380,21 @@ mod tests {
         let expected: Vec<f32> =
             (0..vecs.rows()).map(|i| snap.index.score_vector(vecs.row(i))).collect();
         assert_eq!(warm, expected);
+    }
+
+    #[test]
+    fn topk_dots_matches_the_brute_force_oracle() {
+        let (snap, _) = tiny_snapshot(1, 1);
+        let oracle = atnn_ann::BruteForce::new(Arc::clone(snap.cold_vecs()));
+        let full = snap.ann().nlist();
+        let got = snap.topk_dots(10, full, &|_| true);
+        assert_eq!(got, oracle.topk(snap.index.mean_user_vec(), 10, 0));
+        // Sigmoid-at-the-front: converting a winner's dot must reproduce
+        // the scoring path's probability bit for bit.
+        for &(id, d) in &got {
+            assert_eq!(snap.index.score_from_dot(d), snap.score_cold(&[id])[0]);
+        }
+        assert!(snapshot_build_gauge().get() > 0.0, "build cost gauge is set");
     }
 
     #[test]
@@ -312,7 +424,7 @@ mod tests {
         let data = TmallDataset::generate(shrunk_cfg);
         let model = Atnn::new(AtnnConfig::scaled(), &data);
         let index = PopularityIndex::build(&model, &data, &(0..40).collect::<Vec<_>>());
-        let shrunk = ModelSnapshot { version: 2, data, model, index };
+        let shrunk = ModelSnapshot::new(2, data, model, index);
 
         let err = manager.publish(shrunk).unwrap_err();
         assert_eq!(err, ItemSpaceMismatch { serving: 120, offered: 80 });

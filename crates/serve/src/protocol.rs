@@ -84,6 +84,13 @@ pub enum Request {
         /// How many winners to return.
         k: u32,
     },
+    /// Rank the **whole catalogue** and return the top `k`, served by the
+    /// ANN retrieval index (probe width set by the server's `nprobe`
+    /// configuration). Answers with [`Response::TopK`].
+    TopKAll {
+        /// How many winners to return.
+        k: u32,
+    },
 }
 
 /// Per-endpoint telemetry in a [`Response::Stats`].
@@ -195,6 +202,7 @@ const OP_SCORE_WARM: u8 = 4;
 const OP_SCORE: u8 = 5;
 const OP_RECORD: u8 = 6;
 const OP_TOPK: u8 = 7;
+const OP_TOPK_ALL: u8 = 8;
 
 const RESP_HEALTH: u8 = 101;
 const RESP_STATS: u8 = 102;
@@ -277,6 +285,10 @@ impl Request {
                 put_items(items, &mut buf);
                 buf.put_u32_le(*k);
             }
+            Request::TopKAll { k } => {
+                buf.put_u8(OP_TOPK_ALL);
+                buf.put_u32_le(*k);
+            }
         }
         buf.freeze()
     }
@@ -299,6 +311,7 @@ impl Request {
                 let k = get_u32(&mut buf)?;
                 Request::TopK { items, k }
             }
+            OP_TOPK_ALL => Request::TopKAll { k: get_u32(&mut buf)? },
             _ => return Err(ProtocolError::Malformed("unknown request opcode")),
         };
         if buf.remaining() != 0 {
@@ -317,6 +330,7 @@ impl Request {
             Request::Score { .. } => "score",
             Request::RecordInteractions { .. } => "record_interactions",
             Request::TopK { .. } => "topk",
+            Request::TopKAll { .. } => "topk_all",
         }
     }
 }
@@ -655,6 +669,8 @@ mod tests {
         roundtrip_request(Request::Score { items: vec![9, 9, 9] });
         roundtrip_request(Request::RecordInteractions { items: vec![0, u32::MAX] });
         roundtrip_request(Request::TopK { items: vec![5, 4, 3], k: 2 });
+        roundtrip_request(Request::TopKAll { k: 12 });
+        roundtrip_request(Request::TopKAll { k: 0 });
     }
 
     #[test]

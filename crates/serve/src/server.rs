@@ -36,7 +36,9 @@ use crate::manager::ModelManager;
 use crate::nio::{Epoll, EpollEvent, WakeFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT};
 use crate::protocol::{write_frame, FrameRead, FrameReader, Request, Response};
 use crate::router::{PolicyRouter, ScorePath, SlottedItems};
-use crate::shard::{ScatterOutcome, ShardSet};
+use atnn_ann::topk_select;
+
+use crate::shard::{ScatterOutcome, ShardSet, TopKOutcome};
 use crate::telemetry::{Endpoint, Telemetry};
 
 /// First backoff after a failed `accept`; doubles per consecutive failure.
@@ -572,6 +574,7 @@ fn endpoint_of(request: &Request) -> Endpoint {
         Request::Score { .. } => Endpoint::Score,
         Request::RecordInteractions { .. } => Endpoint::RecordInteractions,
         Request::TopK { .. } => Endpoint::TopK,
+        Request::TopKAll { .. } => Endpoint::TopKAll,
     }
 }
 
@@ -675,9 +678,47 @@ fn dispatch(
             let n = items.len();
             scatter_async(shared, loop_shared, token, seq, started, endpoint, move |outcome| {
                 scores_response(outcome, move |scores| {
-                    Response::TopK(topk_select(items.into_iter().zip(scores).collect(), k as usize))
+                    Response::TopK(topk_select(items.into_iter().zip(scores), k as usize))
                 })
             })(vec![(ScorePath::Cold, cold), (ScorePath::Warm, warm)], n);
+            None
+        }
+        Request::TopKAll { k } => {
+            if k as usize > shared.cfg.max_request_items {
+                return inline(Response::Error(format!(
+                    "top-k of {k} exceeds the {} item limit",
+                    shared.cfg.max_request_items
+                )));
+            }
+            let telemetry = Arc::clone(&shared.telemetry);
+            let manager = Arc::clone(&shared.manager);
+            let ls = Arc::clone(loop_shared);
+            shared.shards.scatter_topk(k as usize, move |outcome| {
+                let response = match outcome {
+                    TopKOutcome::Winners(winners) => {
+                        // Dots become probabilities only after the merge
+                        // (sigmoid can collapse distinct dots into equal
+                        // f32s, which would corrupt cross-shard
+                        // tie-breaks); only the k winners pay for it.
+                        let snapshot = manager.load();
+                        Response::TopK(
+                            winners
+                                .into_iter()
+                                .map(|(id, dot)| (id, snapshot.index.score_from_dot(dot)))
+                                .collect(),
+                        )
+                    }
+                    TopKOutcome::Overloaded => Response::Overloaded,
+                    TopKOutcome::Error(msg) => Response::Error(msg),
+                };
+                telemetry.record_request(endpoint, started.elapsed());
+                match &response {
+                    Response::Overloaded => telemetry.record_shed(endpoint),
+                    Response::Error(_) => telemetry.record_error(endpoint),
+                    _ => {}
+                }
+                ls.push_completion(token, seq, response);
+            });
             None
         }
     }
@@ -723,60 +764,10 @@ where
     }
 }
 
-/// Selects the k best `(item, score)` pairs — best score first, ties by
-/// item id — via a k-bounded worst-on-top heap, then sorts the kept k.
-/// Bit-identical to sorting everything by the same comparator and
-/// truncating, but O(n log k): the front merges per-shard results without
-/// materializing a full sort of the candidate set.
-fn topk_select(ranked: Vec<(u32, f32)>, k: usize) -> Vec<(u32, f32)> {
-    /// Orders by "worse": lower score first, higher id first — the heap
-    /// max is the worst kept entry, popped on overflow.
-    struct Worst(u32, f32);
-    impl PartialEq for Worst {
-        fn eq(&self, other: &Self) -> bool {
-            self.cmp(other) == std::cmp::Ordering::Equal
-        }
-    }
-    impl Eq for Worst {}
-    impl PartialOrd for Worst {
-        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-            Some(self.cmp(other))
-        }
-    }
-    impl Ord for Worst {
-        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-            // Under `best_first`, Greater already means "worse", which is
-            // exactly what the max-heap should surface.
-            best_first(&(self.0, self.1), &(other.0, other.1))
-        }
-    }
-
-    if k == 0 {
-        return Vec::new();
-    }
-    // Capacity bounded by the candidate count too: `k` is client-supplied
-    // and must not size an allocation on its own.
-    let mut heap = std::collections::BinaryHeap::with_capacity((k + 1).min(ranked.len() + 1));
-    for (item, score) in ranked {
-        heap.push(Worst(item, score));
-        if heap.len() > k {
-            heap.pop();
-        }
-    }
-    let mut kept: Vec<(u32, f32)> = heap.into_iter().map(|w| (w.0, w.1)).collect();
-    kept.sort_by(best_first);
-    kept
-}
-
-/// The TopK response order: best score first, ties broken by item id for
-/// a deterministic order.
-fn best_first(a: &(u32, f32), b: &(u32, f32)) -> std::cmp::Ordering {
-    b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use atnn_ann::best_first;
 
     #[test]
     fn tokens_roundtrip_generation_and_index() {

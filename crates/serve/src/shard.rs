@@ -25,9 +25,10 @@
 
 use std::sync::{Arc, Mutex};
 
+use atnn_ann::topk_select;
 use atnn_tensor::SwapCell;
 
-use crate::batcher::{Batcher, ReplyFn};
+use crate::batcher::{Batcher, ProbeReplyFn, ReplyFn};
 use crate::config::ServeConfig;
 use crate::manager::{ModelManager, ModelSnapshot};
 use crate::router::{ScorePath, SlottedItems};
@@ -42,6 +43,21 @@ pub enum ScatterOutcome {
     Overloaded,
     /// No bucket was shed, but at least one failed; the first failure's
     /// description (by shard submission order).
+    Error(String),
+}
+
+/// The merged result of one catalogue-wide TopK retrieval.
+#[derive(Debug, PartialEq)]
+pub enum TopKOutcome {
+    /// The global top-k in **raw dot space**, best first, ties by
+    /// ascending item id. The front converts dots to probabilities after
+    /// the merge — merging in dot space is what keeps cross-shard
+    /// tie-breaks exact (sigmoid can collapse distinct dots into equal
+    /// `f32` probabilities).
+    Winners(Vec<(u32, f32)>),
+    /// At least one shard probe was shed at its queue bound.
+    Overloaded,
+    /// No shard was shed, but at least one probe failed.
     Error(String),
 }
 
@@ -111,6 +127,69 @@ impl Gather {
             }
         };
         let done = self.done.lock().expect("gather done lock poisoned").take();
+        if let Some(done) = done {
+            done(finished);
+        }
+    }
+}
+
+/// What one shard's probe reported back into the top-k gather.
+enum ProbeResult {
+    Winners(Vec<(u32, f32)>),
+    Error(String),
+    Shed,
+}
+
+/// Completion callback for one catalogue-wide TopK retrieval.
+type TopKDoneFn = Box<dyn FnOnce(TopKOutcome) + Send>;
+
+struct TopKGatherState {
+    /// Shard probes still outstanding.
+    remaining: usize,
+    /// Concatenated per-shard winner lists (each already ≤ k, dot space).
+    winners: Vec<(u32, f32)>,
+    shed: bool,
+    error: Option<String>,
+}
+
+/// Shared completion state for one catalogue-wide TopK retrieval.
+struct TopKGather {
+    k: usize,
+    state: Mutex<TopKGatherState>,
+    done: Mutex<Option<TopKDoneFn>>,
+}
+
+impl TopKGather {
+    /// Applies one shard's probe result; the last completion merges the
+    /// per-shard lists with the same k-bounded selection the probes used
+    /// (shards partition the catalogue, so the concatenation has distinct
+    /// ids and the merge order cannot matter) and fires `done` outside
+    /// the state lock.
+    fn complete(self: &Arc<Self>, result: ProbeResult) {
+        let finished = {
+            let mut state = self.state.lock().expect("topk gather lock poisoned");
+            match result {
+                ProbeResult::Winners(winners) => state.winners.extend(winners),
+                ProbeResult::Error(msg) => {
+                    if state.error.is_none() {
+                        state.error = Some(msg);
+                    }
+                }
+                ProbeResult::Shed => state.shed = true,
+            }
+            state.remaining -= 1;
+            if state.remaining > 0 {
+                return;
+            }
+            if state.shed {
+                TopKOutcome::Overloaded
+            } else if let Some(msg) = state.error.take() {
+                TopKOutcome::Error(msg)
+            } else {
+                TopKOutcome::Winners(topk_select(std::mem::take(&mut state.winners), self.k))
+            }
+        };
+        let done = self.done.lock().expect("topk gather done lock poisoned").take();
         if let Some(done) = done {
             done(finished);
         }
@@ -235,6 +314,42 @@ impl ShardSet {
         }
     }
 
+    /// Scatters one catalogue-wide TopK retrieval to every shard and
+    /// fires `done` once with the merged outcome. Each shard probes its
+    /// own partition of the catalogue through its snapshot's ANN index
+    /// (probe width comes from the batcher's `ServeConfig::nprobe`), so
+    /// the union of the per-shard candidate sets is exactly the global
+    /// candidate set and the dot-space merge reproduces the single-index
+    /// answer bit for bit.
+    pub fn scatter_topk(&self, k: usize, done: impl FnOnce(TopKOutcome) + Send + 'static) {
+        let gather = Arc::new(TopKGather {
+            k,
+            state: Mutex::new(TopKGatherState {
+                remaining: self.batchers.len(),
+                winners: Vec::new(),
+                shed: false,
+                error: None,
+            }),
+            done: Mutex::new(Some(Box::new(done))),
+        });
+        for batcher in &self.batchers {
+            let g = Arc::clone(&gather);
+            let reply: ProbeReplyFn = Box::new(move |r| {
+                let result = match r {
+                    Ok(winners) => ProbeResult::Winners(winners),
+                    Err(msg) => ProbeResult::Error(msg),
+                };
+                g.complete(result);
+            });
+            if let Err((_, dropped)) = batcher.submit_probe_with(k, reply) {
+                // The closure came back uninvoked; completing the probe
+                // as shed here is the single completion for it.
+                drop(dropped);
+                gather.complete(ProbeResult::Shed);
+            }
+        }
+    }
+
     /// Stops every shard worker after it drains its queue.
     pub fn shutdown(&self) {
         for batcher in &self.batchers {
@@ -262,7 +377,7 @@ mod tests {
         let opts = TrainOptions::builder().epochs(1).build().expect("valid options");
         CtrTrainer::new(opts).train(&mut model, &data, None).expect("training runs");
         let index = PopularityIndex::build(&model, &data, &(0..30).collect::<Vec<_>>());
-        Arc::new(ModelManager::new(ModelSnapshot { version: 1, data, model, index }))
+        Arc::new(ModelManager::new(ModelSnapshot::new(1, data, model, index)))
     }
 
     fn gather_outcome(
@@ -364,6 +479,47 @@ mod tests {
         let report = telemetry.report(1);
         let shed: u64 = report.shards.iter().map(|s| s.shed).sum();
         assert!(shed >= 1, "per-shard shed counters must account the sheds");
+    }
+
+    #[test]
+    fn scattered_topk_matches_the_single_snapshot_reference() {
+        let manager = tiny_manager();
+        let telemetry = Arc::new(Telemetry::with_shards(3));
+        let cfg = ServeConfig { shards: 3, ..ServeConfig::default() };
+        let set = ShardSet::start(&cfg, &manager, &telemetry);
+        let snapshot = manager.load();
+
+        // Per-shard probing + dot-space merge must reproduce the
+        // unfiltered global top-k: every item lives in exactly one shard,
+        // so the union of the shard candidate sets is the global one.
+        let k = 17;
+        let expected = snapshot.topk_dots(k, cfg.nprobe, &|_| true);
+        let (tx, rx) = mpsc::sync_channel(1);
+        set.scatter_topk(k, move |o| {
+            let _ = tx.send(o);
+        });
+        match rx.recv_timeout(Duration::from_secs(30)).expect("topk scatter completes") {
+            TopKOutcome::Winners(winners) => {
+                assert_eq!(winners, expected, "bit-identical to the single-index answer")
+            }
+            other => panic!("expected winners, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shed_probe_overloads_the_whole_topk_gather() {
+        let manager = tiny_manager();
+        let telemetry = Arc::new(Telemetry::with_shards(2));
+        let cfg = ServeConfig { shards: 2, queue_capacity: 0, ..ServeConfig::default() };
+        let set = ShardSet::start(&cfg, &manager, &telemetry);
+        let (tx, rx) = mpsc::sync_channel(1);
+        set.scatter_topk(5, move |o| {
+            let _ = tx.send(o);
+        });
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(30)).expect("topk scatter completes"),
+            TopKOutcome::Overloaded
+        );
     }
 
     #[test]

@@ -35,15 +35,17 @@ pub enum Endpoint {
     Score,
     /// Interaction-counter updates.
     RecordInteractions,
-    /// Routed top-k ranking.
+    /// Routed top-k ranking over explicit candidates.
     TopK,
+    /// Catalogue-wide top-k retrieval through the ANN index.
+    TopKAll,
     /// Frames that failed `Request::decode` — kept separate so malformed
     /// traffic doesn't pollute any real endpoint's counters.
     Malformed,
 }
 
 /// All endpoints, in display order.
-pub const ENDPOINTS: [Endpoint; 8] = [
+pub const ENDPOINTS: [Endpoint; 9] = [
     Endpoint::Health,
     Endpoint::Stats,
     Endpoint::ScoreNewArrival,
@@ -51,6 +53,7 @@ pub const ENDPOINTS: [Endpoint; 8] = [
     Endpoint::Score,
     Endpoint::RecordInteractions,
     Endpoint::TopK,
+    Endpoint::TopKAll,
     Endpoint::Malformed,
 ];
 
@@ -65,6 +68,7 @@ impl Endpoint {
             Endpoint::Score => "score",
             Endpoint::RecordInteractions => "record_interactions",
             Endpoint::TopK => "topk",
+            Endpoint::TopKAll => "topk_all",
             Endpoint::Malformed => "malformed",
         }
     }
@@ -78,7 +82,8 @@ impl Endpoint {
             Endpoint::Score => 4,
             Endpoint::RecordInteractions => 5,
             Endpoint::TopK => 6,
-            Endpoint::Malformed => 7,
+            Endpoint::TopKAll => 7,
+            Endpoint::Malformed => 8,
         }
     }
 }

@@ -33,7 +33,7 @@ fn snapshot(version: u64, epochs: usize) -> ModelSnapshot {
         CtrTrainer::new(opts).train(&mut model, &data, None).expect("training runs");
     }
     let index = PopularityIndex::build(&model, &data, &(0..40).collect::<Vec<_>>());
-    ModelSnapshot { version, data, model, index }
+    ModelSnapshot::new(version, data, model, index)
 }
 
 fn start_server(cfg: ServeConfig, snap: ModelSnapshot) -> (ServeHandle, Arc<ModelManager>) {
@@ -475,6 +475,109 @@ fn per_shard_canary_swap_routes_by_item_hash() {
         other => panic!("unexpected {other:?}"),
     }
     handle.shutdown();
+}
+
+#[test]
+fn sharded_topk_all_at_full_probe_matches_the_exact_oracle() {
+    // `nprobe` far above `nlist` clamps to a full probe, which is an
+    // exact exactly-once scan — so the sharded, ANN-served answer must be
+    // bit-identical to the single-snapshot oracle, sigmoid applied to the
+    // merged dot-space winners only.
+    let cfg =
+        ServeConfig { shards: 3, event_threads: 2, nprobe: usize::MAX, ..ServeConfig::default() };
+    let (mut handle, manager) = start_server(cfg, snapshot(1, 1));
+    let snap = manager.load();
+    let mut client = ServeClient::connect(handle.local_addr()).unwrap();
+
+    for k in [1usize, 7, 40, 150, 200] {
+        let expected: Vec<(u32, f32)> = snap
+            .topk_dots(k, usize::MAX, &|_| true)
+            .into_iter()
+            .map(|(id, dot)| (id, snap.index.score_from_dot(dot)))
+            .collect();
+        assert_eq!(expected.len(), k.min(150), "oracle covers the catalogue");
+        match client.topk_all(k as u32).unwrap() {
+            Response::TopK(winners) => assert_eq!(winners, expected, "k={k}"),
+            other => panic!("k={k}: unexpected {other:?}"),
+        }
+    }
+
+    // Winner scores are the real cold scores of those items.
+    match client.topk_all(5).unwrap() {
+        Response::TopK(winners) => {
+            for &(id, score) in &winners {
+                assert_eq!(score, snap.score_cold(&[id])[0], "item {id}");
+            }
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // Oversized k is rejected before touching the shards.
+    match client.topk_all(ServeConfig::default().max_request_items as u32 + 1).unwrap() {
+        Response::Error(msg) => assert!(msg.contains("limit"), "{msg}"),
+        other => panic!("unexpected {other:?}"),
+    }
+    let stats = client.stats().unwrap();
+    let ep = stats.endpoint("topk_all").unwrap();
+    assert_eq!(ep.requests, 7, "6 retrievals + 1 rejected");
+    assert_eq!(ep.errors, 1);
+    handle.shutdown();
+}
+
+#[test]
+fn artifact_ann_section_round_trips_bit_identical_topk_responses() {
+    // Three servers over the same trained model: the live snapshot, an
+    // artifact carrying the persisted ANN index, and a legacy-style
+    // artifact without one (build-at-load fallback). The index build is
+    // fully deterministic, so all three must answer TopKAll with the same
+    // bits.
+    let snap = snapshot(1, 1);
+    let with_index = ModelArtifact::capture(&snap.model, &tiny_data_config(), &snap.index, 1)
+        .with_ann(snap.encoded_ann().into());
+    assert!(with_index.ann().is_some());
+    let without_index = ModelArtifact::capture(&snap.model, &tiny_data_config(), &snap.index, 1);
+
+    let tmp = std::env::temp_dir();
+    let pid = std::process::id();
+    let path_with = tmp.join(format!("atnn_e2e_ann_{pid}.atnn"));
+    let path_without = tmp.join(format!("atnn_e2e_noann_{pid}.atnn"));
+    with_index.save_to(&path_with).unwrap();
+    without_index.save_to(&path_without).unwrap();
+
+    let reloaded = ModelArtifact::load_from(&path_with).unwrap();
+    assert_eq!(reloaded.ann(), with_index.ann(), "ann blob survives the file round trip");
+
+    let (mut h_live, _m) = start_server(ServeConfig::default(), snap);
+    let (mut h_with, _m) =
+        start_server(ServeConfig::default(), ModelSnapshot::from_artifact(&reloaded).unwrap());
+    let (mut h_without, _m) = start_server(
+        ServeConfig::default(),
+        ModelSnapshot::from_artifact(&ModelArtifact::load_from(&path_without).unwrap()).unwrap(),
+    );
+    std::fs::remove_file(&path_with).unwrap();
+    std::fs::remove_file(&path_without).unwrap();
+
+    let mut live = ServeClient::connect(h_live.local_addr()).unwrap();
+    let mut with = ServeClient::connect(h_with.local_addr()).unwrap();
+    let mut without = ServeClient::connect(h_without.local_addr()).unwrap();
+    for k in [1u32, 10, 64] {
+        let reference = match live.topk_all(k).unwrap() {
+            Response::TopK(w) => w,
+            other => panic!("k={k}: unexpected {other:?}"),
+        };
+        assert_eq!(reference.len(), k as usize);
+        match with.topk_all(k).unwrap() {
+            Response::TopK(w) => assert_eq!(w, reference, "persisted index, k={k}"),
+            other => panic!("k={k}: unexpected {other:?}"),
+        }
+        match without.topk_all(k).unwrap() {
+            Response::TopK(w) => assert_eq!(w, reference, "build-at-load fallback, k={k}"),
+            other => panic!("k={k}: unexpected {other:?}"),
+        }
+    }
+    h_live.shutdown();
+    h_with.shutdown();
+    h_without.shutdown();
 }
 
 /// Caps every read at one byte: the pathological slow client.

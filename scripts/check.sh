@@ -25,11 +25,14 @@ cargo test --release -q -p atnn-core --test alloc_budget
 echo "==> gemm smoke (tiled kernel must beat naive at 256^3, bit-identically)"
 cargo run --release -p atnn-bench --bin gemm_bench -- --smoke
 
+echo "==> ann smoke (recall@10 >= 0.95 at default nprobe, full probe bit-identical)"
+cargo run --release -p atnn-bench --bin ann_bench -- --smoke
+
 echo "==> obs smoke (train one epoch with a JsonlSink, replay the event stream)"
 cargo run --release --example obs_smoke
 
-echo "==> cargo doc -p atnn-obs (warnings are errors)"
-RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q -p atnn-obs
+echo "==> cargo doc -p atnn-obs -p atnn-ann (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q -p atnn-obs -p atnn-ann
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
