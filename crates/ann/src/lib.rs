@@ -31,7 +31,93 @@ use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
 
-use atnn_tensor::{dot, Matrix};
+use atnn_tensor::{dot, Matrix, PreparedQuery, QuantizedMatrix};
+
+/// The embedding pool a retriever scans: dense f32 rows, or int8 row
+/// codes scored through the quantized dot kernel.
+///
+/// The f32 variant keeps every existing guarantee (probed candidates are
+/// re-ranked with the *exact* dot, so approximation error is only missed
+/// candidates). The int8 variant trades that for ~3.7× less resident
+/// memory: every candidate dot is computed by
+/// [`QuantizedMatrix::dot_prepared`], so scores are toleranced against
+/// the f32 path — but the ranking itself stays deterministic, and a
+/// full-probe scan over an int8 pool is still bit-identical to a
+/// [`BruteForce`] scan over the *same* int8 pool.
+#[derive(Debug, Clone)]
+pub enum ItemPool {
+    /// Dense f32 embeddings (row id == item id). Exact dots.
+    F32(Arc<Matrix>),
+    /// Int8-quantized embeddings with per-row scale/zero-point.
+    Int8(Arc<QuantizedMatrix>),
+}
+
+impl From<Arc<Matrix>> for ItemPool {
+    fn from(vecs: Arc<Matrix>) -> Self {
+        ItemPool::F32(vecs)
+    }
+}
+
+impl From<Arc<QuantizedMatrix>> for ItemPool {
+    fn from(vecs: Arc<QuantizedMatrix>) -> Self {
+        ItemPool::Int8(vecs)
+    }
+}
+
+impl ItemPool {
+    /// Number of item rows.
+    pub fn rows(&self) -> usize {
+        match self {
+            ItemPool::F32(m) => m.rows(),
+            ItemPool::Int8(q) => q.rows(),
+        }
+    }
+
+    /// Embedding dimensionality.
+    pub fn cols(&self) -> usize {
+        match self {
+            ItemPool::F32(m) => m.cols(),
+            ItemPool::Int8(q) => q.cols(),
+        }
+    }
+
+    /// Resident bytes of the pool's embedding payload.
+    pub fn storage_bytes(&self) -> usize {
+        match self {
+            ItemPool::F32(m) => m.len() * 4,
+            ItemPool::Int8(q) => q.storage_bytes(),
+        }
+    }
+
+    /// True for the int8 variant.
+    pub fn is_quantized(&self) -> bool {
+        matches!(self, ItemPool::Int8(_))
+    }
+
+    /// A per-query scorer: prepares (quantizes) the query once so each
+    /// candidate costs one kernel call.
+    fn scorer<'a>(&'a self, query: &'a [f32]) -> PoolScorer<'a> {
+        match self {
+            ItemPool::F32(m) => PoolScorer::F32 { vecs: m, query },
+            ItemPool::Int8(q) => PoolScorer::Int8 { codes: q, prep: q.prepare(query) },
+        }
+    }
+}
+
+enum PoolScorer<'a> {
+    F32 { vecs: &'a Matrix, query: &'a [f32] },
+    Int8 { codes: &'a QuantizedMatrix, prep: PreparedQuery },
+}
+
+impl PoolScorer<'_> {
+    #[inline]
+    fn score(&self, id: u32) -> f32 {
+        match self {
+            PoolScorer::F32 { vecs, query } => dot(vecs.row(id as usize), query),
+            PoolScorer::Int8 { codes, prep } => codes.dot_prepared(id as usize, prep),
+        }
+    }
+}
 
 /// A retrieval backend over a fixed pool of item embeddings.
 ///
@@ -119,24 +205,31 @@ pub fn topk_select(ranked: impl IntoIterator<Item = (u32, f32)>, k: usize) -> Ve
 /// has been built.
 #[derive(Debug, Clone)]
 pub struct BruteForce {
-    vecs: Arc<Matrix>,
+    pool: ItemPool,
 }
 
 impl BruteForce {
-    /// Wraps a pool of row-major item embeddings (row id == item id).
-    pub fn new(vecs: Arc<Matrix>) -> Self {
-        assert!(vecs.cols() > 0, "BruteForce: zero-dimensional embeddings");
-        BruteForce { vecs }
+    /// Wraps a pool of item embeddings (row id == item id) — an
+    /// `Arc<Matrix>`, an `Arc<QuantizedMatrix>`, or an [`ItemPool`].
+    pub fn new(pool: impl Into<ItemPool>) -> Self {
+        let pool = pool.into();
+        assert!(pool.cols() > 0, "BruteForce: zero-dimensional embeddings");
+        BruteForce { pool }
+    }
+
+    /// The scanned pool.
+    pub fn pool(&self) -> &ItemPool {
+        &self.pool
     }
 }
 
 impl Retriever for BruteForce {
     fn num_items(&self) -> usize {
-        self.vecs.rows()
+        self.pool.rows()
     }
 
     fn dim(&self) -> usize {
-        self.vecs.cols()
+        self.pool.cols()
     }
 
     fn topk_filtered(
@@ -147,9 +240,9 @@ impl Retriever for BruteForce {
         keep: &dyn Fn(u32) -> bool,
     ) -> Vec<(u32, f32)> {
         assert_eq!(query.len(), self.dim(), "query width mismatch");
-        let candidates = (0..self.vecs.rows() as u32)
-            .filter(|&id| keep(id))
-            .map(|id| (id, dot(self.vecs.row(id as usize), query)));
+        let scorer = self.pool.scorer(query);
+        let candidates =
+            (0..self.pool.rows() as u32).filter(|&id| keep(id)).map(|id| (id, scorer.score(id)));
         topk_select(candidates, k)
     }
 }
@@ -194,7 +287,7 @@ pub struct IvfFlatIndex {
     /// Item ids per centroid, ascending within each list; every id in
     /// `0..n` appears in exactly one list.
     lists: Vec<Vec<u32>>,
-    vecs: Arc<Matrix>,
+    pool: ItemPool,
 }
 
 /// Rows per assignment chunk: bounds the `chunk × nlist` distance matrix
@@ -263,12 +356,46 @@ impl IvfFlatIndex {
             start += ASSIGN_CHUNK;
         }
 
-        IvfFlatIndex { params: IvfParams { nlist, ..params }, centroids, cnorms, lists, vecs }
+        IvfFlatIndex {
+            params: IvfParams { nlist, ..params },
+            centroids,
+            cnorms,
+            lists,
+            pool: ItemPool::F32(vecs),
+        }
     }
 
     /// The build parameters (with `nlist` as actually clamped).
     pub fn params(&self) -> &IvfParams {
         &self.params
+    }
+
+    /// The pool candidates are re-ranked against.
+    pub fn pool(&self) -> &ItemPool {
+        &self.pool
+    }
+
+    /// Replaces the re-rank pool (typically swapping the f32 training
+    /// pool for its int8-quantized serving twin after [`build`] — the
+    /// coarse quantizer always trains on f32). The index structure
+    /// (centroids, lists) is untouched, so probe order is identical;
+    /// only candidate scores change representation.
+    ///
+    /// # Errors
+    /// [`AnnError::Mismatch`] when `pool` has a different shape than the
+    /// one the index was built over.
+    ///
+    /// [`build`]: IvfFlatIndex::build
+    pub fn with_pool(mut self, pool: impl Into<ItemPool>) -> Result<Self, AnnError> {
+        let pool = pool.into();
+        if pool.rows() != self.pool.rows() {
+            return Err(AnnError::Mismatch("item count differs from the indexed pool"));
+        }
+        if pool.cols() != self.pool.cols() {
+            return Err(AnnError::Mismatch("dimension differs from the indexed pool"));
+        }
+        self.pool = pool;
+        Ok(self)
     }
 
     /// Number of inverted lists.
@@ -294,11 +421,11 @@ impl IvfFlatIndex {
 
 impl Retriever for IvfFlatIndex {
     fn num_items(&self) -> usize {
-        self.vecs.rows()
+        self.pool.rows()
     }
 
     fn dim(&self) -> usize {
-        self.vecs.cols()
+        self.pool.cols()
     }
 
     fn topk_filtered(
@@ -312,11 +439,12 @@ impl Retriever for IvfFlatIndex {
         let nprobe = if nprobe == 0 { self.params.default_nprobe } else { nprobe };
         let nprobe = nprobe.clamp(1, self.lists.len());
         let order = self.rank_centroids(query);
+        let scorer = self.pool.scorer(query);
         let candidates = order[..nprobe]
             .iter()
             .flat_map(|&c| self.lists[c as usize].iter().copied())
             .filter(|&id| keep(id))
-            .map(|id| (id, dot(self.vecs.row(id as usize), query)));
+            .map(|id| (id, scorer.score(id)));
         topk_select(candidates, k)
     }
 }
@@ -431,7 +559,7 @@ impl IvfFlatIndex {
     /// snapshot already carries it; [`IvfFlatIndex::decode`] re-attaches
     /// it and cross-checks the shape.
     pub fn encode(&self) -> Vec<u8> {
-        let (n, d) = self.vecs.shape();
+        let (n, d) = (self.pool.rows(), self.pool.cols());
         let mut payload = Vec::with_capacity(32 + self.centroids.len() * 4 + n * 4);
         payload.extend_from_slice(&(n as u64).to_le_bytes());
         payload.extend_from_slice(&(d as u32).to_le_bytes());
@@ -457,10 +585,12 @@ impl IvfFlatIndex {
     }
 
     /// Deserializes a blob produced by [`IvfFlatIndex::encode`] and
-    /// re-attaches the embedding pool. Rejects corruption (checksum,
-    /// truncation, trailing bytes), ids outside `0..n`, ids assigned to
-    /// more than one list, and any shape disagreement with `vecs`.
-    pub fn decode(bytes: &[u8], vecs: Arc<Matrix>) -> Result<Self, AnnError> {
+    /// re-attaches the embedding pool (f32 or quantized). Rejects
+    /// corruption (checksum, truncation, trailing bytes), ids outside
+    /// `0..n`, ids assigned to more than one list, and any shape
+    /// disagreement with the supplied pool.
+    pub fn decode(bytes: &[u8], pool: impl Into<ItemPool>) -> Result<Self, AnnError> {
+        let pool = pool.into();
         let mut r = Reader { bytes };
         if r.take(8, "missing magic")? != INDEX_MAGIC {
             return Err(AnnError::Corrupt("bad magic"));
@@ -476,10 +606,10 @@ impl IvfFlatIndex {
 
         let n = r.u64("missing item count")? as usize;
         let d = r.u32("missing dimension")? as usize;
-        if n != vecs.rows() {
+        if n != pool.rows() {
             return Err(AnnError::Mismatch("item count differs from the embedding pool"));
         }
-        if d != vecs.cols() || d == 0 {
+        if d != pool.cols() || d == 0 {
             return Err(AnnError::Mismatch("dimension differs from the embedding pool"));
         }
         let nlist = r.u32("missing nlist")? as usize;
@@ -528,7 +658,7 @@ impl IvfFlatIndex {
 
         let cnorms = centroid_norms(&centroids);
         let params = IvfParams { nlist, default_nprobe, sample_per_list, max_iters };
-        Ok(IvfFlatIndex { params, centroids, cnorms, lists, vecs })
+        Ok(IvfFlatIndex { params, centroids, cnorms, lists, pool })
     }
 }
 
@@ -666,6 +796,67 @@ mod tests {
         let a = IvfFlatIndex::build(Arc::clone(&pool), params);
         let b = IvfFlatIndex::build(Arc::clone(&pool), params);
         assert_eq!(a.encode(), b.encode());
+    }
+
+    #[test]
+    fn quantized_full_probe_matches_quantized_brute_force_bitwise() {
+        let pool = clustered_pool(600, 16, 10, 23);
+        let codes = Arc::new(QuantizedMatrix::from_matrix(&pool));
+        let ivf = IvfFlatIndex::build(Arc::clone(&pool), IvfParams::for_items(pool.rows()))
+            .with_pool(Arc::clone(&codes))
+            .unwrap();
+        let oracle = BruteForce::new(codes);
+        let q = query(16, 77);
+        assert_eq!(ivf.topk(&q, 25, ivf.nlist()), oracle.topk(&q, 25, 0));
+        let keep = |id: u32| id.is_multiple_of(2);
+        assert_eq!(
+            ivf.topk_filtered(&q, 25, ivf.nlist(), &keep),
+            oracle.topk_filtered(&q, 25, 0, &keep)
+        );
+    }
+
+    #[test]
+    fn quantized_recall_tracks_the_f32_oracle() {
+        // Same-probe comparison: quantized and f32 indexes share the same
+        // centroids, so at any nprobe they scan *identical* candidate
+        // sets and the only difference is int8 re-rank scores. That
+        // isolates quantization error from IVF probe misses (which are a
+        // property of the f32 index too, not of the codec).
+        let pool = clustered_pool(4000, 16, 40, 9);
+        let codes = Arc::new(QuantizedMatrix::from_matrix(&pool));
+        let ivf_f = IvfFlatIndex::build(Arc::clone(&pool), IvfParams::for_items(pool.rows()));
+        let ivf_q = ivf_f.clone().with_pool(codes).unwrap();
+        let mut hits = 0usize;
+        for seed in 0..20u64 {
+            let q = query(16, 1000 + seed);
+            let exact = ivf_f.topk(&q, 10, ivf_f.default_nprobe());
+            hits += overlap(&ivf_q.topk(&q, 10, ivf_q.default_nprobe()), &exact);
+        }
+        let recall = hits as f64 / 200.0;
+        assert!(recall >= 0.95, "quantized same-probe recall@10 {recall}");
+    }
+
+    #[test]
+    fn with_pool_rejects_shape_mismatch() {
+        let pool = clustered_pool(100, 8, 4, 5);
+        let ivf = IvfFlatIndex::build(Arc::clone(&pool), IvfParams::for_items(100));
+        let narrow = Arc::new(QuantizedMatrix::from_matrix(&clustered_pool(100, 4, 4, 5)));
+        assert!(matches!(ivf.clone().with_pool(narrow), Err(AnnError::Mismatch(_))));
+        let short = Arc::new(QuantizedMatrix::from_matrix(&clustered_pool(99, 8, 4, 5)));
+        assert!(matches!(ivf.with_pool(short), Err(AnnError::Mismatch(_))));
+    }
+
+    #[test]
+    fn decode_reattaches_a_quantized_pool() {
+        let pool = clustered_pool(300, 8, 6, 41);
+        let codes = Arc::new(QuantizedMatrix::from_matrix(&pool));
+        let ivf = IvfFlatIndex::build(Arc::clone(&pool), IvfParams::for_items(300));
+        let blob = ivf.encode();
+        let back = IvfFlatIndex::decode(&blob, Arc::clone(&codes)).unwrap();
+        assert!(back.pool().is_quantized());
+        let q = query(8, 3);
+        let direct = ivf.with_pool(codes).unwrap();
+        assert_eq!(back.topk(&q, 15, 2), direct.topk(&q, 15, 2));
     }
 
     #[test]

@@ -9,7 +9,8 @@
 //!
 //! ```text
 //! magic  b"ATNNART1"                      (8 bytes)
-//! format version  u32                     (currently 2; 1 still decodes)
+//! format version  u32                     (currently 3; 1 and 2 still
+//!                                          decode)
 //! payload checksum  u64                   (FNV-1a over everything below)
 //! model version  u64                      (publisher's monotonically
 //!                                          increasing tag; shown by the
@@ -31,12 +32,29 @@
 //! against the embeddings it computes at load and silently rebuilds when
 //! the blob is absent or stale, so legacy version-1 artifacts keep loading
 //! unchanged.
+//!
+//! Version 3 appends an *optional* quantized-tables section: the int8
+//! cold/warm serving tables ([`atnn_tensor::QuantizedMatrix`] `ATQ8`
+//! blobs) the publisher quantized at publish time, behind their own
+//! FNV-1a section checksum:
+//!
+//! ```text
+//! has_quant  u8                           (version ≥ 3 only)
+//! quant checksum  u64 + quant len  u64    (present iff has_quant == 1)
+//! cold ATQ8 blob | warm ATQ8 blob
+//! ```
+//!
+//! A replica that adopts the section serves bit-identically to the
+//! publisher's quantized snapshot; one that ignores it (or loads a
+//! version ≤ 2 artifact) falls back to the f32 weights, from which the
+//! same tables can be re-quantized deterministically.
 
 use std::fmt;
 use std::path::Path;
 
 use atnn_data::tmall::{TmallConfig, TmallDataset};
 use atnn_nn::{fnv1a64, NnError};
+use atnn_tensor::QuantizedMatrix;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::config::{AdversarialMode, AtnnConfig};
@@ -44,7 +62,7 @@ use crate::model::Atnn;
 use crate::popularity::PopularityIndex;
 
 const MAGIC: &[u8; 8] = b"ATNNART1";
-const VERSION: u32 = 2;
+const VERSION: u32 = 3;
 /// Oldest format version [`ModelArtifact::decode`] still accepts.
 const MIN_VERSION: u32 = 1;
 
@@ -96,6 +114,18 @@ impl From<NnError> for ArtifactError {
     }
 }
 
+/// The int8 serving tables a publisher quantized at publish time,
+/// persisted so every replica adopts the *same* codes instead of each
+/// re-quantizing (deterministic either way; adoption also skips the
+/// arithmetic).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantTables {
+    /// Quantized generator (cold-path) item vectors, row id == item id.
+    pub cold: QuantizedMatrix,
+    /// Quantized full-encoder (warm-path) item vectors.
+    pub warm: QuantizedMatrix,
+}
+
 /// Everything a serving replica needs, as one persistable value.
 #[derive(Debug, Clone)]
 pub struct ModelArtifact {
@@ -112,6 +142,8 @@ pub struct ModelArtifact {
     /// Optional serialized ANN retrieval index (opaque at this layer;
     /// format-version-2 artifacts only).
     pub ann: Option<Bytes>,
+    /// Optional int8 serving tables (format-version-3 artifacts only).
+    pub quant: Option<QuantTables>,
 }
 
 /// A [`ModelArtifact`] instantiated back into live objects.
@@ -142,6 +174,7 @@ impl ModelArtifact {
             weights: model.save(),
             index: index.clone(),
             ann: None,
+            quant: None,
         }
     }
 
@@ -155,6 +188,18 @@ impl ModelArtifact {
     /// The persisted ANN index section, if any.
     pub fn ann(&self) -> Option<&[u8]> {
         self.ann.as_deref()
+    }
+
+    /// Attaches publish-time int8 serving tables. A loading replica that
+    /// sees them serves quantized, bit-identical to the publisher.
+    pub fn with_quant(mut self, cold: QuantizedMatrix, warm: QuantizedMatrix) -> Self {
+        self.quant = Some(QuantTables { cold, warm });
+        self
+    }
+
+    /// The persisted quantized serving tables, if any.
+    pub fn quant(&self) -> Option<&QuantTables> {
+        self.quant.as_ref()
     }
 
     /// Serializes the artifact (header + checksummed payload).
@@ -175,6 +220,18 @@ impl ModelArtifact {
                 payload.put_u8(1);
                 payload.put_u64_le(ann.len() as u64);
                 payload.put_slice(ann);
+            }
+            None => payload.put_u8(0),
+        }
+        match &self.quant {
+            Some(q) => {
+                payload.put_u8(1);
+                let mut section = BytesMut::new();
+                q.cold.encode_into(&mut section);
+                q.warm.encode_into(&mut section);
+                payload.put_u64_le(fnv1a64(&section));
+                payload.put_u64_le(section.len() as u64);
+                payload.put_slice(&section);
             }
             None => payload.put_u8(0),
         }
@@ -245,6 +302,37 @@ impl ModelArtifact {
         } else {
             None
         };
+        let quant = if format_version >= 3 {
+            if buf.remaining() < 1 {
+                return Err(ArtifactError::Corrupt("quant section truncated"));
+            }
+            match buf.get_u8() {
+                0 => None,
+                1 => {
+                    let section_sum = read_u64(&mut buf)?;
+                    let len = read_u64(&mut buf)? as usize;
+                    if buf.remaining() < len {
+                        return Err(ArtifactError::Corrupt("quant section truncated"));
+                    }
+                    let mut section = buf.slice(0..len);
+                    buf.advance(len);
+                    if fnv1a64(&section) != section_sum {
+                        return Err(ArtifactError::Corrupt("quant section checksum mismatch"));
+                    }
+                    let cold = QuantizedMatrix::decode(&mut section)
+                        .map_err(|_| ArtifactError::Corrupt("bad quant cold table"))?;
+                    let warm = QuantizedMatrix::decode(&mut section)
+                        .map_err(|_| ArtifactError::Corrupt("bad quant warm table"))?;
+                    if section.remaining() != 0 {
+                        return Err(ArtifactError::Corrupt("quant section trailing bytes"));
+                    }
+                    Some(QuantTables { cold, warm })
+                }
+                _ => return Err(ArtifactError::Corrupt("bad quant flag")),
+            }
+        } else {
+            None
+        };
         if buf.remaining() != 0 {
             return Err(ArtifactError::Corrupt("trailing bytes"));
         }
@@ -255,6 +343,7 @@ impl ModelArtifact {
             weights,
             index: PopularityIndex::from_parts(mean, bias),
             ann,
+            quant,
         })
     }
 
@@ -504,17 +593,71 @@ mod tests {
         assert_eq!(back.index, artifact.index);
         assert_eq!(back.weights, artifact.weights);
 
-        // A legacy version-1 artifact is the same payload minus the ann
-        // section: drop the trailing has_ann flag, patch the format
-        // version down and recompute the checksum.
-        let v2 = artifact.encode();
-        let mut v1 = v2.as_ref().to_vec();
-        assert_eq!(v1.pop(), Some(0), "a v2 artifact without ann ends with has_ann = 0");
+        // A legacy version-1 artifact is the same payload minus the quant
+        // and ann sections: drop the trailing has_quant and has_ann
+        // flags, patch the format version down and recompute the
+        // checksum.
+        let v3 = artifact.encode();
+        let mut v1 = v3.as_ref().to_vec();
+        assert_eq!(v1.pop(), Some(0), "a v3 artifact without quant ends with has_quant = 0");
+        assert_eq!(v1.pop(), Some(0), "...preceded by has_ann = 0 when ann is absent");
         v1[8..12].copy_from_slice(&1u32.to_le_bytes());
         let checksum = fnv1a64(&v1[20..]);
         v1[12..20].copy_from_slice(&checksum.to_le_bytes());
         let legacy = ModelArtifact::decode(Bytes::from(v1)).unwrap();
         assert!(legacy.ann().is_none(), "v1 artifacts carry no ann section");
+        assert_eq!(legacy.index, artifact.index);
+        assert_eq!(legacy.weights, artifact.weights);
+        assert_eq!(legacy.model_version, artifact.model_version);
+    }
+
+    #[test]
+    fn quant_section_round_trips_and_legacy_v2_artifacts_still_decode() {
+        use atnn_tensor::{Matrix, QuantizedMatrix};
+        let (model, data, cfg) = trained();
+        let artifact = capture(&model, &data, &cfg);
+
+        // Quantized tables survive an encode/decode round trip exactly.
+        let cold = QuantizedMatrix::from_matrix(&Matrix::from_fn(6, 4, |i, j| {
+            (i as f32 - 2.5) * 0.3 + j as f32 * 0.01
+        }));
+        let warm = QuantizedMatrix::from_matrix(&Matrix::from_fn(6, 4, |i, j| {
+            (j as f32 - 1.5) * 0.2 - i as f32 * 0.05
+        }));
+        let quantized = artifact.clone().with_quant(cold.clone(), warm.clone());
+        let back = ModelArtifact::decode(quantized.encode()).unwrap();
+        let q = back.quant().expect("quant section survives");
+        assert_eq!(q.cold, cold);
+        assert_eq!(q.warm, warm);
+        assert_eq!(back.weights, artifact.weights);
+
+        // A corrupted quant section is rejected by its own checksum even
+        // before the table blobs are parsed.
+        let blob = quantized.encode();
+        let mut flipped = blob.as_ref().to_vec();
+        let n = flipped.len();
+        flipped[n - 3] ^= 0x01;
+        // Fix up the outer payload checksum so only the section sum trips.
+        let checksum = fnv1a64(&flipped[20..]);
+        flipped[12..20].copy_from_slice(&checksum.to_le_bytes());
+        assert!(matches!(
+            ModelArtifact::decode(Bytes::from(flipped)),
+            Err(ArtifactError::Corrupt("quant section checksum mismatch"))
+        ));
+
+        // A pre-quantization version-2 artifact (ann section, no quant
+        // section) still decodes: drop the trailing has_quant flag, patch
+        // the format version down and recompute the checksum.
+        let ann_blob = Bytes::from_static(b"ATNNIVF1-opaque-test-bytes");
+        let v3 = artifact.clone().with_ann(ann_blob.clone()).encode();
+        let mut v2 = v3.as_ref().to_vec();
+        assert_eq!(v2.pop(), Some(0), "a v3 artifact without quant ends with has_quant = 0");
+        v2[8..12].copy_from_slice(&2u32.to_le_bytes());
+        let checksum = fnv1a64(&v2[20..]);
+        v2[12..20].copy_from_slice(&checksum.to_le_bytes());
+        let legacy = ModelArtifact::decode(Bytes::from(v2)).unwrap();
+        assert!(legacy.quant().is_none(), "v2 artifacts carry no quant section");
+        assert_eq!(legacy.ann(), Some(ann_blob.as_ref()), "the ann section is preserved");
         assert_eq!(legacy.index, artifact.index);
         assert_eq!(legacy.weights, artifact.weights);
         assert_eq!(legacy.model_version, artifact.model_version);

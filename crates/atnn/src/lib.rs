@@ -63,7 +63,7 @@ mod popularity;
 mod towers;
 mod trainer;
 
-pub use artifact::{ArtifactError, InstantiatedModel, ModelArtifact};
+pub use artifact::{ArtifactError, InstantiatedModel, ModelArtifact, QuantTables};
 pub use concat_dnn::ConcatDnn;
 pub use config::{embed_dim_for, AdversarialMode, AtnnConfig, AtnnConfigBuilder, ConfigError};
 pub use features::FeatureEncoder;

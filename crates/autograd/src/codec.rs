@@ -1,0 +1,221 @@
+//! Compressed row storage for embedding-table parameters.
+//!
+//! A [`RowCodec`] is an alternative backing store for one `vocab x dim`
+//! parameter slot: instead of a dense [`Matrix`], the slot holds a codec
+//! that can *materialize* any subset of rows on demand and *absorb*
+//! row-sparse gradients back into whatever factorized form it keeps.
+//! The codec plugs in exactly at the two operations `Graph::gather` /
+//! its backward already use — [`ParamStore::gather_rows`] and
+//! [`ParamStore::scatter_rows`] — so models built on `gather` work
+//! unchanged on top of a compressed table.
+//!
+//! The contract is deliberately narrow:
+//!
+//! * Codec slots are reachable **only** through the gather/scatter
+//!   boundary. Whole-table views ([`ParamStore::value`],
+//!   `Graph::param`) panic with a descriptive message — a factorized
+//!   table has no dense matrix to hand out, and silently materializing
+//!   one would defeat the point.
+//! * Gradient state lives *inside* the codec (accumulated by
+//!   [`RowCodec::scatter_grads`]), in whatever space the factorization
+//!   makes natural — e.g. a tensor-train codec accumulates factor
+//!   gradients, not row gradients.
+//! * Only plain SGD can step a codec slot ([`RowCodec::sgd_step`]).
+//!   Stateful optimizers (momentum, Adam, AdaGrad) would need per-codec
+//!   moment layouts; they reject codec slots loudly instead of guessing.
+//!
+//! [`IdentityCodec`] is the trivial backend — a dense f32 table behind
+//! the codec interface. It exists so the codec path itself can be pinned
+//! bit-identical to the native dense-slot path (same gathers, same
+//! scatters, same SGD updates), which separates "the plumbing is wrong"
+//! from "the factorization is lossy" when testing real codecs.
+
+use atnn_tensor::Matrix;
+
+/// A compressed backing store for one row-addressable parameter table.
+///
+/// Implementations are registered with [`ParamStore::add_codec`] and
+/// accessed through [`ParamStore::gather_rows`] /
+/// [`ParamStore::scatter_rows`].
+///
+/// [`ParamStore::add_codec`]: crate::ParamStore::add_codec
+/// [`ParamStore::gather_rows`]: crate::ParamStore::gather_rows
+/// [`ParamStore::scatter_rows`]: crate::ParamStore::scatter_rows
+pub trait RowCodec: std::fmt::Debug + Send + Sync {
+    /// Logical number of rows (the vocabulary size).
+    fn rows(&self) -> usize;
+
+    /// Logical row width (the embedding dimension).
+    fn dim(&self) -> usize;
+
+    /// Materializes row `indices[k]` into `out.row_mut(k)` for every `k`.
+    ///
+    /// `out` has shape `indices.len() x dim()`; implementations must
+    /// fill every element (rows may be dirty from a previous use).
+    ///
+    /// # Panics
+    /// Panics when an index is out of range or `out` has the wrong shape.
+    fn gather_into(&self, indices: &[u32], out: &mut Matrix);
+
+    /// Accumulates the row gradients `g.row(k) -> row indices[k]` into
+    /// the codec's internal gradient state (the backward of
+    /// [`RowCodec::gather_into`]). Duplicate indices accumulate in
+    /// occurrence order.
+    ///
+    /// # Panics
+    /// Panics when an index is out of range or `g` has the wrong width.
+    fn scatter_grads(&mut self, indices: &[u32], g: &Matrix);
+
+    /// Clears the accumulated gradient state.
+    fn zero_grads(&mut self);
+
+    /// Sum of squares of the accumulated gradient state, in the codec's
+    /// *parameter* space (factor gradients for a factorized codec — not
+    /// the gradient of the virtual dense table). Feeds global-norm
+    /// clipping, which therefore clips in parameter space too.
+    fn grad_l2_sq(&self) -> f32;
+
+    /// Rescales the accumulated gradient state by `alpha` (clipping).
+    fn scale_grads(&mut self, alpha: f32);
+
+    /// One plain-SGD update from the accumulated gradients: `theta -=
+    /// lr * d theta`. Does not zero the gradients.
+    fn sgd_step(&mut self, lr: f32);
+
+    /// Number of trainable scalars the codec actually stores (the
+    /// compression numerator is `rows() * dim()`).
+    fn param_count(&self) -> usize;
+
+    /// Resident bytes of the codec's value state (excluding gradients).
+    fn storage_bytes(&self) -> usize;
+
+    /// Clones the codec (including gradient state) behind a fresh box.
+    fn clone_box(&self) -> Box<dyn RowCodec>;
+}
+
+impl Clone for Box<dyn RowCodec> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// The identity backend: a dense f32 table behind the [`RowCodec`]
+/// interface. Gathers, scatters and SGD steps are element-for-element
+/// the computations the native dense slot performs, so a model trained
+/// through an `IdentityCodec` slot is bit-identical to one trained
+/// through a plain [`ParamStore::add`] slot under plain SGD (pinned by
+/// test).
+///
+/// [`ParamStore::add`]: crate::ParamStore::add
+#[derive(Debug, Clone)]
+pub struct IdentityCodec {
+    value: Matrix,
+    grad: Matrix,
+}
+
+impl IdentityCodec {
+    /// Wraps a dense table.
+    pub fn new(value: Matrix) -> Self {
+        let grad = Matrix::zeros(value.rows(), value.cols());
+        Self { value, grad }
+    }
+
+    /// The underlying dense table (tests, export).
+    pub fn value(&self) -> &Matrix {
+        &self.value
+    }
+}
+
+impl RowCodec for IdentityCodec {
+    fn rows(&self) -> usize {
+        self.value.rows()
+    }
+
+    fn dim(&self) -> usize {
+        self.value.cols()
+    }
+
+    fn gather_into(&self, indices: &[u32], out: &mut Matrix) {
+        assert_eq!(out.shape(), (indices.len(), self.dim()), "gather_into shape");
+        for (k, &idx) in indices.iter().enumerate() {
+            out.row_mut(k).copy_from_slice(self.value.row(idx as usize));
+        }
+    }
+
+    fn scatter_grads(&mut self, indices: &[u32], g: &Matrix) {
+        assert_eq!(g.shape(), (indices.len(), self.dim()), "scatter_grads shape");
+        for (k, &idx) in indices.iter().enumerate() {
+            let row = self.grad.row_mut(idx as usize);
+            for (t, &d) in row.iter_mut().zip(g.row(k)) {
+                *t += d;
+            }
+        }
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad.fill_zero();
+    }
+
+    fn grad_l2_sq(&self) -> f32 {
+        self.grad.as_slice().iter().map(|&v| v * v).sum()
+    }
+
+    fn scale_grads(&mut self, alpha: f32) {
+        self.grad.scale_assign(alpha);
+    }
+
+    fn sgd_step(&mut self, lr: f32) {
+        self.value.add_assign_scaled(&self.grad, -lr).expect("identity codec shapes agree");
+    }
+
+    fn param_count(&self) -> usize {
+        self.value.len()
+    }
+
+    fn storage_bytes(&self) -> usize {
+        self.value.len() * 4
+    }
+
+    fn clone_box(&self) -> Box<dyn RowCodec> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_codec_round_trips_rows_and_grads() {
+        let table = Matrix::from_fn(6, 3, |i, j| (i * 3 + j) as f32 * 0.5 - 2.0);
+        let mut codec = IdentityCodec::new(table.clone());
+        assert_eq!(codec.rows(), 6);
+        assert_eq!(codec.dim(), 3);
+        assert_eq!(codec.param_count(), 18);
+        assert_eq!(codec.storage_bytes(), 18 * 4);
+
+        let mut out = Matrix::zeros(3, 3);
+        codec.gather_into(&[4, 0, 4], &mut out);
+        assert_eq!(out.row(0), table.row(4));
+        assert_eq!(out.row(1), table.row(0));
+        assert_eq!(out.row(2), table.row(4));
+
+        let g = Matrix::from_fn(3, 3, |i, j| (i + j) as f32);
+        codec.scatter_grads(&[4, 0, 4], &g);
+        // Row 4 hit twice: sums in occurrence order.
+        let mut want4 = [0.0f32; 3];
+        for (w, (&a, &b)) in want4.iter_mut().zip(g.row(0).iter().zip(g.row(2))) {
+            *w = a + b;
+        }
+        assert_eq!(codec.grad.row(4), &want4);
+        assert!(codec.grad_l2_sq() > 0.0);
+
+        codec.sgd_step(0.5);
+        for (j, &gj) in want4.iter().enumerate() {
+            let want = table.get(4, j) - 0.5 * gj;
+            assert_eq!(codec.value().get(4, j), want);
+        }
+        codec.zero_grads();
+        assert_eq!(codec.grad_l2_sq(), 0.0);
+    }
+}

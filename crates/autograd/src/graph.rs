@@ -173,10 +173,7 @@ impl Graph {
     /// # Panics
     /// Panics when any index is out of range for the table.
     pub fn gather(&mut self, store: &ParamStore, id: ParamId, indices: &[u32]) -> Var {
-        let table = store.value(id);
-        let value = table
-            .select_rows(indices)
-            .unwrap_or_else(|e| panic!("gather from '{}': {e}", store.name(id)));
+        let value = store.gather_rows(id, indices);
         self.push(Op::Gather { param: id, indices: indices.to_vec() }, value)
     }
 

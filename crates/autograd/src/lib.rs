@@ -18,6 +18,10 @@
 //!   with [`ParamStore::mark_sparse`] keep those gradients in a row-sparse
 //!   representation ([`Grad::Sparse`]), so per-step cost scales with the
 //!   batch, not the vocabulary.
+//! - Tables too large to hold densely can be registered through
+//!   [`ParamStore::add_codec`] with a compressed [`RowCodec`] backend
+//!   (identity today, factorized codecs in `atnn-nn`); they are reachable
+//!   only through the same gather/scatter boundary — see [`codec`].
 //!
 //! # Shape errors
 //! Graph ops assert shapes and panic with a descriptive message: a shape
@@ -44,9 +48,11 @@
 //! ```
 
 mod check;
+pub mod codec;
 mod graph;
 mod store;
 
 pub use check::{check_gradients, numeric_gradient};
+pub use codec::{IdentityCodec, RowCodec};
 pub use graph::{Graph, Var};
 pub use store::{Grad, ParamId, ParamStore};

@@ -9,6 +9,8 @@
 
 use atnn_tensor::{Matrix, SparseRowGrad};
 
+use crate::codec::RowCodec;
+
 /// Opaque handle to one parameter slot in a [`ParamStore`].
 ///
 /// Handles are plain indices; they are only meaningful for the store that
@@ -47,10 +49,42 @@ impl Grad {
     }
 }
 
+/// A slot's backing value: a dense matrix, or a compressed [`RowCodec`]
+/// reachable only through the gather/scatter boundary (see the
+/// [`crate::codec`] module docs for the contract).
+#[derive(Debug, Clone)]
+enum Value {
+    Dense(Matrix),
+    Codec(Box<dyn RowCodec>),
+}
+
+impl Value {
+    fn rows(&self) -> usize {
+        match self {
+            Value::Dense(m) => m.rows(),
+            Value::Codec(c) => c.rows(),
+        }
+    }
+
+    fn cols(&self) -> usize {
+        match self {
+            Value::Dense(m) => m.cols(),
+            Value::Codec(c) => c.dim(),
+        }
+    }
+
+    fn num_scalars(&self) -> usize {
+        match self {
+            Value::Dense(m) => m.len(),
+            Value::Codec(c) => c.param_count(),
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Slot {
     name: String,
-    value: Matrix,
+    value: Value,
     grad: Grad,
     /// Declared sparse via `mark_sparse`: zeroing restores the sparse
     /// representation even after a dense fallback.
@@ -62,6 +96,26 @@ impl Slot {
     fn densify(&mut self) {
         if let Grad::Sparse(sg) = &self.grad {
             self.grad = Grad::Dense(sg.to_dense(self.value.rows()));
+        }
+    }
+
+    fn dense(&self) -> &Matrix {
+        match &self.value {
+            Value::Dense(m) => m,
+            Value::Codec(_) => panic!(
+                "'{}' is codec-compressed; it has no dense value — use gather_rows/scatter_rows",
+                self.name
+            ),
+        }
+    }
+
+    fn dense_mut(&mut self) -> &mut Matrix {
+        match &mut self.value {
+            Value::Dense(m) => m,
+            Value::Codec(_) => panic!(
+                "'{}' is codec-compressed; it has no dense value — use gather_rows/scatter_rows",
+                self.name
+            ),
         }
     }
 }
@@ -86,8 +140,60 @@ impl ParamStore {
     /// Registers a parameter, returning its handle. Gradient starts at zero.
     pub fn add(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
         let grad = Grad::Dense(Matrix::zeros(value.rows(), value.cols()));
-        self.slots.push(Slot { name: name.into(), value, grad, declared_sparse: false });
+        self.slots.push(Slot {
+            name: name.into(),
+            value: Value::Dense(value),
+            grad,
+            declared_sparse: false,
+        });
         ParamId(self.slots.len() - 1)
+    }
+
+    /// Registers a codec-compressed parameter (see [`RowCodec`]).
+    ///
+    /// The slot is reachable only through [`ParamStore::gather_rows`] /
+    /// [`ParamStore::scatter_rows`]; gradient state lives inside the
+    /// codec, so the slot's [`Grad`] entry is permanently an empty
+    /// placeholder and the whole-table accessors ([`ParamStore::value`],
+    /// [`ParamStore::grad`], …) panic with a descriptive message.
+    pub fn add_codec(&mut self, name: impl Into<String>, codec: Box<dyn RowCodec>) -> ParamId {
+        let grad = Grad::Sparse(SparseRowGrad::new(codec.dim()));
+        self.slots.push(Slot {
+            name: name.into(),
+            value: Value::Codec(codec),
+            grad,
+            declared_sparse: false,
+        });
+        ParamId(self.slots.len() - 1)
+    }
+
+    /// True when the parameter is backed by a [`RowCodec`].
+    pub fn is_codec_param(&self, id: ParamId) -> bool {
+        matches!(self.slots[id.0].value, Value::Codec(_))
+    }
+
+    /// The codec backing a parameter registered with
+    /// [`ParamStore::add_codec`].
+    ///
+    /// # Panics
+    /// Panics when the slot is a plain dense parameter.
+    pub fn codec(&self, id: ParamId) -> &dyn RowCodec {
+        match &self.slots[id.0].value {
+            Value::Codec(c) => c.as_ref(),
+            Value::Dense(_) => panic!("'{}' is not codec-compressed", self.slots[id.0].name),
+        }
+    }
+
+    /// Mutable access to a parameter's codec (optimizer steps).
+    ///
+    /// # Panics
+    /// Panics when the slot is a plain dense parameter.
+    pub fn codec_mut(&mut self, id: ParamId) -> &mut dyn RowCodec {
+        let slot = &mut self.slots[id.0];
+        match &mut slot.value {
+            Value::Codec(c) => c.as_mut(),
+            Value::Dense(_) => panic!("'{}' is not codec-compressed", slot.name),
+        }
     }
 
     /// Declares a parameter's gradient row-sparse (embedding tables whose
@@ -96,9 +202,16 @@ impl ParamStore {
     /// shared tables may be marked through every sharing handle.
     ///
     /// # Panics
-    /// Panics on a zero-width value (no gradient rows to store).
+    /// Panics on a zero-width value (no gradient rows to store) or on a
+    /// codec-compressed slot (its gradients already live inside the
+    /// codec; there is nothing to declare).
     pub fn mark_sparse(&mut self, id: ParamId) {
         let slot = &mut self.slots[id.0];
+        assert!(
+            !matches!(slot.value, Value::Codec(_)),
+            "'{}' is codec-compressed; mark_sparse does not apply",
+            slot.name
+        );
         slot.declared_sparse = true;
         slot.grad = Grad::Sparse(SparseRowGrad::new(slot.value.cols()));
     }
@@ -120,9 +233,11 @@ impl ParamStore {
         self.slots.is_empty()
     }
 
-    /// Total number of scalar weights across all slots.
+    /// Total number of scalar weights across all slots (codec slots
+    /// count the scalars the codec actually stores, not the virtual
+    /// `rows x dim` table).
     pub fn num_scalars(&self) -> usize {
-        self.slots.iter().map(|s| s.value.len()).sum()
+        self.slots.iter().map(|s| s.value.num_scalars()).sum()
     }
 
     /// The parameter's registered name.
@@ -131,13 +246,47 @@ impl ParamStore {
     }
 
     /// Immutable view of a parameter's value.
+    ///
+    /// # Panics
+    /// Panics on a codec-compressed slot (no dense table exists); use
+    /// [`ParamStore::gather_rows`] to materialize the rows you need.
     pub fn value(&self, id: ParamId) -> &Matrix {
-        &self.slots[id.0].value
+        self.slots[id.0].dense()
     }
 
     /// Mutable view of a parameter's value (used by optimizers and loaders).
+    ///
+    /// # Panics
+    /// Panics on a codec-compressed slot (see [`ParamStore::value`]).
     pub fn value_mut(&mut self, id: ParamId) -> &mut Matrix {
-        &mut self.slots[id.0].value
+        self.slots[id.0].dense_mut()
+    }
+
+    /// A parameter's logical shape `(rows, cols)` — defined for dense
+    /// and codec slots alike.
+    pub fn shape(&self, id: ParamId) -> (usize, usize) {
+        let v = &self.slots[id.0].value;
+        (v.rows(), v.cols())
+    }
+
+    /// Materializes rows `indices` of the parameter as a fresh
+    /// `indices.len() x dim` matrix — the embedding-lookup forward, and
+    /// the only whole-row read path codec slots support.
+    ///
+    /// # Panics
+    /// Panics when an index is out of range for the table.
+    pub fn gather_rows(&self, id: ParamId, indices: &[u32]) -> Matrix {
+        let slot = &self.slots[id.0];
+        match &slot.value {
+            Value::Dense(m) => m
+                .select_rows(indices)
+                .unwrap_or_else(|e| panic!("gather from '{}': {e}", slot.name)),
+            Value::Codec(c) => {
+                let mut out = Matrix::zeros(indices.len(), c.dim());
+                c.gather_into(indices, &mut out);
+                out
+            }
+        }
     }
 
     /// Immutable view of a parameter's accumulated *dense* gradient.
@@ -147,6 +296,9 @@ impl ParamStore {
     /// aware callers use [`ParamStore::grad_entry`] or
     /// [`ParamStore::grad_to_dense`].
     pub fn grad(&self, id: ParamId) -> &Matrix {
+        if matches!(self.slots[id.0].value, Value::Codec(_)) {
+            panic!("gradient of '{}' lives inside its codec", self.slots[id.0].name);
+        }
         match &self.slots[id.0].grad {
             Grad::Dense(m) => m,
             Grad::Sparse(_) => panic!(
@@ -162,6 +314,9 @@ impl ParamStore {
     /// Panics when the gradient is currently sparse (see [`ParamStore::grad`]).
     pub fn grad_mut(&mut self, id: ParamId) -> &mut Matrix {
         let slot = &mut self.slots[id.0];
+        if matches!(slot.value, Value::Codec(_)) {
+            panic!("gradient of '{}' lives inside its codec", slot.name);
+        }
         match &mut slot.grad {
             Grad::Dense(m) => m,
             Grad::Sparse(_) => {
@@ -182,15 +337,29 @@ impl ParamStore {
 
     /// Split borrow of a parameter's value and gradient — the optimizer
     /// step entry point (read the gradient while updating the value).
+    ///
+    /// # Panics
+    /// Panics on a codec-compressed slot; codec-aware optimizers step
+    /// those through [`ParamStore::codec_mut`].
     pub fn value_and_grad_mut(&mut self, id: ParamId) -> (&mut Matrix, &mut Grad) {
         let slot = &mut self.slots[id.0];
-        (&mut slot.value, &mut slot.grad)
+        match &mut slot.value {
+            Value::Dense(m) => (m, &mut slot.grad),
+            Value::Codec(_) => panic!(
+                "'{}' is codec-compressed; step it through codec_mut().sgd_step()",
+                slot.name
+            ),
+        }
     }
 
     /// The gradient materialized as a dense matrix (copies; diagnostics
-    /// and gradient checking, not the hot path).
+    /// and gradient checking, not the hot path). For codec slots this is
+    /// undefined (their gradients live in factor space) and panics.
     pub fn grad_to_dense(&self, id: ParamId) -> Matrix {
         let slot = &self.slots[id.0];
+        if matches!(slot.value, Value::Codec(_)) {
+            panic!("gradient of '{}' lives inside its codec", slot.name);
+        }
         match &slot.grad {
             Grad::Dense(m) => m.clone(),
             Grad::Sparse(sg) => sg.to_dense(slot.value.rows()),
@@ -205,7 +374,12 @@ impl ParamStore {
     /// # Panics
     /// Panics on width mismatch or (dense path) out-of-range indices.
     pub fn scatter_rows(&mut self, id: ParamId, indices: &[u32], g: &Matrix) {
-        match &mut self.slots[id.0].grad {
+        let slot = &mut self.slots[id.0];
+        if let Value::Codec(c) = &mut slot.value {
+            c.scatter_grads(indices, g);
+            return;
+        }
+        match &mut slot.grad {
             Grad::Sparse(sg) => sg.push_rows(indices, g),
             Grad::Dense(table) => {
                 for (r, &idx) in indices.iter().enumerate() {
@@ -223,6 +397,12 @@ impl ParamStore {
     /// a dense leaf (e.g. an L2 penalty over it) densifies its gradient
     /// for that step.
     pub fn accumulate_dense(&mut self, id: ParamId, g: &Matrix) {
+        if matches!(self.slots[id.0].value, Value::Codec(_)) {
+            panic!(
+                "'{}' is codec-compressed; whole-table gradients are not representable",
+                self.slots[id.0].name
+            );
+        }
         self.slots[id.0].densify();
         match &mut self.slots[id.0].grad {
             Grad::Dense(m) => m.add_assign_scaled(g, 1.0).expect("param grad shape"),
@@ -244,6 +424,9 @@ impl ParamStore {
     /// full occupancy.
     pub fn coalesce_sparse_grads(&mut self) {
         for slot in &mut self.slots {
+            if matches!(slot.value, Value::Codec(_)) {
+                continue; // codec gradients coalesce internally
+            }
             if let Grad::Sparse(sg) = &mut slot.grad {
                 sg.coalesce();
                 if sg.nnz() >= slot.value.rows() {
@@ -271,6 +454,10 @@ impl ParamStore {
 
     fn zero_slot(&mut self, i: usize) {
         let slot = &mut self.slots[i];
+        if let Value::Codec(c) = &mut slot.value {
+            c.zero_grads();
+            return;
+        }
         if slot.declared_sparse {
             match &mut slot.grad {
                 Grad::Sparse(sg) => sg.clear(),
@@ -284,9 +471,15 @@ impl ParamStore {
     }
 
     /// Rescales a parameter's gradient by `alpha` in either
-    /// representation (gradient clipping).
+    /// representation (gradient clipping). Codec slots rescale their
+    /// internal (factor-space) gradient state.
     pub fn scale_grad(&mut self, id: ParamId, alpha: f32) {
-        match &mut self.slots[id.0].grad {
+        let slot = &mut self.slots[id.0];
+        if let Value::Codec(c) = &mut slot.value {
+            c.scale_grads(alpha);
+            return;
+        }
+        match &mut slot.grad {
             Grad::Dense(m) => m.scale_assign(alpha),
             Grad::Sparse(sg) => sg.scale(alpha),
         }
@@ -303,11 +496,20 @@ impl ParamStore {
     /// order — the same traversal order as the dense row-major sweep over
     /// the nonzero rows, with the all-zero rows contributing exact-zero
     /// terms — so the result is bit-identical across representations.
+    /// Codec slots contribute the L2 of their internal (factor-space)
+    /// gradient state, so clipping a mixed group clips each slot in its
+    /// own parameter space.
     pub fn grad_norm(&self, ids: &[ParamId]) -> f32 {
         ids.iter()
-            .map(|&id| match &self.slots[id.0].grad {
-                Grad::Dense(g) => g.as_slice().iter().map(|&v| v * v).sum::<f32>(),
-                Grad::Sparse(sg) => sg.l2_sq(),
+            .map(|&id| {
+                let slot = &self.slots[id.0];
+                if let Value::Codec(c) = &slot.value {
+                    return c.grad_l2_sq();
+                }
+                match &slot.grad {
+                    Grad::Dense(g) => g.as_slice().iter().map(|&v| v * v).sum::<f32>(),
+                    Grad::Sparse(sg) => sg.l2_sq(),
+                }
             })
             .sum::<f32>()
             .sqrt()

@@ -104,6 +104,7 @@ struct SizeResult {
     nlist: usize,
     build_seconds: f64,
     brute_us_per_query: f64,
+    peak_rss_mb: f64,
     sweep: Vec<SweepPoint>,
 }
 
@@ -137,7 +138,21 @@ fn run_size(n: usize, seed: u64) -> SizeResult {
         })
         .collect();
 
-    SizeResult { n, nlist: ivf.nlist(), build_seconds, brute_us_per_query: brute_us, sweep }
+    // VmHWM is monotone across sizes in one process, so each size's figure
+    // reflects the largest pool built so far — ascending order keeps the
+    // per-size numbers honest.
+    let peak_rss_mb =
+        atnn_obs::peak_rss_bytes().map(|b| b as f64 / (1024.0 * 1024.0)).unwrap_or(0.0);
+    eprintln!("  peak RSS: {peak_rss_mb:.0} MiB");
+
+    SizeResult {
+        n,
+        nlist: ivf.nlist(),
+        build_seconds,
+        brute_us_per_query: brute_us,
+        peak_rss_mb,
+        sweep,
+    }
 }
 
 fn render_json(results: &[SizeResult]) -> String {
@@ -152,6 +167,7 @@ fn render_json(results: &[SizeResult]) -> String {
             "      \"brute_force_us_per_query\": {:.1},\n",
             r.brute_us_per_query
         ));
+        out.push_str(&format!("      \"peak_rss_mb\": {:.1},\n", r.peak_rss_mb));
         out.push_str("      \"sweep\": [\n");
         for (pi, p) in r.sweep.iter().enumerate() {
             out.push_str(&format!(

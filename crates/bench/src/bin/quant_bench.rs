@@ -1,0 +1,366 @@
+//! Memory and accuracy harness for the int8 serving tables and the
+//! tensor-train training codec.
+//!
+//! ```text
+//! quant_bench [--smoke] [--out PATH]
+//! ```
+//!
+//! Three sections, written into `BENCH_quant.json`:
+//!
+//! 1. **Vocab sweep** — streaming [`QuantizedMatrix`] builds at dim 64
+//!    from 100k to 10M rows: served bytes vs f32 bytes (the ≥ 3.5×
+//!    acceptance gate), full-scan int8 dot latency, build time, and peak
+//!    RSS (`VmHWM`) proving the f32 source never needs to be resident.
+//! 2. **TT codec sweep** — parameter counts and gather/step latency of
+//!    [`TtRowCodec`] embedding slots at training vocabulary sizes.
+//! 3. **Accuracy parity** — a trained Tmall model at `small()` scale
+//!    (4 000 items) served f32 vs int8 from the *same* artifact: serving
+//!    AUC over all interactions (gate: |Δ| ≤ 0.001) and same-probe IVF
+//!    recall@10 against the f32 oracle at the default probe width over
+//!    per-user queries (gate: ≥ 0.99). Same-probe means both indexes
+//!    decode the same persisted centroids, so the comparison isolates
+//!    int8 re-ranking error from coarse-quantizer probe misses.
+//!
+//! `--smoke` is the CI gate: a reduced sweep size plus a tiny-scale
+//! parity run, asserting the compression ratio and recall floors without
+//! touching the JSON.
+
+use std::time::Instant;
+
+use atnn_autograd::RowCodec;
+use atnn_core::{Atnn, AtnnConfig, CtrTrainer, ModelArtifact, PopularityIndex, TrainOptions};
+use atnn_data::tmall::{TmallConfig, TmallDataset};
+use atnn_nn::TtRowCodec;
+use atnn_serve::{ModelSnapshot, Precision};
+use atnn_tensor::{Matrix, QuantizedMatrix, Rng64};
+
+const DIM: usize = 64;
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn peak_rss_mb() -> f64 {
+    atnn_obs::peak_rss_bytes().map(|b| b as f64 / (1024.0 * 1024.0)).unwrap_or(0.0)
+}
+
+// ---------------------------------------------------------------- sweep
+
+struct SweepRow {
+    rows: usize,
+    storage_bytes: usize,
+    f32_bytes: usize,
+    ratio: f64,
+    build_seconds: f64,
+    scan_ms: f64,
+    peak_rss_mb: f64,
+}
+
+/// Streams `rows` synthetic embeddings (shared anchor component + row
+/// noise, the shape trained tables take) straight into a
+/// [`QuantizedMatrix`] — the f32 source exists one row at a time, so
+/// peak RSS tracks the *quantized* footprint, not `rows × dim × 4`.
+fn run_sweep_size(rows: usize, seed: u64) -> SweepRow {
+    let mut rng = Rng64::seed_from_u64(seed);
+    let anchor: Vec<f32> = (0..DIM).map(|_| 2.0 * rng.normal()).collect();
+    let mut q = QuantizedMatrix::with_anchor(anchor.clone());
+
+    eprintln!("sweep: streaming {rows} rows x {DIM} into int8...");
+    let started = Instant::now();
+    let mut scratch = vec![0.0f32; DIM];
+    for _ in 0..rows {
+        for (s, a) in scratch.iter_mut().zip(&anchor) {
+            *s = a + 0.3 * rng.normal();
+        }
+        q.push_row(&scratch);
+    }
+    let build_seconds = started.elapsed().as_secs_f64();
+
+    let query: Vec<f32> = (0..DIM).map(|_| rng.normal()).collect();
+    let prepared = q.prepare(&query);
+    let started = Instant::now();
+    let mut acc = 0.0f64;
+    for i in 0..rows {
+        acc += q.dot_prepared(i, &prepared) as f64;
+    }
+    let scan_ms = started.elapsed().as_secs_f64() * 1e3;
+    std::hint::black_box(acc);
+
+    let storage_bytes = q.storage_bytes();
+    let f32_bytes = q.f32_bytes();
+    let ratio = f32_bytes as f64 / storage_bytes as f64;
+    let rss = peak_rss_mb();
+    eprintln!(
+        "  {rows} rows: {:.1} MiB int8 vs {:.1} MiB f32 ({ratio:.2}x), build {build_seconds:.2}s, \
+         scan {scan_ms:.1}ms, peak RSS {rss:.0} MiB",
+        storage_bytes as f64 / (1024.0 * 1024.0),
+        f32_bytes as f64 / (1024.0 * 1024.0),
+    );
+    SweepRow { rows, storage_bytes, f32_bytes, ratio, build_seconds, scan_ms, peak_rss_mb: rss }
+}
+
+// ------------------------------------------------------------------- tt
+
+struct TtRow {
+    rows: usize,
+    rank: usize,
+    dense_params: usize,
+    tt_params: usize,
+    compression: f64,
+    gather_us_per_batch: f64,
+    step_us: f64,
+}
+
+/// Gather/step latency and compression of a TT-compressed embedding slot
+/// at training vocabulary sizes (batch = 512 rows, the trainer's width).
+fn run_tt_size(rows: usize, rank: usize, seed: u64) -> TtRow {
+    const BATCH: usize = 512;
+    let mut rng = Rng64::seed_from_u64(seed);
+    let mut tt = TtRowCodec::new(rows, DIM, rank, 0.05, &mut rng);
+    let dense_params = rows * DIM;
+    let tt_params = tt.param_count();
+    let compression = dense_params as f64 / tt_params as f64;
+
+    let ids: Vec<u32> = (0..BATCH as u32).map(|k| (k * 2_654_435_761) % rows as u32).collect();
+    let mut out = Matrix::zeros(BATCH, DIM);
+    let reps = 20;
+    let started = Instant::now();
+    for _ in 0..reps {
+        tt.gather_into(&ids, &mut out);
+    }
+    let gather_us = started.elapsed().as_secs_f64() * 1e6 / reps as f64;
+
+    let grads = Matrix::from_fn(BATCH, DIM, |i, j| ((i + j) % 7) as f32 * 0.01 - 0.02);
+    tt.scatter_grads(&ids, &grads);
+    let started = Instant::now();
+    for _ in 0..reps {
+        tt.sgd_step(1e-3);
+    }
+    let step_us = started.elapsed().as_secs_f64() * 1e6 / reps as f64;
+
+    eprintln!(
+        "tt: {rows} rows rank {rank}: {tt_params} params ({compression:.0}x smaller), gather \
+         {gather_us:.0}us/{BATCH} rows, step {step_us:.0}us"
+    );
+    TtRow {
+        rows,
+        rank,
+        dense_params,
+        tt_params,
+        compression,
+        gather_us_per_batch: gather_us,
+        step_us,
+    }
+}
+
+// --------------------------------------------------------------- parity
+
+struct Parity {
+    num_items: usize,
+    interactions: usize,
+    queries: usize,
+    auc_f32: f64,
+    auc_int8: f64,
+    auc_delta: f64,
+    recall_at_10: f64,
+    nprobe: usize,
+    ratio: f64,
+}
+
+/// Trains one model, serves it twice — f32 and int8 — from the same
+/// artifact (shared IVF centroids), and measures what quantization does
+/// to the production metrics.
+fn parity_run(cfg: TmallConfig, epochs: usize, n_queries: usize) -> Parity {
+    eprintln!(
+        "parity: training {} items / {} interactions for {epochs} epochs...",
+        cfg.num_items, cfg.num_interactions
+    );
+    let data = TmallDataset::generate(cfg.clone());
+    let mut model = Atnn::new(AtnnConfig::scaled(), &data);
+    let opts = TrainOptions::builder().epochs(epochs).build().expect("valid options");
+    CtrTrainer::new(opts).train(&mut model, &data, None).expect("training runs");
+    let users: Vec<u32> = (0..data.num_users() as u32).collect();
+    let index = PopularityIndex::build(&model, &data, &users);
+    let artifact = ModelArtifact::capture(&model, &cfg, &index, 1);
+
+    let f32_snap = ModelSnapshot::new(1, data, model, index);
+    // The int8 snapshot decodes the f32 snapshot's persisted centroids,
+    // so both probe identical inverted lists — same-probe comparison.
+    let shared = artifact.with_ann(f32_snap.encoded_ann().into());
+    let q_snap = ModelSnapshot::from_artifact_with_precision(&shared, Precision::Int8)
+        .expect("artifact instantiates");
+    assert_eq!(q_snap.precision(), Precision::Int8);
+    let ratio = q_snap.snapshot_f32_bytes() as f64 / q_snap.snapshot_bytes() as f64;
+
+    // Serving AUC: every interaction scored through the cold path of each
+    // snapshot against its clicked label.
+    let items: Vec<u32> = f32_snap.data.interactions.iter().map(|it| it.item).collect();
+    let labels: Vec<bool> = f32_snap.data.interactions.iter().map(|it| it.clicked).collect();
+    let scores_f = f32_snap.score_cold(&items);
+    let scores_q = q_snap.score_cold(&items);
+    let auc_f32 = atnn_metrics::auc(&scores_f, &labels).expect("both classes present");
+    let auc_int8 = atnn_metrics::auc(&scores_q, &labels).expect("both classes present");
+    let auc_delta = (auc_f32 - auc_int8).abs();
+
+    // Same-probe recall@10 at the default probe width, one query per
+    // sampled user vector (the retrieval traffic shape).
+    let nprobe = f32_snap.ann().default_nprobe();
+    let qids: Vec<u32> =
+        (0..n_queries as u32).map(|i| i % f32_snap.data.num_users() as u32).collect();
+    let user_vecs = f32_snap.model.user_vectors(&f32_snap.data.encode_users(&qids));
+    let mut hit = 0usize;
+    let mut total = 0usize;
+    for r in 0..user_vecs.rows() {
+        use atnn_ann::Retriever;
+        let qv = user_vecs.row(r);
+        let exact = f32_snap.ann().topk(qv, 10, nprobe);
+        let quant = q_snap.ann().topk(qv, 10, nprobe);
+        total += exact.len();
+        for (id, _) in &exact {
+            if quant.iter().any(|(q, _)| q == id) {
+                hit += 1;
+            }
+        }
+    }
+    let recall_at_10 = hit as f64 / total.max(1) as f64;
+
+    eprintln!(
+        "parity: AUC f32 {auc_f32:.4} vs int8 {auc_int8:.4} (delta {auc_delta:.5}), same-probe \
+         recall@10 {recall_at_10:.4} at nprobe {nprobe}, tables {ratio:.2}x smaller"
+    );
+    Parity {
+        num_items: cfg.num_items,
+        interactions: cfg.num_interactions,
+        queries: n_queries,
+        auc_f32,
+        auc_int8,
+        auc_delta,
+        recall_at_10,
+        nprobe,
+        ratio,
+    }
+}
+
+// ----------------------------------------------------------------- json
+
+fn render_json(sweep: &[SweepRow], tt: &[TtRow], parity: &Parity) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"dim\": {DIM},\n"));
+    out.push_str("  \"sweep\": [\n");
+    for (i, r) in sweep.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"rows\": {}, \"int8_bytes\": {}, \"f32_bytes\": {}, \"ratio\": {:.3}, \
+             \"build_seconds\": {:.3}, \"scan_ms\": {:.2}, \"peak_rss_mb\": {:.1}}}{}\n",
+            r.rows,
+            r.storage_bytes,
+            r.f32_bytes,
+            r.ratio,
+            r.build_seconds,
+            r.scan_ms,
+            r.peak_rss_mb,
+            if i + 1 < sweep.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"tt\": [\n");
+    for (i, r) in tt.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"rows\": {}, \"rank\": {}, \"dense_params\": {}, \"tt_params\": {}, \
+             \"compression\": {:.1}, \"gather_us_per_512\": {:.1}, \"step_us\": {:.1}}}{}\n",
+            r.rows,
+            r.rank,
+            r.dense_params,
+            r.tt_params,
+            r.compression,
+            r.gather_us_per_batch,
+            r.step_us,
+            if i + 1 < tt.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"parity\": {\n");
+    out.push_str(&format!(
+        "    \"num_items\": {},\n    \"interactions\": {},\n    \"queries\": {},\n",
+        parity.num_items, parity.interactions, parity.queries
+    ));
+    out.push_str(&format!(
+        "    \"auc_f32\": {:.5},\n    \"auc_int8\": {:.5},\n    \"auc_delta\": {:.5},\n",
+        parity.auc_f32, parity.auc_int8, parity.auc_delta
+    ));
+    out.push_str(&format!(
+        "    \"same_probe_recall_at_10\": {:.4},\n    \"nprobe\": {},\n    \"ratio\": {:.3}\n",
+        parity.recall_at_10, parity.nprobe, parity.ratio
+    ));
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// The CI gate: compression ratio and parity floors at reduced sizes.
+fn smoke() {
+    let row = run_sweep_size(50_000, 7);
+    assert!(
+        row.ratio >= 3.5,
+        "smoke: int8 tables only {:.2}x smaller at dim {DIM} (need >= 3.5x)",
+        row.ratio
+    );
+
+    let cfg = TmallConfig { num_users: 120, num_items: 800, ..TmallConfig::tiny() };
+    let parity = parity_run(cfg, 2, 100);
+    assert!(
+        parity.recall_at_10 >= 0.99,
+        "smoke: same-probe recall@10 {:.4} under the 0.99 floor",
+        parity.recall_at_10
+    );
+    assert!(
+        parity.auc_delta <= 0.002,
+        "smoke: quantized serving moved AUC by {:.5} (floor 0.002 at tiny scale)",
+        parity.auc_delta
+    );
+    eprintln!(
+        "smoke: ratio {:.2}x, recall {:.4}, auc delta {:.5} — all gates clear",
+        row.ratio, parity.recall_at_10, parity.auc_delta
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
+    let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_quant.json".to_string());
+
+    let sweep: Vec<SweepRow> = [100_000usize, 1_000_000, 10_000_000]
+        .into_iter()
+        .enumerate()
+        .map(|(i, n)| run_sweep_size(n, 42 + i as u64))
+        .collect();
+    for r in &sweep {
+        assert!(
+            r.ratio >= 3.5,
+            "acceptance: {} rows compressed only {:.2}x (need >= 3.5x at dim {DIM})",
+            r.rows,
+            r.ratio
+        );
+    }
+
+    let tt = vec![run_tt_size(100_000, 16, 3), run_tt_size(1_000_000, 16, 4)];
+
+    let parity = parity_run(TmallConfig::small(), 2, 500);
+    assert!(
+        parity.auc_delta <= 0.001,
+        "acceptance: quantized serving moved AUC by {:.5} (limit 0.001)",
+        parity.auc_delta
+    );
+    assert!(
+        parity.recall_at_10 >= 0.99,
+        "acceptance: same-probe recall@10 {:.4} under the 0.99 floor",
+        parity.recall_at_10
+    );
+
+    std::fs::write(&out_path, render_json(&sweep, &tt, &parity)).expect("write bench json");
+    eprintln!("wrote {out_path}");
+    eprintln!(
+        "acceptance: >= 3.5x at every sweep size, AUC delta {:.5} <= 0.001, recall@10 {:.4} >= \
+         0.99",
+        parity.auc_delta, parity.recall_at_10
+    );
+}

@@ -42,6 +42,7 @@ mod norm;
 mod optim;
 mod schedule;
 mod serialize;
+mod tt;
 
 pub use activation::Activation;
 pub use cross::CrossNet;
@@ -49,9 +50,13 @@ pub use embedding::{Embedding, EmbeddingBag};
 pub use linear::Linear;
 pub use mlp::Mlp;
 pub use norm::LayerNorm;
-pub use optim::{clip_grad_norm, last_grad_norm, param_step_counts, AdaGrad, Adam, Optimizer, Sgd};
+pub use optim::{
+    clip_grad_norm, codec_param_steps, last_grad_norm, param_step_counts, AdaGrad, Adam, Optimizer,
+    Sgd,
+};
 pub use schedule::{ConstantLr, ExponentialDecay, LrSchedule, StepDecay};
 pub use serialize::{fnv1a64, load_store, save_store, NnError};
+pub use tt::TtRowCodec;
 
 use atnn_autograd::{Graph, ParamStore, Var};
 use atnn_tensor::{Matrix, Rng64};

@@ -21,6 +21,8 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 static DENSE_PARAM_STEPS: Counter = Counter::new();
 /// Parameter slots stepped through the sparse (touched-rows-only) path.
 static SPARSE_PARAM_STEPS: Counter = Counter::new();
+/// Codec-compressed slots stepped through `RowCodec::sgd_step`.
+static CODEC_PARAM_STEPS: Counter = Counter::new();
 /// Pre-clip global gradient norm from the latest [`clip_grad_norm`].
 static LAST_GRAD_NORM: Gauge = Gauge::new();
 
@@ -29,6 +31,12 @@ static LAST_GRAD_NORM: Gauge = Gauge::new();
 /// across all optimizers.
 pub fn param_step_counts() -> (u64, u64) {
     (DENSE_PARAM_STEPS.get(), SPARSE_PARAM_STEPS.get())
+}
+
+/// Codec-compressed slot steps since process start (one count per codec
+/// slot per plain-SGD `step()` call).
+pub fn codec_param_steps() -> u64 {
+    CODEC_PARAM_STEPS.get()
 }
 
 /// The pre-clip global gradient norm recorded by the most recent
@@ -178,12 +186,27 @@ impl Optimizer for Sgd {
                 .params
                 .iter()
                 .map(|&p| {
-                    let (r, c) = store.value(p).shape();
+                    let (r, c) = store.shape(p);
                     Matrix::zeros(r, c)
                 })
                 .collect();
         }
         for (i, &p) in self.params.iter().enumerate() {
+            // Codec-compressed slots carry their own factor-space
+            // gradients and step themselves; only the plain-SGD update
+            // is defined for them (momentum velocity / coupled decay
+            // would need a per-codec layout — reject loudly instead).
+            if store.is_codec_param(p) {
+                assert!(
+                    self.momentum == 0.0 && self.weight_decay == 0.0,
+                    "codec-compressed parameter '{}' supports plain SGD only \
+                     (momentum/weight decay would need dense state)",
+                    store.name(p)
+                );
+                CODEC_PARAM_STEPS.incr();
+                store.codec_mut(p).sgd_step(self.lr);
+                continue;
+            }
             // Momentum keeps dense velocity and weight decay pulls on every
             // weight, so both need the full gradient; plain SGD has a true
             // sparse path (touched rows only, bit-identical to the dense
@@ -322,7 +345,7 @@ impl Optimizer for Adam {
     fn step(&mut self, store: &mut ParamStore) {
         if self.m.is_empty() {
             let zero_like = |store: &ParamStore, p: ParamId| {
-                let (r, c) = store.value(p).shape();
+                let (r, c) = store.shape(p);
                 Matrix::zeros(r, c)
             };
             self.m = self.params.iter().map(|&p| zero_like(store, p)).collect();
@@ -332,6 +355,12 @@ impl Optimizer for Adam {
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
         for (i, &p) in self.params.iter().enumerate() {
+            assert!(
+                !store.is_codec_param(p),
+                "codec-compressed parameter '{}' supports plain SGD only; \
+                 Adam moments have no codec layout",
+                store.name(p)
+            );
             let (value, grad) = store.value_and_grad_mut(p);
             match grad {
                 Grad::Dense(gm) => {
@@ -441,12 +470,18 @@ impl Optimizer for AdaGrad {
                 .params
                 .iter()
                 .map(|&p| {
-                    let (r, c) = store.value(p).shape();
+                    let (r, c) = store.shape(p);
                     Matrix::zeros(r, c)
                 })
                 .collect();
         }
         for (i, &p) in self.params.iter().enumerate() {
+            assert!(
+                !store.is_codec_param(p),
+                "codec-compressed parameter '{}' supports plain SGD only; \
+                 AdaGrad accumulators have no codec layout",
+                store.name(p)
+            );
             let (value, grad) = store.value_and_grad_mut(p);
             match grad {
                 Grad::Dense(gm) => {

@@ -57,10 +57,12 @@
 mod event;
 pub mod json;
 mod metrics;
+mod process;
 mod sink;
 
 pub use event::{Event, EventParseError, Str};
 pub use metrics::{Counter, Gauge, Histogram, BASE_NS, BUCKETS};
+pub use process::{current_rss_bytes, peak_rss_bytes};
 pub use sink::{CaptureSink, JsonlSink, NullSink, Sink, StderrSink};
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};

@@ -4,7 +4,7 @@
 //! atnn_serve [--scale tiny|small|paper] [--addr HOST:PORT]
 //!            [--artifact PATH] [--save-artifact PATH]
 //!            [--epochs N] [--shards N] [--event-threads N]
-//!            [--nprobe N] [--smoke]
+//!            [--nprobe N] [--quantized] [--smoke]
 //! ```
 //!
 //! Without `--artifact`, the daemon trains a model on the simulated Tmall
@@ -20,6 +20,14 @@
 //! many inverted lists each catalogue-wide `TopKAll` retrieval probes in
 //! the ANN index (recall dial; `nprobe ≥ nlist` is an exact scan).
 //!
+//! `--quantized` serves int8-quantized item tables: the snapshot
+//! quantizes both embedding caches at build (~4× less table memory at
+//! paper dims) and every score/retrieval path runs the int8 kernels.
+//! Scores are within the quantization error bound of — but not
+//! bit-identical to — the f32 path. With `--save-artifact` the
+//! publish-time codes are persisted so a loading replica serves them
+//! bit-identically.
+//!
 //! `--smoke` starts the server on an ephemeral port, exercises every
 //! endpoint once through a real TCP client — including a hot swap
 //! republishing the model under a bumped version — and exits non-zero on
@@ -30,7 +38,9 @@ use std::sync::Arc;
 
 use atnn_core::{Atnn, AtnnConfig, CtrTrainer, ModelArtifact, PopularityIndex, TrainOptions};
 use atnn_data::tmall::{TmallConfig, TmallDataset};
-use atnn_serve::{serve, ModelManager, ModelSnapshot, Response, ServeClient, ServeConfig};
+use atnn_serve::{
+    serve, ModelManager, ModelSnapshot, Precision, Response, ServeClient, ServeConfig,
+};
 
 struct Args {
     scale: String,
@@ -41,6 +51,7 @@ struct Args {
     shards: usize,
     event_threads: usize,
     nprobe: usize,
+    precision: Precision,
     smoke: bool,
 }
 
@@ -55,6 +66,7 @@ fn parse_args() -> Result<Args, String> {
         shards: 1,
         event_threads: 1,
         nprobe: ServeConfig::default().nprobe,
+        precision: Precision::F32,
         smoke: false,
     };
     let mut i = 0;
@@ -112,6 +124,10 @@ fn parse_args() -> Result<Args, String> {
                 }
                 i += 2;
             }
+            "--quantized" => {
+                args.precision = Precision::Int8;
+                i += 1;
+            }
             "--smoke" => {
                 args.smoke = true;
                 i += 1;
@@ -132,7 +148,11 @@ fn data_config(scale: &str) -> Result<TmallConfig, String> {
 }
 
 /// Trains a fresh model at `scale` and wraps it into a snapshot.
-fn train_snapshot(scale: &str, epochs: usize) -> Result<(ModelSnapshot, TmallConfig), String> {
+fn train_snapshot(
+    scale: &str,
+    epochs: usize,
+    precision: Precision,
+) -> Result<(ModelSnapshot, TmallConfig), String> {
     let cfg = data_config(scale)?;
     eprintln!("generating {scale} dataset...");
     let data = TmallDataset::generate(cfg.clone());
@@ -146,7 +166,7 @@ fn train_snapshot(scale: &str, epochs: usize) -> Result<(ModelSnapshot, TmallCon
     CtrTrainer::new(opts).train(&mut model, &data, None).map_err(|e| e.to_string())?;
     let users: Vec<u32> = (0..data.num_users() as u32).collect();
     let index = PopularityIndex::build(&model, &data, &users);
-    Ok((ModelSnapshot::new(1, data, model, index), cfg))
+    Ok((ModelSnapshot::new_with_precision(1, data, model, index, precision), cfg))
 }
 
 fn run() -> Result<(), String> {
@@ -157,13 +177,20 @@ fn run() -> Result<(), String> {
             eprintln!("loading artifact {path}...");
             let artifact =
                 ModelArtifact::load_from(path).map_err(|e| format!("load {path}: {e}"))?;
-            let snapshot = ModelSnapshot::from_artifact(&artifact)
-                .map_err(|e| format!("instantiate {path}: {e}"))?;
+            // --quantized forces int8 serving even from an f32 artifact;
+            // without it the artifact's own quant section (if any) decides.
+            let snapshot = match args.precision {
+                Precision::Int8 => {
+                    ModelSnapshot::from_artifact_with_precision(&artifact, Precision::Int8)
+                }
+                Precision::F32 => ModelSnapshot::from_artifact(&artifact),
+            }
+            .map_err(|e| format!("instantiate {path}: {e}"))?;
             let cfg = artifact.data_config.clone();
             (ModelManager::new(snapshot), cfg)
         }
         None => {
-            let (snapshot, cfg) = train_snapshot(&args.scale, args.epochs)?;
+            let (snapshot, cfg) = train_snapshot(&args.scale, args.epochs, args.precision)?;
             (ModelManager::new(snapshot), cfg)
         }
     };
@@ -172,8 +199,14 @@ fn run() -> Result<(), String> {
         let snap = manager.load();
         // Persist the built ANN index too, so the next boot skips the
         // k-means rebuild (decode cross-checks it against the embeddings).
-        let artifact = ModelArtifact::capture(&snap.model, &data_cfg, &snap.index, snap.version)
-            .with_ann(snap.encoded_ann().into());
+        let mut artifact =
+            ModelArtifact::capture(&snap.model, &data_cfg, &snap.index, snap.version)
+                .with_ann(snap.encoded_ann().into());
+        // A quantized publisher also persists its codes, so every replica
+        // adopting the artifact serves the same int8 tables.
+        if let Some((cold, warm)) = snap.quant_tables() {
+            artifact = artifact.with_quant((**cold).clone(), (**warm).clone());
+        }
         artifact.save_to(path).map_err(|e| format!("save {path}: {e}"))?;
         eprintln!("artifact saved to {path}");
     }
@@ -182,6 +215,7 @@ fn run() -> Result<(), String> {
         shards: args.shards,
         event_threads: args.event_threads,
         nprobe: args.nprobe,
+        precision: args.precision,
         ..ServeConfig::default()
     };
     match (&args.addr, args.smoke) {
@@ -195,11 +229,16 @@ fn run() -> Result<(), String> {
     let mut handle =
         serve(serve_cfg, Arc::clone(&manager)).map_err(|e| format!("bind failed: {e}"))?;
     println!(
-        "atnn-serve listening on {} (model v{}, {} shards, {} event threads)",
+        "atnn-serve listening on {} (model v{}, {} shards, {} event threads, {} tables: {} KiB)",
         handle.local_addr(),
         manager.version(),
         args.shards,
-        args.event_threads
+        args.event_threads,
+        match manager.load().precision() {
+            Precision::F32 => "f32",
+            Precision::Int8 => "int8",
+        },
+        manager.load().snapshot_bytes() / 1024
     );
 
     if args.smoke {
@@ -277,7 +316,12 @@ fn smoke(
     let before = client.health().map_err(fail("health"))?;
     {
         let snap = manager.load();
-        let artifact = ModelArtifact::capture(&snap.model, data_cfg, &snap.index, before + 1);
+        let mut artifact = ModelArtifact::capture(&snap.model, data_cfg, &snap.index, before + 1);
+        // Keep the fleet's precision across the swap: a quantized run
+        // republishes its publish-time codes.
+        if let Some((cold, warm)) = snap.quant_tables() {
+            artifact = artifact.with_quant((**cold).clone(), (**warm).clone());
+        }
         let path =
             std::env::temp_dir().join(format!("atnn_serve_smoke_{}.atnn", std::process::id()));
         artifact.save_to(&path).map_err(fail("save swap artifact"))?;
@@ -308,11 +352,25 @@ fn smoke(
     if dispatched == 0 {
         return Err("smoke stats: no shard reported a dispatch".to_string());
     }
+    if stats.snapshot_bytes == 0 || stats.snapshot_f32_bytes == 0 {
+        return Err("smoke stats: snapshot byte gauges not reported".to_string());
+    }
+    let snap = manager.load();
+    if snap.precision() == atnn_serve::Precision::Int8
+        && stats.snapshot_bytes * 2 >= stats.snapshot_f32_bytes
+    {
+        return Err(format!(
+            "smoke stats: quantized tables not compressed ({} vs {} f32 bytes)",
+            stats.snapshot_bytes, stats.snapshot_f32_bytes
+        ));
+    }
     println!(
-        "smoke: stats ok ({} batches over {} shards, mean batch {:.1})",
+        "smoke: stats ok ({} batches over {} shards, mean batch {:.1}, tables {} / f32 {})",
         stats.batches,
         stats.shards.len(),
-        stats.mean_batch_size()
+        stats.mean_batch_size(),
+        stats.snapshot_bytes,
+        stats.snapshot_f32_bytes
     );
     Ok(())
 }

@@ -2,6 +2,8 @@
 
 use std::time::Duration;
 
+use crate::manager::Precision;
+
 /// All serving dials in one place. `Default` is tuned for tests and the
 /// loadgen; production deployments override the address and capacities.
 #[derive(Debug, Clone)]
@@ -46,6 +48,12 @@ pub struct ServeConfig {
     /// `nprobe ≥ nlist` degenerates to an exact scan bit-identical to the
     /// brute-force oracle.
     pub nprobe: usize,
+    /// Numeric representation the daemon builds snapshots at
+    /// ([`Precision::Int8`] quantizes the item tables at publish, ~4×
+    /// less snapshot memory for toleranced — not bit-identical —
+    /// scores). Snapshots handed to the server directly carry their own
+    /// precision; this dial governs the boot/train path.
+    pub precision: Precision,
 }
 
 impl Default for ServeConfig {
@@ -63,6 +71,7 @@ impl Default for ServeConfig {
             event_threads: 1,
             max_pipeline: 128,
             nprobe: 8,
+            precision: Precision::F32,
         }
     }
 }

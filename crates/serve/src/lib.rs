@@ -53,7 +53,10 @@ pub mod telemetry;
 pub use batcher::{BatchReply, Batcher, Overloaded, ProbeReply, ProbeReplyFn, ReplyFn};
 pub use client::ServeClient;
 pub use config::ServeConfig;
-pub use manager::{snapshot_build_gauge, ItemSpaceMismatch, ModelManager, ModelSnapshot};
+pub use manager::{
+    snapshot_build_gauge, snapshot_bytes_gauge, snapshot_f32_bytes_gauge, ItemSpaceMismatch,
+    ModelManager, ModelSnapshot, Precision,
+};
 pub use protocol::{
     FrameRead, FrameReader, ProtocolError, Request, Response, ShardStats, StatsReport,
 };

@@ -139,6 +139,14 @@ pub struct StatsReport {
     /// Failed `accept` calls observed by the acceptor (each one also
     /// backed off exponentially; see the server's accept loop).
     pub accept_errors: u64,
+    /// Bytes the served snapshot's embedding tables occupy in their
+    /// served representation (int8 codes + affine parameters on a
+    /// quantized snapshot) — the `atnn.serve.snapshot_bytes` gauge.
+    pub snapshot_bytes: u64,
+    /// Bytes the same tables would occupy as raw f32; the ratio against
+    /// `snapshot_bytes` is the quantization memory win (1× on f32
+    /// snapshots).
+    pub snapshot_f32_bytes: u64,
     /// Per-endpoint counters and latency quantiles.
     pub endpoints: Vec<EndpointStats>,
     /// Per-shard batcher counters, indexed by shard id.
@@ -351,6 +359,8 @@ impl Response {
                 buf.put_u64_le(report.batches);
                 buf.put_u64_le(report.batched_items);
                 buf.put_u64_le(report.accept_errors);
+                buf.put_u64_le(report.snapshot_bytes);
+                buf.put_u64_le(report.snapshot_f32_bytes);
                 buf.put_u32_le(report.endpoints.len() as u32);
                 for e in &report.endpoints {
                     put_string(&e.name, &mut buf);
@@ -430,6 +440,8 @@ impl Response {
                 let batches = get_u64(&mut buf)?;
                 let batched_items = get_u64(&mut buf)?;
                 let accept_errors = get_u64(&mut buf)?;
+                let snapshot_bytes = get_u64(&mut buf)?;
+                let snapshot_f32_bytes = get_u64(&mut buf)?;
                 let n = get_u32(&mut buf)? as usize;
                 let mut endpoints = Vec::with_capacity(n);
                 for _ in 0..n {
@@ -459,6 +471,8 @@ impl Response {
                     batches,
                     batched_items,
                     accept_errors,
+                    snapshot_bytes,
+                    snapshot_f32_bytes,
                     endpoints,
                     shards,
                 })
@@ -690,6 +704,8 @@ mod tests {
             batches: 10,
             batched_items: 55,
             accept_errors: 3,
+            snapshot_bytes: 4_096,
+            snapshot_f32_bytes: 16_384,
             endpoints: vec![EndpointStats {
                 name: "score".into(),
                 requests: 100,

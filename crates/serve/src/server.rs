@@ -621,7 +621,11 @@ fn dispatch(
             inline(Response::Health { ok: true, model_version: shared.manager.version() })
         }
         Request::Stats => {
-            inline(Response::Stats(shared.telemetry.report(shared.manager.version())))
+            let snap = shared.manager.load();
+            let mut report = shared.telemetry.report(snap.version);
+            report.snapshot_bytes = snap.snapshot_bytes();
+            report.snapshot_f32_bytes = snap.snapshot_f32_bytes();
+            inline(Response::Stats(report))
         }
         Request::RecordInteractions { items } => {
             if let Some(err) = validate_items(shared, &items) {

@@ -243,6 +243,10 @@ impl Telemetry {
             batches: shards.iter().map(|s| s.batches).sum(),
             batched_items: shards.iter().map(|s| s.batched_items).sum(),
             accept_errors: self.accept_errors.get(),
+            // Snapshot footprints belong to the served snapshot, not the
+            // telemetry registry; the server's Stats handler fills them.
+            snapshot_bytes: 0,
+            snapshot_f32_bytes: 0,
             endpoints,
             shards,
         }

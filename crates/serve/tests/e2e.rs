@@ -15,8 +15,8 @@ use atnn_core::{Atnn, AtnnConfig, CtrTrainer, ModelArtifact, PopularityIndex, Tr
 use atnn_data::tmall::{TmallConfig, TmallDataset};
 use atnn_serve::protocol::{read_frame, write_frame};
 use atnn_serve::{
-    serve, shard_of, ModelManager, ModelSnapshot, Request, Response, ServeClient, ServeConfig,
-    ServeHandle,
+    serve, shard_of, ModelManager, ModelSnapshot, Precision, Request, Response, ServeClient,
+    ServeConfig, ServeHandle,
 };
 
 fn tiny_data_config() -> TmallConfig {
@@ -521,6 +521,79 @@ fn sharded_topk_all_at_full_probe_matches_the_exact_oracle() {
     let ep = stats.endpoint("topk_all").unwrap();
     assert_eq!(ep.requests, 7, "6 retrievals + 1 rejected");
     assert_eq!(ep.errors, 1);
+    handle.shutdown();
+}
+
+/// Same trained tiny model as [`snapshot`], served from int8 tables.
+fn quantized_snapshot(version: u64, epochs: usize) -> ModelSnapshot {
+    let data = TmallDataset::generate(tiny_data_config());
+    let mut model = Atnn::new(AtnnConfig::scaled(), &data);
+    if epochs > 0 {
+        let opts = TrainOptions::builder().epochs(epochs).build().expect("valid options");
+        CtrTrainer::new(opts).train(&mut model, &data, None).expect("training runs");
+    }
+    let index = PopularityIndex::build(&model, &data, &(0..40).collect::<Vec<_>>());
+    ModelSnapshot::new_with_precision(version, data, model, index, Precision::Int8)
+}
+
+#[test]
+fn quantized_fleet_serves_int8_tables_end_to_end() {
+    // A 3-shard fleet over an int8 snapshot: every endpoint answers from
+    // the quantized tables. Wire responses are compared bit-for-bit
+    // against the *same quantized snapshot's* direct calls (determinism
+    // through the fleet), and within tolerance of an f32 twin trained
+    // identically (quantization error bound).
+    let cfg =
+        ServeConfig { shards: 3, event_threads: 2, nprobe: usize::MAX, ..ServeConfig::default() };
+    let (mut handle, manager) = start_server(cfg, quantized_snapshot(1, 1));
+    let snap = manager.load();
+    assert_eq!(snap.precision(), Precision::Int8);
+    let f32_twin = snapshot(1, 1);
+    let mut client = ServeClient::connect(handle.local_addr()).unwrap();
+
+    let items: Vec<u32> = (0..150).collect();
+    let direct_cold = snap.score_cold(&items);
+    let direct_warm = snap.score_warm(&items);
+    match client.score_new_arrival(&items).unwrap() {
+        Response::Scores(scores) => assert_eq!(scores, direct_cold, "fleet is deterministic"),
+        other => panic!("unexpected {other:?}"),
+    }
+    match client.score_warm_item(&items).unwrap() {
+        Response::Scores(scores) => assert_eq!(scores, direct_warm),
+        other => panic!("unexpected {other:?}"),
+    }
+    for (i, (q, e)) in direct_cold.iter().zip(f32_twin.score_cold(&items)).enumerate() {
+        assert!((q - e).abs() < 5e-3, "cold item {i}: int8 {q} vs f32 {e}");
+    }
+
+    // Catalogue-wide retrieval: the scatter-gather answer equals the
+    // quantized snapshot's own full-probe ranking (sigmoid at the front),
+    // and recalls the f32 oracle's winners.
+    let expected: Vec<(u32, f32)> = snap
+        .topk_dots(10, usize::MAX, &|_| true)
+        .into_iter()
+        .map(|(id, dot)| (id, snap.index.score_from_dot(dot)))
+        .collect();
+    let winners = match client.topk_all(10).unwrap() {
+        Response::TopK(w) => w,
+        other => panic!("unexpected {other:?}"),
+    };
+    assert_eq!(winners, expected, "sharded int8 TopKAll is deterministic");
+    let oracle: HashSet<u32> =
+        f32_twin.topk_dots(10, usize::MAX, &|_| true).into_iter().map(|(id, _)| id).collect();
+    let hits = winners.iter().filter(|(id, _)| oracle.contains(id)).count();
+    assert!(hits >= 9, "int8 top-10 recalled only {hits}/10 of the f32 oracle");
+
+    // The stats endpoint reports the compressed footprint.
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.snapshot_bytes, snap.snapshot_bytes());
+    assert_eq!(stats.snapshot_f32_bytes, snap.snapshot_f32_bytes());
+    assert!(
+        stats.snapshot_bytes * 2 < stats.snapshot_f32_bytes,
+        "quantized tables must be reported compressed: {} vs {}",
+        stats.snapshot_bytes,
+        stats.snapshot_f32_bytes
+    );
     handle.shutdown();
 }
 

@@ -20,6 +20,7 @@ mod gemm;
 mod matrix;
 mod ops;
 pub mod pool;
+mod quant;
 mod rng;
 mod serialize;
 mod sparse;
@@ -29,6 +30,7 @@ pub use error::TensorError;
 pub use gemm::{gemm_dispatch_counts, stable_sigmoid, ActKind};
 pub use matrix::Matrix;
 pub use ops::{cosine, dot};
+pub use quant::{dot_i8, dot_i8_scalar, PreparedQuery, QuantizedMatrix};
 pub use rng::{Init, Rng64};
 pub use serialize::{decode_matrix, encode_matrix};
 pub use sparse::SparseRowGrad;

@@ -1,0 +1,99 @@
+//! Property tests for the int8 row codec: the quantize→dequantize error
+//! bound (≤ scale/2 per element), exact round-trips for degenerate
+//! rows, and bit-identity of the SIMD int8 dot kernel.
+
+use atnn_tensor::{dot_i8, dot_i8_scalar, QuantizedMatrix};
+use proptest::collection;
+use proptest::strategy::Strategy;
+use proptest::test_runner::TestRng;
+
+#[test]
+fn proptest_dequantize_error_is_at_most_half_scale() {
+    // Rows mix magnitudes across six orders so tiny and huge scales both
+    // get exercised; the bound must hold per element for every row.
+    let strategy = (
+        1usize..24,                                  // dim
+        collection::vec(-1000.0f32..1000.0, 1..=24), // base values
+        collection::vec(-5i32..6, 1..=24),           // per-element decade shift
+    );
+    let mut rng = TestRng::from_name("proptest_dequantize_error_is_at_most_half_scale");
+    for case in 0..256 {
+        let (d, base, decades) = strategy.sample(&mut rng);
+        let row: Vec<f32> =
+            (0..d).map(|j| base[j % base.len()] * 10f32.powi(decades[j % decades.len()])).collect();
+        let mut q = QuantizedMatrix::new(d);
+        q.push_row(&row);
+        let mut back = vec![0.0; d];
+        q.dequantize_row_into(0, &mut back);
+        let tol = q.row_scale(0) * 0.5 * (1.0 + 1e-4) + f32::MIN_POSITIVE;
+        for (j, (a, b)) in row.iter().zip(&back).enumerate() {
+            assert!(
+                (a - b).abs() <= tol,
+                "case {case} elem {j}: {a} vs {b} (scale {}, tol {tol})",
+                q.row_scale(0)
+            );
+        }
+    }
+}
+
+#[test]
+fn proptest_constant_and_zero_rows_round_trip_exactly() {
+    let strategy = (1usize..48, -1.0e4f32..1.0e4);
+    let mut rng = TestRng::from_name("proptest_constant_and_zero_rows_round_trip_exactly");
+    for case in 0..128 {
+        let (d, v) = strategy.sample(&mut rng);
+        for value in [v, 0.0f32] {
+            let mut q = QuantizedMatrix::new(d);
+            q.push_row(&vec![value; d]);
+            let mut back = vec![0.0; d];
+            q.dequantize_row_into(0, &mut back);
+            for b in &back {
+                // A constant row's range is [min(v,0), max(v,0)]; v sits on
+                // the code grid's endpoint, so it reconstructs within one
+                // float rounding of scale*255 — effectively exact.
+                assert!(
+                    (b - value).abs() <= value.abs() * 1e-5,
+                    "case {case}: constant {value} came back {b}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn proptest_dot_kernel_is_bit_identical_across_dispatch() {
+    let strategy = collection::vec(-128i32..128, 1..=300);
+    let mut rng = TestRng::from_name("proptest_dot_kernel_is_bit_identical_across_dispatch");
+    for case in 0..128 {
+        let a: Vec<i8> = strategy.sample(&mut rng).iter().map(|&v| v as i8).collect();
+        let b: Vec<i8> =
+            strategy.sample(&mut rng).iter().cycle().take(a.len()).map(|&v| v as i8).collect();
+        assert_eq!(dot_i8(&a, &b), dot_i8_scalar(&a, &b), "case {case} len {}", a.len());
+    }
+}
+
+#[test]
+fn proptest_prepared_dot_error_is_within_analytic_bound() {
+    // |dot_q - dot_f| ≤ (row_scale/2)·‖q‖₁ + (query_scale/2)·‖row‖₁ plus
+    // float-summation slack.
+    let strategy = (1usize..32, collection::vec(-50.0f32..50.0, 1..=32));
+    let mut rng = TestRng::from_name("proptest_prepared_dot_error_is_within_analytic_bound");
+    for case in 0..128 {
+        let (d, vals) = strategy.sample(&mut rng);
+        let row: Vec<f32> = (0..d).map(|j| vals[j % vals.len()]).collect();
+        let query: Vec<f32> = (0..d).map(|j| vals[(j * 7 + 3) % vals.len()] * 0.1).collect();
+        // Zero anchor: the bound below is for the plain affine code; an
+        // anchored table only tightens it (smaller scales, exact base).
+        let mut q = QuantizedMatrix::new(d);
+        q.push_row(&row);
+        let prep = q.prepare(&query);
+        let exact: f32 = row.iter().zip(&query).map(|(a, b)| a * b).sum();
+        let approx = q.dot_prepared(0, &prep);
+        let l1q: f32 = query.iter().map(|v| v.abs()).sum();
+        let l1r: f32 = row.iter().map(|v| v.abs()).sum();
+        let tol = 0.5 * q.row_scale(0) * l1q * (1.0 + 1e-3)
+            + 0.5 * prep.scale() * l1r * (1.0 + 1e-3)
+            + 1e-3;
+        assert!((exact - approx).abs() <= tol, "case {case}: {exact} vs {approx} (tol {tol})");
+    }
+}

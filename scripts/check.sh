@@ -28,6 +28,12 @@ cargo run --release -p atnn-bench --bin gemm_bench -- --smoke
 echo "==> ann smoke (recall@10 >= 0.95 at default nprobe, full probe bit-identical)"
 cargo run --release -p atnn-bench --bin ann_bench -- --smoke
 
+echo "==> quant smoke (int8 tables >= 3.5x smaller at dim 64, same-probe recall@10 >= 0.99)"
+cargo run --release -p atnn-bench --bin quant_bench -- --smoke
+
+echo "==> quant-serve smoke (int8 snapshot round-trip through every endpoint + hot swap)"
+cargo run --release -p atnn-serve --bin atnn_serve -- --scale tiny --smoke --quantized
+
 echo "==> obs smoke (train one epoch with a JsonlSink, replay the event stream)"
 cargo run --release --example obs_smoke
 
