@@ -4,7 +4,7 @@ use atnn_data::dataset::BatchIter;
 use atnn_data::schema::FeatureBlock;
 use atnn_data::tmall::TmallDataset;
 use atnn_obs::{Event, StderrSink};
-use atnn_tensor::{pool, Matrix, Rng64};
+use atnn_tensor::{pool, BackendKind, Matrix, Rng64};
 
 use crate::config::ConfigError;
 use crate::model::{Atnn, StepLosses};
@@ -73,6 +73,12 @@ pub struct TrainOptions {
     /// base-rate shift; calibrated probabilities need
     /// [`atnn_data::dataset::recalibrate_probability`].
     pub negative_keep_rate: Option<f32>,
+    /// Compute backend the whole run (steps + pooled evaluation) executes
+    /// under; `None` inherits the process default (`ATNN_BACKEND`, or
+    /// avx2). `FastMath` trades bit-identity for FMA throughput — see the
+    /// `atnn_tensor::backend` docs — so training and serving can pick
+    /// differently.
+    pub backend: Option<BackendKind>,
 }
 
 impl Default for TrainOptions {
@@ -83,6 +89,7 @@ impl Default for TrainOptions {
             seed: 97,
             verbose: false,
             negative_keep_rate: None,
+            backend: None,
         }
     }
 }
@@ -130,6 +137,16 @@ impl TrainOptionsBuilder {
     /// Sets the negative-downsampling keep rate (`None` keeps everything).
     pub fn negative_keep_rate(mut self, v: Option<f32>) -> Self {
         self.opts.negative_keep_rate = v;
+        self
+    }
+
+    /// Sets the compute backend for the run (`None` inherits the process
+    /// default). The name→kind parse (`"fastmath".parse()`) happens before
+    /// this setter, so an invalid *name* is a typed
+    /// [`atnn_tensor::UnknownBackend`] error at the config edge, never a
+    /// panic mid-train.
+    pub fn backend(mut self, v: Option<BackendKind>) -> Self {
+        self.opts.backend = v;
         self
     }
 
@@ -235,6 +252,21 @@ impl CtrTrainer {
         val_rows: Option<&[u32]>,
         patience: usize,
     ) -> Result<TrainReport, TrainError> {
+        // The scope covers every kernel of the run — steps and pooled
+        // evaluation alike (the pool forwards it to its workers).
+        atnn_tensor::with_backend_opt(self.opts.backend, || {
+            self.run_scoped(model, data, rows, val_rows, patience)
+        })
+    }
+
+    fn run_scoped(
+        &self,
+        model: &mut Atnn,
+        data: &TmallDataset,
+        rows: Option<&[u32]>,
+        val_rows: Option<&[u32]>,
+        patience: usize,
+    ) -> Result<TrainReport, TrainError> {
         let all: Vec<u32>;
         let rows = match rows {
             Some(r) => r,
@@ -316,10 +348,18 @@ impl CtrTrainer {
                 eprintln!("{}", StderrSink::render(&epoch_event));
             }
             atnn_obs::emit(&epoch_event);
-            // Kernel-selection snapshot (cumulative process-wide counts):
-            // makes tiled/small/parallel dispatch visible per epoch.
+            // Kernel-selection snapshot (cumulative process-wide counts),
+            // tagged with the backend this run executes under: makes
+            // tiled/small/parallel dispatch attributable per backend in
+            // the JSONL stream.
             let (tiled, small, edge_tiles, parallel) = atnn_tensor::gemm_dispatch_counts();
-            atnn_obs::emit(&Event::KernelDispatch { tiled, small, edge_tiles, parallel });
+            atnn_obs::emit(&Event::KernelDispatch {
+                tiled,
+                small,
+                edge_tiles,
+                parallel,
+                backend: atnn_tensor::current_backend_kind().name().into(),
+            });
             report.epochs.push(stats);
 
             if let Some(auc) = val_auc {
@@ -568,10 +608,14 @@ mod tests {
             .seed(3)
             .verbose(false)
             .negative_keep_rate(Some(0.5))
+            .backend(Some(BackendKind::FastMath))
             .build()
             .unwrap();
         assert_eq!((opts.epochs, opts.batch_size, opts.seed), (5, 64, 3));
         assert_eq!(opts.negative_keep_rate, Some(0.5));
+        assert_eq!(opts.backend, Some(BackendKind::FastMath));
+        // An invalid backend *name* is a typed error at the parse edge.
+        assert!("avx512".parse::<BackendKind>().is_err());
 
         for (build, field) in [
             (TrainOptions::builder().epochs(0).build(), "epochs"),

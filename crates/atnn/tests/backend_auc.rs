@@ -1,0 +1,51 @@
+//! End-to-end backend acceptance: a full (tiny) training run under the
+//! fast-math backend must land within 0.001 AUC of the scalar oracle, and
+//! the bit-identical backends must reproduce the oracle's weights exactly.
+//!
+//! This is the integration-level counterpart of the kernel parity suite in
+//! `atnn-tensor/tests/backend_parity.rs`: kernels being toleranced is
+//! necessary but not sufficient — this pins that the accumulated
+//! fast-math rounding across every step of an optimization trajectory
+//! stays in the noise for model quality.
+
+use atnn_core::{evaluate_auc_full, Atnn, AtnnConfig, CtrTrainer, TrainOptions};
+use atnn_data::tmall::{TmallConfig, TmallDataset};
+use atnn_tensor::{pool, BackendKind};
+
+fn train_once(backend: BackendKind) -> (bytes::Bytes, f64) {
+    pool::with_threads(4, || {
+        let data = TmallDataset::generate(TmallConfig::tiny());
+        let mut model = Atnn::new(AtnnConfig::scaled(), &data);
+        let opts = TrainOptions::builder()
+            .epochs(2)
+            .backend(Some(backend))
+            .build()
+            .expect("valid options");
+        CtrTrainer::new(opts).train(&mut model, &data, None).expect("training runs");
+        let rows: Vec<u32> = (0..data.interactions.len() as u32).collect();
+        // Evaluate under the same backend the model was trained with.
+        let auc = atnn_tensor::with_backend(backend, || {
+            evaluate_auc_full(&model, &data, &rows).expect("AUC defined")
+        });
+        (model.save(), auc)
+    })
+}
+
+#[test]
+fn fastmath_training_stays_within_auc_tolerance_of_oracle() {
+    let (oracle_weights, oracle_auc) = train_once(BackendKind::Scalar);
+
+    // Bit-identical backends: the entire trajectory reproduces exactly.
+    let (avx2_weights, avx2_auc) = train_once(BackendKind::Avx2);
+    assert_eq!(avx2_weights, oracle_weights, "avx2 training must be bit-identical to scalar");
+    assert_eq!(avx2_auc, oracle_auc, "avx2 evaluation must be bit-identical to scalar");
+
+    // Toleranced backend: different bits, same model quality.
+    let (_, fast_auc) = train_once(BackendKind::FastMath);
+    let delta = (fast_auc - oracle_auc).abs();
+    assert!(
+        delta <= 1e-3,
+        "fast-math training drifted: scalar AUC {oracle_auc:.6}, \
+         fastmath AUC {fast_auc:.6}, |delta| {delta:.6} > 0.001"
+    );
+}

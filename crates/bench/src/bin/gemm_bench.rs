@@ -1,9 +1,11 @@
-//! Naive-vs-tiled GEMM throughput harness.
+//! GEMM throughput harness with a per-backend axis.
 //!
 //! Measures GFLOP/s and ns/op for [`Matrix::matmul_naive`] (the scalar
-//! i-k-j reference kernel) against the production register-tiled kernel
-//! across square sizes 64–1024 and the actual ATNN layer shapes, writing
-//! the results to `BENCH_gemm.json` (the source of the README perf table).
+//! i-k-j reference kernel) and the production register-tiled kernel under
+//! each compute backend — `scalar`, `avx2`, and `fastmath` (see
+//! `atnn_tensor::backend`) — across square sizes 64–1024 and the actual
+//! ATNN layer shapes, writing the results to `BENCH_gemm.json` (the source
+//! of the README perf tables).
 //!
 //! Runs serially (`pool::with_threads(1)`) so the comparison isolates the
 //! single-core microkernel win from the row-sharding layer benchmarked in
@@ -11,13 +13,14 @@
 //!
 //! Flags:
 //! - `--smoke`: one quick 256² comparison; exits non-zero unless the tiled
-//!   kernel at least matches the naive kernel (the check.sh regression
-//!   gate).
+//!   kernel at least matches the naive kernel, and (on FMA hosts) the
+//!   fast-math kernel is not slower than the avx2 kernel beyond noise
+//!   margin (the check.sh regression gates).
 //! - `--out <path>`: output path (default `BENCH_gemm.json`).
 
 use std::time::Instant;
 
-use atnn_tensor::{pool, Matrix};
+use atnn_tensor::{cpu_caps, pool, with_backend, BackendKind, Matrix};
 
 /// `(label, m, k, n)` cases: squares spanning the cache hierarchy plus the
 /// paper-config ATNN tower layers (batch 512, deep stack 512-256-128,
@@ -35,16 +38,31 @@ const CASES: &[(&str, usize, usize, usize)] = &[
     ("atnn/scaled_fc0_64x64x64", 64, 64, 64),
 ];
 
+/// The tiled kernel's ns/op under every backend, plus the naive reference.
 struct Measurement {
     name: String,
     m: usize,
     k: usize,
     n: usize,
     naive_ns: f64,
-    tiled_ns: f64,
-    naive_gflops: f64,
-    tiled_gflops: f64,
-    speedup: f64,
+    scalar_ns: f64,
+    avx2_ns: f64,
+    fastmath_ns: f64,
+    flops: f64,
+}
+
+impl Measurement {
+    fn gflops(&self, ns: f64) -> f64 {
+        self.flops / ns
+    }
+    /// Tiled-avx2 (the default backend) win over the naive reference.
+    fn avx2_vs_naive(&self) -> f64 {
+        self.naive_ns / self.avx2_ns
+    }
+    /// Fast-math win over the bit-identical avx2 kernel.
+    fn fastmath_vs_avx2(&self) -> f64 {
+        self.avx2_ns / self.fastmath_ns
+    }
 }
 
 fn test_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
@@ -84,15 +102,22 @@ fn measure(name: &str, m: usize, k: usize, n: usize, samples: usize) -> Measurem
     let b = test_matrix(k, n, 0xB0B);
     let mut out = Matrix::zeros(m, n);
     let flops = 2.0 * m as f64 * k as f64 * n as f64;
-    let (naive_ns, tiled_ns) = pool::with_threads(1, || {
+    let (naive_ns, scalar_ns, avx2_ns, fastmath_ns) = pool::with_threads(1, || {
         let naive = time_ns(samples, 20_000_000, || {
             std::hint::black_box(a.matmul_naive(std::hint::black_box(&b)));
         });
-        let tiled = time_ns(samples, 20_000_000, || {
-            a.matmul_into(std::hint::black_box(&b), &mut out).unwrap();
-            std::hint::black_box(&out);
-        });
-        (naive, tiled)
+        let mut tiled_under = |kind: BackendKind| {
+            with_backend(kind, || {
+                time_ns(samples, 20_000_000, || {
+                    a.matmul_into(std::hint::black_box(&b), &mut out).unwrap();
+                    std::hint::black_box(&out);
+                })
+            })
+        };
+        let scalar = tiled_under(BackendKind::Scalar);
+        let avx2 = tiled_under(BackendKind::Avx2);
+        let fastmath = tiled_under(BackendKind::FastMath);
+        (naive, scalar, avx2, fastmath)
     });
     Measurement {
         name: name.to_string(),
@@ -100,10 +125,10 @@ fn measure(name: &str, m: usize, k: usize, n: usize, samples: usize) -> Measurem
         k,
         n,
         naive_ns,
-        tiled_ns,
-        naive_gflops: flops / naive_ns,
-        tiled_gflops: flops / tiled_ns,
-        speedup: naive_ns / tiled_ns,
+        scalar_ns,
+        avx2_ns,
+        fastmath_ns,
+        flops,
     }
 }
 
@@ -113,19 +138,27 @@ fn to_json(results: &[Measurement]) -> String {
         .map(|r| {
             format!(
                 concat!(
-                    "  {{\"name\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, ",
-                    "\"naive_ns\": {:.1}, \"tiled_ns\": {:.1}, ",
-                    "\"naive_gflops\": {:.3}, \"tiled_gflops\": {:.3}, \"speedup\": {:.2}}}"
+                    "  {{\"name\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {},\n",
+                    "   \"naive_ns\": {:.1}, \"scalar_ns\": {:.1}, ",
+                    "\"avx2_ns\": {:.1}, \"fastmath_ns\": {:.1},\n",
+                    "   \"naive_gflops\": {:.3}, \"scalar_gflops\": {:.3}, ",
+                    "\"avx2_gflops\": {:.3}, \"fastmath_gflops\": {:.3},\n",
+                    "   \"avx2_vs_naive\": {:.2}, \"fastmath_vs_avx2\": {:.3}}}"
                 ),
                 r.name,
                 r.m,
                 r.k,
                 r.n,
                 r.naive_ns,
-                r.tiled_ns,
-                r.naive_gflops,
-                r.tiled_gflops,
-                r.speedup
+                r.scalar_ns,
+                r.avx2_ns,
+                r.fastmath_ns,
+                r.gflops(r.naive_ns),
+                r.gflops(r.scalar_ns),
+                r.gflops(r.avx2_ns),
+                r.gflops(r.fastmath_ns),
+                r.avx2_vs_naive(),
+                r.fastmath_vs_avx2()
             )
         })
         .collect();
@@ -143,14 +176,28 @@ fn main() {
 
     if smoke {
         // One fast comparison at 256²: a tiled kernel slower than the
-        // naive reference is a regression regardless of absolute numbers.
+        // naive reference is a regression regardless of absolute numbers,
+        // and (on FMA hosts) a fast-math kernel materially slower than
+        // avx2 means the FMA microkernel stopped being selected. The 10%
+        // margin absorbs CI timer noise; the full run records the real gap.
         let r = measure("square/256", 256, 256, 256, 3);
         println!(
-            "gemm-smoke 256²: naive {:.2} GFLOP/s, tiled {:.2} GFLOP/s ({:.2}x)",
-            r.naive_gflops, r.tiled_gflops, r.speedup
+            "gemm-smoke 256²: naive {:.2} | scalar {:.2} | avx2 {:.2} | fastmath {:.2} GFLOP/s",
+            r.gflops(r.naive_ns),
+            r.gflops(r.scalar_ns),
+            r.gflops(r.avx2_ns),
+            r.gflops(r.fastmath_ns)
         );
-        if r.tiled_ns > r.naive_ns {
+        if r.avx2_ns > r.naive_ns {
             eprintln!("gemm-smoke FAILED: tiled kernel slower than naive reference");
+            std::process::exit(1);
+        }
+        let caps = cpu_caps();
+        if caps.avx2 && caps.fma && r.fastmath_ns > r.avx2_ns * 1.10 {
+            eprintln!(
+                "gemm-smoke FAILED: fast-math kernel slower than avx2 ({:.1} vs {:.1} ns)",
+                r.fastmath_ns, r.avx2_ns
+            );
             std::process::exit(1);
         }
         return;
@@ -160,8 +207,17 @@ fn main() {
     for &(name, m, k, n) in CASES {
         let r = measure(name, m, k, n, 7);
         println!(
-            "{:28} {:4}x{:4}x{:4}  naive {:8.2} GFLOP/s  tiled {:8.2} GFLOP/s  {:5.2}x",
-            r.name, r.m, r.k, r.n, r.naive_gflops, r.tiled_gflops, r.speedup
+            "{:28} {:4}x{:4}x{:4}  naive {:7.2}  scalar {:7.2}  avx2 {:7.2}  fastmath {:7.2} \
+             GFLOP/s  fm/avx2 {:5.3}x",
+            r.name,
+            r.m,
+            r.k,
+            r.n,
+            r.gflops(r.naive_ns),
+            r.gflops(r.scalar_ns),
+            r.gflops(r.avx2_ns),
+            r.gflops(r.fastmath_ns),
+            r.fastmath_vs_avx2()
         );
         results.push(r);
     }

@@ -100,6 +100,9 @@ pub enum Event {
         edge_tiles: u64,
         /// Matmul entry points forked across the worker pool.
         parallel: u64,
+        /// Active compute backend at snapshot time (`scalar` / `avx2` /
+        /// `fastmath`) so traces attribute kernel counts per backend.
+        backend: Str,
     },
 }
 
@@ -317,11 +320,12 @@ impl Event {
                 push_str(&mut out, "label", label);
                 push_u64(&mut out, "ns", *ns);
             }
-            Event::KernelDispatch { tiled, small, edge_tiles, parallel } => {
+            Event::KernelDispatch { tiled, small, edge_tiles, parallel, backend } => {
                 push_u64(&mut out, "tiled", *tiled);
                 push_u64(&mut out, "small", *small);
                 push_u64(&mut out, "edge_tiles", *edge_tiles);
                 push_u64(&mut out, "parallel", *parallel);
+                push_str(&mut out, "backend", backend);
             }
         }
         out.push('}');
@@ -377,6 +381,7 @@ impl Event {
                 small: fields.u64_field("small")?,
                 edge_tiles: fields.u64_field("edge_tiles")?,
                 parallel: fields.u64_field("parallel")?,
+                backend: fields.str_field("backend")?,
             }),
             other => Err(EventParseError::UnknownEvent(other.to_string())),
         }
@@ -422,11 +427,17 @@ mod tests {
 
     #[test]
     fn kernel_dispatch_roundtrips() {
-        let e = Event::KernelDispatch { tiled: 12, small: 34, edge_tiles: 5, parallel: 6 };
+        let e = Event::KernelDispatch {
+            tiled: 12,
+            small: 34,
+            edge_tiles: 5,
+            parallel: 6,
+            backend: "avx2".into(),
+        };
         assert_eq!(e.kind(), "kernel_dispatch");
         assert_eq!(
             e.to_json(),
-            r#"{"event":"kernel_dispatch","tiled":12,"small":34,"edge_tiles":5,"parallel":6}"#
+            r#"{"event":"kernel_dispatch","tiled":12,"small":34,"edge_tiles":5,"parallel":6,"backend":"avx2"}"#
         );
         assert_eq!(Event::from_json(&e.to_json()).unwrap(), e);
     }

@@ -80,8 +80,9 @@ impl StderrSink {
             Event::Swap { version } => format!("model swap -> v{version}"),
             Event::Shed { endpoint } => format!("shed request on {endpoint}"),
             Event::Span { label, ns } => format!("{label}: {:.3} ms", *ns as f64 / 1e6),
-            Event::KernelDispatch { tiled, small, edge_tiles, parallel } => format!(
-                "kernels: tiled={tiled} small={small} edge_tiles={edge_tiles} parallel={parallel}"
+            Event::KernelDispatch { tiled, small, edge_tiles, parallel, backend } => format!(
+                "kernels[{backend}]: tiled={tiled} small={small} edge_tiles={edge_tiles} \
+                 parallel={parallel}"
             ),
         }
     }

@@ -48,7 +48,13 @@ fn every_event_kind() -> Vec<Event> {
         Event::Swap { version: u64::MAX },
         Event::Shed { endpoint: "score_new_arrival".into() },
         Event::Span { label: "weird \"label\"\\with\nescapes".into(), ns: 0 },
-        Event::KernelDispatch { tiled: 4821, small: 977, edge_tiles: 64, parallel: 0 },
+        Event::KernelDispatch {
+            tiled: 4821,
+            small: 977,
+            edge_tiles: 64,
+            parallel: 0,
+            backend: "fastmath".into(),
+        },
     ]
 }
 

@@ -133,9 +133,13 @@ impl Batcher {
             cfg,
         });
         let worker_shared = Arc::clone(&shared);
+        // Pin the configured compute backend for the whole worker thread:
+        // every batch this shard scores runs under it (None inherits the
+        // process default).
+        let backend = worker_shared.cfg.backend;
         let worker = std::thread::Builder::new()
             .name(format!("atnn-serve-shard{shard}"))
-            .spawn(move || worker_loop(&worker_shared))
+            .spawn(move || atnn_tensor::with_backend_opt(backend, || worker_loop(&worker_shared)))
             .expect("spawn batch worker");
         Batcher { shared, worker: Mutex::new(Some(worker)) }
     }

@@ -4,7 +4,8 @@
 //! atnn_serve [--scale tiny|small|paper] [--addr HOST:PORT]
 //!            [--artifact PATH] [--save-artifact PATH]
 //!            [--epochs N] [--shards N] [--event-threads N]
-//!            [--nprobe N] [--quantized] [--smoke]
+//!            [--nprobe N] [--quantized] [--backend=scalar|avx2|fastmath]
+//!            [--smoke]
 //! ```
 //!
 //! Without `--artifact`, the daemon trains a model on the simulated Tmall
@@ -27,6 +28,14 @@
 //! bit-identical to — the f32 path. With `--save-artifact` the
 //! publish-time codes are persisted so a loading replica serves them
 //! bit-identically.
+//!
+//! `--backend` pins the compute backend for the whole process — boot
+//! training, snapshot precompute, and every shard worker: `scalar` (the
+//! bit-exact oracle), `avx2` (the default; bit-identical SIMD), or
+//! `fastmath` (FMA GEMM, toleranced — see the tensor crate's `backend`
+//! module). The `ATNN_BACKEND` environment variable sets the same default
+//! with lower precedence than the flag; either spelling of an unknown name
+//! is a startup error, not a panic.
 //!
 //! `--smoke` starts the server on an ephemeral port, exercises every
 //! endpoint once through a real TCP client — including a hot swap
@@ -52,6 +61,7 @@ struct Args {
     event_threads: usize,
     nprobe: usize,
     precision: Precision,
+    backend: Option<atnn_tensor::BackendKind>,
     smoke: bool,
 }
 
@@ -67,6 +77,7 @@ fn parse_args() -> Result<Args, String> {
         event_threads: 1,
         nprobe: ServeConfig::default().nprobe,
         precision: Precision::F32,
+        backend: None,
         smoke: false,
     };
     let mut i = 0;
@@ -128,6 +139,15 @@ fn parse_args() -> Result<Args, String> {
                 args.precision = Precision::Int8;
                 i += 1;
             }
+            "--backend" => {
+                args.backend =
+                    Some(value(&argv, i, "--backend")?.parse().map_err(|e| format!("{e}"))?);
+                i += 2;
+            }
+            eq if eq.starts_with("--backend=") => {
+                args.backend = Some(eq["--backend=".len()..].parse().map_err(|e| format!("{e}"))?);
+                i += 1;
+            }
             "--smoke" => {
                 args.smoke = true;
                 i += 1;
@@ -171,6 +191,21 @@ fn train_snapshot(
 
 fn run() -> Result<(), String> {
     let args = parse_args()?;
+
+    // Resolve the compute backend before any kernel runs: the flag wins,
+    // then `ATNN_BACKEND` (validated eagerly here so a typo is a startup
+    // error instead of a buried warning), then the built-in default.
+    // Installing it as the process default covers boot training and
+    // snapshot precompute; the shard workers additionally pin it via
+    // `ServeConfig::backend`.
+    let backend = match args.backend {
+        Some(kind) => Some(kind),
+        None => atnn_tensor::backend_from_env().map_err(|e| e.to_string())?,
+    };
+    if let Some(kind) = backend {
+        atnn_tensor::set_process_backend(kind);
+        eprintln!("compute backend pinned to {kind}");
+    }
 
     let (manager, data_cfg) = match &args.artifact {
         Some(path) => {
@@ -216,6 +251,7 @@ fn run() -> Result<(), String> {
         event_threads: args.event_threads,
         nprobe: args.nprobe,
         precision: args.precision,
+        backend,
         ..ServeConfig::default()
     };
     match (&args.addr, args.smoke) {

@@ -2,6 +2,8 @@
 
 use std::time::Duration;
 
+use atnn_tensor::BackendKind;
+
 use crate::manager::Precision;
 
 /// All serving dials in one place. `Default` is tuned for tests and the
@@ -54,6 +56,10 @@ pub struct ServeConfig {
     /// scores). Snapshots handed to the server directly carry their own
     /// precision; this dial governs the boot/train path.
     pub precision: Precision,
+    /// Compute backend the shard workers score under (see
+    /// [`atnn_tensor::backend`]). `None` inherits the process default
+    /// (built-in AVX2 auto-detect, or the `ATNN_BACKEND` override).
+    pub backend: Option<BackendKind>,
 }
 
 impl Default for ServeConfig {
@@ -72,6 +78,7 @@ impl Default for ServeConfig {
             max_pipeline: 128,
             nprobe: 8,
             precision: Precision::F32,
+            backend: None,
         }
     }
 }

@@ -1,0 +1,496 @@
+//! Backend selection at the tensor boundary: pluggable scalar / AVX2 /
+//! fast-math compute behind one capability probe.
+//!
+//! # Why a trait here
+//!
+//! Every hot path in the repro — the blocked GEMM, the fused
+//! `linear_bias_act` epilogue, the int8 `dot_prepared` kernels, the IVF
+//! assignment product — used to hand-route runtime AVX2 through per-file
+//! `is_x86_feature_detected!` probes, so precision and vector width were
+//! chosen per-rebuild instead of per-deployment. [`Backend`] names that
+//! choice once: [`ScalarBackend`] is the bit-identical reference (and stays
+//! the test oracle), [`Avx2Backend`] is the runtime-detected wide kernel
+//! set that is still bit-identical to scalar, and [`FastMathBackend`]
+//! additionally turns on the FMA GEMM microkernel — faster, contracted
+//! rounding, tolerance-tested rather than bit-tested.
+//!
+//! # Selection model
+//!
+//! Selection is a [`BackendKind`] value, resolved in three layers:
+//!
+//! 1. a **scoped override** installed by [`with_backend`] on the current
+//!    thread (the worker pool forwards it to shard tasks, so a scope
+//!    covers parallel matmuls and pooled evaluation);
+//! 2. the **process default**, set by [`set_process_backend`] or lazily
+//!    from the `ATNN_BACKEND` environment variable;
+//! 3. the built-in default, [`BackendKind::Avx2`] — exactly the old
+//!    sniff-inline behavior.
+//!
+//! Kernels read [`current_backend_kind`] and gate it against the cached
+//! [`cpu_caps`] probe, so an unsupported request degrades (fast-math →
+//! avx2 → scalar) instead of faulting. Binaries that want a *typed* error
+//! for an invalid `ATNN_BACKEND` value call [`backend_from_env`] eagerly;
+//! the lazy path warns once on stderr and falls back, because a compute
+//! default is not worth crashing a serving process over.
+
+use std::cell::Cell;
+use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+use crate::gemm::ActKind;
+use crate::quant::{self, PreparedQuery, QuantizedMatrix};
+use crate::{Matrix, Result};
+
+/// Environment variable consulted for the process-default backend.
+pub const BACKEND_ENV: &str = "ATNN_BACKEND";
+
+// --- capability probe ------------------------------------------------------
+
+/// What the host CPU can run, probed once per process. This is the single
+/// capability check the kernels consult; the per-file
+/// `is_x86_feature_detected!` calls it replaced are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuCaps {
+    /// 256-bit integer/float SIMD (the wide microkernels and int8 dot).
+    pub avx2: bool,
+    /// Fused multiply-add (the fast-math GEMM microkernel).
+    pub fma: bool,
+}
+
+/// The cached capability probe (one `is_x86_feature_detected!` pair for
+/// the process lifetime; always `false` off x86-64).
+pub fn cpu_caps() -> CpuCaps {
+    static CAPS: OnceLock<CpuCaps> = OnceLock::new();
+    *CAPS.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            CpuCaps {
+                avx2: std::arch::is_x86_feature_detected!("avx2"),
+                fma: std::arch::is_x86_feature_detected!("fma"),
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            CpuCaps { avx2: false, fma: false }
+        }
+    })
+}
+
+// --- kinds -----------------------------------------------------------------
+
+/// Names one of the built-in compute backends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// Portable scalar kernels; the bit-exact reference and test oracle.
+    Scalar,
+    /// Runtime-detected AVX2 kernels, bit-identical to [`Self::Scalar`]
+    /// (SIMD only across output columns, never across `k`). The default.
+    Avx2,
+    /// AVX2 + FMA GEMM microkernel with contracted rounding; toleranced,
+    /// not bit-identical. Int8 kernels are exact integer arithmetic and
+    /// shared with [`Self::Avx2`].
+    FastMath,
+}
+
+impl BackendKind {
+    /// Every built-in kind, in degradation order (fastest first).
+    pub const ALL: [BackendKind; 3] =
+        [BackendKind::FastMath, BackendKind::Avx2, BackendKind::Scalar];
+
+    /// The canonical lowercase name (`scalar` / `avx2` / `fastmath`),
+    /// accepted back by [`str::parse`] and emitted in `KernelDispatch`
+    /// events.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Scalar => "scalar",
+            BackendKind::Avx2 => "avx2",
+            BackendKind::FastMath => "fastmath",
+        }
+    }
+
+    /// Whether this backend promises bit-identical results to the scalar
+    /// oracle (`true` for everything except fast-math).
+    pub fn bit_identical(self) -> bool {
+        !matches!(self, BackendKind::FastMath)
+    }
+
+    /// Resolves the request against [`cpu_caps`]: fast-math needs
+    /// AVX2+FMA, avx2 needs AVX2, and each degrades one step when the
+    /// host can't run it.
+    pub(crate) fn resolve(self) -> MicroArch {
+        let caps = cpu_caps();
+        match self {
+            BackendKind::Scalar => MicroArch::Scalar,
+            BackendKind::Avx2 if caps.avx2 => MicroArch::Avx2,
+            BackendKind::Avx2 => MicroArch::Scalar,
+            BackendKind::FastMath if caps.avx2 && caps.fma => MicroArch::FastMath,
+            BackendKind::FastMath if caps.avx2 => MicroArch::Avx2,
+            BackendKind::FastMath => MicroArch::Scalar,
+        }
+    }
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Typed error for an unrecognized backend name (CLI flag or
+/// `ATNN_BACKEND` value). Carries the offending input so config layers can
+/// surface it verbatim.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownBackend(pub String);
+
+impl fmt::Display for UnknownBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown backend {:?} (expected scalar, avx2, or fastmath)", self.0)
+    }
+}
+
+impl std::error::Error for UnknownBackend {}
+
+impl std::str::FromStr for BackendKind {
+    type Err = UnknownBackend;
+
+    fn from_str(s: &str) -> std::result::Result<Self, UnknownBackend> {
+        match s {
+            "scalar" => Ok(BackendKind::Scalar),
+            "avx2" => Ok(BackendKind::Avx2),
+            "fastmath" => Ok(BackendKind::FastMath),
+            other => Err(UnknownBackend(other.to_string())),
+        }
+    }
+}
+
+/// The microkernel flavor actually run after capability gating — what
+/// `gemm.rs`/`quant.rs` dispatch on. Resolved once per kernel entry on the
+/// calling thread, so a parallel matmul's shards all use the same flavor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum MicroArch {
+    Scalar,
+    Avx2,
+    FastMath,
+}
+
+// --- process default + scoped override -------------------------------------
+
+const KIND_UNSET: u8 = u8::MAX;
+
+/// The process-default kind (`KIND_UNSET` until first read or
+/// [`set_process_backend`]).
+static PROCESS_DEFAULT: AtomicU8 = AtomicU8::new(KIND_UNSET);
+
+fn kind_from_u8(v: u8) -> BackendKind {
+    match v {
+        0 => BackendKind::Scalar,
+        1 => BackendKind::Avx2,
+        _ => BackendKind::FastMath,
+    }
+}
+
+fn kind_to_u8(kind: BackendKind) -> u8 {
+    match kind {
+        BackendKind::Scalar => 0,
+        BackendKind::Avx2 => 1,
+        BackendKind::FastMath => 2,
+    }
+}
+
+/// Reads `ATNN_BACKEND`, returning `Ok(None)` when unset and a typed
+/// [`UnknownBackend`] error for an unparseable value. Binaries call this
+/// eagerly at startup so a typo is a config error, not a silent fallback.
+pub fn backend_from_env() -> std::result::Result<Option<BackendKind>, UnknownBackend> {
+    match std::env::var(BACKEND_ENV) {
+        Ok(v) => v.parse().map(Some),
+        Err(_) => Ok(None),
+    }
+}
+
+/// Lazy environment default for processes that never validated the env
+/// var: an invalid value warns once on stderr and falls back to the
+/// built-in default rather than crashing a compute path.
+fn env_default() -> BackendKind {
+    static ENV_DEFAULT: OnceLock<BackendKind> = OnceLock::new();
+    *ENV_DEFAULT.get_or_init(|| match backend_from_env() {
+        Ok(Some(kind)) => kind,
+        Ok(None) => BackendKind::Avx2,
+        Err(err) => {
+            eprintln!("atnn-tensor: {BACKEND_ENV}: {err}; using the avx2 backend");
+            BackendKind::Avx2
+        }
+    })
+}
+
+/// The process-default backend (layer 2 of the selection model).
+pub fn process_backend() -> BackendKind {
+    match PROCESS_DEFAULT.load(Ordering::Relaxed) {
+        KIND_UNSET => {
+            let kind = env_default();
+            // Racy first-read init is fine: every racer computes the same
+            // value (env_default is a OnceLock).
+            PROCESS_DEFAULT.store(kind_to_u8(kind), Ordering::Relaxed);
+            kind
+        }
+        v => kind_from_u8(v),
+    }
+}
+
+/// Sets the process-default backend (e.g. from `atnn_serve --backend`).
+/// Threads inside a [`with_backend`] scope keep their override.
+pub fn set_process_backend(kind: BackendKind) {
+    PROCESS_DEFAULT.store(kind_to_u8(kind), Ordering::Relaxed);
+}
+
+thread_local! {
+    /// Scoped per-thread override (layer 1); forwarded to pool workers per
+    /// shard task so a scope covers parallel kernels.
+    static SCOPED: Cell<Option<BackendKind>> = const { Cell::new(None) };
+}
+
+/// The backend kind kernels on this thread will use right now.
+pub fn current_backend_kind() -> BackendKind {
+    SCOPED.with(|s| s.get()).unwrap_or_else(process_backend)
+}
+
+/// The [`Backend`] implementation for [`current_backend_kind`].
+pub fn current_backend() -> &'static dyn Backend {
+    backend_of(current_backend_kind())
+}
+
+/// The static [`Backend`] implementation for a kind.
+pub fn backend_of(kind: BackendKind) -> &'static dyn Backend {
+    match kind {
+        BackendKind::Scalar => &ScalarBackend,
+        BackendKind::Avx2 => &Avx2Backend,
+        BackendKind::FastMath => &FastMathBackend,
+    }
+}
+
+/// Runs `f` with `kind` as this thread's backend, restoring the previous
+/// selection on exit (drop-guarded, so panics restore too). Mirrors
+/// `pool::with_threads`; nests.
+pub fn with_backend<R>(kind: BackendKind, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<BackendKind>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            SCOPED.with(|s| s.set(self.0));
+        }
+    }
+    let _restore = Restore(SCOPED.with(|s| s.replace(Some(kind))));
+    f()
+}
+
+/// [`with_backend`] for optional config-level overrides: `None` runs `f`
+/// under the ambient selection unchanged.
+pub fn with_backend_opt<R>(kind: Option<BackendKind>, f: impl FnOnce() -> R) -> R {
+    match kind {
+        Some(k) => with_backend(k, f),
+        None => f(),
+    }
+}
+
+/// The scoped override to forward to a pool worker (captured at task
+/// submission).
+pub(crate) fn scoped_override() -> Option<BackendKind> {
+    SCOPED.with(|s| s.get())
+}
+
+/// Installs a forwarded override on a pool worker, returning the previous
+/// value for restoration.
+pub(crate) fn set_scoped_override(kind: Option<BackendKind>) -> Option<BackendKind> {
+    SCOPED.with(|s| s.replace(kind))
+}
+
+/// The capability-gated microkernel flavor for the current selection;
+/// kernel entry points resolve this once on the calling thread.
+pub(crate) fn current_arch() -> MicroArch {
+    current_backend_kind().resolve()
+}
+
+// --- the trait -------------------------------------------------------------
+
+/// The kernel surface the codebase dispatches on, bound to one backend.
+///
+/// Every method defaults to scoping the kernel with [`with_backend`] and
+/// calling the shared (validated) entry point, so the three built-in
+/// backends share one arithmetic implementation per kernel and differ only
+/// in the microkernel flavor the scope resolves to. Hot paths that already
+/// hold a `Matrix` keep calling the inherent methods — those read the same
+/// thread-local selection — while code that wants compute as a *value*
+/// (config plumbing, benches, parity tests) passes `&dyn Backend`.
+pub trait Backend: Send + Sync + fmt::Debug {
+    /// Which built-in kind this backend runs as.
+    fn kind(&self) -> BackendKind;
+
+    /// Canonical name ([`BackendKind::name`]).
+    fn name(&self) -> &'static str {
+        self.kind().name()
+    }
+
+    /// Whether results are bit-identical to the scalar oracle.
+    fn bit_identical(&self) -> bool {
+        self.kind().bit_identical()
+    }
+
+    /// `a @ b` (see [`Matrix::matmul`]).
+    fn matmul(&self, a: &Matrix, b: &Matrix) -> Result<Matrix> {
+        with_backend(self.kind(), || a.matmul(b))
+    }
+
+    /// `a @ b` into a preallocated output (see [`Matrix::matmul_into`]).
+    fn matmul_into(&self, a: &Matrix, b: &Matrix, out: &mut Matrix) -> Result<()> {
+        with_backend(self.kind(), || a.matmul_into(b, out))
+    }
+
+    /// `aᵀ @ b` (see [`Matrix::matmul_tn`]).
+    fn matmul_tn(&self, a: &Matrix, b: &Matrix) -> Result<Matrix> {
+        with_backend(self.kind(), || a.matmul_tn(b))
+    }
+
+    /// `aᵀ @ b` into a preallocated output.
+    fn matmul_tn_into(&self, a: &Matrix, b: &Matrix, out: &mut Matrix) -> Result<()> {
+        with_backend(self.kind(), || a.matmul_tn_into(b, out))
+    }
+
+    /// `a @ bᵀ` (see [`Matrix::matmul_nt`]).
+    fn matmul_nt(&self, a: &Matrix, b: &Matrix) -> Result<Matrix> {
+        with_backend(self.kind(), || a.matmul_nt(b))
+    }
+
+    /// `a @ bᵀ` into a preallocated output.
+    fn matmul_nt_into(&self, a: &Matrix, b: &Matrix, out: &mut Matrix) -> Result<()> {
+        with_backend(self.kind(), || a.matmul_nt_into(b, out))
+    }
+
+    /// Fused `act(a @ w + bias)` (see [`Matrix::linear_bias_act`]).
+    fn linear_bias_act(
+        &self,
+        a: &Matrix,
+        w: &Matrix,
+        bias: Option<&Matrix>,
+        act: ActKind,
+    ) -> Result<Matrix> {
+        with_backend(self.kind(), || a.linear_bias_act(w, bias, act))
+    }
+
+    /// Fused `act(a @ w + bias)` into a preallocated output.
+    fn linear_bias_act_into(
+        &self,
+        a: &Matrix,
+        w: &Matrix,
+        bias: Option<&Matrix>,
+        act: ActKind,
+        out: &mut Matrix,
+    ) -> Result<()> {
+        with_backend(self.kind(), || a.linear_bias_act_into(w, bias, act, out))
+    }
+
+    /// Exact int8 dot product (see [`quant::dot_i8`]); integer arithmetic,
+    /// bit-identical on every backend.
+    fn dot_i8(&self, a: &[i8], b: &[i8]) -> i32 {
+        with_backend(self.kind(), || quant::dot_i8(a, b))
+    }
+
+    /// Two-level quantized dot against a prepared query (see
+    /// [`QuantizedMatrix::dot_prepared`]).
+    fn dot_prepared(&self, table: &QuantizedMatrix, row: usize, query: &PreparedQuery) -> f32 {
+        with_backend(self.kind(), || table.dot_prepared(row, query))
+    }
+}
+
+/// Portable scalar kernels: the bit-exact reference and test oracle.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScalarBackend;
+
+impl Backend for ScalarBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Scalar
+    }
+}
+
+/// Runtime-detected AVX2 kernels, bit-identical to [`ScalarBackend`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Avx2Backend;
+
+impl Backend for Avx2Backend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Avx2
+    }
+}
+
+/// AVX2 + FMA GEMM with contracted rounding; toleranced, not bit-tested.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FastMathBackend;
+
+impl Backend for FastMathBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::FastMath
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip_through_parse() {
+        for kind in BackendKind::ALL {
+            assert_eq!(kind.name().parse::<BackendKind>(), Ok(kind));
+        }
+    }
+
+    #[test]
+    fn parse_rejects_unknown_names_with_typed_error() {
+        let err = "sse9".parse::<BackendKind>().unwrap_err();
+        assert_eq!(err, UnknownBackend("sse9".to_string()));
+        assert!(err.to_string().contains("sse9"));
+        assert!("Scalar".parse::<BackendKind>().is_err(), "names are case-sensitive");
+    }
+
+    #[test]
+    fn with_backend_scopes_and_restores() {
+        let ambient = current_backend_kind();
+        let inner = with_backend(BackendKind::Scalar, || {
+            let nested = with_backend(BackendKind::FastMath, current_backend_kind);
+            assert_eq!(nested, BackendKind::FastMath);
+            current_backend_kind()
+        });
+        assert_eq!(inner, BackendKind::Scalar);
+        assert_eq!(current_backend_kind(), ambient, "scope must restore on exit");
+    }
+
+    #[test]
+    fn scope_restores_across_panics() {
+        let ambient = current_backend_kind();
+        let caught = std::panic::catch_unwind(|| {
+            with_backend(BackendKind::Scalar, || panic!("boom"));
+        });
+        assert!(caught.is_err());
+        assert_eq!(current_backend_kind(), ambient);
+    }
+
+    #[test]
+    fn resolve_degrades_with_capabilities() {
+        let caps = cpu_caps();
+        assert_eq!(BackendKind::Scalar.resolve(), MicroArch::Scalar);
+        if caps.avx2 {
+            assert_eq!(BackendKind::Avx2.resolve(), MicroArch::Avx2);
+        } else {
+            assert_eq!(BackendKind::Avx2.resolve(), MicroArch::Scalar);
+        }
+        if caps.avx2 && caps.fma {
+            assert_eq!(BackendKind::FastMath.resolve(), MicroArch::FastMath);
+        }
+    }
+
+    #[test]
+    fn backend_objects_report_their_kind() {
+        assert_eq!(backend_of(BackendKind::Scalar).name(), "scalar");
+        assert!(backend_of(BackendKind::Scalar).bit_identical());
+        assert!(backend_of(BackendKind::Avx2).bit_identical());
+        assert!(!backend_of(BackendKind::FastMath).bit_identical());
+        assert_eq!(current_backend().kind(), current_backend_kind());
+    }
+}

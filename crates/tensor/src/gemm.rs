@@ -41,14 +41,35 @@
 //! it starts at `+0.0`), so adding the `±0.0` product changes no bits.
 //! Hence tiled == naive for all finite inputs; the only divergence is
 //! `av == 0.0` against a non-finite `bv` (naive skips the resulting NaN).
-//! Multi-accumulator k-unrolling is deliberately forbidden in this module.
+//! Multi-accumulator k-unrolling is deliberately forbidden in this module
+//! — everywhere except the opt-in fast-math microkernel below, which is
+//! toleranced rather than bit-tested.
 //!
-//! The microkernel body is additionally compiled under
-//! `#[target_feature(enable = "avx2")]` and dispatched by runtime feature
-//! detection: identical Rust source, so identical per-lane `vmulps` +
-//! `vaddps` semantics (rustc never contracts mul+add into FMA) — only the
-//! vector width across output columns widens, which the per-element
-//! summation order does not depend on.
+//! # Backend dispatch
+//!
+//! Which microkernel runs is a [`MicroArch`] resolved by backend selection
+//! (`backend::current_arch()`, the scoped/process [`BackendKind`] gated
+//! against the one cached [`crate::backend::cpu_caps`] probe) on the
+//! calling thread, *before* any pool fork — so every shard of a parallel
+//! matmul uses the same flavor:
+//!
+//! - **Scalar** runs [`microkernel_body`] as compiled for the baseline
+//!   target.
+//! - **Avx2** runs the same Rust source compiled under
+//!   `#[target_feature(enable = "avx2")]`: identical per-lane `vmulps` +
+//!   `vaddps` semantics (rustc never contracts mul+add into FMA) — only
+//!   the vector width across output columns widens, which the per-element
+//!   summation order does not depend on. Bit-identical to scalar.
+//! - **FastMath** runs [`microkernel_fma`]: explicit `vfmaddps` with a
+//!   two-way k-unroll into dual accumulator sets. Each product rounds once
+//!   instead of twice and the k-sum is split in two, so results carry a
+//!   relative error of a few ULP versus the oracle — tolerance-tested, and
+//!   never selected unless asked for. Still *deterministic*: each output
+//!   element's value is a pure function of its `k` sequence, so parallel
+//!   row-sharding stays bitwise-reproducible run-to-run.
+//!
+//! The small/skinny path below the tiled threshold is scalar for every
+//! backend (exact results are trivially within any tolerance).
 //!
 //! The fused epilogue is applied once per element after its full k-sum, so
 //! `linear_bias_act` is bit-identical to matmul → bias add → activation as
@@ -58,6 +79,9 @@ use std::cell::RefCell;
 
 use atnn_obs::Counter;
 
+#[allow(unused_imports)] // referenced by the module docs
+use crate::backend::BackendKind;
+use crate::backend::MicroArch;
 use crate::Matrix;
 
 /// Register-tile height (output rows per microkernel call).
@@ -201,7 +225,10 @@ impl Src<'_> {
 /// `act(A @ B + bias)` into `band`, where `A` is `m x k` and `B` is
 /// `k x n` *logically* (transposes absorbed by [`Src`]). `band` must
 /// arrive zeroed; `n > 0` is the caller's invariant (shard_rows skips
-/// empty outputs).
+/// empty outputs). `arch` is the capability-gated microkernel flavor the
+/// caller resolved from backend selection (uniform across a parallel
+/// dispatch's shards).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn gemm_band(
     a: Src,
     b: Src,
@@ -210,6 +237,7 @@ pub(crate) fn gemm_band(
     band: &mut [f32],
     n: usize,
     epi: &Epilogue,
+    arch: MicroArch,
 ) {
     let m = band.len() / n;
     if m == 0 {
@@ -230,7 +258,7 @@ pub(crate) fn gemm_band(
         epilogue_sweep(band, n, epi);
     } else {
         TILED_CALLS.incr();
-        gemm_tiled(a, b, k, row0, band, n, epi);
+        gemm_tiled(a, b, k, row0, band, n, epi, arch);
     }
 }
 
@@ -336,10 +364,19 @@ thread_local! {
 }
 
 /// The blocked/tiled path. See the module docs for the loop structure.
-fn gemm_tiled(a: Src, b: Src, k: usize, row0: usize, band: &mut [f32], n: usize, epi: &Epilogue) {
+#[allow(clippy::too_many_arguments)]
+fn gemm_tiled(
+    a: Src,
+    b: Src,
+    k: usize,
+    row0: usize,
+    band: &mut [f32],
+    n: usize,
+    epi: &Epilogue,
+    arch: MicroArch,
+) {
     let m = band.len() / n;
     let mut edge_tiles = 0u64;
-    let wide = avx2_enabled();
     PACK_BUFS.with(|cell| {
         let (apack, bpack) = &mut *cell.borrow_mut();
         if apack.is_empty() {
@@ -374,7 +411,7 @@ fn gemm_tiled(a: Src, b: Src, k: usize, row0: usize, band: &mut [f32], n: usize,
                                 let off = (ic + ir + i) * n + jc + jr;
                                 row[..nr].copy_from_slice(&band[off..off + nr]);
                             }
-                            microkernel(apanel, bpanel, &mut acc, wide);
+                            microkernel(apanel, bpanel, &mut acc, arch);
                             for (i, row) in acc.iter().enumerate().take(mr) {
                                 let off = (ic + ir + i) * n + jc + jr;
                                 let out = &mut band[off..off + nr];
@@ -431,31 +468,84 @@ unsafe fn microkernel_avx2(apanel: &[f32], bpanel: &[f32], acc: &mut [[f32; NR];
     microkernel_body(apanel, bpanel, acc);
 }
 
-/// Whether the AVX2 microkernel may run on this host (checked once per
-/// tiled gemm; `is_x86_feature_detected!` caches internally).
-#[inline]
-fn avx2_enabled() -> bool {
-    #[cfg(target_arch = "x86_64")]
-    {
-        std::arch::is_x86_feature_detected!("avx2")
+/// The fast-math microkernel: explicit FMA with a two-way k-unroll.
+///
+/// Each of the `MR` register-tile rows is one `__m256` (`NR == 8`). Even
+/// `p` accumulates into `c*`, odd `p` into `d*`; the two sets are summed
+/// once at the end of the panel. Relative to the oracle this (a) skips the
+/// intermediate rounding of `mul` then `add` — FMA rounds once — and
+/// (b) splits each element's k-sum into two interleaved partial sums, so
+/// results differ by a few ULP and this kernel is tolerance-tested, never
+/// bit-tested (see the module docs). It is still a pure function of the
+/// packed `k` sequence per element, hence deterministic and unaffected by
+/// row-sharded parallelism.
+///
+/// The dual accumulators are what buy the speed: back-to-back FMAs into
+/// one register chain would serialize on the ~4-cycle FMA latency, while
+/// two chains keep both FMA ports busy.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn microkernel_fma(apanel: &[f32], bpanel: &[f32], acc: &mut [[f32; NR]; MR]) {
+    use std::arch::x86_64::*;
+    // The kernel spells out MR rows of one __m256 each.
+    const { assert!(MR == 4 && NR == 8) };
+    let kc = bpanel.len() / NR;
+    let ap = apanel.as_ptr();
+    let bp = bpanel.as_ptr();
+    let mut c0 = _mm256_loadu_ps(acc[0].as_ptr());
+    let mut c1 = _mm256_loadu_ps(acc[1].as_ptr());
+    let mut c2 = _mm256_loadu_ps(acc[2].as_ptr());
+    let mut c3 = _mm256_loadu_ps(acc[3].as_ptr());
+    let mut d0 = _mm256_setzero_ps();
+    let mut d1 = _mm256_setzero_ps();
+    let mut d2 = _mm256_setzero_ps();
+    let mut d3 = _mm256_setzero_ps();
+    let mut p = 0;
+    while p + 2 <= kc {
+        let b0 = _mm256_loadu_ps(bp.add(p * NR));
+        let a0 = ap.add(p * MR);
+        c0 = _mm256_fmadd_ps(_mm256_broadcast_ss(&*a0), b0, c0);
+        c1 = _mm256_fmadd_ps(_mm256_broadcast_ss(&*a0.add(1)), b0, c1);
+        c2 = _mm256_fmadd_ps(_mm256_broadcast_ss(&*a0.add(2)), b0, c2);
+        c3 = _mm256_fmadd_ps(_mm256_broadcast_ss(&*a0.add(3)), b0, c3);
+        let b1 = _mm256_loadu_ps(bp.add((p + 1) * NR));
+        let a1 = ap.add((p + 1) * MR);
+        d0 = _mm256_fmadd_ps(_mm256_broadcast_ss(&*a1), b1, d0);
+        d1 = _mm256_fmadd_ps(_mm256_broadcast_ss(&*a1.add(1)), b1, d1);
+        d2 = _mm256_fmadd_ps(_mm256_broadcast_ss(&*a1.add(2)), b1, d2);
+        d3 = _mm256_fmadd_ps(_mm256_broadcast_ss(&*a1.add(3)), b1, d3);
+        p += 2;
     }
-    #[cfg(not(target_arch = "x86_64"))]
-    {
-        false
+    if p < kc {
+        let b0 = _mm256_loadu_ps(bp.add(p * NR));
+        let a0 = ap.add(p * MR);
+        c0 = _mm256_fmadd_ps(_mm256_broadcast_ss(&*a0), b0, c0);
+        c1 = _mm256_fmadd_ps(_mm256_broadcast_ss(&*a0.add(1)), b0, c1);
+        c2 = _mm256_fmadd_ps(_mm256_broadcast_ss(&*a0.add(2)), b0, c2);
+        c3 = _mm256_fmadd_ps(_mm256_broadcast_ss(&*a0.add(3)), b0, c3);
     }
+    _mm256_storeu_ps(acc[0].as_mut_ptr(), _mm256_add_ps(c0, d0));
+    _mm256_storeu_ps(acc[1].as_mut_ptr(), _mm256_add_ps(c1, d1));
+    _mm256_storeu_ps(acc[2].as_mut_ptr(), _mm256_add_ps(c2, d2));
+    _mm256_storeu_ps(acc[3].as_mut_ptr(), _mm256_add_ps(c3, d3));
 }
 
-/// Dispatches one micro-tile to the widest kernel the host supports.
+/// Dispatches one micro-tile to the kernel the resolved [`MicroArch`]
+/// names. The arch arrives capability-gated (`BackendKind::resolve`), so
+/// the wide arms are unreachable on hosts without the features.
 #[inline]
-fn microkernel(apanel: &[f32], bpanel: &[f32], acc: &mut [[f32; NR]; MR], wide: bool) {
+fn microkernel(apanel: &[f32], bpanel: &[f32], acc: &mut [[f32; NR]; MR], arch: MicroArch) {
     #[cfg(target_arch = "x86_64")]
-    if wide {
-        // SAFETY: `wide` is only true when `avx2_enabled()` reported AVX2
-        // support at runtime.
-        unsafe { microkernel_avx2(apanel, bpanel, acc) };
-        return;
+    match arch {
+        // SAFETY: `MicroArch::Avx2` only resolves when the cached
+        // capability probe reported AVX2.
+        MicroArch::Avx2 => return unsafe { microkernel_avx2(apanel, bpanel, acc) },
+        // SAFETY: `MicroArch::FastMath` only resolves when the probe
+        // reported both AVX2 and FMA.
+        MicroArch::FastMath => return unsafe { microkernel_fma(apanel, bpanel, acc) },
+        MicroArch::Scalar => {}
     }
-    let _ = wide;
+    let _ = arch;
     microkernel_body(apanel, bpanel, acc);
 }
 
@@ -538,6 +628,13 @@ fn pack_b(b: Src, p0: usize, kc: usize, j0: usize, nc: usize, buf: &mut [f32]) {
 mod tests {
     use super::*;
 
+    /// The widest *bit-identical* flavor the host supports — what the
+    /// oracle-equality tests below run, independent of any ambient
+    /// backend selection (they assert exactness, which fast-math waives).
+    fn exact_arch() -> MicroArch {
+        BackendKind::Avx2.resolve()
+    }
+
     fn test_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
         Matrix::from_fn(rows, cols, |i, j| {
             let mut z = seed
@@ -568,7 +665,7 @@ mod tests {
             let b = test_matrix(k, n, 22);
             let naive = a.matmul_naive(&b);
             let mut band = vec![0.0f32; m * n];
-            gemm_band(Src::N(&a), Src::N(&b), k, 0, &mut band, n, &Epilogue::NONE);
+            gemm_band(Src::N(&a), Src::N(&b), k, 0, &mut band, n, &Epilogue::NONE, exact_arch());
             assert_eq!(band, naive.as_slice(), "m={m} k={k} n={n}");
         }
     }
@@ -583,10 +680,10 @@ mod tests {
         let b = bt.transpose();
         let reference = a.matmul_naive(&b);
         let mut tn = vec![0.0f32; m * n];
-        gemm_band(Src::T(&at), Src::N(&b), k, 0, &mut tn, n, &Epilogue::NONE);
+        gemm_band(Src::T(&at), Src::N(&b), k, 0, &mut tn, n, &Epilogue::NONE, exact_arch());
         assert_eq!(tn, reference.as_slice(), "tn path");
         let mut nt = vec![0.0f32; m * n];
-        gemm_band(Src::N(&a), Src::T(&bt), k, 0, &mut nt, n, &Epilogue::NONE);
+        gemm_band(Src::N(&a), Src::T(&bt), k, 0, &mut nt, n, &Epilogue::NONE, exact_arch());
         assert_eq!(nt, reference.as_slice(), "nt path");
     }
 
@@ -600,7 +697,7 @@ mod tests {
         let row0 = 13;
         let rows = 19;
         let mut band = vec![0.0f32; rows * n];
-        gemm_band(Src::N(&a), Src::N(&b), k, row0, &mut band, n, &Epilogue::NONE);
+        gemm_band(Src::N(&a), Src::N(&b), k, row0, &mut band, n, &Epilogue::NONE, exact_arch());
         assert_eq!(band, &full.as_slice()[row0 * n..(row0 + rows) * n]);
     }
 
@@ -610,7 +707,7 @@ mod tests {
         let bias = [1.0f32, -2.0, 0.5];
         let mut band = vec![0.0f32; 9];
         let epi = Epilogue { bias: Some(&bias), act: ActKind::Relu };
-        gemm_band(Src::N(&a), Src::N(&Matrix::zeros(0, 3)), 0, 0, &mut band, 3, &epi);
+        gemm_band(Src::N(&a), Src::N(&Matrix::zeros(0, 3)), 0, 0, &mut band, 3, &epi, exact_arch());
         assert_eq!(band, [1.0, 0.0, 0.5, 1.0, 0.0, 0.5, 1.0, 0.0, 0.5]);
     }
 
@@ -620,11 +717,20 @@ mod tests {
         let a = test_matrix(64, 64, 1);
         let b = test_matrix(64, 64, 2);
         let mut band = vec![0.0f32; 64 * 64];
-        gemm_band(Src::N(&a), Src::N(&b), 64, 0, &mut band, 64, &Epilogue::NONE);
+        gemm_band(Src::N(&a), Src::N(&b), 64, 0, &mut band, 64, &Epilogue::NONE, exact_arch());
         let small_a = test_matrix(1, 16, 3);
         let small_b = test_matrix(16, 4, 4);
         let mut small_band = vec![0.0f32; 4];
-        gemm_band(Src::N(&small_a), Src::N(&small_b), 16, 0, &mut small_band, 4, &Epilogue::NONE);
+        gemm_band(
+            Src::N(&small_a),
+            Src::N(&small_b),
+            16,
+            0,
+            &mut small_band,
+            4,
+            &Epilogue::NONE,
+            exact_arch(),
+        );
         let (t1, s1, _, _) = gemm_dispatch_counts();
         assert!(t1 > t0, "tiled counter must advance");
         assert!(s1 > s0, "small counter must advance");
@@ -635,7 +741,7 @@ mod tests {
     #[cfg(target_arch = "x86_64")]
     #[test]
     fn wide_microkernel_matches_baseline_bits() {
-        if !std::arch::is_x86_feature_detected!("avx2") {
+        if !crate::backend::cpu_caps().avx2 {
             return;
         }
         let kc = 64;
@@ -651,6 +757,39 @@ mod tests {
         // SAFETY: guarded by the runtime AVX2 check above.
         unsafe { microkernel_avx2(&apanel, &bpanel, &mut wide) };
         assert_eq!(base, wide);
+    }
+
+    /// The fast-math microkernel is toleranced, not bit-tested: its FMA +
+    /// split-accumulator sum must stay within a few ULP of the exact body
+    /// on both even and odd panel depths (the odd tail is a separate
+    /// code path).
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn fma_microkernel_within_tolerance_of_baseline() {
+        let caps = crate::backend::cpu_caps();
+        if !(caps.avx2 && caps.fma) {
+            return;
+        }
+        for kc in [64usize, 65, 1, 2, 3] {
+            let a = test_matrix(MR, kc, 191);
+            let b = test_matrix(kc, NR, 192);
+            let mut apanel = vec![0.0f32; kc * MR];
+            let mut bpanel = vec![0.0f32; kc * NR];
+            pack_a(Src::N(&a), 0, MR, 0, kc, &mut apanel);
+            pack_b(Src::N(&b), 0, kc, 0, NR, &mut bpanel);
+            let mut base = [[0.125f32; NR]; MR];
+            let mut fast = base;
+            microkernel_body(&apanel, &bpanel, &mut base);
+            // SAFETY: guarded by the runtime AVX2+FMA check above.
+            unsafe { microkernel_fma(&apanel, &bpanel, &mut fast) };
+            for i in 0..MR {
+                for j in 0..NR {
+                    let (e, f) = (base[i][j], fast[i][j]);
+                    let tol = 1e-5 * e.abs().max(1.0);
+                    assert!((e - f).abs() <= tol, "kc={kc} ({i},{j}): exact={e} fast={f}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -13,8 +13,13 @@
 //!   module) that stays bit-identical to the naive i-k-j reference;
 //! - no operation allocates unless it returns a new matrix; in-place
 //!   variants (`*_assign`) are provided for the optimizer hot paths, and
-//!   gemm pack buffers are thread-local and reused.
+//!   gemm pack buffers are thread-local and reused;
+//! - which microkernel flavor runs (scalar / AVX2 / fast-math FMA) is
+//!   *backend selection* (see the [`backend`] module): a process default
+//!   plus scoped per-thread overrides, gated against one cached
+//!   capability probe, with the scalar path as the bit-exact oracle.
 
+pub mod backend;
 mod error;
 mod gemm;
 mod matrix;
@@ -26,6 +31,11 @@ mod serialize;
 mod sparse;
 mod sync;
 
+pub use backend::{
+    backend_from_env, backend_of, cpu_caps, current_backend, current_backend_kind, process_backend,
+    set_process_backend, with_backend, with_backend_opt, Avx2Backend, Backend, BackendKind,
+    CpuCaps, FastMathBackend, ScalarBackend, UnknownBackend,
+};
 pub use error::TensorError;
 pub use gemm::{gemm_dispatch_counts, stable_sigmoid, ActKind};
 pub use matrix::Matrix;

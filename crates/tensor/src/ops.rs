@@ -4,6 +4,7 @@
 //! All binary ops validate shapes and return [`crate::Result`]; in-place
 //! `*_assign` variants exist for optimizer hot paths.
 
+use crate::backend;
 use crate::gemm::{self, ActKind, Epilogue, Src};
 use crate::{pool, Matrix, Result, TensorError};
 
@@ -51,13 +52,18 @@ fn shard_rows(out: &mut Matrix, tasks: usize, f: impl Fn(usize, &mut [f32]) + Sy
 /// bands. All matmul entry points (nn/tn/nt, allocating or `_into`, with
 /// or without a fused epilogue) funnel through here, so dispatch and bit
 /// patterns are uniform across the whole family.
+///
+/// The backend's microkernel flavor is resolved *here*, on the calling
+/// thread, before any pool fork — every band of a parallel dispatch runs
+/// the same kernel regardless of which worker picks it up.
 fn gemm_dispatch(a: Src, b: Src, k: usize, out: &mut Matrix, tasks: usize, epi: &Epilogue) {
     let n = out.cols();
+    let arch = backend::current_arch();
     if tasks > 1 {
         gemm::note_parallel_dispatch();
     }
     shard_rows(out, tasks, |row0, band| {
-        gemm::gemm_band(a, b, k, row0, band, n, epi);
+        gemm::gemm_band(a, b, k, row0, band, n, epi, arch);
     });
 }
 
@@ -67,8 +73,10 @@ impl Matrix {
     /// Backed by the register-tiled, packed gemm microkernel (see the
     /// `gemm` module docs); skinny and tiny products fall back to a scalar
     /// kernel, and large ones are row-sharded across the pool (see
-    /// [`PAR_MIN_WORK`]). Every path is bit-identical to
-    /// [`Matrix::matmul_naive`] for finite inputs.
+    /// [`PAR_MIN_WORK`]). Under a bit-identical backend (scalar or avx2 —
+    /// the default; see [`crate::backend`]) every path is bit-identical to
+    /// [`Matrix::matmul_naive`] for finite inputs; the opt-in fast-math
+    /// backend is toleranced instead.
     pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
         if self.cols() != other.rows() {
             return Err(TensorError::ShapeMismatch {

@@ -128,6 +128,10 @@ struct Job {
     f: &'static (dyn Fn(usize) + Sync),
     idx: usize,
     latch: Arc<Latch>,
+    /// The submitting thread's scoped backend override, captured at push
+    /// so a `with_backend` scope covers work the pool runs on its behalf
+    /// (the process default is global and needs no forwarding).
+    backend: Option<crate::backend::BackendKind>,
 }
 
 /// Countdown of outstanding jobs for one `run_tasks` region.
@@ -204,7 +208,9 @@ fn pool() -> &'static Pool {
 fn run_job(job: Job) {
     SHARD_TASKS[job.idx.min(MAX_THREADS - 1)].incr();
     let was_in_task = IN_TASK.with(|t| t.replace(true));
+    let prev_backend = crate::backend::set_scoped_override(job.backend);
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (job.f)(job.idx)));
+    crate::backend::set_scoped_override(prev_backend);
     IN_TASK.with(|t| t.set(was_in_task));
     if result.is_err() {
         job.latch.panicked.store(true, Ordering::Release);
@@ -250,8 +256,9 @@ pub fn run_tasks(tasks: usize, f: &(dyn Fn(usize) + Sync)) {
     // has completed, so the borrow cannot dangle.
     let f_static: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f) };
     let queue = &pool().queue;
+    let backend = crate::backend::scoped_override();
     for idx in 1..tasks {
-        queue.push(Job { f: f_static, idx, latch: Arc::clone(&latch) });
+        queue.push(Job { f: f_static, idx, latch: Arc::clone(&latch), backend });
     }
 
     // Run our own share (nested dispatch inside it sees 1 thread).

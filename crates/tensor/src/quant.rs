@@ -17,8 +17,8 @@
 //! Scores are computed without dequantizing: the f32 query is quantized
 //! once (symmetric, per-query scale) into a [`PreparedQuery`], and each
 //! row dot becomes one int8×int8→i32 kernel call ([`dot_i8`], scalar
-//! reference + runtime-dispatched AVX2, bit-identical — integer
-//! arithmetic is exact) plus two multiplies:
+//! reference + AVX2 routed by backend selection (see [`crate::backend`]),
+//! bit-identical — integer arithmetic is exact) plus two multiplies:
 //!
 //! ```text
 //!   dot(row, query) ~= scale * qscale * (Σ q[j]·p[j]  +  off · Σ p[j])
@@ -32,6 +32,7 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
+use crate::backend::{self, MicroArch};
 use crate::{Matrix, Result, TensorError};
 
 const MAGIC: &[u8; 4] = b"ATQ8";
@@ -294,15 +295,17 @@ impl QuantizedMatrix {
 
     /// Approximate `dot(row i, query)` via two int8 kernel calls (the
     /// query's coarse and residual codes) plus the exact anchor term.
+    /// Backend selection is resolved once for both kernel calls.
     pub fn dot_prepared(&self, i: usize, query: &PreparedQuery) -> f32 {
         debug_assert_eq!(query.dim(), self.cols, "prepared query width mismatch");
         if query.hi_scale == 0.0 {
             return query.base;
         }
+        let arch = backend::current_arch();
         let row = self.row_data(i);
         let off = self.row_offset(i);
-        let hi = dot_i8(row, &query.hi) + off * query.hi_sum;
-        let lo = dot_i8(row, &query.lo) + off * query.lo_sum;
+        let hi = dot_i8_arch(row, &query.hi, arch) + off * query.hi_sum;
+        let lo = dot_i8_arch(row, &query.lo, arch) + off * query.lo_sum;
         query.base + self.scales[i] * (query.hi_scale * hi as f32 + query.lo_scale * lo as f32)
     }
 
@@ -382,30 +385,36 @@ impl QuantizedMatrix {
     }
 }
 
-/// Exact int8×int8→i32 dot product, runtime-dispatched to AVX2 when the
-/// CPU has it. Integer arithmetic: the AVX2 and scalar paths are
-/// bit-identical by construction (and pinned by test).
+/// Exact int8×int8→i32 dot product, dispatched by backend selection: the
+/// scalar backend runs the reference kernel, everything else the AVX2
+/// kernel when the cached capability probe allows it. Integer arithmetic:
+/// the paths are bit-identical by construction (and pinned by test), so
+/// even the fast-math backend serves exact int8 dots.
 ///
 /// # Panics
 /// Panics on a length mismatch.
 pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    dot_i8_arch(a, b, backend::current_arch())
+}
+
+/// [`dot_i8`] with the backend resolution hoisted out — callers issuing
+/// several dots per logical op (e.g. [`QuantizedMatrix::dot_prepared`])
+/// resolve once.
+fn dot_i8_arch(a: &[i8], b: &[i8], arch: MicroArch) -> i32 {
     assert_eq!(a.len(), b.len(), "dot_i8 length mismatch");
     #[cfg(target_arch = "x86_64")]
-    if a.len() >= 16 && avx2_enabled() {
-        // SAFETY: feature presence checked above; lengths are equal.
+    if a.len() >= 16 && arch != MicroArch::Scalar {
+        // SAFETY: the Avx2/FastMath arch variants only resolve when the
+        // capability probe reported AVX2; lengths are equal.
         return unsafe { dot_i8_avx2(a, b) };
     }
+    let _ = arch;
     dot_i8_scalar(a, b)
 }
 
 /// Scalar reference kernel (the oracle the SIMD path must match).
 pub fn dot_i8_scalar(a: &[i8], b: &[i8]) -> i32 {
     a.iter().zip(b).map(|(&x, &y)| x as i32 * y as i32).sum()
-}
-
-#[cfg(target_arch = "x86_64")]
-fn avx2_enabled() -> bool {
-    std::arch::is_x86_feature_detected!("avx2")
 }
 
 /// AVX2 kernel: 16 codes per iteration — sign-extend i8→i16, multiply-

@@ -1,0 +1,273 @@
+//! Cross-backend parity suite for the pluggable compute backends.
+//!
+//! The contract (see the `backend` module docs):
+//!
+//! - `Avx2Backend` is **bit-identical** to `ScalarBackend` — the oracle —
+//!   on the full kernel surface: every matmul variant, the fused
+//!   `linear_bias_act` epilogue, and the int8 dot kernels. Pinned here by
+//!   proptest across rim-straddling shapes, through the `&dyn Backend`
+//!   trait surface so backend dispatch itself is exercised.
+//! - `FastMathBackend` is **toleranced**: its GEMM stays within
+//!   [`FASTMATH_REL_TOL`] relative error of an f64 reference (the same
+//!   order as inherent f32 accumulation error, which the scalar oracle is
+//!   held to as well). Its int8 kernels are exact integer arithmetic and
+//!   must match the oracle bitwise.
+//! - `with_backend` scopes propagate to pool workers, so a scope covers
+//!   parallel kernels and pooled evaluation.
+
+use atnn_tensor::{
+    backend_of, cpu_caps, current_backend_kind, pool, with_backend, ActKind, Backend, BackendKind,
+    Matrix, PreparedQuery, QuantizedMatrix,
+};
+use proptest::prelude::*;
+
+/// The stated fast-math GEMM bound: relative to the sum of absolute
+/// products per output element (robust under cancellation). FMA rounds
+/// each product once instead of twice and splits the k-sum in two, so the
+/// error stays within a small multiple of f32 accumulation noise.
+const FASTMATH_REL_TOL: f64 = 1e-4;
+
+/// Deterministic splitmix value with ~1/8 exact zeros (matches the other
+/// kernel property suites).
+fn val(seed: u64, i: usize, j: usize) -> f32 {
+    let mut z = seed
+        ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (j as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    if z.is_multiple_of(8) {
+        0.0
+    } else {
+        ((z >> 40) & 0xFF_FFFF) as f32 / (1u64 << 23) as f32 - 1.0
+    }
+}
+
+fn test_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    Matrix::from_fn(rows, cols, |i, j| val(seed, i, j))
+}
+
+/// Dimension draws spanning the small/tiled dispatch boundary and the
+/// register-tile rims.
+fn dim() -> impl Strategy<Value = usize> {
+    prop_oneof![1usize..10, 30usize..42, 126usize..131]
+}
+
+fn act_kind() -> impl Strategy<Value = ActKind> {
+    prop_oneof![
+        Just(ActKind::Identity),
+        Just(ActKind::Relu),
+        Just(ActKind::LeakyRelu(0.01)),
+        Just(ActKind::Tanh),
+        Just(ActKind::Sigmoid),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Avx2Backend == ScalarBackend bitwise on every matmul variant,
+    /// through the trait surface.
+    #[test]
+    fn avx2_matches_scalar_bitwise_on_matmul_family(
+        (m, k, n) in (dim(), dim(), dim()),
+        seed in any::<u64>(),
+    ) {
+        let scalar: &dyn Backend = backend_of(BackendKind::Scalar);
+        let avx2: &dyn Backend = backend_of(BackendKind::Avx2);
+        let a = test_matrix(m, k, seed);
+        let b = test_matrix(k, n, seed.wrapping_add(1));
+        let at = a.transpose();
+        let bt = b.transpose();
+        pool::with_threads(1, || {
+            prop_assert_eq!(
+                &scalar.matmul(&a, &b).unwrap(),
+                &avx2.matmul(&a, &b).unwrap(),
+                "nn m={} k={} n={}", m, k, n
+            );
+            prop_assert_eq!(
+                &scalar.matmul_tn(&at, &b).unwrap(),
+                &avx2.matmul_tn(&at, &b).unwrap(),
+                "tn m={} k={} n={}", m, k, n
+            );
+            prop_assert_eq!(
+                &scalar.matmul_nt(&a, &bt).unwrap(),
+                &avx2.matmul_nt(&a, &bt).unwrap(),
+                "nt m={} k={} n={}", m, k, n
+            );
+            let mut s_out = Matrix::zeros(m, n);
+            let mut w_out = Matrix::zeros(m, n);
+            scalar.matmul_into(&a, &b, &mut s_out).unwrap();
+            avx2.matmul_into(&a, &b, &mut w_out).unwrap();
+            prop_assert_eq!(&s_out, &w_out, "into m={} k={} n={}", m, k, n);
+            Ok(())
+        })?;
+    }
+
+    /// Avx2Backend == ScalarBackend bitwise on the fused epilogue, for
+    /// every activation kind.
+    #[test]
+    fn avx2_matches_scalar_bitwise_on_fused_epilogue(
+        (m, k, n) in (dim(), dim(), dim()),
+        act in act_kind(),
+        with_bias in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let scalar: &dyn Backend = backend_of(BackendKind::Scalar);
+        let avx2: &dyn Backend = backend_of(BackendKind::Avx2);
+        let x = test_matrix(m, k, seed);
+        let w = test_matrix(k, n, seed.wrapping_add(1));
+        let bias = test_matrix(1, n, seed.wrapping_add(2));
+        let bias_opt = with_bias.then_some(&bias);
+        pool::with_threads(1, || {
+            prop_assert_eq!(
+                &scalar.linear_bias_act(&x, &w, bias_opt, act).unwrap(),
+                &avx2.linear_bias_act(&x, &w, bias_opt, act).unwrap(),
+                "act={:?} bias={}", act, with_bias
+            );
+            Ok(())
+        })?;
+    }
+
+    /// The int8 kernels are exact integer arithmetic: bit-identical on
+    /// *all three* backends, including fast-math, at every length around
+    /// the 16-lane SIMD boundary.
+    #[test]
+    fn dot_i8_is_bit_identical_on_every_backend(
+        a in collection::vec(any::<i8>(), 0..96),
+        extra in collection::vec(any::<i8>(), 0..96),
+    ) {
+        let b: Vec<i8> = a.iter().zip(extra.iter().chain(std::iter::repeat(&-128)))
+            .map(|(&x, &y)| x.wrapping_add(y))
+            .collect();
+        let oracle = backend_of(BackendKind::Scalar).dot_i8(&a, &b);
+        for kind in [BackendKind::Avx2, BackendKind::FastMath] {
+            prop_assert_eq!(backend_of(kind).dot_i8(&a, &b), oracle, "kind={}", kind);
+        }
+    }
+
+    /// FastMathBackend GEMM stays within the stated relative-error bound
+    /// of an f64 reference on tiled shapes — and the scalar oracle is held
+    /// to the same bound, pinning that fast-math error is of the same
+    /// order as inherent f32 accumulation noise.
+    #[test]
+    fn fastmath_gemm_within_stated_tolerance_of_f64_reference(
+        (m, k, n) in (8usize..48, 48usize..300, 8usize..48),
+        seed in any::<u64>(),
+    ) {
+        let a = test_matrix(m, k, seed);
+        let b = test_matrix(k, n, seed.wrapping_add(1));
+        let fast = pool::with_threads(1, || {
+            backend_of(BackendKind::FastMath).matmul(&a, &b).unwrap()
+        });
+        let scalar = pool::with_threads(1, || {
+            backend_of(BackendKind::Scalar).matmul(&a, &b).unwrap()
+        });
+        for i in 0..m {
+            for j in 0..n {
+                let mut reference = 0.0f64;
+                let mut scale = 0.0f64;
+                for p in 0..k {
+                    let prod = a.get(i, p) as f64 * b.get(p, j) as f64;
+                    reference += prod;
+                    scale += prod.abs();
+                }
+                let tol = FASTMATH_REL_TOL * scale + 1e-12;
+                let f = fast.get(i, j) as f64;
+                let s = scalar.get(i, j) as f64;
+                prop_assert!(
+                    (f - reference).abs() <= tol,
+                    "fastmath ({},{}): got {} want {} (tol {})", i, j, f, reference, tol
+                );
+                prop_assert!(
+                    (s - reference).abs() <= tol,
+                    "scalar ({},{}): got {} want {} (tol {})", i, j, s, reference, tol
+                );
+            }
+        }
+    }
+}
+
+/// `dot_prepared` (two int8 kernel calls + exact anchor term) is
+/// bit-identical across all three backends — the serving quantized-score
+/// path may switch backends without moving a single score.
+#[test]
+fn dot_prepared_is_bit_identical_on_every_backend() {
+    let table = QuantizedMatrix::from_matrix(&test_matrix(64, 96, 1234));
+    let queries: Vec<PreparedQuery> = (0..8)
+        .map(|q| {
+            let v: Vec<f32> = (0..96).map(|j| val(q as u64 + 9000, q, j)).collect();
+            table.prepare(&v)
+        })
+        .collect();
+    for row in 0..64 {
+        for query in &queries {
+            let oracle = with_backend(BackendKind::Scalar, || table.dot_prepared(row, query));
+            for kind in [BackendKind::Avx2, BackendKind::FastMath] {
+                let got = with_backend(kind, || table.dot_prepared(row, query));
+                assert_eq!(got.to_bits(), oracle.to_bits(), "row={row} kind={kind}");
+            }
+        }
+    }
+}
+
+/// A `with_backend` scope must follow work onto pool workers: every task
+/// of a parallel region sees the submitting thread's selection, and the
+/// worker's own state is restored afterwards.
+#[test]
+fn with_backend_scope_propagates_to_pool_workers() {
+    use std::sync::Mutex;
+    // Scope a kind that differs from the ambient default, whatever
+    // `ATNN_BACKEND` the suite runs under (check.sh runs it under several).
+    let scoped = if atnn_tensor::process_backend() == BackendKind::Scalar {
+        BackendKind::FastMath
+    } else {
+        BackendKind::Scalar
+    };
+    let seen: Mutex<Vec<BackendKind>> = Mutex::new(Vec::new());
+    pool::with_threads(4, || {
+        with_backend(scoped, || {
+            pool::run_tasks(4, &|_idx| {
+                seen.lock().unwrap().push(current_backend_kind());
+            });
+        });
+        // Outside the scope the same workers must no longer see it.
+        pool::run_tasks(4, &|_idx| {
+            assert_ne!(current_backend_kind(), scoped, "scope leaked onto a pool worker");
+        });
+    });
+    let seen = seen.into_inner().unwrap();
+    assert_eq!(seen.len(), 4);
+    assert!(
+        seen.iter().all(|&k| k == scoped),
+        "every task must inherit the scoped backend: {seen:?}"
+    );
+}
+
+/// Fast-math results are deterministic: each output element is a pure
+/// function of its `k` sequence, so row-sharded parallel execution is
+/// bit-identical to serial *within* the fast-math backend — and (on FMA
+/// hosts) measurably different from the oracle, proving the scoped
+/// backend actually reached the kernels.
+#[test]
+fn fastmath_is_deterministic_across_task_counts() {
+    let a = test_matrix(96, 160, 51);
+    let b = test_matrix(160, 96, 52);
+    let serial =
+        pool::with_threads(1, || with_backend(BackendKind::FastMath, || a.matmul(&b).unwrap()));
+    for tasks in [2usize, 3, 7] {
+        let parallel = pool::with_threads(8, || {
+            with_backend(BackendKind::FastMath, || a.matmul_parallel(&b, tasks).unwrap())
+        });
+        assert_eq!(parallel, serial, "fastmath parallel != serial at tasks={tasks}");
+    }
+    let caps = cpu_caps();
+    if caps.avx2 && caps.fma {
+        let oracle = with_backend(BackendKind::Scalar, || a.matmul(&b).unwrap());
+        assert_ne!(
+            serial, oracle,
+            "fast-math on an FMA host should differ from the oracle in some low bits \
+             (if it never does, the backend is not reaching the microkernel)"
+        );
+    }
+}

@@ -22,8 +22,16 @@ cargo run --release -p atnn-bench --bin serve_loadgen -- --smoke
 echo "==> allocation budget (steady-state train step, counting allocator)"
 cargo test --release -q -p atnn-core --test alloc_budget
 
-echo "==> gemm smoke (tiled kernel must beat naive at 256^3, bit-identically)"
+echo "==> gemm smoke (tiled kernel must beat naive at 256^3; fast-math must not trail avx2)"
 cargo run --release -p atnn-bench --bin gemm_bench -- --smoke
+
+echo "==> backend-matrix (kernel + autograd suites under each bit-identical backend)"
+# fastmath is deliberately absent here: it trades bit-identity for FMA
+# throughput, so the bit-exactness suites would fail under it by design.
+# Its tolerance contract is pinned by the backend_parity suite below.
+ATNN_BACKEND=scalar cargo test --release -q -p atnn-tensor -p atnn-autograd
+ATNN_BACKEND=avx2 cargo test --release -q -p atnn-tensor -p atnn-autograd
+cargo test --release -q -p atnn-tensor --test backend_parity
 
 echo "==> ann smoke (recall@10 >= 0.95 at default nprobe, full probe bit-identical)"
 cargo run --release -p atnn-bench --bin ann_bench -- --smoke
