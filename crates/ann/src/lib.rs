@@ -31,7 +31,7 @@ use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
 
-use atnn_tensor::{dot, Matrix, PreparedQuery, QuantizedMatrix};
+use atnn_tensor::{dot, CowMatrix, CowQuantMatrix, Matrix, PreparedQuery, QuantizedMatrix};
 
 /// The embedding pool a retriever scans: dense f32 rows, or int8 row
 /// codes scored through the quantized dot kernel.
@@ -50,6 +50,12 @@ pub enum ItemPool {
     F32(Arc<Matrix>),
     /// Int8-quantized embeddings with per-row scale/zero-point.
     Int8(Arc<QuantizedMatrix>),
+    /// Chunked copy-on-write f32 embeddings — what delta publishes
+    /// serve from. Row reads are bit-identical to the contiguous
+    /// variant; only the storage layout differs.
+    CowF32(Arc<CowMatrix>),
+    /// Chunked copy-on-write int8 embeddings.
+    CowInt8(Arc<CowQuantMatrix>),
 }
 
 impl From<Arc<Matrix>> for ItemPool {
@@ -64,12 +70,26 @@ impl From<Arc<QuantizedMatrix>> for ItemPool {
     }
 }
 
+impl From<Arc<CowMatrix>> for ItemPool {
+    fn from(vecs: Arc<CowMatrix>) -> Self {
+        ItemPool::CowF32(vecs)
+    }
+}
+
+impl From<Arc<CowQuantMatrix>> for ItemPool {
+    fn from(vecs: Arc<CowQuantMatrix>) -> Self {
+        ItemPool::CowInt8(vecs)
+    }
+}
+
 impl ItemPool {
     /// Number of item rows.
     pub fn rows(&self) -> usize {
         match self {
             ItemPool::F32(m) => m.rows(),
             ItemPool::Int8(q) => q.rows(),
+            ItemPool::CowF32(m) => m.rows(),
+            ItemPool::CowInt8(q) => q.rows(),
         }
     }
 
@@ -78,6 +98,8 @@ impl ItemPool {
         match self {
             ItemPool::F32(m) => m.cols(),
             ItemPool::Int8(q) => q.cols(),
+            ItemPool::CowF32(m) => m.cols(),
+            ItemPool::CowInt8(q) => q.cols(),
         }
     }
 
@@ -86,12 +108,14 @@ impl ItemPool {
         match self {
             ItemPool::F32(m) => m.len() * 4,
             ItemPool::Int8(q) => q.storage_bytes(),
+            ItemPool::CowF32(m) => m.len() * 4,
+            ItemPool::CowInt8(q) => q.storage_bytes(),
         }
     }
 
-    /// True for the int8 variant.
+    /// True for the int8 variants.
     pub fn is_quantized(&self) -> bool {
-        matches!(self, ItemPool::Int8(_))
+        matches!(self, ItemPool::Int8(_) | ItemPool::CowInt8(_))
     }
 
     /// A per-query scorer: prepares (quantizes) the query once so each
@@ -100,6 +124,8 @@ impl ItemPool {
         match self {
             ItemPool::F32(m) => PoolScorer::F32 { vecs: m, query },
             ItemPool::Int8(q) => PoolScorer::Int8 { codes: q, prep: q.prepare(query) },
+            ItemPool::CowF32(m) => PoolScorer::CowF32 { vecs: m, query },
+            ItemPool::CowInt8(q) => PoolScorer::CowInt8 { codes: q, prep: q.prepare(query) },
         }
     }
 }
@@ -107,6 +133,8 @@ impl ItemPool {
 enum PoolScorer<'a> {
     F32 { vecs: &'a Matrix, query: &'a [f32] },
     Int8 { codes: &'a QuantizedMatrix, prep: PreparedQuery },
+    CowF32 { vecs: &'a CowMatrix, query: &'a [f32] },
+    CowInt8 { codes: &'a CowQuantMatrix, prep: PreparedQuery },
 }
 
 impl PoolScorer<'_> {
@@ -115,6 +143,8 @@ impl PoolScorer<'_> {
         match self {
             PoolScorer::F32 { vecs, query } => dot(vecs.row(id as usize), query),
             PoolScorer::Int8 { codes, prep } => codes.dot_prepared(id as usize, prep),
+            PoolScorer::CowF32 { vecs, query } => dot(vecs.row(id as usize), query),
+            PoolScorer::CowInt8 { codes, prep } => codes.dot_prepared(id as usize, prep),
         }
     }
 }
@@ -287,6 +317,16 @@ pub struct IvfFlatIndex {
     /// Item ids per centroid, ascending within each list; every id in
     /// `0..n` appears in exactly one list.
     lists: Vec<Vec<u32>>,
+    /// Inverse of `lists`: the list each id currently sits in. Kept so
+    /// incremental re-assignment finds an id's old list in O(1); derived
+    /// from `lists` at build/decode, never persisted.
+    assignments: Vec<u32>,
+    /// Ids whose assignment changed under [`IvfFlatIndex::reassign`]
+    /// since the centroids were last trained. The coarse quantizer is
+    /// frozen across deltas, so this is the staleness signal callers use
+    /// to trigger a full k-means rebuild. Runtime-only: not persisted
+    /// (an adopted index starts fresh at 0).
+    drift: u64,
     pool: ItemPool,
 }
 
@@ -346,12 +386,14 @@ impl IvfFlatIndex {
         // Final pass: bucket the whole pool. Iterating ids in order keeps
         // every inverted list ascending.
         let mut lists: Vec<Vec<u32>> = vec![Vec::new(); nlist];
+        let mut assignments = vec![0u32; n];
         let mut start = 0usize;
         while start < n {
             let ids: Vec<u32> = (start..(start + ASSIGN_CHUNK).min(n)).map(|i| i as u32).collect();
             let chunk = vecs.select_rows(&ids).expect("chunk ids in range");
             for (off, &c) in assign_chunked(&chunk, &centroids, &cnorms).iter().enumerate() {
                 lists[c as usize].push(ids[off]);
+                assignments[ids[off] as usize] = c;
             }
             start += ASSIGN_CHUNK;
         }
@@ -361,6 +403,8 @@ impl IvfFlatIndex {
             centroids,
             cnorms,
             lists,
+            assignments,
+            drift: 0,
             pool: ItemPool::F32(vecs),
         }
     }
@@ -406,6 +450,79 @@ impl IvfFlatIndex {
     /// Probe width used when a caller passes `nprobe = 0`.
     pub fn default_nprobe(&self) -> usize {
         self.params.default_nprobe
+    }
+
+    /// Re-assigns the items in `ids` — whose embeddings changed to
+    /// `vecs.row(k)` for `ids[k]` — under the **frozen** centroids:
+    /// each changed vector is scored against the existing coarse
+    /// quantizer with exactly the build-time assignment math (the
+    /// `assign_chunked` pass: same GEMM, same serial argmin, same
+    /// lowest-centroid tie-break), then moved between inverted lists
+    /// (sorted remove + sorted insert, so every list stays ascending).
+    ///
+    /// Exactness: after this call the index structure is bit-identical
+    /// to re-running the full build-time bucketing pass over the updated
+    /// pool with the same centroids — unchanged items re-derive their
+    /// existing assignment, changed items get the same argmin the full
+    /// pass would compute. That makes an incremental update over a
+    /// changed set `S` indistinguishable from a frozen-centroid full
+    /// re-assignment whose input only differs on `S`.
+    ///
+    /// Returns how many items actually changed lists; the same count
+    /// accumulates into [`IvfFlatIndex::drift`]. Centroids are *not*
+    /// retrained — callers watch the drift fraction and rebuild past
+    /// their threshold.
+    ///
+    /// The re-rank pool is untouched: callers swap it separately via
+    /// [`IvfFlatIndex::with_pool`] (the pool and the index structure are
+    /// published together in a snapshot).
+    ///
+    /// # Panics
+    /// Panics on shape mismatches or an id out of range.
+    pub fn reassign(&mut self, ids: &[u32], vecs: &Matrix) -> usize {
+        assert_eq!(vecs.rows(), ids.len(), "reassign id/row count mismatch");
+        assert_eq!(vecs.cols(), self.centroids.cols(), "reassign dimension mismatch");
+        let n = self.assignments.len();
+        let mut moved = 0usize;
+        let mut start = 0usize;
+        while start < ids.len() {
+            let end = (start + ASSIGN_CHUNK).min(ids.len());
+            let rows: Vec<u32> = (start..end).map(|i| i as u32).collect();
+            let chunk = vecs.select_rows(&rows).expect("delta rows in range");
+            for (off, &c) in
+                assign_chunked(&chunk, &self.centroids, &self.cnorms).iter().enumerate()
+            {
+                let id = ids[start + off];
+                assert!((id as usize) < n, "reassign: id {id} out of range ({n} items)");
+                let old = self.assignments[id as usize];
+                if old == c {
+                    continue;
+                }
+                let old_list = &mut self.lists[old as usize];
+                let at = old_list.binary_search(&id).expect("assignments track lists");
+                old_list.remove(at);
+                let new_list = &mut self.lists[c as usize];
+                let at = new_list.binary_search(&id).expect_err("id cannot be in two lists");
+                new_list.insert(at, id);
+                self.assignments[id as usize] = c;
+                moved += 1;
+            }
+            start = end;
+        }
+        self.drift += moved as u64;
+        moved
+    }
+
+    /// Items whose list changed under [`IvfFlatIndex::reassign`] since
+    /// the centroids were last trained (build or decode resets to 0).
+    pub fn drift(&self) -> u64 {
+        self.drift
+    }
+
+    /// [`IvfFlatIndex::drift`] as a fraction of the catalogue — the
+    /// staleness signal for rebuild policies.
+    pub fn drift_fraction(&self) -> f64 {
+        self.drift as f64 / self.assignments.len().max(1) as f64
     }
 
     /// Centroid ids ranked nearest-first for `query` (ties to the lowest
@@ -629,8 +746,9 @@ impl IvfFlatIndex {
 
         let mut lists = Vec::with_capacity(nlist);
         let mut seen = vec![false; n];
+        let mut assignments = vec![0u32; n];
         let mut total = 0usize;
-        for _ in 0..nlist {
+        for c in 0..nlist {
             let len = r.u32("truncated list header")? as usize;
             if len > n - total {
                 return Err(AnnError::Corrupt("list lengths exceed the catalogue"));
@@ -644,6 +762,13 @@ impl IvfFlatIndex {
                 if std::mem::replace(&mut seen[id as usize], true) {
                     return Err(AnnError::Corrupt("item id assigned to two lists"));
                 }
+                // Ascending order is part of the format: the full-probe
+                // bit-identity argument and the incremental update's
+                // sorted remove/insert both rely on it.
+                if list.last().is_some_and(|&prev| prev >= id) {
+                    return Err(AnnError::Corrupt("inverted list not ascending"));
+                }
+                assignments[id as usize] = c as u32;
                 list.push(id);
             }
             total += len;
@@ -658,7 +783,7 @@ impl IvfFlatIndex {
 
         let cnorms = centroid_norms(&centroids);
         let params = IvfParams { nlist, default_nprobe, sample_per_list, max_iters };
-        Ok(IvfFlatIndex { params, centroids, cnorms, lists, pool })
+        Ok(IvfFlatIndex { params, centroids, cnorms, lists, assignments, drift: 0, pool })
     }
 }
 
@@ -857,6 +982,116 @@ mod tests {
         let q = query(8, 3);
         let direct = ivf.with_pool(codes).unwrap();
         assert_eq!(back.topk(&q, 15, 2), direct.topk(&q, 15, 2));
+    }
+
+    /// Mutates rows `changed` of `pool` deterministically and returns
+    /// the updated matrix (the "new model's embeddings").
+    fn mutate_rows(pool: &Matrix, changed: &[u32], seed: u64) -> Matrix {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let mut updated = pool.clone();
+        for &id in changed {
+            for j in 0..updated.cols() {
+                updated.set(id as usize, j, rng.normal() * 4.0);
+            }
+        }
+        updated
+    }
+
+    #[test]
+    fn reassign_matches_a_frozen_centroid_full_pass_bitwise() {
+        let pool = clustered_pool(700, 12, 9, 51);
+        let base = IvfFlatIndex::build(Arc::clone(&pool), IvfParams::for_items(pool.rows()));
+        let changed: Vec<u32> = vec![3, 118, 119, 120, 301, 302, 650, 699];
+        let updated = mutate_rows(&pool, &changed, 8);
+
+        // Delta: re-assign only the changed set.
+        let mut delta = base.clone();
+        let changed_rows = updated.select_rows(&changed).unwrap();
+        let moved = delta.reassign(&changed, &changed_rows);
+        assert_eq!(delta.drift(), moved as u64);
+
+        // Oracle: re-assign *every* id from the updated pool under the
+        // same frozen centroids. Unchanged ids re-derive their existing
+        // assignment, so skipping them must change nothing — the
+        // incrementality contract.
+        let mut oracle = base.clone();
+        let all: Vec<u32> = (0..pool.rows() as u32).collect();
+        let oracle_moved = oracle.reassign(&all, &updated);
+        assert_eq!(moved, oracle_moved, "only changed rows can move");
+        assert_eq!(delta.encode(), oracle.encode(), "identical structure, bit for bit");
+
+        // Retrieval over the updated pool agrees wherever the index is
+        // consulted (same lists, same centroids, same re-rank pool).
+        let delta = delta.with_pool(Arc::new(updated.clone())).unwrap();
+        let oracle = oracle.with_pool(Arc::new(updated)).unwrap();
+        let q = query(12, 4);
+        assert_eq!(delta.topk(&q, 20, 3), oracle.topk(&q, 20, 3));
+        assert_eq!(delta.topk(&q, 20, delta.nlist()), oracle.topk(&q, 20, oracle.nlist()));
+    }
+
+    #[test]
+    fn reassign_keeps_lists_ascending_and_covering() {
+        let pool = clustered_pool(500, 8, 6, 77);
+        let mut ivf = IvfFlatIndex::build(Arc::clone(&pool), IvfParams::for_items(pool.rows()));
+        let changed: Vec<u32> = (0..500).step_by(7).collect();
+        let updated = mutate_rows(&pool, &changed, 13);
+        ivf.reassign(&changed, &updated.select_rows(&changed).unwrap());
+        // decode re-validates the structural invariants (full coverage,
+        // no duplicates, ascending lists) — a round-trip is the check.
+        let back = IvfFlatIndex::decode(&ivf.encode(), Arc::clone(&pool)).unwrap();
+        assert_eq!(back.encode(), ivf.encode());
+    }
+
+    #[test]
+    fn reassign_of_unchanged_rows_moves_nothing() {
+        let pool = clustered_pool(300, 8, 5, 19);
+        let mut ivf = IvfFlatIndex::build(Arc::clone(&pool), IvfParams::for_items(pool.rows()));
+        let before = ivf.encode();
+        let ids: Vec<u32> = vec![0, 10, 299];
+        let same_rows = pool.select_rows(&ids).unwrap();
+        assert_eq!(ivf.reassign(&ids, &same_rows), 0);
+        assert_eq!(ivf.drift(), 0);
+        assert_eq!(ivf.encode(), before);
+    }
+
+    #[test]
+    fn drift_accumulates_across_deltas_and_resets_on_build() {
+        let pool = clustered_pool(400, 8, 8, 33);
+        let mut ivf = IvfFlatIndex::build(Arc::clone(&pool), IvfParams::for_items(pool.rows()));
+        let mut total = 0usize;
+        let mut current = (*pool).clone();
+        for round in 0..4u64 {
+            let changed: Vec<u32> = (round as u32 * 40..(round as u32 + 1) * 40).collect();
+            current = mutate_rows(&current, &changed, 100 + round);
+            total += ivf.reassign(&changed, &current.select_rows(&changed).unwrap());
+            assert_eq!(ivf.drift(), total as u64);
+        }
+        assert!(total > 0, "clustered mutations must move something");
+        assert!(ivf.drift_fraction() > 0.0 && ivf.drift_fraction() <= 1.0);
+        let rebuilt = IvfFlatIndex::build(Arc::new(current), *ivf.params());
+        assert_eq!(rebuilt.drift(), 0, "training the quantizer clears drift");
+    }
+
+    #[test]
+    fn cow_pools_score_identically_to_their_contiguous_twins() {
+        use atnn_tensor::{CowMatrix, CowQuantMatrix};
+        let pool = clustered_pool(900, 16, 12, 61);
+        let ivf = IvfFlatIndex::build(Arc::clone(&pool), IvfParams::for_items(pool.rows()));
+        let q = query(16, 42);
+
+        let cow = Arc::new(CowMatrix::from_matrix(&pool));
+        let via_cow = ivf.clone().with_pool(Arc::clone(&cow)).unwrap();
+        assert_eq!(via_cow.topk(&q, 25, 4), ivf.topk(&q, 25, 4));
+        assert_eq!(via_cow.topk(&q, 25, via_cow.nlist()), ivf.topk(&q, 25, ivf.nlist()));
+
+        let codes = Arc::new(QuantizedMatrix::from_matrix(&pool));
+        let cow_q = Arc::new(CowQuantMatrix::from_quantized(&codes));
+        let via_int8 = ivf.clone().with_pool(Arc::clone(&codes)).unwrap();
+        let via_cow_q = ivf.clone().with_pool(Arc::clone(&cow_q)).unwrap();
+        assert!(via_cow_q.pool().is_quantized());
+        assert_eq!(via_cow_q.topk(&q, 25, 4), via_int8.topk(&q, 25, 4));
+        let oracle = BruteForce::new(cow_q);
+        assert_eq!(via_cow_q.topk(&q, 25, via_cow_q.nlist()), oracle.topk(&q, 25, 0));
     }
 
     #[test]

@@ -16,11 +16,18 @@
 //!
 //! Run with: `cargo run --release -p atnn-bench --bin serve_loadgen
 //! [-- --scale tiny|small|paper] [--duration-ms N] [--out PATH]
-//! [--topk-frac F]`
+//! [--topk-frac F] [--publish-every SECS]`
 //!
 //! `--topk-frac` (default 0.2) is the fraction of mixed-phase requests
 //! that become catalogue-wide `TopKAll` retrievals through the server's
 //! ANN index instead of candidate-list scoring.
+//!
+//! `--publish-every` (default 0.5, ≤ 0 disables) drives the `publish`
+//! level: fleet-shaped traffic while a publisher thread fires a 1%-delta
+//! republish through `ModelManager::publish_delta` on that cadence. The
+//! level's record splits client-observed p99 into requests whose
+//! lifetime overlapped a publish vs steady-state requests — the
+//! serve-while-publishing tail.
 //!
 //! `--smoke` runs only the 512-connection fleet level for a short burst
 //! and exits non-zero unless throughput clears twice the pre-event-loop
@@ -29,6 +36,7 @@
 use std::io::Write;
 use std::net::TcpStream;
 use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -59,6 +67,18 @@ struct Level {
     event_threads: usize,
 }
 
+/// Publish-overlap latency split measured by the `publish` level.
+struct PublishStats {
+    /// Delta publishes fired during the level.
+    publishes: u64,
+    /// Requests whose lifetime overlapped a publish, and their p99.
+    during_n: usize,
+    during_p99_us: f64,
+    /// Steady-state requests (no overlapping publish), and their p99.
+    steady_n: usize,
+    steady_p99_us: f64,
+}
+
 /// What one level measured.
 struct LevelResult {
     level: Level,
@@ -66,6 +86,8 @@ struct LevelResult {
     requests_sent: u64,
     client_sheds: u64,
     stats: StatsReport,
+    /// Present only on the `publish` level.
+    publish: Option<PublishStats>,
 }
 
 impl LevelResult {
@@ -93,6 +115,8 @@ fn main() {
     let topk_frac: f64 =
         flag_value(&args, "--topk-frac").and_then(|v| v.parse().ok()).unwrap_or(0.2);
     assert!((0.0..=1.0).contains(&topk_frac), "--topk-frac must be in [0, 1]");
+    let publish_every: f64 =
+        flag_value(&args, "--publish-every").and_then(|v| v.parse().ok()).unwrap_or(0.5);
 
     let data_cfg = match scale {
         Scale::Tiny => TmallConfig::tiny(),
@@ -119,7 +143,7 @@ fn main() {
     };
 
     if smoke {
-        let result = run_level(fleet(), &manager, num_items, duration, topk_frac);
+        let result = run_level(fleet(), &manager, num_items, duration, topk_frac, None);
         let rps = result.throughput_rps();
         let floor = 2.0 * BASELINE_LIGHT_RPS;
         eprintln!(
@@ -190,7 +214,33 @@ fn main() {
             level.shards,
             level.event_threads
         );
-        results.push(run_level(level, &manager, num_items, duration, topk_frac));
+        results.push(run_level(level, &manager, num_items, duration, topk_frac, None));
+    }
+
+    // Fleet-shaped traffic with delta publishes firing on a cadence: the
+    // serve-while-publishing level. Uses the same connection shape as
+    // `fleet` so its steady-state quantiles are directly comparable.
+    if publish_every > 0.0 {
+        let interval = Duration::from_secs_f64(publish_every);
+        eprintln!(
+            "level publish: fleet shape, delta republish every {:.0}ms...",
+            interval.as_secs_f64() * 1_000.0
+        );
+        let mut level = fleet();
+        level.name = "publish";
+        results.push(run_level(level, &manager, num_items, duration, topk_frac, Some(interval)));
+        let p = results.last().unwrap().publish.as_ref().expect("publish level measures the split");
+        eprintln!(
+            "publish level: {} publishes; p99 during {:.1}us ({} reqs) vs steady {:.1}us ({} reqs)",
+            p.publishes, p.during_p99_us, p.during_n, p.steady_p99_us, p.steady_n
+        );
+        assert!(p.publishes > 0, "the publish level must actually publish");
+        assert!(
+            p.during_n > 0 && p.steady_n > 0,
+            "both latency populations must be sampled (during {} / steady {})",
+            p.during_n,
+            p.steady_n
+        );
     }
 
     let json = render_json(scale, &results);
@@ -213,21 +263,67 @@ fn main() {
         "warm-path p50 ({warm_p50}ns) must stay within 2x of cold p50 ({cold_p50}ns): \
          the precomputed-embedding cache is not being served"
     );
-    let overload = results.last().expect("levels nonempty");
+    let overload = results.iter().find(|r| r.level.name == "overload").expect("overload level ran");
     assert!(
         overload.client_sheds > 0,
         "the overload level must actually shed (queue bound too generous?)"
     );
 }
 
+/// 0.99 quantile of an unsorted sample, in microseconds.
+fn p99_us(lat_us: &mut [u64]) -> f64 {
+    if lat_us.is_empty() {
+        return 0.0;
+    }
+    lat_us.sort_unstable();
+    lat_us[((lat_us.len() - 1) as f64 * 0.99).round() as usize] as f64
+}
+
+/// Republishes the *current* model as a 1%-strided delta every `interval`
+/// until `stop`; returns the publish count. Re-embedding the same model
+/// leaves every row bit-identical (so in-flight scores never flake), but
+/// the full delta pipeline — batched re-embed, COW chunk clones, IVF
+/// re-assign scan, row re-quantization — still runs at its real cost.
+/// `epoch` is bumped to odd on entry to each publish and back to even on
+/// exit, so clients can tell whether a request's lifetime overlapped one.
+fn publisher_loop(
+    manager: Arc<ModelManager>,
+    interval: Duration,
+    epoch: Arc<AtomicU64>,
+    stop: Arc<AtomicBool>,
+) -> u64 {
+    let num_items = manager.load().num_items();
+    let count = (num_items / 100).max(1);
+    let step = (num_items / count).max(1);
+    let changed: Vec<u32> = (0..num_items as u32).step_by(step).take(count).collect();
+    let mut publishes = 0;
+    while !stop.load(Ordering::Acquire) {
+        std::thread::sleep(interval);
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        let prev = manager.load();
+        epoch.fetch_add(1, Ordering::AcqRel);
+        manager
+            .publish_delta(prev.version + 1, Arc::clone(&prev.model), prev.index.clone(), &changed)
+            .expect("mid-load delta publish");
+        epoch.fetch_add(1, Ordering::AcqRel);
+        publishes += 1;
+    }
+    publishes
+}
+
 /// Runs one closed-loop level against a fresh server (fresh telemetry and
-/// router; the trained model is shared through the manager).
+/// router; the trained model is shared through the manager). With
+/// `publish_every` set, a publisher thread fires delta republishes on that
+/// cadence and the result carries the during-vs-steady p99 split.
 fn run_level(
     level: Level,
     manager: &Arc<ModelManager>,
     num_items: usize,
     duration: Duration,
     topk_frac: f64,
+    publish_every: Option<Duration>,
 ) -> LevelResult {
     let cfg = ServeConfig {
         queue_capacity: level.queue_capacity,
@@ -248,10 +344,29 @@ fn run_level(
         }
     }
 
-    let mut gen = LoadGen::connect(addr, &level, num_items, topk_frac);
+    let epoch = Arc::new(AtomicU64::new(0));
+    let stop = Arc::new(AtomicBool::new(false));
+    let publisher = publish_every.map(|interval| {
+        let (manager, epoch, stop) = (Arc::clone(manager), Arc::clone(&epoch), Arc::clone(&stop));
+        std::thread::spawn(move || publisher_loop(manager, interval, epoch, stop))
+    });
+
+    let mut gen = LoadGen::connect(addr, &level, num_items, topk_frac, Arc::clone(&epoch));
     let started = Instant::now();
     gen.run(started, duration);
     let elapsed = started.elapsed();
+
+    stop.store(true, Ordering::Release);
+    let publish = publisher.map(|handle| {
+        let publishes = handle.join().expect("publisher thread");
+        PublishStats {
+            publishes,
+            during_n: gen.during_us.len(),
+            during_p99_us: p99_us(&mut gen.during_us),
+            steady_n: gen.steady_us.len(),
+            steady_p99_us: p99_us(&mut gen.steady_us),
+        }
+    });
 
     let stats = setup.stats().expect("final stats");
     handle.shutdown();
@@ -261,6 +376,7 @@ fn run_level(
         requests_sent: gen.requests_sent,
         client_sheds: gen.client_sheds,
         stats,
+        publish,
     }
 }
 
@@ -289,6 +405,11 @@ struct LoadConn {
     /// interleave.
     mix_seq: u32,
     inflight: bool,
+    /// When the in-flight request was queued.
+    sent_at: Instant,
+    /// Publish-epoch snapshot taken at launch; compared against the live
+    /// epoch at reply time to classify the request's latency sample.
+    launch_epoch: u64,
 }
 
 impl LoadConn {
@@ -330,6 +451,12 @@ struct LoadGen {
     topk_all_percent: u32,
     requests_sent: u64,
     client_sheds: u64,
+    /// Publish epoch shared with the publisher thread (odd while a
+    /// publish is in progress; always 0 when no publisher runs).
+    epoch: Arc<AtomicU64>,
+    /// Client-observed latencies, split by publish overlap.
+    during_us: Vec<u64>,
+    steady_us: Vec<u64>,
 }
 
 impl LoadGen {
@@ -338,6 +465,7 @@ impl LoadGen {
         level: &Level,
         num_items: usize,
         topk_frac: f64,
+        epoch: Arc<AtomicU64>,
     ) -> Self {
         let epoll = Epoll::new().expect("epoll_create1");
         let mut conns = Vec::with_capacity(level.connections);
@@ -358,6 +486,8 @@ impl LoadGen {
                 // Stagger so the TopKAll interleave spreads across conns.
                 mix_seq: i as u32 * 37,
                 inflight: false,
+                sent_at: Instant::now(),
+                launch_epoch: 0,
             });
         }
         LoadGen {
@@ -368,6 +498,9 @@ impl LoadGen {
             topk_all_percent: (topk_frac * 100.0).round() as u32,
             requests_sent: 0,
             client_sheds: 0,
+            epoch,
+            during_us: Vec::new(),
+            steady_us: Vec::new(),
         }
     }
 
@@ -408,8 +541,11 @@ impl LoadGen {
     /// Queues a fresh request on `idx` and starts writing it out.
     fn launch(&mut self, idx: usize, phase: Phase) {
         let req = self.next_request(idx, phase);
+        let launch_epoch = self.epoch.load(Ordering::Acquire);
         let conn = &mut self.conns[idx];
         conn.queue(&req);
+        conn.sent_at = Instant::now();
+        conn.launch_epoch = launch_epoch;
         self.requests_sent += 1;
         let blocked = conn.pump_write();
         self.reconcile_mask(idx, blocked);
@@ -477,10 +613,19 @@ impl LoadGen {
             let conn = &mut self.conns[idx];
             match conn.reader.read_frame(&mut conn.stream) {
                 Ok(FrameRead::Frame(payload)) => {
+                    let latency_us = conn.sent_at.elapsed().as_micros() as u64;
                     match Response::decode(payload).expect("decode response") {
                         Response::Overloaded => self.client_sheds += 1,
                         Response::Error(msg) => panic!("server error: {msg}"),
                         _ => {}
+                    }
+                    // Overlapped a publish iff the epoch moved since launch
+                    // or is currently odd (a publish is mid-flight now).
+                    let now = self.epoch.load(Ordering::Acquire);
+                    if now != conn.launch_epoch || now % 2 == 1 {
+                        self.during_us.push(latency_us);
+                    } else {
+                        self.steady_us.push(latency_us);
                     }
                     conn.inflight = false;
                     retired += 1;
@@ -520,6 +665,13 @@ fn render_json(scale: Scale, results: &[LevelResult]) -> String {
             r.stats.batched_items,
             r.stats.mean_batch_size()
         ));
+        if let Some(p) = &r.publish {
+            out.push_str(&format!(
+                "      \"publish\": {{\"publishes\": {}, \"during_requests\": {}, \
+                 \"during_p99_us\": {:.1}, \"steady_requests\": {}, \"steady_p99_us\": {:.1}}},\n",
+                p.publishes, p.during_n, p.during_p99_us, p.steady_n, p.steady_p99_us
+            ));
+        }
         out.push_str("      \"endpoints\": [\n");
         let scoring: Vec<_> = r
             .stats

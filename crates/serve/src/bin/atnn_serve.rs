@@ -240,7 +240,7 @@ fn run() -> Result<(), String> {
         // A quantized publisher also persists its codes, so every replica
         // adopting the artifact serves the same int8 tables.
         if let Some((cold, warm)) = snap.quant_tables() {
-            artifact = artifact.with_quant((**cold).clone(), (**warm).clone());
+            artifact = artifact.with_quant(cold.to_quantized(), warm.to_quantized());
         }
         artifact.save_to(path).map_err(|e| format!("save {path}: {e}"))?;
         eprintln!("artifact saved to {path}");
@@ -356,7 +356,7 @@ fn smoke(
         // Keep the fleet's precision across the swap: a quantized run
         // republishes its publish-time codes.
         if let Some((cold, warm)) = snap.quant_tables() {
-            artifact = artifact.with_quant((**cold).clone(), (**warm).clone());
+            artifact = artifact.with_quant(cold.to_quantized(), warm.to_quantized());
         }
         let path =
             std::env::temp_dir().join(format!("atnn_serve_smoke_{}.atnn", std::process::id()));

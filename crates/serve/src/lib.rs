@@ -54,8 +54,10 @@ pub use batcher::{BatchReply, Batcher, Overloaded, ProbeReply, ProbeReplyFn, Rep
 pub use client::ServeClient;
 pub use config::ServeConfig;
 pub use manager::{
-    snapshot_build_gauge, snapshot_bytes_gauge, snapshot_f32_bytes_gauge, ItemSpaceMismatch,
-    ModelManager, ModelSnapshot, Precision,
+    publishes_delta_counter, publishes_full_counter, snapshot_build_delta_gauge,
+    snapshot_build_full_gauge, snapshot_build_gauge, snapshot_bytes_gauge,
+    snapshot_f32_bytes_gauge, DeltaError, DeltaReport, ItemSpaceMismatch, ModelManager,
+    ModelSnapshot, Precision, DRIFT_REBUILD_FRACTION,
 };
 pub use protocol::{
     FrameRead, FrameReader, ProtocolError, Request, Response, ShardStats, StatsReport,

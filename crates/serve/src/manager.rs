@@ -16,13 +16,28 @@ use std::time::Instant;
 use atnn_ann::{IvfFlatIndex, IvfParams, Retriever};
 use atnn_core::{ArtifactError, Atnn, ModelArtifact, PopularityIndex, QuantTables};
 use atnn_data::tmall::TmallDataset;
-use atnn_obs::Gauge;
-use atnn_tensor::{Matrix, PreparedQuery, QuantizedMatrix, SwapCell};
+use atnn_obs::{Counter, Gauge};
+use atnn_tensor::{CowMatrix, CowQuantMatrix, Matrix, PreparedQuery, QuantizedMatrix, SwapCell};
 
 /// Wall-clock seconds the most recent snapshot build spent precomputing
-/// embedding caches and the ANN index (set by [`ModelSnapshot::new`] and
-/// [`ModelSnapshot::from_artifact`]).
+/// embedding caches and the ANN index, full or delta (set by
+/// [`ModelSnapshot::new`], [`ModelSnapshot::from_artifact`], and
+/// [`ModelSnapshot::delta_from`]).
 static SNAPSHOT_BUILD_SECONDS: Gauge = Gauge::new();
+
+/// `atnn.serve.snapshot_build_full_seconds` — wall-clock cost of the most
+/// recent *full* snapshot build (whole-catalogue re-embed + index build).
+static SNAPSHOT_BUILD_FULL_SECONDS: Gauge = Gauge::new();
+
+/// `atnn.serve.snapshot_build_delta_seconds` — wall-clock cost of the most
+/// recent *delta* snapshot build (changed rows only).
+static SNAPSHOT_BUILD_DELTA_SECONDS: Gauge = Gauge::new();
+
+/// `atnn.serve.publishes_full` — full snapshot builds since process start.
+static PUBLISHES_FULL: Counter = Counter::new();
+
+/// `atnn.serve.publishes_delta` — delta snapshot builds since process start.
+static PUBLISHES_DELTA: Counter = Counter::new();
 
 /// `atnn.serve.snapshot_bytes` — resident bytes of the most recently
 /// built snapshot's embedding tables *as served* (int8 codes + affine
@@ -51,6 +66,26 @@ pub fn snapshot_f32_bytes_gauge() -> &'static Gauge {
     &SNAPSHOT_F32_BYTES
 }
 
+/// The gauge tracking the last *full* snapshot build's wall-clock cost.
+pub fn snapshot_build_full_gauge() -> &'static Gauge {
+    &SNAPSHOT_BUILD_FULL_SECONDS
+}
+
+/// The gauge tracking the last *delta* snapshot build's wall-clock cost.
+pub fn snapshot_build_delta_gauge() -> &'static Gauge {
+    &SNAPSHOT_BUILD_DELTA_SECONDS
+}
+
+/// Count of full snapshot builds since process start.
+pub fn publishes_full_counter() -> &'static Counter {
+    &PUBLISHES_FULL
+}
+
+/// Count of delta snapshot builds since process start.
+pub fn publishes_delta_counter() -> &'static Counter {
+    &PUBLISHES_DELTA
+}
+
 /// Numeric representation of a snapshot's cached embedding tables.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Precision {
@@ -67,20 +102,24 @@ pub enum Precision {
 
 /// The cached item-tower tables in one of the two representations.
 ///
-/// Under [`Precision::Int8`] the f32 matrices are dropped after the ANN
-/// index is built — only the quantized codes stay resident — and the
-/// mean-user-vector query is pre-quantized once per table (the cold and
-/// warm tables have different anchors, so each needs its own
-/// [`PreparedQuery`]).
+/// Both representations are chunked copy-on-write tables
+/// ([`CowMatrix`]/[`CowQuantMatrix`]): rows live in `Arc`'d blocks of
+/// [`atnn_tensor::COW_CHUNK_ROWS`] rows, so a delta publish clones only
+/// the chunks holding changed rows and shares the rest with the previous
+/// snapshot by refcount. Under [`Precision::Int8`] the f32 matrices are
+/// dropped after the ANN index is built — only the quantized codes stay
+/// resident — and the mean-user-vector query is pre-quantized once per
+/// table (the cold and warm tables have different anchors, so each needs
+/// its own [`PreparedQuery`]).
 #[derive(Debug)]
 enum Tables {
     F32 {
-        cold: Arc<Matrix>,
-        warm: Arc<Matrix>,
+        cold: Arc<CowMatrix>,
+        warm: Arc<CowMatrix>,
     },
     Int8 {
-        cold: Arc<QuantizedMatrix>,
-        warm: Arc<QuantizedMatrix>,
+        cold: Arc<CowQuantMatrix>,
+        warm: Arc<CowQuantMatrix>,
         cold_query: PreparedQuery,
         warm_query: PreparedQuery,
     },
@@ -118,10 +157,12 @@ impl Tables {
 pub struct ModelSnapshot {
     /// Publisher's version tag.
     pub version: u64,
-    /// The feature store items are encoded from.
-    pub data: TmallDataset,
-    /// The trained model.
-    pub model: Atnn,
+    /// The feature store items are encoded from. Shared by refcount so a
+    /// delta publish over the same catalogue costs no dataset copy.
+    pub data: Arc<TmallDataset>,
+    /// The trained model. Shared so a delta publish can hand the same
+    /// weights to the next snapshot without a clone.
+    pub model: Arc<Atnn>,
     /// The frozen mean-user-vector index.
     pub index: PopularityIndex,
     /// Cached item-tower tables: generator (cold-path) and full-encoder
@@ -140,11 +181,72 @@ pub struct ModelSnapshot {
 /// Batch width for server-side forward passes.
 const BATCH: usize = 512;
 
+/// Cumulative assignment-drift fraction past which a delta publish
+/// re-runs the k-means build instead of keeping the frozen centroids.
+/// Retrieval stays *exact at full probe* under any drift (re-ranking is
+/// over true dots); drift only erodes pruned-probe recall, so the budget
+/// trades rebuild cost against how far the centroids may lag the data.
+pub const DRIFT_REBUILD_FRACTION: f64 = 0.25;
+
+/// What a delta publish did, returned alongside the snapshot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeltaReport {
+    /// Distinct changed item ids re-embedded and re-quantized.
+    pub changed: usize,
+    /// Changed vectors whose nearest frozen centroid moved (inverted-list
+    /// remove + re-insert operations performed).
+    pub moved_lists: usize,
+    /// Whether cumulative drift crossed [`DRIFT_REBUILD_FRACTION`] and
+    /// forced a full k-means rebuild over the updated table.
+    pub index_rebuilt: bool,
+    /// Wall-clock cost of the delta build, in seconds.
+    pub build_seconds: f64,
+}
+
+/// Rejected delta publish.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DeltaError {
+    /// The previous snapshot covers a different item space than the
+    /// served catalogue (only reachable through manager-level publishes).
+    ItemSpace(ItemSpaceMismatch),
+    /// A changed id is outside the catalogue.
+    IdOutOfRange {
+        /// The offending id.
+        id: u32,
+        /// Items in the catalogue.
+        num_items: usize,
+    },
+    /// The replacement model embeds into a different dimension than the
+    /// tables being patched.
+    DimMismatch {
+        /// The previous snapshot's embedding dimension.
+        prev: usize,
+        /// The replacement model's embedding dimension.
+        offered: usize,
+    },
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::ItemSpace(e) => write!(f, "delta publish rejected: {e}"),
+            DeltaError::IdOutOfRange { id, num_items } => {
+                write!(f, "delta publish rejected: changed id {id} >= {num_items} items")
+            }
+            DeltaError::DimMismatch { prev, offered } => {
+                write!(f, "delta publish rejected: model dim {offered} != table dim {prev}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
 impl ModelSnapshot {
     /// Builds an f32 snapshot: precomputes both embedding caches and the
     /// ANN index, then records the build cost in [`snapshot_build_gauge`].
     pub fn new(version: u64, data: TmallDataset, model: Atnn, index: PopularityIndex) -> Self {
-        Self::assemble(version, data, model, index, None, Precision::F32, None)
+        Self::assemble(version, Arc::new(data), Arc::new(model), index, None, Precision::F32, None)
     }
 
     /// Builds a snapshot in the requested table precision. Under
@@ -155,6 +257,20 @@ impl ModelSnapshot {
         version: u64,
         data: TmallDataset,
         model: Atnn,
+        index: PopularityIndex,
+        precision: Precision,
+    ) -> Self {
+        Self::assemble(version, Arc::new(data), Arc::new(model), index, None, precision, None)
+    }
+
+    /// [`ModelSnapshot::new_with_precision`] over already-shared dataset
+    /// and model handles — the full-rebuild baseline a delta publish is
+    /// compared against can reuse the previous snapshot's `Arc`s instead
+    /// of cloning a catalogue.
+    pub fn new_shared(
+        version: u64,
+        data: Arc<TmallDataset>,
+        model: Arc<Atnn>,
         index: PopularityIndex,
         precision: Precision,
     ) -> Self {
@@ -186,8 +302,8 @@ impl ModelSnapshot {
         };
         Ok(Self::assemble(
             live.version,
-            live.data,
-            live.model,
+            Arc::new(live.data),
+            Arc::new(live.model),
             live.index,
             artifact.ann(),
             precision,
@@ -197,8 +313,8 @@ impl ModelSnapshot {
 
     fn assemble(
         version: u64,
-        data: TmallDataset,
-        model: Atnn,
+        data: Arc<TmallDataset>,
+        model: Arc<Atnn>,
         index: PopularityIndex,
         ann_blob: Option<&[u8]>,
         precision: Precision,
@@ -229,26 +345,35 @@ impl ModelSnapshot {
                 // falls back to a build-at-load. The build is
                 // deterministic, so both routes yield bit-identical
                 // retrieval.
+                let cold_cow = Arc::new(CowMatrix::from_matrix(&cold_vecs));
+                let warm_cow = Arc::new(CowMatrix::from_matrix(&warm_vecs));
+                // The index is built (or decoded) over the contiguous
+                // vectors, then re-pointed at the chunked table so delta
+                // publishes can share unmodified chunks; row bytes are
+                // identical either way, so scoring is unchanged.
                 let ann = ann_blob
                     .and_then(|blob| IvfFlatIndex::decode(blob, Arc::clone(&cold_vecs)).ok())
                     .unwrap_or_else(|| {
                         IvfFlatIndex::build(Arc::clone(&cold_vecs), IvfParams::for_items(n))
-                    });
-                (Tables::F32 { cold: cold_vecs, warm: warm_vecs }, ann)
+                    })
+                    .with_pool(Arc::clone(&cold_cow))
+                    .expect("chunked table mirrors the embeddings it was built from");
+                (Tables::F32 { cold: cold_cow, warm: warm_cow }, ann)
             }
             Precision::Int8 => {
                 // Persisted tables are adopted only at the right shape;
                 // otherwise quantize the vectors just computed (same
                 // deterministic result when the weights match).
-                let adopt = |t: &QuantizedMatrix| {
-                    (t.rows() == n && t.cols() == dim).then(|| Arc::new(t.clone()))
-                };
+                let adopt =
+                    |t: &QuantizedMatrix| (t.rows() == n && t.cols() == dim).then(|| t.clone());
                 let cold_q = quant
                     .and_then(|q| adopt(&q.cold))
-                    .unwrap_or_else(|| Arc::new(QuantizedMatrix::from_matrix(&cold_vecs)));
+                    .unwrap_or_else(|| QuantizedMatrix::from_matrix(&cold_vecs));
                 let warm_q = quant
                     .and_then(|q| adopt(&q.warm))
-                    .unwrap_or_else(|| Arc::new(QuantizedMatrix::from_matrix(&warm_vecs)));
+                    .unwrap_or_else(|| QuantizedMatrix::from_matrix(&warm_vecs));
+                let cold_q = Arc::new(CowQuantMatrix::from_quantized(&cold_q));
+                let warm_q = Arc::new(CowQuantMatrix::from_quantized(&warm_q));
                 // The IVF structure (k-means centroids, inverted lists) is
                 // built or decoded over the exact f32 vectors, then
                 // re-pointed at the int8 codes; the f32 pool is dropped
@@ -267,9 +392,143 @@ impl ModelSnapshot {
         };
         let build_seconds = started.elapsed().as_secs_f64();
         SNAPSHOT_BUILD_SECONDS.set(build_seconds);
+        SNAPSHOT_BUILD_FULL_SECONDS.set(build_seconds);
+        PUBLISHES_FULL.incr();
         SNAPSHOT_BYTES.set(tables.storage_bytes() as f64);
         SNAPSHOT_F32_BYTES.set(tables.f32_bytes() as f64);
         ModelSnapshot { version, data, model, index, tables, ann, build_seconds }
+    }
+
+    /// Builds a snapshot *incrementally* from `prev`: only the rows in
+    /// `changed` are re-embedded (one batched pass over the delta), the
+    /// untouched rows are shared with `prev` chunk-by-chunk via
+    /// copy-on-write, and the IVF index re-assigns only the changed
+    /// vectors under frozen centroids. Cost is proportional to
+    /// `changed.len()`, not catalogue size.
+    ///
+    /// Exactness contract (pinned by the delta-parity proptests): the
+    /// result is bit-identical (f32) / code-identical (int8) to a
+    /// frozen-structure full recompute — same k-means centroids, same
+    /// quantization anchor — whose inputs differ from `prev` only on
+    /// `changed`. Re-embedding is row-local (the GEMM is batch-invariant),
+    /// re-quantization is row-local (PR 8's anchored per-row affine
+    /// codes), and frozen-centroid re-assignment of an unchanged row
+    /// re-derives its existing list, so skipping unchanged rows changes
+    /// nothing.
+    ///
+    /// Frozen centroids drift away from the data as deltas accumulate;
+    /// once the cumulative fraction of moved assignments exceeds
+    /// [`DRIFT_REBUILD_FRACTION`], the k-means build re-runs over the full
+    /// updated table (still cheaper than a full publish — no re-embed).
+    pub fn delta_from(
+        prev: &ModelSnapshot,
+        version: u64,
+        model: Arc<Atnn>,
+        index: PopularityIndex,
+        changed: &[u32],
+    ) -> Result<(Self, DeltaReport), DeltaError> {
+        let started = Instant::now();
+        let n = prev.num_items();
+        let dim = model.config().vec_dim;
+        let prev_dim = prev.model.config().vec_dim;
+        if dim != prev_dim {
+            return Err(DeltaError::DimMismatch { prev: prev_dim, offered: dim });
+        }
+        let mut ids: Vec<u32> = changed.to_vec();
+        ids.sort_unstable();
+        ids.dedup();
+        if let Some(&id) = ids.iter().find(|&&id| id as usize >= n) {
+            return Err(DeltaError::IdOutOfRange { id, num_items: n });
+        }
+
+        // One batched re-embed over the changed ids only. Forward passes
+        // are row-wise and batch-size invariant (single accumulator per
+        // output element, ascending k), so each row comes out bit-equal
+        // to its position in a whole-catalogue build.
+        let mut delta_cold = Matrix::zeros(ids.len(), dim);
+        let mut delta_warm = Matrix::zeros(ids.len(), dim);
+        for (c, chunk) in ids.chunks(BATCH).enumerate() {
+            let profile = prev.data.encode_item_profiles(chunk);
+            let stats = prev.data.encode_item_stats(chunk);
+            let cold_chunk = model.item_vectors_generated(&profile);
+            let warm_chunk = model.item_vectors_full(&profile, &stats);
+            for i in 0..chunk.len() {
+                delta_cold.row_mut(c * BATCH + i).copy_from_slice(cold_chunk.row(i));
+                delta_warm.row_mut(c * BATCH + i).copy_from_slice(warm_chunk.row(i));
+            }
+        }
+
+        // Frozen-centroid re-assignment of the changed vectors, tracked
+        // against the drift budget. The index clone is cheap relative to
+        // a build: centroids + lists, no k-means.
+        let mut ann = prev.ann.clone();
+        let moved = ann.reassign(&ids, &delta_cold);
+        let rebuild = ann.drift_fraction() > DRIFT_REBUILD_FRACTION;
+
+        let (tables, ann) = match &prev.tables {
+            Tables::F32 { cold, warm } => {
+                let mut new_cold = (**cold).clone();
+                let mut new_warm = (**warm).clone();
+                new_cold.update_rows(&ids, &delta_cold);
+                new_warm.update_rows(&ids, &delta_warm);
+                let new_cold = Arc::new(new_cold);
+                let ann = if rebuild {
+                    IvfFlatIndex::build(Arc::new(new_cold.to_matrix()), *prev.ann.params())
+                } else {
+                    ann
+                }
+                .with_pool(Arc::clone(&new_cold))
+                .expect("updated table keeps the indexed shape");
+                (Tables::F32 { cold: new_cold, warm: Arc::new(new_warm) }, ann)
+            }
+            Tables::Int8 { cold, warm, .. } => {
+                // Row-local re-quantization: each row's codes depend only
+                // on the row and the (frozen) shared anchor, so changed
+                // rows re-quantize in place, exactly.
+                let mut new_cold = (**cold).clone();
+                let mut new_warm = (**warm).clone();
+                new_cold.requantize_rows(&ids, &delta_cold);
+                new_warm.requantize_rows(&ids, &delta_warm);
+                let new_cold = Arc::new(new_cold);
+                let new_warm = Arc::new(new_warm);
+                let ann = if rebuild {
+                    // Re-train k-means over the codes' dequantized form —
+                    // the only f32 view that exists once the tables are
+                    // int8 — then serve re-ranks from the codes as usual.
+                    IvfFlatIndex::build(Arc::new(new_cold.dequantize()), *prev.ann.params())
+                } else {
+                    ann
+                }
+                .with_pool(Arc::clone(&new_cold))
+                .expect("updated codes keep the indexed shape");
+                let cold_query = new_cold.prepare(index.mean_user_vec());
+                let warm_query = new_warm.prepare(index.mean_user_vec());
+                (Tables::Int8 { cold: new_cold, warm: new_warm, cold_query, warm_query }, ann)
+            }
+        };
+
+        let build_seconds = started.elapsed().as_secs_f64();
+        SNAPSHOT_BUILD_SECONDS.set(build_seconds);
+        SNAPSHOT_BUILD_DELTA_SECONDS.set(build_seconds);
+        PUBLISHES_DELTA.incr();
+        SNAPSHOT_BYTES.set(tables.storage_bytes() as f64);
+        SNAPSHOT_F32_BYTES.set(tables.f32_bytes() as f64);
+        let report = DeltaReport {
+            changed: ids.len(),
+            moved_lists: moved,
+            index_rebuilt: rebuild,
+            build_seconds,
+        };
+        let snapshot = ModelSnapshot {
+            version,
+            data: Arc::clone(&prev.data),
+            model,
+            index,
+            tables,
+            ann,
+            build_seconds,
+        };
+        Ok((snapshot, report))
     }
 
     /// Highest item id this snapshot can score.
@@ -326,24 +585,29 @@ impl ModelSnapshot {
         &self.ann
     }
 
-    /// The cached cold-path (generator) embedding pool.
-    ///
-    /// # Panics
-    /// Panics on a [`Precision::Int8`] snapshot — the f32 pool is dropped
-    /// after quantization; use [`ModelSnapshot::quant_tables`] instead.
-    pub fn cold_vecs(&self) -> &Arc<Matrix> {
+    /// The cached cold-path (generator) embedding table, or `None` on a
+    /// [`Precision::Int8`] snapshot — the f32 rows are dropped after
+    /// quantization; use [`ModelSnapshot::quant_tables`] there instead.
+    pub fn cold_vecs(&self) -> Option<&Arc<CowMatrix>> {
         match &self.tables {
-            Tables::F32 { cold, .. } => cold,
-            Tables::Int8 { .. } => {
-                panic!("quantized snapshot keeps no f32 cold pool; use quant_tables()")
-            }
+            Tables::F32 { cold, .. } => Some(cold),
+            Tables::Int8 { .. } => None,
+        }
+    }
+
+    /// The cached warm-path (full-encoder) embedding table; `None` on a
+    /// [`Precision::Int8`] snapshot, like [`ModelSnapshot::cold_vecs`].
+    pub fn warm_vecs(&self) -> Option<&Arc<CowMatrix>> {
+        match &self.tables {
+            Tables::F32 { warm, .. } => Some(warm),
+            Tables::Int8 { .. } => None,
         }
     }
 
     /// The quantized cold/warm tables of an [`Precision::Int8`] snapshot
     /// (`None` for f32 snapshots). Used to persist publish-time codes
     /// into an artifact so replicas adopt them bit-identically.
-    pub fn quant_tables(&self) -> Option<(&Arc<QuantizedMatrix>, &Arc<QuantizedMatrix>)> {
+    pub fn quant_tables(&self) -> Option<(&Arc<CowQuantMatrix>, &Arc<CowQuantMatrix>)> {
         match &self.tables {
             Tables::F32 { .. } => None,
             Tables::Int8 { cold, warm, .. } => Some((cold, warm)),
@@ -533,6 +797,43 @@ impl ModelManager {
         Ok(())
     }
 
+    /// Builds a delta snapshot from the *current* snapshot (see
+    /// [`ModelSnapshot::delta_from`]) and publishes it fleet-wide. The
+    /// build happens off to the side against the loaded snapshot, so
+    /// readers never block; cost is proportional to `changed.len()`.
+    pub fn publish_delta(
+        &self,
+        version: u64,
+        model: Arc<Atnn>,
+        index: PopularityIndex,
+        changed: &[u32],
+    ) -> Result<DeltaReport, DeltaError> {
+        let prev = self.load();
+        let (snapshot, report) = ModelSnapshot::delta_from(&prev, version, model, index, changed)?;
+        self.publish(snapshot).map_err(DeltaError::ItemSpace)?;
+        Ok(report)
+    }
+
+    /// Canary variant of [`ModelManager::publish_delta`]: the delta
+    /// snapshot lands in a single shard's cell only (a delta snapshot is
+    /// a plain [`ModelSnapshot`], so it rides the same canary hook as a
+    /// full one). Returns `Ok(None)` if `shard` is out of range.
+    pub fn publish_delta_to_shard(
+        &self,
+        shard: usize,
+        version: u64,
+        model: Arc<Atnn>,
+        index: PopularityIndex,
+        changed: &[u32],
+    ) -> Result<Option<DeltaReport>, DeltaError> {
+        let prev = self.load();
+        let (snapshot, report) = ModelSnapshot::delta_from(&prev, version, model, index, changed)?;
+        match self.publish_to_shard(shard, snapshot).map_err(DeltaError::ItemSpace)? {
+            true => Ok(Some(report)),
+            false => Ok(None),
+        }
+    }
+
     /// Reloads from an artifact file and publishes the result. The build
     /// (file read, checksum, dataset regeneration, weight load) happens
     /// before the swap, so readers never observe a half-loaded model; an
@@ -592,7 +893,7 @@ mod tests {
     #[test]
     fn topk_dots_matches_the_brute_force_oracle() {
         let (snap, _) = tiny_snapshot(1, 1);
-        let oracle = atnn_ann::BruteForce::new(Arc::clone(snap.cold_vecs()));
+        let oracle = atnn_ann::BruteForce::new(Arc::clone(snap.cold_vecs().expect("f32 snapshot")));
         let full = snap.ann().nlist();
         let got = snap.topk_dots(10, full, &|_| true);
         assert_eq!(got, oracle.topk(snap.index.mean_user_vec(), 10, 0));
@@ -750,12 +1051,16 @@ mod tests {
     }
 
     #[test]
-    fn cold_vecs_panics_on_a_quantized_snapshot() {
+    fn f32_table_accessors_are_none_on_a_quantized_snapshot() {
         let (q_snap, _) = tiny_quantized_snapshot(1, 0);
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _ = q_snap.cold_vecs();
-        }));
-        assert!(result.is_err(), "cold_vecs must refuse to invent a dropped f32 pool");
+        assert!(q_snap.cold_vecs().is_none(), "int8 snapshot keeps no f32 cold pool");
+        assert!(q_snap.warm_vecs().is_none(), "int8 snapshot keeps no f32 warm pool");
+
+        let (snap, _) = tiny_snapshot(1, 0);
+        let cold = snap.cold_vecs().expect("f32 snapshot exposes its cold table");
+        let warm = snap.warm_vecs().expect("f32 snapshot exposes its warm table");
+        assert_eq!((cold.rows(), warm.rows()), (120, 120));
+        assert!(snap.quant_tables().is_none(), "and no quantized tables");
     }
 
     #[test]
@@ -769,7 +1074,7 @@ mod tests {
         let (cold, warm) = q_snap.quant_tables().expect("int8 snapshot");
         let artifact = ModelArtifact::capture(&q_snap.model, &data_cfg, &q_snap.index, 9)
             .with_ann(q_snap.encoded_ann().into())
-            .with_quant((**cold).clone(), (**warm).clone());
+            .with_quant(cold.to_quantized(), warm.to_quantized());
         let back = ModelArtifact::decode(artifact.encode()).unwrap();
         let reloaded = ModelSnapshot::from_artifact(&back).unwrap();
 
@@ -795,5 +1100,199 @@ mod tests {
         std::fs::remove_file(&path).unwrap();
         assert_eq!(version, 8);
         assert_eq!(manager.load().score_cold(&items), expected, "reload must be bit-identical");
+    }
+
+    /// A previous snapshot built from an untrained model plus a trained
+    /// replacement model over the *same* catalogue — the delta-publish
+    /// setting: new weights, unchanged item space.
+    fn delta_fixture(precision: Precision) -> (ModelSnapshot, Arc<Atnn>) {
+        let cfg = TmallConfig {
+            num_users: 60,
+            num_items: 120,
+            num_interactions: 1_000,
+            ..TmallConfig::tiny()
+        };
+        let data = TmallDataset::generate(cfg);
+        let model_a = Atnn::new(AtnnConfig::scaled(), &data);
+        let mut model_b = Atnn::new(AtnnConfig::scaled().with_seed(7), &data);
+        let opts = TrainOptions::builder().epochs(1).build().expect("valid options");
+        CtrTrainer::new(opts).train(&mut model_b, &data, None).expect("training runs");
+        let index = PopularityIndex::build(&model_a, &data, &(0..40).collect::<Vec<_>>());
+        let prev = ModelSnapshot::new_with_precision(1, data, model_a, index, precision);
+        (prev, Arc::new(model_b))
+    }
+
+    #[test]
+    fn delta_patches_changed_rows_to_the_full_rebuild_bitwise() {
+        let (prev, model_b) = delta_fixture(Precision::F32);
+        let changed: Vec<u32> = vec![5, 17, 18, 19, 60, 119];
+        let (delta, report) =
+            ModelSnapshot::delta_from(&prev, 2, Arc::clone(&model_b), prev.index.clone(), &changed)
+                .unwrap();
+        assert_eq!(report.changed, changed.len());
+        assert!(Arc::ptr_eq(&delta.data, &prev.data), "catalogue shared, not copied");
+
+        // Oracle: a genuine whole-catalogue rebuild from the new model.
+        // Forward passes are batch-invariant, so every changed row must
+        // match it bitwise; every unchanged row stays prev's, bitwise.
+        let full = ModelSnapshot::new_shared(
+            2,
+            Arc::clone(&prev.data),
+            Arc::clone(&model_b),
+            prev.index.clone(),
+            Precision::F32,
+        );
+        for (which, d, f, p) in [
+            ("cold", delta.cold_vecs(), full.cold_vecs(), prev.cold_vecs()),
+            ("warm", delta.warm_vecs(), full.warm_vecs(), prev.warm_vecs()),
+        ] {
+            let (d, f, p) = (d.unwrap(), f.unwrap(), p.unwrap());
+            for i in 0..prev.num_items() {
+                if changed.contains(&(i as u32)) {
+                    assert_eq!(d.row(i), f.row(i), "{which} changed row {i} != full rebuild");
+                } else {
+                    assert_eq!(d.row(i), p.row(i), "{which} unchanged row {i} != previous");
+                }
+            }
+        }
+        assert!(snapshot_build_delta_gauge().get() > 0.0, "delta build gauge is set");
+        assert!(publishes_delta_counter().get() >= 1);
+    }
+
+    /// The incrementality pin: patching S₁ then S₂ must equal patching
+    /// S₁ ∪ S₂ in one shot — tables bitwise, IVF structure byte-for-byte,
+    /// retrieval (incl. tie order) identical. If the delta path leaked
+    /// any dependence on unchanged rows, composition would break. Holds
+    /// under frozen centroids, so the sets stay below the drift budget
+    /// (a k-means rebuild re-trains the quantizer mid-sequence, which is
+    /// a deliberate policy break of pure composition).
+    #[test]
+    fn delta_composition_is_exact_f32() {
+        let (prev, model_b) = delta_fixture(Precision::F32);
+        let index = prev.index.clone();
+        let s1: Vec<u32> = (0..12).collect();
+        let s2: Vec<u32> = (8..20).collect();
+        let union: Vec<u32> = (0..20).collect();
+
+        let (step1, r1) =
+            ModelSnapshot::delta_from(&prev, 2, Arc::clone(&model_b), index.clone(), &s1).unwrap();
+        let (two_step, r2) =
+            ModelSnapshot::delta_from(&step1, 3, Arc::clone(&model_b), index.clone(), &s2).unwrap();
+        let (one_shot, r3) =
+            ModelSnapshot::delta_from(&prev, 3, Arc::clone(&model_b), index, &union).unwrap();
+        assert!(
+            !r1.index_rebuilt && !r2.index_rebuilt && !r3.index_rebuilt,
+            "sets sized below the drift budget must stay incremental"
+        );
+
+        let items: Vec<u32> = (0..120).collect();
+        assert_eq!(two_step.score_cold(&items), one_shot.score_cold(&items));
+        assert_eq!(two_step.score_warm(&items), one_shot.score_warm(&items));
+        assert_eq!(
+            two_step.cold_vecs().unwrap().to_matrix(),
+            one_shot.cold_vecs().unwrap().to_matrix()
+        );
+        assert_eq!(two_step.encoded_ann(), one_shot.encoded_ann(), "identical IVF bytes");
+        let full = one_shot.ann().nlist();
+        assert_eq!(
+            two_step.topk_dots(20, full, &|_| true),
+            one_shot.topk_dots(20, full, &|_| true)
+        );
+        assert_eq!(two_step.topk_dots(20, 2, &|_| true), one_shot.topk_dots(20, 2, &|_| true));
+    }
+
+    #[test]
+    fn delta_composition_is_code_identical_int8() {
+        let (prev, model_b) = delta_fixture(Precision::Int8);
+        let index = prev.index.clone();
+        let s1: Vec<u32> = (10..22).collect();
+        let s2: Vec<u32> = vec![0, 10, 11, 95, 119];
+        let mut union = [s1.clone(), s2.clone()].concat();
+        union.sort_unstable();
+        union.dedup();
+
+        let (step1, r1) =
+            ModelSnapshot::delta_from(&prev, 2, Arc::clone(&model_b), index.clone(), &s1).unwrap();
+        let (two_step, r2) =
+            ModelSnapshot::delta_from(&step1, 3, Arc::clone(&model_b), index.clone(), &s2).unwrap();
+        let (one_shot, r3) =
+            ModelSnapshot::delta_from(&prev, 3, Arc::clone(&model_b), index, &union).unwrap();
+        assert!(!r1.index_rebuilt && !r2.index_rebuilt && !r3.index_rebuilt);
+
+        let (tc, tw) = two_step.quant_tables().expect("int8 snapshot");
+        let (oc, ow) = one_shot.quant_tables().expect("int8 snapshot");
+        assert_eq!(tc.to_quantized(), oc.to_quantized(), "cold codes identical");
+        assert_eq!(tw.to_quantized(), ow.to_quantized(), "warm codes identical");
+        let items: Vec<u32> = (0..120).collect();
+        assert_eq!(two_step.score_cold(&items), one_shot.score_cold(&items));
+        assert_eq!(two_step.score_warm(&items), one_shot.score_warm(&items));
+        assert_eq!(two_step.encoded_ann(), one_shot.encoded_ann());
+        let full = one_shot.ann().nlist();
+        assert_eq!(
+            two_step.topk_dots(20, full, &|_| true),
+            one_shot.topk_dots(20, full, &|_| true)
+        );
+    }
+
+    #[test]
+    fn drift_past_the_budget_rebuilds_the_index() {
+        let (prev, model_b) = delta_fixture(Precision::F32);
+        // Replace every row with a trained model's embeddings: far more
+        // than a quarter of the assignments move, so the drift budget
+        // trips on the first delta.
+        let all: Vec<u32> = (0..120).collect();
+        let (delta, report) =
+            ModelSnapshot::delta_from(&prev, 2, Arc::clone(&model_b), prev.index.clone(), &all)
+                .unwrap();
+        assert!(
+            report.index_rebuilt,
+            "rewriting the whole table moved only {} of 120 assignments",
+            report.moved_lists
+        );
+        assert_eq!(delta.ann().drift(), 0, "a rebuild re-trains the quantizer and clears drift");
+
+        // The rebuilt index serves exact retrieval over the new table.
+        let oracle =
+            atnn_ann::BruteForce::new(Arc::clone(delta.cold_vecs().expect("f32 snapshot")));
+        let got = delta.topk_dots(10, delta.ann().nlist(), &|_| true);
+        assert_eq!(got, oracle.topk(delta.index.mean_user_vec(), 10, 0));
+
+        // A small delta stays incremental and keeps its drift.
+        let (_, small) =
+            ModelSnapshot::delta_from(&prev, 2, Arc::clone(&model_b), prev.index.clone(), &[3])
+                .unwrap();
+        assert!(!small.index_rebuilt, "one changed row cannot trip the budget");
+    }
+
+    #[test]
+    fn delta_rejects_bad_ids_and_manager_fans_out() {
+        let (prev, model_b) = delta_fixture(Precision::F32);
+        let index = prev.index.clone();
+        let manager = ModelManager::new(prev);
+        let cell = manager.register_shard_cell();
+
+        let report =
+            manager.publish_delta(2, Arc::clone(&model_b), index.clone(), &[3, 9, 9]).unwrap();
+        assert_eq!(report.changed, 2, "duplicate ids collapse");
+        assert_eq!(manager.version(), 2);
+        assert_eq!(cell.load().version, 2, "delta publish fans out to shard cells");
+        assert!(Arc::ptr_eq(&cell.load(), &manager.load()));
+
+        let err =
+            manager.publish_delta(3, Arc::clone(&model_b), index.clone(), &[120]).unwrap_err();
+        assert_eq!(err, DeltaError::IdOutOfRange { id: 120, num_items: 120 });
+        assert_eq!(manager.version(), 2, "rejected delta must not swap");
+
+        // Canary: the delta lands in one shard only.
+        let canary = manager
+            .publish_delta_to_shard(0, 4, Arc::clone(&model_b), index.clone(), &[1])
+            .unwrap();
+        assert!(canary.is_some());
+        assert_eq!(cell.load().version, 4);
+        assert_eq!(manager.version(), 2, "primary cell untouched by the canary");
+        assert!(manager
+            .publish_delta_to_shard(9, 5, Arc::clone(&model_b), index, &[1])
+            .unwrap()
+            .is_none());
     }
 }

@@ -147,6 +147,18 @@ pub struct StatsReport {
     /// `snapshot_bytes` is the quantization memory win (1× on f32
     /// snapshots).
     pub snapshot_f32_bytes: u64,
+    /// Full snapshot builds (whole-catalogue re-embed + index build)
+    /// since process start — the `atnn.serve.publishes_full` counter.
+    pub publishes_full: u64,
+    /// Delta snapshot builds (changed rows only) since process start —
+    /// the `atnn.serve.publishes_delta` counter.
+    pub publishes_delta: u64,
+    /// Wall-clock seconds of the most recent full snapshot build (0.0 if
+    /// none happened in this process).
+    pub last_full_build_seconds: f64,
+    /// Wall-clock seconds of the most recent delta snapshot build (0.0
+    /// if none happened in this process).
+    pub last_delta_build_seconds: f64,
     /// Per-endpoint counters and latency quantiles.
     pub endpoints: Vec<EndpointStats>,
     /// Per-shard batcher counters, indexed by shard id.
@@ -361,6 +373,11 @@ impl Response {
                 buf.put_u64_le(report.accept_errors);
                 buf.put_u64_le(report.snapshot_bytes);
                 buf.put_u64_le(report.snapshot_f32_bytes);
+                buf.put_u64_le(report.publishes_full);
+                buf.put_u64_le(report.publishes_delta);
+                // f64 gauges travel as their IEEE-754 bit patterns.
+                buf.put_u64_le(report.last_full_build_seconds.to_bits());
+                buf.put_u64_le(report.last_delta_build_seconds.to_bits());
                 buf.put_u32_le(report.endpoints.len() as u32);
                 for e in &report.endpoints {
                     put_string(&e.name, &mut buf);
@@ -442,6 +459,10 @@ impl Response {
                 let accept_errors = get_u64(&mut buf)?;
                 let snapshot_bytes = get_u64(&mut buf)?;
                 let snapshot_f32_bytes = get_u64(&mut buf)?;
+                let publishes_full = get_u64(&mut buf)?;
+                let publishes_delta = get_u64(&mut buf)?;
+                let last_full_build_seconds = f64::from_bits(get_u64(&mut buf)?);
+                let last_delta_build_seconds = f64::from_bits(get_u64(&mut buf)?);
                 let n = get_u32(&mut buf)? as usize;
                 let mut endpoints = Vec::with_capacity(n);
                 for _ in 0..n {
@@ -473,6 +494,10 @@ impl Response {
                     accept_errors,
                     snapshot_bytes,
                     snapshot_f32_bytes,
+                    publishes_full,
+                    publishes_delta,
+                    last_full_build_seconds,
+                    last_delta_build_seconds,
                     endpoints,
                     shards,
                 })
@@ -706,6 +731,10 @@ mod tests {
             accept_errors: 3,
             snapshot_bytes: 4_096,
             snapshot_f32_bytes: 16_384,
+            publishes_full: 2,
+            publishes_delta: 17,
+            last_full_build_seconds: 1.25,
+            last_delta_build_seconds: 0.0625,
             endpoints: vec![EndpointStats {
                 name: "score".into(),
                 requests: 100,

@@ -625,6 +625,10 @@ fn dispatch(
             let mut report = shared.telemetry.report(snap.version);
             report.snapshot_bytes = snap.snapshot_bytes();
             report.snapshot_f32_bytes = snap.snapshot_f32_bytes();
+            report.publishes_full = crate::manager::publishes_full_counter().get();
+            report.publishes_delta = crate::manager::publishes_delta_counter().get();
+            report.last_full_build_seconds = crate::manager::snapshot_build_full_gauge().get();
+            report.last_delta_build_seconds = crate::manager::snapshot_build_delta_gauge().get();
             inline(Response::Stats(report))
         }
         Request::RecordInteractions { items } => {

@@ -243,10 +243,15 @@ impl Telemetry {
             batches: shards.iter().map(|s| s.batches).sum(),
             batched_items: shards.iter().map(|s| s.batched_items).sum(),
             accept_errors: self.accept_errors.get(),
-            // Snapshot footprints belong to the served snapshot, not the
-            // telemetry registry; the server's Stats handler fills them.
+            // Snapshot footprints and publish costs belong to the served
+            // snapshot / process-wide publish gauges, not the telemetry
+            // registry; the server's Stats handler fills them.
             snapshot_bytes: 0,
             snapshot_f32_bytes: 0,
+            publishes_full: 0,
+            publishes_delta: 0,
+            last_full_build_seconds: 0.0,
+            last_delta_build_seconds: 0.0,
             endpoints,
             shards,
         }

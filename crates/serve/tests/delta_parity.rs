@@ -1,0 +1,181 @@
+//! Property-based parity pins for the delta-publish pipeline.
+//!
+//! The contract under test: for a new model B replacing a snapshot built
+//! from model A over the same catalogue, a delta publish of changed set S
+//! must be *exactly* what a frozen-structure full recompute would produce
+//! whose inputs only differ on S —
+//!
+//! - every changed row equals, bit for bit, the row a genuine
+//!   whole-catalogue rebuild from B computes (the forward pass is
+//!   batch-invariant);
+//! - every unchanged row is shared with the previous snapshot, bit for
+//!   bit (copy-on-write, never recomputed);
+//! - the IVF index reaches the same inverted lists byte-for-byte as
+//!   re-deriving *all* assignments under the same frozen centroids
+//!   (skipping unchanged rows changes nothing), which also fixes
+//!   `TopKAll` winners and their tie order;
+//! - on an int8 snapshot, in-place row re-quantization produces codes
+//!   identical to re-quantizing under the same frozen anchor.
+//!
+//! Composition is the single-code-path oracle: patching S as a sequence of
+//! sub-deltas must equal patching S in one shot, so the pipeline cannot be
+//! leaking any dependence on rows outside S.
+
+use std::sync::Arc;
+
+use atnn_core::{Atnn, AtnnConfig, CtrTrainer, PopularityIndex, TrainOptions};
+use atnn_data::tmall::{TmallConfig, TmallDataset};
+use atnn_serve::{ModelSnapshot, Precision};
+use proptest::collection;
+use proptest::strategy::Strategy;
+use proptest::test_runner::TestRng;
+
+const ITEMS: usize = 150;
+
+/// A v1 snapshot from an untrained model plus a trained replacement model
+/// over the same catalogue — the delta-publish setting.
+fn fixture(precision: Precision) -> (ModelSnapshot, Arc<Atnn>) {
+    let cfg = TmallConfig {
+        num_users: 60,
+        num_items: ITEMS,
+        num_interactions: 1_200,
+        ..TmallConfig::tiny()
+    };
+    let data = TmallDataset::generate(cfg);
+    let model_a = Atnn::new(AtnnConfig::scaled(), &data);
+    let mut model_b = Atnn::new(AtnnConfig::scaled().with_seed(11), &data);
+    let opts = TrainOptions::builder().epochs(1).build().expect("valid options");
+    CtrTrainer::new(opts).train(&mut model_b, &data, None).expect("training runs");
+    let index = PopularityIndex::build(&model_a, &data, &(0..40).collect::<Vec<_>>());
+    (ModelSnapshot::new_with_precision(1, data, model_a, index, precision), Arc::new(model_b))
+}
+
+fn delta(prev: &ModelSnapshot, version: u64, model: &Arc<Atnn>, changed: &[u32]) -> ModelSnapshot {
+    ModelSnapshot::delta_from(prev, version, Arc::clone(model), prev.index.clone(), changed)
+        .expect("valid delta")
+        .0
+}
+
+#[test]
+fn proptest_f32_delta_rows_match_the_full_rebuild_bitwise() {
+    let (prev, model_b) = fixture(Precision::F32);
+    // The genuine full-rebuild oracle from B: changed rows must land on
+    // its rows exactly; unchanged rows must stay on prev's.
+    let full = ModelSnapshot::new_shared(
+        2,
+        Arc::clone(&prev.data),
+        Arc::clone(&model_b),
+        prev.index.clone(),
+        Precision::F32,
+    );
+    let strategy = collection::vec(0u32..ITEMS as u32, 1..=40);
+    let mut rng = TestRng::from_name("proptest_f32_delta_rows_match_the_full_rebuild_bitwise");
+    for case in 0..16 {
+        let mut changed = strategy.sample(&mut rng);
+        changed.sort_unstable();
+        changed.dedup();
+        let snap = delta(&prev, 2, &model_b, &changed);
+        for (which, d, f, p) in [
+            ("cold", snap.cold_vecs(), full.cold_vecs(), prev.cold_vecs()),
+            ("warm", snap.warm_vecs(), full.warm_vecs(), prev.warm_vecs()),
+        ] {
+            let (d, f, p) = (d.unwrap(), f.unwrap(), p.unwrap());
+            for i in 0..ITEMS {
+                let (oracle, from) = if changed.contains(&(i as u32)) {
+                    (f.row(i), "full rebuild")
+                } else {
+                    (p.row(i), "previous snapshot")
+                };
+                assert_eq!(d.row(i), oracle, "case {case}: {which} row {i} != {from}");
+            }
+        }
+    }
+}
+
+#[test]
+fn proptest_f32_delta_composition_pins_ivf_lists_and_topk_tie_order() {
+    let (prev, model_b) = fixture(Precision::F32);
+    // Split-vs-one-shot: same changed set, different publish sequences.
+    // Sets stay small enough that the drift budget never trips — a
+    // k-means rebuild re-trains the centroids, which deliberately breaks
+    // pure composition.
+    let strategy = (collection::vec(0u32..ITEMS as u32, 2..=24), 0usize..25);
+    let mut rng =
+        TestRng::from_name("proptest_f32_delta_composition_pins_ivf_lists_and_topk_tie_order");
+    for case in 0..12 {
+        let (mut union, split) = strategy.sample(&mut rng);
+        union.sort_unstable();
+        union.dedup();
+        let cut = split.min(union.len());
+        let (s1, s2) = union.split_at(cut);
+
+        let one_shot = delta(&prev, 3, &model_b, &union);
+        let two_step = if s1.is_empty() {
+            delta(&prev, 3, &model_b, s2)
+        } else if s2.is_empty() {
+            delta(&prev, 3, &model_b, s1)
+        } else {
+            delta(&delta(&prev, 2, &model_b, s1), 3, &model_b, s2)
+        };
+
+        assert_eq!(
+            two_step.encoded_ann(),
+            one_shot.encoded_ann(),
+            "case {case}: IVF structure must be byte-identical"
+        );
+        let items: Vec<u32> = (0..ITEMS as u32).collect();
+        assert_eq!(two_step.score_cold(&items), one_shot.score_cold(&items), "case {case}");
+        assert_eq!(two_step.score_warm(&items), one_shot.score_warm(&items), "case {case}");
+        // TopKAll semantics: winners *and* tie order, at full probe (the
+        // exact scan) and at a pruned probe (where list membership shows).
+        for nprobe in [1, one_shot.ann().nlist()] {
+            assert_eq!(
+                two_step.topk_dots(ITEMS, nprobe, &|_| true),
+                one_shot.topk_dots(ITEMS, nprobe, &|_| true),
+                "case {case}: nprobe={nprobe}"
+            );
+        }
+    }
+}
+
+#[test]
+fn proptest_int8_delta_codes_match_the_frozen_anchor_recompute() {
+    let (prev, model_b) = fixture(Precision::Int8);
+    let strategy = (collection::vec(0u32..ITEMS as u32, 2..=24), 0usize..25);
+    let mut rng = TestRng::from_name("proptest_int8_delta_codes_match_the_frozen_anchor_recompute");
+    for case in 0..12 {
+        let (mut union, split) = strategy.sample(&mut rng);
+        union.sort_unstable();
+        union.dedup();
+        let cut = split.min(union.len());
+        let (s1, s2) = union.split_at(cut);
+
+        let one_shot = delta(&prev, 3, &model_b, &union);
+        let two_step = if s1.is_empty() {
+            delta(&prev, 3, &model_b, s2)
+        } else if s2.is_empty() {
+            delta(&prev, 3, &model_b, s1)
+        } else {
+            delta(&delta(&prev, 2, &model_b, s1), 3, &model_b, s2)
+        };
+
+        let (tc, tw) = two_step.quant_tables().expect("int8 snapshot");
+        let (oc, ow) = one_shot.quant_tables().expect("int8 snapshot");
+        assert_eq!(tc.to_quantized(), oc.to_quantized(), "case {case}: cold codes");
+        assert_eq!(tw.to_quantized(), ow.to_quantized(), "case {case}: warm codes");
+        assert_eq!(two_step.encoded_ann(), one_shot.encoded_ann(), "case {case}: IVF bytes");
+        let items: Vec<u32> = (0..ITEMS as u32).collect();
+        assert_eq!(two_step.score_cold(&items), one_shot.score_cold(&items), "case {case}");
+        assert_eq!(two_step.score_warm(&items), one_shot.score_warm(&items), "case {case}");
+        // Unchanged rows' codes are shared with prev, untouched.
+        let (pc, _) = prev.quant_tables().expect("int8 snapshot");
+        let (pcq, ocq) = (pc.to_quantized(), oc.to_quantized());
+        for i in (0..ITEMS).filter(|&i| !union.contains(&(i as u32))) {
+            let mut a = vec![0.0f32; pcq.cols()];
+            let mut b = vec![0.0f32; pcq.cols()];
+            pcq.dequantize_row_into(i, &mut a);
+            ocq.dequantize_row_into(i, &mut b);
+            assert_eq!(a, b, "case {case}: unchanged row {i} must keep prev's codes");
+        }
+    }
+}

@@ -239,6 +239,103 @@ fn sharded_hot_swap_mid_load_keeps_every_slot_on_a_published_version() {
     hot_swap_mid_load(ServeConfig { shards: 3, event_threads: 2, ..ServeConfig::default() }, false);
 }
 
+#[test]
+fn sharded_delta_publish_mid_load_keeps_every_slot_on_a_published_version() {
+    // Same invariant as the full hot-swap test, but the mid-load publish
+    // is a *delta*: a trained replacement model patched in over 30
+    // changed items through `ModelManager::publish_delta`. Every slot of
+    // every in-flight scatter-gather must land bit-exactly on one of the
+    // two published versions — zero errored slots — and new connections
+    // converge to the delta snapshot.
+    let cfg = ServeConfig { shards: 3, event_threads: 2, ..ServeConfig::default() };
+    let (mut handle, manager) = start_server(cfg, snapshot(1, 0));
+    let v1 = manager.load();
+
+    // The replacement model, trained over the same catalogue.
+    let data = TmallDataset::generate(tiny_data_config());
+    let mut model_b = Atnn::new(AtnnConfig::scaled().with_seed(5), &data);
+    let opts = TrainOptions::builder().epochs(1).build().expect("valid options");
+    CtrTrainer::new(opts).train(&mut model_b, &data, None).expect("training runs");
+    let model_b = Arc::new(model_b);
+    let changed: Vec<u32> = (0..30).collect();
+
+    // Delta builds are deterministic, so an oracle built from the same
+    // previous snapshot predicts the published scores bit-for-bit.
+    let (oracle, _) =
+        ModelSnapshot::delta_from(&v1, 2, Arc::clone(&model_b), v1.index.clone(), &changed)
+            .expect("valid delta");
+    let items: Vec<u32> = (0..10).collect();
+    let v1_scores = v1.score_cold(&items);
+    let v2_scores = oracle.score_cold(&items);
+    assert_ne!(v1_scores, v2_scores, "the delta must actually move the queried rows");
+
+    let addr = handle.local_addr();
+    let stop = Arc::new(AtomicBool::new(false));
+    let requests_ok = Arc::new(AtomicU64::new(0));
+    let saw_v2 = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|scope| {
+        let mut workers = Vec::new();
+        for _ in 0..3 {
+            let stop = Arc::clone(&stop);
+            let requests_ok = Arc::clone(&requests_ok);
+            let saw_v2 = Arc::clone(&saw_v2);
+            let (items, v1_scores, v2_scores) = (&items, &v1_scores, &v2_scores);
+            workers.push(scope.spawn(move || {
+                let mut client = ServeClient::connect(addr).expect("connect");
+                while !stop.load(Ordering::Relaxed) {
+                    match client.score_new_arrival(items).expect("request failed during delta") {
+                        Response::Scores(scores) => {
+                            if &scores == v2_scores {
+                                saw_v2.store(true, Ordering::Relaxed);
+                            } else {
+                                for (i, &s) in scores.iter().enumerate() {
+                                    assert!(
+                                        s == v1_scores[i] || s == v2_scores[i],
+                                        "slot {i} matches neither version: {s}"
+                                    );
+                                }
+                            }
+                            requests_ok.fetch_add(1, Ordering::Relaxed);
+                        }
+                        other => panic!("unexpected response during delta publish: {other:?}"),
+                    }
+                }
+            }));
+        }
+
+        std::thread::sleep(Duration::from_millis(50));
+        let report = manager
+            .publish_delta(2, Arc::clone(&model_b), v1.index.clone(), &changed)
+            .expect("delta publish accepted");
+        assert_eq!(report.changed, 30);
+        std::thread::sleep(Duration::from_millis(100));
+        stop.store(true, Ordering::Relaxed);
+        for w in workers {
+            w.join().expect("worker panicked");
+        }
+    });
+
+    assert!(requests_ok.load(Ordering::Relaxed) > 0, "no traffic flowed");
+    assert!(saw_v2.load(Ordering::Relaxed), "post-publish scores never reflected the delta");
+    assert_eq!(manager.version(), 2);
+
+    // New connections see exactly the oracle's scores — and an unchanged
+    // item still scores bit-identically to v1 (its row was never touched).
+    let mut client = ServeClient::connect(addr).unwrap();
+    assert_eq!(client.health().unwrap(), 2);
+    match client.score_new_arrival(&items).unwrap() {
+        Response::Scores(scores) => assert_eq!(scores, v2_scores),
+        other => panic!("unexpected {other:?}"),
+    }
+    let untouched: Vec<u32> = (140..150).collect();
+    match client.score_new_arrival(&untouched).unwrap() {
+        Response::Scores(scores) => assert_eq!(scores, v1.score_cold(&untouched)),
+        other => panic!("unexpected {other:?}"),
+    }
+    handle.shutdown();
+}
+
 fn hot_swap_mid_load(cfg: ServeConfig, atomic_across_shards: bool) {
     let (mut handle, manager) = start_server(cfg, snapshot(1, 0));
     let v1 = manager.load();

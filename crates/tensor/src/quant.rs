@@ -187,30 +187,70 @@ impl QuantizedMatrix {
     /// Panics on a width mismatch.
     pub fn push_row(&mut self, row: &[f32]) {
         assert_eq!(row.len(), self.cols, "quantized row width mismatch");
-        let resid = |v: f32, a: f32| if v.is_finite() { v - a } else { 0.0 };
-        let mut lo = 0.0f32;
-        let mut hi = 0.0f32;
-        for (&v, &a) in row.iter().zip(&self.anchor) {
-            let r = resid(v, a);
-            lo = lo.min(r);
-            hi = hi.max(r);
-        }
-        let mut scale = (hi - lo) / 255.0;
-        if scale <= 0.0 || !scale.is_finite() {
-            // Degenerate row (all residuals zero / non-finite): any
-            // positive scale reproduces it exactly through code 0.
-            scale = 1.0;
-        }
-        let zp = (lo / scale).round() as i32; // in [-255, 0]
-        let nzp = (-zp).clamp(0, 255) as u8;
-        let (anchor, data) = (&self.anchor, &mut self.data);
-        for (&v, &a) in row.iter().zip(anchor) {
-            let u = (resid(v, a) / scale - zp as f32).clamp(0.0, 255.0);
-            data.push((u.round() as i32 - 128) as i8);
-        }
+        let start = self.data.len();
+        self.data.resize(start + self.cols, 0);
+        let (scale, nzp) = quantize_row_into(&self.anchor, row, &mut self.data[start..]);
         self.scales.push(scale);
         self.nzps.push(nzp);
         self.rows += 1;
+    }
+
+    /// Re-quantizes row `i` in place from its new f32 values, against the
+    /// table's **existing** anchor. The affine code is row-local — it
+    /// depends only on `row` and the (shared, unchanged) anchor — so the
+    /// result is bit-identical to what [`QuantizedMatrix::push_row`]
+    /// would have produced for the same values at build time. This is
+    /// what makes delta re-quantization exact: updating the rows of a
+    /// changed set reproduces, code for code, a full streaming rebuild
+    /// over the updated source (with the anchor held fixed).
+    ///
+    /// # Panics
+    /// Panics on a width mismatch or a row index out of range.
+    pub fn requantize_row(&mut self, i: usize, row: &[f32]) {
+        assert_eq!(row.len(), self.cols, "quantized row width mismatch");
+        assert!(i < self.rows, "requantize_row: row {i} out of range ({} rows)", self.rows);
+        let start = i * self.cols;
+        let (scale, nzp) =
+            quantize_row_into(&self.anchor, row, &mut self.data[start..start + self.cols]);
+        self.scales[i] = scale;
+        self.nzps[i] = nzp;
+    }
+
+    /// An exact copy of rows `start..end` (codes, scales, zero points)
+    /// sharing this table's anchor values. No re-quantization happens —
+    /// concatenating slices reproduces the source table bit for bit.
+    ///
+    /// # Panics
+    /// Panics when `start > end` or `end > rows`.
+    pub fn slice_rows(&self, start: usize, end: usize) -> QuantizedMatrix {
+        assert!(start <= end && end <= self.rows, "slice_rows range out of bounds");
+        QuantizedMatrix {
+            rows: end - start,
+            cols: self.cols,
+            anchor: self.anchor.clone(),
+            data: self.data[start * self.cols..end * self.cols].to_vec(),
+            scales: self.scales[start..end].to_vec(),
+            nzps: self.nzps[start..end].to_vec(),
+        }
+    }
+
+    /// Appends every row of `other` (codes copied verbatim). Both tables
+    /// must share the same width and bit-identical anchors — appending
+    /// re-quantizes nothing, so mixed anchors would silently corrupt the
+    /// reconstruction.
+    ///
+    /// # Panics
+    /// Panics on a width or anchor mismatch.
+    pub fn append_rows(&mut self, other: &QuantizedMatrix) {
+        assert_eq!(self.cols, other.cols, "append_rows width mismatch");
+        assert!(
+            self.anchor.iter().zip(&other.anchor).all(|(a, b)| a.to_bits() == b.to_bits()),
+            "append_rows anchor mismatch"
+        );
+        self.data.extend_from_slice(&other.data);
+        self.scales.extend_from_slice(&other.scales);
+        self.nzps.extend_from_slice(&other.nzps);
+        self.rows += other.rows;
     }
 
     /// Number of rows.
@@ -383,6 +423,36 @@ impl QuantizedMatrix {
         buf.copy_to_slice(&mut nzps);
         Ok(Self { rows, cols, anchor, data, scales, nzps })
     }
+}
+
+/// The per-row affine code: residuals against `anchor`, range covering
+/// zero (`scale = (max' - min') / 255`, zero point nearest `min'/scale`),
+/// codes `round(clamp(v/scale - zp, 0, 255)) - 128`. Shared by
+/// [`QuantizedMatrix::push_row`] (append) and
+/// [`QuantizedMatrix::requantize_row`] (in-place) so both produce
+/// bit-identical codes for the same values. Non-finite inputs are 0.
+fn quantize_row_into(anchor: &[f32], row: &[f32], codes: &mut [i8]) -> (f32, u8) {
+    let resid = |v: f32, a: f32| if v.is_finite() { v - a } else { 0.0 };
+    let mut lo = 0.0f32;
+    let mut hi = 0.0f32;
+    for (&v, &a) in row.iter().zip(anchor) {
+        let r = resid(v, a);
+        lo = lo.min(r);
+        hi = hi.max(r);
+    }
+    let mut scale = (hi - lo) / 255.0;
+    if scale <= 0.0 || !scale.is_finite() {
+        // Degenerate row (all residuals zero / non-finite): any
+        // positive scale reproduces it exactly through code 0.
+        scale = 1.0;
+    }
+    let zp = (lo / scale).round() as i32; // in [-255, 0]
+    let nzp = (-zp).clamp(0, 255) as u8;
+    for ((&v, &a), c) in row.iter().zip(anchor).zip(codes.iter_mut()) {
+        let u = (resid(v, a) / scale - zp as f32).clamp(0.0, 255.0);
+        *c = (u.round() as i32 - 128) as i8;
+    }
+    (scale, nzp)
 }
 
 /// Exact int8×int8→i32 dot product, dispatched by backend selection: the
@@ -587,6 +657,44 @@ mod tests {
         let mut garbled = BytesMut::from(&full[..]);
         garbled[0] ^= 0xff;
         assert!(QuantizedMatrix::decode(&mut garbled.freeze()).is_err());
+    }
+
+    #[test]
+    fn requantize_row_matches_a_frozen_anchor_rebuild_bitwise() {
+        // Mutate a changed set S of rows, requantize only S in place, and
+        // compare against streaming the whole updated matrix through
+        // push_row with the *original* anchor held fixed. Row codes are
+        // row-local, so the two must agree code for code — the exactness
+        // claim delta publishes rely on.
+        let m = random_matrix(40, 19, 21);
+        let mut q = QuantizedMatrix::from_matrix(&m);
+        let mut updated = m.clone();
+        let mut rng = Rng64::seed_from_u64(5);
+        let changed: Vec<usize> = vec![0, 7, 13, 14, 39];
+        for &i in &changed {
+            for j in 0..updated.cols() {
+                updated.set(i, j, rng.normal_with(-0.2, 2.0));
+            }
+        }
+        for &i in &changed {
+            q.requantize_row(i, updated.row(i));
+        }
+        let mut oracle = QuantizedMatrix::with_anchor(q.anchor().to_vec());
+        for row in updated.iter_rows() {
+            oracle.push_row(row);
+        }
+        assert_eq!(q, oracle);
+    }
+
+    #[test]
+    fn slice_and_append_round_trip_the_table_bitwise() {
+        let m = random_matrix(23, 8, 9);
+        let q = QuantizedMatrix::from_matrix(&m);
+        let mut rebuilt = q.slice_rows(0, 10);
+        rebuilt.append_rows(&q.slice_rows(10, 17));
+        rebuilt.append_rows(&q.slice_rows(17, 23));
+        assert_eq!(q, rebuilt);
+        assert_eq!(q.slice_rows(5, 5).rows(), 0);
     }
 
     #[test]

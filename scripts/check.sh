@@ -42,6 +42,9 @@ cargo run --release -p atnn-bench --bin quant_bench -- --smoke
 echo "==> quant-serve smoke (int8 snapshot round-trip through every endpoint + hot swap)"
 cargo run --release -p atnn-serve --bin atnn_serve -- --scale tiny --smoke --quantized
 
+echo "==> publish smoke (1% delta republish at 100k rows >= 5x full, delta bit-exact)"
+cargo run --release -p atnn-bench --bin publish_bench -- --smoke
+
 echo "==> obs smoke (train one epoch with a JsonlSink, replay the event stream)"
 cargo run --release --example obs_smoke
 
